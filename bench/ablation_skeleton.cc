@@ -1,0 +1,65 @@
+// Ablation — completeness vs skeleton schemas (Wang et al. [22]).
+//
+// Section 1's contrast: "the skeleton may totally miss information about
+// paths that can be traversed in some of the JSON objects. In contrast, our
+// approach enables the creation of a complete yet succinct schema".
+//
+// For each dataset: build the complete fused schema and frequency skeletons
+// at several support thresholds; report path coverage of the actual record
+// paths (ours is 1.0 by construction — also verified here) and the skeleton
+// sizes, making the succinctness/completeness trade-off visible.
+
+#include <cstdio>
+#include <set>
+
+#include "baseline/skeleton.h"
+#include "bench_common.h"
+#include "fusion/tree_fuser.h"
+#include "stats/paths.h"
+
+int main() {
+  using namespace jsonsi;
+  uint64_t n = std::min<uint64_t>(bench::SnapshotSizes().back(), 10000);
+
+  std::printf(
+      "Ablation: complete fused schema vs frequency skeletons "
+      "(%s records per dataset)\n",
+      bench::SizeLabel(n).c_str());
+  std::printf("%-10s | %9s %9s | %9s %9s | %9s %9s\n", "Dataset", "ours cov",
+              "ours sz", "sk1% cov", "sk1% sz", "sk5% cov", "sk5% sz");
+  std::printf(
+      "----------------------------------------------------------------------\n");
+
+  for (auto id : datagen::AllDatasets()) {
+    auto gen = datagen::MakeGenerator(id, bench::BenchSeed());
+    auto values = gen->GenerateMany(n);
+
+    fusion::TreeFuser fuser;
+    stats::PathCounter counter;
+    std::set<std::string> all_paths;
+    for (const auto& v : values) {
+      fuser.Add(inference::InferType(*v));
+      counter.Add(*v);
+      for (const auto& p : stats::ValuePaths(*v)) all_paths.insert(p);
+    }
+    types::TypeRef complete = fuser.Finish();
+
+    auto coverage = [&](const types::TypeRef& schema) {
+      return stats::Coverage(all_paths, stats::TypePaths(*schema));
+    };
+    types::TypeRef sk1 = baseline::PruneRareFields(
+        complete, counter, baseline::SkeletonOptions{0.01});
+    types::TypeRef sk5 = baseline::PruneRareFields(
+        complete, counter, baseline::SkeletonOptions{0.05});
+
+    std::printf("%-10s | %9.4f %9zu | %9.4f %9zu | %9.4f %9zu\n",
+                datagen::DatasetName(id), coverage(complete),
+                complete->size(), coverage(sk1), sk1->size(), coverage(sk5),
+                sk5->size());
+  }
+  std::printf(
+      "\nReading: our schema always covers 100%% of the record paths; the\n"
+      "skeletons are smaller but blind to rare structure (exactly the gap\n"
+      "Section 1 describes for skeleton-based repositories).\n");
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Shared machinery for the experiment harnesses (Tables 1-8).
+//
+// The 1M-record rows are produced STREAMING: records are generated, typed,
+// folded into a TreeFuser, and dropped — nothing scales with |D| except the
+// distinct-type hash set (8 bytes per distinct type). Sub-dataset rows
+// (1K/10K/100K) are snapshots taken during the same single pass, so each
+// dataset is generated exactly once per table.
+//
+// Environment knobs:
+//   JSI_MAX_RECORDS  caps the largest row (default 1,000,000). Useful for
+//                    quick smoke runs: JSI_MAX_RECORDS=10000.
+//   JSI_SEED         generator seed (default 42), for reproducibility sweeps.
+
+#ifndef JSONSI_BENCH_BENCH_COMMON_H_
+#define JSONSI_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "fusion/tree_fuser.h"
+#include "inference/infer.h"
+#include "json/serializer.h"
+#include "support/string_util.h"
+#include "support/timer.h"
+#include "types/type.h"
+
+namespace jsonsi::bench {
+
+inline uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+/// The paper's sub-dataset sizes (1K/10K/100K/1M), capped by JSI_MAX_RECORDS.
+inline std::vector<uint64_t> SnapshotSizes() {
+  uint64_t cap = EnvU64("JSI_MAX_RECORDS", 1000000);
+  std::vector<uint64_t> sizes;
+  for (uint64_t s : {1000ull, 10000ull, 100000ull, 1000000ull}) {
+    if (s <= cap) sizes.push_back(s);
+  }
+  if (sizes.empty() || sizes.back() != cap) sizes.push_back(cap);
+  return sizes;
+}
+
+inline uint64_t BenchSeed() { return EnvU64("JSI_SEED", 42); }
+
+/// One row of Tables 2-5 plus the timing/size info other tables reuse.
+struct SnapshotRow {
+  uint64_t records = 0;
+  uint64_t distinct_types = 0;
+  size_t min_size = 0;
+  size_t max_size = 0;
+  double avg_size = 0;
+  size_t fused_size = 0;
+  types::TypeRef fused;
+  uint64_t serialized_bytes = 0;  // compact JSON-Lines size of the prefix
+  double gen_seconds = 0;
+  double infer_seconds = 0;  // Map phase, single-thread
+  double fuse_seconds = 0;   // Reduce phase (tree order), single-thread
+};
+
+/// Streams `sizes.back()` records of `id`, snapshotting at every size.
+/// Phases are timed in chunks so the clock overhead stays negligible.
+inline std::vector<SnapshotRow> RunStreamingPipeline(
+    datagen::DatasetId id, const std::vector<uint64_t>& sizes, uint64_t seed,
+    bool measure_bytes, bool run_typing = true) {
+  auto gen = datagen::MakeGenerator(id, seed);
+  std::unordered_set<uint64_t> distinct_hashes;
+  fusion::TreeFuser fuser;
+  size_t min_size = 0, max_size = 0;
+  double total_size = 0;
+  uint64_t bytes = 0;
+  double gen_s = 0, infer_s = 0, fuse_s = 0;
+
+  std::vector<SnapshotRow> rows;
+  uint64_t next_snapshot_index = 0;
+  const uint64_t total = sizes.back();
+  constexpr uint64_t kChunk = 512;
+  std::vector<json::ValueRef> values;
+  std::vector<types::TypeRef> chunk_types;
+  for (uint64_t done = 0; done < total;) {
+    uint64_t n = std::min(kChunk, total - done);
+    // Align chunk boundaries with snapshot points.
+    if (next_snapshot_index < sizes.size()) {
+      n = std::min(n, sizes[next_snapshot_index] - done);
+    }
+    values.clear();
+    chunk_types.clear();
+    Stopwatch w1;
+    for (uint64_t i = 0; i < n; ++i) values.push_back(gen->Generate(done + i));
+    gen_s += w1.ElapsedSeconds();
+    if (measure_bytes) {
+      for (const auto& v : values) {
+        bytes += json::SerializedSize(*v) + 1;  // + newline
+      }
+    }
+    if (run_typing) {
+      Stopwatch w2;
+      for (const auto& v : values) {
+        chunk_types.push_back(inference::InferType(*v));
+      }
+      infer_s += w2.ElapsedSeconds();
+    }
+    for (const auto& t : chunk_types) {
+      if (distinct_hashes.insert(t->hash()).second) {
+        // new distinct type
+      }
+      size_t s = t->size();
+      if (total_size == 0) {
+        min_size = max_size = s;
+      } else {
+        min_size = std::min(min_size, s);
+        max_size = std::max(max_size, s);
+      }
+      total_size += static_cast<double>(s);
+    }
+    Stopwatch w3;
+    for (auto& t : chunk_types) fuser.Add(std::move(t));
+    fuse_s += w3.ElapsedSeconds();
+    done += n;
+    if (next_snapshot_index < sizes.size() &&
+        done == sizes[next_snapshot_index]) {
+      SnapshotRow row;
+      row.records = done;
+      row.distinct_types = distinct_hashes.size();
+      row.min_size = min_size;
+      row.max_size = max_size;
+      row.avg_size = total_size / static_cast<double>(done);
+      Stopwatch w4;
+      row.fused = fuser.Finish();
+      fuse_s += w4.ElapsedSeconds();
+      row.fused_size = run_typing ? row.fused->size() : 0;
+      row.serialized_bytes = bytes;
+      row.gen_seconds = gen_s;
+      row.infer_seconds = infer_s;
+      row.fuse_seconds = fuse_s;
+      rows.push_back(std::move(row));
+      ++next_snapshot_index;
+    }
+  }
+  return rows;
+}
+
+/// "1K" / "10K" / "100K" / "1M" / exact count for odd caps.
+inline std::string SizeLabel(uint64_t n) {
+  if (n % 1000000 == 0) return std::to_string(n / 1000000) + "M";
+  if (n % 1000 == 0) return std::to_string(n / 1000) + "K";
+  return std::to_string(n);
+}
+
+/// Prints one of the Tables 2-5 in the paper's column layout.
+inline void PrintTypeTable(const char* title,
+                           const std::vector<SnapshotRow>& rows) {
+  std::printf("%s\n", title);
+  std::printf("%-6s %12s | %8s %8s %10s | %10s %8s\n", "|D|", "# types",
+              "min", "max", "avg", "fused", "f/avg");
+  std::printf("%.*s\n", 78,
+              "------------------------------------------------------------"
+              "------------------");
+  for (const SnapshotRow& r : rows) {
+    std::printf("%-6s %12s | %8zu %8zu %10.1f | %10zu %8.2f\n",
+                SizeLabel(r.records).c_str(),
+                WithThousands(static_cast<int64_t>(r.distinct_types)).c_str(),
+                r.min_size, r.max_size, r.avg_size, r.fused_size,
+                r.avg_size > 0
+                    ? static_cast<double>(r.fused_size) / r.avg_size
+                    : 0.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace jsonsi::bench
+
+#endif  // JSONSI_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,98 @@
+// Micro-benchmarks for the map/reduce engine and the cluster simulator:
+// thread-pool dispatch overhead, Map/Reduce throughput across partition
+// counts, the full inference pipeline through the engine, and the virtual-
+// time simulator's own cost (it must be negligible next to what it models).
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "datagen/generator.h"
+#include "engine/cluster_sim.h"
+#include "engine/dataset.h"
+#include "engine/thread_pool.h"
+#include "fusion/fuse.h"
+#include "inference/infer.h"
+
+namespace {
+
+using namespace jsonsi;
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  engine::ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([] {});
+    }
+    pool.Wait();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4)->Name("ThreadPool/dispatch64/threads");
+
+void BM_DatasetMap(benchmark::State& state) {
+  engine::ThreadPool pool(2);
+  std::vector<int> items(100000);
+  std::iota(items.begin(), items.end(), 0);
+  auto ds = engine::Dataset<int>::FromVector(items,
+                                             static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto out = ds.Map(pool, [](const int& x) { return x * 2; });
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_DatasetMap)->Arg(1)->Arg(8)->Arg(64)->Name("Dataset/map100k/partitions");
+
+void BM_DatasetReduce(benchmark::State& state) {
+  engine::ThreadPool pool(2);
+  std::vector<int> items(100000, 1);
+  auto ds = engine::Dataset<int>::FromVector(items,
+                                             static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    int sum = ds.Reduce(pool, 0, [](int a, int b) { return a + b; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DatasetReduce)->Arg(1)->Arg(8)->Arg(64)->Name("Dataset/reduce100k/partitions");
+
+void BM_EnginePipeline(benchmark::State& state) {
+  // The paper's full dataflow through the engine: map InferType, reduce
+  // Fuse, on 2,000 Twitter records.
+  engine::ThreadPool pool(2);
+  auto values = datagen::MakeGenerator(datagen::DatasetId::kTwitter, 42)
+                    ->GenerateMany(2000);
+  auto ds = engine::Dataset<json::ValueRef>::FromVector(
+      values, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto typed = ds.Map(
+        pool, [](const json::ValueRef& v) { return inference::InferType(*v); });
+    auto schema = typed.Reduce(pool, types::Type::Empty(), fusion::Fuse);
+    benchmark::DoNotOptimize(schema);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EnginePipeline)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Name("Pipeline/twitter2k/partitions")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClusterSimulation(benchmark::State& state) {
+  auto tasks = engine::MakeSpreadTasks(static_cast<size_t>(state.range(0)),
+                                       300.0, 22e9, 6, 4096);
+  engine::ClusterConfig config;
+  for (auto _ : state) {
+    auto result = engine::SimulateJob(tasks, config,
+                                      engine::Placement::kAnyWithTransfer,
+                                      0.01);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ClusterSimulation)->Arg(60)->Arg(600)->Name("ClusterSim/tasks");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the pipeline:
+// parsing, per-value inference, binary fusion, array collapse, membership,
+// and the tree-vs-left fold comparison that motivates TreeFuser.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "datagen/generator.h"
+#include "fusion/fuse.h"
+#include "fusion/tree_fuser.h"
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "annotate/counted_schema.h"
+#include "json/serializer.h"
+#include "types/membership.h"
+#include "types/subtype.h"
+
+namespace {
+
+using namespace jsonsi;
+
+std::vector<json::ValueRef> SampleValues(datagen::DatasetId id, size_t n) {
+  return datagen::MakeGenerator(id, 42)->GenerateMany(n);
+}
+
+void BM_ParseRecord(benchmark::State& state) {
+  std::string text = json::ToJson(*SampleValues(
+      static_cast<datagen::DatasetId>(state.range(0)), 1)[0]);
+  for (auto _ : state) {
+    auto v = json::Parse(text);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseRecord)->DenseRange(0, 3)->Name("Parse/dataset");
+
+void BM_SerializeRecord(benchmark::State& state) {
+  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 1);
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    json::AppendJson(*values[0], &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SerializeRecord)->DenseRange(0, 3)->Name("Serialize/dataset");
+
+void BM_InferType(benchmark::State& state) {
+  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto t = inference::InferType(*values[i++ % values.size()]);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_InferType)->DenseRange(0, 3)->Name("InferType/dataset");
+
+void BM_FusePair(benchmark::State& state) {
+  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 64);
+  std::vector<types::TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto f = fusion::Fuse(ts[i % ts.size()], ts[(i + 1) % ts.size()]);
+    benchmark::DoNotOptimize(f);
+    ++i;
+  }
+}
+BENCHMARK(BM_FusePair)->DenseRange(0, 3)->Name("FusePair/dataset");
+
+void BM_FuseIntoAccumulator(benchmark::State& state) {
+  // The per-record cost of maintaining a schema accumulator (the left-fold
+  // reduce step); range(0) selects the dataset.
+  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 256);
+  std::vector<types::TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  types::TypeRef acc = fusion::FuseAll(ts);  // pre-warmed accumulator
+  size_t i = 0;
+  for (auto _ : state) {
+    auto f = fusion::Fuse(acc, ts[i++ % ts.size()]);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_FuseIntoAccumulator)->DenseRange(0, 3)->Name("FuseAccum/dataset");
+
+void BM_LeftFold1000(benchmark::State& state) {
+  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 1000);
+  std::vector<types::TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  for (auto _ : state) {
+    auto f = fusion::FuseAll(ts);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_LeftFold1000)
+    ->DenseRange(0, 3)
+    ->Name("Fold1000/left/dataset")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeFold1000(benchmark::State& state) {
+  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 1000);
+  std::vector<types::TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  for (auto _ : state) {
+    fusion::TreeFuser fuser;
+    for (const auto& t : ts) fuser.Add(t);
+    auto f = fuser.Finish();
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_TreeFold1000)
+    ->DenseRange(0, 3)
+    ->Name("Fold1000/tree/dataset")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CollapseArray(benchmark::State& state) {
+  // Mixed-content array of range(0) elements (the Section 2 case).
+  std::vector<types::TypeRef> elements;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    elements.push_back(
+        i % 3 == 0
+            ? types::Type::Str()
+            : (i % 3 == 1 ? types::Type::Num()
+                          : types::Type::RecordUnchecked(
+                                {{"E", types::Type::Str(), false},
+                                 {"F", types::Type::Num(), false}})));
+  }
+  auto array = types::Type::ArrayExact(elements);
+  for (auto _ : state) {
+    auto c = fusion::Collapse(array);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CollapseArray)->Arg(4)->Arg(32)->Arg(256)->Name("Collapse/len");
+
+void BM_Membership(benchmark::State& state) {
+  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 64);
+  std::vector<types::TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  types::TypeRef schema = fusion::FuseAll(ts);
+  size_t i = 0;
+  for (auto _ : state) {
+    bool ok = types::Matches(*values[i++ % values.size()], *schema);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Membership)->DenseRange(0, 3)->Name("Matches/dataset");
+
+void BM_ProfilerObserve(benchmark::State& state) {
+  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 256);
+  annotate::SchemaProfiler profiler;
+  size_t i = 0;
+  for (auto _ : state) {
+    profiler.Observe(*values[i % values.size()], i);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProfilerObserve)->DenseRange(0, 3)->Name("Profiler/dataset");
+
+void BM_SubtypeCheck(benchmark::State& state) {
+  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 128);
+  std::vector<types::TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  types::TypeRef schema = fusion::FuseAll(ts);
+  size_t i = 0;
+  for (auto _ : state) {
+    bool ok = types::IsSubtypeOf(*ts[i++ % ts.size()], *schema);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_SubtypeCheck)->DenseRange(0, 3)->Name("Subtype/dataset");
+
+}  // namespace
+
+BENCHMARK_MAIN();

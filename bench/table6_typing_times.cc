@@ -1,0 +1,65 @@
+// Table 6 — typing execution times (type inference vs type fusion) for the
+// GitHub, Twitter and Wikidata datasets.
+//
+// Shape to reproduce (paper, Spark on 2 cores / cluster):
+//   * Wikidata is by far the most time-consuming (keys-as-data make fusion
+//     expensive);
+//   * GitHub takes longer than Twitter (bigger byte size per record);
+//   * inference cost scales with data size, fusion cost with schema
+//     irregularity.
+//
+// We report (a) real single-thread seconds measured on this host for the
+// largest configured row, and (b) the virtual-time projection of those
+// measurements onto the paper's two hardware setups via the cluster
+// simulator (Mac mini: 1 node x 2 cores; cluster: 6 nodes x 20 cores with
+// the dataset spread across HDFS).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "engine/cluster_sim.h"
+
+int main() {
+  using namespace jsonsi;
+  auto sizes = bench::SnapshotSizes();
+
+  std::printf("Table 6: typing execution times (largest row: %s records)\n",
+              bench::SizeLabel(sizes.back()).c_str());
+  std::printf("%-10s | %12s %12s | %14s %14s\n", "Dataset", "infer(s)",
+              "fuse(s)", "mac-mini(vt s)", "cluster(vt s)");
+  std::printf("----------------------------------------------------------------------\n");
+
+  for (auto id : {datagen::DatasetId::kGitHub, datagen::DatasetId::kTwitter,
+                  datagen::DatasetId::kWikidata}) {
+    auto rows = bench::RunStreamingPipeline(id, sizes, bench::BenchSeed(),
+                                            /*measure_bytes=*/true);
+    const auto& last = rows.back();
+    double compute = last.infer_seconds + last.fuse_seconds;
+
+    // Virtual-time projections of the measured compute cost.
+    engine::ClusterConfig mac;
+    mac.num_nodes = 1;
+    mac.cores_per_node = 2;
+    auto mac_tasks = engine::MakeUniformTasks(
+        /*num_partitions=*/8, compute, last.serialized_bytes, 0, 4096);
+    double mac_vt = engine::SimulateJob(mac_tasks, mac,
+                                        engine::Placement::kLocalOnly, 0.01)
+                        .makespan_seconds;
+
+    engine::ClusterConfig cluster;  // paper defaults: 6 x 20 cores
+    auto cl_tasks = engine::MakeSpreadTasks(
+        /*num_partitions=*/120, compute, last.serialized_bytes,
+        cluster.num_nodes, 4096);
+    double cl_vt = engine::SimulateJob(cl_tasks, cluster,
+                                       engine::Placement::kLocalOnly, 0.01)
+                       .makespan_seconds;
+
+    std::printf("%-10s | %12.1f %12.1f | %14.1f %14.1f\n",
+                datagen::DatasetName(id), last.infer_seconds,
+                last.fuse_seconds, mac_vt, cl_vt);
+  }
+  std::printf(
+      "\nShape check (paper): Wikidata >> GitHub > Twitter in total typing\n"
+      "time; fusion dominates on Wikidata, inference elsewhere.\n");
+  return 0;
+}

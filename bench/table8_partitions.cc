@@ -1,0 +1,83 @@
+// Table 8 — partition-based processing of NYTimes.
+//
+// The paper's manual strategy: process each of 4 partitions in isolation
+// (objects / distinct types / time per partition), then fuse the four
+// partial schemas — "a fast operation as each schema to fuse has a very
+// small size". Possible only because fusion is associative.
+//
+// Paper rows:     objects   types    time
+//   partition 1   284,943   67,652   2.4 min
+//   partition 2   300,000   83,226   3.8 min
+//   partition 3   300,000   89,929   1.9 min
+//   partition 4   300,000   84,333   3.3 min
+//
+// We reproduce the same protocol with real measurements on this host: the
+// target row (default 1M records) split in the paper's proportions, each
+// partition typed independently (real wall-clock), then the final fuse of
+// the partial schemas timed separately. Shape to reproduce: per-partition
+// distinct-type counts in the hundreds of thousands scaled to partition
+// size; final fusion orders of magnitude cheaper than any partition.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "fusion/fuse.h"
+
+int main() {
+  using namespace jsonsi;
+  uint64_t total = bench::SnapshotSizes().back();
+
+  // The paper's partition proportions of its 1,184,943-record dataset.
+  const double kFractions[4] = {284943.0 / 1184943, 300000.0 / 1184943,
+                                300000.0 / 1184943, 300000.0 / 1184943};
+  std::printf("Table 8: partition-based processing of NYTimes (%s records)\n",
+              bench::SizeLabel(total).c_str());
+  std::printf("%-13s | %10s | %10s | %10s\n", "", "Objects", "Types", "Time");
+  std::printf("--------------------------------------------------\n");
+
+  auto gen = datagen::MakeGenerator(datagen::DatasetId::kNYTimes,
+                                    bench::BenchSeed());
+  std::vector<types::TypeRef> partials;
+  double total_partition_seconds = 0;
+  uint64_t start = 0;
+  for (int p = 0; p < 4; ++p) {
+    uint64_t count = static_cast<uint64_t>(kFractions[p] * total);
+    if (p == 3) count = total - start;  // absorb rounding
+
+    Stopwatch watch;
+    std::unordered_set<uint64_t> distinct;
+    fusion::TreeFuser fuser;
+    for (uint64_t i = 0; i < count; ++i) {
+      auto t = inference::InferType(*gen->Generate(start + i));
+      distinct.insert(t->hash());
+      fuser.Add(std::move(t));
+    }
+    partials.push_back(fuser.Finish());
+    double seconds = watch.ElapsedSeconds();
+    total_partition_seconds += seconds;
+    std::printf("partition %-3d | %10s | %10s | %8.1fs\n", p + 1,
+                WithThousands(static_cast<int64_t>(count)).c_str(),
+                WithThousands(static_cast<int64_t>(distinct.size())).c_str(),
+                seconds);
+    start += count;
+  }
+
+  // Final fusion of the partial schemas — the step associativity enables.
+  Stopwatch fuse_watch;
+  types::TypeRef global = fusion::FuseAll(partials);
+  double fuse_seconds = fuse_watch.ElapsedSeconds();
+
+  std::printf("--------------------------------------------------\n");
+  std::printf("final fuse of 4 partial schemas: %.4fs (schema size %zu)\n",
+              fuse_seconds, global->size());
+  std::printf("average partition time: %.1fs; final fuse is %.5f%% of it\n",
+              total_partition_seconds / 4,
+              100.0 * fuse_seconds / (total_partition_seconds / 4));
+  std::printf(
+      "\nShape check (paper): partitions process independently in similar\n"
+      "times (their avg 2.85 min on Spark); the closing fusion of partial\n"
+      "schemas is negligible — 'a fast operation as each schema ... has a\n"
+      "very small size'.\n");
+  return 0;
+}

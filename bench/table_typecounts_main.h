@@ -1,0 +1,26 @@
+// Shared main() body for Tables 2-5: run the streaming pipeline on one
+// dataset, print #types / min / max / avg / fused-size per sub-dataset, and
+// echo the paper's measured rows for shape comparison.
+
+#ifndef JSONSI_BENCH_TABLE_TYPECOUNTS_MAIN_H_
+#define JSONSI_BENCH_TABLE_TYPECOUNTS_MAIN_H_
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace jsonsi::bench {
+
+inline int RunTypeCountTable(datagen::DatasetId id, const char* title,
+                             const char* paper_rows) {
+  auto rows =
+      RunStreamingPipeline(id, SnapshotSizes(), BenchSeed(),
+                           /*measure_bytes=*/false);
+  PrintTypeTable(title, rows);
+  std::printf("Paper (for shape comparison):\n%s\n", paper_rows);
+  return 0;
+}
+
+}  // namespace jsonsi::bench
+
+#endif  // JSONSI_BENCH_TABLE_TYPECOUNTS_MAIN_H_

@@ -1,0 +1,138 @@
+// Schema-guided projection loading — the optimization story of Section 1:
+// "by identifying the data requirements of a query ... it is possible to
+// match these requirements with the schema in order to load in main memory
+// only those fragments of the input dataset that are actually needed."
+//
+//   build/examples/projection_loading [record_count]
+//
+// A query over NYTimes article metadata needs only headline.main, pub_date
+// and keywords[].value. This example:
+//   1. infers the full schema once;
+//   2. validates the query's required paths against the schema *statically*
+//      (a path the schema does not contain can never match any record — the
+//      query bug is caught before touching the data);
+//   3. loads the dataset twice — whole records vs schema-checked projection —
+//      and compares resident tree sizes and serialized bytes.
+
+#include <cstdlib>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/schema_inferencer.h"
+#include "datagen/generator.h"
+#include "json/serializer.h"
+#include "json/value.h"
+#include "stats/paths.h"
+#include "support/string_util.h"
+
+namespace {
+
+using jsonsi::json::Value;
+using jsonsi::json::ValueRef;
+
+// Projects `value` onto the paths rooted at `prefix` in `required`:
+// keeps a field iff some required path passes through it.
+ValueRef Project(const Value& value, const std::string& prefix,
+                 const std::set<std::string>& required) {
+  auto needed = [&](const std::string& path) {
+    // Keep `path` if it is required itself or is a prefix of a requirement.
+    auto it = required.lower_bound(path);
+    if (it != required.end() &&
+        (*it == path || it->rfind(path, 0) == 0)) {
+      return true;
+    }
+    return false;
+  };
+  switch (value.kind()) {
+    case jsonsi::json::ValueKind::kRecord: {
+      std::vector<jsonsi::json::Field> kept;
+      for (const auto& f : value.fields()) {
+        std::string path = prefix.empty() ? f.key : prefix + "." + f.key;
+        if (!needed(path)) continue;
+        kept.push_back({f.key, Project(*f.value, path, required)});
+      }
+      return Value::RecordUnchecked(std::move(kept));
+    }
+    case jsonsi::json::ValueKind::kArray: {
+      std::vector<ValueRef> kept;
+      kept.reserve(value.elements().size());
+      for (const auto& e : value.elements()) {
+        kept.push_back(Project(*e, prefix + "[]", required));
+      }
+      return Value::Array(std::move(kept));
+    }
+    default:
+      return value.is_null()       ? Value::Null()
+             : value.is_bool()     ? Value::Bool(value.bool_value())
+             : value.is_num()      ? Value::Num(value.num_value())
+                                   : Value::Str(value.str_value());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t count = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
+
+  auto gen =
+      jsonsi::datagen::MakeGenerator(jsonsi::datagen::DatasetId::kNYTimes, 5);
+  auto values = gen->GenerateMany(count);
+
+  // 1. One-time schema inference.
+  jsonsi::core::Schema schema =
+      jsonsi::core::SchemaInferencer().InferFromValues(values);
+  auto schema_paths = jsonsi::stats::TypePaths(*schema.type);
+
+  // 2. Static validation of the query's data requirements.
+  const std::set<std::string> query_paths = {
+      "headline", "headline.main", "pub_date", "keywords", "keywords[]",
+      "keywords[].value"};
+  const std::set<std::string> buggy_paths = {"headline.titel"};  // typo!
+  std::cout << "Static requirement check against the schema\n"
+            << "-------------------------------------------\n";
+  for (const auto& p : query_paths) {
+    std::cout << "  " << p << " : "
+              << (schema_paths.count(p) ? "ok" : "NOT IN SCHEMA") << "\n";
+  }
+  for (const auto& p : buggy_paths) {
+    std::cout << "  " << p << " : "
+              << (schema_paths.count(p)
+                      ? "ok"
+                      : "NOT IN SCHEMA -> query can never match; fix the "
+                        "query, no scan needed")
+              << "\n";
+  }
+
+  // 3. Loading with vs without projection.
+  size_t full_nodes = 0, full_bytes = 0, proj_nodes = 0, proj_bytes = 0;
+  std::vector<ValueRef> projected;
+  projected.reserve(values.size());
+  for (const auto& v : values) {
+    full_nodes += v->TreeSize();
+    full_bytes += jsonsi::json::SerializedSize(*v);
+    ValueRef p = Project(*v, "", query_paths);
+    proj_nodes += p->TreeSize();
+    proj_bytes += jsonsi::json::SerializedSize(*p);
+    projected.push_back(std::move(p));
+  }
+  std::cout << "\nMain-memory footprint (" << count << " records)\n"
+            << "-----------------------------------------\n"
+            << "  full records : " << jsonsi::WithThousands(
+                   static_cast<int64_t>(full_nodes)) << " nodes, "
+            << jsonsi::HumanBytes(full_bytes) << "\n"
+            << "  projected    : " << jsonsi::WithThousands(
+                   static_cast<int64_t>(proj_nodes)) << " nodes, "
+            << jsonsi::HumanBytes(proj_bytes) << "\n"
+            << "  reduction    : "
+            << jsonsi::FormatFixed(
+                   100.0 * (1.0 - static_cast<double>(proj_bytes) /
+                                      static_cast<double>(full_bytes)), 1)
+            << "% fewer bytes resident\n\n";
+
+  // The projection still answers the query: show one projected record.
+  std::cout << "Example projected record:\n"
+            << jsonsi::json::ToPrettyJson(*projected.front()) << "\n";
+  return 0;
+}

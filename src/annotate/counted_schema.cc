@@ -1,0 +1,205 @@
+#include "annotate/counted_schema.h"
+
+#include <vector>
+
+#include "support/string_util.h"
+
+namespace jsonsi::annotate {
+
+using json::Value;
+using json::ValueKind;
+using types::FieldType;
+using types::Type;
+using types::TypeRef;
+
+namespace {
+
+void ObserveInto(ProfileNode* node, const Value& value, uint64_t ordinal) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      ++node->null_count;
+      return;
+    case ValueKind::kBool:
+      ++node->bool_count;
+      return;
+    case ValueKind::kNum:
+      ++node->num_count;
+      node->num_stats.Observe(value.num_value());
+      return;
+    case ValueKind::kStr:
+      ++node->str_count;
+      node->str_len_stats.Observe(static_cast<double>(value.str_value().size()));
+      return;
+    case ValueKind::kRecord: {
+      ++node->record_count;
+      for (const json::Field& f : value.fields()) {
+        ProfileNode::FieldProfile& fp = node->fields[f.key];
+        if (!fp.node) {
+          fp.node = std::make_unique<ProfileNode>();
+          fp.first_seen = ordinal;
+        }
+        fp.first_seen = std::min(fp.first_seen, ordinal);
+        ++fp.present_count;
+        ObserveInto(fp.node.get(), *f.value, ordinal);
+      }
+      return;
+    }
+    case ValueKind::kArray: {
+      ++node->array_count;
+      node->array_len_stats.Observe(
+          static_cast<double>(value.elements().size()));
+      if (!node->array_body) {
+        node->array_body = std::make_unique<ProfileNode>();
+      }
+      for (const json::ValueRef& e : value.elements()) {
+        ObserveInto(node->array_body.get(), *e, ordinal);
+      }
+      return;
+    }
+  }
+}
+
+void MergeInto(ProfileNode* dst, const ProfileNode& src) {
+  dst->null_count += src.null_count;
+  dst->bool_count += src.bool_count;
+  dst->num_count += src.num_count;
+  dst->str_count += src.str_count;
+  dst->record_count += src.record_count;
+  dst->array_count += src.array_count;
+  dst->num_stats.Merge(src.num_stats);
+  dst->str_len_stats.Merge(src.str_len_stats);
+  dst->array_len_stats.Merge(src.array_len_stats);
+  for (const auto& [key, sfp] : src.fields) {
+    ProfileNode::FieldProfile& dfp = dst->fields[key];
+    if (!dfp.node) {
+      dfp.node = std::make_unique<ProfileNode>();
+      dfp.first_seen = sfp.first_seen;
+    }
+    dfp.first_seen = std::min(dfp.first_seen, sfp.first_seen);
+    dfp.present_count += sfp.present_count;
+    MergeInto(dfp.node.get(), *sfp.node);
+  }
+  if (src.array_body) {
+    if (!dst->array_body) dst->array_body = std::make_unique<ProfileNode>();
+    MergeInto(dst->array_body.get(), *src.array_body);
+  }
+}
+
+TypeRef ProjectType(const ProfileNode& node) {
+  std::vector<TypeRef> alts;
+  if (node.null_count) alts.push_back(Type::Null());
+  if (node.bool_count) alts.push_back(Type::Bool());
+  if (node.num_count) alts.push_back(Type::Num());
+  if (node.str_count) alts.push_back(Type::Str());
+  if (node.record_count) {
+    std::vector<FieldType> fields;
+    fields.reserve(node.fields.size());
+    for (const auto& [key, fp] : node.fields) {
+      fields.push_back({key, ProjectType(*fp.node),
+                        fp.present_count < node.record_count});
+    }
+    // The map is key-sorted already.
+    alts.push_back(Type::RecordFromSorted(std::move(fields)));
+  }
+  if (node.array_count) {
+    TypeRef body = node.array_body && node.array_body->total()
+                       ? ProjectType(*node.array_body)
+                       : Type::Empty();
+    alts.push_back(Type::ArrayStar(std::move(body)));
+  }
+  return Type::Union(std::move(alts));
+}
+
+std::string Range(const MinMax& mm) {
+  if (!mm.seen) return "";
+  return FormatJsonNumber(mm.min) + ".." + FormatJsonNumber(mm.max);
+}
+
+void Render(const ProfileNode& node, bool stats, int depth, std::string* out);
+
+void RenderKind(const char* name, uint64_t count, uint64_t total,
+                const std::string& range, bool stats, bool* first,
+                std::string* out) {
+  if (count == 0) return;
+  if (!*first) *out += " + ";
+  *first = false;
+  *out += name;
+  // Per-kind counts matter only when the position actually varies.
+  *out += "[" + std::to_string(count) + "]";
+  (void)total;
+  if (stats && !range.empty()) *out += "{" + range + "}";
+}
+
+void Render(const ProfileNode& node, bool stats, int depth,
+            std::string* out) {
+  bool first = true;
+  RenderKind("Null", node.null_count, node.total(), "", stats, &first, out);
+  RenderKind("Bool", node.bool_count, node.total(), "", stats, &first, out);
+  RenderKind("Num", node.num_count, node.total(), Range(node.num_stats),
+             stats, &first, out);
+  RenderKind("Str", node.str_count, node.total(),
+             stats ? "len " + Range(node.str_len_stats) : "", stats, &first,
+             out);
+  if (node.record_count) {
+    if (!first) *out += " + ";
+    first = false;
+    *out += "{";
+    bool first_field = true;
+    for (const auto& [key, fp] : node.fields) {
+      if (!first_field) *out += ", ";
+      first_field = false;
+      *out += key + ": ";
+      Render(*fp.node, stats, depth + 1, out);
+      if (fp.present_count < node.record_count) *out += "?";
+      *out += " [" + std::to_string(fp.present_count) + "/" +
+              std::to_string(node.record_count) + ", first@" +
+              std::to_string(fp.first_seen) + "]";
+    }
+    *out += "}";
+  }
+  if (node.array_count) {
+    if (!first) *out += " + ";
+    first = false;
+    *out += "[(";
+    if (node.array_body && node.array_body->total()) {
+      Render(*node.array_body, stats, depth + 1, out);
+    } else {
+      *out += "Empty";
+    }
+    *out += ")*]";
+    if (stats) {
+      *out += "{len " + Range(node.array_len_stats) + "}";
+    }
+  }
+  if (first) *out += "Empty";  // nothing observed at this position
+}
+
+}  // namespace
+
+SchemaProfiler::SchemaProfiler() : root_(std::make_unique<ProfileNode>()) {}
+SchemaProfiler::~SchemaProfiler() = default;
+SchemaProfiler::SchemaProfiler(SchemaProfiler&&) noexcept = default;
+SchemaProfiler& SchemaProfiler::operator=(SchemaProfiler&&) noexcept = default;
+
+void SchemaProfiler::Observe(const Value& value, uint64_t ordinal) {
+  ObserveInto(root_.get(), value, ordinal);
+  ++count_;
+}
+
+void SchemaProfiler::Merge(const SchemaProfiler& other) {
+  MergeInto(root_.get(), *other.root_);
+  count_ += other.count_;
+}
+
+TypeRef SchemaProfiler::ToType() const {
+  if (count_ == 0) return Type::Empty();
+  return ProjectType(*root_);
+}
+
+std::string SchemaProfiler::ToString(bool show_value_stats) const {
+  std::string out;
+  Render(*root_, show_value_stats, 0, &out);
+  return out;
+}
+
+}  // namespace jsonsi::annotate

@@ -1,0 +1,131 @@
+// Statistics-annotated schemas — the paper's stated future work:
+// "In the near future we plan to enrich schemas with statistical and
+// provenance information about the input data." (Section 7)
+//
+// SchemaProfiler observes a stream of JSON values and maintains, per schema
+// position:
+//   * per-kind occurrence counts (how often the position held Null / Bool /
+//     Num / Str / a record / an array),
+//   * per-field presence counts (how many of the records seen at this
+//     position carried the field) — the quantitative version of '?',
+//   * value statistics: numeric min/max, string length min/max, array
+//     length min/max,
+//   * provenance: the ordinal of the first record that exhibited each field
+//     (which record introduced this structure?).
+//
+// Like Fuse, profile merging is associative and commutative (it is pointwise
+// counter addition), so profiles distribute across partitions exactly the
+// way schemas do, and profiles of disjoint batches combine exactly.
+//
+// The profile projects onto the paper's type language (`ToType`), and the
+// projection provably carries the same information as the fusion pipeline:
+// for the same inputs, ToType() equals the star-normalized fused type (a
+// property the test suite checks).
+
+#ifndef JSONSI_ANNOTATE_COUNTED_SCHEMA_H_
+#define JSONSI_ANNOTATE_COUNTED_SCHEMA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "json/value.h"
+#include "types/type.h"
+
+namespace jsonsi::annotate {
+
+/// Running min/max over doubles (numeric values or lengths).
+struct MinMax {
+  bool seen = false;
+  double min = 0;
+  double max = 0;
+
+  void Observe(double v) {
+    if (!seen) {
+      min = max = v;
+      seen = true;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+  }
+  void Merge(const MinMax& other) {
+    if (!other.seen) return;
+    Observe(other.min);
+    Observe(other.max);
+  }
+};
+
+/// One annotated schema position.
+struct ProfileNode {
+  // Per-kind occurrence counts at this position.
+  uint64_t null_count = 0;
+  uint64_t bool_count = 0;
+  uint64_t num_count = 0;
+  uint64_t str_count = 0;
+  uint64_t record_count = 0;
+  uint64_t array_count = 0;
+
+  /// Total observations at this position.
+  uint64_t total() const {
+    return null_count + bool_count + num_count + str_count + record_count +
+           array_count;
+  }
+
+  MinMax num_stats;        // over numeric values
+  MinMax str_len_stats;    // over string lengths
+  MinMax array_len_stats;  // over array lengths
+
+  struct FieldProfile {
+    std::unique_ptr<ProfileNode> node;
+    uint64_t present_count = 0;
+    /// Ordinal (as passed to Observe) of the first record carrying the
+    /// field — the provenance hook.
+    uint64_t first_seen = 0;
+  };
+  /// Sub-profiles of record fields seen at this position (key-sorted map).
+  std::map<std::string, FieldProfile> fields;
+  /// Sub-profile of all array elements seen at this position.
+  std::unique_ptr<ProfileNode> array_body;
+};
+
+/// Accumulates an annotated schema over a value stream.
+class SchemaProfiler {
+ public:
+  SchemaProfiler();
+  ~SchemaProfiler();
+  SchemaProfiler(SchemaProfiler&&) noexcept;
+  SchemaProfiler& operator=(SchemaProfiler&&) noexcept;
+
+  /// Observes one record. `ordinal` identifies the record for provenance;
+  /// use a global position (row number, offset) — monotonicity not required.
+  void Observe(const json::Value& value, uint64_t ordinal);
+
+  /// Merges another profile into this one (associative, commutative).
+  /// Counters add; first_seen takes the minimum.
+  void Merge(const SchemaProfiler& other);
+
+  /// Number of records observed.
+  uint64_t record_count() const { return count_; }
+
+  /// Root of the profile tree (valid until the profiler is destroyed).
+  const ProfileNode& root() const { return *root_; }
+
+  /// Projects the profile onto the paper's type language. Arrays project to
+  /// simplified (starred) types; field optionality is presence < total.
+  types::TypeRef ToType() const;
+
+  /// Renders the annotated schema, e.g.
+  ///   {battery: Num? [2/3, first@1, 85..87], celsius: (Num[2] + Str[1])}
+  /// `show_value_stats` adds numeric/length ranges.
+  std::string ToString(bool show_value_stats = true) const;
+
+ private:
+  std::unique_ptr<ProfileNode> root_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace jsonsi::annotate
+
+#endif  // JSONSI_ANNOTATE_COUNTED_SCHEMA_H_

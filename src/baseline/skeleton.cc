@@ -1,0 +1,78 @@
+#include "baseline/skeleton.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace jsonsi::baseline {
+
+using types::FieldType;
+using types::Type;
+using types::TypeNode;
+using types::TypeRef;
+
+namespace {
+
+struct Pruner {
+  const stats::PathCounter& counter;
+  double min_count;
+
+  size_t CountOf(const std::string& path) const {
+    auto it = counter.counts().find(path);
+    return it == counter.counts().end() ? 0 : it->second;
+  }
+
+  TypeRef Prune(const TypeRef& t, const std::string& prefix) const {
+    switch (t->node()) {
+      case TypeNode::kRecord: {
+        std::vector<FieldType> kept;
+        for (const FieldType& f : t->fields()) {
+          std::string path = prefix.empty() ? f.key : prefix + "." + f.key;
+          if (static_cast<double>(CountOf(path)) < min_count) continue;
+          kept.push_back({f.key, Prune(f.type, path), f.optional});
+        }
+        return Type::RecordUnchecked(std::move(kept));
+      }
+      case TypeNode::kArrayExact: {
+        std::vector<TypeRef> elements;
+        elements.reserve(t->elements().size());
+        for (const TypeRef& e : t->elements()) {
+          elements.push_back(Prune(e, prefix + "[]"));
+        }
+        return Type::ArrayExact(std::move(elements));
+      }
+      case TypeNode::kArrayStar:
+        return Type::ArrayStar(Prune(t->body(), prefix + "[]"));
+      case TypeNode::kUnion: {
+        std::vector<TypeRef> alts;
+        alts.reserve(t->alternatives().size());
+        for (const TypeRef& alt : t->alternatives()) {
+          alts.push_back(Prune(alt, prefix));
+        }
+        return Type::Union(std::move(alts));
+      }
+      default:
+        return t;
+    }
+  }
+};
+
+}  // namespace
+
+TypeRef PruneRareFields(const TypeRef& complete,
+                        const stats::PathCounter& counter,
+                        const SkeletonOptions& options) {
+  Pruner pruner{counter,
+                options.min_support * static_cast<double>(counter.total())};
+  return pruner.Prune(complete, "");
+}
+
+TypeRef BuildSkeleton(const std::vector<json::ValueRef>& values,
+                      const TypeRef& complete,
+                      const SkeletonOptions& options) {
+  stats::PathCounter counter;
+  for (const json::ValueRef& v : values) counter.Add(*v);
+  return PruneRareFields(complete, counter, options);
+}
+
+}  // namespace jsonsi::baseline

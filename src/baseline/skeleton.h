@@ -1,0 +1,46 @@
+// Baseline 2: skeleton schemas (frequent-structure summaries).
+//
+// Wang et al. [22] summarize a JSON store by a *skeleton*: the structures
+// that appear frequently, dropping rare ones. Section 1 of the paper
+// contrasts this with its own complete schemas: "the skeleton may totally
+// miss information about paths that can be traversed in some of the JSON
+// objects". This module implements a path-frequency skeleton so that the
+// completeness gap is measurable (bench/ablation_skeleton).
+//
+// Construction: count, across the dataset, in how many records each label
+// path occurs; then prune from the (complete) fused schema every record
+// field whose path support falls below a threshold. What remains is the
+// "frequent skeleton" — small, but provably missing the rare paths, which
+// `stats::Coverage` then quantifies.
+
+#ifndef JSONSI_BASELINE_SKELETON_H_
+#define JSONSI_BASELINE_SKELETON_H_
+
+#include <vector>
+
+#include "json/value.h"
+#include "stats/paths.h"
+#include "types/type.h"
+
+namespace jsonsi::baseline {
+
+/// Skeleton tuning.
+struct SkeletonOptions {
+  /// Keep a field only if its path occurs in at least this fraction of the
+  /// records. Wang et al. keep "structures that frequently appear".
+  double min_support = 0.01;
+};
+
+/// Prunes rare fields from `complete` using per-path record counts.
+types::TypeRef PruneRareFields(const types::TypeRef& complete,
+                               const stats::PathCounter& counter,
+                               const SkeletonOptions& options);
+
+/// End-to-end: counts paths over `values` and prunes `complete`.
+types::TypeRef BuildSkeleton(const std::vector<json::ValueRef>& values,
+                             const types::TypeRef& complete,
+                             const SkeletonOptions& options = {});
+
+}  // namespace jsonsi::baseline
+
+#endif  // JSONSI_BASELINE_SKELETON_H_

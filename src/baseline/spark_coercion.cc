@@ -1,0 +1,164 @@
+#include "baseline/spark_coercion.h"
+
+#include <vector>
+
+namespace jsonsi::baseline {
+
+using json::Value;
+using json::ValueKind;
+using types::FieldType;
+using types::Type;
+using types::TypeNode;
+using types::TypeRef;
+
+namespace {
+
+bool BothBasic(const TypeRef& a, const TypeRef& b) {
+  return a->is_basic() && b->is_basic();
+}
+
+TypeRef MergeArrayBodies(const TypeRef& a, const TypeRef& b) {
+  // eps bodies (from empty arrays) are identities.
+  if (a->is_empty()) return b;
+  if (b->is_empty()) return a;
+  return MergeCoerced(a, b);
+}
+
+}  // namespace
+
+TypeRef InferCoerced(const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      return Type::Null();
+    case ValueKind::kBool:
+      return Type::Bool();
+    case ValueKind::kNum:
+      return Type::Num();
+    case ValueKind::kStr:
+      return Type::Str();
+    case ValueKind::kRecord: {
+      std::vector<FieldType> fields;
+      fields.reserve(value.fields().size());
+      for (const json::Field& f : value.fields()) {
+        fields.push_back({f.key, InferCoerced(*f.value), /*optional=*/false});
+      }
+      return Type::RecordUnchecked(std::move(fields));
+    }
+    case ValueKind::kArray: {
+      // Spark summarizes an array by ONE element type immediately, coercing
+      // disagreeing elements; an empty array has an eps body.
+      TypeRef body = Type::Empty();
+      for (const json::ValueRef& e : value.elements()) {
+        body = MergeArrayBodies(body, InferCoerced(*e));
+      }
+      return Type::ArrayStar(std::move(body));
+    }
+  }
+  return Type::Null();
+}
+
+TypeRef MergeCoerced(const TypeRef& a, const TypeRef& b) {
+  if (a->Equals(*b)) return a;
+  // NullType is absorbed by any other type (nullability is implicit).
+  if (a->node() == TypeNode::kNull) return b;
+  if (b->node() == TypeNode::kNull) return a;
+  if (a->is_record() && b->is_record()) {
+    const auto& fa = a->fields();
+    const auto& fb = b->fields();
+    std::vector<FieldType> out;
+    out.reserve(fa.size() + fb.size());
+    size_t i = 0;
+    size_t j = 0;
+    while (i < fa.size() && j < fb.size()) {
+      int cmp = fa[i].key.compare(fb[j].key);
+      if (cmp == 0) {
+        out.push_back({fa[i].key, MergeCoerced(fa[i].type, fb[j].type),
+                       fa[i].optional || fb[j].optional});
+        ++i;
+        ++j;
+      } else if (cmp < 0) {
+        out.push_back({fa[i].key, fa[i].type, true});
+        ++i;
+      } else {
+        out.push_back({fb[j].key, fb[j].type, true});
+        ++j;
+      }
+    }
+    for (; i < fa.size(); ++i) out.push_back({fa[i].key, fa[i].type, true});
+    for (; j < fb.size(); ++j) out.push_back({fb[j].key, fb[j].type, true});
+    return Type::RecordUnchecked(std::move(out));
+  }
+  if (a->is_array_star() && b->is_array_star()) {
+    return Type::ArrayStar(MergeArrayBodies(a->body(), b->body()));
+  }
+  if (BothBasic(a, b)) {
+    return Type::Str();  // scalar conflict -> StringType
+  }
+  // Structural conflict (record vs scalar, array vs record, ...): Spark
+  // falls back to StringType for the whole position.
+  return Type::Str();
+}
+
+TypeRef InferCoercedSchema(const std::vector<json::ValueRef>& values) {
+  TypeRef acc = Type::Null();  // NullType is Spark's merge identity
+  for (const json::ValueRef& v : values) {
+    acc = MergeCoerced(acc, InferCoerced(*v));
+  }
+  return acc;
+}
+
+namespace {
+
+void Walk(const TypeRef& fused, const TypeRef& coerced, CoercionLoss* loss) {
+  std::vector<TypeRef> alts = types::Flatten(fused);
+  // Count kind diversity at this position (Null alternatives do not count —
+  // both systems treat nulls as presence information).
+  size_t informative = 0;
+  const Type* record_alt = nullptr;
+  const Type* array_alt = nullptr;
+  for (const TypeRef& alt : alts) {
+    if (alt->node() == TypeNode::kNull) continue;
+    ++informative;
+    if (alt->is_record()) record_alt = alt.get();
+    if (alt->is_array()) array_alt = alt.get();
+  }
+  bool coerced_is_str = coerced->node() == TypeNode::kStr;
+  if (informative >= 2) {
+    ++loss->union_positions;
+    if (coerced_is_str) ++loss->coerced_to_str;
+  }
+  if (record_alt) {
+    if (coerced->is_record()) {
+      for (const FieldType& f : record_alt->fields()) {
+        if (const FieldType* cf = coerced->FindField(f.key)) {
+          Walk(f.type, cf->type, loss);
+        }
+      }
+    } else if (coerced_is_str) {
+      ++loss->structure_lost;
+    }
+  }
+  if (array_alt) {
+    if (coerced->is_array_star()) {
+      TypeRef fused_body = array_alt->is_array_star()
+                               ? array_alt->body()
+                               : TypeRef();  // exact arrays: compare per kind
+      if (fused_body && !fused_body->is_empty() &&
+          !coerced->body()->is_empty()) {
+        Walk(fused_body, coerced->body(), loss);
+      }
+    } else if (coerced_is_str) {
+      ++loss->structure_lost;
+    }
+  }
+}
+
+}  // namespace
+
+CoercionLoss MeasureLoss(const TypeRef& fused, const TypeRef& coerced) {
+  CoercionLoss loss;
+  Walk(fused, coerced, &loss);
+  return loss;
+}
+
+}  // namespace jsonsi::baseline

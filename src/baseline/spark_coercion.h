@@ -1,0 +1,63 @@
+// Baseline 1: Spark-DataFrame-style schema inference with type coercion.
+//
+// Section 6.1 of the paper contrasts its union types against Spark's
+// behaviour: "In such a case, the Spark API uses type coercion yielding an
+// array of type String only", versus the paper's precise
+// `[(Num + Str + {l: Str})*]`. This module implements that comparator — the
+// merge discipline of Spark SQL's JSON schema inference (InferSchema /
+// compatibleType):
+//
+//   * equal types merge to themselves;
+//   * Null merges into anything (nullability, modelled as `T + Null`
+//     dropping to just T with the field optional);
+//   * two different scalar kinds coerce to Str;
+//   * records merge field-wise (missing fields become optional);
+//   * arrays merge element types recursively; an array whose elements
+//     disagree coerces its element type to Str;
+//   * a record vs a non-record (or array vs non-array) conflict coerces the
+//     whole position to Str.
+//
+// The result is expressed in the library's own Type language (never using
+// unions), so precision can be compared structurally with the paper's fused
+// types: every position where this baseline says `Str` but fusion produced a
+// union or a structured type is a loss of information.
+
+#ifndef JSONSI_BASELINE_SPARK_COERCION_H_
+#define JSONSI_BASELINE_SPARK_COERCION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "json/value.h"
+#include "types/type.h"
+
+namespace jsonsi::baseline {
+
+/// Infers the Spark-style type of one value (arrays already coerced).
+types::TypeRef InferCoerced(const json::Value& value);
+
+/// Spark's compatibleType: merges two coerced types, coercing conflicts to
+/// Str as described above. Associative and commutative.
+types::TypeRef MergeCoerced(const types::TypeRef& a, const types::TypeRef& b);
+
+/// Runs the whole baseline pipeline over a collection.
+types::TypeRef InferCoercedSchema(const std::vector<json::ValueRef>& values);
+
+/// Precision metrics comparing a coerced schema against a fused one.
+struct CoercionLoss {
+  /// Leaf positions in the fused schema carrying a union of several kinds.
+  size_t union_positions = 0;
+  /// Of those, positions the baseline flattened to plain Str.
+  size_t coerced_to_str = 0;
+  /// Structured positions (record/array) the baseline lost to Str entirely.
+  size_t structure_lost = 0;
+};
+
+/// Walks the two schemas in parallel and tallies where coercion lost
+/// information relative to fusion.
+CoercionLoss MeasureLoss(const types::TypeRef& fused,
+                         const types::TypeRef& coerced);
+
+}  // namespace jsonsi::baseline
+
+#endif  // JSONSI_BASELINE_SPARK_COERCION_H_

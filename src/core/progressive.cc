@@ -1,0 +1,26 @@
+#include "core/progressive.h"
+
+namespace jsonsi::core {
+
+ProgressiveInferencer::ProgressiveInferencer(const ProgressiveOptions& options)
+    : options_(options),
+      streaming_(options.streaming),
+      last_schema_(types::Type::Empty()) {}
+
+BatchReport ProgressiveInferencer::AddBatch(
+    const std::vector<json::ValueRef>& batch) {
+  for (const json::ValueRef& v : batch) streaming_.AddValue(v);
+  types::TypeRef schema = streaming_.Snapshot().type;
+  BatchReport report;
+  report.batch_index = history_.size();
+  report.records_total = streaming_.record_count();
+  report.schema_changed = !schema->Equals(*last_schema_);
+  report.schema_size = schema->size();
+  stable_run_ = report.schema_changed ? 0 : stable_run_ + 1;
+  report.stable_run = stable_run_;
+  last_schema_ = std::move(schema);
+  history_.push_back(report);
+  return report;
+}
+
+}  // namespace jsonsi::core

@@ -1,0 +1,76 @@
+// Progressive schema refinement — the exploration mode Section 7 proposes:
+// "process a subset of a large dataset to get a first insight on the
+// structure of the data before deciding whether to refine this partial
+// schema by processing additional data."
+//
+// ProgressiveInferencer ingests batches and tracks schema *convergence*: how
+// long the running schema has been structurally stable. Because fusion is
+// monotone (prefix schemas form a subtype chain), once the schema stops
+// changing for a while, additional data rarely adds structure — the tracker
+// quantifies exactly that, so a user (or driver loop) can stop early with an
+// evidence-backed partial schema, or keep refining.
+
+#ifndef JSONSI_CORE_PROGRESSIVE_H_
+#define JSONSI_CORE_PROGRESSIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/streaming_inferencer.h"
+#include "json/value.h"
+#include "types/type.h"
+
+namespace jsonsi::core {
+
+/// Convergence policy.
+struct ProgressiveOptions {
+  /// Declare convergence after this many consecutive batches without any
+  /// structural schema change.
+  size_t stable_batches_to_converge = 5;
+  /// Streaming options for the underlying inferencer.
+  StreamingOptions streaming;
+};
+
+/// Per-batch progress record.
+struct BatchReport {
+  uint64_t batch_index = 0;
+  uint64_t records_total = 0;
+  /// Did this batch change the schema structurally?
+  bool schema_changed = false;
+  /// Schema AST size after the batch.
+  size_t schema_size = 0;
+  /// Consecutive unchanged batches ending at this one.
+  size_t stable_run = 0;
+};
+
+/// Batch-at-a-time inference with convergence tracking.
+class ProgressiveInferencer {
+ public:
+  explicit ProgressiveInferencer(const ProgressiveOptions& options = {});
+
+  /// Ingests one batch; returns its progress report.
+  BatchReport AddBatch(const std::vector<json::ValueRef>& batch);
+
+  /// True once `stable_batches_to_converge` consecutive batches left the
+  /// schema unchanged.
+  bool converged() const {
+    return stable_run_ >= options_.stable_batches_to_converge;
+  }
+
+  /// Current (partial) schema snapshot.
+  Schema Snapshot() const { return streaming_.Snapshot(); }
+
+  /// All reports so far (one per batch).
+  const std::vector<BatchReport>& history() const { return history_; }
+
+ private:
+  ProgressiveOptions options_;
+  StreamingInferencer streaming_;
+  types::TypeRef last_schema_;
+  size_t stable_run_ = 0;
+  std::vector<BatchReport> history_;
+};
+
+}  // namespace jsonsi::core
+
+#endif  // JSONSI_CORE_PROGRESSIVE_H_

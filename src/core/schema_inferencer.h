@@ -1,0 +1,95 @@
+// SchemaInferencer — the library's public entry point.
+//
+// Runs the paper's two-phase pipeline over a collection of JSON values:
+//
+//   Map    each value -> its isomorphic type        (inference::InferType)
+//   Reduce fuse all types into one compact schema   (fusion::Fuse)
+//
+// executed on the partitioned map/reduce engine, with the statistics of
+// Tables 2-5 gathered along the way. Because Fuse is associative and
+// commutative, schemas are also *mergeable after the fact*: Merge() fuses
+// two schemas of disjoint batches into the schema of their union, which is
+// the incremental-maintenance story of Section 1 (new records, or re-typed
+// partitions, fold into an existing schema without reprocessing the rest).
+//
+// Typical use:
+//
+//   jsonsi::core::SchemaInferencer inferencer;           // default options
+//   auto schema = inferencer.InferFromValues(values);    // or ...FromFile
+//   std::cout << schema.ToString() << "\n";
+//   schema = SchemaInferencer::Merge(schema, later_batch_schema);
+
+#ifndef JSONSI_CORE_SCHEMA_INFERENCER_H_
+#define JSONSI_CORE_SCHEMA_INFERENCER_H_
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json/value.h"
+#include "support/status.h"
+#include "types/type.h"
+
+namespace jsonsi::core {
+
+/// Pipeline configuration.
+struct InferenceOptions {
+  /// Worker threads for the map/reduce engine (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// Input partitions (Spark's parallelism knob). 0 = one per thread.
+  size_t num_partitions = 0;
+  /// Also gather distinct-type statistics (Tables 2-5). Costs one hash-set
+  /// insert per record; disable for pure schema extraction.
+  bool collect_stats = true;
+};
+
+/// Statistics gathered by one inference run (or accumulated by Merge).
+struct SchemaStats {
+  size_t record_count = 0;
+  size_t distinct_type_count = 0;   // 0 when collect_stats was off
+  size_t min_type_size = 0;
+  size_t max_type_size = 0;
+  double avg_type_size = 0;         // mean over records (not distinct types)
+  double infer_seconds = 0;         // Map-phase wall-clock
+  double fuse_seconds = 0;          // Reduce-phase wall-clock
+};
+
+/// An inferred schema: the fused type plus run statistics.
+struct Schema {
+  types::TypeRef type;
+  SchemaStats stats;
+
+  /// Renders the type in the paper's notation (multiline when `pretty`).
+  std::string ToString(bool pretty = false) const;
+};
+
+/// The two-phase Map/Reduce schema-inference pipeline.
+class SchemaInferencer {
+ public:
+  explicit SchemaInferencer(const InferenceOptions& options = {});
+
+  /// Infers the schema of an in-memory collection.
+  Schema InferFromValues(const std::vector<json::ValueRef>& values) const;
+
+  /// Parses JSON-Lines text, then infers.
+  Result<Schema> InferFromJsonLines(std::string_view text) const;
+
+  /// Reads a JSON-Lines file, then infers.
+  Result<Schema> InferFromFile(const std::string& path) const;
+
+  /// Fuses two schemas into the schema of the union of their inputs.
+  /// Associativity of Fuse makes this exact, not approximate. Distinct-type
+  /// counts cannot be combined without the underlying sets, so the merged
+  /// count is 0 unless one side is empty; size statistics merge exactly.
+  static Schema Merge(const Schema& a, const Schema& b);
+
+  const InferenceOptions& options() const { return options_; }
+
+ private:
+  InferenceOptions options_;
+};
+
+}  // namespace jsonsi::core
+
+#endif  // JSONSI_CORE_SCHEMA_INFERENCER_H_

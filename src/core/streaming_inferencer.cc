@@ -1,0 +1,97 @@
+#include "core/streaming_inferencer.h"
+
+#include <algorithm>
+
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "support/string_util.h"
+
+namespace jsonsi::core {
+
+StreamingInferencer::StreamingInferencer(const StreamingOptions& options)
+    : options_(options) {
+  if (options_.profile) {
+    profiler_ = std::make_unique<annotate::SchemaProfiler>();
+  }
+}
+
+void StreamingInferencer::AddValue(const json::ValueRef& value) {
+  types::TypeRef t = inference::InferType(*value);
+  if (options_.count_distinct_types) distinct_hashes_.insert(t->hash());
+  size_t s = t->size();
+  if (record_count_ == 0) {
+    min_type_size_ = max_type_size_ = s;
+  } else {
+    min_type_size_ = std::min(min_type_size_, s);
+    max_type_size_ = std::max(max_type_size_, s);
+  }
+  total_type_size_ += static_cast<double>(s);
+  if (profiler_) profiler_->Observe(*value, record_count_);
+  fuser_.Add(std::move(t));
+  ++record_count_;
+}
+
+Status StreamingInferencer::AddJson(std::string_view json_text) {
+  Result<json::ValueRef> value = json::Parse(json_text);
+  if (!value.ok()) {
+    if (options_.skip_malformed) {
+      ++malformed_count_;
+      return Status::OK();
+    }
+    return value.status();
+  }
+  AddValue(value.value());
+  return Status::OK();
+}
+
+Status StreamingInferencer::AddJsonLines(std::string_view text) {
+  for (std::string_view line : Split(text, '\n')) {
+    // Skip blank lines (cheap whitespace check).
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    JSONSI_RETURN_IF_ERROR(AddJson(line));
+  }
+  return Status::OK();
+}
+
+void StreamingInferencer::Merge(const StreamingInferencer& other) {
+  // Fold the other side's outstanding schema in one piece; statistics merge
+  // pointwise.
+  if (other.record_count_ > 0) {
+    fuser_.Add(other.fuser_.Finish());
+    if (record_count_ == 0) {
+      min_type_size_ = other.min_type_size_;
+      max_type_size_ = other.max_type_size_;
+    } else {
+      min_type_size_ = std::min(min_type_size_, other.min_type_size_);
+      max_type_size_ = std::max(max_type_size_, other.max_type_size_);
+    }
+    total_type_size_ += other.total_type_size_;
+  }
+  distinct_hashes_.insert(other.distinct_hashes_.begin(),
+                          other.distinct_hashes_.end());
+  if (profiler_ && other.profiler_) profiler_->Merge(*other.profiler_);
+  record_count_ += other.record_count_;
+  malformed_count_ += other.malformed_count_;
+}
+
+Schema StreamingInferencer::Snapshot() const {
+  Schema schema;
+  schema.type = fuser_.Finish();
+  schema.stats.record_count = record_count_;
+  schema.stats.distinct_type_count = distinct_hashes_.size();
+  schema.stats.min_type_size = min_type_size_;
+  schema.stats.max_type_size = max_type_size_;
+  schema.stats.avg_type_size =
+      record_count_ ? total_type_size_ / static_cast<double>(record_count_)
+                    : 0.0;
+  return schema;
+}
+
+}  // namespace jsonsi::core

@@ -1,0 +1,91 @@
+// Push-based streaming schema inference.
+//
+// SchemaInferencer (schema_inferencer.h) is the batch pipeline; this is the
+// unbounded-feed counterpart the paper's incremental story calls for:
+// records are pushed one at a time (or as raw JSON-Lines text), the running
+// schema is maintained in balanced-tree fusion order (O(log n) memory), and
+// a consistent snapshot — schema + statistics — can be taken at any moment
+// without stopping ingestion. Snapshots are exact: by associativity, the
+// snapshot schema equals the batch schema of everything pushed so far.
+//
+// Two streaming profiles can be enabled:
+//   * distinct-type counting (hash-based, 8 bytes per distinct type),
+//   * the statistics/provenance profiler of annotate/counted_schema.h.
+
+#ifndef JSONSI_CORE_STREAMING_INFERENCER_H_
+#define JSONSI_CORE_STREAMING_INFERENCER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_set>
+
+#include "annotate/counted_schema.h"
+#include "core/schema_inferencer.h"
+#include "fusion/tree_fuser.h"
+#include "json/value.h"
+#include "support/status.h"
+#include "types/type.h"
+
+namespace jsonsi::core {
+
+/// Streaming configuration.
+struct StreamingOptions {
+  /// Track the number of distinct inferred types (Tables 2-5 metric).
+  bool count_distinct_types = true;
+  /// Maintain the annotated profile (field counts, provenance, value stats).
+  /// Costs one extra pass per record.
+  bool profile = false;
+  /// When true, malformed JSON-Lines are counted and skipped instead of
+  /// failing the stream.
+  bool skip_malformed = false;
+};
+
+/// Accumulates a schema over a pushed stream of records.
+class StreamingInferencer {
+ public:
+  explicit StreamingInferencer(const StreamingOptions& options = {});
+
+  /// Pushes one already-parsed record.
+  void AddValue(const json::ValueRef& value);
+
+  /// Parses and pushes one JSON document. With skip_malformed, parse errors
+  /// increment malformed_count() and return OK; otherwise they propagate.
+  Status AddJson(std::string_view json_text);
+
+  /// Parses and pushes a whole JSON-Lines buffer (blank lines skipped).
+  Status AddJsonLines(std::string_view text);
+
+  /// Merges another streaming inferencer (e.g. one per shard) into this one.
+  /// Exact, by associativity/commutativity of fusion and profile merging.
+  /// Distinct-type counts merge exactly (hash-set union).
+  void Merge(const StreamingInferencer& other);
+
+  /// Consistent snapshot of the current schema + statistics. O(log n) fuse
+  /// work; ingestion may continue afterwards.
+  Schema Snapshot() const;
+
+  /// Records successfully ingested so far.
+  uint64_t record_count() const { return record_count_; }
+  /// Lines rejected so far (only grows with skip_malformed).
+  uint64_t malformed_count() const { return malformed_count_; }
+
+  /// The annotated profile; nullptr unless options.profile was set.
+  const annotate::SchemaProfiler* profiler() const { return profiler_.get(); }
+
+ private:
+  StreamingOptions options_;
+  fusion::TreeFuser fuser_;
+  std::unordered_set<uint64_t> distinct_hashes_;
+  std::unique_ptr<annotate::SchemaProfiler> profiler_;
+  uint64_t record_count_ = 0;
+  uint64_t malformed_count_ = 0;
+  // Running size stats over inferred types.
+  size_t min_type_size_ = 0;
+  size_t max_type_size_ = 0;
+  double total_type_size_ = 0;
+};
+
+}  // namespace jsonsi::core
+
+#endif  // JSONSI_CORE_STREAMING_INFERENCER_H_

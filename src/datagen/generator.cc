@@ -1,0 +1,52 @@
+#include "datagen/generator.h"
+
+namespace jsonsi::datagen {
+
+// Factories defined by the per-dataset translation units.
+std::unique_ptr<DatasetGenerator> MakeGitHubGenerator(uint64_t seed);
+std::unique_ptr<DatasetGenerator> MakeTwitterGenerator(uint64_t seed);
+std::unique_ptr<DatasetGenerator> MakeWikidataGenerator(uint64_t seed);
+std::unique_ptr<DatasetGenerator> MakeNYTimesGenerator(uint64_t seed);
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kGitHub:
+      return "GitHub";
+    case DatasetId::kTwitter:
+      return "Twitter";
+    case DatasetId::kWikidata:
+      return "Wikidata";
+    case DatasetId::kNYTimes:
+      return "NYTimes";
+  }
+  return "?";
+}
+
+std::vector<DatasetId> AllDatasets() {
+  return {DatasetId::kGitHub, DatasetId::kTwitter, DatasetId::kWikidata,
+          DatasetId::kNYTimes};
+}
+
+std::vector<json::ValueRef> DatasetGenerator::GenerateMany(
+    uint64_t count, uint64_t start) const {
+  std::vector<json::ValueRef> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) out.push_back(Generate(start + i));
+  return out;
+}
+
+std::unique_ptr<DatasetGenerator> MakeGenerator(DatasetId id, uint64_t seed) {
+  switch (id) {
+    case DatasetId::kGitHub:
+      return MakeGitHubGenerator(seed);
+    case DatasetId::kTwitter:
+      return MakeTwitterGenerator(seed);
+    case DatasetId::kWikidata:
+      return MakeWikidataGenerator(seed);
+    case DatasetId::kNYTimes:
+      return MakeNYTimesGenerator(seed);
+  }
+  return nullptr;
+}
+
+}  // namespace jsonsi::datagen

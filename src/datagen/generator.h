@@ -1,0 +1,66 @@
+// Synthetic workload generators standing in for the paper's four crawled
+// datasets (GitHub pull requests, Twitter firehose, Wikidata, NYTimes
+// articles).
+//
+// The real dumps are unavailable (and up to 75 GB); what the evaluation
+// actually depends on is each dataset's *structural profile* — how types
+// vary across records — which Section 6.1 describes precisely. Each
+// generator reproduces its profile (documented in its .cc and in DESIGN.md):
+//
+//   GitHub   homogeneous nested records, no arrays, depth <= 4, variation
+//            only in lower-level scalar types           -> few distinct types
+//   Twitter  5 top-level variants (tweets + deletes), arrays of records,
+//            depth <= 3                                 -> medium variety
+//   Wikidata entity-ids used as record *keys*, depth <= 6 -> nearly every
+//            record has a fresh type (fusion's worst case)
+//   NYTimes  stable top level, highly variable lower levels, depth <= 7,
+//            long prose fields                          -> many types, best
+//                                                          compaction
+//
+// Generation is deterministic and random-access: record i of a generator
+// seeded with s is a pure function of (s, i), so datasets can be produced in
+// parallel, streamed, or regenerated partially without storing anything.
+
+#ifndef JSONSI_DATAGEN_GENERATOR_H_
+#define JSONSI_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "json/value.h"
+
+namespace jsonsi::datagen {
+
+/// The four evaluation datasets of Section 6.1.
+enum class DatasetId { kGitHub, kTwitter, kWikidata, kNYTimes };
+
+/// "GitHub", "Twitter", "Wikidata", "NYTimes".
+const char* DatasetName(DatasetId id);
+
+/// All four ids, in the paper's order.
+std::vector<DatasetId> AllDatasets();
+
+/// Deterministic random-access record source.
+class DatasetGenerator {
+ public:
+  virtual ~DatasetGenerator() = default;
+
+  /// Human-readable dataset name.
+  virtual std::string name() const = 0;
+
+  /// The i-th record; a pure function of (seed, index).
+  virtual json::ValueRef Generate(uint64_t index) const = 0;
+
+  /// Records [start, start+count).
+  std::vector<json::ValueRef> GenerateMany(uint64_t count,
+                                           uint64_t start = 0) const;
+};
+
+/// Creates the generator for `id` with the given seed.
+std::unique_ptr<DatasetGenerator> MakeGenerator(DatasetId id, uint64_t seed);
+
+}  // namespace jsonsi::datagen
+
+#endif  // JSONSI_DATAGEN_GENERATOR_H_

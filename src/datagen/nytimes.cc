@@ -1,0 +1,179 @@
+// NYTimes article-metadata generator.
+//
+// Profile (Section 6.1 / Table 5 of the paper):
+//   * ~20 stable top-level fields (headline, keywords, byline, snippet,
+//     lead_paragraph, multimedia, ...), so the FIRST level is fixed;
+//   * the LOWER levels vary heavily from record to record:
+//       - `headline` carries alternative subfield sets — sometimes
+//         {main, content_kicker, kicker}, sometimes {main, print_headline};
+//       - `byline` is a record in some records and a plain string (or null)
+//         in others;
+//       - several fields hold Num in some records and Str in others
+//         (e.g. print_page, word_count as "325");
+//       - `multimedia` and `keywords` are arrays of near-homogeneous records
+//         with per-record lengths;
+//   * nesting reaches 7 levels; most leaves are long prose strings, which is
+//     why the real dataset is 22 GB for 1.2M records;
+//   * expected results: many distinct inferred types (length and variant
+//     combinations), but since all variation sits below a fixed first level,
+//     fusion aligns the top-level keys perfectly and the fused type stays
+//     small — the paper's *best* compaction case.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "datagen/value_builder.h"
+#include "support/hash.h"
+#include "support/rng.h"
+
+namespace jsonsi::datagen {
+namespace {
+
+using json::ValueRef;
+
+class NYTimesGenerator final : public DatasetGenerator {
+ public:
+  explicit NYTimesGenerator(uint64_t seed) : seed_(seed) {}
+
+  std::string name() const override { return "NYTimes"; }
+
+  ValueRef Generate(uint64_t index) const override {
+    Rng rng(Mix64(seed_ ^ Mix64(index + 0xA27'71CE5ULL)));
+
+    // A field that is Num in some records and Str in others — the "common
+    // pattern" called out for this dataset.
+    auto num_or_str = [&](double p_str, uint64_t bound) {
+      uint64_t v = rng.Below(bound);
+      return rng.Chance(p_str) ? VStr(std::to_string(v))
+                               : VNum(static_cast<double>(v));
+    };
+
+    return VRec({
+        {"web_url", VStr("https://www.nytimes.com/2016/" + rng.Ident(12) +
+                         ".html")},
+        {"snippet", VStr(rng.Words(18 + rng.Below(14)))},
+        {"lead_paragraph", VStr(rng.Words(40 + rng.Below(60)))},
+        {"abstract", rng.Chance(0.2) ? VNull() : VStr(rng.Words(15))},
+        {"print_page", num_or_str(0.35, 60)},
+        {"source", VStr("The New York Times")},
+        {"multimedia", Multimedia(rng)},
+        {"headline", Headline(rng)},
+        {"keywords", Keywords(rng)},
+        {"pub_date", VStr("2016-0" + std::to_string(1 + rng.Below(9)) +
+                          "-12T09:00:00Z")},
+        {"document_type", VStr(rng.Chance(0.85) ? "article" : "blogpost")},
+        {"news_desk", VStr(rng.Ident(7))},
+        {"section_name", rng.Chance(0.12) ? VNull() : VStr(rng.Ident(8))},
+        {"byline", Byline(rng)},
+        {"type_of_material", VStr(rng.Chance(0.8) ? "News" : "Op-Ed")},
+        {"_id", VStr(rng.Ident(24))},
+        {"word_count", num_or_str(0.25, 3000)},
+        {"score", VNum(rng.NextDouble() * 10)},
+        {"legacy", Legacy(rng)},
+    });
+  }
+
+ private:
+  // headline: the two alternative subfield sets the paper reports, plus an
+  // occasional extended variant.
+  static ValueRef Headline(Rng& rng) {
+    double pick = rng.NextDouble();
+    if (pick < 0.45) {
+      return VRec({{"main", VStr(rng.Words(7))},
+                   {"content_kicker", VStr(rng.Words(3))},
+                   {"kicker", VStr(rng.Words(2))}});
+    }
+    if (pick < 0.9) {
+      return VRec({{"main", VStr(rng.Words(7))},
+                   {"print_headline", VStr(rng.Words(6))}});
+    }
+    return VRec({{"main", VStr(rng.Words(7))},
+                 {"print_headline", VStr(rng.Words(6))},
+                 {"seo", VStr(rng.Words(5))},
+                 {"sub", VStr(rng.Words(4))}});
+  }
+
+  // byline: record / plain string / null across records.
+  static ValueRef Byline(Rng& rng) {
+    double pick = rng.NextDouble();
+    if (pick < 0.15) return VNull();
+    if (pick < 0.35) return VStr("By " + rng.Ident(6) + " " + rng.Ident(8));
+    std::vector<ValueRef> people;
+    for (uint64_t i = 1 + rng.Below(3); i > 0; --i) {
+      people.push_back(VRec({{"firstname", VStr(rng.Ident(6))},
+                             {"lastname", VStr(rng.Ident(9))},
+                             {"rank", VNum(static_cast<double>(i))},
+                             {"role", VStr("reported")}}));
+    }
+    return VRec({{"original", VStr("By " + rng.Ident(6))},
+                 {"person", VArr(std::move(people))}});
+  }
+
+  static ValueRef Keywords(Rng& rng) {
+    std::vector<ValueRef> keywords;
+    for (uint64_t i = rng.Below(8); i > 0; --i) {
+      keywords.push_back(VRec({
+          {"name", VStr(rng.Chance(0.5) ? "subject" : "persons")},
+          {"value", VStr(rng.Words(2))},
+          // rank: Num or Str, per record — more same-field kind mixing.
+          {"rank", rng.Chance(0.3) ? VStr(std::to_string(i))
+                                   : VNum(static_cast<double>(i))},
+          {"major", VStr(rng.Chance(0.5) ? "Y" : "N")},
+      }));
+    }
+    return VArr(std::move(keywords));
+  }
+
+  static ValueRef Multimedia(Rng& rng) {
+    std::vector<ValueRef> items;
+    for (uint64_t i = rng.Below(5); i > 0; --i) {
+      std::vector<json::Field> fields = {
+          {"url", VStr("images/2016/" + rng.Ident(10) + ".jpg")},
+          {"format", VStr(rng.Chance(0.5) ? "Standard" : "Large")},
+          {"height", VNum(static_cast<double>(120 + rng.Below(800)))},
+          {"width", VNum(static_cast<double>(120 + rng.Below(1200)))},
+          {"type", VStr("image")},
+      };
+      if (rng.Chance(0.4)) {
+        fields.push_back({"caption", VStr(rng.Words(10))});
+      }
+      if (rng.Chance(0.25)) {
+        fields.push_back(
+            {"credit", rng.Chance(0.8) ? VStr(rng.Ident(12)) : VNull()});
+      }
+      items.push_back(VRec(std::move(fields)));
+    }
+    return VArr(std::move(items));
+  }
+
+  // A deep legacy envelope taking total nesting to 7:
+  // root -> legacy -> meta -> source -> feed -> origin -> ids (record).
+  static ValueRef Legacy(Rng& rng) {
+    ValueRef ids = VRec({{"primary", VStr(rng.Ident(12))},
+                         {"secondary", rng.Chance(0.3)
+                                           ? VNull()
+                                           : VStr(rng.Ident(12))}});
+    ValueRef origin = VRec({{"system", VStr(rng.Chance(0.7) ? "cms" : "wire")},
+                            {"ids", ids}});
+    ValueRef feed = VRec({{"name", VStr(rng.Ident(6))},
+                          {"origin", origin}});
+    ValueRef source = VRec({{"feed", feed},
+                            {"verified", VBool(rng.Chance(0.9))}});
+    ValueRef meta = VRec({{"source", source},
+                          {"revision", VNum(static_cast<double>(
+                               1 + rng.Below(9)))}});
+    return VRec({{"meta", meta}});
+  }
+
+  uint64_t seed_;
+};
+
+}  // namespace
+
+std::unique_ptr<DatasetGenerator> MakeNYTimesGenerator(uint64_t seed) {
+  return std::make_unique<NYTimesGenerator>(seed);
+}
+
+}  // namespace jsonsi::datagen

@@ -1,0 +1,197 @@
+// Twitter firehose metadata generator.
+//
+// Profile (Section 6.1 / Table 3 of the paper):
+//   * a large majority of records are tweet entities; a tiny fraction are
+//     "delete" control records ({"delete": {...}}) — two different kinds of
+//     objects in one stream;
+//   * five distinct top-level schemas sharing common parts (plain tweet,
+//     reply, retweet, geo-tagged tweet, delete);
+//   * both records and arrays of records (hashtag/url/mention entities),
+//     maximum nesting 3;
+//   * inferred type sizes range widely (deletes are tiny, entity-rich tweets
+//     large); exact array types of different lengths make the number of
+//     distinct types grow steadily with N, and array fusion (the starred
+//     types) is what keeps the fused schema small: fused/avg <= ~4.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "datagen/value_builder.h"
+#include "support/hash.h"
+#include "support/rng.h"
+
+namespace jsonsi::datagen {
+namespace {
+
+using json::ValueRef;
+
+class TwitterGenerator final : public DatasetGenerator {
+ public:
+  explicit TwitterGenerator(uint64_t seed) : seed_(seed) {}
+
+  std::string name() const override { return "Twitter"; }
+
+  ValueRef Generate(uint64_t index) const override {
+    Rng rng(Mix64(seed_ ^ Mix64(index + 0x7155173ULL)));
+    // ~2% of the stream are delete control records.
+    if (rng.Chance(0.02)) return Delete(rng);
+    // The remaining four top-level variants.
+    double pick = rng.NextDouble();
+    if (pick < 0.15) return Tweet(rng, Variant::kReply);
+    if (pick < 0.35) return Tweet(rng, Variant::kRetweet);
+    if (pick < 0.45) return Tweet(rng, Variant::kGeo);
+    return Tweet(rng, Variant::kPlain);
+  }
+
+ private:
+  enum class Variant { kPlain, kReply, kRetweet, kGeo };
+
+  // {"delete":{"status":{"id":..,"id_str":..,"user_id":..},"timestamp_ms":..}}
+  static ValueRef Delete(Rng& rng) {
+    double id = static_cast<double>(rng.Below(1e18));
+    return VRec({{"delete",
+                  VRec({{"status", VRec({
+                                       {"id", VNum(id)},
+                                       {"id_str", VStr(std::to_string(
+                                                      static_cast<uint64_t>(id)))},
+                                       {"user_id", VNum(static_cast<double>(
+                                                       rng.Below(100000000)))},
+                                   })},
+                        {"timestamp_ms",
+                         VStr(std::to_string(1460000000000ULL + rng.Below(1e10)))}})}});
+  }
+
+  static ValueRef User(Rng& rng) {
+    return VRec({
+        {"id", VNum(static_cast<double>(rng.Below(100000000)))},
+        {"screen_name", VStr(rng.Ident(9))},
+        {"followers_count", VNum(static_cast<double>(rng.Below(100000)))},
+        {"friends_count", VNum(static_cast<double>(rng.Below(5000)))},
+        {"verified", VBool(rng.Chance(0.02))},
+        {"lang", VStr(rng.Chance(0.6) ? "en" : rng.Ident(2))},
+        // Profile URL is famously null-or-string in the firehose.
+        {"url", rng.Chance(0.5) ? VNull()
+                                : VStr("https://t.co/" + rng.Ident(8))},
+    });
+  }
+
+  // entities.hashtags / urls / user_mentions: arrays of records whose
+  // *lengths* vary per tweet -> distinct exact array types before fusion.
+  // Lengths are drawn with a long tail so the number of distinct inferred
+  // types keeps growing with |D| (Table 3's shape) instead of saturating.
+  static uint64_t EntityLen(Rng& rng, uint64_t common, uint64_t rare) {
+    return rng.Chance(0.8) ? rng.Below(common + 1) : rng.Below(rare + 1);
+  }
+
+  static ValueRef Entities(Rng& rng) {
+    auto indices = [&]() {
+      double a = static_cast<double>(rng.Below(120));
+      return VArr({VNum(a), VNum(a + 1 + static_cast<double>(rng.Below(20)))});
+    };
+    std::vector<ValueRef> hashtags;
+    for (uint64_t i = EntityLen(rng, 3, 9); i > 0; --i) {
+      hashtags.push_back(VRec({{"text", VStr(rng.Ident(7))},
+                               {"indices", indices()}}));
+    }
+    std::vector<ValueRef> urls;
+    for (uint64_t i = EntityLen(rng, 2, 6); i > 0; --i) {
+      urls.push_back(VRec({{"url", VStr("https://t.co/" + rng.Ident(8))},
+                           {"expanded_url", VStr("https://" + rng.Ident(10) +
+                                                 ".com/" + rng.Ident(6))},
+                           {"indices", indices()}}));
+    }
+    std::vector<ValueRef> mentions;
+    for (uint64_t i = EntityLen(rng, 2, 7); i > 0; --i) {
+      mentions.push_back(
+          VRec({{"screen_name", VStr(rng.Ident(9))},
+                {"id", VNum(static_cast<double>(rng.Below(100000000)))},
+                {"indices", indices()}}));
+    }
+    std::vector<json::Field> fields = {
+        {"hashtags", VArr(std::move(hashtags))},
+        {"urls", VArr(std::move(urls))},
+        {"user_mentions", VArr(std::move(mentions))}};
+    if (rng.Chance(0.12)) {
+      std::vector<ValueRef> media;
+      for (uint64_t i = 1 + rng.Below(4); i > 0; --i) {
+        media.push_back(VRec({
+            {"id", VNum(static_cast<double>(rng.Below(1e15)))},
+            {"media_url", VStr("https://pbs.twimg.com/" + rng.Ident(10))},
+            {"type", VStr("photo")},
+            // Kept flat: the dataset's record nesting never exceeds 3.
+            {"w", VNum(static_cast<double>(120 + rng.Below(4000)))},
+            {"h", VNum(static_cast<double>(120 + rng.Below(3000)))},
+            {"resize", VStr(rng.Chance(0.5) ? "fit" : "crop")},
+        }));
+      }
+      fields.push_back({"media", VArr(std::move(media))});
+    }
+    return VRec(std::move(fields));
+  }
+
+  static ValueRef Tweet(Rng& rng, Variant variant) {
+    std::vector<json::Field> fields = {
+        {"created_at", VStr("Sat Apr 0" + std::to_string(1 + rng.Below(9)) +
+                            " 15:00:00 +0000 2016")},
+        {"id", VNum(static_cast<double>(rng.Below(1e18)))},
+        {"text", VStr(rng.Words(8 + rng.Below(10)))},
+        {"source", VStr("<a href=\"http://twitter.com\">Web</a>")},
+        {"truncated", VBool(rng.Chance(0.03))},
+        {"user", User(rng)},
+        {"retweet_count", VNum(static_cast<double>(rng.Below(1000)))},
+        {"favorite_count", VNum(static_cast<double>(rng.Below(2000)))},
+        {"entities", Entities(rng)},
+        {"lang", VStr(rng.Chance(0.6) ? "en" : rng.Ident(2))},
+    };
+    switch (variant) {
+      case Variant::kPlain:
+        break;
+      case Variant::kReply:
+        fields.push_back({"in_reply_to_status_id",
+                          VNum(static_cast<double>(rng.Below(1e18)))});
+        fields.push_back({"in_reply_to_user_id",
+                          VNum(static_cast<double>(rng.Below(100000000)))});
+        fields.push_back({"in_reply_to_screen_name", VStr(rng.Ident(9))});
+        break;
+      case Variant::kRetweet: {
+        // Nested original tweet (depth stays <= 3: record -> record ->
+        // entities arrays).
+        std::vector<json::Field> original = {
+            {"id", VNum(static_cast<double>(rng.Below(1e18)))},
+            {"text", VStr(rng.Words(10))},
+            {"user", User(rng)},
+            {"retweet_count", VNum(static_cast<double>(rng.Below(10000)))},
+        };
+        fields.push_back(
+            {"retweeted_status", VRec(std::move(original))});
+        break;
+      }
+      case Variant::kGeo: {
+        fields.push_back(
+            {"coordinates",
+             VRec({{"type", VStr("Point")},
+                   {"coordinates",
+                    VArr({VNum(rng.NextDouble() * 360 - 180),
+                          VNum(rng.NextDouble() * 180 - 90)})}})});
+        fields.push_back({"place",
+                          VRec({{"id", VStr(rng.Ident(16))},
+                                {"full_name", VStr(rng.Ident(8))},
+                                {"country_code", VStr(rng.Ident(2))}})});
+        break;
+      }
+    }
+    return VRec(std::move(fields));
+  }
+
+  uint64_t seed_;
+};
+
+}  // namespace
+
+std::unique_ptr<DatasetGenerator> MakeTwitterGenerator(uint64_t seed) {
+  return std::make_unique<TwitterGenerator>(seed);
+}
+
+}  // namespace jsonsi::datagen

@@ -1,0 +1,34 @@
+// Terse construction helpers for building JSON values in the generators.
+// Internal to src/datagen (not part of the public API).
+
+#ifndef JSONSI_DATAGEN_VALUE_BUILDER_H_
+#define JSONSI_DATAGEN_VALUE_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "json/value.h"
+
+namespace jsonsi::datagen {
+
+inline json::ValueRef VNull() { return json::Value::Null(); }
+inline json::ValueRef VBool(bool b) { return json::Value::Bool(b); }
+inline json::ValueRef VNum(double n) { return json::Value::Num(n); }
+inline json::ValueRef VStr(std::string s) {
+  return json::Value::Str(std::move(s));
+}
+
+inline json::ValueRef VArr(std::vector<json::ValueRef> elements) {
+  return json::Value::Array(std::move(elements));
+}
+
+/// Record from key/value pairs; keys must be distinct (asserted in debug).
+inline json::ValueRef VRec(std::vector<json::Field> fields) {
+  return json::Value::RecordUnchecked(std::move(fields));
+}
+
+}  // namespace jsonsi::datagen
+
+#endif  // JSONSI_DATAGEN_VALUE_BUILDER_H_

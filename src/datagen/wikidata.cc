@@ -1,0 +1,145 @@
+// Wikidata entity generator.
+//
+// Profile (Section 6.1 / Table 4 of the paper):
+//   * a fixed top-level schema (id / type / labels / descriptions / claims /
+//     sitelinks), but *poorly designed* lower levels: identifiers that are
+//     really data — property ids ("P31", "P569", ...) and site names
+//     ("enwiki", ...) — are encoded as record KEYS rather than as values of
+//     an `id` field;
+//   * nesting reaches level 6;
+//   * consequence: nearly every record exhibits a fresh record type (the
+//     paper counts 999 distinct types among 1,000 records), fusion cannot
+//     match keys across records, and the fused type accumulates one optional
+//     field per distinct key ever seen — much larger than the average input
+//     type, though still far smaller than the sum of all inputs. This is the
+//     documented worst case for key-driven fusion.
+//
+// Property keys are drawn Zipf-skewed from a bounded id space, so the fused
+// type's growth flattens as N covers the key space — the same saturation the
+// paper's Table 4 shows between 100K and 1M.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "datagen/value_builder.h"
+#include "support/hash.h"
+#include "support/rng.h"
+
+namespace jsonsi::datagen {
+namespace {
+
+using json::ValueRef;
+
+constexpr uint64_t kPropertySpace = 2400;  // distinct "P<i>" property keys
+constexpr uint64_t kWikiSpace = 280;       // distinct "<lang>wiki" site keys
+
+class WikidataGenerator final : public DatasetGenerator {
+ public:
+  explicit WikidataGenerator(uint64_t seed) : seed_(seed) {}
+
+  std::string name() const override { return "Wikidata"; }
+
+  ValueRef Generate(uint64_t index) const override {
+    Rng rng(Mix64(seed_ ^ Mix64(index + 0x3141'59ULL)));
+
+    // labels/descriptions: language-keyed records (more keys-as-data, but
+    // from a small space).
+    auto lang_map = [&](size_t min_langs, size_t max_langs) {
+      static const char* kLangs[] = {"en", "fr", "de", "es", "it", "nl",
+                                     "ru", "ja", "zh", "pt", "pl", "sv"};
+      size_t n = min_langs + rng.Below(max_langs - min_langs + 1);
+      std::vector<json::Field> fields;
+      // Pick a prefix of the language list to keep keys unique.
+      for (size_t i = 0; i < n && i < 12; ++i) {
+        fields.push_back(
+            {kLangs[i], VRec({{"language", VStr(kLangs[i])},
+                              {"value", VStr(rng.Words(2))}})});
+      }
+      return VRec(std::move(fields));
+    };
+
+    // claims: property-id-keyed record; each property maps to an array of
+    // statements nested to level 6:
+    // claims -> P31 -> [stmt] -> mainsnak -> datavalue -> value -> {...}
+    static const ZipfTable kPropertyZipf(kPropertySpace, 1.05);
+    static const ZipfTable kWikiZipf(kWikiSpace, 1.1);
+    uint64_t num_claims = 3 + rng.Below(14);
+    std::vector<json::Field> claims;
+    std::vector<bool> used(kPropertySpace, false);
+    for (uint64_t c = 0; c < num_claims; ++c) {
+      uint64_t pid = kPropertyZipf.Sample(rng);
+      if (used[pid]) continue;  // keys must stay unique
+      used[pid] = true;
+      claims.push_back(
+          {"P" + std::to_string(pid + 1), VArr({Statement(rng)})});
+    }
+
+    uint64_t num_links = rng.Below(5);
+    std::vector<json::Field> sitelinks;
+    std::vector<bool> used_wiki(kWikiSpace, false);
+    for (uint64_t s = 0; s < num_links; ++s) {
+      uint64_t wid = kWikiZipf.Sample(rng);
+      if (used_wiki[wid]) continue;
+      used_wiki[wid] = true;
+      std::string site = "w" + std::to_string(wid) + "wiki";
+      sitelinks.push_back({site, VRec({{"site", VStr(site)},
+                                       {"title", VStr(rng.Words(2))}})});
+    }
+
+    return VRec({
+        {"id", VStr("Q" + std::to_string(index + 1))},
+        {"type", VStr("item")},
+        {"labels", lang_map(1, 6)},
+        {"descriptions", lang_map(0, 4)},
+        {"claims", VRec(std::move(claims))},
+        {"sitelinks", VRec(std::move(sitelinks))},
+        {"lastrevid", VNum(static_cast<double>(rng.Below(400000000)))},
+        {"modified", VStr("2016-0" + std::to_string(1 + rng.Below(9)) +
+                          "-01T00:00:00Z")},
+    });
+  }
+
+ private:
+  // One statement, nested: {mainsnak:{snaktype,property,datavalue:{value:
+  // {...},type}},type,rank}. Depth under `claims` reaches 6 counted from the
+  // root record.
+  static ValueRef Statement(Rng& rng) {
+    ValueRef inner_value;
+    double pick = rng.NextDouble();
+    if (pick < 0.4) {
+      inner_value = VRec({{"entity-type", VStr("item")},
+                          {"numeric-id",
+                           VNum(static_cast<double>(rng.Below(1000000)))}});
+    } else if (pick < 0.7) {
+      inner_value = VRec({{"time", VStr("+2016-01-01T00:00:00Z")},
+                          {"precision", VNum(static_cast<double>(
+                               9 + rng.Below(4)))},
+                          {"calendarmodel", VStr("Q1985727")}});
+    } else {
+      inner_value = VStr(rng.Words(3));
+    }
+    return VRec({
+        {"mainsnak",
+         VRec({{"snaktype", VStr("value")},
+               {"property", VStr("P" + std::to_string(rng.Below(2000)))},
+               {"datavalue",
+                VRec({{"value", inner_value},
+                      {"type", VStr(inner_value->is_str() ? "string"
+                                                          : "structured")}})}})},
+        {"type", VStr("statement")},
+        {"rank", VStr(rng.Chance(0.9) ? "normal" : "preferred")},
+    });
+  }
+
+  uint64_t seed_;
+};
+
+}  // namespace
+
+std::unique_ptr<DatasetGenerator> MakeWikidataGenerator(uint64_t seed) {
+  return std::make_unique<WikidataGenerator>(seed);
+}
+
+}  // namespace jsonsi::datagen

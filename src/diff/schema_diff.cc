@@ -1,0 +1,245 @@
+#include "diff/schema_diff.h"
+
+#include <algorithm>
+
+#include "fusion/fuse.h"
+#include "types/printer.h"
+
+namespace jsonsi::diff {
+
+using types::FieldType;
+using types::Type;
+using types::TypeRef;
+
+namespace {
+
+// The set of basic kinds plus record/array presence at one schema position.
+struct KindSet {
+  bool kinds[6] = {false, false, false, false, false, false};
+  const Type* record = nullptr;
+  const Type* array = nullptr;
+
+  static KindSet Of(const TypeRef& t) {
+    KindSet ks;
+    for (const TypeRef& alt : types::Flatten(t)) {
+      ks.kinds[static_cast<size_t>(alt->kind())] = true;
+      if (alt->is_record()) ks.record = alt.get();
+      if (alt->is_array()) ks.array = alt.get();
+    }
+    return ks;
+  }
+
+  std::string Names() const {
+    static const char* kNames[6] = {"Null", "Bool",   "Num",
+                                    "Str",  "record", "array"};
+    std::string out;
+    for (size_t k = 0; k < 6; ++k) {
+      if (!kinds[k]) continue;
+      if (!out.empty()) out += " + ";
+      out += kNames[k];
+    }
+    return out.empty() ? "Empty" : out;
+  }
+};
+
+struct Differ {
+  std::vector<SchemaChange>* out;
+
+  void Emit(const std::string& path, ChangeKind kind, std::string detail) {
+    out->push_back({path.empty() ? "<root>" : path, kind, std::move(detail)});
+  }
+
+  void AddedSubtree(const TypeRef& t, const std::string& prefix) {
+    KindSet ks = KindSet::Of(t);
+    if (ks.record) {
+      for (const FieldType& f : ks.record->fields()) {
+        std::string path = prefix.empty() ? f.key : prefix + "." + f.key;
+        Emit(path, ChangeKind::kFieldAdded,
+             types::ToString(*f.type) + (f.optional ? "?" : ""));
+        AddedSubtree(f.type, path);
+      }
+    }
+    if (ks.array) ArraySubtree(*ks.array, prefix, /*added=*/true);
+  }
+
+  void RemovedSubtree(const TypeRef& t, const std::string& prefix) {
+    KindSet ks = KindSet::Of(t);
+    if (ks.record) {
+      for (const FieldType& f : ks.record->fields()) {
+        std::string path = prefix.empty() ? f.key : prefix + "." + f.key;
+        Emit(path, ChangeKind::kFieldRemoved,
+             types::ToString(*f.type) + (f.optional ? "?" : ""));
+        RemovedSubtree(f.type, path);
+      }
+    }
+    if (ks.array) ArraySubtree(*ks.array, prefix, /*added=*/false);
+  }
+
+  void ArraySubtree(const Type& array, const std::string& prefix, bool added) {
+    TypeRef body = BodyOf(array);
+    if (body->is_empty()) return;
+    if (added) {
+      AddedSubtree(body, prefix + "[]");
+    } else {
+      RemovedSubtree(body, prefix + "[]");
+    }
+  }
+
+  // Pools an array alternative's element content into one body type for
+  // position-insensitive comparison.
+  static TypeRef BodyOf(const Type& array) {
+    if (array.is_array_star()) return array.body();
+    TypeRef acc = Type::Empty();
+    for (const TypeRef& e : array.elements()) acc = fusion::Fuse(acc, e);
+    return acc;
+  }
+
+  void Compare(const TypeRef& before, const TypeRef& after,
+               const std::string& prefix) {
+    if (before->Equals(*after)) return;
+    KindSet kb = KindSet::Of(before);
+    KindSet ka = KindSet::Of(after);
+    bool broadened = false, narrowed = false;
+    for (size_t k = 0; k < 6; ++k) {
+      broadened |= !kb.kinds[k] && ka.kinds[k];
+      narrowed |= kb.kinds[k] && !ka.kinds[k];
+    }
+    std::string transition = kb.Names() + " -> " + ka.Names();
+    if (broadened) {
+      Emit(prefix, ChangeKind::kKindsBroadened, transition);
+    }
+    if (narrowed) {
+      Emit(prefix, ChangeKind::kKindsNarrowed, transition);
+    }
+    // Records: field-level diff when both sides have a record alternative.
+    if (kb.record && ka.record) {
+      CompareRecords(*kb.record, *ka.record, prefix);
+    } else if (ka.record) {
+      AddedSubtree(after, prefix);
+    } else if (kb.record) {
+      RemovedSubtree(before, prefix);
+    }
+    // Arrays: shape change plus content diff on pooled bodies.
+    if (kb.array && ka.array) {
+      if (kb.array->node() != ka.array->node()) {
+        Emit(prefix + "[]", ChangeKind::kArrayShapeChanged,
+             std::string(kb.array->is_array_exact() ? "exact" : "starred") +
+                 " -> " +
+                 (ka.array->is_array_exact() ? "exact" : "starred"));
+      }
+      Compare(BodyOf(*kb.array), BodyOf(*ka.array), prefix + "[]");
+    }
+  }
+
+  void CompareRecords(const Type& before, const Type& after,
+                      const std::string& prefix) {
+    const auto& fb = before.fields();
+    const auto& fa = after.fields();
+    size_t i = 0;
+    size_t j = 0;
+    auto path_of = [&](const std::string& key) {
+      return prefix.empty() ? key : prefix + "." + key;
+    };
+    while (i < fb.size() && j < fa.size()) {
+      int cmp = fb[i].key.compare(fa[j].key);
+      if (cmp == 0) {
+        std::string path = path_of(fb[i].key);
+        if (!fb[i].optional && fa[j].optional) {
+          Emit(path, ChangeKind::kBecameOptional, "");
+        } else if (fb[i].optional && !fa[j].optional) {
+          Emit(path, ChangeKind::kBecameMandatory, "");
+        }
+        Compare(fb[i].type, fa[j].type, path);
+        ++i;
+        ++j;
+      } else if (cmp < 0) {
+        std::string path = path_of(fb[i].key);
+        Emit(path, ChangeKind::kFieldRemoved,
+             types::ToString(*fb[i].type) + (fb[i].optional ? "?" : ""));
+        RemovedSubtree(fb[i].type, path);
+        ++i;
+      } else {
+        std::string path = path_of(fa[j].key);
+        Emit(path, ChangeKind::kFieldAdded,
+             types::ToString(*fa[j].type) + (fa[j].optional ? "?" : ""));
+        AddedSubtree(fa[j].type, path);
+        ++j;
+      }
+    }
+    for (; i < fb.size(); ++i) {
+      std::string path = path_of(fb[i].key);
+      Emit(path, ChangeKind::kFieldRemoved,
+           types::ToString(*fb[i].type) + (fb[i].optional ? "?" : ""));
+      RemovedSubtree(fb[i].type, path);
+    }
+    for (; j < fa.size(); ++j) {
+      std::string path = path_of(fa[j].key);
+      Emit(path, ChangeKind::kFieldAdded,
+           types::ToString(*fa[j].type) + (fa[j].optional ? "?" : ""));
+      AddedSubtree(fa[j].type, path);
+    }
+  }
+};
+
+}  // namespace
+
+const char* ChangeKindName(ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kFieldAdded:
+      return "field-added";
+    case ChangeKind::kFieldRemoved:
+      return "field-removed";
+    case ChangeKind::kBecameOptional:
+      return "became-optional";
+    case ChangeKind::kBecameMandatory:
+      return "became-mandatory";
+    case ChangeKind::kKindsBroadened:
+      return "kinds-broadened";
+    case ChangeKind::kKindsNarrowed:
+      return "kinds-narrowed";
+    case ChangeKind::kArrayShapeChanged:
+      return "array-shape-changed";
+  }
+  return "?";
+}
+
+std::vector<SchemaChange> DiffSchemas(const types::TypeRef& before,
+                                      const types::TypeRef& after) {
+  std::vector<SchemaChange> changes;
+  Differ differ{&changes};
+  differ.Compare(before, after, "");
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const SchemaChange& a, const SchemaChange& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return changes;
+}
+
+std::string FormatChanges(const std::vector<SchemaChange>& changes) {
+  std::string out;
+  for (const SchemaChange& c : changes) {
+    switch (c.kind) {
+      case ChangeKind::kFieldAdded:
+        out += "+ ";
+        break;
+      case ChangeKind::kFieldRemoved:
+        out += "- ";
+        break;
+      default:
+        out += "~ ";
+    }
+    out += c.path;
+    out += ": ";
+    out += ChangeKindName(c.kind);
+    if (!c.detail.empty()) {
+      out += " (";
+      out += c.detail;
+      out += ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace jsonsi::diff

@@ -1,0 +1,60 @@
+// Structural schema diffing — what changed between two inferred schemas?
+//
+// Motivation from the paper: Section 3 discusses Scherzinger et al. [21],
+// whose NoSQL-evolution tracker "is currently limited to only detect
+// mismatches between base types" and which "claim[s] that a wider knowledge
+// of schema information is needed to enable the detection of other kinds of
+// changes, like, for instance, the removal or renaming of attributes". The
+// fused schemas of this library ARE that wider knowledge; this module
+// derives the change report from them: field additions/removals, optionality
+// changes, type-kind broadening/narrowing and array shape changes, at any
+// nesting depth.
+//
+// Combined with incremental inference it yields a schema-drift monitor: keep
+// the running schema, fuse each new batch, and diff consecutive versions
+// (see repository/schema_repository.h and the schema_drift_monitor example).
+
+#ifndef JSONSI_DIFF_SCHEMA_DIFF_H_
+#define JSONSI_DIFF_SCHEMA_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "types/type.h"
+
+namespace jsonsi::diff {
+
+/// The kinds of schema change the differ reports.
+enum class ChangeKind {
+  kFieldAdded,        // path exists only in the new schema
+  kFieldRemoved,      // path exists only in the old schema
+  kBecameOptional,    // mandatory -> optional
+  kBecameMandatory,   // optional -> mandatory
+  kKindsBroadened,    // position accepts new kinds (e.g. Num -> Num + Str)
+  kKindsNarrowed,     // position lost kinds
+  kArrayShapeChanged, // exact <-> starred array form
+};
+
+/// Stable lowercase name ("field-added", ...).
+const char* ChangeKindName(ChangeKind kind);
+
+/// One reported change, anchored at a dotted path ("user.tags[]").
+struct SchemaChange {
+  std::string path;
+  ChangeKind kind;
+  /// Human-readable detail, e.g. "Num -> Num + Str".
+  std::string detail;
+};
+
+/// Computes the change list from `before` to `after`. Deterministic order:
+/// paths lexicographically, then change kind.
+std::vector<SchemaChange> DiffSchemas(const types::TypeRef& before,
+                                      const types::TypeRef& after);
+
+/// Renders the change list one line per change ("~ user.id: kinds broadened
+/// (Num -> Num + Str)").
+std::string FormatChanges(const std::vector<SchemaChange>& changes);
+
+}  // namespace jsonsi::diff
+
+#endif  // JSONSI_DIFF_SCHEMA_DIFF_H_

@@ -1,0 +1,135 @@
+#include "engine/cluster_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace jsonsi::engine {
+namespace {
+
+// Per-node core availability: free_at_[node][core] = virtual time the core
+// becomes idle. Greedy assignment always picks the earliest-finishing
+// (node, core) pair among the allowed nodes.
+class CoreTable {
+ public:
+  CoreTable(size_t nodes, size_t cores)
+      : free_at_(nodes, std::vector<double>(cores, 0.0)) {}
+
+  // Earliest start on `node` (its least-loaded core).
+  double EarliestStart(size_t node) const {
+    return *std::min_element(free_at_[node].begin(), free_at_[node].end());
+  }
+
+  // Occupies the least-loaded core of `node` from max(now, free) for
+  // `duration`; returns the finish time.
+  double Assign(size_t node, double ready_time, double duration) {
+    auto it = std::min_element(free_at_[node].begin(), free_at_[node].end());
+    double start = std::max(*it, ready_time);
+    *it = start + duration;
+    return *it;
+  }
+
+ private:
+  std::vector<std::vector<double>> free_at_;
+};
+
+bool IsReplica(const SimTask& task, size_t node) {
+  return std::find(task.replica_nodes.begin(), task.replica_nodes.end(),
+                   node) != task.replica_nodes.end();
+}
+
+}  // namespace
+
+SimResult SimulateJob(const std::vector<SimTask>& tasks,
+                      const ClusterConfig& config, Placement placement,
+                      double reduce_combine_seconds) {
+  assert(config.num_nodes > 0 && config.cores_per_node > 0);
+  SimResult result;
+  result.node_busy_seconds.assign(config.num_nodes, 0.0);
+  result.task_finish_seconds.assign(tasks.size(), 0.0);
+
+  CoreTable cores(config.num_nodes, config.cores_per_node);
+  std::vector<bool> node_used(config.num_nodes, false);
+
+  // ---- Map stage: greedy earliest-finish-time placement. ----
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const SimTask& task = tasks[t];
+    double best_finish = std::numeric_limits<double>::infinity();
+    size_t best_node = 0;
+    double best_duration = 0;
+    for (size_t node = 0; node < config.num_nodes; ++node) {
+      bool local = IsReplica(task, node);
+      if (placement == Placement::kLocalOnly && !local) continue;
+      double transfer =
+          local ? 0.0
+                : static_cast<double>(task.input_bytes) /
+                      config.network_bytes_per_sec;
+      double duration =
+          config.task_overhead_sec + transfer + task.compute_seconds;
+      double finish = cores.EarliestStart(node) + duration;
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_node = node;
+        best_duration = duration;
+      }
+    }
+    assert(best_finish < std::numeric_limits<double>::infinity() &&
+           "no eligible node (task with no replica under kLocalOnly?)");
+    double finish = cores.Assign(best_node, 0.0, best_duration);
+    result.task_finish_seconds[t] = finish;
+    result.node_busy_seconds[best_node] += best_duration;
+    node_used[best_node] = true;
+    result.map_seconds = std::max(result.map_seconds, finish);
+  }
+
+  // ---- Reduce stage: partial outputs are shuffled to one driver node and
+  // combined pairwise. The combine tree has depth ceil(log2(n)); each level
+  // costs one combine, and inputs arrive after their shuffle transfer. This
+  // upper-bounds the (tiny) reduce cost faithfully: partial schemas are
+  // orders of magnitude smaller than the data. ----
+  double reduce_ready = 0.0;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    double arrival = result.task_finish_seconds[t] +
+                     static_cast<double>(tasks[t].output_bytes) /
+                         config.network_bytes_per_sec;
+    reduce_ready = std::max(reduce_ready, arrival);
+  }
+  size_t levels = 0;
+  for (size_t n = tasks.size(); n > 1; n = (n + 1) / 2) ++levels;
+  result.makespan_seconds =
+      reduce_ready + static_cast<double>(levels) * reduce_combine_seconds;
+
+  for (bool used : node_used) result.nodes_used += used ? 1 : 0;
+  return result;
+}
+
+std::vector<SimTask> MakeUniformTasks(size_t num_partitions,
+                                      double total_compute_seconds,
+                                      uint64_t total_bytes, size_t data_node,
+                                      uint64_t partial_schema_bytes) {
+  std::vector<SimTask> tasks(num_partitions);
+  for (SimTask& t : tasks) {
+    t.compute_seconds = total_compute_seconds / num_partitions;
+    t.input_bytes = total_bytes / num_partitions;
+    t.output_bytes = partial_schema_bytes;
+    t.replica_nodes = {data_node};
+  }
+  return tasks;
+}
+
+std::vector<SimTask> MakeSpreadTasks(size_t num_partitions,
+                                     double total_compute_seconds,
+                                     uint64_t total_bytes, size_t num_nodes,
+                                     uint64_t partial_schema_bytes) {
+  std::vector<SimTask> tasks(num_partitions);
+  for (size_t i = 0; i < num_partitions; ++i) {
+    SimTask& t = tasks[i];
+    t.compute_seconds = total_compute_seconds / num_partitions;
+    t.input_bytes = total_bytes / num_partitions;
+    t.output_bytes = partial_schema_bytes;
+    t.replica_nodes = {i % num_nodes};
+  }
+  return tasks;
+}
+
+}  // namespace jsonsi::engine

@@ -1,0 +1,228 @@
+// Partitioned in-memory dataset with parallel Map and tree Reduce — the
+// Spark substrate of the paper scaled to one process.
+//
+// The paper's pipeline is `values.map(InferType).reduce(Fuse)`. What makes
+// the distributed reduce legal is associativity + commutativity of Fuse
+// (Theorems 5.4/5.5); the engine exploits exactly that structure:
+//
+//   * Map runs per partition on a thread pool (Spark tasks);
+//   * Reduce folds each partition sequentially, then combines the partition
+//     results pairwise in tree order (Spark's treeReduce) — any bracketing is
+//     correct for an associative operator, and the tests assert the result is
+//     bit-identical to a sequential left fold;
+//   * per-partition timings are recorded so the experiment harnesses can
+//     report inference vs fusion cost (Table 6) and feed the cluster
+//     simulator (Tables 7-8).
+//
+// Dataset is header-only (templates); the thread pool and cluster simulator
+// are compiled.
+
+#ifndef JSONSI_ENGINE_DATASET_H_
+#define JSONSI_ENGINE_DATASET_H_
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "support/timer.h"
+
+namespace jsonsi::engine {
+
+/// Wall-clock cost of one executed stage, per partition.
+struct StageMetrics {
+  std::vector<double> partition_seconds;  // one entry per partition task
+
+  double TotalSeconds() const {
+    return std::accumulate(partition_seconds.begin(), partition_seconds.end(),
+                           0.0);
+  }
+  double MaxSeconds() const {
+    double m = 0;
+    for (double s : partition_seconds) m = std::max(m, s);
+    return m;
+  }
+};
+
+/// A partitioned, immutable-after-construction collection.
+template <typename T>
+class Dataset {
+ public:
+  /// Splits `items` into `num_partitions` contiguous chunks of near-equal
+  /// size (Spark's default partitioning of a collection).
+  static Dataset FromVector(std::vector<T> items, size_t num_partitions) {
+    assert(num_partitions > 0);
+    Dataset ds;
+    size_t n = items.size();
+    num_partitions = std::max<size_t>(1, std::min(num_partitions, std::max<size_t>(n, 1)));
+    ds.partitions_.resize(num_partitions);
+    size_t base = n / num_partitions;
+    size_t extra = n % num_partitions;
+    size_t offset = 0;
+    for (size_t p = 0; p < num_partitions; ++p) {
+      size_t len = base + (p < extra ? 1 : 0);
+      auto first = std::make_move_iterator(items.begin() + offset);
+      ds.partitions_[p].assign(first, first + len);
+      offset += len;
+    }
+    return ds;
+  }
+
+  /// Adopts pre-built partitions unchanged (used when partition boundaries
+  /// are semantically meaningful, e.g. Table 8's manual partitioning).
+  static Dataset FromPartitions(std::vector<std::vector<T>> partitions) {
+    Dataset ds;
+    ds.partitions_ = std::move(partitions);
+    if (ds.partitions_.empty()) ds.partitions_.emplace_back();
+    return ds;
+  }
+
+  size_t num_partitions() const { return partitions_.size(); }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& p : partitions_) n += p.size();
+    return n;
+  }
+
+  const std::vector<T>& partition(size_t i) const { return partitions_[i]; }
+
+  /// Parallel element-wise transformation; partitioning is preserved.
+  /// `metrics`, when provided, receives one wall-clock entry per partition.
+  template <typename F>
+  auto Map(ThreadPool& pool, F&& fn, StageMetrics* metrics = nullptr) const
+      -> Dataset<std::invoke_result_t<F, const T&>> {
+    using U = std::invoke_result_t<F, const T&>;
+    std::vector<std::vector<U>> out(partitions_.size());
+    std::vector<double> seconds(partitions_.size(), 0.0);
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      pool.Submit([this, p, &out, &seconds, &fn] {
+        jsonsi::Stopwatch watch;
+        const auto& in = partitions_[p];
+        std::vector<U> result;
+        result.reserve(in.size());
+        for (const T& item : in) result.push_back(fn(item));
+        out[p] = std::move(result);
+        seconds[p] = watch.ElapsedSeconds();
+      });
+    }
+    pool.Wait();
+    if (metrics) metrics->partition_seconds = std::move(seconds);
+    return Dataset<U>::FromPartitions(std::move(out));
+  }
+
+  /// Parallel whole-partition transformation (Spark's mapPartitions).
+  template <typename F>
+  auto MapPartitions(ThreadPool& pool, F&& fn,
+                     StageMetrics* metrics = nullptr) const
+      -> Dataset<typename std::invoke_result_t<F, const std::vector<T>&>::value_type> {
+    using Vec = std::invoke_result_t<F, const std::vector<T>&>;
+    std::vector<Vec> out(partitions_.size());
+    std::vector<double> seconds(partitions_.size(), 0.0);
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      pool.Submit([this, p, &out, &seconds, &fn] {
+        jsonsi::Stopwatch watch;
+        out[p] = fn(partitions_[p]);
+        seconds[p] = watch.ElapsedSeconds();
+      });
+    }
+    pool.Wait();
+    if (metrics) metrics->partition_seconds = std::move(seconds);
+    return Dataset<typename Vec::value_type>::FromPartitions(std::move(out));
+  }
+
+  /// Tree reduction with an associative, commutative combiner. Empty
+  /// partitions contribute nothing; an entirely empty dataset returns
+  /// `identity`. Phase 1 folds each partition on the pool (timed into
+  /// `metrics`); phase 2 combines the per-partition results pairwise.
+  template <typename F>
+  T Reduce(ThreadPool& pool, const T& identity, F&& combine,
+           StageMetrics* metrics = nullptr) const {
+    std::vector<T> partials(partitions_.size(), identity);
+    std::vector<double> seconds(partitions_.size(), 0.0);
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      pool.Submit([this, p, &partials, &seconds, &identity, &combine] {
+        jsonsi::Stopwatch watch;
+        T acc = identity;
+        for (const T& item : partitions_[p]) acc = combine(acc, item);
+        partials[p] = std::move(acc);
+        seconds[p] = watch.ElapsedSeconds();
+      });
+    }
+    pool.Wait();
+    if (metrics) metrics->partition_seconds = std::move(seconds);
+    // Pairwise tree combine (treeReduce): legal because `combine` is
+    // associative; chosen over a left fold to mirror Spark and to keep the
+    // critical path logarithmic when partials are expensive to merge.
+    while (partials.size() > 1) {
+      std::vector<T> next;
+      next.reserve((partials.size() + 1) / 2);
+      for (size_t i = 0; i + 1 < partials.size(); i += 2) {
+        next.push_back(combine(partials[i], partials[i + 1]));
+      }
+      if (partials.size() % 2 == 1) next.push_back(std::move(partials.back()));
+      partials = std::move(next);
+    }
+    return partials.empty() ? identity : std::move(partials.front());
+  }
+
+  /// Parallel predicate filter; partitioning is preserved (partitions may
+  /// shrink or empty out, mirroring Spark's filter).
+  template <typename P>
+  Dataset<T> Filter(ThreadPool& pool, P&& keep) const {
+    std::vector<std::vector<T>> out(partitions_.size());
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      pool.Submit([this, p, &out, &keep] {
+        std::vector<T> kept;
+        for (const T& item : partitions_[p]) {
+          if (keep(item)) kept.push_back(item);
+        }
+        out[p] = std::move(kept);
+      });
+    }
+    pool.Wait();
+    return Dataset<T>::FromPartitions(std::move(out));
+  }
+
+  /// Parallel one-to-many transformation (Spark's flatMap): `fn` returns a
+  /// vector of outputs per element; partition boundaries are preserved.
+  template <typename F>
+  auto FlatMap(ThreadPool& pool, F&& fn) const
+      -> Dataset<typename std::invoke_result_t<F, const T&>::value_type> {
+    using U = typename std::invoke_result_t<F, const T&>::value_type;
+    std::vector<std::vector<U>> out(partitions_.size());
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      pool.Submit([this, p, &out, &fn] {
+        std::vector<U> produced;
+        for (const T& item : partitions_[p]) {
+          auto items = fn(item);
+          produced.insert(produced.end(),
+                          std::make_move_iterator(items.begin()),
+                          std::make_move_iterator(items.end()));
+        }
+        out[p] = std::move(produced);
+      });
+    }
+    pool.Wait();
+    return Dataset<U>::FromPartitions(std::move(out));
+  }
+
+  /// Gathers all elements into one vector (partition order preserved).
+  std::vector<T> Collect() const {
+    std::vector<T> out;
+    out.reserve(size());
+    for (const auto& p : partitions_) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<T>> partitions_;
+};
+
+}  // namespace jsonsi::engine
+
+#endif  // JSONSI_ENGINE_DATASET_H_

@@ -1,0 +1,52 @@
+// Fixed-size worker pool executing submitted tasks; the local execution
+// backend of the map/reduce engine (the stand-in for Spark's executor
+// threads on a single host).
+
+#ifndef JSONSI_ENGINE_THREAD_POOL_H_
+#define JSONSI_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jsonsi::engine {
+
+/// A minimal fixed-size thread pool. Tasks are void() closures; errors must
+/// be captured by the closures themselves (the pool has no exception
+/// channel — the engine layer stores per-task results/status in place).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace jsonsi::engine
+
+#endif  // JSONSI_ENGINE_THREAD_POOL_H_

@@ -1,0 +1,178 @@
+#include "export/cpp_codegen.h"
+
+#include <cctype>
+#include <vector>
+
+namespace jsonsi::exporter {
+
+using types::FieldType;
+using types::Type;
+using types::TypeNode;
+using types::TypeRef;
+
+namespace {
+
+bool IsIdentifier(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+std::string Sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), 'f');
+  }
+  return out;
+}
+
+std::string PascalCase(const std::string& name) {
+  std::string out;
+  bool upper = true;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      upper = true;
+      continue;
+    }
+    out.push_back(upper ? static_cast<char>(
+                              std::toupper(static_cast<unsigned char>(c)))
+                        : c);
+    upper = false;
+  }
+  return out.empty() ? "Unnamed" : out;
+}
+
+// Emits nested struct declarations depth-first; returns the C++ type
+// expression to reference `t` at its use site.
+struct Generator {
+  const CppCodegenOptions& options;
+  std::string declarations;
+
+  std::string TypeExpr(const TypeRef& t, const std::string& name_hint) {
+    switch (t->node()) {
+      case TypeNode::kNull:
+        return "std::monostate";
+      case TypeNode::kBool:
+        return "bool";
+      case TypeNode::kNum:
+        return "double";
+      case TypeNode::kStr:
+        return "std::string";
+      case TypeNode::kEmpty:
+        return "void /* uninhabited */";
+      case TypeNode::kRecord:
+        return EmitStruct(t, name_hint);
+      case TypeNode::kArrayExact: {
+        // Element type: union of the element kinds.
+        std::vector<TypeRef> elements = t->elements();
+        TypeRef body = Type::Union(std::move(elements));
+        if (body->is_empty()) return "std::vector<std::monostate>";
+        return "std::vector<" + TypeExpr(body, name_hint + "Item") + ">";
+      }
+      case TypeNode::kArrayStar: {
+        if (t->body()->is_empty()) return "std::vector<std::monostate>";
+        return "std::vector<" + TypeExpr(t->body(), name_hint + "Item") + ">";
+      }
+      case TypeNode::kUnion: {
+        std::string expr = "std::variant<";
+        bool first = true;
+        for (const TypeRef& alt : t->alternatives()) {
+          if (!first) expr += ", ";
+          first = false;
+          expr += TypeExpr(alt, name_hint + "Alt");
+        }
+        expr += ">";
+        return expr;
+      }
+    }
+    return "void";
+  }
+
+  std::string EmitStruct(const TypeRef& record, const std::string& name) {
+    std::string struct_name = PascalCase(name);
+    std::string body = "struct " + struct_name + " {\n";
+    for (const FieldType& f : record->fields()) {
+      std::string member = IsIdentifier(f.key) ? f.key : Sanitize(f.key);
+      std::string type_expr = TypeExpr(f.type, struct_name + "_" + member);
+      if (f.optional) type_expr = "std::optional<" + type_expr + ">";
+      body += "  " + type_expr + " " + member + ";";
+      if (member != f.key) body += "  // JSON key: \"" + f.key + "\"";
+      body += "\n";
+    }
+    body += "};\n\n";
+    declarations += body;  // nested structs were appended before us
+    return struct_name;
+  }
+};
+
+}  // namespace
+
+std::string ToCppStructs(const Type& type, const CppCodegenOptions& options) {
+  Generator gen{options, ""};
+  std::string root_expr;
+  if (type.is_record()) {
+    // Share the node (cheap) to reuse TypeExpr's record path.
+    std::vector<FieldType> fields = type.fields();
+    root_expr = gen.EmitStruct(Type::RecordFromSorted(std::move(fields)),
+                               options.root_name);
+  } else {
+    std::vector<FieldType> wrapper = {
+        {"value",
+         [&] {
+           // Rebuild a shared handle for the non-record root.
+           switch (type.node()) {
+             case TypeNode::kNull:
+               return Type::Null();
+             case TypeNode::kBool:
+               return Type::Bool();
+             case TypeNode::kNum:
+               return Type::Num();
+             case TypeNode::kStr:
+               return Type::Str();
+             case TypeNode::kEmpty:
+               return Type::Empty();
+             case TypeNode::kArrayExact: {
+               auto elements = type.elements();
+               return Type::ArrayExact(std::move(elements));
+             }
+             case TypeNode::kArrayStar:
+               return Type::ArrayStar(type.body());
+             case TypeNode::kUnion: {
+               auto alts = type.alternatives();
+               return Type::Union(std::move(alts));
+             }
+             case TypeNode::kRecord:
+               break;
+           }
+           return Type::Null();
+         }(),
+         false}};
+    root_expr = gen.EmitStruct(Type::RecordFromSorted(std::move(wrapper)),
+                               options.root_name);
+  }
+
+  std::string out =
+      "// Generated by jsonsi (schema-inferred C++ bindings). Do not edit.\n"
+      "#pragma once\n\n"
+      "#include <optional>\n#include <string>\n#include <variant>\n"
+      "#include <vector>\n\n";
+  if (!options.namespace_name.empty()) {
+    out += "namespace " + options.namespace_name + " {\n\n";
+  }
+  out += gen.declarations;
+  if (!options.namespace_name.empty()) {
+    out += "}  // namespace " + options.namespace_name + "\n";
+  }
+  (void)root_expr;
+  return out;
+}
+
+}  // namespace jsonsi::exporter

@@ -1,0 +1,54 @@
+// C++ struct generation from inferred schemas.
+//
+// A downstream consumer of schema inference (Section 1's "users cannot rely
+// on schema information" complaint, inverted): once the schema is known,
+// strongly-typed bindings can be generated. This backend emits a header with
+// one struct per record type:
+//
+//   {id: Num, name: Str?, tags: [(Str)*]}
+//     -->
+//   struct Root {
+//     double id;
+//     std::optional<std::string> name;
+//     std::vector<std::string> tags;
+//   };
+//
+// Mapping rules:
+//   Null            std::monostate        (presence marker only)
+//   Bool/Num/Str    bool / double / std::string
+//   T?              std::optional<T>
+//   T1 + ... + Tn   std::variant<T1, ..., Tn>
+//   [T*] and [T1..Tn]  std::vector<E>  (E = union of element types)
+//   {..}            a named nested struct (name derived from the field path)
+//
+// Field keys that are not valid C++ identifiers are sanitized, with the
+// original spelled in a comment. Generated code is deterministic.
+
+#ifndef JSONSI_EXPORT_CPP_CODEGEN_H_
+#define JSONSI_EXPORT_CPP_CODEGEN_H_
+
+#include <string>
+
+#include "types/type.h"
+
+namespace jsonsi::exporter {
+
+/// Codegen knobs.
+struct CppCodegenOptions {
+  /// Name for the root struct.
+  std::string root_name = "Root";
+  /// Namespace to wrap the declarations in (empty = none).
+  std::string namespace_name = "schema";
+};
+
+/// Renders a self-contained C++17 header declaring structs for `type`.
+std::string ToCppStructs(const types::Type& type,
+                         const CppCodegenOptions& options = {});
+inline std::string ToCppStructs(const types::TypeRef& type,
+                                const CppCodegenOptions& options = {}) {
+  return ToCppStructs(*type, options);
+}
+
+}  // namespace jsonsi::exporter
+
+#endif  // JSONSI_EXPORT_CPP_CODEGEN_H_

@@ -1,0 +1,124 @@
+#include "export/json_schema.h"
+
+#include <vector>
+
+#include "json/serializer.h"
+
+namespace jsonsi::exporter {
+
+using json::Field;
+using json::Value;
+using json::ValueRef;
+using types::Type;
+using types::TypeNode;
+using types::TypeRef;
+
+namespace {
+
+ValueRef Translate(const Type& t, const JsonSchemaOptions& options);
+
+ValueRef TypeName(const char* name) {
+  return Value::RecordUnchecked({{"type", Value::Str(name)}});
+}
+
+ValueRef TranslateRecord(const Type& t, const JsonSchemaOptions& options) {
+  std::vector<Field> properties;
+  std::vector<ValueRef> required;
+  properties.reserve(t.fields().size());
+  for (const types::FieldType& f : t.fields()) {
+    properties.push_back({f.key, Translate(*f.type, options)});
+    if (!f.optional) required.push_back(Value::Str(f.key));
+  }
+  std::vector<Field> schema = {
+      {"type", Value::Str("object")},
+      {"properties", Value::RecordUnchecked(std::move(properties))},
+  };
+  if (!required.empty()) {
+    schema.push_back({"required", Value::Array(std::move(required))});
+  }
+  if (options.closed_records) {
+    schema.push_back({"additionalProperties", Value::Bool(false)});
+  }
+  return Value::RecordUnchecked(std::move(schema));
+}
+
+ValueRef TranslateExactArray(const Type& t, const JsonSchemaOptions& options) {
+  double n = static_cast<double>(t.elements().size());
+  std::vector<ValueRef> prefix;
+  prefix.reserve(t.elements().size());
+  for (const TypeRef& e : t.elements()) {
+    prefix.push_back(Translate(*e, options));
+  }
+  std::vector<Field> schema = {
+      {"type", Value::Str("array")},
+      {"minItems", Value::Num(n)},
+      {"maxItems", Value::Num(n)},
+  };
+  if (!prefix.empty()) {
+    schema.push_back({"prefixItems", Value::Array(std::move(prefix))});
+    schema.push_back({"items", Value::Bool(false)});
+  }
+  return Value::RecordUnchecked(std::move(schema));
+}
+
+ValueRef TranslateStarArray(const Type& t, const JsonSchemaOptions& options) {
+  if (t.body()->is_empty()) {
+    // [Empty*] denotes exactly the empty array.
+    return Value::RecordUnchecked(
+        {{"type", Value::Str("array")}, {"maxItems", Value::Num(0)}});
+  }
+  return Value::RecordUnchecked(
+      {{"type", Value::Str("array")},
+       {"items", Translate(*t.body(), options)}});
+}
+
+ValueRef Translate(const Type& t, const JsonSchemaOptions& options) {
+  switch (t.node()) {
+    case TypeNode::kNull:
+      return TypeName("null");
+    case TypeNode::kBool:
+      return TypeName("boolean");
+    case TypeNode::kNum:
+      return TypeName("number");
+    case TypeNode::kStr:
+      return TypeName("string");
+    case TypeNode::kEmpty:
+      // The false schema: matches nothing.
+      return Value::RecordUnchecked(
+          {{"not", Value::RecordUnchecked({})}});
+    case TypeNode::kRecord:
+      return TranslateRecord(t, options);
+    case TypeNode::kArrayExact:
+      return TranslateExactArray(t, options);
+    case TypeNode::kArrayStar:
+      return TranslateStarArray(t, options);
+    case TypeNode::kUnion: {
+      std::vector<ValueRef> any_of;
+      any_of.reserve(t.alternatives().size());
+      for (const TypeRef& alt : t.alternatives()) {
+        any_of.push_back(Translate(*alt, options));
+      }
+      return Value::RecordUnchecked({{"anyOf", Value::Array(std::move(any_of))}});
+    }
+  }
+  return TypeName("null");
+}
+
+}  // namespace
+
+ValueRef ToJsonSchema(const Type& type, const JsonSchemaOptions& options) {
+  ValueRef body = Translate(type, options);
+  if (!options.include_draft_uri) return body;
+  std::vector<Field> fields = {
+      {"$schema", Value::Str("https://json-schema.org/draft/2020-12/schema")}};
+  for (const Field& f : body->fields()) fields.push_back(f);
+  return Value::RecordUnchecked(std::move(fields));
+}
+
+std::string ToJsonSchemaText(const Type& type, bool pretty,
+                             const JsonSchemaOptions& options) {
+  ValueRef schema = ToJsonSchema(type, options);
+  return pretty ? json::ToPrettyJson(*schema) : json::ToJson(*schema);
+}
+
+}  // namespace jsonsi::exporter

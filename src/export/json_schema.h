@@ -1,0 +1,59 @@
+// Export to JSON Schema.
+//
+// The paper positions its type language as "a core part of the JSON Schema
+// language" formalized by Pezoa et al. [20]; this module realizes that
+// relationship concretely by translating inferred types into standard JSON
+// Schema documents (draft 2020-12 vocabulary), so downstream tools
+// (validators, editors, codegen) can consume the inferred schemas.
+//
+// Mapping:
+//   Null / Bool / Num / Str      {"type": "null" | "boolean" | "number"
+//                                 | "string"}
+//   {l1: T1, l2: T2?, ...}       {"type": "object",
+//                                 "properties": {...},
+//                                 "required": [mandatory keys],
+//                                 "additionalProperties": false}
+//                                (closed records, matching Section 4's
+//                                 semantics)
+//   [T1, ..., Tn]  (exact)       {"type": "array", "prefixItems": [...],
+//                                 "items": false,
+//                                 "minItems": n, "maxItems": n}
+//   [T*]           (simplified)  {"type": "array", "items": {...}}
+//   [Empty*]                     {"type": "array", "maxItems": 0}
+//   T1 + ... + Tn                {"anyOf": [...]}
+//   Empty                        false-schema ({"not": {}})
+
+#ifndef JSONSI_EXPORT_JSON_SCHEMA_H_
+#define JSONSI_EXPORT_JSON_SCHEMA_H_
+
+#include <string>
+
+#include "json/value.h"
+#include "types/type.h"
+
+namespace jsonsi::exporter {
+
+/// Export knobs.
+struct JsonSchemaOptions {
+  /// Emit the "$schema" draft marker on the root document.
+  bool include_draft_uri = true;
+  /// Emit "additionalProperties": false (the paper's closed-record
+  /// semantics). Disable for lenient consumer-side validation.
+  bool closed_records = true;
+};
+
+/// Translates `type` into a JSON Schema document (as a JSON value).
+json::ValueRef ToJsonSchema(const types::Type& type,
+                            const JsonSchemaOptions& options = {});
+inline json::ValueRef ToJsonSchema(const types::TypeRef& type,
+                                   const JsonSchemaOptions& options = {}) {
+  return ToJsonSchema(*type, options);
+}
+
+/// Same, serialized (pretty-printed when `pretty`).
+std::string ToJsonSchemaText(const types::Type& type, bool pretty = true,
+                             const JsonSchemaOptions& options = {});
+
+}  // namespace jsonsi::exporter
+
+#endif  // JSONSI_EXPORT_JSON_SCHEMA_H_

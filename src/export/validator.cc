@@ -1,0 +1,115 @@
+#include "export/validator.h"
+
+#include <string_view>
+
+namespace jsonsi::exporter {
+
+using json::Value;
+using json::ValueKind;
+
+namespace {
+
+bool MatchesTypeName(const Value& value, std::string_view name) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      return name == "null";
+    case ValueKind::kBool:
+      return name == "boolean";
+    case ValueKind::kNum:
+      return name == "number" ||
+             (name == "integer" &&
+              value.num_value() == static_cast<int64_t>(value.num_value()));
+    case ValueKind::kStr:
+      return name == "string";
+    case ValueKind::kRecord:
+      return name == "object";
+    case ValueKind::kArray:
+      return name == "array";
+  }
+  return false;
+}
+
+bool ValidateObject(const Value& value, const Value& schema) {
+  const Value* required = schema.Find("required");
+  if (required && required->is_array()) {
+    for (const json::ValueRef& key : required->elements()) {
+      if (!key->is_str() || !value.Find(key->str_value())) return false;
+    }
+  }
+  const Value* properties = schema.Find("properties");
+  const Value* additional = schema.Find("additionalProperties");
+  for (const json::Field& f : value.fields()) {
+    const Value* prop =
+        properties && properties->is_record() ? properties->Find(f.key) : nullptr;
+    if (prop) {
+      if (!Validates(*f.value, *prop)) return false;
+    } else if (additional && additional->is_bool() &&
+               !additional->bool_value()) {
+      return false;  // additionalProperties: false forbids unknown keys
+    }
+  }
+  return true;
+}
+
+bool ValidateArray(const Value& value, const Value& schema) {
+  const auto& elements = value.elements();
+  if (const Value* min = schema.Find("minItems"); min && min->is_num()) {
+    if (elements.size() < static_cast<size_t>(min->num_value())) return false;
+  }
+  if (const Value* max = schema.Find("maxItems"); max && max->is_num()) {
+    if (elements.size() > static_cast<size_t>(max->num_value())) return false;
+  }
+  size_t prefix_len = 0;
+  if (const Value* prefix = schema.Find("prefixItems");
+      prefix && prefix->is_array()) {
+    prefix_len = prefix->elements().size();
+    for (size_t i = 0; i < elements.size() && i < prefix_len; ++i) {
+      if (!Validates(*elements[i], *prefix->elements()[i])) return false;
+    }
+  }
+  if (const Value* items = schema.Find("items")) {
+    if (items->is_bool()) {
+      // items: false forbids elements beyond the prefix.
+      if (!items->bool_value() && elements.size() > prefix_len) return false;
+    } else {
+      for (size_t i = prefix_len; i < elements.size(); ++i) {
+        if (!Validates(*elements[i], *items)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Validates(const Value& value, const Value& schema) {
+  // A schema that is a boolean validates everything / nothing.
+  if (schema.is_bool()) return schema.bool_value();
+  if (!schema.is_record()) return false;  // malformed schema
+
+  if (const Value* any_of = schema.Find("anyOf");
+      any_of && any_of->is_array()) {
+    bool any = false;
+    for (const json::ValueRef& sub : any_of->elements()) {
+      if (Validates(value, *sub)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  if (const Value* not_schema = schema.Find("not")) {
+    if (Validates(value, *not_schema)) return false;
+  }
+  if (const Value* type_name = schema.Find("type")) {
+    if (type_name->is_str() &&
+        !MatchesTypeName(value, type_name->str_value())) {
+      return false;
+    }
+  }
+  if (value.is_record() && !ValidateObject(value, schema)) return false;
+  if (value.is_array() && !ValidateArray(value, schema)) return false;
+  return true;
+}
+
+}  // namespace jsonsi::exporter

@@ -1,0 +1,28 @@
+// Minimal JSON Schema validator for the vocabulary ToJsonSchema emits:
+// type, properties, required, additionalProperties, items (schema or false),
+// prefixItems, minItems, maxItems, anyOf, not.
+//
+// Exists so the exporter is testable *semantically*: for every type T and
+// value V, `types::Matches(V, T)` must agree with
+// `Validates(V, ToJsonSchema(T))` — a property the test suite sweeps over
+// randomized inputs. It also doubles as a small standalone validator for the
+// CLI (`jsi check --jsonschema`).
+
+#ifndef JSONSI_EXPORT_VALIDATOR_H_
+#define JSONSI_EXPORT_VALIDATOR_H_
+
+#include "json/value.h"
+
+namespace jsonsi::exporter {
+
+/// Returns true iff `value` satisfies `schema` (a JSON Schema document using
+/// the subset above). Unknown keywords are ignored, per the specification.
+bool Validates(const json::Value& value, const json::Value& schema);
+inline bool Validates(const json::ValueRef& value,
+                      const json::ValueRef& schema) {
+  return Validates(*value, *schema);
+}
+
+}  // namespace jsonsi::exporter
+
+#endif  // JSONSI_EXPORT_VALIDATOR_H_

@@ -1,0 +1,162 @@
+#include "fusion/fuse.h"
+
+#include <array>
+#include <cassert>
+
+namespace jsonsi::fusion {
+
+using types::FieldType;
+using types::Kind;
+using types::Type;
+using types::TypeRef;
+
+namespace {
+
+// Buckets the non-union addends of a flattened type by kind, normalizing
+// defensively: should two addends of one kind ever appear (a non-normal
+// input), they are LFused together, so Fuse is total and always yields a
+// normal result.
+std::array<TypeRef, 6> BucketByKind(const Fuser& fuser, const TypeRef& t) {
+  std::array<TypeRef, 6> buckets{};
+  for (const TypeRef& addend : types::Flatten(t)) {
+    TypeRef& slot = buckets[static_cast<size_t>(addend->kind())];
+    slot = slot ? fuser.LFuse(slot, addend) : addend;
+  }
+  return buckets;
+}
+
+TypeRef FuseRecords(const Fuser& fuser, const TypeRef& a, const TypeRef& b) {
+  const auto& fa = a->fields();
+  const auto& fb = b->fields();
+  std::vector<FieldType> out;
+  out.reserve(fa.size() + fb.size());
+  // Both field vectors are key-sorted: a single linear merge implements
+  // FMatch/FUnmatch of Figure 5.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < fa.size() && j < fb.size()) {
+    int cmp = fa[i].key.compare(fb[j].key);
+    if (cmp == 0) {
+      // Matching keys: fuse the field types; min(m,n) with ? < 1 means the
+      // field stays mandatory only when mandatory on both sides.
+      out.push_back({fa[i].key, fuser.Fuse(fa[i].type, fb[j].type),
+                     fa[i].optional || fb[j].optional});
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      out.push_back({fa[i].key, fa[i].type, /*optional=*/true});
+      ++i;
+    } else {
+      out.push_back({fb[j].key, fb[j].type, /*optional=*/true});
+      ++j;
+    }
+  }
+  for (; i < fa.size(); ++i) out.push_back({fa[i].key, fa[i].type, true});
+  for (; j < fb.size(); ++j) out.push_back({fb[j].key, fb[j].type, true});
+  // The merge of two key-sorted field lists is key-sorted and unique.
+  return Type::RecordFromSorted(std::move(out));
+}
+
+TypeRef FuseArrays(const Fuser& fuser, const TypeRef& a, const TypeRef& b) {
+  // Tuple mode (future-work extension): equal-length short exact arrays
+  // fuse positionally, preserving order and length.
+  // (Gated on max_tuple_length > 0 so the default operator reproduces the
+  // paper exactly, including [] (+) [] = [(Empty)*].)
+  if (fuser.options().max_tuple_length > 0 && a->is_array_exact() &&
+      b->is_array_exact() &&
+      a->elements().size() == b->elements().size() &&
+      a->elements().size() <= fuser.options().max_tuple_length) {
+    std::vector<TypeRef> elements;
+    elements.reserve(a->elements().size());
+    for (size_t i = 0; i < a->elements().size(); ++i) {
+      elements.push_back(fuser.Fuse(a->elements()[i], b->elements()[i]));
+    }
+    return Type::ArrayExact(std::move(elements));
+  }
+  // Paper behaviour (Figure 6 lines 4-7): star of the fused bodies, where
+  // the body of an exact array is its collapse.
+  auto star_body = [&fuser](const TypeRef& t) {
+    return t->is_array_star() ? t->body() : fuser.Collapse(t);
+  };
+  return Type::ArrayStar(fuser.Fuse(star_body(a), star_body(b)));
+}
+
+}  // namespace
+
+TypeRef Fuser::Collapse(const TypeRef& exact_array) const {
+  assert(exact_array->is_array_exact());
+  TypeRef acc = Type::Empty();  // collapse(EArrT) = eps
+  for (const TypeRef& element : exact_array->elements()) {
+    acc = Fuse(acc, element);
+  }
+  return acc;
+}
+
+TypeRef Fuser::LFuse(const TypeRef& a, const TypeRef& b) const {
+  assert(!a->is_union() && !a->is_empty());
+  assert(!b->is_union() && !b->is_empty());
+  assert(a->kind() == b->kind());
+  switch (a->kind()) {
+    case Kind::kNull:
+    case Kind::kBool:
+    case Kind::kNum:
+    case Kind::kStr:
+      return a;  // LFuse(B, B) = B
+    case Kind::kRecord:
+      return FuseRecords(*this, a, b);
+    case Kind::kArray:
+      return FuseArrays(*this, a, b);
+  }
+  return a;
+}
+
+TypeRef Fuser::Fuse(const TypeRef& a, const TypeRef& b) const {
+  std::array<TypeRef, 6> ba = BucketByKind(*this, a);
+  std::array<TypeRef, 6> bb = BucketByKind(*this, b);
+  std::vector<TypeRef> out;
+  out.reserve(6);
+  for (size_t k = 0; k < 6; ++k) {
+    if (ba[k] && bb[k]) {
+      out.push_back(LFuse(ba[k], bb[k]));  // KMatch pair
+    } else if (ba[k]) {
+      out.push_back(ba[k]);  // KUnmatch passthrough
+    } else if (bb[k]) {
+      out.push_back(bb[k]);
+    }
+  }
+  // Union() canonicalizes: 0 addends -> eps, 1 -> the addend itself.
+  return Type::Union(std::move(out));
+}
+
+TypeRef Fuser::FuseAll(const std::vector<TypeRef>& ts) const {
+  TypeRef acc = Type::Empty();
+  for (const TypeRef& t : ts) acc = Fuse(acc, t);
+  return acc;
+}
+
+// -- Free functions: the paper-exact default instance -----------------------
+
+namespace {
+const Fuser& DefaultFuser() {
+  static const Fuser instance{};
+  return instance;
+}
+}  // namespace
+
+TypeRef Fuse(const TypeRef& a, const TypeRef& b) {
+  return DefaultFuser().Fuse(a, b);
+}
+
+TypeRef LFuse(const TypeRef& a, const TypeRef& b) {
+  return DefaultFuser().LFuse(a, b);
+}
+
+TypeRef Collapse(const TypeRef& exact_array) {
+  return DefaultFuser().Collapse(exact_array);
+}
+
+TypeRef FuseAll(const std::vector<TypeRef>& ts) {
+  return DefaultFuser().FuseAll(ts);
+}
+
+}  // namespace jsonsi::fusion

@@ -1,0 +1,63 @@
+// Streaming tree-shaped fusion accumulator.
+//
+// Left-folding Fuse over a stream is correct but quadratic-ish on datasets
+// whose fused schema is wide (Wikidata: every record merges against an
+// accumulator holding one optional field per key ever seen). Because Fuse is
+// associative and commutative (Theorems 5.4/5.5), ANY reduction tree gives
+// the same result; a balanced tree does asymptotically less work, since big
+// schemas only merge with big schemas O(log n) times.
+//
+// TreeFuser implements a balanced reduction over a stream in O(log n) memory
+// with the classic binary-counter scheme (as in bottom-up mergesort): slot k
+// holds the fusion of exactly 2^k stream elements; pushing an element merges
+// carries upward. This is the in-process analogue of Spark's treeReduce and
+// is what the experiment harnesses use for the 1M-record table rows.
+
+#ifndef JSONSI_FUSION_TREE_FUSER_H_
+#define JSONSI_FUSION_TREE_FUSER_H_
+
+#include <vector>
+
+#include "fusion/fuse.h"
+#include "types/type.h"
+
+namespace jsonsi::fusion {
+
+/// Accumulates types one at a time, fusing in balanced-tree order.
+class TreeFuser {
+ public:
+  /// Adds one type to the reduction.
+  void Add(types::TypeRef t) {
+    // Binary-counter carry: slot k full -> merge and carry into slot k+1.
+    size_t k = 0;
+    while (k < slots_.size() && slots_[k]) {
+      t = Fuse(slots_[k], t);
+      slots_[k] = nullptr;
+      ++k;
+    }
+    if (k == slots_.size()) slots_.emplace_back();
+    slots_[k] = std::move(t);
+    ++count_;
+  }
+
+  /// Number of types added so far.
+  size_t count() const { return count_; }
+
+  /// Fuses the outstanding slots into the final result (eps when empty).
+  /// The fuser remains usable; Finish() is idempotent between Add() calls.
+  types::TypeRef Finish() const {
+    types::TypeRef acc = types::Type::Empty();
+    for (const types::TypeRef& slot : slots_) {
+      if (slot) acc = Fuse(acc, slot);
+    }
+    return acc;
+  }
+
+ private:
+  std::vector<types::TypeRef> slots_;  // slot k: fusion of 2^k elements
+  size_t count_ = 0;
+};
+
+}  // namespace jsonsi::fusion
+
+#endif  // JSONSI_FUSION_TREE_FUSER_H_

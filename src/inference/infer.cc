@@ -1,0 +1,52 @@
+#include "inference/infer.h"
+
+#include <vector>
+
+#include "json/parser.h"
+
+namespace jsonsi::inference {
+
+using json::Value;
+using json::ValueKind;
+using types::FieldType;
+using types::Type;
+using types::TypeRef;
+
+TypeRef InferType(const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      return Type::Null();
+    case ValueKind::kBool:
+      return Type::Bool();
+    case ValueKind::kNum:
+      return Type::Num();
+    case ValueKind::kStr:
+      return Type::Str();
+    case ValueKind::kRecord: {
+      std::vector<FieldType> fields;
+      fields.reserve(value.fields().size());
+      for (const json::Field& f : value.fields()) {
+        fields.push_back({f.key, InferType(*f.value), /*optional=*/false});
+      }
+      // Value fields are key-sorted and unique already.
+      return Type::RecordFromSorted(std::move(fields));
+    }
+    case ValueKind::kArray: {
+      std::vector<TypeRef> elements;
+      elements.reserve(value.elements().size());
+      for (const json::ValueRef& e : value.elements()) {
+        elements.push_back(InferType(*e));
+      }
+      return Type::ArrayExact(std::move(elements));
+    }
+  }
+  return Type::Null();
+}
+
+Result<types::TypeRef> InferTypeFromJson(std::string_view json_text) {
+  Result<json::ValueRef> value = json::Parse(json_text);
+  if (!value.ok()) return value.status();
+  return InferType(*value.value());
+}
+
+}  // namespace jsonsi::inference

@@ -1,0 +1,35 @@
+// Initial schema inference — the Map phase (Section 5.1, Figure 4).
+//
+// Infers, for a single JSON value, the type that is isomorphic to the value:
+//   null -> Null    true/false -> Bool    n -> Num    s -> Str
+//   {l1:V1,...}  ->  {l1:T1,...}          (all fields mandatory)
+//   [V1,...,Vn]  ->  [T1,...,Tn]          (exact array type)
+//
+// The inferred type never uses union types, optional fields, or simplified
+// (starred) array types — those only arise in the fusion phase. The rules are
+// deterministic and total on well-formed values (key uniqueness is enforced
+// at Value construction), which gives Lemma 5.1: V in [[InferType(V)]].
+
+#ifndef JSONSI_INFERENCE_INFER_H_
+#define JSONSI_INFERENCE_INFER_H_
+
+#include <string_view>
+
+#include "json/value.h"
+#include "support/status.h"
+#include "types/type.h"
+
+namespace jsonsi::inference {
+
+/// Infers the structural type of a single value (Figure 4 rules).
+types::TypeRef InferType(const json::Value& value);
+inline types::TypeRef InferType(const json::ValueRef& value) {
+  return InferType(*value);
+}
+
+/// Convenience: parse JSON text, then infer (one record of a dataset).
+Result<types::TypeRef> InferTypeFromJson(std::string_view json_text);
+
+}  // namespace jsonsi::inference
+
+#endif  // JSONSI_INFERENCE_INFER_H_

@@ -1,0 +1,77 @@
+#include "json/jsonl.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "json/serializer.h"
+
+namespace jsonsi::json {
+namespace {
+
+bool IsBlank(std::string_view line) {
+  for (char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ReadJsonLines(std::istream& in, const RecordSink& sink,
+                     const ParseOptions& options) {
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsBlank(line)) continue;
+    Result<ValueRef> value = Parse(line, options);
+    if (!value.ok()) {
+      return Status::ParseError("line " + std::to_string(line_number) + ": " +
+                                value.status().message());
+    }
+    if (!sink(std::move(value).value())) break;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ValueRef>> ReadJsonLinesFile(const std::string& path,
+                                                const ParseOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::vector<ValueRef> values;
+  Status st = ReadJsonLines(
+      in,
+      [&](ValueRef v) {
+        values.push_back(std::move(v));
+        return true;
+      },
+      options);
+  if (!st.ok()) return st;
+  return values;
+}
+
+Result<std::vector<ValueRef>> ParseJsonLines(std::string_view text,
+                                             const ParseOptions& options) {
+  std::istringstream in{std::string(text)};
+  std::vector<ValueRef> values;
+  Status st = ReadJsonLines(
+      in,
+      [&](ValueRef v) {
+        values.push_back(std::move(v));
+        return true;
+      },
+      options);
+  if (!st.ok()) return st;
+  return values;
+}
+
+std::string ToJsonLines(const std::vector<ValueRef>& values) {
+  std::string out;
+  for (const ValueRef& v : values) {
+    AppendJson(*v, &out);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace jsonsi::json

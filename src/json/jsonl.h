@@ -1,0 +1,39 @@
+// JSON-Lines ingestion: one JSON value per line, the standard layout of
+// crawled datasets (GitHub events, Twitter firehose dumps, Wikidata exports).
+
+#ifndef JSONSI_JSON_JSONL_H_
+#define JSONSI_JSON_JSONL_H_
+
+#include <functional>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "json/parser.h"
+#include "json/value.h"
+#include "support/status.h"
+
+namespace jsonsi::json {
+
+/// Per-record sink. Return false to stop early (e.g. record-count limits).
+using RecordSink = std::function<bool(ValueRef value)>;
+
+/// Reads JSON-Lines from a stream, invoking `sink` per parsed record. Blank
+/// lines are skipped. The first malformed line aborts with its line number.
+Status ReadJsonLines(std::istream& in, const RecordSink& sink,
+                     const ParseOptions& options = {});
+
+/// Reads an entire JSON-Lines file into memory.
+Result<std::vector<ValueRef>> ReadJsonLinesFile(
+    const std::string& path, const ParseOptions& options = {});
+
+/// Parses every line of `text` as one JSON value.
+Result<std::vector<ValueRef>> ParseJsonLines(std::string_view text,
+                                             const ParseOptions& options = {});
+
+/// Writes values as JSON-Lines text (compact, '\n'-separated, trailing '\n').
+std::string ToJsonLines(const std::vector<ValueRef>& values);
+
+}  // namespace jsonsi::json
+
+#endif  // JSONSI_JSON_JSONL_H_

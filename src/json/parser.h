@@ -1,0 +1,43 @@
+// RFC 8259 JSON text parser producing the Value model.
+//
+// This is the substrate the paper delegates to Json4s: it turns JSON text
+// into the data-model values of Figure 2. It is a single-pass recursive-
+// descent parser with:
+//   * precise line/column error positions,
+//   * full string escape handling including \uXXXX surrogate pairs -> UTF-8,
+//   * a configurable nesting-depth limit (stack safety on adversarial input),
+//   * rejection of duplicate record keys (the paper's well-formedness rule).
+
+#ifndef JSONSI_JSON_PARSER_H_
+#define JSONSI_JSON_PARSER_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "json/value.h"
+#include "support/status.h"
+
+namespace jsonsi::json {
+
+/// Parser knobs. Defaults accept standard JSON documents.
+struct ParseOptions {
+  /// Maximum record/array nesting before the parser fails (stack safety).
+  size_t max_depth = 512;
+  /// When false, trailing non-whitespace after the top-level value is an
+  /// error. ParseMany-style callers set this and use `consumed`.
+  bool allow_trailing_content = false;
+};
+
+/// Parses exactly one JSON value from `text` (surrounded by optional
+/// whitespace). Errors carry "line L, column C" positions.
+Result<ValueRef> Parse(std::string_view text, const ParseOptions& options = {});
+
+/// Parses one JSON value from the front of `text`, writing the number of
+/// bytes consumed (value plus leading whitespace) to `*consumed`. Used by the
+/// JSON-Lines reader and by streaming ingestion.
+Result<ValueRef> ParsePrefix(std::string_view text, size_t* consumed,
+                             const ParseOptions& options = {});
+
+}  // namespace jsonsi::json
+
+#endif  // JSONSI_JSON_PARSER_H_

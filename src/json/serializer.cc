@@ -1,0 +1,178 @@
+#include "json/serializer.h"
+
+#include "support/string_util.h"
+
+namespace jsonsi::json {
+namespace {
+
+void AppendIndent(int depth, int width, std::string* out) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth) * width, ' ');
+}
+
+void AppendPretty(const Value& value, int depth, int width, std::string* out) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      *out += "null";
+      return;
+    case ValueKind::kBool:
+      *out += value.bool_value() ? "true" : "false";
+      return;
+    case ValueKind::kNum:
+      *out += FormatJsonNumber(value.num_value());
+      return;
+    case ValueKind::kStr:
+      out->push_back('"');
+      AppendJsonEscaped(value.str_value(), out);
+      out->push_back('"');
+      return;
+    case ValueKind::kRecord: {
+      if (value.fields().empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const Field& f : value.fields()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendIndent(depth + 1, width, out);
+        out->push_back('"');
+        AppendJsonEscaped(f.key, out);
+        *out += "\": ";
+        AppendPretty(*f.value, depth + 1, width, out);
+      }
+      AppendIndent(depth, width, out);
+      out->push_back('}');
+      return;
+    }
+    case ValueKind::kArray: {
+      if (value.elements().empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const ValueRef& e : value.elements()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendIndent(depth + 1, width, out);
+        AppendPretty(*e, depth + 1, width, out);
+      }
+      AppendIndent(depth, width, out);
+      out->push_back(']');
+      return;
+    }
+  }
+}
+
+size_t EscapedSize(std::string_view text) {
+  size_t n = 0;
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+      case '\\':
+      case '\b':
+      case '\f':
+      case '\n':
+      case '\r':
+      case '\t':
+        n += 2;
+        break;
+      default:
+        n += (c < 0x20) ? 6 : 1;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+void AppendJson(const Value& value, std::string* out) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      *out += "null";
+      return;
+    case ValueKind::kBool:
+      *out += value.bool_value() ? "true" : "false";
+      return;
+    case ValueKind::kNum:
+      *out += FormatJsonNumber(value.num_value());
+      return;
+    case ValueKind::kStr:
+      out->push_back('"');
+      AppendJsonEscaped(value.str_value(), out);
+      out->push_back('"');
+      return;
+    case ValueKind::kRecord: {
+      out->push_back('{');
+      bool first = true;
+      for (const Field& f : value.fields()) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        AppendJsonEscaped(f.key, out);
+        *out += "\":";
+        AppendJson(*f.value, out);
+      }
+      out->push_back('}');
+      return;
+    }
+    case ValueKind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const ValueRef& e : value.elements()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendJson(*e, out);
+      }
+      out->push_back(']');
+      return;
+    }
+  }
+}
+
+std::string ToJson(const Value& value) {
+  std::string out;
+  AppendJson(value, &out);
+  return out;
+}
+
+std::string ToPrettyJson(const Value& value, int indent_width) {
+  std::string out;
+  AppendPretty(value, 0, indent_width, &out);
+  return out;
+}
+
+size_t SerializedSize(const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      return 4;
+    case ValueKind::kBool:
+      return value.bool_value() ? 4 : 5;
+    case ValueKind::kNum:
+      return FormatJsonNumber(value.num_value()).size();
+    case ValueKind::kStr:
+      return 2 + EscapedSize(value.str_value());
+    case ValueKind::kRecord: {
+      size_t n = 2;  // {}
+      const auto& fields = value.fields();
+      if (!fields.empty()) n += fields.size() - 1;  // commas
+      for (const Field& f : fields) {
+        n += 2 + EscapedSize(f.key) + 1;  // "key":
+        n += SerializedSize(*f.value);
+      }
+      return n;
+    }
+    case ValueKind::kArray: {
+      size_t n = 2;  // []
+      const auto& elems = value.elements();
+      if (!elems.empty()) n += elems.size() - 1;
+      for (const ValueRef& e : elems) n += SerializedSize(*e);
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace jsonsi::json

@@ -1,0 +1,35 @@
+// JSON serialization: compact and pretty printers for the Value model.
+//
+// The serializer is used by the dataset generators (to measure the on-disk
+// byte sizes reported in Table 1), by the examples and by the CLI.
+
+#ifndef JSONSI_JSON_SERIALIZER_H_
+#define JSONSI_JSON_SERIALIZER_H_
+
+#include <string>
+
+#include "json/value.h"
+
+namespace jsonsi::json {
+
+/// Compact single-line serialization (`{"a":1,"b":[true]}`).
+std::string ToJson(const Value& value);
+inline std::string ToJson(const ValueRef& value) { return ToJson(*value); }
+
+/// Appends the compact serialization to `*out` (avoids re-allocation when
+/// writing many records to one buffer/file).
+void AppendJson(const Value& value, std::string* out);
+
+/// Indented multi-line serialization for human consumption.
+std::string ToPrettyJson(const Value& value, int indent_width = 2);
+inline std::string ToPrettyJson(const ValueRef& value, int indent_width = 2) {
+  return ToPrettyJson(*value, indent_width);
+}
+
+/// Number of bytes the compact serialization of `value` occupies, without
+/// materializing the string. Used for Table 1 size accounting at scale.
+size_t SerializedSize(const Value& value);
+
+}  // namespace jsonsi::json
+
+#endif  // JSONSI_JSON_SERIALIZER_H_

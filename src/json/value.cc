@@ -1,0 +1,202 @@
+#include "json/value.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "support/hash.h"
+
+namespace jsonsi::json {
+namespace {
+
+// Per-kind seeds so that e.g. the empty record and the empty array hash
+// differently.
+constexpr uint64_t kKindSeed[] = {
+    0x6a09e667f3bcc908ULL, 0xbb67ae8584caa73bULL, 0x3c6ef372fe94f82bULL,
+    0xa54ff53a5f1d36f1ULL, 0x510e527fade682d1ULL, 0x9b05688c2b3e6c1fULL,
+};
+
+uint64_t SeedFor(ValueKind kind) {
+  return kKindSeed[static_cast<size_t>(kind)];
+}
+
+}  // namespace
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kNum:
+      return "num";
+    case ValueKind::kStr:
+      return "str";
+    case ValueKind::kRecord:
+      return "record";
+    case ValueKind::kArray:
+      return "array";
+  }
+  return "?";
+}
+
+ValueRef Value::Null() {
+  static const ValueRef instance = [] {
+    auto v = std::shared_ptr<Value>(new Value());
+    v->kind_ = ValueKind::kNull;
+    v->hash_ = SeedFor(ValueKind::kNull);
+    return v;
+  }();
+  return instance;
+}
+
+ValueRef Value::Bool(bool b) {
+  static const ValueRef kTrue = [] {
+    auto v = std::shared_ptr<Value>(new Value());
+    v->kind_ = ValueKind::kBool;
+    v->num_ = 1;
+    v->hash_ = HashCombine(SeedFor(ValueKind::kBool), 1);
+    return v;
+  }();
+  static const ValueRef kFalse = [] {
+    auto v = std::shared_ptr<Value>(new Value());
+    v->kind_ = ValueKind::kBool;
+    v->num_ = 0;
+    v->hash_ = HashCombine(SeedFor(ValueKind::kBool), 0);
+    return v;
+  }();
+  return b ? kTrue : kFalse;
+}
+
+ValueRef Value::Num(double n) {
+  auto v = std::shared_ptr<Value>(new Value());
+  v->kind_ = ValueKind::kNum;
+  v->num_ = n;
+  v->hash_ = HashCombine(SeedFor(ValueKind::kNum), std::bit_cast<uint64_t>(n));
+  return v;
+}
+
+ValueRef Value::Str(std::string s) {
+  auto v = std::shared_ptr<Value>(new Value());
+  v->kind_ = ValueKind::kStr;
+  v->hash_ = HashCombine(SeedFor(ValueKind::kStr), HashBytes(s));
+  v->str_ = std::move(s);
+  return v;
+}
+
+Result<ValueRef> Value::Record(std::vector<Field> fields) {
+  std::sort(fields.begin(), fields.end(),
+            [](const Field& a, const Field& b) { return a.key < b.key; });
+  for (size_t i = 1; i < fields.size(); ++i) {
+    if (fields[i - 1].key == fields[i].key) {
+      return Status::InvalidArgument("duplicate record key: \"" +
+                                     fields[i].key + "\"");
+    }
+  }
+  return RecordUnchecked(std::move(fields));
+}
+
+ValueRef Value::RecordUnchecked(std::vector<Field> fields) {
+  std::sort(fields.begin(), fields.end(),
+            [](const Field& a, const Field& b) { return a.key < b.key; });
+#ifndef NDEBUG
+  for (size_t i = 1; i < fields.size(); ++i) {
+    assert(fields[i - 1].key != fields[i].key && "duplicate record key");
+  }
+#endif
+  auto v = std::shared_ptr<Value>(new Value());
+  v->kind_ = ValueKind::kRecord;
+  uint64_t h = SeedFor(ValueKind::kRecord);
+  for (const Field& f : fields) {
+    h = HashCombine(h, HashBytes(f.key));
+    h = HashCombine(h, f.value->hash());
+  }
+  v->hash_ = h;
+  v->fields_ = std::move(fields);
+  return v;
+}
+
+ValueRef Value::Array(std::vector<ValueRef> elements) {
+  auto v = std::shared_ptr<Value>(new Value());
+  v->kind_ = ValueKind::kArray;
+  uint64_t h = SeedFor(ValueKind::kArray);
+  for (const ValueRef& e : elements) h = HashCombine(h, e->hash());
+  v->hash_ = h;
+  v->elements_ = std::move(elements);
+  return v;
+}
+
+double Value::num_value() const {
+  assert(is_num());
+  return num_;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  assert(is_record());
+  auto it = std::lower_bound(
+      fields_.begin(), fields_.end(), key,
+      [](const Field& f, std::string_view k) { return f.key < k; });
+  if (it != fields_.end() && it->key == key) return it->value.get();
+  return nullptr;
+}
+
+bool Value::Equals(const Value& other) const {
+  if (this == &other) return true;
+  if (kind_ != other.kind_ || hash_ != other.hash_) return false;
+  switch (kind_) {
+    case ValueKind::kNull:
+      return true;
+    case ValueKind::kBool:
+    case ValueKind::kNum:
+      // Note: NaN payloads never occur (the parser rejects non-finite
+      // numbers), so bitwise-insensitive == is correct here.
+      return num_ == other.num_;
+    case ValueKind::kStr:
+      return str_ == other.str_;
+    case ValueKind::kRecord: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].key != other.fields_[i].key) return false;
+        if (!fields_[i].value->Equals(*other.fields_[i].value)) return false;
+      }
+      return true;
+    }
+    case ValueKind::kArray: {
+      if (elements_.size() != other.elements_.size()) return false;
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (!elements_[i]->Equals(*other.elements_[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Value::TreeSize() const {
+  switch (kind_) {
+    case ValueKind::kNull:
+    case ValueKind::kBool:
+    case ValueKind::kNum:
+    case ValueKind::kStr:
+      return 1;
+    case ValueKind::kRecord: {
+      size_t n = 1;
+      for (const Field& f : fields_) n += 1 + f.value->TreeSize();
+      return n;
+    }
+    case ValueKind::kArray: {
+      size_t n = 1;
+      for (const ValueRef& e : elements_) n += e->TreeSize();
+      return n;
+    }
+  }
+  return 1;
+}
+
+bool ValueEquals(const ValueRef& a, const ValueRef& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  return a->Equals(*b);
+}
+
+}  // namespace jsonsi::json

@@ -1,0 +1,145 @@
+// JSON value model — the data syntax of Figure 2 of the paper.
+//
+//   V ::= B | R | A
+//   B ::= null | true | false | n | s
+//   R ::= {l1:V1, ..., ln:Vn}     (set of fields; keys mutually distinct)
+//   A ::= [V1, ..., Vn]           (ordered list)
+//
+// Values are immutable and shared via ValueRef (shared_ptr<const Value>), so
+// generated datasets can alias common substructure cheaply and values can be
+// passed through the map/reduce engine without copies.
+//
+// Records are *sets* of fields: the paper identifies two records that only
+// differ in field order, so Value canonicalizes record fields by sorting on
+// the key at construction. Key uniqueness (well-formedness) is enforced: the
+// checked factory returns an error for duplicates and the parser rejects
+// duplicate keys.
+//
+// Every value carries a structural hash computed bottom-up at construction,
+// making hash-based deduplication O(length of the value) overall.
+
+#ifndef JSONSI_JSON_VALUE_H_
+#define JSONSI_JSON_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace jsonsi::json {
+
+class Value;
+
+/// Shared handle to an immutable JSON value.
+using ValueRef = std::shared_ptr<const Value>;
+
+/// The six value shapes of the JSON data model.
+enum class ValueKind : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kNum = 2,
+  kStr = 3,
+  kRecord = 4,
+  kArray = 5,
+};
+
+/// Returns "null", "bool", "num", "str", "record" or "array".
+const char* ValueKindName(ValueKind kind);
+
+/// One key/value association inside a record.
+struct Field {
+  std::string key;
+  ValueRef value;
+};
+
+/// An immutable JSON value (basic, record, or array).
+class Value {
+ public:
+  // -- Factories ------------------------------------------------------------
+
+  /// The null value (a shared singleton).
+  static ValueRef Null();
+  /// A boolean value (shared singletons for true/false).
+  static ValueRef Bool(bool b);
+  /// A number value. JSON does not distinguish int/float and neither does the
+  /// type language (a single `Num` type), so numbers are doubles.
+  static ValueRef Num(double n);
+  /// A string value.
+  static ValueRef Str(std::string s);
+  /// A record. Fields are sorted by key; duplicate keys are a checked error
+  /// (records must be well-formed per Section 4 of the paper).
+  static Result<ValueRef> Record(std::vector<Field> fields);
+  /// Unchecked record factory for trusted construction sites (generators,
+  /// tests) where keys are known distinct. Asserts in debug builds.
+  static ValueRef RecordUnchecked(std::vector<Field> fields);
+  /// An array of the given elements.
+  static ValueRef Array(std::vector<ValueRef> elements);
+
+  // -- Observers ------------------------------------------------------------
+
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+  bool is_bool() const { return kind_ == ValueKind::kBool; }
+  bool is_num() const { return kind_ == ValueKind::kNum; }
+  bool is_str() const { return kind_ == ValueKind::kStr; }
+  bool is_record() const { return kind_ == ValueKind::kRecord; }
+  bool is_array() const { return kind_ == ValueKind::kArray; }
+
+  /// Requires is_bool().
+  bool bool_value() const { return num_ != 0; }
+  /// Requires is_num().
+  double num_value() const;
+  /// Requires is_str().
+  const std::string& str_value() const { return str_; }
+  /// Requires is_record(). Fields are sorted by key.
+  const std::vector<Field>& fields() const { return fields_; }
+  /// Requires is_array().
+  const std::vector<ValueRef>& elements() const { return elements_; }
+
+  /// Record field lookup by key; nullptr when absent. Requires is_record().
+  const Value* Find(std::string_view key) const;
+
+  /// Structural hash, cached at construction. Equal values hash equally.
+  uint64_t hash() const { return hash_; }
+
+  /// Deep structural equality (records compare as sets of fields — both are
+  /// key-sorted, so this is a linear scan).
+  bool Equals(const Value& other) const;
+
+  /// Number of nodes in the value tree (records contribute 1 + one node per
+  /// field; used for dataset statistics).
+  size_t TreeSize() const;
+
+ private:
+  friend ValueRef MakeValueForTesting();
+  Value() = default;
+
+  ValueKind kind_ = ValueKind::kNull;
+  double num_ = 0;                  // kBool (0/1) and kNum payload
+  std::string str_;                 // kStr payload
+  std::vector<Field> fields_;       // kRecord payload, key-sorted
+  std::vector<ValueRef> elements_;  // kArray payload
+  uint64_t hash_ = 0;
+};
+
+/// Deep equality through refs (null-safe: two nulls are equal).
+bool ValueEquals(const ValueRef& a, const ValueRef& b);
+
+/// Hash/equality functors for unordered containers keyed on ValueRef.
+struct ValueRefHash {
+  size_t operator()(const ValueRef& v) const {
+    return static_cast<size_t>(v->hash());
+  }
+};
+struct ValueRefEq {
+  bool operator()(const ValueRef& a, const ValueRef& b) const {
+    return ValueEquals(a, b);
+  }
+};
+
+}  // namespace jsonsi::json
+
+#endif  // JSONSI_JSON_VALUE_H_

@@ -1,0 +1,72 @@
+#include "query/path_expansion.h"
+
+#include "stats/paths.h"
+#include "support/string_util.h"
+
+namespace jsonsi::query {
+namespace {
+
+bool ValidPattern(const std::vector<std::string_view>& segments) {
+  if (segments.empty()) return false;
+  for (std::string_view s : segments) {
+    if (s.empty()) return false;
+    // Reject *** and other malformed wildcard spellings; '*' may otherwise
+    // only appear as a whole segment.
+    if (s.find('*') != std::string_view::npos && s != "*" && s != "**") {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Classic two-pointer glob matching over segments with backtracking for the
+// last-seen '**'.
+bool MatchSegments(const std::vector<std::string_view>& path,
+                   const std::vector<std::string_view>& pattern) {
+  size_t p = 0;      // position in path
+  size_t q = 0;      // position in pattern
+  size_t star_q = std::string_view::npos;  // pattern index after last '**'
+  size_t star_p = 0;                       // path index to resume from
+  while (p < path.size()) {
+    if (q < pattern.size() &&
+        (pattern[q] == path[p] || pattern[q] == "*")) {
+      ++p;
+      ++q;
+    } else if (q < pattern.size() && pattern[q] == "**") {
+      star_q = ++q;
+      star_p = p;
+    } else if (star_q != std::string_view::npos) {
+      // Extend the last '**' by one more segment.
+      q = star_q;
+      p = ++star_p;
+    } else {
+      return false;
+    }
+  }
+  while (q < pattern.size() && pattern[q] == "**") ++q;
+  return q == pattern.size();
+}
+
+}  // namespace
+
+bool PathMatchesPattern(std::string_view path, std::string_view pattern) {
+  std::vector<std::string_view> pattern_segments = Split(pattern, '.');
+  if (!ValidPattern(pattern_segments)) return false;
+  std::vector<std::string_view> path_segments = Split(path, '.');
+  return MatchSegments(path_segments, pattern_segments);
+}
+
+std::vector<std::string> ExpandPathPattern(const types::Type& schema,
+                                           std::string_view pattern) {
+  std::vector<std::string_view> pattern_segments = Split(pattern, '.');
+  if (!ValidPattern(pattern_segments)) return {};
+  std::vector<std::string> out;
+  for (const std::string& path : stats::TypePaths(schema)) {
+    if (MatchSegments(Split(path, '.'), pattern_segments)) {
+      out.push_back(path);
+    }
+  }
+  return out;  // TypePaths is a std::set: already sorted
+}
+
+}  // namespace jsonsi::query

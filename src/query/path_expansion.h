@@ -1,0 +1,42 @@
+// Schema-based path-pattern expansion — the query-optimization application
+// of complete schemas from Section 1 of the paper: "JSON queries can be
+// optimized at compile-time by means of schema-based path rewriting and
+// wildcard expansion [16] or projection [9]. These optimizations are not
+// possible if the schema hides some of the structural properties of the
+// data" — which is why the skeleton approach fails here and the complete
+// fused schema works.
+//
+// Patterns are dotted segment sequences over the schema's label paths
+// ("entities.hashtags[].text"):
+//   *        matches exactly one segment
+//   **       matches any number of segments (including zero)
+//   name     matches the segment literally ("hashtags[]" is one segment)
+//
+// Expansion replaces a wildcard query by the finite set of concrete paths
+// that exist in the schema; an empty expansion proves, statically, that the
+// query can never select anything.
+
+#ifndef JSONSI_QUERY_PATH_EXPANSION_H_
+#define JSONSI_QUERY_PATH_EXPANSION_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "types/type.h"
+
+namespace jsonsi::query {
+
+/// Expands `pattern` against the label paths of `schema`. Results are the
+/// matching concrete paths, sorted. An invalid pattern (empty, empty
+/// segment, "***") yields an empty result.
+std::vector<std::string> ExpandPathPattern(const types::Type& schema,
+                                           std::string_view pattern);
+
+/// Core matcher, usable against any path set (e.g. stats::ValuePaths).
+bool PathMatchesPattern(std::string_view path, std::string_view pattern);
+
+}  // namespace jsonsi::query
+
+#endif  // JSONSI_QUERY_PATH_EXPANSION_H_

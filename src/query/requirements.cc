@@ -1,0 +1,133 @@
+#include "query/requirements.h"
+
+#include <optional>
+
+#include "query/path_expansion.h"
+#include "support/string_util.h"
+#include "types/printer.h"
+#include "types/subtype.h"
+
+namespace jsonsi::query {
+
+using types::Type;
+using types::TypeRef;
+
+namespace {
+
+// Resolution of one concrete schema path (as produced by TypePaths): the
+// type found at that position and whether any step along the way can be
+// absent in a record (an optional field, or an array element step — arrays
+// may always be empty).
+struct Resolution {
+  TypeRef type;
+  bool may_be_absent = false;
+};
+
+// Picks the record alternative of a (possibly union) type; nullptr if none.
+const Type* RecordAlt(const TypeRef& t) {
+  for (const TypeRef& alt : types::Flatten(t)) {
+    if (alt->is_record()) return alt.get();
+  }
+  return nullptr;
+}
+
+// Picks the array alternative; nullptr if none.
+const Type* ArrayAlt(const TypeRef& t) {
+  for (const TypeRef& alt : types::Flatten(t)) {
+    if (alt->is_array()) return alt.get();
+  }
+  return nullptr;
+}
+
+TypeRef ArrayBody(const Type& array) {
+  if (array.is_array_star()) return array.body();
+  // Exact arrays: the union of the element types (position-insensitive,
+  // which is what a path step selects).
+  std::vector<TypeRef> elements = array.elements();
+  return Type::Union(std::move(elements));
+}
+
+std::optional<Resolution> Resolve(const TypeRef& schema,
+                                  const std::string& path) {
+  Resolution r{schema, false};
+  for (std::string_view segment : Split(path, '.')) {
+    // A segment is "<name>[]*": a field name (possibly empty at the root
+    // for top-level arrays) followed by zero or more array descents.
+    size_t bracket = segment.find("[]");
+    std::string_view name = segment.substr(0, bracket);
+    if (!name.empty()) {
+      const Type* record = RecordAlt(r.type);
+      if (!record) return std::nullopt;
+      const types::FieldType* field = record->FindField(name);
+      if (!field) return std::nullopt;
+      r.may_be_absent |= field->optional;
+      r.type = field->type;
+    }
+    while (bracket != std::string_view::npos) {
+      const Type* array = ArrayAlt(r.type);
+      if (!array) return std::nullopt;
+      // An array element step is never guaranteed: arrays may be empty.
+      r.may_be_absent = true;
+      r.type = ArrayBody(*array);
+      bracket = segment.find("[]", bracket + 2);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+const char* RequirementStatusName(RequirementStatus status) {
+  switch (status) {
+    case RequirementStatus::kOk:
+      return "ok";
+    case RequirementStatus::kMissing:
+      return "missing";
+    case RequirementStatus::kTypeMismatch:
+      return "type-mismatch";
+    case RequirementStatus::kMayBeAbsent:
+      return "may-be-absent";
+  }
+  return "?";
+}
+
+std::vector<RequirementResult> CheckRequirements(
+    const TypeRef& schema, const std::vector<FieldRequirement>& requirements) {
+  std::vector<RequirementResult> results;
+  results.reserve(requirements.size());
+  for (const FieldRequirement& req : requirements) {
+    RequirementResult result;
+    result.requirement = req;
+    result.matched_paths = ExpandPathPattern(*schema, req.pattern);
+    if (result.matched_paths.empty()) {
+      result.status = RequirementStatus::kMissing;
+      result.detail = "pattern matches no schema path: the selection can "
+                      "never produce data";
+      results.push_back(std::move(result));
+      continue;
+    }
+    result.status = RequirementStatus::kOk;
+    for (const std::string& path : result.matched_paths) {
+      std::optional<Resolution> resolved = Resolve(schema, path);
+      if (!resolved) continue;  // defensive; expansion guarantees existence
+      if (req.expected && !types::IsSubtypeOf(*resolved->type, *req.expected)) {
+        result.status = RequirementStatus::kTypeMismatch;
+        result.detail = "at " + path + ": schema has " +
+                        types::ToString(*resolved->type) +
+                        ", query expects " + types::ToString(*req.expected);
+        break;  // mismatch dominates
+      }
+      if (req.must_be_mandatory && resolved->may_be_absent &&
+          result.status == RequirementStatus::kOk) {
+        result.status = RequirementStatus::kMayBeAbsent;
+        result.detail = "at " + path +
+                        ": a step is optional (or an array element), so "
+                        "some records lack the value";
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace jsonsi::query

@@ -1,0 +1,71 @@
+// Static checking of a query's data requirements against an inferred
+// schema — the analysis Section 1 of the paper sketches: "by identifying
+// the data requirements of a query or a program through a simple static
+// analysis technique, it is possible to match these requirements with the
+// schema", catching type errors and dead selections before any data is
+// scanned (the paper's [12] does this for Pig Latin scripts).
+//
+// A requirement names a path pattern (query/path_expansion.h wildcards
+// allowed) together with the type the query expects there, and optionally
+// insists the field chain is always present. Checking classifies each
+// requirement:
+//
+//   kOk             every matched position is a subtype of the expectation
+//   kMissing        the pattern matches no schema path (dead selection)
+//   kTypeMismatch   some matched position can hold values outside the
+//                   expectation (the query would need a runtime guard)
+//   kMayBeAbsent    types line up, but some step on a matched path is
+//                   optional while the requirement demanded mandatory
+
+#ifndef JSONSI_QUERY_REQUIREMENTS_H_
+#define JSONSI_QUERY_REQUIREMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "types/type.h"
+
+namespace jsonsi::query {
+
+/// One data requirement of a query.
+struct FieldRequirement {
+  /// Path pattern ("user.id", "entities.*.indices", "**.ts").
+  std::string pattern;
+  /// Type the query expects at every matched position (e.g. Num). Null
+  /// handle means "any type" (presence-only requirement).
+  types::TypeRef expected;
+  /// When true, every record must carry the matched paths (no optional
+  /// step allowed along the way).
+  bool must_be_mandatory = false;
+};
+
+enum class RequirementStatus {
+  kOk,
+  kMissing,
+  kTypeMismatch,
+  kMayBeAbsent,
+};
+
+/// "ok" / "missing" / "type-mismatch" / "may-be-absent".
+const char* RequirementStatusName(RequirementStatus status);
+
+/// Outcome for one requirement.
+struct RequirementResult {
+  FieldRequirement requirement;
+  RequirementStatus status = RequirementStatus::kOk;
+  /// Concrete schema paths the pattern expanded to.
+  std::vector<std::string> matched_paths;
+  /// Explanation for non-kOk outcomes ("at user.id: schema has Num + Str,
+  /// query expects Num").
+  std::string detail;
+};
+
+/// Checks every requirement against `schema`. Pure static analysis: no data
+/// is touched.
+std::vector<RequirementResult> CheckRequirements(
+    const types::TypeRef& schema,
+    const std::vector<FieldRequirement>& requirements);
+
+}  // namespace jsonsi::query
+
+#endif  // JSONSI_QUERY_REQUIREMENTS_H_

@@ -1,0 +1,195 @@
+#include "repository/schema_repository.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "fusion/fuse.h"
+#include "support/string_util.h"
+#include "types/printer.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::repository {
+
+using types::Type;
+using types::TypeRef;
+
+Status SchemaRepository::RegisterBatch(const std::string& source,
+                                       const TypeRef& batch_schema,
+                                       uint64_t record_count,
+                                       const std::string& note) {
+  if (source.empty() || source.find('\n') != std::string::npos ||
+      source.find(' ') != std::string::npos) {
+    return Status::InvalidArgument(
+        "source names must be non-empty and contain no spaces/newlines");
+  }
+  if (note.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("notes must not contain newlines");
+  }
+  if (!batch_schema) {
+    return Status::InvalidArgument("batch schema must not be null");
+  }
+  std::vector<SchemaVersion>& history = sources_[source];
+  if (history.empty()) {
+    SchemaVersion v;
+    v.version = 1;
+    v.schema = batch_schema;
+    v.cumulative_records = record_count;
+    v.note = note;
+    history.push_back(std::move(v));
+    return Status::OK();
+  }
+  SchemaVersion& current = history.back();
+  TypeRef fused = fusion::Fuse(current.schema, batch_schema);
+  if (fused->Equals(*current.schema)) {
+    // Structure unchanged: just account for the records.
+    current.cumulative_records += record_count;
+    return Status::OK();
+  }
+  SchemaVersion next;
+  next.version = current.version + 1;
+  next.schema = fused;
+  next.cumulative_records = current.cumulative_records + record_count;
+  next.note = note;
+  next.changes = diff::DiffSchemas(current.schema, fused);
+  history.push_back(std::move(next));
+  return Status::OK();
+}
+
+const SchemaVersion* SchemaRepository::Current(
+    const std::string& source) const {
+  auto it = sources_.find(source);
+  if (it == sources_.end() || it->second.empty()) return nullptr;
+  return &it->second.back();
+}
+
+const std::vector<SchemaVersion>* SchemaRepository::History(
+    const std::string& source) const {
+  auto it = sources_.find(source);
+  if (it == sources_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<diff::SchemaChange> SchemaRepository::LatestDrift(
+    const std::string& source) const {
+  auto it = sources_.find(source);
+  if (it == sources_.end() || it->second.size() < 2) return {};
+  return it->second.back().changes;
+}
+
+std::vector<std::string> SchemaRepository::Sources() const {
+  std::vector<std::string> out;
+  out.reserve(sources_.size());
+  for (const auto& [name, history] : sources_) out.push_back(name);
+  return out;
+}
+
+std::string SchemaRepository::Serialize() const {
+  // Line-oriented format:
+  //   jsonsi-schema-repository 1
+  //   source <name>
+  //   version <n> records <m> note <note...>
+  //   type <single-line type expression>
+  std::string out = "jsonsi-schema-repository 1\n";
+  for (const auto& [name, history] : sources_) {
+    out += "source " + name + "\n";
+    for (const SchemaVersion& v : history) {
+      out += "version " + std::to_string(v.version) + " records " +
+             std::to_string(v.cumulative_records) + " note " + v.note + "\n";
+      out += "type " + types::ToString(*v.schema) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<SchemaRepository> SchemaRepository::Deserialize(std::string_view text) {
+  SchemaRepository repo;
+  std::vector<std::string_view> lines = Split(text, '\n');
+  if (lines.empty() || lines[0] != "jsonsi-schema-repository 1") {
+    return Status::ParseError("bad repository header");
+  }
+  std::string current_source;
+  SchemaVersion pending;
+  bool have_pending = false;
+  auto flush = [&]() -> Status {
+    if (!have_pending) return Status::OK();
+    if (current_source.empty()) {
+      return Status::ParseError("version without a source");
+    }
+    std::vector<SchemaVersion>& history = repo.sources_[current_source];
+    if (!history.empty()) {
+      pending.changes = diff::DiffSchemas(history.back().schema,
+                                          pending.schema);
+    }
+    history.push_back(std::move(pending));
+    pending = SchemaVersion{};
+    have_pending = false;
+    return Status::OK();
+  };
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    if (line.empty()) continue;
+    if (line.rfind("source ", 0) == 0) {
+      JSONSI_RETURN_IF_ERROR(flush());
+      current_source = std::string(line.substr(7));
+      continue;
+    }
+    if (line.rfind("version ", 0) == 0) {
+      JSONSI_RETURN_IF_ERROR(flush());
+      std::istringstream parse{std::string(line)};
+      std::string kw_version, kw_records, kw_note;
+      uint64_t version = 0, records = 0;
+      parse >> kw_version >> version >> kw_records >> records >> kw_note;
+      if (!parse || kw_records != "records" || kw_note != "note") {
+        return Status::ParseError("bad version line: " + std::string(line));
+      }
+      std::string note;
+      std::getline(parse, note);
+      if (!note.empty() && note.front() == ' ') note.erase(note.begin());
+      pending.version = version;
+      pending.cumulative_records = records;
+      pending.note = std::move(note);
+      have_pending = true;
+      continue;
+    }
+    if (line.rfind("type ", 0) == 0) {
+      if (!have_pending) {
+        return Status::ParseError("type line without a version");
+      }
+      Result<TypeRef> type = types::ParseType(line.substr(5));
+      if (!type.ok()) return type.status();
+      pending.schema = std::move(type).value();
+      continue;
+    }
+    return Status::ParseError("unrecognized line: " + std::string(line));
+  }
+  JSONSI_RETURN_IF_ERROR(flush());
+  // Validate: every version has a schema.
+  for (const auto& [name, history] : repo.sources_) {
+    for (const SchemaVersion& v : history) {
+      if (!v.schema) {
+        return Status::ParseError("source " + name + " version " +
+                                  std::to_string(v.version) +
+                                  " is missing its type line");
+      }
+    }
+  }
+  return repo;
+}
+
+Status SchemaRepository::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out << Serialize();
+  return out ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+Result<SchemaRepository> SchemaRepository::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+}  // namespace jsonsi::repository

@@ -1,0 +1,80 @@
+// Versioned schema repository — the operational layer the paper's
+// incremental-inference story implies (Section 1: dynamic sources, new
+// values "added at any time, with a structure that can differ from that
+// already inferred"), and the complete-schema answer to the skeleton-based
+// repository of Wang et al. [22] discussed in Section 3.
+//
+// A repository tracks any number of named sources. Registering a batch
+// fuses the batch's schema into the source's current schema (exact, by
+// associativity); if the schema changed, a new version is recorded together
+// with the change list (diff/schema_diff.h), giving a full evolution history
+// that downstream consumers can subscribe to.
+//
+// The repository persists to a plain-text format built on the type
+// printer/parser, so saved schemas remain human-readable and diffable.
+
+#ifndef JSONSI_REPOSITORY_SCHEMA_REPOSITORY_H_
+#define JSONSI_REPOSITORY_SCHEMA_REPOSITORY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "diff/schema_diff.h"
+#include "support/status.h"
+#include "types/type.h"
+
+namespace jsonsi::repository {
+
+/// One recorded schema version of a source.
+struct SchemaVersion {
+  uint64_t version = 0;           // 1-based, monotonically increasing
+  types::TypeRef schema;          // fused schema as of this version
+  uint64_t cumulative_records = 0;  // records folded in up to this version
+  std::string note;               // free-form batch annotation (no newlines)
+  /// Changes relative to the previous version (empty for version 1).
+  std::vector<diff::SchemaChange> changes;
+};
+
+/// A named, versioned store of fused schemas.
+class SchemaRepository {
+ public:
+  /// Fuses `batch_schema` (the schema of `record_count` new records) into
+  /// `source`'s current schema. Records a new version only when the fused
+  /// schema actually changed; the running record count updates regardless.
+  /// Creates the source on first registration.
+  Status RegisterBatch(const std::string& source,
+                       const types::TypeRef& batch_schema,
+                       uint64_t record_count, const std::string& note = "");
+
+  /// Latest version of a source; nullptr when unknown.
+  const SchemaVersion* Current(const std::string& source) const;
+
+  /// Full version history (empty when unknown). Oldest first.
+  const std::vector<SchemaVersion>* History(const std::string& source) const;
+
+  /// Changes between the last two versions (empty when fewer than two).
+  std::vector<diff::SchemaChange> LatestDrift(const std::string& source) const;
+
+  /// Registered source names, sorted.
+  std::vector<std::string> Sources() const;
+
+  // -- Persistence ----------------------------------------------------------
+
+  /// Serializes the repository (all sources, all versions except per-version
+  /// change lists, which are recomputed on load).
+  std::string Serialize() const;
+  /// Parses a repository from Serialize() output.
+  static Result<SchemaRepository> Deserialize(std::string_view text);
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<SchemaRepository> LoadFromFile(const std::string& path);
+
+ private:
+  std::map<std::string, std::vector<SchemaVersion>> sources_;
+};
+
+}  // namespace jsonsi::repository
+
+#endif  // JSONSI_REPOSITORY_SCHEMA_REPOSITORY_H_

@@ -1,0 +1,104 @@
+#include "stats/key_analysis.h"
+
+#include <algorithm>
+#include <map>
+
+namespace jsonsi::stats {
+
+using types::FieldType;
+using types::Type;
+using types::TypeNode;
+using types::TypeRef;
+
+namespace {
+
+// The set of kinds a (possibly union) type covers, as a stable label.
+std::string KindSignature(const TypeRef& t) {
+  static const char* kNames[6] = {"Null", "Bool", "Num",
+                                  "Str",  "record", "array"};
+  bool kinds[6] = {false, false, false, false, false, false};
+  for (const TypeRef& alt : types::Flatten(t)) {
+    kinds[static_cast<size_t>(alt->kind())] = true;
+  }
+  std::string out;
+  for (size_t k = 0; k < 6; ++k) {
+    if (!kinds[k]) continue;
+    if (!out.empty()) out += " + ";
+    out += kNames[k];
+  }
+  return out.empty() ? "Empty" : out;
+}
+
+struct Scanner {
+  const KeyAnalysisOptions& options;
+  std::vector<KeyAsDataFinding>* out;
+
+  void ScanRecord(const Type& record, const std::string& path) {
+    const auto& fields = record.fields();
+    if (fields.size() >= options.min_fields) {
+      // Group the field types by kind signature: map entries share their
+      // shape (e.g. "every claim value is an array of statements") without
+      // being structurally identical.
+      std::map<std::string, size_t> groups;
+      size_t optional = 0;
+      for (const FieldType& f : fields) {
+        ++groups[KindSignature(f.type)];
+        optional += f.optional ? 1 : 0;
+      }
+      size_t best_count = 0;
+      std::string best_signature;
+      for (const auto& [signature, count] : groups) {
+        if (count > best_count) {
+          best_count = count;
+          best_signature = signature;
+        }
+      }
+      double uniformity =
+          static_cast<double>(best_count) / static_cast<double>(fields.size());
+      double optional_fraction =
+          static_cast<double>(optional) / static_cast<double>(fields.size());
+      if (uniformity >= options.min_uniformity &&
+          optional_fraction >= options.min_optional_fraction) {
+        out->push_back({path, fields.size(), uniformity, optional_fraction,
+                        best_signature});
+      }
+    }
+    for (const FieldType& f : fields) {
+      Scan(*f.type, path.empty() ? f.key : path + "." + f.key);
+    }
+  }
+
+  void Scan(const Type& t, const std::string& path) {
+    switch (t.node()) {
+      case TypeNode::kRecord:
+        ScanRecord(t, path);
+        return;
+      case TypeNode::kArrayExact:
+        for (const TypeRef& e : t.elements()) Scan(*e, path + "[]");
+        return;
+      case TypeNode::kArrayStar:
+        Scan(*t.body(), path + "[]");
+        return;
+      case TypeNode::kUnion:
+        for (const TypeRef& alt : t.alternatives()) Scan(*alt, path);
+        return;
+      default:
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<KeyAsDataFinding> DetectKeyAsData(
+    const TypeRef& schema, const KeyAnalysisOptions& options) {
+  std::vector<KeyAsDataFinding> findings;
+  Scanner{options, &findings}.Scan(*schema, "");
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const KeyAsDataFinding& a, const KeyAsDataFinding& b) {
+                     return a.field_count > b.field_count;
+                   });
+  return findings;
+}
+
+}  // namespace jsonsi::stats

@@ -1,0 +1,57 @@
+// Key-as-data detection — automating the paper's Wikidata diagnosis.
+//
+// Section 6.1 attributes Wikidata's poor fusion behaviour to a design smell:
+// "users identifiers are directly encoded as keys, whereas a clean design
+// would suggest encoding this information as a value of a specific key".
+// The symptom in a fused schema is unmistakable: one record position
+// accumulates a huge number of optional fields whose types are all similar
+// (they are really entries of a map, not fields of a struct).
+//
+// This analysis walks a fused schema and reports such positions, so users
+// learn *why* their schema is large and *where* the data model encodes data
+// in keys — turning the paper's manual post-mortem into a tool.
+
+#ifndef JSONSI_STATS_KEY_ANALYSIS_H_
+#define JSONSI_STATS_KEY_ANALYSIS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "types/type.h"
+
+namespace jsonsi::stats {
+
+/// Detection thresholds.
+struct KeyAnalysisOptions {
+  /// Minimum number of fields in a record before it is suspicious.
+  size_t min_fields = 32;
+  /// Minimum fraction of the record's fields whose types share the most
+  /// common KIND SIGNATURE (the set of kinds in the field type's union —
+  /// map entries are similar in shape, not structurally identical).
+  double min_uniformity = 0.8;
+  /// Minimum fraction of optional fields (map entries are almost never all
+  /// present).
+  double min_optional_fraction = 0.8;
+};
+
+/// One flagged position.
+struct KeyAsDataFinding {
+  /// Dotted path of the record position ("" = root, "claims", "a.b[]").
+  std::string path;
+  size_t field_count = 0;
+  /// Fraction of fields whose type has the dominant kind signature.
+  double uniformity = 0;
+  double optional_fraction = 0;
+  /// The dominant kind signature, e.g. "array" or "Num + Str".
+  std::string dominant_kinds;
+};
+
+/// Scans `schema` for record positions that look like maps keyed by data.
+/// Findings are ordered by field_count descending.
+std::vector<KeyAsDataFinding> DetectKeyAsData(
+    const types::TypeRef& schema, const KeyAnalysisOptions& options = {});
+
+}  // namespace jsonsi::stats
+
+#endif  // JSONSI_STATS_KEY_ANALYSIS_H_

@@ -1,0 +1,120 @@
+#include "stats/paths.h"
+
+namespace jsonsi::stats {
+namespace {
+
+void CollectValuePaths(const json::Value& value, const std::string& prefix,
+                       std::set<std::string>* out) {
+  switch (value.kind()) {
+    case json::ValueKind::kRecord:
+      for (const json::Field& f : value.fields()) {
+        std::string path = prefix.empty() ? f.key : prefix + "." + f.key;
+        out->insert(path);
+        CollectValuePaths(*f.value, path, out);
+      }
+      return;
+    case json::ValueKind::kArray: {
+      std::string path = prefix + "[]";
+      if (!value.elements().empty()) out->insert(path);
+      for (const json::ValueRef& e : value.elements()) {
+        CollectValuePaths(*e, path, out);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void CollectTypePaths(const types::Type& type, const std::string& prefix,
+                      std::set<std::string>* out) {
+  switch (type.node()) {
+    case types::TypeNode::kRecord:
+      for (const types::FieldType& f : type.fields()) {
+        std::string path = prefix.empty() ? f.key : prefix + "." + f.key;
+        out->insert(path);
+        CollectTypePaths(*f.type, path, out);
+      }
+      return;
+    case types::TypeNode::kArrayExact: {
+      std::string path = prefix + "[]";
+      if (!type.elements().empty()) out->insert(path);
+      for (const types::TypeRef& e : type.elements()) {
+        CollectTypePaths(*e, path, out);
+      }
+      return;
+    }
+    case types::TypeNode::kArrayStar: {
+      if (!type.body()->is_empty()) {
+        std::string path = prefix + "[]";
+        out->insert(path);
+        CollectTypePaths(*type.body(), path, out);
+      }
+      return;
+    }
+    case types::TypeNode::kUnion:
+      for (const types::TypeRef& alt : type.alternatives()) {
+        CollectTypePaths(*alt, prefix, out);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void CountValuePaths(const json::Value& value, const std::string& prefix,
+                     std::set<std::string>* seen) {
+  // Dedup within one value so a path is counted once per record.
+  switch (value.kind()) {
+    case json::ValueKind::kRecord:
+      for (const json::Field& f : value.fields()) {
+        std::string path = prefix.empty() ? f.key : prefix + "." + f.key;
+        seen->insert(path);
+        CountValuePaths(*f.value, path, seen);
+      }
+      return;
+    case json::ValueKind::kArray: {
+      std::string path = prefix + "[]";
+      if (!value.elements().empty()) seen->insert(path);
+      for (const json::ValueRef& e : value.elements()) {
+        CountValuePaths(*e, path, seen);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+std::set<std::string> ValuePaths(const json::Value& value) {
+  std::set<std::string> out;
+  CollectValuePaths(value, "", &out);
+  return out;
+}
+
+std::set<std::string> TypePaths(const types::Type& type) {
+  std::set<std::string> out;
+  CollectTypePaths(type, "", &out);
+  return out;
+}
+
+void PathCounter::Add(const json::Value& value) {
+  std::set<std::string> seen;
+  CountValuePaths(value, "", &seen);
+  for (const std::string& path : seen) ++counts_[path];
+  ++total_;
+}
+
+double Coverage(const std::set<std::string>& required,
+                const std::set<std::string>& provided) {
+  if (required.empty()) return 1.0;
+  size_t hit = 0;
+  for (const std::string& path : required) {
+    if (provided.count(path)) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(required.size());
+}
+
+}  // namespace jsonsi::stats

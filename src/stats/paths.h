@@ -1,0 +1,57 @@
+// Path enumeration over values and types.
+//
+// The paper's central completeness claim (Section 1) is that "each path that
+// can be traversed in the tree-structure of each input JSON value can be
+// traversed in the inferred schema as well" — unlike skeleton approaches that
+// may drop rare paths. These helpers make that claim checkable: enumerate
+// the label paths of values and of types, and measure coverage.
+//
+// Path syntax: dot-separated keys, with "[]" for an array step, e.g.
+//   entities.hashtags[].text
+// The root contributes no component; a path exists for every traversable
+// node, including intermediate ones.
+
+#ifndef JSONSI_STATS_PATHS_H_
+#define JSONSI_STATS_PATHS_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "json/value.h"
+#include "types/type.h"
+
+namespace jsonsi::stats {
+
+/// All label paths traversable in `value` (excluding the empty root path).
+std::set<std::string> ValuePaths(const json::Value& value);
+
+/// All label paths traversable in the denotation of `type`: union branches
+/// merge, optional fields still contribute their paths, array types
+/// contribute "[]" steps (element positions of exact arrays collapse).
+std::set<std::string> TypePaths(const types::Type& type);
+
+/// Accumulates per-path occurrence counts across many values (used by the
+/// skeleton baseline to find "frequent" structure).
+class PathCounter {
+ public:
+  /// Counts each path of `value` once.
+  void Add(const json::Value& value);
+
+  /// Number of values added.
+  size_t total() const { return total_; }
+
+  const std::map<std::string, size_t>& counts() const { return counts_; }
+
+ private:
+  std::map<std::string, size_t> counts_;
+  size_t total_ = 0;
+};
+
+/// Fraction of `required` contained in `provided` (1.0 when required empty).
+double Coverage(const std::set<std::string>& required,
+                const std::set<std::string>& provided);
+
+}  // namespace jsonsi::stats
+
+#endif  // JSONSI_STATS_PATHS_H_

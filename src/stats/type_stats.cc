@@ -1,0 +1,24 @@
+#include "stats/type_stats.h"
+
+#include <algorithm>
+
+namespace jsonsi::stats {
+
+SizeStats ComputeSizeStats(const std::vector<types::TypeRef>& ts) {
+  SizeStats out;
+  if (ts.empty()) return out;
+  out.count = ts.size();
+  out.min = ts.front()->size();
+  out.max = ts.front()->size();
+  double total = 0;
+  for (const types::TypeRef& t : ts) {
+    size_t s = t->size();
+    out.min = std::min(out.min, s);
+    out.max = std::max(out.max, s);
+    total += static_cast<double>(s);
+  }
+  out.avg = total / static_cast<double>(ts.size());
+  return out;
+}
+
+}  // namespace jsonsi::stats

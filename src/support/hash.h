@@ -1,0 +1,44 @@
+// Hashing helpers: 64-bit mixing and combination for structural hashes.
+//
+// Type and value nodes cache a structural hash computed at construction, so
+// distinct-type counting over millions of records is O(1) amortized per
+// lookup. The mixers below are the finalizers of SplitMix64, which have good
+// avalanche behaviour and need no external dependencies.
+
+#ifndef JSONSI_SUPPORT_HASH_H_
+#define JSONSI_SUPPORT_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace jsonsi {
+
+/// SplitMix64 finalizer: bijective 64-bit mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Order-dependent combination of two hashes.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// FNV-1a over bytes; stable across platforms.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace jsonsi
+
+#endif  // JSONSI_SUPPORT_HASH_H_

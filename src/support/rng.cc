@@ -1,0 +1,107 @@
+#include "support/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jsonsi {
+namespace {
+
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64Next(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  // Lemire's multiply-shift; the tiny modulo bias is irrelevant for workload
+  // synthesis and keeps the generator branch-free and reproducible.
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+}
+
+int64_t Rng::Range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  // Inverse-CDF sampling over the truncated zeta distribution. n is small in
+  // all generator call sites (< a few thousand), so the linear scan is fine.
+  double target = NextDouble();
+  double norm = 0.0;
+  for (uint64_t r = 0; r < n; ++r) norm += 1.0 / std::pow(r + 1.0, s);
+  double acc = 0.0;
+  for (uint64_t r = 0; r < n; ++r) {
+    acc += (1.0 / std::pow(r + 1.0, s)) / norm;
+    if (target < acc) return r;
+  }
+  return n - 1;
+}
+
+ZipfTable::ZipfTable(uint64_t n, double s) {
+  cdf_.reserve(n);
+  double acc = 0.0;
+  for (uint64_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(r + 1.0, s);
+    cdf_.push_back(acc);
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+uint64_t ZipfTable::Sample(Rng& rng) const {
+  double target = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), target);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+std::string Rng::Ident(size_t length) {
+  static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) out.push_back(kAlpha[Below(26)]);
+  return out;
+}
+
+std::string Rng::Words(size_t words) {
+  std::string out;
+  out.reserve(words * 6);
+  for (size_t i = 0; i < words; ++i) {
+    if (i) out.push_back(' ');
+    out += Ident(2 + Below(7));
+  }
+  return out;
+}
+
+}  // namespace jsonsi

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// The dataset generators must be reproducible across runs and platforms so
+// that the experiment tables are stable; std::mt19937 distributions are not
+// guaranteed identical across standard libraries, so we implement both the
+// generator (xoshiro256**) and the distributions we need.
+
+#ifndef JSONSI_SUPPORT_RNG_H_
+#define JSONSI_SUPPORT_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsonsi {
+
+/// xoshiro256** seeded via SplitMix64. Deterministic for a given seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  /// bound must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// Zipf-like rank in [0, n): rank r chosen with weight 1/(r+1)^s.
+  /// O(n) per draw — use ZipfTable for hot paths.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Lowercase ASCII identifier of the given length.
+  std::string Ident(size_t length);
+
+  /// Space-separated lowercase pseudo-words totalling roughly `words` words.
+  /// Models prose fields (NYTimes snippets/paragraphs).
+  std::string Words(size_t words);
+
+  /// Picks one element uniformly. Requires non-empty items.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Below(items.size())];
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Precomputed Zipf(n, s) sampler: O(n) construction, O(log n) per draw.
+/// The generators share static instances, so sampling skewed key spaces
+/// (thousands of Wikidata property ids per record) stays cheap.
+class ZipfTable {
+ public:
+  ZipfTable(uint64_t n, double s);
+
+  /// Rank in [0, n) with probability proportional to 1/(rank+1)^s.
+  uint64_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace jsonsi
+
+#endif  // JSONSI_SUPPORT_RNG_H_

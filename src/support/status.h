@@ -1,0 +1,125 @@
+// Minimal Status / Result<T> error-handling vocabulary used across jsonsi.
+//
+// Fallible operations return Status (no payload) or Result<T> (payload or
+// error). Neither throws; callers must inspect ok() before using a Result's
+// value. This mirrors the Status idiom used by Arrow and RocksDB, scaled to
+// the needs of this library.
+
+#ifndef JSONSI_SUPPORT_STATUS_H_
+#define JSONSI_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace jsonsi {
+
+/// Coarse error taxonomy. Parse errors carry positions via their message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kOutOfRange,
+  kNotFound,
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation with no payload.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Status is cheap to copy for OK (no allocation) and small
+/// otherwise.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Accessing value() on an
+/// error result is a programming bug (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status: allows `return Status::ParseError(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace jsonsi
+
+/// Propagates an error status from an expression, RETURN_IF_ERROR style.
+#define JSONSI_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::jsonsi::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // JSONSI_SUPPORT_STATUS_H_

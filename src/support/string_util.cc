@@ -1,0 +1,110 @@
+#include "support/string_util.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace jsonsi {
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+}
+
+std::string FormatJsonNumber(double value) {
+  // Integral doubles in the 53-bit-safe range print as integers, which is
+  // what every mainstream JSON serializer emits for them.
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), static_cast<int64_t>(value));
+    (void)ec;
+    return std::string(buf, ptr);
+  }
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  return std::string(buf, ptr);
+}
+
+std::string WithThousands(int64_t value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  if (value < 0) out.push_back('-');
+  size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  out.append(digits, 0, lead);
+  for (size_t i = lead; i < digits.size(); i += 3) {
+    out.push_back(',');
+    out.append(digits, i, 3);
+  }
+  return out;
+}
+
+std::string FormatFixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1000.0 && unit < 4) {
+    v /= 1000.0;
+    ++unit;
+  }
+  // One decimal below 10, none above (matches "1.3GB" / "14MB" in Table 1).
+  if (v < 10.0 && unit > 0) return FormatFixed(v, 1) + units[unit];
+  return FormatFixed(v, 0) + units[unit];
+}
+
+std::vector<std::string_view> Split(std::string_view text, char delim) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      pieces.push_back(text.substr(start));
+      return pieces;
+    }
+    pieces.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace jsonsi

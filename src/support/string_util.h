@@ -1,0 +1,37 @@
+// Small string helpers shared by the JSON serializer, the type printer and
+// the benchmark table writers.
+
+#ifndef JSONSI_SUPPORT_STRING_UTIL_H_
+#define JSONSI_SUPPORT_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsonsi {
+
+/// Appends `text` to `out` with JSON string escaping (quotes, backslash,
+/// control characters as \uXXXX shorthand where JSON defines one).
+void AppendJsonEscaped(std::string_view text, std::string* out);
+
+/// Renders a double with the shortest representation that round-trips,
+/// matching how JSON numbers are conventionally serialized. Integral values
+/// within the safe range print without a fractional part.
+std::string FormatJsonNumber(double value);
+
+/// "1234567" -> "1,234,567" (for table output).
+std::string WithThousands(int64_t value);
+
+/// Fixed-point format with `digits` decimals.
+std::string FormatFixed(double value, int digits);
+
+/// Human-readable byte count: "14MB", "1.3GB" (decimal units, like Table 1).
+std::string HumanBytes(uint64_t bytes);
+
+/// Splits on a delimiter, keeping empty pieces.
+std::vector<std::string_view> Split(std::string_view text, char delim);
+
+}  // namespace jsonsi
+
+#endif  // JSONSI_SUPPORT_STRING_UTIL_H_

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the experiment harnesses.
+
+#ifndef JSONSI_SUPPORT_TIMER_H_
+#define JSONSI_SUPPORT_TIMER_H_
+
+#include <chrono>
+
+namespace jsonsi {
+
+/// Monotonic stopwatch; starts at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace jsonsi
+
+#endif  // JSONSI_SUPPORT_TIMER_H_

@@ -1,0 +1,168 @@
+#include "types/explain.h"
+
+#include "types/membership.h"
+#include "types/printer.h"
+
+namespace jsonsi::types {
+namespace {
+
+using json::Value;
+using json::ValueKind;
+
+const char* ValueKindLabel(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kNum:
+      return "num";
+    case ValueKind::kStr:
+      return "str";
+    case ValueKind::kRecord:
+      return "record";
+    case ValueKind::kArray:
+      return "array";
+  }
+  return "?";
+}
+
+// Paper kind of a value (same numbering as types::Kind).
+Kind ValueKindOf(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return Kind::kNull;
+    case ValueKind::kBool:
+      return Kind::kBool;
+    case ValueKind::kNum:
+      return Kind::kNum;
+    case ValueKind::kStr:
+      return Kind::kStr;
+    case ValueKind::kRecord:
+      return Kind::kRecord;
+    case ValueKind::kArray:
+      return Kind::kArray;
+  }
+  return Kind::kNull;
+}
+
+std::string Join(const std::string& prefix, const std::string& step) {
+  return prefix.empty() ? step : prefix + "." + step;
+}
+
+std::optional<Mismatch> ExplainAt(const Value& value, const Type& type,
+                                  const std::string& path);
+
+std::optional<Mismatch> ExplainRecord(const Value& value, const Type& type,
+                                      const std::string& path) {
+  const auto& vfields = value.fields();
+  const auto& tfields = type.fields();
+  size_t vi = 0;
+  size_t ti = 0;
+  while (vi < vfields.size() && ti < tfields.size()) {
+    int cmp = vfields[vi].key.compare(tfields[ti].key);
+    if (cmp == 0) {
+      if (auto m = ExplainAt(*vfields[vi].value, *tfields[ti].type,
+                             Join(path, vfields[vi].key))) {
+        return m;
+      }
+      ++vi;
+      ++ti;
+    } else if (cmp < 0) {
+      return Mismatch{path, "unexpected field \"" + vfields[vi].key +
+                                "\" (not declared by the schema)"};
+    } else {
+      if (!tfields[ti].optional) {
+        return Mismatch{path,
+                        "missing mandatory field \"" + tfields[ti].key + "\""};
+      }
+      ++ti;
+    }
+  }
+  if (vi < vfields.size()) {
+    return Mismatch{path, "unexpected field \"" + vfields[vi].key +
+                              "\" (not declared by the schema)"};
+  }
+  for (; ti < tfields.size(); ++ti) {
+    if (!tfields[ti].optional) {
+      return Mismatch{path,
+                      "missing mandatory field \"" + tfields[ti].key + "\""};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Mismatch> ExplainAt(const Value& value, const Type& type,
+                                  const std::string& path) {
+  if (Matches(value, type)) return std::nullopt;
+  switch (type.node()) {
+    case TypeNode::kNull:
+    case TypeNode::kBool:
+    case TypeNode::kNum:
+    case TypeNode::kStr:
+      return Mismatch{path, std::string("expected ") + ToString(type) +
+                                ", found " + ValueKindLabel(value.kind())};
+    case TypeNode::kEmpty:
+      return Mismatch{path, "no value can match the empty type"};
+    case TypeNode::kRecord:
+      if (!value.is_record()) {
+        return Mismatch{path, std::string("expected a record, found ") +
+                                  ValueKindLabel(value.kind())};
+      }
+      return ExplainRecord(value, type, path);
+    case TypeNode::kArrayExact: {
+      if (!value.is_array()) {
+        return Mismatch{path, std::string("expected an array, found ") +
+                                  ValueKindLabel(value.kind())};
+      }
+      const auto& elems = value.elements();
+      const auto& types = type.elements();
+      if (elems.size() != types.size()) {
+        return Mismatch{path, "expected exactly " +
+                                  std::to_string(types.size()) +
+                                  " array elements, found " +
+                                  std::to_string(elems.size())};
+      }
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (auto m = ExplainAt(*elems[i], *types[i],
+                               path + "[" + std::to_string(i) + "]")) {
+          return m;
+        }
+      }
+      return std::nullopt;  // unreachable: Matches was false
+    }
+    case TypeNode::kArrayStar: {
+      if (!value.is_array()) {
+        return Mismatch{path, std::string("expected an array, found ") +
+                                  ValueKindLabel(value.kind())};
+      }
+      const auto& elems = value.elements();
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (auto m = ExplainAt(*elems[i], *type.body(),
+                               path + "[" + std::to_string(i) + "]")) {
+          return m;
+        }
+      }
+      return std::nullopt;  // unreachable
+    }
+    case TypeNode::kUnion: {
+      // Descend into the alternative of the value's kind when present —
+      // that is where the informative mismatch lives.
+      Kind vk = ValueKindOf(value);
+      for (const TypeRef& alt : type.alternatives()) {
+        if (alt->kind() == vk) return ExplainAt(value, *alt, path);
+      }
+      return Mismatch{path, std::string("expected ") + ToString(type) +
+                                ", found " + ValueKindLabel(value.kind())};
+    }
+  }
+  return Mismatch{path, "mismatch"};
+}
+
+}  // namespace
+
+std::optional<Mismatch> Explain(const Value& value, const Type& type) {
+  return ExplainAt(value, type, "");
+}
+
+}  // namespace jsonsi::types

@@ -1,0 +1,43 @@
+// Mismatch explanation: WHY does a value not belong to a type?
+//
+// `Matches` (membership.h) answers yes/no; validation workflows need the
+// failing position. `Explain` returns the first (leftmost-deepest) point
+// where the value falls outside the type's denotation, with a dotted path
+// and a human-readable reason — what powers `jsi check`'s diagnostics.
+//
+// For union types the explanation descends into the alternative with the
+// matching top-level kind when one exists (the informative branch); when no
+// alternative has the value's kind the mismatch is reported at the union
+// itself.
+
+#ifndef JSONSI_TYPES_EXPLAIN_H_
+#define JSONSI_TYPES_EXPLAIN_H_
+
+#include <optional>
+#include <string>
+
+#include "json/value.h"
+#include "types/type.h"
+
+namespace jsonsi::types {
+
+/// One explained mismatch.
+struct Mismatch {
+  /// Dotted path to the failing position ("" = the root value).
+  std::string path;
+  /// Human-readable reason, e.g. "expected Num + Str, found bool" or
+  /// "missing mandatory field \"id\"".
+  std::string reason;
+};
+
+/// Returns the first mismatch, or nullopt when `value` matches `type`.
+/// Consistent with Matches: Explain(v, t).has_value() == !Matches(v, t).
+std::optional<Mismatch> Explain(const json::Value& value, const Type& type);
+inline std::optional<Mismatch> Explain(const json::ValueRef& value,
+                                       const TypeRef& type) {
+  return Explain(*value, *type);
+}
+
+}  // namespace jsonsi::types
+
+#endif  // JSONSI_TYPES_EXPLAIN_H_

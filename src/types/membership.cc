@@ -1,0 +1,81 @@
+#include "types/membership.h"
+
+namespace jsonsi::types {
+namespace {
+
+using json::Value;
+using json::ValueKind;
+
+bool MatchesRecord(const Value& value, const Type& type) {
+  if (!value.is_record()) return false;
+  // Both field lists are key-sorted; walk them in lockstep. Closed-record
+  // semantics: value keys must be a subset of declared keys, and mandatory
+  // declared keys must all be present.
+  const auto& vfields = value.fields();
+  const auto& tfields = type.fields();
+  size_t vi = 0;
+  size_t ti = 0;
+  while (vi < vfields.size() && ti < tfields.size()) {
+    int cmp = vfields[vi].key.compare(tfields[ti].key);
+    if (cmp == 0) {
+      if (!Matches(*vfields[vi].value, *tfields[ti].type)) return false;
+      ++vi;
+      ++ti;
+    } else if (cmp < 0) {
+      return false;  // value has a key the type does not declare
+    } else {
+      if (!tfields[ti].optional) return false;  // missing mandatory field
+      ++ti;
+    }
+  }
+  if (vi < vfields.size()) return false;  // leftover undeclared keys
+  for (; ti < tfields.size(); ++ti) {
+    if (!tfields[ti].optional) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Matches(const Value& value, const Type& type) {
+  switch (type.node()) {
+    case TypeNode::kNull:
+      return value.is_null();
+    case TypeNode::kBool:
+      return value.is_bool();
+    case TypeNode::kNum:
+      return value.is_num();
+    case TypeNode::kStr:
+      return value.is_str();
+    case TypeNode::kEmpty:
+      return false;
+    case TypeNode::kRecord:
+      return MatchesRecord(value, type);
+    case TypeNode::kArrayExact: {
+      if (!value.is_array()) return false;
+      const auto& elems = value.elements();
+      const auto& types = type.elements();
+      if (elems.size() != types.size()) return false;
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (!Matches(*elems[i], *types[i])) return false;
+      }
+      return true;
+    }
+    case TypeNode::kArrayStar: {
+      if (!value.is_array()) return false;
+      for (const json::ValueRef& e : value.elements()) {
+        if (!Matches(*e, *type.body())) return false;
+      }
+      return true;
+    }
+    case TypeNode::kUnion: {
+      for (const TypeRef& alt : type.alternatives()) {
+        if (Matches(value, *alt)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace jsonsi::types

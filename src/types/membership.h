@@ -1,0 +1,37 @@
+// Decidable membership test `V in [[T]]` implementing the type semantics of
+// Section 4 of the paper.
+//
+// The paper states the correctness of inference (Lemma 5.1) and fusion
+// (Theorem 5.2) in terms of the semantics function [[.]] and subtyping.
+// [[T]] is an infinite set, so the library exposes the decidable membership
+// predicate instead; the property-based test suites use it as the executable
+// witness of both theorems (for all sampled V: V in [[Infer(V)]], and
+// membership is preserved by Fuse).
+//
+// Semantics implemented (Figure 3's semantic equations):
+//   * [[Null/Bool/Num/Str]]: values of that basic kind;
+//   * record types are *closed*: a record matches iff every one of its fields
+//     is declared with a matching type, and every mandatory declared field is
+//     present;
+//   * [[ [T1,...,Tn] ]]: arrays of exactly n elements, pointwise;
+//   * [[ [T*] ]]: arrays of any length whose elements all belong to [[T]]
+//     (so [[ [Empty*] ]] = { [] });
+//   * [[T + U]] = [[T]] u [[U]];   [[Empty]] = {}.
+
+#ifndef JSONSI_TYPES_MEMBERSHIP_H_
+#define JSONSI_TYPES_MEMBERSHIP_H_
+
+#include "json/value.h"
+#include "types/type.h"
+
+namespace jsonsi::types {
+
+/// Returns true iff `value` belongs to the denotation of `type`.
+bool Matches(const json::Value& value, const Type& type);
+inline bool Matches(const json::ValueRef& value, const TypeRef& type) {
+  return Matches(*value, *type);
+}
+
+}  // namespace jsonsi::types
+
+#endif  // JSONSI_TYPES_MEMBERSHIP_H_

@@ -1,0 +1,134 @@
+#include "types/printer.h"
+
+#include "support/string_util.h"
+
+namespace jsonsi::types {
+namespace {
+
+bool IsPlainKey(std::string_view key) {
+  if (key.empty()) return false;
+  auto alpha = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  auto alnum = [&](char c) { return alpha(c) || (c >= '0' && c <= '9'); };
+  if (!alpha(key[0])) return false;
+  for (char c : key.substr(1)) {
+    if (!alnum(c)) return false;
+  }
+  return true;
+}
+
+void AppendKey(std::string_view key, std::string* out) {
+  if (IsPlainKey(key)) {
+    *out += key;
+  } else {
+    out->push_back('"');
+    AppendJsonEscaped(key, out);
+    out->push_back('"');
+  }
+}
+
+void AppendType(const Type& t, const PrintOptions& opts, int depth,
+                std::string* out);
+
+void AppendIndent(const PrintOptions& opts, int depth, std::string* out) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth) * opts.indent_width, ' ');
+}
+
+// Field types that are unions print parenthesized so the trailing '?' (an
+// optional-field marker) cannot be misread as part of the union.
+void AppendFieldType(const TypeRef& t, const PrintOptions& opts, int depth,
+                     std::string* out) {
+  if (t->is_union()) {
+    out->push_back('(');
+    AppendType(*t, opts, depth, out);
+    out->push_back(')');
+  } else {
+    AppendType(*t, opts, depth, out);
+  }
+}
+
+void AppendType(const Type& t, const PrintOptions& opts, int depth,
+                std::string* out) {
+  switch (t.node()) {
+    case TypeNode::kNull:
+      *out += "Null";
+      return;
+    case TypeNode::kBool:
+      *out += "Bool";
+      return;
+    case TypeNode::kNum:
+      *out += "Num";
+      return;
+    case TypeNode::kStr:
+      *out += "Str";
+      return;
+    case TypeNode::kEmpty:
+      *out += "Empty";
+      return;
+    case TypeNode::kRecord: {
+      if (t.fields().empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const FieldType& f : t.fields()) {
+        if (!first) *out += opts.multiline ? "," : ", ";
+        first = false;
+        if (opts.multiline) AppendIndent(opts, depth + 1, out);
+        AppendKey(f.key, out);
+        *out += ": ";
+        AppendFieldType(f.type, opts, depth + 1, out);
+        if (f.optional) out->push_back('?');
+      }
+      if (opts.multiline) AppendIndent(opts, depth, out);
+      out->push_back('}');
+      return;
+    }
+    case TypeNode::kArrayExact: {
+      out->push_back('[');
+      bool first = true;
+      for (const TypeRef& e : t.elements()) {
+        if (!first) *out += ", ";
+        first = false;
+        // Union elements need parens so ',' stays unambiguous to readers.
+        if (e->is_union()) {
+          out->push_back('(');
+          AppendType(*e, opts, depth, out);
+          out->push_back(')');
+        } else {
+          AppendType(*e, opts, depth, out);
+        }
+      }
+      out->push_back(']');
+      return;
+    }
+    case TypeNode::kArrayStar: {
+      *out += "[(";
+      AppendType(*t.body(), opts, depth, out);
+      *out += ")*]";
+      return;
+    }
+    case TypeNode::kUnion: {
+      bool first = true;
+      for (const TypeRef& alt : t.alternatives()) {
+        if (!first) *out += " + ";
+        first = false;
+        AppendType(*alt, opts, depth, out);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToString(const Type& type, const PrintOptions& options) {
+  std::string out;
+  AppendType(type, options, 0, &out);
+  return out;
+}
+
+}  // namespace jsonsi::types

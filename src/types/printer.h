@@ -1,0 +1,38 @@
+// Human-readable rendering of types in the paper's notation:
+//
+//   Null  Bool  Num  Str                       basic types
+//   {a: Num, b: (Str + Null), c: Str?}         record types ('?' = optional)
+//   [Num, Str]                                 exact array types
+//   [(Str + {E: Str})*]                        simplified array types
+//   Num + Bool                                 union types
+//   Empty                                      the empty type (eps)
+//
+// Round-trips with types::ParseType.
+
+#ifndef JSONSI_TYPES_PRINTER_H_
+#define JSONSI_TYPES_PRINTER_H_
+
+#include <string>
+
+#include "types/type.h"
+
+namespace jsonsi::types {
+
+/// Printer knobs.
+struct PrintOptions {
+  /// Pretty-print records across multiple indented lines.
+  bool multiline = false;
+  /// Indent width when multiline.
+  int indent_width = 2;
+};
+
+/// Renders `type` in the paper's surface syntax.
+std::string ToString(const Type& type, const PrintOptions& options = {});
+inline std::string ToString(const TypeRef& type,
+                            const PrintOptions& options = {}) {
+  return ToString(*type, options);
+}
+
+}  // namespace jsonsi::types
+
+#endif  // JSONSI_TYPES_PRINTER_H_

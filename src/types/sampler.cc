@@ -1,0 +1,76 @@
+#include "types/sampler.h"
+
+#include <vector>
+
+namespace jsonsi::types {
+
+using json::Value;
+using json::ValueRef;
+
+ValueRef SampleMember(const Type& type, Rng& rng,
+                      const SampleOptions& options) {
+  switch (type.node()) {
+    case TypeNode::kNull:
+      return Value::Null();
+    case TypeNode::kBool:
+      return Value::Bool(rng.Chance(0.5));
+    case TypeNode::kNum:
+      return Value::Num(static_cast<double>(rng.Range(-1000000, 1000000)));
+    case TypeNode::kStr:
+      return Value::Str(rng.Ident(1 + rng.Below(8)));
+    case TypeNode::kEmpty:
+      return nullptr;  // [[Empty]] = {}
+    case TypeNode::kRecord: {
+      std::vector<json::Field> fields;
+      for (const FieldType& f : type.fields()) {
+        if (f.optional && !rng.Chance(options.optional_presence)) continue;
+        ValueRef member = SampleMember(*f.type, rng, options);
+        if (!member) {
+          // A mandatory Empty-typed field would make the record type itself
+          // uninhabited; an optional one can only be absent.
+          if (!f.optional) return nullptr;
+          continue;
+        }
+        fields.push_back({f.key, std::move(member)});
+      }
+      return Value::RecordUnchecked(std::move(fields));
+    }
+    case TypeNode::kArrayExact: {
+      std::vector<ValueRef> elements;
+      elements.reserve(type.elements().size());
+      for (const TypeRef& e : type.elements()) {
+        ValueRef member = SampleMember(*e, rng, options);
+        if (!member) return nullptr;  // uninhabited element position
+        elements.push_back(std::move(member));
+      }
+      return Value::Array(std::move(elements));
+    }
+    case TypeNode::kArrayStar: {
+      if (type.body()->is_empty()) return Value::Array({});  // [[ [Empty*] ]]
+      size_t n = rng.Below(options.max_star_elements + 1);
+      std::vector<ValueRef> elements;
+      elements.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        ValueRef member = SampleMember(*type.body(), rng, options);
+        if (!member) return Value::Array({});  // body uninhabited: stay empty
+        elements.push_back(std::move(member));
+      }
+      return Value::Array(std::move(elements));
+    }
+    case TypeNode::kUnion: {
+      // Uniform over alternatives; retry others if the picked one is
+      // uninhabited (cannot loop forever: alternatives are finitely many).
+      const auto& alts = type.alternatives();
+      size_t start = rng.Below(alts.size());
+      for (size_t i = 0; i < alts.size(); ++i) {
+        ValueRef member =
+            SampleMember(*alts[(start + i) % alts.size()], rng, options);
+        if (member) return member;
+      }
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace jsonsi::types

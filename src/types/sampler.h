@@ -1,0 +1,41 @@
+// Member sampling: generate random values belonging to [[T]].
+//
+// The inverse direction of membership — given a type, produce values inside
+// its denotation. Used by the property suites to probe semantics-level
+// claims from the other side (every sampled member of T must match any U
+// with T <: U; exported JSON Schemas must accept sampled members), and handy
+// for producing synthetic data conforming to an inferred schema.
+//
+// Sampling the empty type (or [Empty*] element positions) is impossible by
+// construction; SampleMember returns nullptr for Empty and never enters an
+// Empty star body (it emits the empty array instead).
+
+#ifndef JSONSI_TYPES_SAMPLER_H_
+#define JSONSI_TYPES_SAMPLER_H_
+
+#include "json/value.h"
+#include "support/rng.h"
+#include "types/type.h"
+
+namespace jsonsi::types {
+
+/// Sampling knobs.
+struct SampleOptions {
+  /// Maximum elements drawn for a starred array position.
+  size_t max_star_elements = 4;
+  /// Probability that an optional field is present in a sampled record.
+  double optional_presence = 0.5;
+};
+
+/// Draws one member of [[type]] (deterministic per RNG state). Returns
+/// nullptr iff the type is Empty (which has no members).
+json::ValueRef SampleMember(const Type& type, Rng& rng,
+                            const SampleOptions& options = {});
+inline json::ValueRef SampleMember(const TypeRef& type, Rng& rng,
+                                   const SampleOptions& options = {}) {
+  return SampleMember(*type, rng, options);
+}
+
+}  // namespace jsonsi::types
+
+#endif  // JSONSI_TYPES_SAMPLER_H_

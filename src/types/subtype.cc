@@ -1,0 +1,102 @@
+#include "types/subtype.h"
+
+namespace jsonsi::types {
+namespace {
+
+bool SubtypeRecord(const Type& a, const Type& b) {
+  // Both field lists are key-sorted; walk in lockstep.
+  const auto& fa = a.fields();
+  const auto& fb = b.fields();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < fa.size() && j < fb.size()) {
+    int cmp = fa[i].key.compare(fb[j].key);
+    if (cmp == 0) {
+      // Left-mandatory may become right-optional, not vice versa: if the
+      // left field is optional, left admits records lacking it, so the
+      // right must admit them too.
+      if (fa[i].optional && !fb[j].optional) return false;
+      if (!IsSubtypeOf(*fa[i].type, *fb[j].type)) return false;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      // Left-only field: closed right-hand records never admit this key.
+      // Sound only if the left field can never occur — i.e. never, since
+      // even optional fields occur in some member. (Unless the field type
+      // is Empty, in which case an optional field can only be absent.)
+      if (!(fa[i].optional && fa[i].type->is_empty())) return false;
+      ++i;
+    } else {
+      if (!fb[j].optional) return false;  // right mandates a key left lacks
+      ++j;
+    }
+  }
+  for (; i < fa.size(); ++i) {
+    if (!(fa[i].optional && fa[i].type->is_empty())) return false;
+  }
+  for (; j < fb.size(); ++j) {
+    if (!fb[j].optional) return false;
+  }
+  return true;
+}
+
+bool SubtypeArray(const Type& a, const Type& b) {
+  if (a.is_array_exact() && b.is_array_exact()) {
+    const auto& ea = a.elements();
+    const auto& eb = b.elements();
+    if (ea.size() != eb.size()) return false;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      if (!IsSubtypeOf(*ea[i], *eb[i])) return false;
+    }
+    return true;
+  }
+  if (a.is_array_exact() && b.is_array_star()) {
+    for (const TypeRef& e : a.elements()) {
+      if (!IsSubtypeOf(*e, *b.body())) return false;
+    }
+    return true;
+  }
+  if (a.is_array_star() && b.is_array_star()) {
+    return a.body()->is_empty() || IsSubtypeOf(*a.body(), *b.body());
+  }
+  // star <: exact only when both denote exactly { [] }.
+  return a.body()->is_empty() && b.elements().empty();
+}
+
+}  // namespace
+
+bool IsSubtypeOf(const Type& a, const Type& b) {
+  if (&a == &b || a.Equals(b)) return true;
+  if (a.is_empty()) return true;
+  if (a.is_union()) {
+    // Every alternative must be included.
+    for (const TypeRef& alt : a.alternatives()) {
+      if (!IsSubtypeOf(*alt, b)) return false;
+    }
+    return true;
+  }
+  if (b.is_union()) {
+    // Sufficient (and complete for normal b, which has at most one
+    // alternative of a's kind): a must fit one alternative.
+    for (const TypeRef& alt : b.alternatives()) {
+      if (IsSubtypeOf(a, *alt)) return true;
+    }
+    return false;
+  }
+  if (b.is_empty()) return false;  // only Empty <: Empty (handled above)
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Kind::kNull:
+    case Kind::kBool:
+    case Kind::kNum:
+    case Kind::kStr:
+      return true;  // same basic kind, Equals already failed only on != shapes
+    case Kind::kRecord:
+      return SubtypeRecord(a, b);
+    case Kind::kArray:
+      return SubtypeArray(a, b);
+  }
+  return false;
+}
+
+}  // namespace jsonsi::types

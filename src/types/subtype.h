@@ -1,0 +1,44 @@
+// Syntactic subtype checker for the paper's type language.
+//
+// Section 4 defines sub-typing semantically: T <: U iff [[T]] subset [[U]]
+// (Definition 4.1), and the paper notes "We don't use any subtype checking
+// algorithm in this work" — it only needs the notion to STATE correctness.
+// This module provides the executable counterpart: a structural, sound
+// checker (IsSubtypeOf(T, U) == true implies [[T]] subset [[U]]).
+//
+// The checker is deliberately conservative (it may answer false for some
+// semantically valid inclusions involving exotic unions), but it is complete
+// on the types the pipeline produces: for all inferred/fused T and U,
+// IsSubtypeOf(T, Fuse(T, U)) holds — which upgrades Theorem 5.2 from the
+// sampled-membership test to a whole-schema check in the test suite.
+//
+// Rules (closed-record semantics per Section 4):
+//   Empty <: anything
+//   B <: B                                      (same basic type)
+//   T <: U1 + ... + Un  if T <: some Ui         (T non-union)
+//   T1 + ... + Tn <: U  iff every Ti <: U
+//   {..} <: {..}        if every field l:T[m] of the left has a counterpart
+//                       l:U[n] on the right with T <: U, never weakening
+//                       optional to mandatory; and every right-only field is
+//                       optional
+//   [T1..Tn] <: [U1..Un]  pointwise
+//   [T1..Tn] <: [U*]      if every Ti <: U
+//   [T*]     <: [U*]      if T <: U (or T = Empty)
+//   [Empty*] <: []        (both denote exactly the empty array)
+
+#ifndef JSONSI_TYPES_SUBTYPE_H_
+#define JSONSI_TYPES_SUBTYPE_H_
+
+#include "types/type.h"
+
+namespace jsonsi::types {
+
+/// Sound structural subtype test: true implies [[a]] subset [[b]].
+bool IsSubtypeOf(const Type& a, const Type& b);
+inline bool IsSubtypeOf(const TypeRef& a, const TypeRef& b) {
+  return IsSubtypeOf(*a, *b);
+}
+
+}  // namespace jsonsi::types
+
+#endif  // JSONSI_TYPES_SUBTYPE_H_

@@ -1,0 +1,211 @@
+#include "types/type_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace jsonsi::types {
+namespace {
+
+class TypeParser {
+ public:
+  explicit TypeParser(std::string_view text) : text_(text) {}
+
+  Result<TypeRef> Run() {
+    Result<TypeRef> t = ParseUnion();
+    if (!t.ok()) return t;
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing content");
+    return t;
+  }
+
+ private:
+  Status Error(std::string message) const {
+    return Status::ParseError(message + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char PeekNonWs() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Result<TypeRef> ParseUnion() {
+    std::vector<TypeRef> alts;
+    Result<TypeRef> first = ParseSingle();
+    if (!first.ok()) return first;
+    alts.push_back(std::move(first).value());
+    while (Consume('+')) {
+      Result<TypeRef> next = ParseSingle();
+      if (!next.ok()) return next;
+      alts.push_back(std::move(next).value());
+    }
+    if (alts.size() == 1) return alts.front();
+    return Type::Union(std::move(alts));
+  }
+
+  Result<TypeRef> ParseSingle() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of type");
+    char c = text_[pos_];
+    if (c == '{') return ParseRecord();
+    if (c == '[') return ParseArray();
+    if (c == '(') {
+      ++pos_;
+      Result<TypeRef> inner = ParseUnion();
+      if (!inner.ok()) return inner;
+      if (!Consume(')')) return Error("expected ')'");
+      return inner;
+    }
+    return ParseName();
+  }
+
+  Result<TypeRef> ParseName() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string_view name = text_.substr(start, pos_ - start);
+    if (name == "Null") return Type::Null();
+    if (name == "Bool") return Type::Bool();
+    if (name == "Num") return Type::Num();
+    if (name == "Str") return Type::Str();
+    if (name == "Empty") return Type::Empty();
+    pos_ = start;
+    return Error("expected a type");
+  }
+
+  Result<TypeRef> ParseRecord() {
+    ++pos_;  // '{'
+    std::vector<FieldType> fields;
+    if (Consume('}')) return Type::RecordUnchecked({});
+    while (true) {
+      Result<std::string> key = ParseKey();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Error("expected ':' after field key");
+      Result<TypeRef> type = ParseUnion();
+      if (!type.ok()) return type;
+      bool optional = Consume('?');
+      fields.push_back(
+          {std::move(key).value(), std::move(type).value(), optional});
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in record type");
+    }
+    Result<TypeRef> record = Type::Record(std::move(fields));
+    if (!record.ok()) return Error(record.status().message());
+    return record;
+  }
+
+  Result<std::string> ParseKey() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Status(Error("expected field key"));
+    if (text_[pos_] == '"') return ParseQuotedKey();
+    size_t start = pos_;
+    auto head = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    };
+    auto tail = [&](char c) { return head(c) || (c >= '0' && c <= '9'); };
+    if (!head(text_[pos_])) return Status(Error("expected field key"));
+    ++pos_;
+    while (pos_ < text_.size() && tail(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseQuotedKey() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          default:
+            return Status(Error("unsupported escape in quoted key"));
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Status(Error("unterminated quoted key"));
+  }
+
+  Result<TypeRef> ParseArray() {
+    ++pos_;  // '['
+    if (Consume(']')) return Type::ArrayExact({});
+    // A leading '(' may open either a simplified array "[(T)*]" or a
+    // parenthesized first element of an exact array "[(T + U), ...]".
+    if (PeekNonWs() == '(') {
+      size_t save = pos_;
+      ++pos_;  // '('
+      Result<TypeRef> inner = ParseUnion();
+      if (!inner.ok()) return inner;
+      if (!Consume(')')) return Error("expected ')'");
+      if (Consume('*')) {
+        if (!Consume(']')) return Error("expected ']' after '*'");
+        return Type::ArrayStar(std::move(inner).value());
+      }
+      // Not a star: rewind and parse as a plain exact array. (Cheap — the
+      // lookahead only re-parses the first element.)
+      pos_ = save;
+    }
+    std::vector<TypeRef> elements;
+    while (true) {
+      Result<TypeRef> e = ParseUnion();
+      if (!e.ok()) return e;
+      elements.push_back(std::move(e).value());
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array type");
+    }
+    return Type::ArrayExact(std::move(elements));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TypeRef> ParseType(std::string_view text) {
+  return TypeParser(text).Run();
+}
+
+}  // namespace jsonsi::types

@@ -1,0 +1,33 @@
+// Parser for the type surface syntax emitted by types::ToString.
+//
+// Grammar (whitespace-insensitive):
+//
+//   Type    := Single ('+' Single)*
+//   Single  := 'Null' | 'Bool' | 'Num' | 'Str' | 'Empty'
+//            | Record | Array | '(' Type ')'
+//   Record  := '{' [Field (',' Field)*] '}'
+//   Field   := Key ':' Type ['?']
+//   Key     := identifier | JSON string
+//   Array   := '[' ']'                          empty exact array type
+//            | '[' '(' Type ')' '*' ']'         simplified array type
+//            | '[' Type (',' Type)* ']'         exact array type
+//
+// Used by tests (readable fixtures), the CLI (schema round-trips) and the
+// incremental-inference example (persisted schemas).
+
+#ifndef JSONSI_TYPES_TYPE_PARSER_H_
+#define JSONSI_TYPES_TYPE_PARSER_H_
+
+#include <string_view>
+
+#include "support/status.h"
+#include "types/type.h"
+
+namespace jsonsi::types {
+
+/// Parses a type expression; errors carry character offsets.
+Result<TypeRef> ParseType(std::string_view text);
+
+}  // namespace jsonsi::types
+
+#endif  // JSONSI_TYPES_TYPE_PARSER_H_

@@ -1,0 +1,181 @@
+// Tests for statistics-annotated schemas (SchemaProfiler): counting
+// semantics, provenance, merge associativity, projection agreement with the
+// fusion pipeline, and rendering.
+
+#include <gtest/gtest.h>
+
+#include "annotate/counted_schema.h"
+#include "fusion/fuse.h"
+#include "fusion/tree_fuser.h"
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "random_value_gen.h"
+#include "types/printer.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::annotate {
+namespace {
+
+json::ValueRef V(std::string_view text) {
+  auto r = json::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+types::TypeRef T(std::string_view text) {
+  auto r = types::ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+TEST(SchemaProfilerTest, EmptyProfile) {
+  SchemaProfiler profiler;
+  EXPECT_EQ(profiler.record_count(), 0u);
+  EXPECT_TRUE(profiler.ToType()->is_empty());
+}
+
+TEST(SchemaProfilerTest, CountsKindsPerPosition) {
+  SchemaProfiler p;
+  p.Observe(*V(R"({"x": 1})"), 0);
+  p.Observe(*V(R"({"x": "s"})"), 1);
+  p.Observe(*V(R"({"x": 2})"), 2);
+  const ProfileNode& root = p.root();
+  EXPECT_EQ(root.record_count, 3u);
+  const auto& x = root.fields.at("x");
+  EXPECT_EQ(x.present_count, 3u);
+  EXPECT_EQ(x.node->num_count, 2u);
+  EXPECT_EQ(x.node->str_count, 1u);
+}
+
+TEST(SchemaProfilerTest, FieldPresenceGivesOptionality) {
+  SchemaProfiler p;
+  p.Observe(*V(R"({"always": 1})"), 0);
+  p.Observe(*V(R"({"always": 2, "sometimes": true})"), 1);
+  types::TypeRef t = p.ToType();
+  EXPECT_TRUE(t->Equals(*T("{always: Num, sometimes: Bool?}")))
+      << types::ToString(*t);
+  EXPECT_EQ(p.root().fields.at("sometimes").present_count, 1u);
+}
+
+TEST(SchemaProfilerTest, ProvenanceFirstSeen) {
+  SchemaProfiler p;
+  p.Observe(*V(R"({"a": 1})"), 10);
+  p.Observe(*V(R"({"a": 1, "late": null})"), 25);
+  p.Observe(*V(R"({"a": 1, "late": null})"), 30);
+  EXPECT_EQ(p.root().fields.at("a").first_seen, 10u);
+  EXPECT_EQ(p.root().fields.at("late").first_seen, 25u);
+}
+
+TEST(SchemaProfilerTest, ValueStatistics) {
+  SchemaProfiler p;
+  p.Observe(*V(R"({"n": 5, "s": "abc", "arr": [1, 2, 3]})"), 0);
+  p.Observe(*V(R"({"n": -2, "s": "xy", "arr": []})"), 1);
+  const auto& root = p.root();
+  EXPECT_DOUBLE_EQ(root.fields.at("n").node->num_stats.min, -2);
+  EXPECT_DOUBLE_EQ(root.fields.at("n").node->num_stats.max, 5);
+  EXPECT_DOUBLE_EQ(root.fields.at("s").node->str_len_stats.min, 2);
+  EXPECT_DOUBLE_EQ(root.fields.at("s").node->str_len_stats.max, 3);
+  EXPECT_DOUBLE_EQ(root.fields.at("arr").node->array_len_stats.min, 0);
+  EXPECT_DOUBLE_EQ(root.fields.at("arr").node->array_len_stats.max, 3);
+}
+
+TEST(SchemaProfilerTest, ArrayElementsPooled) {
+  SchemaProfiler p;
+  p.Observe(*V(R"([1, "s", {"k": true}])"), 0);
+  types::TypeRef t = p.ToType();
+  EXPECT_TRUE(t->Equals(*T("[(Num + Str + {k: Bool})*]")))
+      << types::ToString(*t);
+}
+
+TEST(SchemaProfilerTest, MergeAddsCountsAndTakesMinProvenance) {
+  SchemaProfiler a, b;
+  a.Observe(*V(R"({"x": 1})"), 5);
+  b.Observe(*V(R"({"x": "s", "y": null})"), 2);
+  b.Observe(*V(R"({"x": 2})"), 9);
+  a.Merge(b);
+  EXPECT_EQ(a.record_count(), 3u);
+  const auto& x = a.root().fields.at("x");
+  EXPECT_EQ(x.present_count, 3u);
+  EXPECT_EQ(x.node->num_count, 2u);
+  EXPECT_EQ(x.node->str_count, 1u);
+  EXPECT_EQ(x.first_seen, 2u);
+  EXPECT_EQ(a.root().fields.at("y").present_count, 1u);
+}
+
+TEST(SchemaProfilerTest, MergeOrderIrrelevant) {
+  auto values = jsonsi::testing::RandomValues(3, 30);
+  SchemaProfiler left, right;
+  // left: (A merge B); right: (B merge A) over split halves.
+  {
+    SchemaProfiler a, b;
+    for (size_t i = 0; i < 15; ++i) a.Observe(*values[i], i);
+    for (size_t i = 15; i < 30; ++i) b.Observe(*values[i], i);
+    left.Merge(a);
+    left.Merge(b);
+    SchemaProfiler a2, b2;
+    for (size_t i = 0; i < 15; ++i) a2.Observe(*values[i], i);
+    for (size_t i = 15; i < 30; ++i) b2.Observe(*values[i], i);
+    right.Merge(b2);
+    right.Merge(a2);
+  }
+  EXPECT_TRUE(left.ToType()->Equals(*right.ToType()));
+  EXPECT_EQ(left.ToString(), right.ToString());
+}
+
+TEST(SchemaProfilerTest, MergeEqualsSingleStream) {
+  auto values = jsonsi::testing::RandomValues(7, 40);
+  SchemaProfiler whole;
+  for (size_t i = 0; i < values.size(); ++i) whole.Observe(*values[i], i);
+  SchemaProfiler parts;
+  for (size_t start = 0; start < values.size(); start += 10) {
+    SchemaProfiler chunk;
+    for (size_t i = start; i < start + 10; ++i) chunk.Observe(*values[i], i);
+    parts.Merge(chunk);
+  }
+  EXPECT_EQ(parts.record_count(), whole.record_count());
+  EXPECT_EQ(parts.ToString(), whole.ToString());
+}
+
+// The profiler's type projection carries the same information as the fusion
+// pipeline: it equals the star-normalized fused type (self-fusion stars the
+// exact arrays that the profiler pools by construction).
+class ProfilerVsFusion : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProfilerVsFusion, ProjectionMatchesStarNormalizedFusion) {
+  auto values = jsonsi::testing::RandomValues(GetParam(), 25);
+  SchemaProfiler profiler;
+  fusion::TreeFuser fuser;
+  for (size_t i = 0; i < values.size(); ++i) {
+    profiler.Observe(*values[i], i);
+    fuser.Add(inference::InferType(*values[i]));
+  }
+  types::TypeRef fused = fuser.Finish();
+  types::TypeRef stable = fusion::Fuse(fused, fused);  // star-normalize
+  EXPECT_TRUE(profiler.ToType()->Equals(*stable))
+      << "profiler: " << types::ToString(*profiler.ToType())
+      << "\nfusion:   " << types::ToString(*stable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfilerVsFusion,
+                         ::testing::Range<uint64_t>(0, 15));
+
+TEST(SchemaProfilerTest, RenderingShowsCountsAndProvenance) {
+  SchemaProfiler p;
+  p.Observe(*V(R"({"a": 1})"), 0);
+  p.Observe(*V(R"({"a": "s", "b": true})"), 1);
+  std::string s = p.ToString(/*show_value_stats=*/false);
+  EXPECT_NE(s.find("a: Num[1] + Str[1] [2/2, first@0]"), std::string::npos)
+      << s;
+  EXPECT_NE(s.find("b: Bool[1]? [1/2, first@1]"), std::string::npos) << s;
+}
+
+TEST(SchemaProfilerTest, RenderingValueStats) {
+  SchemaProfiler p;
+  p.Observe(*V(R"({"n": 3})"), 0);
+  p.Observe(*V(R"({"n": 8})"), 1);
+  std::string s = p.ToString(/*show_value_stats=*/true);
+  EXPECT_NE(s.find("Num[2]{3..8}"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace jsonsi::annotate

@@ -1,0 +1,199 @@
+// Tests for the two comparators: Spark-style coercing inference (precision
+// loss) and the skeleton baseline (completeness loss).
+
+#include <gtest/gtest.h>
+
+#include "baseline/skeleton.h"
+#include "baseline/spark_coercion.h"
+#include "fusion/fuse.h"
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "stats/paths.h"
+#include "types/printer.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::baseline {
+namespace {
+
+json::ValueRef V(std::string_view text) {
+  auto r = json::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+types::TypeRef T(std::string_view text) {
+  auto r = types::ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+// -------------------------------------------------------- spark coercion --
+
+TEST(SparkCoercionTest, ScalarsInferDirectly) {
+  EXPECT_TRUE(InferCoerced(*V("1"))->Equals(*T("Num")));
+  EXPECT_TRUE(InferCoerced(*V("\"s\""))->Equals(*T("Str")));
+  EXPECT_TRUE(InferCoerced(*V("null"))->Equals(*T("Null")));
+}
+
+TEST(SparkCoercionTest, MixedArrayCoercesToStr) {
+  // The paper's Section 6.1 example: Spark types a mixed array as String
+  // only, where fusion keeps [(Num + Str + {l: Str})*].
+  types::TypeRef t = InferCoerced(*V(R"([12, "str", {"l": "x"}])"));
+  EXPECT_TRUE(t->Equals(*T("[(Str)*]"))) << types::ToString(*t);
+}
+
+TEST(SparkCoercionTest, HomogeneousArrayKeepsElementType) {
+  EXPECT_TRUE(InferCoerced(*V("[1, 2, 3]"))->Equals(*T("[(Num)*]")));
+  EXPECT_TRUE(InferCoerced(*V("[]"))->Equals(*T("[(Empty)*]")));
+}
+
+TEST(SparkCoercionTest, ArrayOfRecordsMergesFieldWise) {
+  types::TypeRef t = InferCoerced(*V(R"([{"a": 1}, {"b": "s"}])"));
+  EXPECT_TRUE(t->Equals(*T("[({a: Num?, b: Str?})*]")))
+      << types::ToString(*t);
+}
+
+TEST(SparkCoercionTest, MergeRules) {
+  EXPECT_TRUE(MergeCoerced(T("Num"), T("Num"))->Equals(*T("Num")));
+  EXPECT_TRUE(MergeCoerced(T("Num"), T("Str"))->Equals(*T("Str")));
+  EXPECT_TRUE(MergeCoerced(T("Bool"), T("Num"))->Equals(*T("Str")));
+  EXPECT_TRUE(MergeCoerced(T("Null"), T("Num"))->Equals(*T("Num")));
+  EXPECT_TRUE(MergeCoerced(T("{a: Num}"), T("Num"))->Equals(*T("Str")));
+}
+
+TEST(SparkCoercionTest, RecordMergeTracksOptionality) {
+  types::TypeRef t = MergeCoerced(T("{a: Num, b: Str}"), T("{b: Str, c: Bool}"));
+  EXPECT_TRUE(t->Equals(*T("{a: Num?, b: Str, c: Bool?}")))
+      << types::ToString(*t);
+}
+
+TEST(SparkCoercionTest, MergeIsCommutativeAndAssociative) {
+  std::vector<types::TypeRef> ts = {T("Num"), T("Str"), T("{a: Num}"),
+                                    T("[(Num)*]"), T("Null"), T("Bool")};
+  for (const auto& a : ts) {
+    for (const auto& b : ts) {
+      EXPECT_TRUE(MergeCoerced(a, b)->Equals(*MergeCoerced(b, a)));
+      for (const auto& c : ts) {
+        EXPECT_TRUE(MergeCoerced(MergeCoerced(a, b), c)
+                        ->Equals(*MergeCoerced(a, MergeCoerced(b, c))));
+      }
+    }
+  }
+}
+
+TEST(SparkCoercionTest, SchemaPipelineNeverProducesUnions) {
+  std::vector<json::ValueRef> values = {
+      V(R"({"a": 1, "b": [1, "x"]})"),
+      V(R"({"a": "s", "c": {"d": true}})"),
+      V(R"({"a": null, "b": [false]})"),
+  };
+  types::TypeRef t = InferCoercedSchema(values);
+  std::function<void(const types::Type&)> check = [&](const types::Type& ty) {
+    EXPECT_FALSE(ty.is_union());
+    if (ty.is_record()) {
+      for (const auto& f : ty.fields()) check(*f.type);
+    } else if (ty.is_array_star()) {
+      check(*ty.body());
+    }
+  };
+  check(*t);
+}
+
+TEST(SparkCoercionTest, MeasureLossFindsCoercedUnions) {
+  std::vector<json::ValueRef> values = {
+      V(R"({"x": 1, "deep": {"y": [1, 2]}})"),
+      V(R"({"x": "s", "deep": {"y": ["a"]}})"),
+  };
+  types::TypeRef fused =
+      fusion::Fuse(inference::InferType(*values[0]),
+                   inference::InferType(*values[1]));
+  types::TypeRef coerced = InferCoercedSchema(values);
+  CoercionLoss loss = MeasureLoss(fused, coerced);
+  // x: Num+Str -> Str, deep.y[]: Num+Str -> Str.
+  EXPECT_EQ(loss.union_positions, 2u);
+  EXPECT_EQ(loss.coerced_to_str, 2u);
+}
+
+TEST(SparkCoercionTest, MeasureLossFindsLostStructure) {
+  std::vector<json::ValueRef> values = {
+      V(R"({"p": {"a": 1}})"),
+      V(R"({"p": "plain"})"),
+  };
+  types::TypeRef fused = fusion::Fuse(inference::InferType(*values[0]),
+                                      inference::InferType(*values[1]));
+  types::TypeRef coerced = InferCoercedSchema(values);
+  CoercionLoss loss = MeasureLoss(fused, coerced);
+  EXPECT_EQ(loss.structure_lost, 1u);
+}
+
+// --------------------------------------------------------------- skeleton --
+
+TEST(SkeletonTest, KeepsFrequentDropsRare) {
+  std::vector<json::ValueRef> values;
+  for (int i = 0; i < 99; ++i) values.push_back(V(R"({"common": 1})"));
+  values.push_back(V(R"({"common": 1, "rare": "x"})"));
+  types::TypeRef complete = types::Type::Empty();
+  for (const auto& v : values) {
+    complete = fusion::Fuse(complete, inference::InferType(*v));
+  }
+  SkeletonOptions opts;
+  opts.min_support = 0.05;  // rare occurs in 1% < 5%
+  types::TypeRef skeleton = BuildSkeleton(values, complete, opts);
+  EXPECT_NE(complete->FindField("rare"), nullptr);
+  EXPECT_EQ(skeleton->FindField("rare"), nullptr);
+  EXPECT_NE(skeleton->FindField("common"), nullptr);
+}
+
+TEST(SkeletonTest, PrunesNestedPathsIndependently) {
+  std::vector<json::ValueRef> values;
+  for (int i = 0; i < 50; ++i) {
+    values.push_back(V(R"({"outer": {"kept": 1}})"));
+  }
+  values.push_back(V(R"({"outer": {"kept": 1, "dropped": true}})"));
+  types::TypeRef complete = types::Type::Empty();
+  for (const auto& v : values) {
+    complete = fusion::Fuse(complete, inference::InferType(*v));
+  }
+  types::TypeRef skeleton =
+      BuildSkeleton(values, complete, SkeletonOptions{0.1});
+  const types::FieldType* outer = skeleton->FindField("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_NE(outer->type->FindField("kept"), nullptr);
+  EXPECT_EQ(outer->type->FindField("dropped"), nullptr);
+}
+
+TEST(SkeletonTest, CompletenessGapIsMeasurable) {
+  // The whole point of the comparison: the skeleton misses value paths,
+  // the fused schema never does.
+  std::vector<json::ValueRef> values;
+  for (int i = 0; i < 200; ++i) values.push_back(V(R"({"a": 1, "b": "s"})"));
+  values.push_back(V(R"({"a": 1, "b": "s", "odd": {"deep": true}})"));
+  types::TypeRef complete = types::Type::Empty();
+  for (const auto& v : values) {
+    complete = fusion::Fuse(complete, inference::InferType(*v));
+  }
+  types::TypeRef skeleton =
+      BuildSkeleton(values, complete, SkeletonOptions{0.01});
+
+  std::set<std::string> all_value_paths;
+  for (const auto& v : values) {
+    for (const auto& p : stats::ValuePaths(*v)) all_value_paths.insert(p);
+  }
+  double full_cov = stats::Coverage(all_value_paths, stats::TypePaths(*complete));
+  double skel_cov = stats::Coverage(all_value_paths, stats::TypePaths(*skeleton));
+  EXPECT_DOUBLE_EQ(full_cov, 1.0);
+  EXPECT_LT(skel_cov, 1.0);
+}
+
+TEST(SkeletonTest, ZeroSupportKeepsEverything) {
+  std::vector<json::ValueRef> values = {V(R"({"a": 1})"),
+                                        V(R"({"b": "s"})")};
+  types::TypeRef complete = fusion::Fuse(inference::InferType(*values[0]),
+                                         inference::InferType(*values[1]));
+  types::TypeRef skeleton =
+      BuildSkeleton(values, complete, SkeletonOptions{0.0});
+  EXPECT_TRUE(skeleton->Equals(*complete));
+}
+
+}  // namespace
+}  // namespace jsonsi::baseline

@@ -1,0 +1,112 @@
+// Tests for the virtual-time cluster simulator: determinism, locality
+// effects (the paper's under-utilisation pathology), bandwidth accounting,
+// and the partitioned-strategy speedup it must reproduce.
+
+#include <gtest/gtest.h>
+
+#include "engine/cluster_sim.h"
+
+namespace jsonsi::engine {
+namespace {
+
+ClusterConfig PaperCluster() {
+  return ClusterConfig{};  // 6 nodes x 20 cores, 1 GbE defaults
+}
+
+TEST(ClusterSimTest, Deterministic) {
+  auto tasks = MakeUniformTasks(24, 120.0, 24e9, 0, 4096);
+  auto a = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.001);
+  auto b = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.001);
+  EXPECT_DOUBLE_EQ(a.makespan_seconds, b.makespan_seconds);
+  EXPECT_EQ(a.nodes_used, b.nodes_used);
+}
+
+TEST(ClusterSimTest, LocalOnlyWithOneDataNodeUsesOneNode) {
+  // The paper's observed pathology: HDFS put the whole dataset on one node,
+  // so local-only scheduling serializes the job onto that node.
+  auto tasks = MakeUniformTasks(40, 200.0, 22e9, /*data_node=*/2, 4096);
+  auto result = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.001);
+  EXPECT_EQ(result.nodes_used, 1u);
+  // 200 CPU-seconds on one 20-core node: ~10s + overheads.
+  EXPECT_GE(result.makespan_seconds, 10.0);
+  EXPECT_LT(result.makespan_seconds, 12.0);
+}
+
+TEST(ClusterSimTest, SpreadDataUsesWholeClusterAndIsFaster) {
+  ClusterConfig cfg = PaperCluster();
+  auto hot = MakeUniformTasks(60, 300.0, 22e9, 0, 4096);
+  auto spread = MakeSpreadTasks(60, 300.0, 22e9, cfg.num_nodes, 4096);
+  auto bad = SimulateJob(hot, cfg, Placement::kLocalOnly, 0.001);
+  auto good = SimulateJob(spread, cfg, Placement::kLocalOnly, 0.001);
+  EXPECT_EQ(good.nodes_used, cfg.num_nodes);
+  EXPECT_LT(good.makespan_seconds, bad.makespan_seconds);
+  // Ideal speedup is 6x; scheduling overheads keep it below that but it
+  // must be substantial.
+  EXPECT_GT(bad.makespan_seconds / good.makespan_seconds, 2.5);
+}
+
+TEST(ClusterSimTest, AnyPlacementPaysTransferButBeatsSerialization) {
+  ClusterConfig cfg = PaperCluster();
+  auto hot = MakeUniformTasks(60, 300.0, 22e9, 0, 4096);
+  auto local = SimulateJob(hot, cfg, Placement::kLocalOnly, 0.001);
+  auto any = SimulateJob(hot, cfg, Placement::kAnyWithTransfer, 0.001);
+  // Remote reads let other nodes help: faster than one hot node...
+  EXPECT_LT(any.makespan_seconds, local.makespan_seconds);
+  // ...but slower than if data had been spread (network is the bottleneck).
+  auto spread = SimulateJob(
+      MakeSpreadTasks(60, 300.0, 22e9, cfg.num_nodes, 4096), cfg,
+      Placement::kLocalOnly, 0.001);
+  EXPECT_GT(any.makespan_seconds, spread.makespan_seconds);
+}
+
+TEST(ClusterSimTest, MapSecondsNotAboveMakespan) {
+  auto tasks = MakeSpreadTasks(12, 60.0, 1e9, 6, 2048);
+  auto r = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.01);
+  EXPECT_LE(r.map_seconds, r.makespan_seconds);
+  EXPECT_GT(r.map_seconds, 0.0);
+}
+
+TEST(ClusterSimTest, ReduceCombineCostAddsTreeDepth) {
+  auto tasks = MakeSpreadTasks(16, 16.0, 1e8, 6, 0);
+  auto cheap = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.0);
+  auto costly = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 1.0);
+  // 16 partials -> tree depth 4 -> +4 seconds.
+  EXPECT_NEAR(costly.makespan_seconds - cheap.makespan_seconds, 4.0, 1e-9);
+}
+
+TEST(ClusterSimTest, BusySecondsAccountedPerNode) {
+  auto tasks = MakeSpreadTasks(6, 6.0, 6e6, 6, 0);
+  auto r = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.0);
+  ASSERT_EQ(r.node_busy_seconds.size(), 6u);
+  for (double busy : r.node_busy_seconds) EXPECT_GT(busy, 0.0);
+  EXPECT_EQ(r.nodes_used, 6u);
+}
+
+TEST(ClusterSimTest, SingleMachineConfigModelsTheMacMini) {
+  // The paper's first hardware: one dual-core machine. Virtual time for a
+  // 100-CPU-second job must be ~50s.
+  ClusterConfig mac;
+  mac.num_nodes = 1;
+  mac.cores_per_node = 2;
+  auto tasks = MakeUniformTasks(8, 100.0, 1e9, 0, 1024);
+  auto r = SimulateJob(tasks, mac, Placement::kLocalOnly, 0.001);
+  EXPECT_NEAR(r.makespan_seconds, 50.0, 1.0);
+}
+
+TEST(ClusterSimTest, UniformAndSpreadTaskBuilders) {
+  auto uniform = MakeUniformTasks(4, 8.0, 4000, 3, 99);
+  ASSERT_EQ(uniform.size(), 4u);
+  for (const SimTask& t : uniform) {
+    EXPECT_DOUBLE_EQ(t.compute_seconds, 2.0);
+    EXPECT_EQ(t.input_bytes, 1000u);
+    EXPECT_EQ(t.output_bytes, 99u);
+    EXPECT_EQ(t.replica_nodes, std::vector<size_t>{3});
+  }
+  auto spread = MakeSpreadTasks(4, 8.0, 4000, 2, 99);
+  EXPECT_EQ(spread[0].replica_nodes, std::vector<size_t>{0});
+  EXPECT_EQ(spread[1].replica_nodes, std::vector<size_t>{1});
+  EXPECT_EQ(spread[2].replica_nodes, std::vector<size_t>{0});
+}
+
+}  // namespace
+}  // namespace jsonsi::engine

@@ -1,0 +1,209 @@
+// End-to-end tests for the SchemaInferencer facade: pipeline results,
+// statistics, partitioning invariance, incremental merge (the paper's
+// associativity use-case), and file/JSON-Lines entry points.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/schema_inferencer.h"
+#include "datagen/generator.h"
+#include "json/serializer.h"
+#include "random_value_gen.h"
+#include "stats/paths.h"
+#include "types/membership.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::core {
+namespace {
+
+types::TypeRef T(std::string_view text) {
+  auto r = types::ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+TEST(SchemaInferencerTest, SimplePipeline) {
+  SchemaInferencer inferencer;
+  auto r = inferencer.InferFromJsonLines(
+      "{\"a\": 1, \"b\": \"x\"}\n"
+      "{\"a\": \"one\", \"c\": true}\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Schema& schema = r.value();
+  EXPECT_TRUE(schema.type->Equals(
+      *T("{a: (Num + Str), b: Str?, c: Bool?}")))
+      << schema.ToString();
+  EXPECT_EQ(schema.stats.record_count, 2u);
+  EXPECT_EQ(schema.stats.distinct_type_count, 2u);
+}
+
+TEST(SchemaInferencerTest, EmptyInputYieldsEmptySchema) {
+  SchemaInferencer inferencer;
+  Schema schema = inferencer.InferFromValues({});
+  EXPECT_TRUE(schema.type->is_empty());
+  EXPECT_EQ(schema.stats.record_count, 0u);
+  EXPECT_EQ(schema.ToString(), "Empty");
+}
+
+TEST(SchemaInferencerTest, StatsMatchManualComputation) {
+  // Types: {a:Num} (size 3) x2 and {a:Num,b:Str} (size 5) x1.
+  SchemaInferencer inferencer;
+  auto r = inferencer.InferFromJsonLines(
+      "{\"a\": 1}\n{\"a\": 2}\n{\"a\": 3, \"b\": \"s\"}\n");
+  ASSERT_TRUE(r.ok());
+  const SchemaStats& stats = r.value().stats;
+  EXPECT_EQ(stats.record_count, 3u);
+  EXPECT_EQ(stats.distinct_type_count, 2u);
+  EXPECT_EQ(stats.min_type_size, 3u);
+  EXPECT_EQ(stats.max_type_size, 5u);
+  EXPECT_NEAR(stats.avg_type_size, 11.0 / 3.0, 1e-12);
+  EXPECT_GE(stats.infer_seconds, 0.0);
+  EXPECT_GE(stats.fuse_seconds, 0.0);
+}
+
+TEST(SchemaInferencerTest, CollectStatsCanBeDisabled) {
+  InferenceOptions opts;
+  opts.collect_stats = false;
+  SchemaInferencer inferencer(opts);
+  auto values = jsonsi::testing::RandomValues(5, 10);
+  Schema schema = inferencer.InferFromValues(values);
+  EXPECT_EQ(schema.stats.distinct_type_count, 0u);
+  EXPECT_EQ(schema.stats.record_count, 10u);
+  EXPECT_TRUE(schema.type != nullptr);
+}
+
+TEST(SchemaInferencerTest, ResultIndependentOfPartitioningAndThreads) {
+  auto values = jsonsi::testing::RandomValues(123, 200);
+  Schema reference;
+  {
+    InferenceOptions opts;
+    opts.num_threads = 1;
+    opts.num_partitions = 1;
+    reference = SchemaInferencer(opts).InferFromValues(values);
+  }
+  for (size_t threads : {2u, 4u}) {
+    for (size_t partitions : {3u, 8u, 64u}) {
+      InferenceOptions opts;
+      opts.num_threads = threads;
+      opts.num_partitions = partitions;
+      Schema schema = SchemaInferencer(opts).InferFromValues(values);
+      EXPECT_TRUE(schema.type->Equals(*reference.type))
+          << threads << " threads, " << partitions << " partitions";
+      EXPECT_EQ(schema.stats.distinct_type_count,
+                reference.stats.distinct_type_count);
+      EXPECT_EQ(schema.stats.min_type_size, reference.stats.min_type_size);
+      EXPECT_EQ(schema.stats.max_type_size, reference.stats.max_type_size);
+      EXPECT_NEAR(schema.stats.avg_type_size, reference.stats.avg_type_size,
+                  1e-9);
+    }
+  }
+}
+
+TEST(SchemaInferencerTest, AllInputsMatchFinalSchema) {
+  auto values = jsonsi::testing::RandomValues(7, 100);
+  Schema schema = SchemaInferencer().InferFromValues(values);
+  for (const auto& v : values) {
+    EXPECT_TRUE(types::Matches(*v, *schema.type));
+  }
+}
+
+TEST(SchemaInferencerTest, IncrementalMergeEqualsBatch) {
+  // The incremental-maintenance story: schema(A) fused with schema(B) equals
+  // schema(A u B).
+  auto values = jsonsi::testing::RandomValues(55, 120);
+  std::vector<json::ValueRef> first(values.begin(), values.begin() + 70);
+  std::vector<json::ValueRef> second(values.begin() + 70, values.end());
+  SchemaInferencer inferencer;
+  Schema batch = inferencer.InferFromValues(values);
+  Schema merged = SchemaInferencer::Merge(inferencer.InferFromValues(first),
+                                          inferencer.InferFromValues(second));
+  EXPECT_TRUE(merged.type->Equals(*batch.type));
+  EXPECT_EQ(merged.stats.record_count, batch.stats.record_count);
+  EXPECT_EQ(merged.stats.min_type_size, batch.stats.min_type_size);
+  EXPECT_EQ(merged.stats.max_type_size, batch.stats.max_type_size);
+  EXPECT_NEAR(merged.stats.avg_type_size, batch.stats.avg_type_size, 1e-9);
+}
+
+TEST(SchemaInferencerTest, SingleRecordMergeModelsInsertion) {
+  // Inserting one new record = fusing the existing schema with the record's
+  // schema (Section 1).
+  SchemaInferencer inferencer;
+  auto base = inferencer.InferFromJsonLines("{\"a\": 1}\n{\"a\": 2}\n");
+  ASSERT_TRUE(base.ok());
+  auto insert = inferencer.InferFromJsonLines("{\"a\": null, \"new\": []}\n");
+  ASSERT_TRUE(insert.ok());
+  Schema after = SchemaInferencer::Merge(base.value(), insert.value());
+  EXPECT_TRUE(after.type->Equals(*T("{a: (Null + Num), new: []?}")))
+      << after.ToString();
+  EXPECT_EQ(after.stats.record_count, 3u);
+}
+
+TEST(SchemaInferencerTest, MergeWithEmptySchemaIsIdentity) {
+  SchemaInferencer inferencer;
+  auto values = jsonsi::testing::RandomValues(9, 20);
+  Schema schema = inferencer.InferFromValues(values);
+  Schema empty = inferencer.InferFromValues({});
+  Schema merged = SchemaInferencer::Merge(schema, empty);
+  EXPECT_TRUE(merged.type->Equals(*schema.type));
+  EXPECT_EQ(merged.stats.distinct_type_count,
+            schema.stats.distinct_type_count);
+  EXPECT_EQ(merged.stats.avg_type_size, schema.stats.avg_type_size);
+}
+
+TEST(SchemaInferencerTest, InferFromFileWorks) {
+  std::string path = ::testing::TempDir() + "/jsonsi_core_test.jsonl";
+  {
+    std::ofstream out(path);
+    auto gen = datagen::MakeGenerator(datagen::DatasetId::kGitHub, 1);
+    for (uint64_t i = 0; i < 50; ++i) {
+      out << json::ToJson(*gen->Generate(i)) << "\n";
+    }
+  }
+  auto r = SchemaInferencer().InferFromFile(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().stats.record_count, 50u);
+  EXPECT_TRUE(r.value().type->is_record());
+  std::remove(path.c_str());
+}
+
+TEST(SchemaInferencerTest, ParseErrorsSurface) {
+  EXPECT_FALSE(SchemaInferencer().InferFromJsonLines("{oops\n").ok());
+  EXPECT_FALSE(SchemaInferencer().InferFromFile("/no/such/file.jsonl").ok());
+}
+
+TEST(SchemaInferencerTest, PrettyPrintingIsMultiline) {
+  auto r = SchemaInferencer().InferFromJsonLines(
+      "{\"a\": 1, \"b\": {\"c\": true}}\n");
+  ASSERT_TRUE(r.ok());
+  std::string pretty = r.value().ToString(/*pretty=*/true);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+}
+
+// End-to-end over every generator: schema covers all value paths.
+class CorePerDataset : public ::testing::TestWithParam<datagen::DatasetId> {};
+
+TEST_P(CorePerDataset, SchemaCoversAllRecordPaths) {
+  auto gen = datagen::MakeGenerator(GetParam(), 2024);
+  auto values = gen->GenerateMany(300);
+  Schema schema = SchemaInferencer().InferFromValues(values);
+  auto schema_paths = stats::TypePaths(*schema.type);
+  for (const auto& v : values) {
+    for (const auto& p : stats::ValuePaths(*v)) {
+      ASSERT_TRUE(schema_paths.count(p))
+          << datagen::DatasetName(GetParam()) << " missing " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, CorePerDataset,
+    ::testing::Values(datagen::DatasetId::kGitHub, datagen::DatasetId::kTwitter,
+                      datagen::DatasetId::kWikidata,
+                      datagen::DatasetId::kNYTimes),
+    [](const ::testing::TestParamInfo<datagen::DatasetId>& info) {
+      return datagen::DatasetName(info.param);
+    });
+
+}  // namespace
+}  // namespace jsonsi::core

@@ -1,0 +1,112 @@
+// Tests for the C++ struct code generator: mapping rules, optionality,
+// unions, arrays, nested structs, identifier sanitation, determinism, and
+// end-to-end generation from an inferred schema.
+
+#include <gtest/gtest.h>
+
+#include "core/schema_inferencer.h"
+#include "datagen/generator.h"
+#include "export/cpp_codegen.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::exporter {
+namespace {
+
+types::TypeRef T(std::string_view text) {
+  auto r = types::ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+bool Contains(const std::string& haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(CppCodegenTest, ScalarFields) {
+  std::string code = ToCppStructs(T("{b: Bool, n: Num, s: Str, z: Null}"));
+  EXPECT_TRUE(Contains(code, "struct Root {")) << code;
+  EXPECT_TRUE(Contains(code, "bool b;"));
+  EXPECT_TRUE(Contains(code, "double n;"));
+  EXPECT_TRUE(Contains(code, "std::string s;"));
+  EXPECT_TRUE(Contains(code, "std::monostate z;"));
+}
+
+TEST(CppCodegenTest, OptionalFieldsWrapInOptional) {
+  std::string code = ToCppStructs(T("{maybe: Str?}"));
+  EXPECT_TRUE(Contains(code, "std::optional<std::string> maybe;")) << code;
+}
+
+TEST(CppCodegenTest, UnionsBecomeVariants) {
+  std::string code = ToCppStructs(T("{v: (Num + Str)}"));
+  EXPECT_TRUE(Contains(code, "std::variant<double, std::string> v;")) << code;
+}
+
+TEST(CppCodegenTest, ArraysBecomeVectors) {
+  std::string code = ToCppStructs(T("{xs: [(Num)*], pair: [Num, Str]}"));
+  EXPECT_TRUE(Contains(code, "std::vector<double> xs;")) << code;
+  // Exact arrays use the union of element types.
+  EXPECT_TRUE(
+      Contains(code, "std::vector<std::variant<double, std::string>> pair;"))
+      << code;
+  std::string empty = ToCppStructs(T("{none: [(Empty)*]}"));
+  EXPECT_TRUE(Contains(empty, "std::vector<std::monostate> none;")) << empty;
+}
+
+TEST(CppCodegenTest, NestedRecordsGetNamedStructs) {
+  std::string code = ToCppStructs(T("{user: {id: Num, name: Str}}"));
+  EXPECT_TRUE(Contains(code, "struct RootUser {")) << code;
+  EXPECT_TRUE(Contains(code, "RootUser user;")) << code;
+  // Nested struct is declared before its use site.
+  EXPECT_LT(code.find("struct RootUser"), code.find("struct Root {"));
+}
+
+TEST(CppCodegenTest, BadIdentifiersAreSanitizedWithComment) {
+  std::string code = ToCppStructs(T("{\"content-type\": Str, \"2fast\": Num}"));
+  EXPECT_TRUE(Contains(code, "std::string content_type;")) << code;
+  EXPECT_TRUE(Contains(code, "// JSON key: \"content-type\"")) << code;
+  EXPECT_TRUE(Contains(code, "double f2fast;")) << code;
+}
+
+TEST(CppCodegenTest, NamespaceAndRootNameOptions) {
+  CppCodegenOptions opts;
+  opts.root_name = "Tweet";
+  opts.namespace_name = "firehose";
+  std::string code = ToCppStructs(T("{id: Num}"), opts);
+  EXPECT_TRUE(Contains(code, "namespace firehose {")) << code;
+  EXPECT_TRUE(Contains(code, "struct Tweet {")) << code;
+  EXPECT_TRUE(Contains(code, "}  // namespace firehose")) << code;
+
+  CppCodegenOptions bare;
+  bare.namespace_name = "";
+  EXPECT_FALSE(Contains(ToCppStructs(T("{id: Num}"), bare), "namespace"));
+}
+
+TEST(CppCodegenTest, NonRecordRootIsWrapped) {
+  std::string code = ToCppStructs(T("Num + Str"));
+  EXPECT_TRUE(Contains(code, "std::variant<double, std::string> value;"))
+      << code;
+}
+
+TEST(CppCodegenTest, Deterministic) {
+  types::TypeRef t = T("{a: Num, b: {c: (Str + Null)?}, d: [(Bool)*]}");
+  EXPECT_EQ(ToCppStructs(t), ToCppStructs(t));
+}
+
+TEST(CppCodegenTest, EndToEndFromInferredSchema) {
+  auto values =
+      datagen::MakeGenerator(datagen::DatasetId::kGitHub, 5)->GenerateMany(500);
+  core::Schema schema = core::SchemaInferencer().InferFromValues(values);
+  CppCodegenOptions opts;
+  opts.root_name = "PullRequest";
+  std::string code = ToCppStructs(schema.type, opts);
+  EXPECT_TRUE(Contains(code, "struct PullRequest {")) << code;
+  EXPECT_TRUE(Contains(code, "struct PullRequestUser {"));
+  EXPECT_TRUE(Contains(code, "#include <optional>"));
+  // Every top-level schema field appears as a member.
+  for (const auto& f : schema.type->fields()) {
+    EXPECT_TRUE(Contains(code, " " + f.key + ";")) << f.key;
+  }
+}
+
+}  // namespace
+}  // namespace jsonsi::exporter

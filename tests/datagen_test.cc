@@ -1,0 +1,280 @@
+// Tests for the dataset generators: determinism, well-formedness, and the
+// structural profiles each dataset must exhibit (Section 6.1), since the
+// experiment tables depend on those profiles.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "datagen/generator.h"
+#include "fusion/fuse.h"
+#include "inference/infer.h"
+#include "json/serializer.h"
+#include "stats/type_stats.h"
+#include "types/membership.h"
+
+namespace jsonsi::datagen {
+namespace {
+
+// Record-nesting depth, the paper's notion of "nesting level": arrays and
+// scalar leaves are transparent, each record adds one level.
+size_t RecordDepth(const json::Value& v) {
+  switch (v.kind()) {
+    case json::ValueKind::kRecord: {
+      size_t d = 0;
+      for (const auto& f : v.fields()) d = std::max(d, RecordDepth(*f.value));
+      return 1 + d;
+    }
+    case json::ValueKind::kArray: {
+      size_t d = 0;
+      for (const auto& e : v.elements()) d = std::max(d, RecordDepth(*e));
+      return d;
+    }
+    default:
+      return 0;
+  }
+}
+
+bool ContainsArray(const json::Value& v) {
+  if (v.is_array()) return true;
+  if (v.is_record()) {
+    for (const auto& f : v.fields()) {
+      if (ContainsArray(*f.value)) return true;
+    }
+  }
+  return false;
+}
+
+class GeneratorSuite : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(GeneratorSuite, DeterministicPerSeedAndIndex) {
+  auto g1 = MakeGenerator(GetParam(), 7);
+  auto g2 = MakeGenerator(GetParam(), 7);
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(g1->Generate(i)->Equals(*g2->Generate(i))) << i;
+  }
+}
+
+TEST_P(GeneratorSuite, DifferentSeedsProduceDifferentStreams) {
+  auto g1 = MakeGenerator(GetParam(), 1);
+  auto g2 = MakeGenerator(GetParam(), 2);
+  int identical = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    identical += g1->Generate(i)->Equals(*g2->Generate(i));
+  }
+  EXPECT_LT(identical, 3);
+}
+
+TEST_P(GeneratorSuite, RandomAccessMatchesSequential) {
+  auto g = MakeGenerator(GetParam(), 7);
+  auto batch = g->GenerateMany(10, 5);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(batch[i]->Equals(*g->Generate(5 + i)));
+  }
+}
+
+TEST_P(GeneratorSuite, RecordsSerializeAndAreTopLevelRecords) {
+  auto g = MakeGenerator(GetParam(), 3);
+  for (uint64_t i = 0; i < 25; ++i) {
+    json::ValueRef v = g->Generate(i);
+    EXPECT_TRUE(v->is_record());
+    EXPECT_FALSE(json::ToJson(*v).empty());
+  }
+}
+
+TEST_P(GeneratorSuite, InferredTypesMatchValues) {
+  auto g = MakeGenerator(GetParam(), 3);
+  for (uint64_t i = 0; i < 10; ++i) {
+    json::ValueRef v = g->Generate(i);
+    EXPECT_TRUE(types::Matches(*v, *inference::InferType(*v)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, GeneratorSuite,
+    ::testing::Values(DatasetId::kGitHub, DatasetId::kTwitter,
+                      DatasetId::kWikidata, DatasetId::kNYTimes),
+    [](const ::testing::TestParamInfo<DatasetId>& info) {
+      return DatasetName(info.param);
+    });
+
+// ------------------------------------------------- per-dataset profiles --
+
+TEST(GitHubProfile, NoArraysAndDepthAtMostFour) {
+  auto g = MakeGenerator(DatasetId::kGitHub, 11);
+  for (uint64_t i = 0; i < 200; ++i) {
+    json::ValueRef v = g->Generate(i);
+    EXPECT_FALSE(ContainsArray(*v)) << i;
+    // "nesting depth never greater than four" (Section 6.1).
+    EXPECT_LE(RecordDepth(*v), 4u) << i;
+  }
+}
+
+TEST(GitHubProfile, HomogeneousTypesWithConstantSize) {
+  // Table 2: min = max = avg inferred-type size; few distinct types.
+  auto g = MakeGenerator(DatasetId::kGitHub, 11);
+  stats::DistinctTypeSet distinct;
+  std::set<size_t> sizes;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    types::TypeRef t = inference::InferType(*g->Generate(i));
+    distinct.Add(t);
+    sizes.insert(t->size());
+  }
+  EXPECT_EQ(sizes.size(), 1u) << "type size must be constant";
+  EXPECT_GE(distinct.size(), 5u);
+  EXPECT_LE(distinct.size(), 120u);  // paper: 29 @ 1K — same order
+}
+
+TEST(TwitterProfile, MixesTweetsAndDeletes) {
+  auto g = MakeGenerator(DatasetId::kTwitter, 13);
+  size_t deletes = 0, tweets = 0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    json::ValueRef v = g->Generate(i);
+    if (v->Find("delete")) {
+      ++deletes;
+    } else {
+      ASSERT_NE(v->Find("text"), nullptr);
+      ++tweets;
+    }
+  }
+  EXPECT_GT(deletes, 0u);
+  EXPECT_GT(tweets, deletes * 10);  // deletes are a tiny fraction
+}
+
+TEST(TwitterProfile, UsesArraysOfRecordsBoundedDepth) {
+  auto g = MakeGenerator(DatasetId::kTwitter, 13);
+  bool saw_array_of_records = false;
+  for (uint64_t i = 0; i < 100; ++i) {
+    json::ValueRef v = g->Generate(i);
+    // "the maximum level of nesting is 3" (Section 6.1).
+    EXPECT_LE(RecordDepth(*v), 3u);
+    if (const json::Value* e = v->Find("entities")) {
+      const json::Value* tags = e->Find("hashtags");
+      if (tags && !tags->elements().empty()) {
+        saw_array_of_records = tags->elements()[0]->is_record();
+      }
+    }
+  }
+  EXPECT_TRUE(saw_array_of_records);
+}
+
+TEST(TwitterProfile, SeveralTopLevelVariants) {
+  auto g = MakeGenerator(DatasetId::kTwitter, 17);
+  std::set<std::string> top_level_shapes;
+  for (uint64_t i = 0; i < 300; ++i) {
+    json::ValueRef v = g->Generate(i);
+    std::string shape;
+    for (const auto& f : v->fields()) shape += f.key + ",";
+    top_level_shapes.insert(shape);
+  }
+  EXPECT_EQ(top_level_shapes.size(), 5u);  // the paper's five schemas
+}
+
+TEST(WikidataProfile, KeysAsDataMakeNearlyEveryTypeDistinct) {
+  // Table 4: 999 distinct types among 1,000 records.
+  auto g = MakeGenerator(DatasetId::kWikidata, 19);
+  stats::DistinctTypeSet distinct;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    distinct.Add(inference::InferType(*g->Generate(i)));
+  }
+  EXPECT_GE(distinct.size(), 950u);
+}
+
+TEST(WikidataProfile, NestingReachesLevelSix) {
+  // "several records reach a nesting level of 6" (Section 6.1):
+  // root > claims > statement > mainsnak > datavalue > value.
+  auto g = MakeGenerator(DatasetId::kWikidata, 19);
+  size_t max_depth = 0;
+  for (uint64_t i = 0; i < 50; ++i) {
+    max_depth = std::max(max_depth, RecordDepth(*g->Generate(i)));
+  }
+  EXPECT_EQ(max_depth, 6u);
+}
+
+TEST(WikidataProfile, ClaimKeysAreSkewedPropertyIds) {
+  auto g = MakeGenerator(DatasetId::kWikidata, 23);
+  std::map<std::string, int> key_freq;
+  for (uint64_t i = 0; i < 300; ++i) {
+    json::ValueRef v = g->Generate(i);
+    const json::Value* claims = v->Find("claims");
+    ASSERT_NE(claims, nullptr);
+    for (const auto& f : claims->fields()) {
+      EXPECT_EQ(f.key[0], 'P');
+      ++key_freq[f.key];
+    }
+  }
+  // Zipf skew: the most frequent property is much more common than median.
+  int max_freq = 0;
+  for (const auto& [k, n] : key_freq) max_freq = std::max(max_freq, n);
+  EXPECT_GT(max_freq, 30);
+  EXPECT_GT(key_freq.size(), 100u);
+}
+
+TEST(NYTimesProfile, NestingReachesLevelSevenAndTopLevelIsStable) {
+  auto g = MakeGenerator(DatasetId::kNYTimes, 29);
+  std::set<std::string> top_level_shapes;
+  size_t max_depth = 0;
+  for (uint64_t i = 0; i < 200; ++i) {
+    json::ValueRef v = g->Generate(i);
+    max_depth = std::max(max_depth, RecordDepth(*v));
+    std::string shape;
+    for (const auto& f : v->fields()) shape += f.key + ",";
+    top_level_shapes.insert(shape);
+  }
+  // "records ... are nested up to 7 levels" (Section 6.1):
+  // root > legacy > meta > source > feed > origin > ids.
+  EXPECT_EQ(max_depth, 7u);
+  EXPECT_EQ(top_level_shapes.size(), 1u);  // first level fixed
+}
+
+TEST(NYTimesProfile, HeadlineHasAlternativeSubfieldSets) {
+  auto g = MakeGenerator(DatasetId::kNYTimes, 29);
+  std::set<std::string> headline_shapes;
+  for (uint64_t i = 0; i < 200; ++i) {
+    json::ValueRef v = g->Generate(i);
+    const json::Value* h = v->Find("headline");
+    ASSERT_NE(h, nullptr);
+    std::string shape;
+    for (const auto& f : h->fields()) shape += f.key + ",";
+    headline_shapes.insert(shape);
+  }
+  EXPECT_GE(headline_shapes.size(), 2u);
+  EXPECT_LE(headline_shapes.size(), 3u);
+}
+
+TEST(NYTimesProfile, SameFieldMixesNumAndStr) {
+  auto g = MakeGenerator(DatasetId::kNYTimes, 31);
+  bool saw_num = false, saw_str = false;
+  for (uint64_t i = 0; i < 100; ++i) {
+    json::ValueRef v = g->Generate(i);
+    const json::Value* wc = v->Find("word_count");
+    ASSERT_NE(wc, nullptr);
+    saw_num |= wc->is_num();
+    saw_str |= wc->is_str();
+  }
+  EXPECT_TRUE(saw_num);
+  EXPECT_TRUE(saw_str);
+}
+
+TEST(NYTimesProfile, FusionCompactsDespiteManyDistinctTypes) {
+  // Table 5's shape: many distinct inferred types, small fused type.
+  auto g = MakeGenerator(DatasetId::kNYTimes, 37);
+  stats::DistinctTypeSet distinct;
+  types::TypeRef fused = types::Type::Empty();
+  double total_size = 0;
+  const uint64_t n = 500;
+  for (uint64_t i = 0; i < n; ++i) {
+    types::TypeRef t = inference::InferType(*g->Generate(i));
+    distinct.Add(t);
+    total_size += static_cast<double>(t->size());
+    fused = fusion::Fuse(fused, t);
+  }
+  double avg = total_size / n;
+  EXPECT_GT(distinct.size(), n / 4);           // many distinct types
+  EXPECT_LT(static_cast<double>(fused->size()), avg * 4.0);  // compact
+}
+
+}  // namespace
+}  // namespace jsonsi::datagen

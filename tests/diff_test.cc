@@ -1,0 +1,146 @@
+// Tests for the schema differ: every change kind, nesting, arrays, unions,
+// determinism, and the no-change case.
+
+#include <gtest/gtest.h>
+
+#include "diff/schema_diff.h"
+#include "fusion/fuse.h"
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::diff {
+namespace {
+
+types::TypeRef T(std::string_view text) {
+  auto r = types::ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+std::vector<SchemaChange> Diff(std::string_view before,
+                               std::string_view after) {
+  return DiffSchemas(T(before), T(after));
+}
+
+bool Has(const std::vector<SchemaChange>& changes, std::string_view path,
+         ChangeKind kind) {
+  for (const SchemaChange& c : changes) {
+    if (c.path == path && c.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(DiffTest, IdenticalSchemasYieldNoChanges) {
+  EXPECT_TRUE(Diff("{a: Num, b: Str?}", "{a: Num, b: Str?}").empty());
+  EXPECT_TRUE(Diff("[(Num + Str)*]", "[(Num + Str)*]").empty());
+}
+
+TEST(DiffTest, FieldAddedAndRemoved) {
+  auto changes = Diff("{a: Num}", "{a: Num, b: Str?}");
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_TRUE(Has(changes, "b", ChangeKind::kFieldAdded));
+  EXPECT_EQ(changes[0].detail, "Str?");
+
+  changes = Diff("{a: Num, gone: Bool}", "{a: Num}");
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_TRUE(Has(changes, "gone", ChangeKind::kFieldRemoved));
+}
+
+TEST(DiffTest, OptionalityTransitions) {
+  EXPECT_TRUE(Has(Diff("{a: Num}", "{a: Num?}"), "a",
+                  ChangeKind::kBecameOptional));
+  EXPECT_TRUE(Has(Diff("{a: Num?}", "{a: Num}"), "a",
+                  ChangeKind::kBecameMandatory));
+}
+
+TEST(DiffTest, KindTransitions) {
+  auto broadened = Diff("{a: Num}", "{a: (Num + Str)}");
+  EXPECT_TRUE(Has(broadened, "a", ChangeKind::kKindsBroadened));
+  EXPECT_EQ(broadened[0].detail, "Num -> Num + Str");
+  EXPECT_TRUE(Has(Diff("{a: (Num + Str)}", "{a: Num}"), "a",
+                  ChangeKind::kKindsNarrowed));
+  // Simultaneous gain and loss reports both.
+  auto both = Diff("{a: Num}", "{a: Str}");
+  EXPECT_TRUE(Has(both, "a", ChangeKind::kKindsBroadened));
+  EXPECT_TRUE(Has(both, "a", ChangeKind::kKindsNarrowed));
+}
+
+TEST(DiffTest, NestedPathsAreDotted) {
+  auto changes = Diff("{user: {name: Str}}", "{user: {name: Str, age: Num?}}");
+  EXPECT_TRUE(Has(changes, "user.age", ChangeKind::kFieldAdded));
+}
+
+TEST(DiffTest, AddedSubtreeIsFullyReported) {
+  auto changes = Diff("{a: Num}", "{a: Num, sub: {x: Num, y: {z: Str}}?}");
+  EXPECT_TRUE(Has(changes, "sub", ChangeKind::kFieldAdded));
+  EXPECT_TRUE(Has(changes, "sub.x", ChangeKind::kFieldAdded));
+  EXPECT_TRUE(Has(changes, "sub.y", ChangeKind::kFieldAdded));
+  EXPECT_TRUE(Has(changes, "sub.y.z", ChangeKind::kFieldAdded));
+}
+
+TEST(DiffTest, ArrayContentChanges) {
+  auto changes = Diff("{xs: [(Num)*]}", "{xs: [(Num + Str)*]}");
+  EXPECT_TRUE(Has(changes, "xs[]", ChangeKind::kKindsBroadened));
+}
+
+TEST(DiffTest, ArrayShapeChanges) {
+  auto changes = Diff("{xs: [Num, Num]}", "{xs: [(Num)*]}");
+  EXPECT_TRUE(Has(changes, "xs[]", ChangeKind::kArrayShapeChanged));
+}
+
+TEST(DiffTest, ArrayOfRecordsFieldChanges) {
+  auto changes = Diff("{xs: [({a: Num})*]}", "{xs: [({a: Num, b: Str?})*]}");
+  EXPECT_TRUE(Has(changes, "xs[].b", ChangeKind::kFieldAdded));
+}
+
+TEST(DiffTest, RootKindChange) {
+  auto changes = Diff("Num", "Num + {a: Str}");
+  EXPECT_TRUE(Has(changes, "<root>", ChangeKind::kKindsBroadened));
+  EXPECT_TRUE(Has(changes, "a", ChangeKind::kFieldAdded));
+}
+
+TEST(DiffTest, DeterministicOrdering) {
+  auto a = Diff("{m: Num, a: Str}", "{m: Str, z: Bool?}");
+  auto b = Diff("{m: Num, a: Str}", "{m: Str, z: Bool?}");
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].path, b[i].path);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+  }
+  // Paths come out sorted.
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_LE(a[i - 1].path, a[i].path);
+}
+
+TEST(DiffTest, FusionDriftScenario) {
+  // The incremental-inference story end to end: a new batch broadens the
+  // schema; the diff pinpoints exactly what drifted.
+  auto v1 = json::Parse(R"({"id": 1, "temp": 21.5})").value();
+  auto v2 = json::Parse(R"({"id": "x7", "temp": 20.0, "battery": 80})").value();
+  types::TypeRef before = inference::InferType(*v1);
+  types::TypeRef after = fusion::Fuse(before, inference::InferType(*v2));
+  auto changes = DiffSchemas(before, after);
+  EXPECT_TRUE(Has(changes, "battery", ChangeKind::kFieldAdded));
+  EXPECT_TRUE(Has(changes, "id", ChangeKind::kKindsBroadened));
+  // `id` became optional? No — present in both: no optionality change.
+  EXPECT_FALSE(Has(changes, "id", ChangeKind::kBecameOptional));
+  EXPECT_FALSE(Has(changes, "temp", ChangeKind::kKindsBroadened));
+}
+
+TEST(DiffTest, FormatChangesRendering) {
+  auto changes = Diff("{a: Num}", "{a: (Num + Str), b: Bool?}");
+  std::string text = FormatChanges(changes);
+  EXPECT_NE(text.find("~ a: kinds-broadened (Num -> Num + Str)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("+ b: field-added (Bool?)"), std::string::npos) << text;
+}
+
+TEST(DiffTest, ChangeKindNamesStable) {
+  EXPECT_STREQ(ChangeKindName(ChangeKind::kFieldAdded), "field-added");
+  EXPECT_STREQ(ChangeKindName(ChangeKind::kArrayShapeChanged),
+               "array-shape-changed");
+}
+
+}  // namespace
+}  // namespace jsonsi::diff

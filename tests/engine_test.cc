@@ -1,0 +1,209 @@
+// Tests for the map/reduce engine: thread pool, partitioning, Map,
+// MapPartitions, tree Reduce vs sequential fold equivalence, metrics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "engine/dataset.h"
+#include "engine/thread_pool.h"
+#include "fusion/fuse.h"
+#include "inference/infer.h"
+#include "random_value_gen.h"
+#include "types/type.h"
+
+namespace jsonsi::engine {
+namespace {
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReentrant) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// --------------------------------------------------------------- Dataset --
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(DatasetTest, PartitioningIsBalancedAndComplete) {
+  auto ds = Dataset<int>::FromVector(Iota(10), 3);
+  EXPECT_EQ(ds.num_partitions(), 3u);
+  EXPECT_EQ(ds.size(), 10u);
+  // 10 = 4 + 3 + 3
+  EXPECT_EQ(ds.partition(0).size(), 4u);
+  EXPECT_EQ(ds.partition(1).size(), 3u);
+  EXPECT_EQ(ds.partition(2).size(), 3u);
+  EXPECT_EQ(ds.Collect(), Iota(10));
+}
+
+TEST(DatasetTest, MorePartitionsThanItemsClamped) {
+  auto ds = Dataset<int>::FromVector(Iota(2), 8);
+  EXPECT_EQ(ds.num_partitions(), 2u);
+  EXPECT_EQ(ds.Collect(), Iota(2));
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  auto ds = Dataset<int>::FromVector({}, 4);
+  EXPECT_EQ(ds.size(), 0u);
+  ThreadPool pool(2);
+  int sum = ds.Reduce(pool, 0, [](int a, int b) { return a + b; });
+  EXPECT_EQ(sum, 0);
+}
+
+TEST(DatasetTest, MapTransformsEveryElement) {
+  ThreadPool pool(3);
+  auto ds = Dataset<int>::FromVector(Iota(100), 7);
+  StageMetrics metrics;
+  auto doubled = ds.Map(pool, [](const int& x) { return x * 2; }, &metrics);
+  auto out = doubled.Collect();
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], 2 * i);
+  EXPECT_EQ(metrics.partition_seconds.size(), 7u);
+  EXPECT_GE(metrics.TotalSeconds(), 0.0);
+  EXPECT_GE(metrics.MaxSeconds(), 0.0);
+}
+
+TEST(DatasetTest, MapChangesElementType) {
+  ThreadPool pool(2);
+  auto ds = Dataset<int>::FromVector(Iota(5), 2);
+  auto strs = ds.Map(pool, [](const int& x) { return std::to_string(x); });
+  EXPECT_EQ(strs.Collect(),
+            (std::vector<std::string>{"0", "1", "2", "3", "4"}));
+}
+
+TEST(DatasetTest, MapPartitionsSeesWholePartitions) {
+  ThreadPool pool(2);
+  auto ds = Dataset<int>::FromVector(Iota(10), 4);
+  auto sums = ds.MapPartitions(pool, [](const std::vector<int>& part) {
+    return std::vector<int>{std::accumulate(part.begin(), part.end(), 0)};
+  });
+  auto out = sums.Collect();
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 45);
+}
+
+TEST(DatasetTest, ReduceMatchesSequentialFoldForAssociativeOp) {
+  ThreadPool pool(4);
+  auto items = Iota(1000);
+  for (size_t parts : {1u, 2u, 3u, 7u, 16u}) {
+    auto ds = Dataset<int>::FromVector(items, parts);
+    int sum = ds.Reduce(pool, 0, [](int a, int b) { return a + b; });
+    EXPECT_EQ(sum, 499500) << parts << " partitions";
+  }
+}
+
+TEST(DatasetTest, ReduceIdentityRespected) {
+  ThreadPool pool(2);
+  auto ds = Dataset<int>::FromVector({5}, 1);
+  int prod = ds.Reduce(pool, 1, [](int a, int b) { return a * b; });
+  EXPECT_EQ(prod, 5);
+}
+
+TEST(DatasetTest, FromPartitionsPreservesBoundaries) {
+  auto ds = Dataset<int>::FromPartitions({{1, 2}, {}, {3}});
+  EXPECT_EQ(ds.num_partitions(), 3u);
+  EXPECT_EQ(ds.partition(1).size(), 0u);
+  EXPECT_EQ(ds.Collect(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DatasetTest, FilterKeepsMatchingElements) {
+  ThreadPool pool(3);
+  auto ds = Dataset<int>::FromVector(Iota(100), 5);
+  auto evens = ds.Filter(pool, [](const int& x) { return x % 2 == 0; });
+  auto out = evens.Collect();
+  ASSERT_EQ(out.size(), 50u);
+  for (int x : out) EXPECT_EQ(x % 2, 0);
+  EXPECT_EQ(evens.num_partitions(), 5u);  // partitioning preserved
+}
+
+TEST(DatasetTest, FilterCanEmptyPartitions) {
+  ThreadPool pool(2);
+  auto ds = Dataset<int>::FromVector(Iota(10), 5);
+  auto none = ds.Filter(pool, [](const int&) { return false; });
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_EQ(none.num_partitions(), 5u);
+}
+
+TEST(DatasetTest, FlatMapExpandsElements) {
+  ThreadPool pool(2);
+  auto ds = Dataset<int>::FromVector({1, 2, 3}, 2);
+  auto repeated = ds.FlatMap(pool, [](const int& x) {
+    return std::vector<int>(static_cast<size_t>(x), x);
+  });
+  EXPECT_EQ(repeated.Collect(), (std::vector<int>{1, 2, 2, 3, 3, 3}));
+}
+
+TEST(DatasetTest, FlatMapCanDropAndChangeType) {
+  ThreadPool pool(2);
+  auto ds = Dataset<int>::FromVector(Iota(6), 3);
+  auto strs = ds.FlatMap(pool, [](const int& x) {
+    return x % 2 ? std::vector<std::string>{std::to_string(x)}
+                 : std::vector<std::string>{};
+  });
+  EXPECT_EQ(strs.Collect(), (std::vector<std::string>{"1", "3", "5"}));
+}
+
+// The engine-level version of the paper's key claim: partitioned tree
+// reduction of Fuse equals the sequential fold, for any partitioning.
+TEST(DatasetTest, FusionReduceIndependentOfPartitioning) {
+  auto values = jsonsi::testing::RandomValues(42, 64);
+  std::vector<types::TypeRef> ts;
+  ts.reserve(values.size());
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  types::TypeRef sequential = fusion::FuseAll(ts);
+
+  ThreadPool pool(4);
+  for (size_t parts : {1u, 2u, 5u, 9u, 32u}) {
+    auto ds = Dataset<types::TypeRef>::FromVector(ts, parts);
+    types::TypeRef reduced =
+        ds.Reduce(pool, types::Type::Empty(), fusion::Fuse);
+    EXPECT_TRUE(reduced->Equals(*sequential)) << parts << " partitions";
+  }
+}
+
+}  // namespace
+}  // namespace jsonsi::engine

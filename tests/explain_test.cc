@@ -1,0 +1,127 @@
+// Tests for mismatch explanation: reason/path quality per failure mode and
+// the consistency property Explain(v,t).has_value() == !Matches(v,t).
+
+#include <gtest/gtest.h>
+
+#include "fusion/tree_fuser.h"
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "random_value_gen.h"
+#include "types/explain.h"
+#include "types/membership.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::types {
+namespace {
+
+json::ValueRef V(std::string_view text) {
+  auto r = json::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+TypeRef T(std::string_view text) {
+  auto r = ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+Mismatch MustExplain(std::string_view value, std::string_view type) {
+  auto m = Explain(*V(value), *T(type));
+  EXPECT_TRUE(m.has_value()) << value << " vs " << type;
+  return m.value_or(Mismatch{});
+}
+
+TEST(ExplainTest, MatchYieldsNothing) {
+  EXPECT_FALSE(Explain(*V("1"), *T("Num")).has_value());
+  EXPECT_FALSE(Explain(*V(R"({"a": [1, "x"]})"),
+                       *T("{a: [(Num + Str)*]}")).has_value());
+}
+
+TEST(ExplainTest, BasicKindMismatch) {
+  Mismatch m = MustExplain("true", "Num");
+  EXPECT_EQ(m.path, "");
+  EXPECT_EQ(m.reason, "expected Num, found bool");
+}
+
+TEST(ExplainTest, MissingMandatoryField) {
+  Mismatch m = MustExplain(R"({"a": 1})", "{a: Num, b: Str}");
+  EXPECT_EQ(m.path, "");
+  EXPECT_EQ(m.reason, "missing mandatory field \"b\"");
+}
+
+TEST(ExplainTest, UnexpectedField) {
+  Mismatch m = MustExplain(R"({"a": 1, "zz": 2})", "{a: Num}");
+  EXPECT_EQ(m.reason,
+            "unexpected field \"zz\" (not declared by the schema)");
+}
+
+TEST(ExplainTest, NestedPathIsReported) {
+  Mismatch m = MustExplain(R"({"user": {"name": 42}})",
+                           "{user: {name: Str}}");
+  EXPECT_EQ(m.path, "user.name");
+  EXPECT_EQ(m.reason, "expected Str, found num");
+}
+
+TEST(ExplainTest, ArrayElementIndexIsReported) {
+  Mismatch m = MustExplain(R"({"xs": [1, 2, "three"]})", "{xs: [(Num)*]}");
+  EXPECT_EQ(m.path, "xs[2]");
+  EXPECT_EQ(m.reason, "expected Num, found str");
+}
+
+TEST(ExplainTest, ExactArrayLengthMismatch) {
+  Mismatch m = MustExplain("[1]", "[Num, Num]");
+  EXPECT_EQ(m.reason, "expected exactly 2 array elements, found 1");
+}
+
+TEST(ExplainTest, UnionDescendsIntoMatchingKind) {
+  // The record alternative explains the failure, not the whole union.
+  Mismatch m = MustExplain(R"({"a": true})", "Num + {a: Str}");
+  EXPECT_EQ(m.path, "a");
+  EXPECT_EQ(m.reason, "expected Str, found bool");
+}
+
+TEST(ExplainTest, UnionWithNoMatchingKind) {
+  Mismatch m = MustExplain("true", "Num + Str");
+  EXPECT_EQ(m.path, "");
+  EXPECT_EQ(m.reason, "expected Num + Str, found bool");
+}
+
+TEST(ExplainTest, EmptyType) {
+  Mismatch m = MustExplain("null", "Empty");
+  EXPECT_EQ(m.reason, "no value can match the empty type");
+}
+
+TEST(ExplainTest, NonRecordAgainstRecordType) {
+  Mismatch m = MustExplain("[1]", "{a: Num?}");
+  EXPECT_EQ(m.reason, "expected a record, found array");
+}
+
+class ExplainConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExplainConsistency, AgreesWithMatches) {
+  // Pit random values against schemas fused from OTHER random values; the
+  // presence of an explanation must coincide exactly with non-membership.
+  auto values = jsonsi::testing::RandomValues(GetParam(), 30);
+  fusion::TreeFuser fuser;
+  for (size_t i = 0; i < 15; ++i) {
+    fuser.Add(inference::InferType(*values[i]));
+  }
+  TypeRef schema = fuser.Finish();
+  for (const auto& v : values) {
+    EXPECT_EQ(Explain(*v, *schema).has_value(), !Matches(*v, *schema));
+  }
+  // And against each individual inferred type.
+  for (size_t i = 0; i < values.size(); ++i) {
+    TypeRef t = inference::InferType(*values[i]);
+    for (size_t j = 0; j < values.size(); j += 3) {
+      EXPECT_EQ(Explain(*values[j], *t).has_value(), !Matches(*values[j], *t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExplainConsistency,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace jsonsi::types

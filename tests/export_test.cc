@@ -1,0 +1,194 @@
+// Tests for the JSON Schema exporter and the mini validator, including the
+// semantic agreement property: Matches(V, T) == Validates(V, ToJsonSchema(T))
+// for randomized values and pipeline-produced types.
+
+#include <gtest/gtest.h>
+
+#include "export/json_schema.h"
+#include "export/validator.h"
+#include "fusion/tree_fuser.h"
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "json/serializer.h"
+#include "random_value_gen.h"
+#include "types/membership.h"
+#include "types/printer.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::exporter {
+namespace {
+
+types::TypeRef T(std::string_view text) {
+  auto r = types::ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+json::ValueRef V(std::string_view text) {
+  auto r = json::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+JsonSchemaOptions NoDraft() {
+  JsonSchemaOptions opts;
+  opts.include_draft_uri = false;
+  return opts;
+}
+
+// --------------------------------------------------------------- exporter --
+
+TEST(JsonSchemaExportTest, Basics) {
+  EXPECT_TRUE(ToJsonSchema(T("Null"), NoDraft())
+                  ->Equals(*V(R"({"type":"null"})")));
+  EXPECT_TRUE(ToJsonSchema(T("Bool"), NoDraft())
+                  ->Equals(*V(R"({"type":"boolean"})")));
+  EXPECT_TRUE(ToJsonSchema(T("Num"), NoDraft())
+                  ->Equals(*V(R"({"type":"number"})")));
+  EXPECT_TRUE(ToJsonSchema(T("Str"), NoDraft())
+                  ->Equals(*V(R"({"type":"string"})")));
+}
+
+TEST(JsonSchemaExportTest, DraftMarkerOnRoot) {
+  json::ValueRef schema = ToJsonSchema(T("Num"));
+  ASSERT_NE(schema->Find("$schema"), nullptr);
+  EXPECT_NE(schema->Find("$schema")->str_value().find("2020-12"),
+            std::string::npos);
+}
+
+TEST(JsonSchemaExportTest, RecordWithRequiredAndClosed) {
+  json::ValueRef schema = ToJsonSchema(T("{a: Num, b: Str?}"), NoDraft());
+  EXPECT_TRUE(schema->Equals(*V(R"({
+    "type": "object",
+    "properties": {"a": {"type":"number"}, "b": {"type":"string"}},
+    "required": ["a"],
+    "additionalProperties": false
+  })"))) << json::ToJson(*schema);
+}
+
+TEST(JsonSchemaExportTest, OpenRecordsOption) {
+  JsonSchemaOptions opts = NoDraft();
+  opts.closed_records = false;
+  json::ValueRef schema = ToJsonSchema(T("{a: Num}"), opts);
+  EXPECT_EQ(schema->Find("additionalProperties"), nullptr);
+}
+
+TEST(JsonSchemaExportTest, UnionBecomesAnyOf) {
+  json::ValueRef schema = ToJsonSchema(T("Num + Str"), NoDraft());
+  const json::Value* any_of = schema->Find("anyOf");
+  ASSERT_NE(any_of, nullptr);
+  EXPECT_EQ(any_of->elements().size(), 2u);
+}
+
+TEST(JsonSchemaExportTest, StarArray) {
+  EXPECT_TRUE(ToJsonSchema(T("[(Num)*]"), NoDraft())
+                  ->Equals(*V(R"({"type":"array","items":{"type":"number"}})")));
+  EXPECT_TRUE(ToJsonSchema(T("[(Empty)*]"), NoDraft())
+                  ->Equals(*V(R"({"type":"array","maxItems":0})")));
+}
+
+TEST(JsonSchemaExportTest, ExactArrayUsesPrefixItems) {
+  json::ValueRef schema = ToJsonSchema(T("[Num, Str]"), NoDraft());
+  EXPECT_TRUE(schema->Equals(*V(R"({
+    "type": "array",
+    "minItems": 2, "maxItems": 2,
+    "prefixItems": [{"type":"number"}, {"type":"string"}],
+    "items": false
+  })"))) << json::ToJson(*schema);
+}
+
+TEST(JsonSchemaExportTest, TextOutputParses) {
+  std::string text = ToJsonSchemaText(*T("{a: (Num + Str), b: [(Bool)*]?}"));
+  EXPECT_TRUE(json::Parse(text).ok());
+}
+
+// -------------------------------------------------------------- validator --
+
+TEST(ValidatorTest, TypeKeyword) {
+  EXPECT_TRUE(Validates(*V("1"), *V(R"({"type":"number"})")));
+  EXPECT_FALSE(Validates(*V("\"s\""), *V(R"({"type":"number"})")));
+  EXPECT_TRUE(Validates(*V("3"), *V(R"({"type":"integer"})")));
+  EXPECT_FALSE(Validates(*V("3.5"), *V(R"({"type":"integer"})")));
+}
+
+TEST(ValidatorTest, BooleanSchemas) {
+  EXPECT_TRUE(Validates(*V("{}"), *V("true")));
+  EXPECT_FALSE(Validates(*V("{}"), *V("false")));
+}
+
+TEST(ValidatorTest, RequiredAndAdditionalProperties) {
+  json::ValueRef schema = V(R"({
+    "type":"object",
+    "properties":{"a":{"type":"number"}},
+    "required":["a"],
+    "additionalProperties":false
+  })");
+  EXPECT_TRUE(Validates(*V(R"({"a":1})"), *schema));
+  EXPECT_FALSE(Validates(*V(R"({})"), *schema));           // missing required
+  EXPECT_FALSE(Validates(*V(R"({"a":1,"b":2})"), *schema));  // extra key
+  EXPECT_FALSE(Validates(*V(R"({"a":"s"})"), *schema));    // wrong type
+}
+
+TEST(ValidatorTest, ArraysItemsAndPrefix) {
+  json::ValueRef star = V(R"({"type":"array","items":{"type":"number"}})");
+  EXPECT_TRUE(Validates(*V("[1,2]"), *star));
+  EXPECT_FALSE(Validates(*V("[1,\"s\"]"), *star));
+  json::ValueRef tuple = V(R"({
+    "type":"array","minItems":2,"maxItems":2,
+    "prefixItems":[{"type":"number"},{"type":"string"}],"items":false
+  })");
+  EXPECT_TRUE(Validates(*V("[1,\"s\"]"), *tuple));
+  EXPECT_FALSE(Validates(*V("[1]"), *tuple));
+  EXPECT_FALSE(Validates(*V("[1,\"s\",true]"), *tuple));
+}
+
+TEST(ValidatorTest, AnyOfAndNot) {
+  json::ValueRef schema =
+      V(R"({"anyOf":[{"type":"number"},{"type":"string"}]})");
+  EXPECT_TRUE(Validates(*V("1"), *schema));
+  EXPECT_TRUE(Validates(*V("\"s\""), *schema));
+  EXPECT_FALSE(Validates(*V("true"), *schema));
+  EXPECT_FALSE(Validates(*V("1"), *V(R"({"not":{}})")));  // false schema
+}
+
+// ------------------------------------------- semantic agreement property --
+
+class ExportAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExportAgreement, MembershipEqualsValidation) {
+  // Build a fused schema over half the sample, then check agreement of the
+  // two semantics on ALL values (members and non-members alike).
+  auto values = jsonsi::testing::RandomValues(GetParam(), 40);
+  fusion::TreeFuser fuser;
+  for (size_t i = 0; i < 20; ++i) {
+    fuser.Add(inference::InferType(*values[i]));
+  }
+  types::TypeRef schema = fuser.Finish();
+  json::ValueRef exported = ToJsonSchema(schema);
+  for (const auto& v : values) {
+    EXPECT_EQ(types::Matches(*v, *schema), Validates(*v, *exported))
+        << "disagreement on " << json::ToJson(*v) << "\nschema "
+        << types::ToString(*schema);
+  }
+}
+
+TEST_P(ExportAgreement, AgreementOnRawInferredTypes) {
+  // Exact array types and deep nesting, pre-fusion.
+  auto values = jsonsi::testing::RandomValues(GetParam() + 100, 20);
+  for (size_t i = 0; i < values.size(); ++i) {
+    types::TypeRef t = inference::InferType(*values[i]);
+    json::ValueRef exported = ToJsonSchema(t);
+    for (size_t j = 0; j < values.size(); ++j) {
+      EXPECT_EQ(types::Matches(*values[j], *t),
+                Validates(*values[j], *exported))
+          << "value " << json::ToJson(*values[j]) << " type "
+          << types::ToString(*t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExportAgreement,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace jsonsi::exporter

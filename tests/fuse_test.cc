@@ -1,0 +1,216 @@
+// Tests for the fusion operator against the paper's own worked examples
+// (Sections 2 and 5.2) plus rule-by-rule coverage of Figure 6.
+
+#include <gtest/gtest.h>
+
+#include "fusion/fuse.h"
+#include "fusion/tree_fuser.h"
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "types/printer.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::fusion {
+namespace {
+
+using types::ParseType;
+using types::ToString;
+using types::Type;
+using types::TypeRef;
+
+TypeRef T(std::string_view text) {
+  auto r = ParseType(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return r.ok() ? r.value() : Type::Empty();
+}
+
+void ExpectFuse(std::string_view a, std::string_view b,
+                std::string_view expected) {
+  TypeRef result = Fuse(T(a), T(b));
+  TypeRef want = T(expected);
+  EXPECT_TRUE(result->Equals(*want))
+      << "Fuse(" << a << ", " << b << ") = " << ToString(*result)
+      << ", expected " << expected;
+}
+
+// -------------------------------------------------- paper worked examples --
+
+TEST(FuseTest, SectionTwoRecordExample) {
+  // T1 = {A: Str, B: Num}, T2 = {B: Bool, C: Str}
+  // T12 = {A: Str?, B: Num + Bool, C: Str?}
+  ExpectFuse("{A: Str, B: Num}", "{B: Bool, C: Str}",
+             "{A: Str?, B: (Num + Bool), C: Str?}");
+}
+
+TEST(FuseTest, SectionTwoOptionalityPrevails) {
+  // T12 fused with T3 = {A: Null, B: Num} gives
+  // T123 = {A: (Str + Null)?, B: Num + Bool, C: Str?}
+  ExpectFuse("{A: Str?, B: (Num + Bool), C: Str?}", "{A: Null, B: Num}",
+             "{A: (Str + Null)?, B: (Num + Bool), C: Str?}");
+}
+
+TEST(FuseTest, SectionTwoNestedUnionExample) {
+  // {l: Bool + Str + {A: Num}} fused with {l: {A: Str, B: Num}} yields
+  // {l: Bool + Str + {A: Num + Str, B: Num?}}   (record components merge)
+  ExpectFuse("{l: (Bool + Str + {A: Num})}", "{l: {A: Str, B: Num}}",
+             "{l: (Bool + Str + {A: (Num + Str), B: Num?})}");
+}
+
+TEST(FuseTest, SectionTwoMixedContentArrays) {
+  // [Str, Str, {E: Str, F: Num}] and the swapped order both simplify and
+  // fuse to [(Str + {E: Str, F: Num})*].
+  ExpectFuse("[Str, Str, {E: Str, F: Num}]", "[{E: Str, F: Num}, Str, Str]",
+             "[(Str + {E: Str, F: Num})*]");
+}
+
+TEST(FuseTest, SectionFiveCollapseExample) {
+  // T = [Num, Bool, Num, {l1: Num, l2: Str}, {l1: Num, l2: Bool, l3: Str}]
+  // collapse(T) = Num + Bool + {l1: Num, l2: Str + Bool, l3: Str?}
+  TypeRef t = T("[Num, Bool, Num, {l1: Num, l2: Str},"
+                " {l1: Num, l2: Bool, l3: Str}]");
+  TypeRef collapsed = Collapse(t);
+  TypeRef want = T("Num + Bool + {l1: Num, l2: (Str + Bool), l3: Str?}");
+  EXPECT_TRUE(collapsed->Equals(*want)) << ToString(*collapsed);
+}
+
+// ------------------------------------------------------- rule-level cases --
+
+TEST(FuseTest, IdenticalBasicsCollapse) {
+  ExpectFuse("Num", "Num", "Num");
+  ExpectFuse("Null", "Null", "Null");
+}
+
+TEST(FuseTest, DifferentKindsUnion) {
+  ExpectFuse("Num", "Str", "Num + Str");
+  ExpectFuse("Null", "Bool", "Null + Bool");
+  ExpectFuse("Num", "{a: Str}", "Num + {a: Str}");
+}
+
+TEST(FuseTest, UnionsFuseKindWise) {
+  // Matching kinds fuse, unmatched pass through (KMatch/KUnmatch).
+  ExpectFuse("Num + Str", "Str + Bool", "Num + Str + Bool");
+  ExpectFuse("Num + {a: Num}", "{b: Str} + Bool",
+             "Num + Bool + {a: Num?, b: Str?}");
+}
+
+TEST(FuseTest, EmptyIsIdentity) {
+  TypeRef t = T("{a: (Num + Str)}");
+  EXPECT_TRUE(Fuse(Type::Empty(), t)->Equals(*t));
+  EXPECT_TRUE(Fuse(t, Type::Empty())->Equals(*t));
+  EXPECT_TRUE(Fuse(Type::Empty(), Type::Empty())->is_empty());
+}
+
+TEST(FuseTest, RecordFieldCardinalities) {
+  // mandatory+mandatory = mandatory; any '?' prevails.
+  ExpectFuse("{k: Num}", "{k: Num}", "{k: Num}");
+  ExpectFuse("{k: Num?}", "{k: Num}", "{k: Num?}");
+  ExpectFuse("{k: Num?}", "{k: Num?}", "{k: Num?}");
+}
+
+TEST(FuseTest, EmptyRecordMakesAllFieldsOptional) {
+  ExpectFuse("{}", "{a: Num, b: Str}", "{a: Num?, b: Str?}");
+}
+
+TEST(FuseTest, ArrayExactPairCollapses) {
+  // Line 4: LFuse(AT1, AT2) = [Fuse(collapse(AT1), collapse(AT2))*]
+  ExpectFuse("[Num, Num]", "[Str]", "[(Num + Str)*]");
+}
+
+TEST(FuseTest, StarWithExact) {
+  // Lines 5/6: one side already simplified.
+  ExpectFuse("[(Num)*]", "[Str, Str]", "[(Num + Str)*]");
+  ExpectFuse("[Bool]", "[(Str)*]", "[(Bool + Str)*]");
+}
+
+TEST(FuseTest, StarWithStar) {
+  // Line 7.
+  ExpectFuse("[(Num)*]", "[(Str)*]", "[(Num + Str)*]");
+}
+
+TEST(FuseTest, EmptyArraysCollapseToEpsStar) {
+  // collapse(EArrT) = eps; [] + [] -> [(Empty)*], still only matching [].
+  ExpectFuse("[]", "[]", "[(Empty)*]");
+  ExpectFuse("[]", "[Num]", "[(Num)*]");
+  ExpectFuse("[(Empty)*]", "[]", "[(Empty)*]");
+}
+
+TEST(FuseTest, CollapseOfEmptyArrayIsEps) {
+  EXPECT_TRUE(Collapse(Type::ArrayExact({}))->is_empty());
+}
+
+TEST(FuseTest, NestedArraysOfRecords) {
+  ExpectFuse("[{a: Num}, {b: Str}]", "[{a: Bool}]",
+             "[({a: (Num + Bool)?, b: Str?})*]");
+}
+
+TEST(FuseTest, FuseAllFoldsLeftToRight) {
+  std::vector<TypeRef> ts = {T("{a: Num}"), T("{b: Str}"), T("{a: Str}")};
+  TypeRef fused = FuseAll(ts);
+  TypeRef want = T("{a: (Num + Str)?, b: Str?}");
+  EXPECT_TRUE(fused->Equals(*want)) << ToString(*fused);
+  EXPECT_TRUE(FuseAll({})->is_empty());
+}
+
+TEST(FuseTest, FusedTypeNeverLargerThanSumPlusOverhead) {
+  // Succinctness sanity: |Fuse(T1,T2)| <= |T1| + |T2| + 1 (union node).
+  const char* pairs[][2] = {
+      {"{a: Num, b: Str}", "{b: Bool, c: Str}"},
+      {"[Num, Num, Num]", "[Str]"},
+      {"Num + Str", "Bool + Null"},
+      {"{x: [Num, Str]}", "{x: [(Bool)*]}"},
+  };
+  for (auto& p : pairs) {
+    TypeRef a = T(p[0]), b = T(p[1]);
+    TypeRef f = Fuse(a, b);
+    EXPECT_LE(f->size(), a->size() + b->size() + 1)
+        << p[0] << " + " << p[1] << " -> " << ToString(*f);
+  }
+}
+
+TEST(TreeFuserTest, EmptyYieldsEps) {
+  TreeFuser fuser;
+  EXPECT_TRUE(fuser.Finish()->is_empty());
+  EXPECT_EQ(fuser.count(), 0u);
+}
+
+TEST(TreeFuserTest, MatchesLeftFoldForAnyCount) {
+  // Associativity makes tree order and fold order interchangeable; verify
+  // across counts that hit every binary-counter carry pattern.
+  for (size_t n : {1u, 2u, 3u, 4u, 7u, 8u, 9u, 31u, 64u, 100u}) {
+    std::vector<TypeRef> ts;
+    for (size_t i = 0; i < n; ++i) {
+      ts.push_back(T(i % 3 == 0 ? "{a: Num, b: [Num, Str]}"
+                     : i % 3 == 1 ? "{a: Str, c: Bool}"
+                                  : "{b: [(Bool)*], d: Null}"));
+    }
+    TreeFuser fuser;
+    for (const TypeRef& t : ts) fuser.Add(t);
+    EXPECT_EQ(fuser.count(), n);
+    EXPECT_TRUE(fuser.Finish()->Equals(*FuseAll(ts))) << n;
+  }
+}
+
+TEST(TreeFuserTest, FinishIsIdempotentAndResumable) {
+  TreeFuser fuser;
+  fuser.Add(T("{a: Num}"));
+  fuser.Add(T("{b: Str}"));
+  TypeRef first = fuser.Finish();
+  EXPECT_TRUE(fuser.Finish()->Equals(*first));
+  fuser.Add(T("{c: Bool}"));
+  EXPECT_TRUE(fuser.Finish()->Equals(
+      *FuseAll({T("{a: Num}"), T("{b: Str}"), T("{c: Bool}")})));
+}
+
+TEST(FuseTest, EndToEndFromValues) {
+  // Parse -> infer -> fuse matches hand computation.
+  auto v1 = json::Parse(R"({"a": 1, "tags": ["x", "y"]})");
+  auto v2 = json::Parse(R"({"a": "one", "extra": true, "tags": []})");
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  TypeRef fused = Fuse(inference::InferType(*v1.value()),
+                       inference::InferType(*v2.value()));
+  TypeRef want = T("{a: (Num + Str), extra: Bool?, tags: [(Str)*]}");
+  EXPECT_TRUE(fused->Equals(*want)) << ToString(*fused);
+}
+
+}  // namespace
+}  // namespace jsonsi::fusion

@@ -1,0 +1,163 @@
+// Tests for the parameterized Fuser (tuple-array precision — the paper's
+// future-work extension): rule behaviour, default equivalence with the
+// paper's operator, and preservation of the algebraic theorems under every
+// option setting.
+
+#include <gtest/gtest.h>
+
+#include "fusion/fuse.h"
+#include "inference/infer.h"
+#include "random_value_gen.h"
+#include "types/membership.h"
+#include "types/printer.h"
+#include "types/subtype.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::fusion {
+namespace {
+
+using types::ToString;
+using types::Type;
+using types::TypeRef;
+
+TypeRef T(std::string_view text) {
+  auto r = types::ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+Fuser Tuples(size_t max_len) {
+  FuseOptions opts;
+  opts.max_tuple_length = max_len;
+  return Fuser(opts);
+}
+
+TEST(FuserOptionsTest, DefaultMatchesPaperBehaviour) {
+  Fuser paper;
+  TypeRef a = T("[Num, Str]");
+  TypeRef b = T("[Num, Str]");
+  EXPECT_TRUE(paper.Fuse(a, b)->Equals(*T("[(Num + Str)*]")));
+  EXPECT_TRUE(paper.Fuse(a, b)->Equals(*Fuse(a, b)));  // free function agrees
+}
+
+TEST(FuserOptionsTest, EqualLengthShortArraysFusePositionally) {
+  Fuser fuser = Tuples(4);
+  TypeRef fused = fuser.Fuse(T("[Num, Str]"), T("[Bool, Str]"));
+  EXPECT_TRUE(fused->Equals(*T("[(Num + Bool), Str]"))) << ToString(*fused);
+}
+
+TEST(FuserOptionsTest, LengthMismatchFallsBackToStar) {
+  Fuser fuser = Tuples(4);
+  TypeRef fused = fuser.Fuse(T("[Num, Str]"), T("[Num]"));
+  EXPECT_TRUE(fused->Equals(*T("[(Num + Str)*]"))) << ToString(*fused);
+}
+
+TEST(FuserOptionsTest, OverLengthFallsBackToStar) {
+  Fuser fuser = Tuples(2);
+  TypeRef fused = fuser.Fuse(T("[Num, Num, Num]"), T("[Str, Str, Str]"));
+  EXPECT_TRUE(fused->Equals(*T("[(Num + Str)*]"))) << ToString(*fused);
+}
+
+TEST(FuserOptionsTest, StarAbsorbsTuples) {
+  Fuser fuser = Tuples(4);
+  TypeRef fused = fuser.Fuse(T("[(Bool)*]"), T("[Num, Str]"));
+  EXPECT_TRUE(fused->Equals(*T("[(Bool + Num + Str)*]"))) << ToString(*fused);
+}
+
+TEST(FuserOptionsTest, TuplePreservesGeoCoordinatesShape) {
+  // The motivating precision case: [lon, lat] pairs keep their arity.
+  Fuser fuser = Tuples(2);
+  TypeRef fused = fuser.Fuse(T("{coordinates: [Num, Num]}"),
+                             T("{coordinates: [Num, Num]}"));
+  EXPECT_TRUE(fused->Equals(*T("{coordinates: [Num, Num]}")))
+      << ToString(*fused);
+  // And the paper-default fuser loses it.
+  TypeRef starred = Fuse(T("{coordinates: [Num, Num]}"),
+                         T("{coordinates: [Num, Num]}"));
+  EXPECT_TRUE(starred->Equals(*T("{coordinates: [(Num)*]}")));
+}
+
+TEST(FuserOptionsTest, TupleModeIsIdempotentOnTuples) {
+  Fuser fuser = Tuples(4);
+  TypeRef t = T("[Num, (Num + Str)]");
+  EXPECT_TRUE(fuser.Fuse(t, t)->Equals(*t));
+}
+
+// ---- algebraic theorems hold for every option value ----------------------
+
+struct SeedAndLen {
+  uint64_t seed;
+  size_t max_tuple_length;
+};
+
+class FuserOptionProperties
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(FuserOptionProperties, CommutativeAssociativeCorrect) {
+  auto [seed, max_len] = GetParam();
+  Fuser fuser = Tuples(max_len);
+  auto values = jsonsi::testing::RandomValues(seed, 12);
+  std::vector<TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = 0; j < ts.size(); ++j) {
+      TypeRef ab = fuser.Fuse(ts[i], ts[j]);
+      ASSERT_TRUE(ab->Equals(*fuser.Fuse(ts[j], ts[i])))
+          << "commutativity, L=" << max_len << "\n a=" << ToString(*ts[i])
+          << "\n b=" << ToString(*ts[j]);
+      // Correctness as subtyping (Theorem 5.2 generalized).
+      ASSERT_TRUE(types::IsSubtypeOf(*ts[i], *ab));
+      ASSERT_TRUE(types::IsSubtypeOf(*ts[j], *ab));
+      for (size_t k = 0; k < ts.size(); k += 4) {
+        TypeRef left = fuser.Fuse(ab, ts[k]);
+        TypeRef right = fuser.Fuse(ts[i], fuser.Fuse(ts[j], ts[k]));
+        ASSERT_TRUE(left->Equals(*right))
+            << "associativity, L=" << max_len << "\n a=" << ToString(*ts[i])
+            << "\n b=" << ToString(*ts[j]) << "\n c=" << ToString(*ts[k])
+            << "\n (ab)c=" << ToString(*left) << "\n a(bc)=" << ToString(*right);
+      }
+    }
+  }
+}
+
+TEST_P(FuserOptionProperties, MembershipPreserved) {
+  auto [seed, max_len] = GetParam();
+  Fuser fuser = Tuples(max_len);
+  auto values = jsonsi::testing::RandomValues(seed + 300, 20);
+  std::vector<TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  TypeRef schema = fuser.FuseAll(ts);
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_TRUE(types::Matches(*values[i], *schema))
+        << "L=" << max_len << " value#" << i << "\n"
+        << ToString(*schema);
+  }
+}
+
+TEST_P(FuserOptionProperties, HigherPrecisionNeverSmallerSchema) {
+  // The precision/efficiency relationship: tuples can only add information,
+  // so the schema under tuple mode is a SUBTYPE of the paper-mode schema
+  // (more precise), and at least as large.
+  auto [seed, max_len] = GetParam();
+  if (max_len == 0) return;  // nothing to compare
+  Fuser precise = Tuples(max_len);
+  Fuser paper;
+  auto values = jsonsi::testing::RandomValues(seed + 700, 16);
+  std::vector<TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  TypeRef tight = precise.FuseAll(ts);
+  TypeRef loose = paper.FuseAll(ts);
+  ASSERT_TRUE(types::IsSubtypeOf(*tight, *loose))
+      << "precise schema must refine the paper schema\n tight="
+      << ToString(*tight) << "\n loose=" << ToString(*loose);
+  EXPECT_GE(tight->size() + 2, loose->size());  // small slack for stars
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndLengths, FuserOptionProperties,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 6),
+                       ::testing::Values<size_t>(0, 1, 2, 4, 16)));
+
+}  // namespace
+}  // namespace jsonsi::fusion

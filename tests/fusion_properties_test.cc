@@ -1,0 +1,179 @@
+// Property-based suites for the fusion theorems of Section 5.2, checked over
+// randomly generated values/types (parameterized by seed):
+//
+//   Theorem 5.2 (correctness):   V in [[T]]  =>  V in [[Fuse(T, U)]]
+//   Theorem 5.4 (commutativity): Fuse(T, U) == Fuse(U, T)
+//   Theorem 5.5 (associativity): Fuse(Fuse(T,U),W) == Fuse(T,Fuse(U,W))
+//   normal-form invariant:       Fuse of normal types is normal
+//   idempotence:                 Fuse(T, T) == T (on fused/normal types)
+//   plus fold-order independence over whole collections.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fusion/fuse.h"
+#include "inference/infer.h"
+#include "random_value_gen.h"
+#include "types/membership.h"
+#include "types/printer.h"
+
+namespace jsonsi::fusion {
+namespace {
+
+using json::ValueRef;
+using types::IsNormal;
+using types::Matches;
+using types::ToString;
+using types::Type;
+using types::TypeRef;
+
+// Random *normal* types are obtained the way the system produces them: by
+// inferring from random values and optionally pre-fusing a few, which also
+// covers unions, optional fields, and starred arrays.
+std::vector<TypeRef> RandomNormalTypes(uint64_t seed, size_t count) {
+  auto values =
+      jsonsi::testing::RandomValues(seed, count * 2);
+  std::vector<TypeRef> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    TypeRef t = inference::InferType(*values[2 * i]);
+    if (i % 2 == 1) {
+      // Every other sample is itself a fusion result, so the properties are
+      // exercised on union/starred types too.
+      t = Fuse(t, inference::InferType(*values[2 * i + 1]));
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+class FusionProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FusionProperties, Commutativity) {
+  auto ts = RandomNormalTypes(GetParam(), 12);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = 0; j < ts.size(); ++j) {
+      TypeRef ab = Fuse(ts[i], ts[j]);
+      TypeRef ba = Fuse(ts[j], ts[i]);
+      ASSERT_TRUE(ab->Equals(*ba))
+          << "seed=" << GetParam() << "\n a=" << ToString(*ts[i])
+          << "\n b=" << ToString(*ts[j]) << "\n ab=" << ToString(*ab)
+          << "\n ba=" << ToString(*ba);
+    }
+  }
+}
+
+TEST_P(FusionProperties, Associativity) {
+  auto ts = RandomNormalTypes(GetParam() + 1000, 8);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = 0; j < ts.size(); ++j) {
+      for (size_t k = 0; k < ts.size(); k += 3) {
+        TypeRef left = Fuse(Fuse(ts[i], ts[j]), ts[k]);
+        TypeRef right = Fuse(ts[i], Fuse(ts[j], ts[k]));
+        ASSERT_TRUE(left->Equals(*right))
+            << "seed=" << GetParam() << "\n a=" << ToString(*ts[i])
+            << "\n b=" << ToString(*ts[j]) << "\n c=" << ToString(*ts[k])
+            << "\n (ab)c=" << ToString(*left)
+            << "\n a(bc)=" << ToString(*right);
+      }
+    }
+  }
+}
+
+TEST_P(FusionProperties, CorrectnessMembershipPreserved) {
+  // For sampled values: once a value's inferred type enters a fusion, the
+  // value stays a member of every further fusion result (Thm 5.2 iterated).
+  auto values = jsonsi::testing::RandomValues(GetParam() + 2000, 20);
+  std::vector<TypeRef> types;
+  types.reserve(values.size());
+  for (const ValueRef& v : values) {
+    types.push_back(inference::InferType(*v));
+  }
+  TypeRef fused = FuseAll(types);
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_TRUE(Matches(*values[i], *fused))
+        << "seed=" << GetParam() << " value#" << i
+        << " fused=" << ToString(*fused);
+  }
+}
+
+TEST_P(FusionProperties, PairwiseCorrectnessBothSides) {
+  auto values = jsonsi::testing::RandomValues(GetParam() + 3000, 10);
+  for (size_t i = 0; i + 1 < values.size(); i += 2) {
+    TypeRef ta = inference::InferType(*values[i]);
+    TypeRef tb = inference::InferType(*values[i + 1]);
+    TypeRef f = Fuse(ta, tb);
+    ASSERT_TRUE(Matches(*values[i], *f)) << ToString(*f);
+    ASSERT_TRUE(Matches(*values[i + 1], *f)) << ToString(*f);
+  }
+}
+
+TEST_P(FusionProperties, NormalityPreserved) {
+  auto ts = RandomNormalTypes(GetParam() + 4000, 10);
+  for (const TypeRef& t : ts) ASSERT_TRUE(IsNormal(t)) << ToString(*t);
+  TypeRef acc = Type::Empty();
+  for (const TypeRef& t : ts) {
+    acc = Fuse(acc, t);
+    ASSERT_TRUE(IsNormal(acc)) << "seed=" << GetParam()
+                               << " acc=" << ToString(*acc);
+  }
+}
+
+TEST_P(FusionProperties, SelfFusionStabilizesAndAbsorbs) {
+  // Fuse is NOT idempotent on types that still carry exact array types:
+  // Figure 6 line 4 turns every matched exact array into its starred
+  // simplification, so Fuse(T, T) may differ from T. One self-fusion
+  // star-normalizes every reachable array, after which fusion is a join:
+  // idempotent and absorbing.
+  auto ts = RandomNormalTypes(GetParam() + 5000, 10);
+  TypeRef fused = FuseAll(ts);
+  TypeRef stable = Fuse(fused, fused);
+  ASSERT_TRUE(Fuse(stable, stable)->Equals(*stable)) << ToString(*stable);
+  // Absorption: every input is already included in the stabilized schema.
+  for (const TypeRef& t : ts) {
+    ASSERT_TRUE(Fuse(stable, t)->Equals(*stable))
+        << "seed=" << GetParam() << "\n t=" << ToString(*t)
+        << "\n stable=" << ToString(*stable);
+  }
+}
+
+TEST_P(FusionProperties, FoldOrderIrrelevant) {
+  auto ts = RandomNormalTypes(GetParam() + 6000, 9);
+  // Left fold.
+  TypeRef left = FuseAll(ts);
+  // Right fold.
+  TypeRef right = Type::Empty();
+  for (auto it = ts.rbegin(); it != ts.rend(); ++it) {
+    right = Fuse(*it, right);
+  }
+  // Balanced tree fold.
+  std::vector<TypeRef> layer = ts;
+  while (layer.size() > 1) {
+    std::vector<TypeRef> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(Fuse(layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  TypeRef tree = layer.empty() ? Type::Empty() : layer.front();
+  ASSERT_TRUE(left->Equals(*right));
+  ASSERT_TRUE(left->Equals(*tree));
+}
+
+TEST_P(FusionProperties, FusedSizeBounded) {
+  // Succinctness direction of the design: the fused type is never larger
+  // than the concatenation of inputs (it collapses shared structure).
+  auto ts = RandomNormalTypes(GetParam() + 7000, 10);
+  size_t total = 0;
+  for (const TypeRef& t : ts) total += t->size();
+  TypeRef fused = FuseAll(ts);
+  EXPECT_LE(fused->size(), total + ts.size());  // + union-node slack
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionProperties,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace jsonsi::fusion

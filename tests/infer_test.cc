@@ -1,0 +1,131 @@
+// Tests for the Map-phase inference rules (Figure 4) and the soundness
+// property of Lemma 5.1: V in [[InferType(V)]], checked over both
+// hand-written and randomly generated values.
+
+#include <gtest/gtest.h>
+
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "random_value_gen.h"
+#include "types/membership.h"
+#include "types/printer.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::inference {
+namespace {
+
+types::TypeRef InferJson(std::string_view text) {
+  auto r = InferTypeFromJson(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return r.ok() ? r.value() : types::Type::Empty();
+}
+
+void ExpectInfers(std::string_view value_text, std::string_view type_text) {
+  types::TypeRef inferred = InferJson(value_text);
+  auto expected = types::ParseType(type_text);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  EXPECT_TRUE(inferred->Equals(*expected.value()))
+      << value_text << " inferred " << types::ToString(*inferred)
+      << " expected " << type_text;
+}
+
+TEST(InferTest, BasicRules) {
+  ExpectInfers("null", "Null");
+  ExpectInfers("true", "Bool");
+  ExpectInfers("false", "Bool");
+  ExpectInfers("3.25", "Num");
+  ExpectInfers("\"abc\"", "Str");
+}
+
+TEST(InferTest, EmptyContainers) {
+  ExpectInfers("{}", "{}");
+  ExpectInfers("[]", "[]");
+}
+
+TEST(InferTest, RecordRule) {
+  ExpectInfers(R"({"a":1,"b":"s","c":null})", "{a: Num, b: Str, c: Null}");
+}
+
+TEST(InferTest, ArrayRuleKeepsPositions) {
+  // Initial inference is isomorphic to the value: exact array types.
+  ExpectInfers(R"([1,"s",true])", "[Num, Str, Bool]");
+}
+
+TEST(InferTest, PaperFigureOneShape) {
+  // The mixed-content array of Section 2: two strings then a record.
+  ExpectInfers(R"(["abc","cde",{"E":"fr","F":12}])",
+               "[Str, Str, {E: Str, F: Num}]");
+}
+
+TEST(InferTest, DeepNesting) {
+  ExpectInfers(R"({"a":{"b":{"c":[{"d":null}]}}})",
+               "{a: {b: {c: [{d: Null}]}}}");
+}
+
+TEST(InferTest, AllFieldsMandatory) {
+  types::TypeRef t = InferJson(R"({"x":1,"y":2})");
+  for (const types::FieldType& f : t->fields()) {
+    EXPECT_FALSE(f.optional);
+  }
+}
+
+TEST(InferTest, NeverProducesUnionsOptionalsOrStars) {
+  // Section 5.1: the Map phase uses only the core of the type language.
+  std::function<void(const types::Type&)> check = [&](const types::Type& t) {
+    EXPECT_FALSE(t.is_union());
+    EXPECT_FALSE(t.is_array_star());
+    EXPECT_FALSE(t.is_empty());
+    if (t.is_record()) {
+      for (const auto& f : t.fields()) {
+        EXPECT_FALSE(f.optional);
+        check(*f.type);
+      }
+    } else if (t.is_array_exact()) {
+      for (const auto& e : t.elements()) check(*e);
+    }
+  };
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    check(*InferType(*jsonsi::testing::RandomValue(seed)));
+  }
+}
+
+TEST(InferTest, InferredTypeIsIsomorphicInShape) {
+  // The inferred type has exactly one type node per value node for scalars
+  // and arrays; records add one node per field on both sides.
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    json::ValueRef v = jsonsi::testing::RandomValue(seed);
+    types::TypeRef t = InferType(*v);
+    EXPECT_EQ(t->size(), v->TreeSize()) << "seed=" << seed;
+  }
+}
+
+TEST(InferTest, DeterministicAcrossCalls) {
+  json::ValueRef v = jsonsi::testing::RandomValue(77);
+  EXPECT_TRUE(InferType(*v)->Equals(*InferType(*v)));
+}
+
+TEST(InferTest, ParseErrorPropagates) {
+  EXPECT_FALSE(InferTypeFromJson("not json").ok());
+}
+
+// ------------------------------------------------ Lemma 5.1 (soundness) --
+
+class InferSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InferSoundness, ValueBelongsToItsInferredType) {
+  uint64_t seed = GetParam();
+  // Exercise a spread of shapes per seed.
+  jsonsi::testing::RandomValueOptions opts;
+  opts.max_depth = 5;
+  for (int i = 0; i < 20; ++i) {
+    json::ValueRef v = jsonsi::testing::RandomValue(seed * 1000 + i, opts);
+    types::TypeRef t = InferType(*v);
+    EXPECT_TRUE(types::Matches(*v, *t))
+        << "seed=" << seed << " i=" << i << " type=" << types::ToString(*t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InferSoundness, ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace jsonsi::inference

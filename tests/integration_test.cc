@@ -1,0 +1,180 @@
+// Cross-module integration tests: the whole system exercised end to end on
+// the four dataset generators, checking the inter-module contracts that the
+// unit suites cannot see — printer/parser round trips of pipeline schemas,
+// subtype monotonicity across growing prefixes, export/membership agreement
+// at dataset scale, streaming vs batch vs repository consistency, and
+// determinism across runs.
+
+#include <gtest/gtest.h>
+
+#include "core/schema_inferencer.h"
+#include "core/streaming_inferencer.h"
+#include "datagen/generator.h"
+#include "export/json_schema.h"
+#include "export/validator.h"
+#include "fusion/tree_fuser.h"
+#include "inference/infer.h"
+#include "json/jsonl.h"
+#include "json/parser.h"
+#include "json/serializer.h"
+#include "repository/schema_repository.h"
+#include "types/membership.h"
+#include "types/printer.h"
+#include "types/subtype.h"
+#include "types/type_parser.h"
+
+namespace jsonsi {
+namespace {
+
+class PipelineIntegration
+    : public ::testing::TestWithParam<datagen::DatasetId> {
+ protected:
+  std::vector<json::ValueRef> Values(uint64_t n, uint64_t seed = 99) {
+    return datagen::MakeGenerator(GetParam(), seed)->GenerateMany(n);
+  }
+};
+
+TEST_P(PipelineIntegration, SchemaPrintsAndParsesBack) {
+  auto values = Values(400);
+  core::Schema schema = core::SchemaInferencer().InferFromValues(values);
+  std::string text = schema.ToString();
+  auto parsed = types::ParseType(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  EXPECT_TRUE(parsed.value()->Equals(*schema.type));
+  // Pretty form round-trips too.
+  auto pretty = types::ParseType(schema.ToString(/*pretty=*/true));
+  ASSERT_TRUE(pretty.ok());
+  EXPECT_TRUE(pretty.value()->Equals(*schema.type));
+}
+
+TEST_P(PipelineIntegration, TextRoundTripPreservesSchema) {
+  // values -> JSON-Lines text -> parse -> infer == infer directly.
+  auto values = Values(200);
+  std::string text = json::ToJsonLines(values);
+  core::SchemaInferencer inferencer;
+  auto from_text = inferencer.InferFromJsonLines(text);
+  ASSERT_TRUE(from_text.ok()) << from_text.status();
+  core::Schema direct = inferencer.InferFromValues(values);
+  EXPECT_TRUE(from_text.value().type->Equals(*direct.type));
+}
+
+TEST_P(PipelineIntegration, PrefixSchemasAreMonotone) {
+  auto values = Values(300);
+  core::SchemaInferencer inferencer;
+  std::vector<json::ValueRef> prefix;
+  types::TypeRef previous = types::Type::Empty();
+  for (size_t n : {50u, 100u, 200u, 300u}) {
+    prefix.assign(values.begin(), values.begin() + n);
+    types::TypeRef schema = inferencer.InferFromValues(prefix).type;
+    EXPECT_TRUE(types::IsSubtypeOf(*previous, *schema)) << n;
+    previous = schema;
+  }
+}
+
+TEST_P(PipelineIntegration, ExportAgreesWithMembershipAtScale) {
+  auto values = Values(250);
+  core::Schema schema = core::SchemaInferencer().InferFromValues(values);
+  json::ValueRef exported = exporter::ToJsonSchema(schema.type);
+  for (const auto& v : values) {
+    ASSERT_TRUE(types::Matches(*v, *schema.type));
+    ASSERT_TRUE(exporter::Validates(*v, *exported));
+  }
+  // A record from a DIFFERENT dataset must fail both the same way.
+  auto foreign = datagen::MakeGenerator(
+                     GetParam() == datagen::DatasetId::kGitHub
+                         ? datagen::DatasetId::kTwitter
+                         : datagen::DatasetId::kGitHub,
+                     7)
+                     ->Generate(0);
+  EXPECT_EQ(types::Matches(*foreign, *schema.type),
+            exporter::Validates(*foreign, *exported));
+}
+
+TEST_P(PipelineIntegration, StreamingBatchRepositoryAgree) {
+  auto values = Values(300);
+  core::Schema batch = core::SchemaInferencer().InferFromValues(values);
+
+  core::StreamingInferencer streaming;
+  for (const auto& v : values) streaming.AddValue(v);
+  EXPECT_TRUE(streaming.Snapshot().type->Equals(*batch.type));
+
+  repository::SchemaRepository repo;
+  core::SchemaInferencer inferencer;
+  for (size_t start = 0; start < values.size(); start += 100) {
+    std::vector<json::ValueRef> chunk(values.begin() + start,
+                                      values.begin() + start + 100);
+    ASSERT_TRUE(repo.RegisterBatch("src",
+                                   inferencer.InferFromValues(chunk).type, 100)
+                    .ok());
+  }
+  EXPECT_TRUE(repo.Current("src")->schema->Equals(*batch.type));
+  EXPECT_EQ(repo.Current("src")->cumulative_records, 300u);
+}
+
+TEST_P(PipelineIntegration, DeterministicAcrossRuns) {
+  core::Schema a = core::SchemaInferencer().InferFromValues(Values(150));
+  core::Schema b = core::SchemaInferencer().InferFromValues(Values(150));
+  EXPECT_TRUE(a.type->Equals(*b.type));
+  EXPECT_EQ(a.stats.distinct_type_count, b.stats.distinct_type_count);
+}
+
+TEST_P(PipelineIntegration, SchemaIsNormalAndCompact) {
+  auto values = Values(500);
+  core::Schema schema = core::SchemaInferencer().InferFromValues(values);
+  EXPECT_TRUE(types::IsNormal(*schema.type));
+  // The core succinctness claim: fused size is a small multiple of the
+  // average inferred size (<= 310x even for Wikidata's worst case; clean
+  // datasets are < 5x).
+  double ratio = static_cast<double>(schema.type->size()) /
+                 schema.stats.avg_type_size;
+  if (GetParam() == datagen::DatasetId::kWikidata) {
+    EXPECT_LT(ratio, 400.0);
+  } else {
+    EXPECT_LT(ratio, 5.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, PipelineIntegration,
+    ::testing::Values(datagen::DatasetId::kGitHub, datagen::DatasetId::kTwitter,
+                      datagen::DatasetId::kWikidata,
+                      datagen::DatasetId::kNYTimes),
+    [](const ::testing::TestParamInfo<datagen::DatasetId>& info) {
+      return datagen::DatasetName(info.param);
+    });
+
+// ---- non-parameterized end-to-end glue ------------------------------------
+
+TEST(IntegrationTest, MixedDatasetsFuseIntoOneStream) {
+  // Fusing schemas of different datasets models multi-source consumption;
+  // everything still matches the union schema.
+  std::vector<json::ValueRef> mixed;
+  for (auto id : datagen::AllDatasets()) {
+    auto batch = datagen::MakeGenerator(id, 5)->GenerateMany(50);
+    mixed.insert(mixed.end(), batch.begin(), batch.end());
+  }
+  core::Schema schema = core::SchemaInferencer().InferFromValues(mixed);
+  for (const auto& v : mixed) {
+    ASSERT_TRUE(types::Matches(*v, *schema.type));
+  }
+  EXPECT_TRUE(types::IsNormal(*schema.type));
+}
+
+TEST(IntegrationTest, SerializeParseInferStableUnderReserialization) {
+  // serializer -> parser is the identity on the value model, so running the
+  // text round trip twice changes nothing.
+  auto gen = datagen::MakeGenerator(datagen::DatasetId::kNYTimes, 3);
+  for (uint64_t i = 0; i < 50; ++i) {
+    json::ValueRef v = gen->Generate(i);
+    auto once = json::Parse(json::ToJson(*v));
+    ASSERT_TRUE(once.ok());
+    auto twice = json::Parse(json::ToJson(*once.value()));
+    ASSERT_TRUE(twice.ok());
+    EXPECT_TRUE(v->Equals(*twice.value()));
+    EXPECT_TRUE(inference::InferType(*v)->Equals(
+        *inference::InferType(*twice.value())));
+  }
+}
+
+}  // namespace
+}  // namespace jsonsi

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Smoke test for the jsi CLI: every subcommand on generated data.
+set -e
+JSI="$1"
+TMP="${TMPDIR:-/tmp}/jsi_cli_test.$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+"$JSI" gen github 50 > "$TMP/gh.jsonl"
+test "$(wc -l < "$TMP/gh.jsonl")" = "50"
+
+"$JSI" infer "$TMP/gh.jsonl" --stats > "$TMP/schema.txt" 2> "$TMP/stats.txt"
+grep -q "base" "$TMP/schema.txt"
+grep -q "records:" "$TMP/stats.txt"
+
+"$JSI" paths "$TMP/gh.jsonl" | grep -q "base.repo.name"
+
+# check: the inferred schema accepts its own data...
+"$JSI" check "$TMP/gh.jsonl" --schema "$(cat "$TMP/schema.txt")" > "$TMP/check.txt"
+grep -q "50/50 records match" "$TMP/check.txt"
+# ...and a wrong schema fails with exit code 2.
+if "$JSI" check "$TMP/gh.jsonl" --schema '{nope: Num}' > /dev/null 2>&1; then
+  echo "expected check to fail"; exit 1
+fi
+
+"$JSI" export "$TMP/gh.jsonl" | grep -q '"\$schema"'
+"$JSI" annotate "$TMP/gh.jsonl" | grep -q "first@"
+"$JSI" gen wikidata 300 | "$JSI" analyze - | grep -q "claims"
+"$JSI" expand "$TMP/gh.jsonl" --pattern '*.repo.name' | grep -q "base.repo.name"
+
+echo '{a: Num}' > "$TMP/old.types"
+echo '{a: (Num + Str)}' > "$TMP/new.types"
+if "$JSI" diff "$TMP/old.types" "$TMP/new.types" > "$TMP/diff.txt"; then
+  echo "expected diff to exit 2"; exit 1
+fi
+grep -q "kinds-broadened" "$TMP/diff.txt"
+"$JSI" diff "$TMP/old.types" "$TMP/old.types" | grep -q "identical"
+
+# repo: first add is v1, a drifting second batch bumps to v2.
+"$JSI" gen twitter 30 > "$TMP/tw1.jsonl"
+"$JSI" gen twitter 30 --seed 77 > "$TMP/tw2.jsonl"
+"$JSI" repo add "$TMP/repo.txt" firehose "$TMP/tw1.jsonl" | grep -q "v1"
+"$JSI" repo add "$TMP/repo.txt" firehose "$TMP/tw2.jsonl" > "$TMP/repo_add2.txt"
+"$JSI" repo show "$TMP/repo.txt" | grep -q "firehose"
+"$JSI" repo show "$TMP/repo.txt" firehose | grep -q "v1"
+
+"$JSI" codegen "$TMP/gh.jsonl" --root PullRequest --namespace gh | grep -q "struct PullRequest"
+
+echo "jsi CLI smoke test passed"

@@ -1,0 +1,210 @@
+// Unit tests for the RFC 8259 parser: literals, numbers, strings/escapes,
+// records, arrays, error positions, depth limits, duplicate-key rejection.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json/parser.h"
+#include "json/serializer.h"
+
+namespace jsonsi::json {
+namespace {
+
+ValueRef MustParse(std::string_view text) {
+  Result<ValueRef> r = Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? r.value() : Value::Null();
+}
+
+Status ParseError(std::string_view text) {
+  Result<ValueRef> r = Parse(text);
+  EXPECT_FALSE(r.ok()) << "unexpectedly parsed: " << text;
+  return r.ok() ? Status::OK() : r.status();
+}
+
+// ---------------------------------------------------------------- basics --
+
+TEST(ParserTest, Literals) {
+  EXPECT_TRUE(MustParse("null")->is_null());
+  EXPECT_TRUE(MustParse("true")->bool_value());
+  EXPECT_FALSE(MustParse("false")->bool_value());
+}
+
+TEST(ParserTest, SurroundingWhitespace) {
+  EXPECT_TRUE(MustParse("  \n\t null \r\n")->is_null());
+}
+
+TEST(ParserTest, MalformedLiterals) {
+  ParseError("nul");
+  ParseError("tru");
+  ParseError("falsee");
+  ParseError("TRUE");
+}
+
+// --------------------------------------------------------------- numbers --
+
+TEST(ParserTest, Integers) {
+  EXPECT_DOUBLE_EQ(MustParse("0")->num_value(), 0);
+  EXPECT_DOUBLE_EQ(MustParse("42")->num_value(), 42);
+  EXPECT_DOUBLE_EQ(MustParse("-7")->num_value(), -7);
+}
+
+TEST(ParserTest, Fractions) {
+  EXPECT_DOUBLE_EQ(MustParse("3.5")->num_value(), 3.5);
+  EXPECT_DOUBLE_EQ(MustParse("-0.125")->num_value(), -0.125);
+}
+
+TEST(ParserTest, Exponents) {
+  EXPECT_DOUBLE_EQ(MustParse("1e3")->num_value(), 1000);
+  EXPECT_DOUBLE_EQ(MustParse("2.5E-2")->num_value(), 0.025);
+  EXPECT_DOUBLE_EQ(MustParse("1e+2")->num_value(), 100);
+}
+
+TEST(ParserTest, NumberSyntaxErrors) {
+  ParseError("01");       // leading zero
+  ParseError("-");         // lone sign
+  ParseError("1.");        // digit required after '.'
+  ParseError(".5");        // JSON requires an integer part
+  ParseError("1e");        // digit required in exponent
+  ParseError("+1");        // leading '+' not allowed
+  ParseError("1e309");     // overflow -> non-finite, rejected
+}
+
+// --------------------------------------------------------------- strings --
+
+TEST(ParserTest, SimpleString) {
+  EXPECT_EQ(MustParse("\"hello\"")->str_value(), "hello");
+  EXPECT_EQ(MustParse("\"\"")->str_value(), "");
+}
+
+TEST(ParserTest, SimpleEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b\\c\/d\be\ff\ng\rh\ti")")->str_value(),
+            "a\"b\\c/d\be\ff\ng\rh\ti");
+}
+
+TEST(ParserTest, UnicodeEscapeBmp) {
+  EXPECT_EQ(MustParse(R"("A")")->str_value(), "A");
+  EXPECT_EQ(MustParse(R"("é")")->str_value(), "\xc3\xa9");      // é
+  EXPECT_EQ(MustParse(R"("€")")->str_value(), "\xe2\x82\xac");  // €
+}
+
+TEST(ParserTest, UnicodeSurrogatePair) {
+  // U+1F600 GRINNING FACE = 😀 -> F0 9F 98 80
+  EXPECT_EQ(MustParse(R"("😀")")->str_value(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(ParserTest, StringErrors) {
+  ParseError("\"unterminated");
+  ParseError(R"("bad \q escape")");
+  ParseError(R"("\u12")");          // short hex
+  ParseError(R"("\uD83D")");        // unpaired high surrogate
+  ParseError(R"("\uDE00")");        // unpaired low surrogate
+  ParseError(R"("\uD83DA")");  // invalid low surrogate
+  ParseError("\"raw\nnewline\"");   // unescaped control char
+}
+
+// --------------------------------------------------------------- records --
+
+TEST(ParserTest, EmptyRecord) {
+  ValueRef v = MustParse("{}");
+  EXPECT_TRUE(v->is_record());
+  EXPECT_TRUE(v->fields().empty());
+}
+
+TEST(ParserTest, NestedRecord) {
+  ValueRef v = MustParse(R"({"a": 1, "b": {"c": [true, null]}})");
+  ASSERT_TRUE(v->is_record());
+  ASSERT_NE(v->Find("b"), nullptr);
+  EXPECT_NE(v->Find("b")->Find("c"), nullptr);
+}
+
+TEST(ParserTest, DuplicateKeysRejected) {
+  // Section 4: only well-formed records (mutually distinct keys) are values.
+  Status st = ParseError(R"({"k": 1, "k": 2})");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("duplicate"), std::string::npos);
+}
+
+TEST(ParserTest, RecordSyntaxErrors) {
+  ParseError("{");
+  ParseError(R"({"a" 1})");
+  ParseError(R"({"a": 1,})");
+  ParseError(R"({a: 1})");
+  ParseError(R"({"a": 1 "b": 2})");
+}
+
+// ---------------------------------------------------------------- arrays --
+
+TEST(ParserTest, Arrays) {
+  EXPECT_TRUE(MustParse("[]")->elements().empty());
+  ValueRef v = MustParse("[1, \"two\", [3], {\"four\": 4}, null]");
+  ASSERT_EQ(v->elements().size(), 5u);
+  EXPECT_TRUE(v->elements()[3]->is_record());
+}
+
+TEST(ParserTest, ArraySyntaxErrors) {
+  ParseError("[");
+  ParseError("[1,]");
+  ParseError("[1 2]");
+}
+
+// ------------------------------------------------------- errors & limits --
+
+TEST(ParserTest, TrailingContentRejected) { ParseError("1 2"); }
+
+TEST(ParserTest, ErrorsCarryLineAndColumn) {
+  Status st = ParseError("{\"a\": 1,\n  bad}");
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st;
+}
+
+TEST(ParserTest, DepthLimitEnforced) {
+  ParseOptions opts;
+  opts.max_depth = 4;
+  std::string deep = "[[[[[1]]]]]";  // depth 5
+  EXPECT_FALSE(Parse(deep, opts).ok());
+  std::string ok = "[[[[1]]]]";  // depth 4
+  EXPECT_TRUE(Parse(ok, opts).ok());
+}
+
+TEST(ParserTest, DeeplyNestedWithinDefaultLimit) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_TRUE(Parse(deep).ok());
+}
+
+TEST(ParserTest, ParsePrefixReportsConsumed) {
+  size_t consumed = 0;
+  Result<ValueRef> r = ParsePrefix("  {\"a\":1}  {\"b\":2}", &consumed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(consumed, 9u);  // two spaces + 7 chars of the first record
+  Result<ValueRef> r2 =
+      ParsePrefix(std::string_view("  {\"a\":1}  {\"b\":2}").substr(consumed),
+                  &consumed);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r2.value()->Find("b"), nullptr);
+}
+
+// ----------------------------------------------------------- round trips --
+
+TEST(ParserTest, RoundTripsThroughSerializer) {
+  const char* docs[] = {
+      "null",
+      "true",
+      "[1,2.5,-3]",
+      R"({"a":1,"b":[true,null,"s"],"c":{"d":{}}})",
+      R"(["mixed",1,{"r":[]},[[]]])",
+  };
+  for (const char* doc : docs) {
+    ValueRef v1 = MustParse(doc);
+    std::string text = ToJson(*v1);
+    ValueRef v2 = MustParse(text);
+    EXPECT_TRUE(v1->Equals(*v2)) << doc << " vs " << text;
+  }
+}
+
+}  // namespace
+}  // namespace jsonsi::json

@@ -1,0 +1,155 @@
+// Robustness suite for the JSON parser: mutation fuzzing (never crash,
+// always a clean ok/error outcome), pathological inputs, numeric precision,
+// and boundary conditions that unit tests tend to miss.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json/parser.h"
+#include "json/serializer.h"
+#include "random_value_gen.h"
+#include "support/rng.h"
+
+namespace jsonsi::json {
+namespace {
+
+// Byte-level mutations over valid documents: the parser must return either
+// a value or an error — and never crash, hang, or accept trailing garbage.
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, MutatedDocumentsNeverCrash) {
+  Rng rng(GetParam());
+  std::string doc = ToJson(*jsonsi::testing::RandomValue(GetParam() + 5000));
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = doc;
+    size_t mutations = 1 + rng.Below(4);
+    for (size_t m = 0; m < mutations && !mutated.empty(); ++m) {
+      size_t pos = rng.Below(mutated.size());
+      switch (rng.Below(4)) {
+        case 0:  // flip to random printable byte
+          mutated[pos] = static_cast<char>(32 + rng.Below(95));
+          break;
+        case 1:  // delete a byte
+          mutated.erase(pos, 1);
+          break;
+        case 2:  // duplicate a byte
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+        default:  // inject a structural character
+          mutated[pos] = "{}[],:\"\\"[rng.Below(8)];
+      }
+    }
+    Result<ValueRef> r = Parse(mutated);
+    if (r.ok()) {
+      // Accepted documents must round-trip deterministically.
+      Result<ValueRef> again = Parse(ToJson(*r.value()));
+      ASSERT_TRUE(again.ok());
+      ASSERT_TRUE(r.value()->Equals(*again.value()));
+    } else {
+      ASSERT_FALSE(r.status().message().empty());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RandomBytesNeverCrash) {
+  Rng rng(GetParam() + 999);
+  for (int round = 0; round < 100; ++round) {
+    std::string garbage;
+    size_t len = rng.Below(64);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Below(256)));
+    }
+    Result<ValueRef> r = Parse(garbage);
+    // Either outcome is fine; no crash, no UB (checked under the sanitizers
+    // of the full CI run).
+    if (!r.ok()) {
+      ASSERT_FALSE(r.status().message().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range<uint64_t>(0, 8));
+
+// ------------------------------------------------------------ pathologies --
+
+TEST(ParserRobustnessTest, ManySiblingsParseFine) {
+  std::string doc = "{";
+  for (int i = 0; i < 5000; ++i) {
+    if (i) doc += ",";
+    doc += "\"k" + std::to_string(i) + "\":" + std::to_string(i);
+  }
+  doc += "}";
+  Result<ValueRef> r = Parse(doc);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value()->fields().size(), 5000u);
+}
+
+TEST(ParserRobustnessTest, LongStringsRoundTrip) {
+  std::string payload(100000, 'x');
+  payload[50000] = '"';  // force escaping in the middle
+  ValueRef v = Value::Str(payload);
+  Result<ValueRef> r = Parse(ToJson(*v));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->str_value(), payload);
+}
+
+TEST(ParserRobustnessTest, UnbalancedBracketsFailCleanly) {
+  for (const char* doc : {"[[[", "}}}", "[{]}", "{\"a\":[}", "[1,2},3]"}) {
+    EXPECT_FALSE(Parse(doc).ok()) << doc;
+  }
+}
+
+TEST(ParserRobustnessTest, NumbersAtPrecisionBoundaries) {
+  // 2^53 and neighbours: exact integer precision limits of doubles.
+  EXPECT_DOUBLE_EQ(Parse("9007199254740992").value()->num_value(),
+                   9007199254740992.0);
+  EXPECT_DOUBLE_EQ(Parse("-9007199254740992").value()->num_value(),
+                   -9007199254740992.0);
+  // Denormal-range and tiny exponents parse without error.
+  EXPECT_TRUE(Parse("1e-300").ok());
+  EXPECT_TRUE(Parse("2.2250738585072014e-308").ok());
+}
+
+TEST(ParserRobustnessTest, NumberRoundTripsPreserveValue) {
+  const double cases[] = {0.1,       1.0 / 3.0, 1e20,  -2.5e-7,
+                          123456.75, 1e15 + 1,  0.0,   -0.0};
+  for (double d : cases) {
+    Result<ValueRef> r = Parse(ToJson(*Value::Num(d)));
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r.value()->num_value(), d);
+  }
+}
+
+TEST(ParserRobustnessTest, WhitespaceEverywhere) {
+  Result<ValueRef> r = Parse(" \t\r\n { \"a\" : [ 1 , \n 2 ] } \r\n ");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value()->Find("a")->elements().size(), 2u);
+}
+
+TEST(ParserRobustnessTest, Utf8PassThrough) {
+  // Raw (unescaped) multi-byte UTF-8 in strings and keys passes through.
+  Result<ValueRef> r = Parse("{\"caf\xc3\xa9\": \"na\xc3\xafve\"}");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NE(r.value()->Find("caf\xc3\xa9"), nullptr);
+}
+
+TEST(ParserRobustnessTest, EmptyAndBlankInputs) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("   \n\t ").ok());
+}
+
+TEST(ParserRobustnessTest, DepthLimitExactBoundary) {
+  ParseOptions opts;
+  opts.max_depth = 32;
+  std::string at_limit, over_limit;
+  for (int i = 0; i < 32; ++i) at_limit += "[";
+  at_limit += "1";
+  for (int i = 0; i < 32; ++i) at_limit += "]";
+  over_limit = "[" + at_limit + "]";
+  EXPECT_TRUE(Parse(at_limit, opts).ok());
+  EXPECT_FALSE(Parse(over_limit, opts).ok());
+}
+
+}  // namespace
+}  // namespace jsonsi::json

@@ -1,0 +1,76 @@
+// Unit tests for serialization: compact output, pretty output, escaping,
+// SerializedSize accounting, parser round trips over random values.
+
+#include <gtest/gtest.h>
+
+#include "json/parser.h"
+#include "json/serializer.h"
+#include "random_value_gen.h"
+
+namespace jsonsi::json {
+namespace {
+
+TEST(SerializerTest, Scalars) {
+  EXPECT_EQ(ToJson(*Value::Null()), "null");
+  EXPECT_EQ(ToJson(*Value::Bool(true)), "true");
+  EXPECT_EQ(ToJson(*Value::Bool(false)), "false");
+  EXPECT_EQ(ToJson(*Value::Num(42)), "42");
+  EXPECT_EQ(ToJson(*Value::Num(2.5)), "2.5");
+  EXPECT_EQ(ToJson(*Value::Str("hi")), "\"hi\"");
+}
+
+TEST(SerializerTest, EscapesStrings) {
+  EXPECT_EQ(ToJson(*Value::Str("a\"b\n")), R"("a\"b\n")");
+}
+
+TEST(SerializerTest, RecordCompact) {
+  ValueRef v = Value::RecordUnchecked(
+      {{"b", Value::Num(2)}, {"a", Value::Num(1)}});
+  // Canonical key order (sorted).
+  EXPECT_EQ(ToJson(*v), R"({"a":1,"b":2})");
+}
+
+TEST(SerializerTest, ArrayCompact) {
+  ValueRef v = Value::Array({Value::Num(1), Value::Str("x"), Value::Null()});
+  EXPECT_EQ(ToJson(*v), R"([1,"x",null])");
+}
+
+TEST(SerializerTest, EmptyContainers) {
+  EXPECT_EQ(ToJson(*Value::RecordUnchecked({})), "{}");
+  EXPECT_EQ(ToJson(*Value::Array({})), "[]");
+}
+
+TEST(SerializerTest, PrettyIsReparseable) {
+  ValueRef v = Value::RecordUnchecked(
+      {{"nested", Value::RecordUnchecked({{"x", Value::Num(1)}})},
+       {"list", Value::Array({Value::Num(1), Value::Num(2)})}});
+  std::string pretty = ToPrettyJson(*v);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  Result<ValueRef> back = Parse(pretty);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(v->Equals(*back.value()));
+}
+
+TEST(SerializerTest, SerializedSizeMatchesActualLength) {
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    ValueRef v = jsonsi::testing::RandomValue(seed);
+    EXPECT_EQ(SerializedSize(*v), ToJson(*v).size()) << "seed=" << seed;
+  }
+}
+
+TEST(SerializerTest, SerializedSizeWithEscapes) {
+  ValueRef v = Value::Str("line\nbreak\x02");
+  EXPECT_EQ(SerializedSize(*v), ToJson(*v).size());
+}
+
+TEST(SerializerTest, RandomValuesRoundTrip) {
+  for (uint64_t seed = 100; seed < 200; ++seed) {
+    ValueRef v = jsonsi::testing::RandomValue(seed);
+    Result<ValueRef> back = Parse(ToJson(*v));
+    ASSERT_TRUE(back.ok()) << "seed=" << seed << ": " << back.status();
+    EXPECT_TRUE(v->Equals(*back.value())) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace jsonsi::json

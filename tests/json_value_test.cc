@@ -1,0 +1,135 @@
+// Unit tests for the JSON value model (Figure 2 of the paper): shapes,
+// record canonicalization (field order irrelevance), key uniqueness,
+// structural equality and hashing.
+
+#include <gtest/gtest.h>
+
+#include "json/value.h"
+#include "random_value_gen.h"
+
+namespace jsonsi::json {
+namespace {
+
+TEST(ValueTest, NullSingleton) {
+  ValueRef a = Value::Null();
+  EXPECT_TRUE(a->is_null());
+  EXPECT_EQ(a.get(), Value::Null().get());  // shared singleton
+}
+
+TEST(ValueTest, BoolPayload) {
+  EXPECT_TRUE(Value::Bool(true)->bool_value());
+  EXPECT_FALSE(Value::Bool(false)->bool_value());
+  EXPECT_TRUE(Value::Bool(true)->is_bool());
+}
+
+TEST(ValueTest, NumPayload) {
+  EXPECT_DOUBLE_EQ(Value::Num(3.25)->num_value(), 3.25);
+  EXPECT_TRUE(Value::Num(0)->is_num());
+}
+
+TEST(ValueTest, StrPayload) {
+  EXPECT_EQ(Value::Str("hello")->str_value(), "hello");
+  EXPECT_TRUE(Value::Str("")->is_str());
+}
+
+TEST(ValueTest, RecordFieldsAreKeySorted) {
+  ValueRef r = Value::RecordUnchecked(
+      {{"zeta", Value::Num(1)}, {"alpha", Value::Num(2)}});
+  ASSERT_EQ(r->fields().size(), 2u);
+  EXPECT_EQ(r->fields()[0].key, "alpha");
+  EXPECT_EQ(r->fields()[1].key, "zeta");
+}
+
+TEST(ValueTest, RecordsEqualUpToFieldOrder) {
+  // The paper identifies records differing only in field order.
+  ValueRef a = Value::RecordUnchecked(
+      {{"x", Value::Num(1)}, {"y", Value::Str("s")}});
+  ValueRef b = Value::RecordUnchecked(
+      {{"y", Value::Str("s")}, {"x", Value::Num(1)}});
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_EQ(a->hash(), b->hash());
+}
+
+TEST(ValueTest, CheckedRecordRejectsDuplicateKeys) {
+  Result<ValueRef> r =
+      Value::Record({{"k", Value::Num(1)}, {"k", Value::Num(2)}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValueTest, CheckedRecordAcceptsDistinctKeys) {
+  Result<ValueRef> r =
+      Value::Record({{"a", Value::Num(1)}, {"b", Value::Num(2)}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->fields().size(), 2u);
+}
+
+TEST(ValueTest, FindLocatesFields) {
+  ValueRef r = Value::RecordUnchecked(
+      {{"a", Value::Num(1)}, {"m", Value::Str("v")}, {"z", Value::Null()}});
+  ASSERT_NE(r->Find("m"), nullptr);
+  EXPECT_EQ(r->Find("m")->str_value(), "v");
+  EXPECT_EQ(r->Find("missing"), nullptr);
+}
+
+TEST(ValueTest, ArrayPreservesOrder) {
+  ValueRef a = Value::Array({Value::Num(1), Value::Num(2)});
+  ValueRef b = Value::Array({Value::Num(2), Value::Num(1)});
+  EXPECT_FALSE(a->Equals(*b));  // arrays are ordered lists
+  ASSERT_EQ(a->elements().size(), 2u);
+  EXPECT_DOUBLE_EQ(a->elements()[0]->num_value(), 1);
+}
+
+TEST(ValueTest, EmptyRecordAndArrayDiffer) {
+  ValueRef r = Value::RecordUnchecked({});
+  ValueRef a = Value::Array({});
+  EXPECT_FALSE(r->Equals(*a));
+  EXPECT_NE(r->hash(), a->hash());
+}
+
+TEST(ValueTest, EqualityIsDeepForNestedStructures) {
+  auto make = [] {
+    return Value::RecordUnchecked(
+        {{"list", Value::Array({Value::Num(1),
+                                Value::RecordUnchecked(
+                                    {{"inner", Value::Bool(true)}})})},
+         {"name", Value::Str("n")}});
+  };
+  EXPECT_TRUE(make()->Equals(*make()));
+  EXPECT_EQ(make()->hash(), make()->hash());
+}
+
+TEST(ValueTest, DistinctValuesHashDifferently) {
+  // Not guaranteed in theory, but must hold for these simple cases.
+  EXPECT_NE(Value::Num(1)->hash(), Value::Num(2)->hash());
+  EXPECT_NE(Value::Str("a")->hash(), Value::Str("b")->hash());
+  EXPECT_NE(Value::Null()->hash(), Value::Bool(false)->hash());
+}
+
+TEST(ValueTest, TreeSizeCountsNodes) {
+  EXPECT_EQ(Value::Num(1)->TreeSize(), 1u);
+  // record(1) + field(1)+num(1) + field(1)+arr(1+2 elems)
+  ValueRef v = Value::RecordUnchecked(
+      {{"n", Value::Num(1)},
+       {"a", Value::Array({Value::Null(), Value::Null()})}});
+  EXPECT_EQ(v->TreeSize(), 1u + (1u + 1u) + (1u + 3u));
+}
+
+TEST(ValueTest, ValueEqualsHandlesSharedRefs) {
+  ValueRef v = Value::Str("x");
+  EXPECT_TRUE(ValueEquals(v, v));
+  EXPECT_TRUE(ValueEquals(Value::Str("x"), Value::Str("x")));
+  EXPECT_FALSE(ValueEquals(Value::Str("x"), Value::Str("y")));
+}
+
+TEST(ValueTest, RandomValuesEqualThemselvesStructurally) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    ValueRef a = jsonsi::testing::RandomValue(seed);
+    ValueRef b = jsonsi::testing::RandomValue(seed);
+    EXPECT_TRUE(a->Equals(*b)) << "seed=" << seed;
+    EXPECT_EQ(a->hash(), b->hash()) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace jsonsi::json

@@ -1,0 +1,81 @@
+// Unit tests for JSON-Lines ingestion/emission.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "json/jsonl.h"
+#include "json/serializer.h"
+
+namespace jsonsi::json {
+namespace {
+
+TEST(JsonlTest, ParsesOneValuePerLine) {
+  auto r = ParseJsonLines("{\"a\":1}\n{\"a\":2}\n[3]\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r.value().size(), 3u);
+  EXPECT_TRUE(r.value()[2]->is_array());
+}
+
+TEST(JsonlTest, SkipsBlankLines) {
+  auto r = ParseJsonLines("{\"a\":1}\n\n   \n{\"a\":2}\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(JsonlTest, NoTrailingNewlineOk) {
+  auto r = ParseJsonLines("1\n2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(JsonlTest, ErrorCarriesLineNumber) {
+  auto r = ParseJsonLines("{\"a\":1}\nnot json\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status();
+}
+
+TEST(JsonlTest, SinkCanStopEarly) {
+  std::istringstream in("1\n2\n3\n4\n");
+  int seen = 0;
+  Status st = ReadJsonLines(in, [&](ValueRef) { return ++seen < 2; });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(JsonlTest, ToJsonLinesRoundTrip) {
+  auto r = ParseJsonLines("{\"x\":[1,2]}\n\"s\"\nnull\n");
+  ASSERT_TRUE(r.ok());
+  std::string text = ToJsonLines(r.value());
+  auto r2 = ParseJsonLines(text);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2.value().size(), r.value().size());
+  for (size_t i = 0; i < r.value().size(); ++i) {
+    EXPECT_TRUE(r.value()[i]->Equals(*r2.value()[i]));
+  }
+}
+
+TEST(JsonlTest, ReadsFromFile) {
+  std::string path = ::testing::TempDir() + "/jsonsi_jsonl_test.jsonl";
+  {
+    std::ofstream out(path);
+    out << "{\"k\":true}\n{\"k\":false}\n";
+  }
+  auto r = ReadJsonLinesFile(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlTest, MissingFileIsNotFound) {
+  auto r = ReadJsonLinesFile("/nonexistent/definitely_missing.jsonl");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace jsonsi::json

@@ -1,0 +1,162 @@
+// Tests for key-as-data detection: synthetic positives/negatives, threshold
+// behaviour, nesting, and the end-to-end Wikidata diagnosis (the schema
+// position the paper blames — entity ids as claim keys — must be flagged,
+// and well-designed datasets must not be).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "fusion/tree_fuser.h"
+#include "inference/infer.h"
+#include "stats/key_analysis.h"
+#include "types/type.h"
+
+namespace jsonsi::stats {
+namespace {
+
+using types::FieldType;
+using types::Type;
+using types::TypeRef;
+
+// A record with `n` fields keyed k0..k<n-1>, all optional, all of `type`.
+TypeRef MapLike(size_t n, const TypeRef& type) {
+  std::vector<FieldType> fields;
+  for (size_t i = 0; i < n; ++i) {
+    fields.push_back({"k" + std::to_string(i), type, /*optional=*/true});
+  }
+  return Type::RecordUnchecked(std::move(fields));
+}
+
+TEST(KeyAnalysisTest, FlagsUniformWideOptionalRecord) {
+  TypeRef suspicious = MapLike(64, Type::Num());
+  auto findings = DetectKeyAsData(suspicious);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "");
+  EXPECT_EQ(findings[0].field_count, 64u);
+  EXPECT_DOUBLE_EQ(findings[0].uniformity, 1.0);
+  EXPECT_DOUBLE_EQ(findings[0].optional_fraction, 1.0);
+  EXPECT_EQ(findings[0].dominant_kinds, "Num");
+}
+
+TEST(KeyAnalysisTest, SmallRecordsAreNotFlagged) {
+  EXPECT_TRUE(DetectKeyAsData(MapLike(8, Type::Num())).empty());
+}
+
+TEST(KeyAnalysisTest, HeterogeneousWideRecordsAreNotFlagged) {
+  // 64 fields but every other one has a different kind: a real struct.
+  std::vector<FieldType> fields;
+  for (size_t i = 0; i < 64; ++i) {
+    TypeRef t = (i % 4 == 0)   ? Type::Num()
+                : (i % 4 == 1) ? Type::Str()
+                : (i % 4 == 2) ? Type::Bool()
+                               : Type::Null();
+    fields.push_back({"k" + std::to_string(i), t, true});
+  }
+  TypeRef record = Type::RecordUnchecked(std::move(fields));
+  EXPECT_TRUE(DetectKeyAsData(record).empty());
+}
+
+TEST(KeyAnalysisTest, SimilarButNotIdenticalEntriesAreStillFlagged) {
+  // The realistic map shape: every value is a record, but with varying
+  // fields — kind signatures match even though types differ.
+  std::vector<FieldType> fields;
+  for (size_t i = 0; i < 40; ++i) {
+    TypeRef entry = Type::RecordUnchecked(
+        {{"v" + std::to_string(i % 5), Type::Num(), false}});
+    fields.push_back({"k" + std::to_string(i), entry, true});
+  }
+  TypeRef record = Type::RecordUnchecked(std::move(fields));
+  auto findings = DetectKeyAsData(record);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].dominant_kinds, "record");
+}
+
+TEST(KeyAnalysisTest, MostlyMandatoryRecordsAreNotFlagged) {
+  std::vector<FieldType> fields;
+  for (size_t i = 0; i < 64; ++i) {
+    fields.push_back({"k" + std::to_string(i), Type::Num(),
+                      /*optional=*/false});
+  }
+  TypeRef record = Type::RecordUnchecked(std::move(fields));
+  EXPECT_TRUE(DetectKeyAsData(record).empty());
+}
+
+TEST(KeyAnalysisTest, ThresholdsAreConfigurable) {
+  TypeRef record = MapLike(16, Type::Str());
+  KeyAnalysisOptions opts;
+  opts.min_fields = 10;
+  EXPECT_EQ(DetectKeyAsData(record, opts).size(), 1u);
+  opts.min_fields = 20;
+  EXPECT_TRUE(DetectKeyAsData(record, opts).empty());
+}
+
+TEST(KeyAnalysisTest, NestedFindingsCarryPaths) {
+  TypeRef nested = Type::RecordUnchecked(
+      {{"meta", Type::RecordUnchecked(
+                    {{"claims", MapLike(40, Type::Str()), false}}),
+        false}});
+  auto findings = DetectKeyAsData(nested);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "meta.claims");
+}
+
+TEST(KeyAnalysisTest, FindsThroughArraysAndUnions) {
+  TypeRef in_array = Type::ArrayStar(MapLike(40, Type::Num()));
+  auto findings = DetectKeyAsData(in_array);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "[]");
+
+  TypeRef in_union = Type::Union({Type::Str(), MapLike(40, Type::Num())});
+  EXPECT_EQ(DetectKeyAsData(in_union).size(), 1u);
+}
+
+TEST(KeyAnalysisTest, OrderedByFieldCount) {
+  TypeRef two = Type::RecordUnchecked(
+      {{"small", MapLike(40, Type::Num()), false},
+       {"big", MapLike(80, Type::Str()), false}});
+  auto findings = DetectKeyAsData(two);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].path, "big");
+  EXPECT_EQ(findings[1].path, "small");
+}
+
+// ---- end-to-end on the synthetic datasets --------------------------------
+
+TypeRef FusedSchemaOf(datagen::DatasetId id, uint64_t n) {
+  auto gen = datagen::MakeGenerator(id, 21);
+  fusion::TreeFuser fuser;
+  for (uint64_t i = 0; i < n; ++i) {
+    fuser.Add(inference::InferType(*gen->Generate(i)));
+  }
+  return fuser.Finish();
+}
+
+TEST(KeyAnalysisTest, DiagnosesWikidataClaims) {
+  TypeRef schema = FusedSchemaOf(datagen::DatasetId::kWikidata, 3000);
+  auto findings = DetectKeyAsData(schema);
+  ASSERT_FALSE(findings.empty());
+  // The paper's culprit: claims keyed by property ids (sitelinks, keyed by
+  // wiki names, is legitimately flagged too).
+  const KeyAsDataFinding* claims = nullptr;
+  for (const auto& f : findings) {
+    if (f.path == "claims") claims = &f;
+  }
+  ASSERT_NE(claims, nullptr);
+  EXPECT_GT(claims->field_count, 150u);
+  EXPECT_GT(claims->uniformity, 0.9);
+}
+
+TEST(KeyAnalysisTest, CleanDatasetsAreQuiet) {
+  EXPECT_TRUE(
+      DetectKeyAsData(FusedSchemaOf(datagen::DatasetId::kGitHub, 2000))
+          .empty());
+  EXPECT_TRUE(
+      DetectKeyAsData(FusedSchemaOf(datagen::DatasetId::kNYTimes, 2000))
+          .empty());
+}
+
+}  // namespace
+}  // namespace jsonsi::stats

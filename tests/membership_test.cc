@@ -1,0 +1,116 @@
+// Tests for the semantics witness `V in [[T]]` (Section 4 semantics):
+// closed records, optional fields, exact vs starred arrays, unions, eps.
+
+#include <gtest/gtest.h>
+
+#include "json/parser.h"
+#include "types/membership.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::types {
+namespace {
+
+bool In(std::string_view value_text, std::string_view type_text) {
+  auto v = json::Parse(value_text);
+  auto t = ParseType(type_text);
+  EXPECT_TRUE(v.ok()) << value_text << ": " << v.status();
+  EXPECT_TRUE(t.ok()) << type_text << ": " << t.status();
+  return Matches(*v.value(), *t.value());
+}
+
+TEST(MembershipTest, Basics) {
+  EXPECT_TRUE(In("null", "Null"));
+  EXPECT_TRUE(In("true", "Bool"));
+  EXPECT_TRUE(In("1.5", "Num"));
+  EXPECT_TRUE(In("\"x\"", "Str"));
+  EXPECT_FALSE(In("null", "Bool"));
+  EXPECT_FALSE(In("1", "Str"));
+  EXPECT_FALSE(In("\"1\"", "Num"));
+}
+
+TEST(MembershipTest, EmptyTypeHasNoMembers) {
+  EXPECT_FALSE(In("null", "Empty"));
+  EXPECT_FALSE(In("{}", "Empty"));
+  EXPECT_FALSE(In("[]", "Empty"));
+}
+
+TEST(MembershipTest, Unions) {
+  EXPECT_TRUE(In("1", "Num + Str"));
+  EXPECT_TRUE(In("\"s\"", "Num + Str"));
+  EXPECT_FALSE(In("true", "Num + Str"));
+}
+
+// ---------------------------------------------------------------- records --
+
+TEST(MembershipTest, ExactRecord) {
+  EXPECT_TRUE(In(R"({"a":1,"b":"s"})", "{a: Num, b: Str}"));
+  EXPECT_FALSE(In(R"({"a":1})", "{a: Num, b: Str}"));        // missing b
+  EXPECT_FALSE(In(R"({"a":1,"b":"s","c":0})", "{a: Num, b: Str}"));  // extra
+  EXPECT_FALSE(In(R"({"a":"s","b":"s"})", "{a: Num, b: Str}"));  // wrong type
+}
+
+TEST(MembershipTest, OptionalFieldsMayBeAbsent) {
+  EXPECT_TRUE(In(R"({"a":1})", "{a: Num, b: Str?}"));
+  EXPECT_TRUE(In(R"({"a":1,"b":"s"})", "{a: Num, b: Str?}"));
+  // But when present they must match.
+  EXPECT_FALSE(In(R"({"a":1,"b":2})", "{a: Num, b: Str?}"));
+}
+
+TEST(MembershipTest, PaperSectionFourExample) {
+  // {l: Num?, m: (Str + Null)} from Section 4.
+  EXPECT_TRUE(In(R"({"m":"s"})", "{l: Num?, m: (Str + Null)}"));
+  EXPECT_TRUE(In(R"({"l":3,"m":null})", "{l: Num?, m: (Str + Null)}"));
+  EXPECT_FALSE(In(R"({"l":3})", "{l: Num?, m: (Str + Null)}"));
+  EXPECT_FALSE(In(R"({"l":"x","m":null})", "{l: Num?, m: (Str + Null)}"));
+}
+
+TEST(MembershipTest, EmptyRecordType) {
+  EXPECT_TRUE(In("{}", "{}"));
+  EXPECT_FALSE(In(R"({"a":1})", "{}"));
+  EXPECT_TRUE(In("{}", "{a: Num?}"));
+}
+
+TEST(MembershipTest, NonRecordValuesFailRecordTypes) {
+  EXPECT_FALSE(In("[]", "{}"));
+  EXPECT_FALSE(In("1", "{a: Num?}"));
+}
+
+// ----------------------------------------------------------------- arrays --
+
+TEST(MembershipTest, ExactArrays) {
+  EXPECT_TRUE(In("[1,\"s\"]", "[Num, Str]"));
+  EXPECT_FALSE(In("[1]", "[Num, Str]"));          // wrong length
+  EXPECT_FALSE(In("[\"s\",1]", "[Num, Str]"));    // wrong order
+  EXPECT_TRUE(In("[]", "[]"));
+  EXPECT_FALSE(In("[1]", "[]"));
+}
+
+TEST(MembershipTest, StarredArrays) {
+  EXPECT_TRUE(In("[]", "[(Num)*]"));
+  EXPECT_TRUE(In("[1,2,3]", "[(Num)*]"));
+  EXPECT_FALSE(In("[1,\"s\"]", "[(Num)*]"));
+  EXPECT_TRUE(In("[1,\"s\"]", "[(Num + Str)*]"));
+}
+
+TEST(MembershipTest, EmptyStarMatchesOnlyEmptyArray) {
+  // [[Empty*]] = { [] } — the paper's footnote about eps.
+  EXPECT_TRUE(In("[]", "[(Empty)*]"));
+  EXPECT_FALSE(In("[null]", "[(Empty)*]"));
+}
+
+TEST(MembershipTest, MixedContentStar) {
+  // The Section 2 simplification target: (Str + {E: Str, F: Num})*.
+  const char* type = "[(Str + {E: Str, F: Num})*]";
+  EXPECT_TRUE(In(R"(["abc","cde",{"E":"fr","F":12}])", type));
+  EXPECT_TRUE(In(R"([{"E":"fr","F":12},"abc","cde"])", type));  // order-free
+  EXPECT_FALSE(In(R"([true])", type));
+}
+
+TEST(MembershipTest, NestedStructures) {
+  const char* type = "{user: {name: Str, tags: [(Str)*]}, n: Num?}";
+  EXPECT_TRUE(In(R"({"user":{"name":"x","tags":["a","b"]}})", type));
+  EXPECT_FALSE(In(R"({"user":{"name":"x","tags":["a",1]}})", type));
+}
+
+}  // namespace
+}  // namespace jsonsi::types

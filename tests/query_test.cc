@@ -1,0 +1,126 @@
+// Tests for schema-based path-pattern expansion: matcher semantics,
+// expansion against fused schemas, static emptiness detection, and the
+// completeness contrast with skeleton schemas.
+
+#include <gtest/gtest.h>
+
+#include "baseline/skeleton.h"
+#include "fusion/tree_fuser.h"
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "query/path_expansion.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::query {
+namespace {
+
+types::TypeRef T(std::string_view text) {
+  auto r = types::ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+// -------------------------------------------------------------- matcher --
+
+TEST(PathMatcherTest, LiteralSegments) {
+  EXPECT_TRUE(PathMatchesPattern("a.b.c", "a.b.c"));
+  EXPECT_FALSE(PathMatchesPattern("a.b.c", "a.b"));
+  EXPECT_FALSE(PathMatchesPattern("a.b", "a.b.c"));
+  EXPECT_FALSE(PathMatchesPattern("a.x.c", "a.b.c"));
+}
+
+TEST(PathMatcherTest, SingleStarMatchesExactlyOneSegment) {
+  EXPECT_TRUE(PathMatchesPattern("a.b.c", "a.*.c"));
+  EXPECT_TRUE(PathMatchesPattern("a.b", "*.b"));
+  EXPECT_FALSE(PathMatchesPattern("a.b.c.d", "a.*.d"));
+  EXPECT_FALSE(PathMatchesPattern("a", "a.*"));
+}
+
+TEST(PathMatcherTest, DoubleStarMatchesAnyDepth) {
+  EXPECT_TRUE(PathMatchesPattern("a.b.c", "**.c"));
+  EXPECT_TRUE(PathMatchesPattern("c", "**.c"));
+  EXPECT_TRUE(PathMatchesPattern("a.b.c", "a.**"));
+  EXPECT_TRUE(PathMatchesPattern("a", "a.**"));  // ** may match zero
+  EXPECT_TRUE(PathMatchesPattern("a.x.y.z.c", "a.**.c"));
+  EXPECT_FALSE(PathMatchesPattern("a.x.y", "a.**.c"));
+}
+
+TEST(PathMatcherTest, ArraySegmentsAreLiterals) {
+  EXPECT_TRUE(PathMatchesPattern("tags[].id", "tags[].id"));
+  EXPECT_TRUE(PathMatchesPattern("tags[].id", "*.id"));
+  EXPECT_FALSE(PathMatchesPattern("tags[].id", "tags.id"));
+}
+
+TEST(PathMatcherTest, InvalidPatterns) {
+  EXPECT_FALSE(PathMatchesPattern("a", ""));
+  EXPECT_FALSE(PathMatchesPattern("a.b", "a..b"));
+  EXPECT_FALSE(PathMatchesPattern("abc", "a*c"));  // infix '*' unsupported
+  EXPECT_FALSE(PathMatchesPattern("a", "***"));
+}
+
+TEST(PathMatcherTest, BacktrackingCases) {
+  EXPECT_TRUE(PathMatchesPattern("a.b.a.b.c", "**.a.b.c"));
+  EXPECT_TRUE(PathMatchesPattern("a.c.c", "a.**.c"));
+  EXPECT_TRUE(PathMatchesPattern("x.a.y.a.z", "**.a.*"));
+}
+
+// ------------------------------------------------------------ expansion --
+
+TEST(ExpandTest, ExpandsWildcardsAgainstSchema) {
+  types::TypeRef schema = T(
+      "{user: {id: Num, name: Str}, meta: {id: Str, tags: [(Str)*]}}");
+  EXPECT_EQ(ExpandPathPattern(*schema, "*.id"),
+            (std::vector<std::string>{"meta.id", "user.id"}));
+  EXPECT_EQ(ExpandPathPattern(*schema, "**.id"),
+            (std::vector<std::string>{"meta.id", "user.id"}));
+  EXPECT_EQ(ExpandPathPattern(*schema, "user.**"),
+            (std::vector<std::string>{"user", "user.id", "user.name"}));
+}
+
+TEST(ExpandTest, ArrayPaths) {
+  types::TypeRef schema = T("{posts: [({title: Str, tags: [(Str)*]})*]}");
+  // "tags[]" (the element step) is itself a one-segment path component,
+  // so the single star sees three children under posts[].
+  EXPECT_EQ(ExpandPathPattern(*schema, "posts[].*"),
+            (std::vector<std::string>{"posts[].tags", "posts[].tags[]",
+                                      "posts[].title"}));
+  EXPECT_EQ(ExpandPathPattern(*schema, "**.tags[]"),
+            (std::vector<std::string>{"posts[].tags[]"}));
+}
+
+TEST(ExpandTest, EmptyExpansionProvesDeadQuery) {
+  types::TypeRef schema = T("{a: {b: Num}}");
+  EXPECT_TRUE(ExpandPathPattern(*schema, "a.c").empty());
+  EXPECT_TRUE(ExpandPathPattern(*schema, "**.missing").empty());
+}
+
+TEST(ExpandTest, UnionBranchesAreVisible) {
+  // Paths behind union alternatives must expand (a skeleton or coerced
+  // schema would hide them).
+  types::TypeRef schema = T("{p: (Str + {inner: Num})}");
+  EXPECT_EQ(ExpandPathPattern(*schema, "p.*"),
+            (std::vector<std::string>{"p.inner"}));
+}
+
+TEST(ExpandTest, EndToEndCompletenessVsSkeleton) {
+  // A rare path expands against the complete fused schema but not against
+  // the frequency skeleton: the exact failure mode Section 1 ascribes to
+  // skeleton repositories.
+  std::vector<json::ValueRef> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(json::Parse(R"({"common": 1})").value());
+  }
+  values.push_back(
+      json::Parse(R"({"common": 1, "rare": {"deep": true}})").value());
+  fusion::TreeFuser fuser;
+  for (const auto& v : values) fuser.Add(inference::InferType(*v));
+  types::TypeRef complete = fuser.Finish();
+  types::TypeRef skeleton = baseline::BuildSkeleton(
+      values, complete, baseline::SkeletonOptions{0.01});
+
+  EXPECT_EQ(ExpandPathPattern(*complete, "**.deep").size(), 1u);
+  EXPECT_TRUE(ExpandPathPattern(*skeleton, "**.deep").empty());
+}
+
+}  // namespace
+}  // namespace jsonsi::query

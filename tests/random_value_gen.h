@@ -1,0 +1,80 @@
+// Shared helper for property-based tests: deterministic random JSON values
+// covering every construct (nested records, arrays, mixed content, all basic
+// types), keyed by a seed so failures reproduce exactly.
+
+#ifndef JSONSI_TESTS_RANDOM_VALUE_GEN_H_
+#define JSONSI_TESTS_RANDOM_VALUE_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "json/value.h"
+#include "support/rng.h"
+
+namespace jsonsi::testing {
+
+struct RandomValueOptions {
+  size_t max_depth = 4;
+  size_t max_fields = 5;
+  size_t max_elements = 5;
+  /// Probability that a non-leaf position nests a record/array.
+  double branch_probability = 0.55;
+};
+
+inline json::ValueRef RandomValue(Rng& rng, const RandomValueOptions& opts,
+                                  size_t depth = 0) {
+  const bool can_branch = depth < opts.max_depth;
+  if (can_branch && rng.Chance(opts.branch_probability)) {
+    if (rng.Chance(0.5)) {
+      // Record with distinct short keys drawn from a small pool so that
+      // fusion finds both matching and non-matching keys across samples.
+      static const char* kKeys[] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+      size_t n = rng.Below(opts.max_fields + 1);
+      std::vector<json::Field> fields;
+      std::vector<bool> used(8, false);
+      for (size_t i = 0; i < n; ++i) {
+        size_t k = rng.Below(8);
+        if (used[k]) continue;
+        used[k] = true;
+        fields.push_back({kKeys[k], RandomValue(rng, opts, depth + 1)});
+      }
+      return json::Value::RecordUnchecked(std::move(fields));
+    }
+    size_t n = rng.Below(opts.max_elements + 1);
+    std::vector<json::ValueRef> elements;
+    elements.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      elements.push_back(RandomValue(rng, opts, depth + 1));
+    }
+    return json::Value::Array(std::move(elements));
+  }
+  switch (rng.Below(4)) {
+    case 0:
+      return json::Value::Null();
+    case 1:
+      return json::Value::Bool(rng.Chance(0.5));
+    case 2:
+      return json::Value::Num(static_cast<double>(rng.Range(-1000, 1000)));
+    default:
+      return json::Value::Str(rng.Ident(1 + rng.Below(6)));
+  }
+}
+
+inline json::ValueRef RandomValue(uint64_t seed,
+                                  const RandomValueOptions& opts = {}) {
+  Rng rng(seed);
+  return RandomValue(rng, opts);
+}
+
+inline std::vector<json::ValueRef> RandomValues(
+    uint64_t seed, size_t count, const RandomValueOptions& opts = {}) {
+  Rng rng(seed);
+  std::vector<json::ValueRef> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(RandomValue(rng, opts));
+  return out;
+}
+
+}  // namespace jsonsi::testing
+
+#endif  // JSONSI_TESTS_RANDOM_VALUE_GEN_H_

@@ -1,0 +1,170 @@
+// Tests for the versioned schema repository: registration semantics,
+// version bumping, drift reports, multi-source isolation, persistence
+// round trips, and input validation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "repository/schema_repository.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::repository {
+namespace {
+
+types::TypeRef T(std::string_view text) {
+  auto r = types::ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+TEST(RepositoryTest, FirstRegistrationCreatesVersionOne) {
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.RegisterBatch("events", T("{a: Num}"), 100, "bootstrap")
+                  .ok());
+  const SchemaVersion* current = repo.Current("events");
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->version, 1u);
+  EXPECT_EQ(current->cumulative_records, 100u);
+  EXPECT_EQ(current->note, "bootstrap");
+  EXPECT_TRUE(current->changes.empty());
+  EXPECT_TRUE(current->schema->Equals(*T("{a: Num}")));
+}
+
+TEST(RepositoryTest, UnknownSourceIsNull) {
+  SchemaRepository repo;
+  EXPECT_EQ(repo.Current("nope"), nullptr);
+  EXPECT_EQ(repo.History("nope"), nullptr);
+  EXPECT_TRUE(repo.LatestDrift("nope").empty());
+}
+
+TEST(RepositoryTest, UnchangedSchemaDoesNotBumpVersion) {
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.RegisterBatch("s", T("{a: Num}"), 10).ok());
+  ASSERT_TRUE(repo.RegisterBatch("s", T("{a: Num}"), 15).ok());
+  const SchemaVersion* current = repo.Current("s");
+  EXPECT_EQ(current->version, 1u);
+  EXPECT_EQ(current->cumulative_records, 25u);
+  EXPECT_EQ(repo.History("s")->size(), 1u);
+}
+
+TEST(RepositoryTest, SubsumedBatchDoesNotBumpVersion) {
+  // A batch whose schema is already included fuses to the same schema.
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.RegisterBatch("s", T("{a: (Num + Str), b: Bool?}"), 10).ok());
+  ASSERT_TRUE(repo.RegisterBatch("s", T("{a: Num, b: Bool}"), 5).ok());
+  EXPECT_EQ(repo.Current("s")->version, 1u);
+  EXPECT_EQ(repo.Current("s")->cumulative_records, 15u);
+}
+
+TEST(RepositoryTest, DriftBumpsVersionAndRecordsChanges) {
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.RegisterBatch("s", T("{a: Num}"), 10).ok());
+  ASSERT_TRUE(repo.RegisterBatch("s", T("{a: Str, extra: Bool}"), 5,
+                                 "fw-2.0 rollout")
+                  .ok());
+  const SchemaVersion* current = repo.Current("s");
+  EXPECT_EQ(current->version, 2u);
+  EXPECT_EQ(current->cumulative_records, 15u);
+  EXPECT_TRUE(current->schema->Equals(*T("{a: (Num + Str), extra: Bool?}")));
+  auto drift = repo.LatestDrift("s");
+  ASSERT_FALSE(drift.empty());
+  bool saw_added = false, saw_broadened = false;
+  for (const auto& c : drift) {
+    saw_added |= (c.path == "extra" &&
+                  c.kind == diff::ChangeKind::kFieldAdded);
+    saw_broadened |= (c.path == "a" &&
+                      c.kind == diff::ChangeKind::kKindsBroadened);
+  }
+  EXPECT_TRUE(saw_added);
+  EXPECT_TRUE(saw_broadened);
+}
+
+TEST(RepositoryTest, SourcesAreIsolated) {
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.RegisterBatch("alpha", T("{a: Num}"), 1).ok());
+  ASSERT_TRUE(repo.RegisterBatch("beta", T("{b: Str}"), 2).ok());
+  EXPECT_TRUE(repo.Current("alpha")->schema->Equals(*T("{a: Num}")));
+  EXPECT_TRUE(repo.Current("beta")->schema->Equals(*T("{b: Str}")));
+  EXPECT_EQ(repo.Sources(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(RepositoryTest, InputValidation) {
+  SchemaRepository repo;
+  EXPECT_FALSE(repo.RegisterBatch("", T("Num"), 1).ok());
+  EXPECT_FALSE(repo.RegisterBatch("has space", T("Num"), 1).ok());
+  EXPECT_FALSE(repo.RegisterBatch("s", T("Num"), 1, "multi\nline").ok());
+  EXPECT_FALSE(repo.RegisterBatch("s", nullptr, 1).ok());
+}
+
+TEST(RepositoryTest, SerializeRoundTrip) {
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.RegisterBatch("s", T("{a: Num}"), 10, "first").ok());
+  ASSERT_TRUE(
+      repo.RegisterBatch("s", T("{a: Null, tags: [(Str)*]}"), 5, "second")
+          .ok());
+  ASSERT_TRUE(repo.RegisterBatch("other", T("[Num, Str]"), 3).ok());
+
+  auto loaded = SchemaRepository::Deserialize(repo.Serialize());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const SchemaRepository& back = loaded.value();
+  EXPECT_EQ(back.Sources(), repo.Sources());
+  ASSERT_NE(back.Current("s"), nullptr);
+  EXPECT_EQ(back.Current("s")->version, 2u);
+  EXPECT_EQ(back.Current("s")->cumulative_records, 15u);
+  EXPECT_EQ(back.Current("s")->note, "second");
+  EXPECT_TRUE(back.Current("s")->schema->Equals(*repo.Current("s")->schema));
+  // Change lists are recomputed on load.
+  EXPECT_EQ(back.LatestDrift("s").size(), repo.LatestDrift("s").size());
+  EXPECT_TRUE(back.Current("other")->schema->Equals(*T("[Num, Str]")));
+}
+
+TEST(RepositoryTest, DeserializeErrors) {
+  EXPECT_FALSE(SchemaRepository::Deserialize("").ok());
+  EXPECT_FALSE(SchemaRepository::Deserialize("wrong header\n").ok());
+  EXPECT_FALSE(SchemaRepository::Deserialize(
+                   "jsonsi-schema-repository 1\ntype Num\n")
+                   .ok());  // type before any version
+  EXPECT_FALSE(SchemaRepository::Deserialize(
+                   "jsonsi-schema-repository 1\nsource s\n"
+                   "version 1 records 5 note x\ntype NOT_A_TYPE\n")
+                   .ok());
+  EXPECT_FALSE(SchemaRepository::Deserialize(
+                   "jsonsi-schema-repository 1\nsource s\n"
+                   "version 1 records 5 note \n")
+                   .ok());  // missing type line
+  EXPECT_FALSE(SchemaRepository::Deserialize(
+                   "jsonsi-schema-repository 1\ngarbage line\n")
+                   .ok());
+}
+
+TEST(RepositoryTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/jsonsi_repo_test.txt";
+  SchemaRepository repo;
+  ASSERT_TRUE(repo.RegisterBatch("s", T("{a: (Num + Str)?}"), 7).ok());
+  ASSERT_TRUE(repo.SaveToFile(path).ok());
+  auto loaded = SchemaRepository::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded.value().Current("s")->schema->Equals(
+      *repo.Current("s")->schema));
+  std::remove(path.c_str());
+  EXPECT_FALSE(SchemaRepository::LoadFromFile("/no/such/repo.txt").ok());
+}
+
+TEST(RepositoryTest, EndToEndWithInference) {
+  SchemaRepository repo;
+  auto batch1 = json::Parse(R"({"id": 1, "name": "a"})").value();
+  auto batch2 = json::Parse(R"({"id": 2, "name": "b", "tags": ["x"]})").value();
+  ASSERT_TRUE(
+      repo.RegisterBatch("api", inference::InferType(*batch1), 1).ok());
+  ASSERT_TRUE(
+      repo.RegisterBatch("api", inference::InferType(*batch2), 1).ok());
+  EXPECT_EQ(repo.Current("api")->version, 2u);
+  EXPECT_TRUE(repo.Current("api")->schema->Equals(
+      *T("{id: Num, name: Str, tags: [Str]?}")));
+}
+
+}  // namespace
+}  // namespace jsonsi::repository

@@ -1,0 +1,152 @@
+// Tests for static query-requirement checking: each status, wildcard
+// requirements, nested/array resolution, and an end-to-end "typecheck a
+// query against an inferred firehose schema" scenario.
+
+#include <gtest/gtest.h>
+
+#include "core/schema_inferencer.h"
+#include "datagen/generator.h"
+#include "query/requirements.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::query {
+namespace {
+
+types::TypeRef T(std::string_view text) {
+  auto r = types::ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+RequirementResult CheckOne(std::string_view schema, FieldRequirement req) {
+  auto results = CheckRequirements(T(schema), {std::move(req)});
+  EXPECT_EQ(results.size(), 1u);
+  return results.front();
+}
+
+TEST(RequirementsTest, OkWhenTypesMatch) {
+  auto r = CheckOne("{id: Num, name: Str}", {"id", T("Num"), false});
+  EXPECT_EQ(r.status, RequirementStatus::kOk);
+  EXPECT_EQ(r.matched_paths, std::vector<std::string>{"id"});
+}
+
+TEST(RequirementsTest, SubtypingIsEnough) {
+  // Query tolerates Num + Str; schema guarantees Num: fine.
+  auto r = CheckOne("{id: Num}", {"id", T("Num + Str"), false});
+  EXPECT_EQ(r.status, RequirementStatus::kOk);
+}
+
+TEST(RequirementsTest, MissingPathIsDeadSelection) {
+  auto r = CheckOne("{id: Num}", {"idd", T("Num"), false});
+  EXPECT_EQ(r.status, RequirementStatus::kMissing);
+  EXPECT_TRUE(r.matched_paths.empty());
+  EXPECT_NE(r.detail.find("never produce data"), std::string::npos);
+}
+
+TEST(RequirementsTest, TypeMismatchIsDetected) {
+  auto r = CheckOne("{id: (Num + Str)}", {"id", T("Num"), false});
+  EXPECT_EQ(r.status, RequirementStatus::kTypeMismatch);
+  EXPECT_NE(r.detail.find("schema has Num + Str"), std::string::npos)
+      << r.detail;
+}
+
+TEST(RequirementsTest, PresenceOnlyRequirementIgnoresType) {
+  auto r = CheckOne("{id: (Num + Str)}", {"id", nullptr, false});
+  EXPECT_EQ(r.status, RequirementStatus::kOk);
+}
+
+TEST(RequirementsTest, OptionalStepFlaggedWhenMandatoryRequired) {
+  auto r = CheckOne("{meta: {ts: Num}?}", {"meta.ts", T("Num"), true});
+  EXPECT_EQ(r.status, RequirementStatus::kMayBeAbsent);
+  // Without the mandatory demand it is fine.
+  auto relaxed = CheckOne("{meta: {ts: Num}?}", {"meta.ts", T("Num"), false});
+  EXPECT_EQ(relaxed.status, RequirementStatus::kOk);
+}
+
+TEST(RequirementsTest, ArrayStepsCountAsOptional) {
+  auto r = CheckOne("{xs: [(Num)*]}", {"xs[]", T("Num"), true});
+  EXPECT_EQ(r.status, RequirementStatus::kMayBeAbsent);
+  auto relaxed = CheckOne("{xs: [(Num)*]}", {"xs[]", T("Num"), false});
+  EXPECT_EQ(relaxed.status, RequirementStatus::kOk);
+}
+
+TEST(RequirementsTest, ExactArrayElementsAreUnioned) {
+  auto ok = CheckOne("{pair: [Num, Str]}", {"pair[]", T("Num + Str"), false});
+  EXPECT_EQ(ok.status, RequirementStatus::kOk);
+  auto bad = CheckOne("{pair: [Num, Str]}", {"pair[]", T("Num"), false});
+  EXPECT_EQ(bad.status, RequirementStatus::kTypeMismatch);
+}
+
+TEST(RequirementsTest, WildcardRequirementChecksEveryMatch) {
+  // *.id: user.id is Num (ok), meta.id is Str (mismatch vs Num).
+  auto r = CheckOne("{user: {id: Num}, meta: {id: Str}}",
+                    {"*.id", T("Num"), false});
+  EXPECT_EQ(r.status, RequirementStatus::kTypeMismatch);
+  EXPECT_EQ(r.matched_paths.size(), 2u);
+  EXPECT_NE(r.detail.find("meta.id"), std::string::npos);
+}
+
+TEST(RequirementsTest, UnionSchemaPositionsResolve) {
+  // The record branch of a union position is traversable.
+  auto r = CheckOne("{p: (Str + {inner: Num})}", {"p.inner", T("Num"), false});
+  EXPECT_EQ(r.status, RequirementStatus::kOk);
+}
+
+TEST(RequirementsTest, DeepNesting) {
+  auto r = CheckOne("{a: {b: {c: [({d: (Num + Null)})*]}}}",
+                    {"a.b.c[].d", T("Num + Null"), false});
+  EXPECT_EQ(r.status, RequirementStatus::kOk);
+}
+
+TEST(RequirementsTest, MultipleRequirementsKeepOrder) {
+  auto results = CheckRequirements(
+      T("{id: Num, tags: [(Str)*]}"),
+      {{"id", T("Num"), false},
+       {"missing", nullptr, false},
+       {"tags[]", T("Str"), false}});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].status, RequirementStatus::kOk);
+  EXPECT_EQ(results[1].status, RequirementStatus::kMissing);
+  EXPECT_EQ(results[2].status, RequirementStatus::kOk);
+}
+
+TEST(RequirementsTest, StatusNames) {
+  EXPECT_STREQ(RequirementStatusName(RequirementStatus::kOk), "ok");
+  EXPECT_STREQ(RequirementStatusName(RequirementStatus::kMissing), "missing");
+  EXPECT_STREQ(RequirementStatusName(RequirementStatus::kTypeMismatch),
+               "type-mismatch");
+  EXPECT_STREQ(RequirementStatusName(RequirementStatus::kMayBeAbsent),
+               "may-be-absent");
+}
+
+TEST(RequirementsTest, EndToEndTwitterQueryTypecheck) {
+  // "SELECT text, user.screen_name, entities.hashtags[].text WHERE id = ?"
+  // typechecked against the inferred firehose schema, plus two buggy
+  // selections the analysis must catch.
+  auto values =
+      datagen::MakeGenerator(datagen::DatasetId::kTwitter, 23)->GenerateMany(2000);
+  core::Schema schema = core::SchemaInferencer().InferFromValues(values);
+  auto results = CheckRequirements(
+      schema.type,
+      {
+          {"text", T("Str"), false},
+          {"user.screen_name", T("Str"), false},
+          {"entities.hashtags[].text", T("Str"), false},
+          // Mixed stream: `text` is NOT mandatory (delete records lack it).
+          {"text", T("Str"), true},
+          // Typo'd field: dead selection.
+          {"user.screenname", T("Str"), false},
+          // Wrong type expectation.
+          {"user.followers_count", T("Str"), false},
+      });
+  ASSERT_EQ(results.size(), 6u);
+  EXPECT_EQ(results[0].status, RequirementStatus::kOk);
+  EXPECT_EQ(results[1].status, RequirementStatus::kOk);
+  EXPECT_EQ(results[2].status, RequirementStatus::kOk);
+  EXPECT_EQ(results[3].status, RequirementStatus::kMayBeAbsent);
+  EXPECT_EQ(results[4].status, RequirementStatus::kMissing);
+  EXPECT_EQ(results[5].status, RequirementStatus::kTypeMismatch);
+}
+
+}  // namespace
+}  // namespace jsonsi::query

@@ -1,0 +1,158 @@
+// Tests for type-member sampling: soundness (every sample is a member),
+// uninhabited types, option behaviour, and the subtype/export cross-checks
+// it enables.
+
+#include <gtest/gtest.h>
+
+#include "export/json_schema.h"
+#include "export/validator.h"
+#include "fusion/fuse.h"
+#include "inference/infer.h"
+#include "random_value_gen.h"
+#include "types/membership.h"
+#include "types/printer.h"
+#include "types/sampler.h"
+#include "types/subtype.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::types {
+namespace {
+
+TypeRef T(std::string_view text) {
+  auto r = ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+TEST(SamplerTest, BasicTypes) {
+  Rng rng(1);
+  EXPECT_TRUE(SampleMember(*T("Null"), rng)->is_null());
+  EXPECT_TRUE(SampleMember(*T("Bool"), rng)->is_bool());
+  EXPECT_TRUE(SampleMember(*T("Num"), rng)->is_num());
+  EXPECT_TRUE(SampleMember(*T("Str"), rng)->is_str());
+}
+
+TEST(SamplerTest, EmptyTypeHasNoMembers) {
+  Rng rng(1);
+  EXPECT_EQ(SampleMember(*T("Empty"), rng), nullptr);
+  // A record with a mandatory Empty field is uninhabited too.
+  TypeRef bad = Type::RecordUnchecked({{"dead", Type::Empty(), false}});
+  EXPECT_EQ(SampleMember(*bad, rng), nullptr);
+}
+
+TEST(SamplerTest, EmptyStarYieldsEmptyArray) {
+  Rng rng(1);
+  json::ValueRef v = SampleMember(*T("[(Empty)*]"), rng);
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->is_array());
+  EXPECT_TRUE(v->elements().empty());
+}
+
+TEST(SamplerTest, MandatoryFieldsAlwaysPresent) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    json::ValueRef v = SampleMember(*T("{a: Num, b: Str?}"), rng);
+    ASSERT_NE(v, nullptr);
+    EXPECT_NE(v->Find("a"), nullptr);
+  }
+}
+
+TEST(SamplerTest, OptionalPresenceIsTunable) {
+  Rng rng(5);
+  SampleOptions never;
+  never.optional_presence = 0.0;
+  SampleOptions always;
+  always.optional_presence = 1.0;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(SampleMember(*T("{a: Num, b: Str?}"), rng, never)->Find("b"),
+              nullptr);
+    EXPECT_NE(SampleMember(*T("{a: Num, b: Str?}"), rng, always)->Find("b"),
+              nullptr);
+  }
+}
+
+TEST(SamplerTest, UnionCoversAllAlternativesEventually) {
+  Rng rng(7);
+  bool saw_num = false, saw_str = false, saw_record = false;
+  for (int i = 0; i < 200 && !(saw_num && saw_str && saw_record); ++i) {
+    json::ValueRef v = SampleMember(*T("Num + Str + {k: Bool}"), rng);
+    saw_num |= v->is_num();
+    saw_str |= v->is_str();
+    saw_record |= v->is_record();
+  }
+  EXPECT_TRUE(saw_num);
+  EXPECT_TRUE(saw_str);
+  EXPECT_TRUE(saw_record);
+}
+
+TEST(SamplerTest, UnionSkipsUninhabitedAlternative) {
+  // Num + {dead: Empty}: the record alternative has no members, so every
+  // sample must be a Num.
+  TypeRef t = Type::Union(
+      {Type::Num(),
+       Type::RecordUnchecked({{"dead", Type::Empty(), false}})});
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    json::ValueRef v = SampleMember(*t, rng);
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(v->is_num());
+  }
+}
+
+class SamplerSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SamplerSoundness, SamplesAreMembers) {
+  // For pipeline-produced types (inferred and fused), every sample matches.
+  auto values = jsonsi::testing::RandomValues(GetParam(), 16);
+  Rng rng(GetParam() * 31 + 7);
+  for (size_t i = 0; i + 1 < values.size(); i += 2) {
+    TypeRef inferred = inference::InferType(*values[i]);
+    TypeRef fused = fusion::Fuse(inferred, inference::InferType(*values[i + 1]));
+    for (const TypeRef& t : {inferred, fused}) {
+      for (int k = 0; k < 10; ++k) {
+        json::ValueRef sample = SampleMember(*t, rng);
+        ASSERT_NE(sample, nullptr) << ToString(*t);
+        ASSERT_TRUE(Matches(*sample, *t)) << ToString(*t);
+      }
+    }
+  }
+}
+
+TEST_P(SamplerSoundness, SubtypeSoundnessViaSampling) {
+  // Semantic cross-check of IsSubtypeOf: members of T must match any
+  // fused supertype of T.
+  auto values = jsonsi::testing::RandomValues(GetParam() + 100, 12);
+  Rng rng(GetParam() * 57 + 11);
+  std::vector<TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  TypeRef super = fusion::FuseAll(ts);
+  for (const TypeRef& t : ts) {
+    ASSERT_TRUE(IsSubtypeOf(*t, *super));
+    for (int k = 0; k < 8; ++k) {
+      json::ValueRef sample = SampleMember(*t, rng);
+      ASSERT_NE(sample, nullptr);
+      ASSERT_TRUE(Matches(*sample, *super))
+          << "member of " << ToString(*t) << " rejected by supertype";
+    }
+  }
+}
+
+TEST_P(SamplerSoundness, ExportedSchemasAcceptSamples) {
+  auto values = jsonsi::testing::RandomValues(GetParam() + 200, 10);
+  Rng rng(GetParam() * 13 + 3);
+  std::vector<TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  TypeRef schema = fusion::FuseAll(ts);
+  json::ValueRef exported = exporter::ToJsonSchema(schema);
+  for (int k = 0; k < 30; ++k) {
+    json::ValueRef sample = SampleMember(*schema, rng);
+    ASSERT_NE(sample, nullptr);
+    EXPECT_TRUE(exporter::Validates(*sample, *exported));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerSoundness,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace jsonsi::types

@@ -1,0 +1,151 @@
+// Tests for the statistics layer: distinct-type sets, size stats, path
+// enumeration over values and types, coverage, and the completeness claim
+// (every value path is traversable in the fused type).
+
+#include <gtest/gtest.h>
+
+#include "fusion/fuse.h"
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "random_value_gen.h"
+#include "stats/paths.h"
+#include "stats/type_stats.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::stats {
+namespace {
+
+json::ValueRef V(std::string_view text) {
+  auto r = json::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+types::TypeRef T(std::string_view text) {
+  auto r = types::ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+// ------------------------------------------------------ DistinctTypeSet --
+
+TEST(DistinctTypeSetTest, DeduplicatesStructurally) {
+  DistinctTypeSet set;
+  EXPECT_TRUE(set.Add(T("{a: Num}")));
+  EXPECT_FALSE(set.Add(T("{a: Num}")));  // same structure, fresh object
+  EXPECT_TRUE(set.Add(T("{a: Str}")));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(DistinctTypeSetTest, MergeUnionsSets) {
+  DistinctTypeSet a, b;
+  a.Add(T("Num"));
+  a.Add(T("Str"));
+  b.Add(T("Str"));
+  b.Add(T("Bool"));
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(DistinctTypeSetTest, ToVectorHasAllMembers) {
+  DistinctTypeSet set;
+  set.Add(T("Num"));
+  set.Add(T("[Num]"));
+  EXPECT_EQ(set.ToVector().size(), 2u);
+}
+
+// ------------------------------------------------------------ SizeStats --
+
+TEST(SizeStatsTest, EmptyInput) {
+  SizeStats s = ComputeSizeStats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.avg, 0.0);
+}
+
+TEST(SizeStatsTest, MinMaxAvg) {
+  // sizes: Num=1, {a: Num}=3, [Num, Str]=3
+  SizeStats s = ComputeSizeStats({T("Num"), T("{a: Num}"), T("[Num, Str]")});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_NEAR(s.avg, 7.0 / 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- paths --
+
+TEST(PathsTest, ValuePaths) {
+  auto paths = ValuePaths(*V(R"({"a": 1, "b": {"c": [ {"d": 2} ]}})"));
+  EXPECT_TRUE(paths.count("a"));
+  EXPECT_TRUE(paths.count("b"));
+  EXPECT_TRUE(paths.count("b.c"));
+  EXPECT_TRUE(paths.count("b.c[]"));
+  EXPECT_TRUE(paths.count("b.c[].d"));
+  EXPECT_EQ(paths.size(), 5u);
+}
+
+TEST(PathsTest, EmptyArrayContributesNoElementPath) {
+  auto paths = ValuePaths(*V(R"({"a": []})"));
+  EXPECT_TRUE(paths.count("a"));
+  EXPECT_FALSE(paths.count("a[]"));
+}
+
+TEST(PathsTest, TypePathsIncludeOptionalAndUnionBranches) {
+  auto paths = TypePaths(*T("{a: Num?, b: (Str + {c: Num})}"));
+  EXPECT_TRUE(paths.count("a"));
+  EXPECT_TRUE(paths.count("b"));
+  EXPECT_TRUE(paths.count("b.c"));  // via the union's record branch
+}
+
+TEST(PathsTest, TypePathsThroughArrays) {
+  auto star = TypePaths(*T("{xs: [({v: Num})*]}"));
+  EXPECT_TRUE(star.count("xs[]"));
+  EXPECT_TRUE(star.count("xs[].v"));
+  auto exact = TypePaths(*T("{xs: [Num, {v: Str}]}"));
+  EXPECT_TRUE(exact.count("xs[]"));
+  EXPECT_TRUE(exact.count("xs[].v"));
+  // [Empty*] denotes only [] — no element path.
+  auto empty = TypePaths(*T("{xs: [(Empty)*]}"));
+  EXPECT_TRUE(empty.count("xs"));
+  EXPECT_FALSE(empty.count("xs[]"));
+}
+
+TEST(PathCounterTest, CountsPathOncePerRecord) {
+  PathCounter counter;
+  counter.Add(*V(R"({"a": [1, 2, 3]})"));  // a[] appears once despite 3 elems
+  counter.Add(*V(R"({"a": [], "b": 1})"));
+  EXPECT_EQ(counter.total(), 2u);
+  EXPECT_EQ(counter.counts().at("a"), 2u);
+  EXPECT_EQ(counter.counts().at("a[]"), 1u);
+  EXPECT_EQ(counter.counts().at("b"), 1u);
+}
+
+TEST(CoverageTest, Fractions) {
+  std::set<std::string> required = {"a", "b", "c", "d"};
+  std::set<std::string> provided = {"a", "b", "x"};
+  EXPECT_DOUBLE_EQ(Coverage(required, provided), 0.5);
+  EXPECT_DOUBLE_EQ(Coverage({}, provided), 1.0);
+  EXPECT_DOUBLE_EQ(Coverage(required, required), 1.0);
+}
+
+// --------------------------------------- the paper's completeness claim --
+
+TEST(CompletenessTest, EveryValuePathTraversableInFusedSchema) {
+  // Section 1: "each path that can be traversed in ... each input JSON value
+  // can be traversed in the inferred schema as well."
+  auto values = jsonsi::testing::RandomValues(99, 60);
+  types::TypeRef fused = types::Type::Empty();
+  for (const auto& v : values) {
+    fused = fusion::Fuse(fused, inference::InferType(*v));
+  }
+  std::set<std::string> schema_paths = TypePaths(*fused);
+  for (const auto& v : values) {
+    for (const std::string& p : ValuePaths(*v)) {
+      EXPECT_TRUE(schema_paths.count(p)) << "missing path " << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jsonsi::stats

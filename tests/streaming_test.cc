@@ -1,0 +1,163 @@
+// Tests for the push-based StreamingInferencer: snapshot exactness vs the
+// batch pipeline, mid-stream snapshots, shard merging, malformed handling,
+// and the optional profiler.
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_inferencer.h"
+#include "datagen/generator.h"
+#include "json/serializer.h"
+#include "random_value_gen.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::core {
+namespace {
+
+types::TypeRef T(std::string_view text) {
+  auto r = types::ParseType(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+TEST(StreamingTest, EmptySnapshot) {
+  StreamingInferencer streaming;
+  Schema snapshot = streaming.Snapshot();
+  EXPECT_TRUE(snapshot.type->is_empty());
+  EXPECT_EQ(snapshot.stats.record_count, 0u);
+}
+
+TEST(StreamingTest, SnapshotEqualsBatchPipeline) {
+  auto values = jsonsi::testing::RandomValues(11, 150);
+  StreamingInferencer streaming;
+  for (const auto& v : values) streaming.AddValue(v);
+  Schema stream_schema = streaming.Snapshot();
+  Schema batch_schema = SchemaInferencer().InferFromValues(values);
+  EXPECT_TRUE(stream_schema.type->Equals(*batch_schema.type));
+  EXPECT_EQ(stream_schema.stats.record_count,
+            batch_schema.stats.record_count);
+  EXPECT_EQ(stream_schema.stats.distinct_type_count,
+            batch_schema.stats.distinct_type_count);
+  EXPECT_EQ(stream_schema.stats.min_type_size,
+            batch_schema.stats.min_type_size);
+  EXPECT_EQ(stream_schema.stats.max_type_size,
+            batch_schema.stats.max_type_size);
+  EXPECT_NEAR(stream_schema.stats.avg_type_size,
+              batch_schema.stats.avg_type_size, 1e-9);
+}
+
+TEST(StreamingTest, SnapshotsDoNotDisturbIngestion) {
+  auto values = jsonsi::testing::RandomValues(13, 60);
+  StreamingInferencer streaming;
+  StreamingInferencer uninterrupted;
+  for (size_t i = 0; i < values.size(); ++i) {
+    streaming.AddValue(values[i]);
+    uninterrupted.AddValue(values[i]);
+    if (i % 7 == 0) (void)streaming.Snapshot();  // snapshot mid-stream
+  }
+  EXPECT_TRUE(
+      streaming.Snapshot().type->Equals(*uninterrupted.Snapshot().type));
+}
+
+TEST(StreamingTest, AddJsonAndJsonLines) {
+  StreamingInferencer streaming;
+  ASSERT_TRUE(streaming.AddJson(R"({"a": 1})").ok());
+  ASSERT_TRUE(streaming.AddJsonLines("{\"a\": \"s\"}\n\n{\"b\": true}\n").ok());
+  EXPECT_EQ(streaming.record_count(), 3u);
+  EXPECT_TRUE(streaming.Snapshot().type->Equals(
+      *T("{a: (Num + Str)?, b: Bool?}")));
+}
+
+TEST(StreamingTest, MalformedFailsByDefault) {
+  StreamingInferencer streaming;
+  EXPECT_FALSE(streaming.AddJson("{oops").ok());
+  EXPECT_FALSE(streaming.AddJsonLines("{\"a\":1}\nbad\n").ok());
+}
+
+TEST(StreamingTest, SkipMalformedCountsAndContinues) {
+  StreamingOptions opts;
+  opts.skip_malformed = true;
+  StreamingInferencer streaming(opts);
+  ASSERT_TRUE(streaming.AddJsonLines("{\"a\":1}\nbad line\n{\"a\":2}\n").ok());
+  EXPECT_EQ(streaming.record_count(), 2u);
+  EXPECT_EQ(streaming.malformed_count(), 1u);
+  EXPECT_TRUE(streaming.Snapshot().type->Equals(*T("{a: Num}")));
+}
+
+TEST(StreamingTest, ShardMergeEqualsSingleStream) {
+  auto values = jsonsi::testing::RandomValues(17, 90);
+  StreamingInferencer whole;
+  for (const auto& v : values) whole.AddValue(v);
+
+  StreamingInferencer shard_a, shard_b, shard_c;
+  for (size_t i = 0; i < 30; ++i) shard_a.AddValue(values[i]);
+  for (size_t i = 30; i < 60; ++i) shard_b.AddValue(values[i]);
+  for (size_t i = 60; i < 90; ++i) shard_c.AddValue(values[i]);
+  shard_a.Merge(shard_b);
+  shard_a.Merge(shard_c);
+
+  Schema merged = shard_a.Snapshot();
+  Schema single = whole.Snapshot();
+  EXPECT_TRUE(merged.type->Equals(*single.type));
+  EXPECT_EQ(merged.stats.record_count, single.stats.record_count);
+  EXPECT_EQ(merged.stats.distinct_type_count,
+            single.stats.distinct_type_count);
+  EXPECT_EQ(merged.stats.min_type_size, single.stats.min_type_size);
+  EXPECT_EQ(merged.stats.max_type_size, single.stats.max_type_size);
+  EXPECT_NEAR(merged.stats.avg_type_size, single.stats.avg_type_size, 1e-9);
+}
+
+TEST(StreamingTest, MergeIntoEmpty) {
+  StreamingInferencer empty;
+  StreamingInferencer full;
+  full.AddValue(jsonsi::testing::RandomValue(3));
+  empty.Merge(full);
+  EXPECT_EQ(empty.record_count(), 1u);
+  EXPECT_TRUE(empty.Snapshot().type->Equals(*full.Snapshot().type));
+}
+
+TEST(StreamingTest, IngestionContinuesAfterMerge) {
+  StreamingInferencer a, b;
+  ASSERT_TRUE(a.AddJson(R"({"x": 1})").ok());
+  ASSERT_TRUE(b.AddJson(R"({"y": "s"})").ok());
+  a.Merge(b);
+  ASSERT_TRUE(a.AddJson(R"({"z": true})").ok());
+  EXPECT_TRUE(a.Snapshot().type->Equals(*T("{x: Num?, y: Str?, z: Bool?}")));
+}
+
+TEST(StreamingTest, ProfilerOptional) {
+  StreamingInferencer plain;
+  EXPECT_EQ(plain.profiler(), nullptr);
+
+  StreamingOptions opts;
+  opts.profile = true;
+  StreamingInferencer profiled(opts);
+  ASSERT_TRUE(profiled.AddJson(R"({"a": 1})").ok());
+  ASSERT_TRUE(profiled.AddJson(R"({"a": "s", "b": null})").ok());
+  ASSERT_NE(profiled.profiler(), nullptr);
+  EXPECT_EQ(profiled.profiler()->record_count(), 2u);
+  // The profile projection agrees with the snapshot schema (both streams of
+  // the same records; snapshot may keep exact arrays, none here).
+  EXPECT_TRUE(
+      profiled.profiler()->ToType()->Equals(*profiled.Snapshot().type));
+}
+
+TEST(StreamingTest, DistinctCountingCanBeDisabled) {
+  StreamingOptions opts;
+  opts.count_distinct_types = false;
+  StreamingInferencer streaming(opts);
+  ASSERT_TRUE(streaming.AddJson(R"({"a": 1})").ok());
+  EXPECT_EQ(streaming.Snapshot().stats.distinct_type_count, 0u);
+}
+
+TEST(StreamingTest, WorksAtDatasetScale) {
+  auto gen = datagen::MakeGenerator(datagen::DatasetId::kTwitter, 9);
+  StreamingInferencer streaming;
+  for (uint64_t i = 0; i < 2000; ++i) streaming.AddValue(gen->Generate(i));
+  Schema snapshot = streaming.Snapshot();
+  EXPECT_EQ(snapshot.stats.record_count, 2000u);
+  EXPECT_GT(snapshot.stats.distinct_type_count, 100u);
+  EXPECT_TRUE(snapshot.type->is_record());
+}
+
+}  // namespace
+}  // namespace jsonsi::core

@@ -1,0 +1,174 @@
+// Tests for the structural subtype checker: rule-level cases plus the
+// whole-schema statement of Theorem 5.2 (T <: Fuse(T, U)) and the
+// membership-consistency property (soundness witnessed on sampled values).
+
+#include <gtest/gtest.h>
+
+#include "fusion/fuse.h"
+#include "fusion/tree_fuser.h"
+#include "inference/infer.h"
+#include "random_value_gen.h"
+#include "types/membership.h"
+#include "types/printer.h"
+#include "types/subtype.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::types {
+namespace {
+
+bool Sub(std::string_view a, std::string_view b) {
+  auto ta = ParseType(a);
+  auto tb = ParseType(b);
+  EXPECT_TRUE(ta.ok()) << a << ": " << ta.status();
+  EXPECT_TRUE(tb.ok()) << b << ": " << tb.status();
+  return IsSubtypeOf(*ta.value(), *tb.value());
+}
+
+TEST(SubtypeTest, Reflexive) {
+  for (const char* t :
+       {"Null", "Num", "{a: Num, b: Str?}", "[Num, Str]", "[(Num + Str)*]",
+        "Num + {a: Bool}", "Empty"}) {
+    EXPECT_TRUE(Sub(t, t)) << t;
+  }
+}
+
+TEST(SubtypeTest, EmptyIsBottom) {
+  EXPECT_TRUE(Sub("Empty", "Num"));
+  EXPECT_TRUE(Sub("Empty", "{a: Str}"));
+  EXPECT_FALSE(Sub("Num", "Empty"));
+}
+
+TEST(SubtypeTest, BasicsAreDisjoint) {
+  EXPECT_FALSE(Sub("Num", "Str"));
+  EXPECT_FALSE(Sub("Null", "Bool"));
+  EXPECT_FALSE(Sub("Num", "{a: Num}"));
+}
+
+TEST(SubtypeTest, UnionsOnRight) {
+  EXPECT_TRUE(Sub("Num", "Num + Str"));
+  EXPECT_TRUE(Sub("Str", "Num + Str"));
+  EXPECT_FALSE(Sub("Bool", "Num + Str"));
+}
+
+TEST(SubtypeTest, UnionsOnLeft) {
+  EXPECT_TRUE(Sub("Num + Str", "Num + Str + Bool"));
+  EXPECT_FALSE(Sub("Num + Bool", "Num + Str"));
+}
+
+TEST(SubtypeTest, RecordWidthAndOptionality) {
+  // Mandatory may weaken to optional...
+  EXPECT_TRUE(Sub("{a: Num}", "{a: Num?}"));
+  // ...but optional may not strengthen to mandatory.
+  EXPECT_FALSE(Sub("{a: Num?}", "{a: Num}"));
+  // Right-only fields must be optional (closed records).
+  EXPECT_TRUE(Sub("{a: Num}", "{a: Num, b: Str?}"));
+  EXPECT_FALSE(Sub("{a: Num}", "{a: Num, b: Str}"));
+  // Left-only fields break inclusion (right cannot admit the key).
+  EXPECT_FALSE(Sub("{a: Num, extra: Str}", "{a: Num}"));
+  EXPECT_FALSE(Sub("{a: Num, extra: Str?}", "{a: Num}"));
+}
+
+TEST(SubtypeTest, RecordDepth) {
+  EXPECT_TRUE(Sub("{a: {b: Num}}", "{a: {b: Num + Str}}"));
+  EXPECT_FALSE(Sub("{a: {b: Num + Str}}", "{a: {b: Num}}"));
+}
+
+TEST(SubtypeTest, ExactArrays) {
+  EXPECT_TRUE(Sub("[Num, Str]", "[Num + Bool, Str]"));
+  EXPECT_FALSE(Sub("[Num, Str]", "[Str, Num]"));
+  EXPECT_FALSE(Sub("[Num]", "[Num, Num]"));
+}
+
+TEST(SubtypeTest, ExactIntoStar) {
+  EXPECT_TRUE(Sub("[Num, Num]", "[(Num)*]"));
+  EXPECT_TRUE(Sub("[Num, Str]", "[(Num + Str)*]"));
+  EXPECT_FALSE(Sub("[Num, Bool]", "[(Num + Str)*]"));
+  EXPECT_TRUE(Sub("[]", "[(Num)*]"));  // the empty array is in every [T*]
+}
+
+TEST(SubtypeTest, StarIntoStar) {
+  EXPECT_TRUE(Sub("[(Num)*]", "[(Num + Str)*]"));
+  EXPECT_FALSE(Sub("[(Num + Str)*]", "[(Num)*]"));
+  EXPECT_TRUE(Sub("[(Empty)*]", "[(Num)*]"));
+}
+
+TEST(SubtypeTest, StarIntoExactOnlyWhenBothEmpty) {
+  EXPECT_TRUE(Sub("[(Empty)*]", "[]"));
+  EXPECT_TRUE(Sub("[]", "[(Empty)*]"));
+  EXPECT_FALSE(Sub("[(Num)*]", "[]"));
+  EXPECT_FALSE(Sub("[(Num)*]", "[Num]"));  // star admits any length
+}
+
+TEST(SubtypeTest, PaperSectionTwoChain) {
+  // T1, T2 <: T12 and T12, T3 <: T123 from the Section 2 walkthrough.
+  const char* t12 = "{A: Str?, B: (Num + Bool), C: Str?}";
+  EXPECT_TRUE(Sub("{A: Str, B: Num}", t12));
+  EXPECT_TRUE(Sub("{B: Bool, C: Str}", t12));
+  const char* t123 = "{A: (Str + Null)?, B: (Num + Bool), C: Str?}";
+  EXPECT_TRUE(Sub(t12, t123));
+  EXPECT_TRUE(Sub("{A: Null, B: Num}", t123));
+}
+
+// ---- Theorem 5.2 as a whole-schema property ------------------------------
+
+class SubtypeProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubtypeProperties, FuseIsAnUpperBound) {
+  auto values = jsonsi::testing::RandomValues(GetParam(), 24);
+  std::vector<TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  // Pairwise: both inputs are subtypes of the fusion (Theorem 5.2).
+  for (size_t i = 0; i + 1 < ts.size(); i += 2) {
+    TypeRef fused = fusion::Fuse(ts[i], ts[i + 1]);
+    ASSERT_TRUE(IsSubtypeOf(*ts[i], *fused))
+        << ToString(*ts[i]) << "  !<:  " << ToString(*fused);
+    ASSERT_TRUE(IsSubtypeOf(*ts[i + 1], *fused));
+  }
+  // Iterated: every input is a subtype of the global schema.
+  fusion::TreeFuser fuser;
+  for (const auto& t : ts) fuser.Add(t);
+  TypeRef global = fuser.Finish();
+  for (const auto& t : ts) {
+    ASSERT_TRUE(IsSubtypeOf(*t, *global))
+        << ToString(*t) << "  !<:  " << ToString(*global);
+  }
+}
+
+TEST_P(SubtypeProperties, FusionChainIsMonotone) {
+  // Each prefix schema is a subtype of every longer prefix schema.
+  auto values = jsonsi::testing::RandomValues(GetParam() + 500, 12);
+  TypeRef acc = Type::Empty();
+  std::vector<TypeRef> prefixes;
+  for (const auto& v : values) {
+    acc = fusion::Fuse(acc, inference::InferType(*v));
+    prefixes.push_back(acc);
+  }
+  for (size_t i = 0; i < prefixes.size(); ++i) {
+    for (size_t j = i; j < prefixes.size(); ++j) {
+      ASSERT_TRUE(IsSubtypeOf(*prefixes[i], *prefixes[j])) << i << "," << j;
+    }
+  }
+}
+
+TEST_P(SubtypeProperties, SoundnessOnSampledValues) {
+  // Whenever the checker says T <: U, every sampled member of T must be a
+  // member of U.
+  auto values = jsonsi::testing::RandomValues(GetParam() + 900, 20);
+  std::vector<TypeRef> ts;
+  for (const auto& v : values) ts.push_back(inference::InferType(*v));
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = 0; j < ts.size(); ++j) {
+      if (IsSubtypeOf(*ts[i], *ts[j])) {
+        ASSERT_TRUE(Matches(*values[i], *ts[j]))
+            << ToString(*ts[i]) << " <: " << ToString(*ts[j])
+            << " but its witness value does not match";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubtypeProperties,
+                         ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace jsonsi::types

@@ -1,0 +1,218 @@
+// Unit tests for the support substrate: Status/Result, hashing, RNG
+// determinism and distributions, string utilities.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/hash.h"
+#include "support/rng.h"
+#include "support/status.h"
+#include "support/string_util.h"
+
+namespace jsonsi {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("too big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// ------------------------------------------------------------------ Hash --
+
+TEST(HashTest, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_EQ(Mix64(0), 0u);  // SplitMix64's finalizer fixes zero
+  EXPECT_NE(Mix64(1), 1u);
+}
+
+TEST(HashTest, HashCombineOrderMatters) {
+  uint64_t a = Mix64(123), b = Mix64(456);
+  EXPECT_NE(HashCombine(a, b), HashCombine(b, a));
+}
+
+TEST(HashTest, HashBytesDistinguishesStrings) {
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_NE(HashBytes(""), HashBytes("a"));
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(17);
+  int rank0 = 0, rank_high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t r = rng.Zipf(100, 1.1);
+    EXPECT_LT(r, 100u);
+    if (r == 0) ++rank0;
+    if (r >= 50) ++rank_high;
+  }
+  EXPECT_GT(rank0, rank_high);  // head much heavier than the whole tail half
+}
+
+TEST(RngTest, IdentHasRequestedLengthAndAlphabet) {
+  Rng rng(19);
+  std::string s = rng.Ident(12);
+  EXPECT_EQ(s.size(), 12u);
+  for (char c : s) EXPECT_TRUE(c >= 'a' && c <= 'z');
+}
+
+TEST(RngTest, WordsHasRequestedWordCount) {
+  Rng rng(23);
+  std::string s = rng.Words(5);
+  int spaces = 0;
+  for (char c : s) spaces += (c == ' ');
+  EXPECT_EQ(spaces, 4);
+}
+
+// ----------------------------------------------------------- StringUtil --
+
+TEST(StringUtilTest, JsonEscaping) {
+  std::string out;
+  AppendJsonEscaped("a\"b\\c\n\t\x01", &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\n\\t\\u0001");
+}
+
+TEST(StringUtilTest, FormatJsonNumberIntegral) {
+  EXPECT_EQ(FormatJsonNumber(0), "0");
+  EXPECT_EQ(FormatJsonNumber(42), "42");
+  EXPECT_EQ(FormatJsonNumber(-17), "-17");
+  EXPECT_EQ(FormatJsonNumber(1e15), "1000000000000000");
+}
+
+TEST(StringUtilTest, FormatJsonNumberFractional) {
+  EXPECT_EQ(FormatJsonNumber(1.5), "1.5");
+  EXPECT_EQ(FormatJsonNumber(-0.25), "-0.25");
+}
+
+TEST(StringUtilTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(WithThousands(-1234567), "-1,234,567");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512B");
+  EXPECT_EQ(HumanBytes(14000000), "14MB");
+  EXPECT_EQ(HumanBytes(1300000000), "1.3GB");
+  EXPECT_EQ(HumanBytes(2200000000ULL), "2.2GB");
+}
+
+TEST(StringUtilTest, Split) {
+  auto pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(pieces[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+}  // namespace
+}  // namespace jsonsi

@@ -1,0 +1,163 @@
+// Tests for the type printer and the type-expression parser, including
+// print -> parse round trips.
+
+#include <gtest/gtest.h>
+
+#include "types/printer.h"
+#include "types/type.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::types {
+namespace {
+
+TypeRef MustParseType(std::string_view text) {
+  Result<TypeRef> r = ParseType(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return r.ok() ? r.value() : Type::Empty();
+}
+
+// ---------------------------------------------------------------- printer --
+
+TEST(PrinterTest, Basics) {
+  EXPECT_EQ(ToString(*Type::Null()), "Null");
+  EXPECT_EQ(ToString(*Type::Bool()), "Bool");
+  EXPECT_EQ(ToString(*Type::Num()), "Num");
+  EXPECT_EQ(ToString(*Type::Str()), "Str");
+  EXPECT_EQ(ToString(*Type::Empty()), "Empty");
+}
+
+TEST(PrinterTest, RecordWithOptional) {
+  TypeRef t = Type::RecordUnchecked(
+      {{"a", Type::Num(), false}, {"b", Type::Str(), true}});
+  EXPECT_EQ(ToString(*t), "{a: Num, b: Str?}");
+}
+
+TEST(PrinterTest, UnionFieldParenthesized) {
+  TypeRef t = Type::RecordUnchecked(
+      {{"m", Type::Union({Type::Str(), Type::Null()}), false}});
+  EXPECT_EQ(ToString(*t), "{m: (Null + Str)}");
+}
+
+TEST(PrinterTest, QuotedKeysWhenNotIdentifiers) {
+  TypeRef t = Type::RecordUnchecked({{"has space", Type::Num(), false}});
+  EXPECT_EQ(ToString(*t), "{\"has space\": Num}");
+}
+
+TEST(PrinterTest, Arrays) {
+  EXPECT_EQ(ToString(*Type::ArrayExact({})), "[]");
+  EXPECT_EQ(ToString(*Type::ArrayExact({Type::Num(), Type::Str()})),
+            "[Num, Str]");
+  EXPECT_EQ(ToString(*Type::ArrayStar(Type::Num())), "[(Num)*]");
+}
+
+TEST(PrinterTest, StarOfUnionMatchesPaperNotation) {
+  // The paper's (Str + {E: Str, F: Num})* example shape.
+  TypeRef body = Type::Union(
+      {Type::Str(), Type::RecordUnchecked({{"E", Type::Str(), false},
+                                           {"F", Type::Num(), false}})});
+  EXPECT_EQ(ToString(*Type::ArrayStar(body)),
+            "[(Str + {E: Str, F: Num})*]");
+}
+
+TEST(PrinterTest, MultilineRecords) {
+  PrintOptions opts;
+  opts.multiline = true;
+  TypeRef t = Type::RecordUnchecked(
+      {{"a", Type::Num(), false}, {"b", Type::Str(), false}});
+  std::string s = ToString(*t, opts);
+  EXPECT_NE(s.find("\n  a: Num"), std::string::npos) << s;
+}
+
+// ----------------------------------------------------------------- parser --
+
+TEST(TypeParserTest, Basics) {
+  EXPECT_TRUE(MustParseType("Null")->is_basic());
+  EXPECT_TRUE(MustParseType(" Empty ")->is_empty());
+}
+
+TEST(TypeParserTest, Unions) {
+  TypeRef t = MustParseType("Num + Str + Bool");
+  ASSERT_TRUE(t->is_union());
+  EXPECT_EQ(t->alternatives().size(), 3u);
+}
+
+TEST(TypeParserTest, RecordsAndOptional) {
+  TypeRef t = MustParseType("{a: Num, b: Str?, c: (Null + Bool)?}");
+  ASSERT_TRUE(t->is_record());
+  ASSERT_EQ(t->fields().size(), 3u);
+  EXPECT_FALSE(t->FindField("a")->optional);
+  EXPECT_TRUE(t->FindField("b")->optional);
+  EXPECT_TRUE(t->FindField("c")->optional);
+  EXPECT_TRUE(t->FindField("c")->type->is_union());
+}
+
+TEST(TypeParserTest, QuotedKeys) {
+  TypeRef t = MustParseType("{\"weird key\": Num}");
+  EXPECT_NE(t->FindField("weird key"), nullptr);
+}
+
+TEST(TypeParserTest, Arrays) {
+  EXPECT_TRUE(MustParseType("[]")->is_array_exact());
+  TypeRef exact = MustParseType("[Num, Str]");
+  ASSERT_TRUE(exact->is_array_exact());
+  EXPECT_EQ(exact->elements().size(), 2u);
+  TypeRef star = MustParseType("[(Num + Str)*]");
+  ASSERT_TRUE(star->is_array_star());
+  EXPECT_TRUE(star->body()->is_union());
+}
+
+TEST(TypeParserTest, ParenthesizedElementIsNotAStar) {
+  TypeRef t = MustParseType("[(Num)]");
+  ASSERT_TRUE(t->is_array_exact());
+  EXPECT_EQ(t->elements().size(), 1u);
+}
+
+TEST(TypeParserTest, DuplicateRecordKeysRejected) {
+  EXPECT_FALSE(ParseType("{a: Num, a: Str}").ok());
+}
+
+TEST(TypeParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseType("").ok());
+  EXPECT_FALSE(ParseType("Nul").ok());
+  EXPECT_FALSE(ParseType("{a Num}").ok());
+  EXPECT_FALSE(ParseType("{a: Num").ok());
+  EXPECT_FALSE(ParseType("[Num,]").ok());
+  EXPECT_FALSE(ParseType("Num +").ok());
+  EXPECT_FALSE(ParseType("Num Str").ok());
+  EXPECT_FALSE(ParseType("[(Num)*, Str]").ok());
+}
+
+// ------------------------------------------------------------ round trips --
+
+TEST(TypeParserTest, RoundTripsCanonicalTypes) {
+  std::vector<TypeRef> types = {
+      Type::Null(),
+      Type::Union({Type::Num(), Type::Bool()}),
+      Type::RecordUnchecked(
+          {{"a", Type::Union({Type::Str(), Type::Null()}), true},
+           {"nested",
+            Type::RecordUnchecked({{"x", Type::ArrayStar(Type::Num()), false}}),
+            false}}),
+      Type::ArrayExact({Type::Num(), Type::ArrayExact({})}),
+      Type::ArrayStar(Type::Union(
+          {Type::Str(),
+           Type::RecordUnchecked({{"E", Type::Str(), false}})})),
+      Type::ArrayStar(Type::Empty()),
+  };
+  for (const TypeRef& t : types) {
+    std::string text = ToString(*t);
+    TypeRef back = MustParseType(text);
+    EXPECT_TRUE(t->Equals(*back)) << text << " -> " << ToString(*back);
+  }
+}
+
+TEST(TypeParserTest, PaperExampleRoundTrip) {
+  // T123 from Section 2: {A: (Str + Null)?, B: Num + Bool, (C: Str)?}
+  TypeRef t = MustParseType(
+      "{A: (Str + Null)?, B: (Num + Bool), C: Str?}");
+  std::string text = ToString(*t);
+  EXPECT_TRUE(t->Equals(*MustParseType(text))) << text;
+}
+
+}  // namespace
+}  // namespace jsonsi::types

@@ -1,0 +1,229 @@
+// Unit tests for the type AST: canonical forms, kind(), size metric,
+// equality/ordering, union normalization, normal-type invariant, Flatten.
+
+#include <gtest/gtest.h>
+
+#include "types/type.h"
+
+namespace jsonsi::types {
+namespace {
+
+TEST(TypeTest, BasicSingletons) {
+  EXPECT_EQ(Type::Null().get(), Type::Null().get());
+  EXPECT_EQ(Type::Str().get(), Type::Str().get());
+  EXPECT_TRUE(Type::Num()->is_basic());
+  EXPECT_TRUE(Type::Empty()->is_empty());
+}
+
+TEST(TypeTest, KindsMatchPaperNumbering) {
+  EXPECT_EQ(static_cast<int>(Type::Null()->kind()), 0);
+  EXPECT_EQ(static_cast<int>(Type::Bool()->kind()), 1);
+  EXPECT_EQ(static_cast<int>(Type::Num()->kind()), 2);
+  EXPECT_EQ(static_cast<int>(Type::Str()->kind()), 3);
+  EXPECT_EQ(static_cast<int>(Type::RecordUnchecked({})->kind()), 4);
+  EXPECT_EQ(static_cast<int>(Type::ArrayExact({})->kind()), 5);
+  // kind(AT) == kind(SAT) == 5.
+  EXPECT_EQ(static_cast<int>(Type::ArrayStar(Type::Num())->kind()), 5);
+}
+
+TEST(TypeTest, BasicFactoryByKind) {
+  EXPECT_TRUE(Type::Basic(Kind::kNull)->is_basic());
+  EXPECT_EQ(Type::Basic(Kind::kStr).get(), Type::Str().get());
+}
+
+TEST(TypeTest, RecordFieldsKeySorted) {
+  TypeRef t = Type::RecordUnchecked(
+      {{"z", Type::Num(), false}, {"a", Type::Str(), true}});
+  ASSERT_EQ(t->fields().size(), 2u);
+  EXPECT_EQ(t->fields()[0].key, "a");
+  EXPECT_TRUE(t->fields()[0].optional);
+  EXPECT_EQ(t->fields()[1].key, "z");
+}
+
+TEST(TypeTest, CheckedRecordRejectsDuplicates) {
+  Result<TypeRef> r = Type::Record(
+      {{"k", Type::Num(), false}, {"k", Type::Str(), false}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TypeTest, RecordEqualityIncludesOptionality) {
+  TypeRef mandatory = Type::RecordUnchecked({{"k", Type::Num(), false}});
+  TypeRef optional = Type::RecordUnchecked({{"k", Type::Num(), true}});
+  EXPECT_FALSE(mandatory->Equals(*optional));
+  EXPECT_NE(mandatory->hash(), optional->hash());
+}
+
+TEST(TypeTest, FindField) {
+  TypeRef t = Type::RecordUnchecked(
+      {{"a", Type::Num(), false}, {"b", Type::Str(), true}});
+  ASSERT_NE(t->FindField("b"), nullptr);
+  EXPECT_TRUE(t->FindField("b")->optional);
+  EXPECT_EQ(t->FindField("c"), nullptr);
+}
+
+// ----------------------------------------------------------------- union --
+
+TEST(TypeTest, UnionFlattensAndSorts) {
+  TypeRef u1 = Type::Union({Type::Str(), Type::Num()});
+  TypeRef u2 = Type::Union({Type::Num(), Type::Str()});
+  EXPECT_TRUE(u1->Equals(*u2));  // canonical order
+  ASSERT_TRUE(u1->is_union());
+  EXPECT_EQ(u1->alternatives().size(), 2u);
+  // Nested unions flatten.
+  TypeRef nested = Type::Union({u1, Type::Bool()});
+  ASSERT_TRUE(nested->is_union());
+  EXPECT_EQ(nested->alternatives().size(), 3u);
+  for (const TypeRef& alt : nested->alternatives()) {
+    EXPECT_FALSE(alt->is_union());
+  }
+}
+
+TEST(TypeTest, UnionDropsEmptyAndDegenerates) {
+  EXPECT_TRUE(Type::Union({})->is_empty());
+  EXPECT_EQ(Type::Union({Type::Num()}).get(), Type::Num().get());
+  EXPECT_EQ(Type::Union({Type::Empty(), Type::Num()}).get(),
+            Type::Num().get());
+  EXPECT_TRUE(Type::Union({Type::Empty(), Type::Empty()})->is_empty());
+}
+
+TEST(TypeTest, UnionCollapsesExactDuplicates) {
+  TypeRef u = Type::Union({Type::Num(), Type::Num(), Type::Str()});
+  ASSERT_TRUE(u->is_union());
+  EXPECT_EQ(u->alternatives().size(), 2u);
+}
+
+TEST(TypeTest, UnionKeepsDistinctSameKindAlternatives) {
+  TypeRef r1 = Type::RecordUnchecked({{"a", Type::Num(), false}});
+  TypeRef r2 = Type::RecordUnchecked({{"b", Type::Str(), false}});
+  TypeRef u = Type::Union({r1, r2});
+  ASSERT_TRUE(u->is_union());
+  EXPECT_EQ(u->alternatives().size(), 2u);
+  EXPECT_FALSE(IsNormal(u));  // two record-kind alternatives
+}
+
+// ------------------------------------------------------------------ size --
+
+TEST(TypeTest, SizeOfBasics) {
+  EXPECT_EQ(Type::Null()->size(), 1u);
+  EXPECT_EQ(Type::Empty()->size(), 1u);
+}
+
+TEST(TypeTest, SizeOfRecord) {
+  // record(1) + field a(1)+Num(1) + field b(1)+Str(1) = 5
+  TypeRef t = Type::RecordUnchecked(
+      {{"a", Type::Num(), false}, {"b", Type::Str(), true}});
+  EXPECT_EQ(t->size(), 5u);
+}
+
+TEST(TypeTest, SizeOfArrays) {
+  EXPECT_EQ(Type::ArrayExact({})->size(), 1u);
+  EXPECT_EQ(Type::ArrayExact({Type::Num(), Type::Str()})->size(), 3u);
+  EXPECT_EQ(Type::ArrayStar(Type::Num())->size(), 2u);
+}
+
+TEST(TypeTest, SizeOfUnion) {
+  TypeRef u = Type::Union({Type::Num(), Type::Str()});
+  EXPECT_EQ(u->size(), 3u);  // union node + 2 alternatives
+}
+
+TEST(TypeTest, OptionalityMarkerIsFreeInSize) {
+  TypeRef mandatory = Type::RecordUnchecked({{"k", Type::Num(), false}});
+  TypeRef optional = Type::RecordUnchecked({{"k", Type::Num(), true}});
+  EXPECT_EQ(mandatory->size(), optional->size());
+}
+
+// ----------------------------------------------------------------- depth --
+
+TEST(TypeTest, DepthCounting) {
+  EXPECT_EQ(Type::Num()->Depth(), 1u);
+  TypeRef nested = Type::RecordUnchecked(
+      {{"a", Type::RecordUnchecked({{"b", Type::Num(), false}}), false}});
+  EXPECT_EQ(nested->Depth(), 3u);
+  // Union is transparent for depth.
+  TypeRef u = Type::Union({Type::Num(), nested});
+  EXPECT_EQ(u->Depth(), 3u);
+}
+
+// -------------------------------------------------------------- ordering --
+
+TEST(TypeTest, CompareIsATotalOrder) {
+  std::vector<TypeRef> ts = {
+      Type::Null(),
+      Type::Bool(),
+      Type::Num(),
+      Type::Str(),
+      Type::RecordUnchecked({}),
+      Type::RecordUnchecked({{"a", Type::Num(), false}}),
+      Type::ArrayExact({}),
+      Type::ArrayExact({Type::Num()}),
+      Type::ArrayStar(Type::Num()),
+      Type::Union({Type::Num(), Type::Str()}),
+      Type::Empty(),
+  };
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = 0; j < ts.size(); ++j) {
+      int ij = Compare(*ts[i], *ts[j]);
+      int ji = Compare(*ts[j], *ts[i]);
+      EXPECT_EQ(ij == 0, ji == 0) << i << "," << j;
+      EXPECT_EQ(ij < 0, ji > 0) << i << "," << j;
+      if (i == j) {
+        EXPECT_EQ(ij, 0);
+      }
+    }
+  }
+}
+
+TEST(TypeTest, CompareDistinguishesOptionality) {
+  TypeRef a = Type::RecordUnchecked({{"k", Type::Num(), false}});
+  TypeRef b = Type::RecordUnchecked({{"k", Type::Num(), true}});
+  EXPECT_NE(Compare(*a, *b), 0);
+}
+
+// -------------------------------------------------------------- IsNormal --
+
+TEST(TypeTest, NormalExamples) {
+  EXPECT_TRUE(IsNormal(Type::Num()));
+  EXPECT_TRUE(IsNormal(Type::Union({Type::Num(), Type::Str()})));
+  EXPECT_TRUE(IsNormal(Type::ArrayStar(Type::Empty())));  // [Empty*]
+  TypeRef rec = Type::RecordUnchecked(
+      {{"a", Type::Union({Type::Num(), Type::Null()}), true}});
+  EXPECT_TRUE(IsNormal(rec));
+}
+
+TEST(TypeTest, NonNormalExamples) {
+  // eps outside a star body.
+  TypeRef bad_rec = Type::RecordUnchecked({{"a", Type::Empty(), false}});
+  EXPECT_FALSE(IsNormal(bad_rec));
+  // Two same-kind union members.
+  TypeRef two_records = Type::Union(
+      {Type::RecordUnchecked({{"a", Type::Num(), false}}),
+       Type::RecordUnchecked({{"b", Type::Num(), false}})});
+  EXPECT_FALSE(IsNormal(two_records));
+  // Non-normality is detected below the top level.
+  TypeRef nested = Type::RecordUnchecked({{"x", two_records, false}});
+  EXPECT_FALSE(IsNormal(nested));
+}
+
+// --------------------------------------------------------------- Flatten --
+
+TEST(TypeTest, FlattenMatchesPaperO) {
+  EXPECT_TRUE(Flatten(Type::Empty()).empty());
+  EXPECT_EQ(Flatten(Type::Num()).size(), 1u);
+  TypeRef u = Type::Union({Type::Num(), Type::Str(), Type::Bool()});
+  auto flat = Flatten(u);
+  ASSERT_EQ(flat.size(), 3u);
+  for (const TypeRef& t : flat) EXPECT_FALSE(t->is_union());
+}
+
+TEST(TypeTest, HashConsistencyOverEqualStructures) {
+  auto make = [] {
+    return Type::RecordUnchecked(
+        {{"k", Type::Union({Type::Num(), Type::Str()}), true},
+         {"arr", Type::ArrayStar(Type::Bool()), false}});
+  };
+  EXPECT_TRUE(make()->Equals(*make()));
+  EXPECT_EQ(make()->hash(), make()->hash());
+}
+
+}  // namespace
+}  // namespace jsonsi::types

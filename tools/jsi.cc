@@ -1,0 +1,421 @@
+// jsi — command-line front end for the jsonsi schema-inference library.
+//
+// Subcommands:
+//   jsi infer <file.jsonl | ->  [--pretty] [--stats] [--partitions N]
+//       Infers and prints the fused schema of a JSON-Lines input
+//       ('-' reads stdin).
+//   jsi gen <github|twitter|wikidata|nytimes> <count> [--seed S]
+//       Emits a synthetic dataset as JSON-Lines on stdout.
+//   jsi paths <file.jsonl | ->
+//       Prints every label path traversable in the input, with counts.
+//   jsi check <file.jsonl | -> --schema '<type expression>'
+//       Validates every record against a schema; prints the first few
+//       violations and exits non-zero if any record fails.
+//   jsi export <file.jsonl | ->
+//       Infers the schema and emits it as a JSON Schema (draft 2020-12)
+//       document.
+//   jsi annotate <file.jsonl | -> [--no-stats]
+//       Infers the statistics-annotated schema (per-field counts,
+//       provenance, value ranges).
+//   jsi diff <old.types> <new.types>
+//       Diffs two schema files (one type expression each) and prints the
+//       change report; exits 2 when the schemas differ.
+//   jsi analyze <file.jsonl | ->
+//       Flags record positions that encode data in keys (the Wikidata
+//       design smell of Section 6.1 of the paper).
+//   jsi expand <file.jsonl | -> --pattern '<a.*.c / **.id>'
+//       Expands a wildcard path pattern against the inferred schema.
+//   jsi repo add <repo.txt> <source> <file.jsonl | ->
+//       Infers the batch's schema and registers it in a persistent schema
+//       repository (created on first use); prints drift when it occurs.
+//   jsi repo show <repo.txt> [source]
+//       Prints registered sources, or one source's version history.
+//   jsi codegen <file.jsonl | -> [--root Name] [--namespace ns]
+//       Emits C++17 struct bindings for the inferred schema.
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime/validation failure.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "annotate/counted_schema.h"
+#include "core/schema_inferencer.h"
+#include "diff/schema_diff.h"
+#include "export/cpp_codegen.h"
+#include "export/json_schema.h"
+#include "query/path_expansion.h"
+#include "repository/schema_repository.h"
+#include "stats/key_analysis.h"
+#include "datagen/generator.h"
+#include "json/jsonl.h"
+#include "json/serializer.h"
+#include "stats/paths.h"
+#include "support/string_util.h"
+#include "types/explain.h"
+#include "types/membership.h"
+#include "types/printer.h"
+#include "types/type_parser.h"
+
+namespace {
+
+using jsonsi::Result;
+using jsonsi::core::Schema;
+using jsonsi::core::SchemaInferencer;
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  jsi infer <file.jsonl | -> [--pretty] [--stats] [--partitions N]\n"
+      "  jsi gen <github|twitter|wikidata|nytimes> <count> [--seed S]\n"
+      "  jsi paths <file.jsonl | ->\n"
+      "  jsi check <file.jsonl | -> --schema '<type expression>'\n"
+      "  jsi export <file.jsonl | ->\n"
+      "  jsi annotate <file.jsonl | -> [--no-stats]\n"
+      "  jsi diff <old.types> <new.types>\n"
+      "  jsi analyze <file.jsonl | ->\n"
+      "  jsi expand <file.jsonl | -> --pattern '<pattern>'\n"
+      "  jsi repo add <repo.txt> <source> <file.jsonl | ->\n"
+      "  jsi repo show <repo.txt> [source]\n"
+      "  jsi codegen <file.jsonl | -> [--root Name] [--namespace ns]\n";
+  return 1;
+}
+
+Result<std::vector<jsonsi::json::ValueRef>> ReadInput(const std::string& arg) {
+  if (arg == "-") {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    return jsonsi::json::ParseJsonLines(buffer.str());
+  }
+  return jsonsi::json::ReadJsonLinesFile(arg);
+}
+
+std::optional<std::string> FlagValue(std::vector<std::string>& args,
+                                     const std::string& flag) {
+  for (size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) {
+      std::string value = args[i + 1];
+      args.erase(args.begin() + i, args.begin() + i + 2);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Flag(std::vector<std::string>& args, const std::string& flag) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == flag) {
+      args.erase(args.begin() + i);
+      return true;
+    }
+  }
+  return false;
+}
+
+int RunInfer(std::vector<std::string> args) {
+  if (args.empty()) return Usage();
+  bool pretty = Flag(args, "--pretty");
+  bool stats = Flag(args, "--stats");
+  jsonsi::core::InferenceOptions options;
+  if (auto p = FlagValue(args, "--partitions")) {
+    options.num_partitions = std::stoul(*p);
+  }
+  auto values = ReadInput(args[0]);
+  if (!values.ok()) {
+    std::cerr << "jsi: " << values.status() << "\n";
+    return 2;
+  }
+  Schema schema = SchemaInferencer(options).InferFromValues(values.value());
+  std::cout << schema.ToString(pretty) << "\n";
+  if (stats) {
+    const auto& s = schema.stats;
+    std::cerr << "records:        " << jsonsi::WithThousands(
+                     static_cast<int64_t>(s.record_count)) << "\n"
+              << "distinct types: " << jsonsi::WithThousands(
+                     static_cast<int64_t>(s.distinct_type_count)) << "\n"
+              << "type size:      min " << s.min_type_size << " / max "
+              << s.max_type_size << " / avg "
+              << jsonsi::FormatFixed(s.avg_type_size, 1) << "\n"
+              << "fused size:     " << schema.type->size() << "\n"
+              << "inference:      " << jsonsi::FormatFixed(s.infer_seconds, 3)
+              << "s\nfusion:         "
+              << jsonsi::FormatFixed(s.fuse_seconds, 3) << "s\n";
+  }
+  return 0;
+}
+
+int RunGen(std::vector<std::string> args) {
+  if (args.size() < 2) return Usage();
+  uint64_t seed = 42;
+  if (auto s = FlagValue(args, "--seed")) seed = std::stoull(*s);
+  jsonsi::datagen::DatasetId id;
+  if (args[0] == "github") {
+    id = jsonsi::datagen::DatasetId::kGitHub;
+  } else if (args[0] == "twitter") {
+    id = jsonsi::datagen::DatasetId::kTwitter;
+  } else if (args[0] == "wikidata") {
+    id = jsonsi::datagen::DatasetId::kWikidata;
+  } else if (args[0] == "nytimes") {
+    id = jsonsi::datagen::DatasetId::kNYTimes;
+  } else {
+    return Usage();
+  }
+  uint64_t count = std::stoull(args[1]);
+  auto gen = jsonsi::datagen::MakeGenerator(id, seed);
+  std::string line;
+  for (uint64_t i = 0; i < count; ++i) {
+    line.clear();
+    jsonsi::json::AppendJson(*gen->Generate(i), &line);
+    line.push_back('\n');
+    std::cout << line;
+  }
+  return 0;
+}
+
+int RunPaths(std::vector<std::string> args) {
+  if (args.empty()) return Usage();
+  auto values = ReadInput(args[0]);
+  if (!values.ok()) {
+    std::cerr << "jsi: " << values.status() << "\n";
+    return 2;
+  }
+  jsonsi::stats::PathCounter counter;
+  for (const auto& v : values.value()) counter.Add(*v);
+  for (const auto& [path, count] : counter.counts()) {
+    std::cout << count << "\t" << path << "\n";
+  }
+  return 0;
+}
+
+int RunCheck(std::vector<std::string> args) {
+  auto schema_text = FlagValue(args, "--schema");
+  if (args.empty() || !schema_text) return Usage();
+  auto type = jsonsi::types::ParseType(*schema_text);
+  if (!type.ok()) {
+    std::cerr << "jsi: bad --schema: " << type.status() << "\n";
+    return 1;
+  }
+  auto values = ReadInput(args[0]);
+  if (!values.ok()) {
+    std::cerr << "jsi: " << values.status() << "\n";
+    return 2;
+  }
+  size_t failures = 0;
+  for (size_t i = 0; i < values.value().size(); ++i) {
+    auto mismatch = jsonsi::types::Explain(*values.value()[i], *type.value());
+    if (mismatch) {
+      if (++failures <= 5) {
+        std::cerr << "record " << (i + 1) << ": at "
+                  << (mismatch->path.empty() ? "<root>" : mismatch->path)
+                  << ": " << mismatch->reason << "\n";
+      }
+    }
+  }
+  std::cout << (values.value().size() - failures) << "/"
+            << values.value().size() << " records match\n";
+  return failures ? 2 : 0;
+}
+
+int RunExport(std::vector<std::string> args) {
+  if (args.empty()) return Usage();
+  auto values = ReadInput(args[0]);
+  if (!values.ok()) {
+    std::cerr << "jsi: " << values.status() << "\n";
+    return 2;
+  }
+  Schema schema = SchemaInferencer().InferFromValues(values.value());
+  std::cout << jsonsi::exporter::ToJsonSchemaText(*schema.type) << "\n";
+  return 0;
+}
+
+int RunAnnotate(std::vector<std::string> args) {
+  if (args.empty()) return Usage();
+  bool stats = !Flag(args, "--no-stats");
+  auto values = ReadInput(args[0]);
+  if (!values.ok()) {
+    std::cerr << "jsi: " << values.status() << "\n";
+    return 2;
+  }
+  jsonsi::annotate::SchemaProfiler profiler;
+  for (size_t i = 0; i < values.value().size(); ++i) {
+    profiler.Observe(*values.value()[i], i);
+  }
+  std::cout << profiler.ToString(stats) << "\n";
+  return 0;
+}
+
+jsonsi::Result<jsonsi::types::TypeRef> ReadTypeFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return jsonsi::Status::NotFound("cannot open file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return jsonsi::types::ParseType(buffer.str());
+}
+
+int RunDiff(std::vector<std::string> args) {
+  if (args.size() != 2) return Usage();
+  auto before = ReadTypeFile(args[0]);
+  auto after = ReadTypeFile(args[1]);
+  if (!before.ok() || !after.ok()) {
+    std::cerr << "jsi: " << (before.ok() ? after.status() : before.status())
+              << "\n";
+    return 2;
+  }
+  auto changes = jsonsi::diff::DiffSchemas(before.value(), after.value());
+  if (changes.empty()) {
+    std::cout << "schemas are identical\n";
+    return 0;
+  }
+  std::cout << jsonsi::diff::FormatChanges(changes);
+  return 2;
+}
+
+int RunAnalyze(std::vector<std::string> args) {
+  if (args.empty()) return Usage();
+  auto values = ReadInput(args[0]);
+  if (!values.ok()) {
+    std::cerr << "jsi: " << values.status() << "\n";
+    return 2;
+  }
+  Schema schema = SchemaInferencer().InferFromValues(values.value());
+  auto findings = jsonsi::stats::DetectKeyAsData(schema.type);
+  if (findings.empty()) {
+    std::cout << "no key-as-data positions detected\n";
+    return 0;
+  }
+  for (const auto& f : findings) {
+    std::cout << (f.path.empty() ? "<root>" : f.path) << ": "
+              << f.field_count << " keys, "
+              << jsonsi::FormatFixed(100 * f.uniformity, 0)
+              << "% share shape '" << f.dominant_kinds << "', "
+              << jsonsi::FormatFixed(100 * f.optional_fraction, 0)
+              << "% optional -> looks like a map keyed by data\n";
+  }
+  return 0;
+}
+
+int RunExpand(std::vector<std::string> args) {
+  auto pattern = FlagValue(args, "--pattern");
+  if (args.empty() || !pattern) return Usage();
+  auto values = ReadInput(args[0]);
+  if (!values.ok()) {
+    std::cerr << "jsi: " << values.status() << "\n";
+    return 2;
+  }
+  Schema schema = SchemaInferencer().InferFromValues(values.value());
+  auto expanded = jsonsi::query::ExpandPathPattern(*schema.type, *pattern);
+  if (expanded.empty()) {
+    std::cout << "pattern matches no schema path (dead query)\n";
+    return 2;
+  }
+  for (const auto& path : expanded) std::cout << path << "\n";
+  return 0;
+}
+
+int RunRepo(std::vector<std::string> args) {
+  if (args.size() < 2) return Usage();
+  const std::string& action = args[0];
+  const std::string& path = args[1];
+  if (action == "add") {
+    if (args.size() != 4) return Usage();
+    jsonsi::repository::SchemaRepository repo;
+    if (auto loaded = jsonsi::repository::SchemaRepository::LoadFromFile(path);
+        loaded.ok()) {
+      repo = std::move(loaded).value();
+    }  // a missing file means a fresh repository
+    auto values = ReadInput(args[3]);
+    if (!values.ok()) {
+      std::cerr << "jsi: " << values.status() << "\n";
+      return 2;
+    }
+    Schema schema = SchemaInferencer().InferFromValues(values.value());
+    const auto* before = repo.Current(args[2]);
+    uint64_t version_before = before ? before->version : 0;
+    auto st = repo.RegisterBatch(args[2], schema.type,
+                                 values.value().size());
+    if (!st.ok()) {
+      std::cerr << "jsi: " << st << "\n";
+      return 2;
+    }
+    const auto* current = repo.Current(args[2]);
+    if (current->version != version_before && version_before != 0) {
+      std::cout << "schema drift -> v" << current->version << "\n"
+                << jsonsi::diff::FormatChanges(current->changes);
+    } else {
+      std::cout << "source " << args[2] << " at v" << current->version
+                << " (" << current->cumulative_records << " records)\n";
+    }
+    if (auto save = repo.SaveToFile(path); !save.ok()) {
+      std::cerr << "jsi: " << save << "\n";
+      return 2;
+    }
+    return 0;
+  }
+  if (action == "show") {
+    auto loaded = jsonsi::repository::SchemaRepository::LoadFromFile(path);
+    if (!loaded.ok()) {
+      std::cerr << "jsi: " << loaded.status() << "\n";
+      return 2;
+    }
+    const auto& repo = loaded.value();
+    if (args.size() == 2) {
+      for (const std::string& source : repo.Sources()) {
+        const auto* current = repo.Current(source);
+        std::cout << source << "  v" << current->version << "  "
+                  << current->cumulative_records << " records\n";
+      }
+      return 0;
+    }
+    const auto* history = repo.History(args[2]);
+    if (!history) {
+      std::cerr << "jsi: unknown source " << args[2] << "\n";
+      return 2;
+    }
+    for (const auto& v : *history) {
+      std::cout << "v" << v.version << "  records<=" << v.cumulative_records
+                << "  changes=" << v.changes.size() << "\n"
+                << "  " << jsonsi::types::ToString(*v.schema) << "\n";
+    }
+    return 0;
+  }
+  return Usage();
+}
+
+int RunCodegen(std::vector<std::string> args) {
+  jsonsi::exporter::CppCodegenOptions options;
+  if (auto root = FlagValue(args, "--root")) options.root_name = *root;
+  if (auto ns = FlagValue(args, "--namespace")) options.namespace_name = *ns;
+  if (args.empty()) return Usage();
+  auto values = ReadInput(args[0]);
+  if (!values.ok()) {
+    std::cerr << "jsi: " << values.status() << "\n";
+    return 2;
+  }
+  Schema schema = SchemaInferencer().InferFromValues(values.value());
+  std::cout << jsonsi::exporter::ToCppStructs(schema.type, options);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "infer") return RunInfer(std::move(args));
+  if (command == "gen") return RunGen(std::move(args));
+  if (command == "paths") return RunPaths(std::move(args));
+  if (command == "check") return RunCheck(std::move(args));
+  if (command == "export") return RunExport(std::move(args));
+  if (command == "annotate") return RunAnnotate(std::move(args));
+  if (command == "diff") return RunDiff(std::move(args));
+  if (command == "analyze") return RunAnalyze(std::move(args));
+  if (command == "expand") return RunExpand(std::move(args));
+  if (command == "repo") return RunRepo(std::move(args));
+  if (command == "codegen") return RunCodegen(std::move(args));
+  return Usage();
+}
