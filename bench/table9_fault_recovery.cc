@@ -1,0 +1,144 @@
+// Table 9 — fault injection and recovery in the virtual cluster.
+//
+// The paper's cluster experiments (Tables 6-8) assume every task finishes on
+// its first attempt. Real clusters do not cooperate: nodes crash, disks
+// straggle, partitions arrive corrupt. This harness injects those faults
+// into the virtual-time simulator and measures the price of recovery under
+// the policies a production scheduler would use (retry with backoff,
+// speculative execution, blacklisting).
+//
+// The robustness story is an algebraic one. Because schema fusion is
+// associative and commutative (Theorems 5.4/5.5), a failed map task can be
+// re-executed from its input partition and its partial schema re-fused in
+// whatever order recovery produces — the result is the failure-free schema,
+// always. And because partial schemas are tiny (early fusion), partitions
+// can be made fine-grained at negligible shuffle cost, which bounds the work
+// a crash destroys. Part B quantifies exactly that: same job, same crash,
+// finer partitions -> less lost work and a smaller recovery overhead.
+//
+// All inputs are fixed constants (no measurement, no wall clock), so the
+// printed table is bit-deterministic run over run.
+
+#include <cstdio>
+#include <vector>
+
+#include "engine/cluster_sim.h"
+
+int main() {
+  using namespace jsonsi::engine;
+
+  // A Table-7-scale job: ~600 CPU-seconds of typing over ~20 GB, spread
+  // across the 6-node cluster, partial schemas of a few KB.
+  const double kComputeSeconds = 600.0;
+  const double kBytes = 20e9;
+  const uint64_t kSchemaBytes = 4096;
+  ClusterConfig cluster;  // 6 x 20 cores, 1 GbE
+
+  std::printf(
+      "Table 9: fault injection and recovery (virtual cluster, %zu nodes x "
+      "%zu cores)\n\n",
+      cluster.num_nodes, cluster.cores_per_node);
+
+  // ---- Part A: one job, increasingly hostile schedules. ----
+  const size_t kPartitions = 180;
+  auto tasks = MakeSpreadTasks(kPartitions, kComputeSeconds,
+                               static_cast<uint64_t>(kBytes),
+                               cluster.num_nodes, kSchemaBytes);
+
+  struct Scenario {
+    const char* name;
+    FaultSchedule faults;
+    RecoveryPolicy policy;
+  };
+  std::vector<Scenario> scenarios;
+
+  scenarios.push_back({"no faults (baseline)", {}, {}});
+
+  {
+    Scenario s{"node crash at t=2s, back after 5s", {}, {}};
+    s.faults.crashes = {NodeCrash{1, 2.0, 5.0}};
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"node lost permanently at t=2s", {}, {}};
+    s.faults.crashes = {NodeCrash{1, 2.0}};
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"straggler node (4x slower)", {}, {}};
+    s.faults.straggler_factor = {4.0};
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"straggler + speculative execution", {}, {}};
+    s.faults.straggler_factor = {4.0};
+    s.policy.speculation_threshold = 1.5;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"8 corrupt partitions (1 bad attempt)", {}, {}};
+    s.faults.corrupt_tasks = {3, 23, 47, 71, 95, 119, 143, 167};
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"crash + straggler + corruption, blacklisting", {}, {}};
+    s.faults.crashes = {NodeCrash{2, 1.0, 0.2}, NodeCrash{2, 3.0, 0.2}};
+    s.faults.straggler_factor = {1.0, 1.0, 1.0, 1.0, 2.5};
+    s.faults.corrupt_tasks = {10, 20, 30};
+    s.policy.speculation_threshold = 1.5;
+    s.policy.blacklist_after_failures = 25;
+    scenarios.push_back(s);
+  }
+
+  std::printf("A. recovery policies under injected faults (%zu partitions)\n",
+              kPartitions);
+  std::printf("%-42s | %8s %8s | %5s %5s %5s | %8s %8s\n", "Schedule",
+              "virt", "overhd", "fail", "retry", "spec", "wasted", "done");
+  std::printf(
+      "--------------------------------------------------------------------"
+      "---------------------------\n");
+  for (const Scenario& s : scenarios) {
+    auto r = SimulateJob(tasks, cluster, Placement::kLocalOnly, 0.02,
+                         s.faults, s.policy);
+    std::printf("%-42s | %7.2fs %7.2fs | %5zu %5zu %5zu | %7.1fs %8s\n",
+                s.name, r.makespan_seconds, r.recovery_overhead_seconds,
+                r.attempt_failures, r.retries, r.speculative_launches,
+                r.wasted_seconds, r.completed ? "yes" : "NO");
+  }
+
+  // ---- Part B: recovery cost vs partition granularity. ----
+  //
+  // Early fusion means a task's output is a partial schema of a few KB
+  // regardless of how much input it covers, so nothing stops partitions from
+  // being fine-grained. Fine partitions bound lost work: a crash destroys at
+  // most (cores x task length) of compute.
+  std::printf(
+      "\nB. same crash, finer partitions (early fusion makes re-execution "
+      "units small)\n");
+  std::printf("%-12s | %10s | %8s %8s %8s\n", "partitions", "task len",
+              "virt", "wasted", "overhd");
+  std::printf("------------------------------------------------------\n");
+  FaultSchedule crash;
+  crash.crashes = {NodeCrash{0, 2.0, 2.0}, NodeCrash{4, 4.0, 2.0}};
+  double coarse_overhead = 0, fine_overhead = 0;
+  for (size_t parts : {6u, 30u, 180u, 720u, 2880u}) {
+    auto t = MakeSpreadTasks(parts, kComputeSeconds,
+                             static_cast<uint64_t>(kBytes), cluster.num_nodes,
+                             kSchemaBytes);
+    auto r = SimulateJob(t, cluster, Placement::kLocalOnly, 0.02, crash,
+                         RecoveryPolicy{});
+    std::printf("%-12zu | %9.2fs | %7.2fs %7.2fs %7.2fs\n", parts,
+                kComputeSeconds / static_cast<double>(parts),
+                r.makespan_seconds, r.wasted_seconds,
+                r.recovery_overhead_seconds);
+    if (parts == 6u) coarse_overhead = r.recovery_overhead_seconds;
+    if (parts == 2880u) fine_overhead = r.recovery_overhead_seconds;
+  }
+  std::printf(
+      "\nShape check: recovery overhead shrinks as partitions get finer\n"
+      "(%.2fs at 6 partitions -> %.2fs at 2880), because a lost attempt\n"
+      "forfeits at most one small partition's scan and its re-fused partial\n"
+      "schema costs almost nothing to reship.\n",
+      coarse_overhead, fine_overhead);
+  return 0;
+}

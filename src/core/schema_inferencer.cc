@@ -1,6 +1,8 @@
 #include "core/schema_inferencer.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "engine/dataset.h"
 #include "engine/thread_pool.h"
@@ -33,96 +35,137 @@ SchemaInferencer::SchemaInferencer(const InferenceOptions& options)
   }
 }
 
-Schema SchemaInferencer::InferFromValues(
+Result<Schema> SchemaInferencer::TryInferFromValues(
     const std::vector<json::ValueRef>& values) const {
-  engine::ThreadPool pool(options_.num_threads);
-  auto dataset = engine::Dataset<json::ValueRef>::FromVector(
-      values, options_.num_partitions);
-
   Schema schema;
-  schema.stats.record_count = values.size();
+  // The whole pipeline is a pure function of `values` (inference is
+  // deterministic, fusion associative/commutative), so re-running it after a
+  // transient worker failure is sound — the retry-safety corollary of
+  // Theorems 5.4/5.5. Each attempt runs on a fresh pool.
+  Status st = engine::RunWithRetry(
+      [&]() -> Status {
+        engine::ThreadPool pool(options_.num_threads);
+        auto dataset = engine::Dataset<json::ValueRef>::FromVector(
+            values, options_.num_partitions);
 
-  // ---- Map phase: per-value type inference (Figure 4). ----
-  Stopwatch infer_watch;
-  engine::StageMetrics map_metrics;
-  auto typed = dataset.Map(
-      pool, [](const json::ValueRef& v) { return inference::InferType(*v); },
-      &map_metrics);
-  schema.stats.infer_seconds = infer_watch.ElapsedSeconds();
+        schema = Schema{};
+        schema.stats.record_count = values.size();
 
-  // ---- Statistics (Tables 2-5), gathered partition-parallel. ----
-  if (options_.collect_stats && values.size() > 0) {
-    struct PartStats {
-      stats::DistinctTypeSet distinct;
-      size_t min = 0;
-      size_t max = 0;
-      double total = 0;
-      size_t count = 0;
-    };
-    auto partials = typed.MapPartitions(
-        pool, [](const std::vector<TypeRef>& part) {
-          PartStats ps;
-          for (const TypeRef& t : part) {
-            ps.distinct.Add(t);
-            size_t s = t->size();
-            if (ps.count == 0) {
-              ps.min = ps.max = s;
-            } else {
-              ps.min = std::min(ps.min, s);
-              ps.max = std::max(ps.max, s);
-            }
-            ps.total += static_cast<double>(s);
-            ++ps.count;
+        // ---- Map phase: per-value type inference (Figure 4). ----
+        Stopwatch infer_watch;
+        engine::StageMetrics map_metrics;
+        auto typed = dataset.Map(
+            pool,
+            [](const json::ValueRef& v) { return inference::InferType(*v); },
+            &map_metrics);
+        schema.stats.infer_seconds = infer_watch.ElapsedSeconds();
+        JSONSI_RETURN_IF_ERROR(pool.first_error());
+
+        // ---- Statistics (Tables 2-5), gathered partition-parallel. ----
+        if (options_.collect_stats && values.size() > 0) {
+          struct PartStats {
+            stats::DistinctTypeSet distinct;
+            size_t min = 0;
+            size_t max = 0;
+            double total = 0;
+            size_t count = 0;
+          };
+          auto partials = typed.MapPartitions(
+              pool, [](const std::vector<TypeRef>& part) {
+                PartStats ps;
+                for (const TypeRef& t : part) {
+                  ps.distinct.Add(t);
+                  size_t s = t->size();
+                  if (ps.count == 0) {
+                    ps.min = ps.max = s;
+                  } else {
+                    ps.min = std::min(ps.min, s);
+                    ps.max = std::max(ps.max, s);
+                  }
+                  ps.total += static_cast<double>(s);
+                  ++ps.count;
+                }
+                return std::vector<PartStats>{std::move(ps)};
+              });
+          JSONSI_RETURN_IF_ERROR(pool.first_error());
+          stats::DistinctTypeSet distinct;
+          size_t min = 0, max = 0, count = 0;
+          double total = 0;
+          for (const PartStats& ps : partials.Collect()) {
+            if (ps.count == 0) continue;
+            distinct.Merge(ps.distinct);
+            min = (count == 0) ? ps.min : std::min(min, ps.min);
+            max = std::max(max, ps.max);
+            total += ps.total;
+            count += ps.count;
           }
-          return std::vector<PartStats>{std::move(ps)};
-        });
-    stats::DistinctTypeSet distinct;
-    size_t min = 0, max = 0, count = 0;
-    double total = 0;
-    for (const PartStats& ps : partials.Collect()) {
-      if (ps.count == 0) continue;
-      distinct.Merge(ps.distinct);
-      min = (count == 0) ? ps.min : std::min(min, ps.min);
-      max = std::max(max, ps.max);
-      total += ps.total;
-      count += ps.count;
-    }
-    schema.stats.distinct_type_count = distinct.size();
-    schema.stats.min_type_size = min;
-    schema.stats.max_type_size = max;
-    schema.stats.avg_type_size =
-        count ? total / static_cast<double>(count) : 0.0;
-  }
+          schema.stats.distinct_type_count = distinct.size();
+          schema.stats.min_type_size = min;
+          schema.stats.max_type_size = max;
+          schema.stats.avg_type_size =
+              count ? total / static_cast<double>(count) : 0.0;
+        }
 
-  // ---- Reduce phase: associative fusion (Figures 5-6). Each partition is
-  // reduced in balanced-tree order (TreeFuser) — identical result to any
-  // other order by Theorems 5.4/5.5, but asymptotically cheaper on wide
-  // schemas — then the per-partition partials fuse together. ----
-  Stopwatch fuse_watch;
-  auto partials = typed.MapPartitions(
-      pool, [](const std::vector<TypeRef>& part) {
-        fusion::TreeFuser fuser;
-        for (const TypeRef& t : part) fuser.Add(t);
-        return std::vector<TypeRef>{fuser.Finish()};
-      });
-  fusion::TreeFuser combiner;
-  for (const TypeRef& partial : partials.Collect()) combiner.Add(partial);
-  schema.type = combiner.Finish();
-  schema.stats.fuse_seconds = fuse_watch.ElapsedSeconds();
+        // ---- Reduce phase: associative fusion (Figures 5-6). Each
+        // partition is reduced in balanced-tree order (TreeFuser) —
+        // identical result to any other order by Theorems 5.4/5.5, but
+        // asymptotically cheaper on wide schemas — then the per-partition
+        // partials fuse together. ----
+        Stopwatch fuse_watch;
+        auto partials = typed.MapPartitions(
+            pool, [](const std::vector<TypeRef>& part) {
+              fusion::TreeFuser fuser;
+              for (const TypeRef& t : part) fuser.Add(t);
+              return std::vector<TypeRef>{fuser.Finish()};
+            });
+        JSONSI_RETURN_IF_ERROR(pool.first_error());
+        fusion::TreeFuser combiner;
+        for (const TypeRef& partial : partials.Collect()) combiner.Add(partial);
+        schema.type = combiner.Finish();
+        schema.stats.fuse_seconds = fuse_watch.ElapsedSeconds();
+        return Status::OK();
+      },
+      options_.retry);
+  if (!st.ok()) return st;
   return schema;
 }
 
-Result<Schema> SchemaInferencer::InferFromJsonLines(
-    std::string_view text) const {
-  Result<std::vector<json::ValueRef>> values = json::ParseJsonLines(text);
-  if (!values.ok()) return values.status();
-  return InferFromValues(values.value());
+Schema SchemaInferencer::InferFromValues(
+    const std::vector<json::ValueRef>& values) const {
+  Result<Schema> result = TryInferFromValues(values);
+  if (!result.ok()) {
+    // A persistent worker failure on the infallible entry point: fail fast
+    // with a diagnostic instead of the pre-hardening std::terminate.
+    std::fprintf(stderr, "jsonsi: inference failed permanently: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
 }
 
-Result<Schema> SchemaInferencer::InferFromFile(const std::string& path) const {
-  Result<std::vector<json::ValueRef>> values = json::ReadJsonLinesFile(path);
+Result<Schema> SchemaInferencer::InferFromJsonLines(
+    std::string_view text, json::IngestStats* stats) const {
+  Result<std::vector<json::ValueRef>> values =
+      json::ParseJsonLines(text, options_.ingest, stats);
   if (!values.ok()) return values.status();
-  return InferFromValues(values.value());
+  return TryInferFromValues(values.value());
+}
+
+Result<Schema> SchemaInferencer::InferFromFile(
+    const std::string& path, json::IngestStats* stats) const {
+  // Reads retry under the policy: transient I/O errors heal, while
+  // deterministic ones (missing file, malformed content under kFail) are
+  // classified permanent by the default predicate and fail immediately.
+  Result<std::vector<json::ValueRef>> values =
+      Status::Internal("not attempted");
+  Status st = engine::RunWithRetry(
+      [&]() -> Status {
+        values = json::ReadJsonLinesFile(path, options_.ingest, stats);
+        return values.ok() ? Status::OK() : values.status();
+      },
+      options_.retry);
+  if (!st.ok()) return st;
+  return TryInferFromValues(values.value());
 }
 
 Schema SchemaInferencer::Merge(const Schema& a, const Schema& b) {

@@ -12,6 +12,14 @@
 // the incremental-maintenance story of Section 1 (new records, or re-typed
 // partitions, fold into an existing schema without reprocessing the rest).
 //
+// Fault tolerance: the same algebraic structure makes every stage re-runnable
+// — recomputing a partition's types or partial schema reproduces it exactly
+// — so the driver executes the parallel stages under a retry policy
+// (engine/retry.h). A worker task that throws no longer brings down the
+// process: the thread pool converts it to a Status, and the run either
+// retries or reports the failure. Text/file input can run in degraded mode
+// (skip malformed lines, with an ingestion report) via json::IngestOptions.
+//
 // Typical use:
 //
 //   jsonsi::core::SchemaInferencer inferencer;           // default options
@@ -27,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include "engine/retry.h"
+#include "json/jsonl.h"
 #include "json/value.h"
 #include "support/status.h"
 #include "types/type.h"
@@ -42,6 +52,13 @@ struct InferenceOptions {
   /// Also gather distinct-type statistics (Tables 2-5). Costs one hash-set
   /// insert per record; disable for pure schema extraction.
   bool collect_stats = true;
+  /// Retry policy for the parallel stages and for file reads. The defaults
+  /// retry transient failures (worker exceptions, I/O hiccups) twice with
+  /// jittered exponential backoff; deterministic input errors (parse,
+  /// not-found) are never retried.
+  engine::RetryPolicy retry;
+  /// Malformed-line handling for the text/file entry points.
+  json::IngestOptions ingest;
 };
 
 /// Statistics gathered by one inference run (or accumulated by Merge).
@@ -69,14 +86,27 @@ class SchemaInferencer {
  public:
   explicit SchemaInferencer(const InferenceOptions& options = {});
 
-  /// Infers the schema of an in-memory collection.
+  /// Infers the schema of an in-memory collection. Infallible for
+  /// well-behaved inputs; if a worker failure persists through the retry
+  /// policy the process aborts with a diagnostic (the historical behaviour
+  /// was an unceremonious std::terminate from the worker thread). Callers
+  /// that want the error instead use TryInferFromValues.
   Schema InferFromValues(const std::vector<json::ValueRef>& values) const;
 
-  /// Parses JSON-Lines text, then infers.
-  Result<Schema> InferFromJsonLines(std::string_view text) const;
+  /// As InferFromValues, but surfaces persistent worker failures as a
+  /// Status after exhausting the retry policy.
+  Result<Schema> TryInferFromValues(
+      const std::vector<json::ValueRef>& values) const;
 
-  /// Reads a JSON-Lines file, then infers.
-  Result<Schema> InferFromFile(const std::string& path) const;
+  /// Parses JSON-Lines text (per options().ingest), then infers. `stats`,
+  /// when provided, receives the ingestion report.
+  Result<Schema> InferFromJsonLines(std::string_view text,
+                                    json::IngestStats* stats = nullptr) const;
+
+  /// Reads a JSON-Lines file (per options().ingest, under the retry policy
+  /// for transient I/O), then infers.
+  Result<Schema> InferFromFile(const std::string& path,
+                               json::IngestStats* stats = nullptr) const;
 
   /// Fuses two schemas into the schema of the union of their inputs.
   /// Associativity of Fuse makes this exact, not approximate. Distinct-type

@@ -1,10 +1,10 @@
 #include "core/streaming_inferencer.h"
 
 #include <algorithm>
+#include <string>
 
 #include "inference/infer.h"
 #include "json/parser.h"
-#include "support/string_util.h"
 
 namespace jsonsi::core {
 
@@ -13,6 +13,16 @@ StreamingInferencer::StreamingInferencer(const StreamingOptions& options)
   if (options_.profile) {
     profiler_ = std::make_unique<annotate::SchemaProfiler>();
   }
+}
+
+json::MalformedLinePolicy StreamingInferencer::EffectivePolicy() const {
+  // The legacy skip_malformed switch maps onto the policy enum unless the
+  // caller picked an explicit non-default policy.
+  if (options_.skip_malformed &&
+      options_.on_malformed == json::MalformedLinePolicy::kFail) {
+    return json::MalformedLinePolicy::kSkip;
+  }
+  return options_.on_malformed;
 }
 
 void StreamingInferencer::AddValue(const json::ValueRef& value) {
@@ -32,32 +42,59 @@ void StreamingInferencer::AddValue(const json::ValueRef& value) {
 }
 
 Status StreamingInferencer::AddJson(std::string_view json_text) {
+  // One document = one logical line of the cumulative ingestion report.
+  ++ingest_stats_.lines_read;
+  ingest_stats_.bytes_read += json_text.size();
   Result<json::ValueRef> value = json::Parse(json_text);
-  if (!value.ok()) {
-    if (options_.skip_malformed) {
-      ++malformed_count_;
+  if (value.ok()) {
+    ++ingest_stats_.records;
+    AddValue(value.value());
+    return Status::OK();
+  }
+
+  ++ingest_stats_.malformed_lines;
+  if (ingest_stats_.errors.size() < options_.max_recorded_errors) {
+    ingest_stats_.errors.push_back(json::IngestError{
+        ingest_stats_.lines_read, 0, value.status().message()});
+  }
+  switch (EffectivePolicy()) {
+    case json::MalformedLinePolicy::kFail:
+      return value.status();
+    case json::MalformedLinePolicy::kSkip:
+      return Status::OK();
+    case json::MalformedLinePolicy::kFailAboveRate: {
+      uint64_t non_blank = ingest_stats_.records + ingest_stats_.malformed_lines;
+      if (non_blank >= options_.min_lines_for_rate &&
+          static_cast<double>(ingest_stats_.malformed_lines) >
+              options_.max_error_rate * static_cast<double>(non_blank)) {
+        return Status::ParseError(
+            "malformed-document rate " +
+            std::to_string(ingest_stats_.malformed_lines) + "/" +
+            std::to_string(non_blank) + " exceeds tolerated rate");
+      }
       return Status::OK();
     }
-    return value.status();
   }
-  AddValue(value.value());
   return Status::OK();
 }
 
 Status StreamingInferencer::AddJsonLines(std::string_view text) {
-  for (std::string_view line : Split(text, '\n')) {
-    // Skip blank lines (cheap whitespace check).
-    bool blank = true;
-    for (char c : line) {
-      if (c != ' ' && c != '\t' && c != '\r') {
-        blank = false;
-        break;
-      }
-    }
-    if (blank) continue;
-    JSONSI_RETURN_IF_ERROR(AddJson(line));
-  }
-  return Status::OK();
+  json::IngestOptions ingest;
+  ingest.on_malformed = EffectivePolicy();
+  ingest.max_error_rate = options_.max_error_rate;
+  ingest.min_lines_for_rate = options_.min_lines_for_rate;
+  ingest.max_recorded_errors = options_.max_recorded_errors;
+  json::IngestStats chunk;
+  Status st = json::ReadJsonLines(
+      text,
+      [&](json::ValueRef v) {
+        AddValue(v);
+        return true;
+      },
+      ingest, &chunk);
+  // Accumulate even on failure, so the report covers the aborted chunk.
+  ingest_stats_.Absorb(chunk, options_.max_recorded_errors);
+  return st;
 }
 
 void StreamingInferencer::Merge(const StreamingInferencer& other) {
@@ -78,7 +115,9 @@ void StreamingInferencer::Merge(const StreamingInferencer& other) {
                           other.distinct_hashes_.end());
   if (profiler_ && other.profiler_) profiler_->Merge(*other.profiler_);
   record_count_ += other.record_count_;
-  malformed_count_ += other.malformed_count_;
+  // Shards are distinct streams; their reports concatenate (line numbers
+  // shift past this side's totals, like sequential chunks).
+  ingest_stats_.Absorb(other.ingest_stats_, options_.max_recorded_errors);
 }
 
 Schema StreamingInferencer::Snapshot() const {

@@ -11,6 +11,11 @@
 // Two streaming profiles can be enabled:
 //   * distinct-type counting (hash-based, 8 bytes per distinct type),
 //   * the statistics/provenance profiler of annotate/counted_schema.h.
+//
+// Text ingestion runs in degraded mode on request: a MalformedLinePolicy
+// decides whether a bad line aborts the stream, is skipped, or is skipped
+// until bad lines exceed a tolerated rate, and ingest_stats() reports what
+// was read, skipped, and where the first errors were.
 
 #ifndef JSONSI_CORE_STREAMING_INFERENCER_H_
 #define JSONSI_CORE_STREAMING_INFERENCER_H_
@@ -23,6 +28,7 @@
 #include "annotate/counted_schema.h"
 #include "core/schema_inferencer.h"
 #include "fusion/tree_fuser.h"
+#include "json/jsonl.h"
 #include "json/value.h"
 #include "support/status.h"
 #include "types/type.h"
@@ -36,9 +42,16 @@ struct StreamingOptions {
   /// Maintain the annotated profile (field counts, provenance, value stats).
   /// Costs one extra pass per record.
   bool profile = false;
-  /// When true, malformed JSON-Lines are counted and skipped instead of
-  /// failing the stream.
+  /// Legacy switch: when true (and on_malformed is the default kFail),
+  /// malformed input is counted and skipped — equivalent to
+  /// MalformedLinePolicy::kSkip.
   bool skip_malformed = false;
+  /// Degraded-mode policy for AddJson/AddJsonLines; see json/jsonl.h.
+  json::MalformedLinePolicy on_malformed = json::MalformedLinePolicy::kFail;
+  /// kFailAboveRate knobs (same semantics as json::IngestOptions).
+  double max_error_rate = 0.01;
+  uint64_t min_lines_for_rate = 100;
+  size_t max_recorded_errors = 8;
 };
 
 /// Accumulates a schema over a pushed stream of records.
@@ -49,11 +62,15 @@ class StreamingInferencer {
   /// Pushes one already-parsed record.
   void AddValue(const json::ValueRef& value);
 
-  /// Parses and pushes one JSON document. With skip_malformed, parse errors
-  /// increment malformed_count() and return OK; otherwise they propagate.
+  /// Parses and pushes one JSON document. Parse errors are handled per the
+  /// malformed-line policy: kFail propagates, kSkip records and continues,
+  /// kFailAboveRate records and fails once the tolerated rate is exceeded.
   Status AddJson(std::string_view json_text);
 
-  /// Parses and pushes a whole JSON-Lines buffer (blank lines skipped).
+  /// Parses and pushes a whole JSON-Lines buffer (blank lines skipped,
+  /// CRLF/BOM tolerated, zero-copy line slicing). Chunks may be fed
+  /// repeatedly; ingest_stats() accumulates across calls with coherent
+  /// line numbers.
   Status AddJsonLines(std::string_view text);
 
   /// Merges another streaming inferencer (e.g. one per shard) into this one.
@@ -67,19 +84,25 @@ class StreamingInferencer {
 
   /// Records successfully ingested so far.
   uint64_t record_count() const { return record_count_; }
-  /// Lines rejected so far (only grows with skip_malformed).
-  uint64_t malformed_count() const { return malformed_count_; }
+  /// Text inputs rejected so far (only grows under kSkip/kFailAboveRate, or
+  /// with the legacy skip_malformed switch).
+  uint64_t malformed_count() const { return ingest_stats_.malformed_lines; }
+
+  /// Cumulative text-ingestion report (AddJson + AddJsonLines).
+  const json::IngestStats& ingest_stats() const { return ingest_stats_; }
 
   /// The annotated profile; nullptr unless options.profile was set.
   const annotate::SchemaProfiler* profiler() const { return profiler_.get(); }
 
  private:
+  json::MalformedLinePolicy EffectivePolicy() const;
+
   StreamingOptions options_;
   fusion::TreeFuser fuser_;
   std::unordered_set<uint64_t> distinct_hashes_;
   std::unique_ptr<annotate::SchemaProfiler> profiler_;
+  json::IngestStats ingest_stats_;
   uint64_t record_count_ = 0;
-  uint64_t malformed_count_ = 0;
   // Running size stats over inferred types.
   size_t min_type_size_ = 0;
   size_t max_type_size_ = 0;

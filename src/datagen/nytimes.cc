@@ -61,7 +61,8 @@ class NYTimesGenerator final : public DatasetGenerator {
         {"multimedia", Multimedia(rng)},
         {"headline", Headline(rng)},
         {"keywords", Keywords(rng)},
-        {"pub_date", VStr("2016-0" + std::to_string(1 + rng.Below(9)) +
+        {"pub_date", VStr(std::string("2016-0") +
+                          std::to_string(1 + rng.Below(9)) +
                           "-12T09:00:00Z")},
         {"document_type", VStr(rng.Chance(0.85) ? "article" : "blogpost")},
         {"news_desk", VStr(rng.Ident(7))},

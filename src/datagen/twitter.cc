@@ -133,7 +133,8 @@ class TwitterGenerator final : public DatasetGenerator {
 
   static ValueRef Tweet(Rng& rng, Variant variant) {
     std::vector<json::Field> fields = {
-        {"created_at", VStr("Sat Apr 0" + std::to_string(1 + rng.Below(9)) +
+        {"created_at", VStr(std::string("Sat Apr 0") +
+                            std::to_string(1 + rng.Below(9)) +
                             " 15:00:00 +0000 2016")},
         {"id", VNum(static_cast<double>(rng.Below(1e18)))},
         {"text", VStr(rng.Words(8 + rng.Below(10)))},

@@ -73,7 +73,7 @@ class WikidataGenerator final : public DatasetGenerator {
       if (used[pid]) continue;  // keys must stay unique
       used[pid] = true;
       claims.push_back(
-          {"P" + std::to_string(pid + 1), VArr({Statement(rng)})});
+          {std::string("P") + std::to_string(pid + 1), VArr({Statement(rng)})});
     }
 
     uint64_t num_links = rng.Below(5);
@@ -83,20 +83,21 @@ class WikidataGenerator final : public DatasetGenerator {
       uint64_t wid = kWikiZipf.Sample(rng);
       if (used_wiki[wid]) continue;
       used_wiki[wid] = true;
-      std::string site = "w" + std::to_string(wid) + "wiki";
+      std::string site = std::string("w") + std::to_string(wid) + "wiki";
       sitelinks.push_back({site, VRec({{"site", VStr(site)},
                                        {"title", VStr(rng.Words(2))}})});
     }
 
     return VRec({
-        {"id", VStr("Q" + std::to_string(index + 1))},
+        {"id", VStr(std::string("Q") + std::to_string(index + 1))},
         {"type", VStr("item")},
         {"labels", lang_map(1, 6)},
         {"descriptions", lang_map(0, 4)},
         {"claims", VRec(std::move(claims))},
         {"sitelinks", VRec(std::move(sitelinks))},
         {"lastrevid", VNum(static_cast<double>(rng.Below(400000000)))},
-        {"modified", VStr("2016-0" + std::to_string(1 + rng.Below(9)) +
+        {"modified", VStr(std::string("2016-0") +
+                          std::to_string(1 + rng.Below(9)) +
                           "-01T00:00:00Z")},
     });
   }
@@ -123,7 +124,8 @@ class WikidataGenerator final : public DatasetGenerator {
     return VRec({
         {"mainsnak",
          VRec({{"snaktype", VStr("value")},
-               {"property", VStr("P" + std::to_string(rng.Below(2000)))},
+               {"property",
+                VStr(std::string("P") + std::to_string(rng.Below(2000)))},
                {"datavalue",
                 VRec({{"value", inner_value},
                       {"type", VStr(inner_value->is_str() ? "string"

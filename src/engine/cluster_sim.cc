@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <limits>
+#include <queue>
+
+#include "support/rng.h"
 
 namespace jsonsi::engine {
 namespace {
@@ -20,13 +22,14 @@ class CoreTable {
     return *std::min_element(free_at_[node].begin(), free_at_[node].end());
   }
 
-  // Occupies the least-loaded core of `node` from max(now, free) for
-  // `duration`; returns the finish time.
-  double Assign(size_t node, double ready_time, double duration) {
+  // Occupies the least-loaded core of `node` for [start, end). `start` must
+  // not precede the core's availability (callers compute it from
+  // EarliestStart, possibly shifted forward past node downtime).
+  void Assign(size_t node, double start, double end) {
     auto it = std::min_element(free_at_[node].begin(), free_at_[node].end());
-    double start = std::max(*it, ready_time);
-    *it = start + duration;
-    return *it;
+    assert(*it <= start + 1e-12);
+    (void)start;
+    *it = end;
   }
 
  private:
@@ -38,68 +41,344 @@ bool IsReplica(const SimTask& task, size_t node) {
                    node) != task.replica_nodes.end();
 }
 
-}  // namespace
+bool Contains(const std::vector<size_t>& xs, size_t x) {
+  return std::find(xs.begin(), xs.end(), x) != xs.end();
+}
 
-SimResult SimulateJob(const std::vector<SimTask>& tasks,
-                      const ClusterConfig& config, Placement placement,
-                      double reduce_combine_seconds) {
-  assert(config.num_nodes > 0 && config.cores_per_node > 0);
-  SimResult result;
-  result.node_busy_seconds.assign(config.num_nodes, 0.0);
-  result.task_finish_seconds.assign(tasks.size(), 0.0);
+// A queued launch request: retry `attempt` of `task` not before `ready`.
+// `seq` makes the processing order a deterministic total order.
+struct PendingAttempt {
+  double ready = 0;
+  size_t seq = 0;
+  size_t task = 0;
+  int attempt = 1;
+};
 
-  CoreTable cores(config.num_nodes, config.cores_per_node);
-  std::vector<bool> node_used(config.num_nodes, false);
+struct LaterFirst {
+  bool operator()(const PendingAttempt& a, const PendingAttempt& b) const {
+    if (a.ready != b.ready) return a.ready > b.ready;
+    return a.seq > b.seq;
+  }
+};
 
-  // ---- Map stage: greedy earliest-finish-time placement. ----
-  for (size_t t = 0; t < tasks.size(); ++t) {
-    const SimTask& task = tasks[t];
-    double best_finish = std::numeric_limits<double>::infinity();
-    size_t best_node = 0;
-    double best_duration = 0;
-    for (size_t node = 0; node < config.num_nodes; ++node) {
-      bool local = IsReplica(task, node);
-      if (placement == Placement::kLocalOnly && !local) continue;
-      double transfer =
-          local ? 0.0
-                : static_cast<double>(task.input_bytes) /
-                      config.network_bytes_per_sec;
-      double duration =
-          config.task_overhead_sec + transfer + task.compute_seconds;
-      double finish = cores.EarliestStart(node) + duration;
-      if (finish < best_finish) {
-        best_finish = finish;
-        best_node = node;
-        best_duration = duration;
+// What one launched copy of an attempt did.
+struct CopyOutcome {
+  bool launched = false;  // false: no eligible node existed
+  bool succeeded = false;
+  size_t node = 0;
+  double start = 0;
+  double end = 0;  // finish time on success, failure time otherwise
+};
+
+// The whole fault-aware simulation state, shared by the helpers below.
+class FaultSim {
+ public:
+  FaultSim(const std::vector<SimTask>& tasks, const ClusterConfig& config,
+           Placement placement, const FaultSchedule& faults,
+           const RecoveryPolicy& recovery)
+      : tasks_(tasks),
+        config_(config),
+        placement_(placement),
+        faults_(faults),
+        recovery_(recovery),
+        cores_(config.num_nodes, config.cores_per_node),
+        rng_(recovery.seed),
+        crashes_by_node_(config.num_nodes),
+        node_failures_(config.num_nodes, 0),
+        blacklisted_(config.num_nodes, false),
+        node_used_(config.num_nodes, false) {
+    for (const NodeCrash& c : faults.crashes) {
+      if (c.node < config.num_nodes) crashes_by_node_[c.node].push_back(c);
+    }
+    for (auto& cs : crashes_by_node_) {
+      std::sort(cs.begin(), cs.end(),
+                [](const NodeCrash& a, const NodeCrash& b) {
+                  return a.at_seconds < b.at_seconds;
+                });
+    }
+  }
+
+  SimResult Run(double reduce_combine_seconds);
+
+ private:
+  double Straggler(size_t node) const {
+    return node < faults_.straggler_factor.size()
+               ? faults_.straggler_factor[node]
+               : 1.0;
+  }
+
+  // Earliest time >= t at which `node` accepts launches; infinity when the
+  // node is permanently down from some crash at or before t.
+  double NextUpTime(size_t node, double t) const {
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const NodeCrash& c : crashes_by_node_[node]) {
+        if (t >= c.at_seconds && t < c.at_seconds + c.down_seconds) {
+          t = c.at_seconds + c.down_seconds;
+          moved = true;
+        }
       }
     }
-    assert(best_finish < std::numeric_limits<double>::infinity() &&
-           "no eligible node (task with no replica under kLocalOnly?)");
-    double finish = cores.Assign(best_node, 0.0, best_duration);
-    result.task_finish_seconds[t] = finish;
-    result.node_busy_seconds[best_node] += best_duration;
-    node_used[best_node] = true;
-    result.map_seconds = std::max(result.map_seconds, finish);
+    return t;
   }
+
+  // Earliest crash on `node` striking within [start, end), or +infinity.
+  double CrashWithin(size_t node, double start, double end) const {
+    for (const NodeCrash& c : crashes_by_node_[node]) {
+      if (c.at_seconds >= start && c.at_seconds < end) return c.at_seconds;
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+
+  bool NodeEligible(size_t node, double ready) const {
+    return !blacklisted_[node] &&
+           NextUpTime(node, std::max(cores_.EarliestStart(node), ready)) <
+               std::numeric_limits<double>::infinity();
+  }
+
+  // Greedy earliest-finish node choice for `task` starting no earlier than
+  // `ready`, excluding `exclude` (the primary's node, when placing a
+  // speculative copy). Returns false when no node is eligible.
+  bool ChooseNode(const SimTask& task, double ready, int exclude, size_t* node,
+                  double* start, double* duration) const;
+
+  // Executes one copy of attempt `attempt` of task `t`, updating core/busy
+  // bookkeeping and per-node failure counts.
+  CopyOutcome LaunchCopy(size_t t, int attempt, double ready, int exclude,
+                         SimResult* result);
+
+  void RecordFailure(size_t node, SimResult* result);
+
+  const std::vector<SimTask>& tasks_;
+  const ClusterConfig& config_;
+  Placement placement_;
+  const FaultSchedule& faults_;
+  const RecoveryPolicy& recovery_;
+  CoreTable cores_;
+  Rng rng_;
+  std::vector<std::vector<NodeCrash>> crashes_by_node_;
+  std::vector<int> node_failures_;
+  std::vector<bool> blacklisted_;
+  std::vector<bool> node_used_;
+};
+
+bool FaultSim::ChooseNode(const SimTask& task, double ready, int exclude,
+                          size_t* node, double* start,
+                          double* duration) const {
+  double best_finish = std::numeric_limits<double>::infinity();
+  // Two passes under kLocalOnly: replicas first; when every replica is
+  // blacklisted or permanently down, fall back to remote execution (the
+  // real-world analogue is reading the surviving HDFS replica remotely).
+  for (int pass = 0; pass < 2; ++pass) {
+    bool local_only = placement_ == Placement::kLocalOnly && pass == 0;
+    for (size_t n = 0; n < config_.num_nodes; ++n) {
+      if (static_cast<int>(n) == exclude) continue;
+      bool local = IsReplica(task, n);
+      if (local_only && !local) continue;
+      if (blacklisted_[n]) continue;
+      double s = NextUpTime(n, std::max(cores_.EarliestStart(n), ready));
+      if (s == std::numeric_limits<double>::infinity()) continue;
+      double transfer = local ? 0.0
+                              : static_cast<double>(task.input_bytes) /
+                                    config_.network_bytes_per_sec;
+      double d = config_.task_overhead_sec + transfer +
+                 task.compute_seconds * Straggler(n);
+      // The scheduler does not know future crashes; it ranks by the
+      // crash-free finish time, exactly like the fault-free greedy.
+      if (s + d < best_finish) {
+        best_finish = s + d;
+        *node = n;
+        *start = s;
+        *duration = d;
+      }
+    }
+    if (best_finish < std::numeric_limits<double>::infinity()) return true;
+    if (placement_ != Placement::kLocalOnly) break;
+  }
+  return false;
+}
+
+void FaultSim::RecordFailure(size_t node, SimResult* result) {
+  ++result->attempt_failures;
+  ++node_failures_[node];
+  if (recovery_.blacklist_after_failures > 0 && !blacklisted_[node] &&
+      node_failures_[node] >= recovery_.blacklist_after_failures) {
+    blacklisted_[node] = true;
+    ++result->nodes_blacklisted;
+  }
+}
+
+CopyOutcome FaultSim::LaunchCopy(size_t t, int attempt, double ready,
+                                 int exclude, SimResult* result) {
+  CopyOutcome out;
+  const SimTask& task = tasks_[t];
+  size_t node = 0;
+  double start = 0, duration = 0;
+  if (!ChooseNode(task, ready, exclude, &node, &start, &duration)) return out;
+  out.launched = true;
+  out.node = node;
+  out.start = start;
+
+  double finish = start + duration;
+  // A corrupt partition fails its first attempts partway through the scan.
+  double fail_at = std::numeric_limits<double>::infinity();
+  if (Contains(faults_.corrupt_tasks, t) &&
+      attempt <= faults_.corrupt_attempt_failures) {
+    fail_at = start + duration * faults_.corrupt_failure_fraction;
+  }
+  // A node crash mid-attempt kills it at the crash instant.
+  fail_at = std::min(fail_at, CrashWithin(node, start, std::min(finish, fail_at)));
+
+  out.succeeded = fail_at == std::numeric_limits<double>::infinity();
+  out.end = out.succeeded ? finish : fail_at;
+
+  cores_.Assign(node, start, out.end);
+  result->node_busy_seconds[node] += out.end - start;
+  node_used_[node] = true;
+  if (!out.succeeded) {
+    result->wasted_seconds += out.end - start;
+    RecordFailure(node, result);
+  }
+  return out;
+}
+
+SimResult FaultSim::Run(double reduce_combine_seconds) {
+  SimResult result;
+  result.node_busy_seconds.assign(config_.num_nodes, 0.0);
+  result.task_finish_seconds.assign(tasks_.size(), 0.0);
+
+  std::priority_queue<PendingAttempt, std::vector<PendingAttempt>, LaterFirst>
+      queue;
+  size_t seq = 0;
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    queue.push(PendingAttempt{0.0, seq++, t, 1});
+  }
+
+  std::vector<bool> done(tasks_.size(), false);
+  std::vector<bool> abandoned(tasks_.size(), false);
+
+  while (!queue.empty()) {
+    PendingAttempt a = queue.top();
+    queue.pop();
+    if (done[a.task] || abandoned[a.task]) continue;
+    const SimTask& task = tasks_[a.task];
+
+    CopyOutcome primary = LaunchCopy(a.task, a.attempt, a.ready, -1, &result);
+    if (!primary.launched) {
+      // Nowhere left to run (every node blacklisted or permanently down).
+      abandoned[a.task] = true;
+      result.task_finish_seconds[a.task] = a.ready;
+      continue;
+    }
+
+    // Speculative re-execution: when the chosen node is impaired enough that
+    // the attempt runs `speculation_threshold` times slower than it would
+    // unimpaired, launch a backup copy elsewhere. The loser is not killed
+    // (utilisation accounting stays pessimistic, as with late kills in
+    // Spark); the task completes at the earlier success.
+    CopyOutcome backup;
+    if (recovery_.speculation_threshold > 0) {
+      double healthy = config_.task_overhead_sec + task.compute_seconds;
+      double actual = (primary.end - primary.start);
+      if (primary.succeeded &&
+          actual > recovery_.speculation_threshold * healthy) {
+        backup = LaunchCopy(a.task, a.attempt, a.ready,
+                            static_cast<int>(primary.node), &result);
+        if (backup.launched) ++result.speculative_launches;
+      }
+    }
+
+    double completion = std::numeric_limits<double>::infinity();
+    if (primary.succeeded) completion = primary.end;
+    if (backup.launched && backup.succeeded) {
+      if (backup.end < completion) ++result.speculative_wins;
+      completion = std::min(completion, backup.end);
+    }
+
+    if (completion < std::numeric_limits<double>::infinity()) {
+      done[a.task] = true;
+      result.task_finish_seconds[a.task] = completion;
+      result.map_seconds = std::max(result.map_seconds, completion);
+      continue;
+    }
+
+    // Every copy failed: back off and retry, or abandon the task.
+    double failed_at = primary.end;
+    if (backup.launched) failed_at = std::max(failed_at, backup.end);
+    if (a.attempt >= recovery_.max_attempts_per_task) {
+      abandoned[a.task] = true;
+      result.task_finish_seconds[a.task] = failed_at;
+      result.map_seconds = std::max(result.map_seconds, failed_at);
+      continue;
+    }
+    double backoff = recovery_.backoff_initial_seconds;
+    for (int i = 1; i < a.attempt; ++i) backoff *= recovery_.backoff_multiplier;
+    backoff = std::min(backoff, recovery_.backoff_max_seconds);
+    if (recovery_.backoff_jitter > 0) {
+      backoff *= 1.0 + recovery_.backoff_jitter * (2.0 * rng_.NextDouble() - 1.0);
+    }
+    result.backoff_wait_seconds += backoff;
+    ++result.retries;
+    queue.push(PendingAttempt{failed_at + backoff, seq++, a.task, a.attempt + 1});
+  }
+
+  for (bool a : abandoned) {
+    if (a) ++result.failed_tasks;
+  }
+  result.completed = result.failed_tasks == 0;
 
   // ---- Reduce stage: partial outputs are shuffled to one driver node and
   // combined pairwise. The combine tree has depth ceil(log2(n)); each level
   // costs one combine, and inputs arrive after their shuffle transfer. This
   // upper-bounds the (tiny) reduce cost faithfully: partial schemas are
-  // orders of magnitude smaller than the data. ----
+  // orders of magnitude smaller than the data. Retried tasks feed the reduce
+  // whenever their surviving attempt lands — any arrival order fuses to the
+  // same schema (associativity + commutativity). ----
   double reduce_ready = 0.0;
-  for (size_t t = 0; t < tasks.size(); ++t) {
+  size_t reduced = 0;
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    if (abandoned[t]) continue;
     double arrival = result.task_finish_seconds[t] +
-                     static_cast<double>(tasks[t].output_bytes) /
-                         config.network_bytes_per_sec;
+                     static_cast<double>(tasks_[t].output_bytes) /
+                         config_.network_bytes_per_sec;
     reduce_ready = std::max(reduce_ready, arrival);
+    ++reduced;
   }
   size_t levels = 0;
-  for (size_t n = tasks.size(); n > 1; n = (n + 1) / 2) ++levels;
+  for (size_t n = reduced; n > 1; n = (n + 1) / 2) ++levels;
   result.makespan_seconds =
-      reduce_ready + static_cast<double>(levels) * reduce_combine_seconds;
+      std::max(reduce_ready,
+               result.map_seconds) +  // abandoned tasks may outlast arrivals
+      static_cast<double>(levels) * reduce_combine_seconds;
 
-  for (bool used : node_used) result.nodes_used += used ? 1 : 0;
+  for (bool used : node_used_) result.nodes_used += used ? 1 : 0;
+  return result;
+}
+
+}  // namespace
+
+SimResult SimulateJob(const std::vector<SimTask>& tasks,
+                      const ClusterConfig& config, Placement placement,
+                      double reduce_combine_seconds) {
+  return SimulateJob(tasks, config, placement, reduce_combine_seconds,
+                     FaultSchedule{}, RecoveryPolicy{});
+}
+
+SimResult SimulateJob(const std::vector<SimTask>& tasks,
+                      const ClusterConfig& config, Placement placement,
+                      double reduce_combine_seconds,
+                      const FaultSchedule& faults,
+                      const RecoveryPolicy& recovery) {
+  assert(config.num_nodes > 0 && config.cores_per_node > 0);
+  FaultSim sim(tasks, config, placement, faults, recovery);
+  SimResult result = sim.Run(reduce_combine_seconds);
+  if (faults.HasFaults()) {
+    SimResult clean =
+        SimulateJob(tasks, config, placement, reduce_combine_seconds);
+    result.recovery_overhead_seconds =
+        result.makespan_seconds - clean.makespan_seconds;
+  }
   return result;
 }
 

@@ -14,15 +14,28 @@
 // inference/fusion code), data locality (which nodes hold a partition's
 // blocks), and a network with finite bandwidth for remote reads and shuffles.
 //
+// Beyond the happy path, the simulator injects *faults* from a deterministic
+// schedule — node crashes at virtual times, per-node straggler slowdowns,
+// corrupt partitions whose tasks fail on their first attempts — and recovers
+// with the policies a production scheduler would use: task retry with
+// exponential backoff (seeded jitter), speculative re-execution of slow
+// attempts, and node blacklisting after repeated failures. Recovery is
+// *correct* because the reduce operator (schema fusion) is associative and
+// commutative: a re-executed map task reproduces its partial schema exactly,
+// and partials can be re-fused in any arrival order (Theorems 5.4/5.5) — the
+// monoid structure that makes the whole pipeline restartable.
+//
 // Scheduling is greedy earliest-finish-time list scheduling, which is what a
 // locality-aware Spark scheduler approximates. Everything is deterministic:
-// the same inputs always produce the same virtual makespan.
+// the same inputs (including the fault schedule and policy seed) always
+// produce the same virtual makespan and the same recovery counters.
 
 #ifndef JSONSI_ENGINE_CLUSTER_SIM_H_
 #define JSONSI_ENGINE_CLUSTER_SIM_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace jsonsi::engine {
@@ -62,6 +75,66 @@ enum class Placement {
   kAnyWithTransfer,
 };
 
+/// One scheduled node failure. The node refuses new attempts during
+/// [at_seconds, at_seconds + down_seconds); attempts running on it when it
+/// crashes fail at the crash instant and are retried under the recovery
+/// policy. An infinite down time models permanent node loss.
+struct NodeCrash {
+  size_t node = 0;
+  double at_seconds = 0;
+  double down_seconds = std::numeric_limits<double>::infinity();
+};
+
+/// Deterministic fault schedule injected into a simulated job. Default
+/// constructed = no faults (the happy path simulated before this layer
+/// existed, bit-identical results).
+struct FaultSchedule {
+  /// Node crash windows (may list several crashes of the same node).
+  std::vector<NodeCrash> crashes;
+  /// Per-node compute slowdown multipliers; nodes beyond the vector's length
+  /// run at factor 1.0. A factor of 4 models the saturated-disk straggler of
+  /// real clusters; speculation exists to neutralise exactly this.
+  std::vector<double> straggler_factor;
+  /// Task indices whose input partition is corrupt: their first
+  /// `corrupt_attempt_failures` attempts fail after reading
+  /// `corrupt_failure_fraction` of the work (the failure is discovered
+  /// mid-scan, so that compute is wasted). Later attempts succeed, modelling
+  /// a re-fetched replica.
+  std::vector<size_t> corrupt_tasks;
+  int corrupt_attempt_failures = 1;
+  double corrupt_failure_fraction = 0.5;
+
+  bool HasFaults() const {
+    if (!crashes.empty() || !corrupt_tasks.empty()) return true;
+    for (double f : straggler_factor) {
+      if (f != 1.0) return true;
+    }
+    return false;
+  }
+};
+
+/// Recovery knobs of the simulated scheduler.
+struct RecoveryPolicy {
+  /// Total attempts allowed per task (first launch included). A task that
+  /// exhausts its attempts marks the job incomplete.
+  int max_attempts_per_task = 4;
+  /// Exponential backoff between a failure and the relaunch of its task.
+  double backoff_initial_seconds = 0.1;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 5.0;
+  /// Uniform jitter fraction applied to each backoff (deterministic, drawn
+  /// from `seed`): backoff * (1 + U[-jitter, +jitter]).
+  double backoff_jitter = 0.1;
+  uint64_t seed = 42;
+  /// Launch a speculative copy of an attempt whose duration exceeds this
+  /// multiple of the same task's duration on an unimpaired node (Spark's
+  /// speculative execution). 0 disables speculation.
+  double speculation_threshold = 0.0;
+  /// Blacklist a node (no further launches) after this many attempt
+  /// failures on it. 0 disables blacklisting.
+  int blacklist_after_failures = 0;
+};
+
 /// Outcome of a simulated job.
 struct SimResult {
   /// Virtual wall-clock time from job start to the last reduce completion.
@@ -72,8 +145,31 @@ struct SimResult {
   std::vector<double> node_busy_seconds;
   /// Number of nodes that executed at least one task.
   size_t nodes_used = 0;
-  /// Per-task virtual finish times (map stage), task order preserved.
+  /// Per-task virtual finish times (map stage), task order preserved. For a
+  /// task that never completed this is its last failure time.
   std::vector<double> task_finish_seconds;
+
+  // ---- Fault/recovery accounting (all zero on a failure-free run). ----
+  /// Attempt failures observed (crashes + corrupt reads), across all tasks.
+  size_t attempt_failures = 0;
+  /// Attempts re-launched after a failure.
+  size_t retries = 0;
+  /// Speculative copies launched / copies that finished first.
+  size_t speculative_launches = 0;
+  size_t speculative_wins = 0;
+  /// Nodes blacklisted during the run.
+  size_t nodes_blacklisted = 0;
+  /// Tasks that exhausted max_attempts_per_task without succeeding.
+  size_t failed_tasks = 0;
+  /// True when every map task completed (failed_tasks == 0).
+  bool completed = true;
+  /// CPU-seconds burned by attempts that later failed (lost work).
+  double wasted_seconds = 0;
+  /// Virtual seconds spent waiting in backoff across all retries.
+  double backoff_wait_seconds = 0;
+  /// Makespan minus the makespan of the same job with no faults injected —
+  /// the price of recovery. 0 on a failure-free run.
+  double recovery_overhead_seconds = 0;
 };
 
 /// Simulates a map stage followed by a tree-reduce of the per-task outputs
@@ -82,6 +178,17 @@ struct SimResult {
 SimResult SimulateJob(const std::vector<SimTask>& tasks,
                       const ClusterConfig& config, Placement placement,
                       double reduce_combine_seconds);
+
+/// Same job under an injected fault schedule and a recovery policy. With an
+/// empty schedule this is identical to the overload above. Partials of
+/// failed-and-retried tasks re-enter the reduce in completion order; the
+/// fused result is unchanged by commutativity/associativity of Fuse, which
+/// is why retry-based recovery is sound for this pipeline.
+SimResult SimulateJob(const std::vector<SimTask>& tasks,
+                      const ClusterConfig& config, Placement placement,
+                      double reduce_combine_seconds,
+                      const FaultSchedule& faults,
+                      const RecoveryPolicy& recovery);
 
 /// Convenience: spreads `total_bytes` and `total_compute_seconds` uniformly
 /// over `num_partitions` tasks whose blocks all live on `data_node`

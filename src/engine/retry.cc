@@ -1,0 +1,57 @@
+#include "engine/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "support/rng.h"
+
+namespace jsonsi::engine {
+namespace {
+
+bool DefaultRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kParseError:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+      return false;  // deterministic input errors: retrying cannot help
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+Status RunWithRetry(const std::function<Status()>& fn,
+                    const RetryPolicy& policy, RetryStats* stats) {
+  Rng rng(policy.seed);
+  RetryStats local;
+  RetryStats& s = stats ? *stats : local;
+  s = RetryStats{};
+
+  int max_attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    ++s.attempts;
+    Status status = fn();
+    if (status.ok()) return status;
+    s.last_error = status;
+    bool retryable =
+        policy.retryable ? policy.retryable(status) : DefaultRetryable(status);
+    if (!retryable || attempt >= max_attempts) return status;
+
+    double backoff = policy.initial_backoff_seconds;
+    for (int i = 1; i < attempt; ++i) backoff *= policy.backoff_multiplier;
+    backoff = std::min(backoff, policy.max_backoff_seconds);
+    if (policy.jitter_fraction > 0) {
+      backoff *= 1.0 + policy.jitter_fraction * (2.0 * rng.NextDouble() - 1.0);
+    }
+    backoff = std::max(backoff, 0.0);
+    s.total_backoff_seconds += backoff;
+    if (policy.sleep_between_attempts && backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+  }
+}
+
+}  // namespace jsonsi::engine

@@ -1,0 +1,64 @@
+// Retry with exponential backoff for real (non-simulated) execution.
+//
+// The map/reduce pipeline's stages are all safe to re-run: type inference is
+// a pure function of its input partition, and fusion is associative and
+// commutative (Theorems 5.4/5.5), so recomputing a stage after a transient
+// failure reproduces the same partial schema the lost attempt would have
+// produced. RunWithRetry is the small piece of machinery that exploits this:
+// it re-invokes a Status-returning operation with exponentially growing,
+// jittered pauses until it succeeds, the error is classified permanent, or
+// the attempt budget is exhausted.
+//
+// Jitter is drawn from support/rng (deterministic for a given policy seed),
+// so tests and virtual-time callers can reproduce exact backoff sequences;
+// set sleep_between_attempts = false to skip the real sleeps entirely.
+
+#ifndef JSONSI_ENGINE_RETRY_H_
+#define JSONSI_ENGINE_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "support/status.h"
+
+namespace jsonsi::engine {
+
+/// Backoff/attempt configuration for RunWithRetry.
+struct RetryPolicy {
+  /// Total invocations allowed (first attempt included). Must be >= 1.
+  int max_attempts = 3;
+  /// Pause before retry k (1-based) is
+  /// min(initial * multiplier^(k-1), max) * (1 + U[-jitter, +jitter]).
+  double initial_backoff_seconds = 0.01;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 1.0;
+  double jitter_fraction = 0.2;
+  /// Seed for the deterministic jitter draw.
+  uint64_t seed = 42;
+  /// When false, backoff durations are accounted in RetryStats but not
+  /// actually slept — for tests and virtual-time harnesses.
+  bool sleep_between_attempts = true;
+  /// Decides whether an error is worth retrying. When unset, the default
+  /// classification applies: deterministic input errors (kParseError,
+  /// kInvalidArgument, kNotFound, kOutOfRange) are permanent; everything
+  /// else (kInternal — I/O hiccups, worker crashes) is transient.
+  std::function<bool(const Status&)> retryable;
+};
+
+/// What a RunWithRetry call actually did.
+struct RetryStats {
+  int attempts = 0;
+  double total_backoff_seconds = 0;
+  /// Last non-OK status observed (OK when the first attempt succeeded).
+  Status last_error;
+};
+
+/// Invokes `fn` until it returns OK, a non-retryable error occurs, or
+/// `policy.max_attempts` is reached; returns the final status. `stats`, when
+/// provided, receives the attempt/backoff accounting.
+Status RunWithRetry(const std::function<Status()>& fn,
+                    const RetryPolicy& policy, RetryStats* stats = nullptr);
+
+}  // namespace jsonsi::engine
+
+#endif  // JSONSI_ENGINE_RETRY_H_

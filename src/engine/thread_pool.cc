@@ -1,5 +1,8 @@
 #include "engine/thread_pool.h"
 
+#include <exception>
+#include <string>
+
 namespace jsonsi::engine {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -33,6 +36,22 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+Status ThreadPool::first_error() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+size_t ThreadPool::failed_task_count() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return failed_tasks_;
+}
+
+void ThreadPool::ResetErrors() {
+  std::unique_lock<std::mutex> lock(mu_);
+  first_error_ = Status::OK();
+  failed_tasks_ = 0;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -47,9 +66,23 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // An exception leaving `task()` on a worker thread would terminate the
+    // whole process; convert it into the pool's error channel instead so the
+    // run degrades to a reportable (and retryable) failure.
+    Status error;
+    try {
+      task();
+    } catch (const std::exception& e) {
+      error = Status::Internal(std::string("worker task threw: ") + e.what());
+    } catch (...) {
+      error = Status::Internal("worker task threw a non-std exception");
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (!error.ok()) {
+        ++failed_tasks_;
+        if (first_error_.ok()) first_error_ = std::move(error);
+      }
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

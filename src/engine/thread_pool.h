@@ -6,17 +6,25 @@
 #define JSONSI_ENGINE_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "support/status.h"
+
 namespace jsonsi::engine {
 
-/// A minimal fixed-size thread pool. Tasks are void() closures; errors must
-/// be captured by the closures themselves (the pool has no exception
-/// channel — the engine layer stores per-task results/status in place).
+/// A minimal fixed-size thread pool. Tasks are void() closures; recoverable
+/// errors should be captured by the closures themselves (the engine layer
+/// stores per-task results/status in place). As a last line of defence the
+/// pool catches exceptions escaping a task — which would otherwise
+/// std::terminate the process from the worker thread — records the first one
+/// as a Status, and keeps the remaining workers and tasks running. Drivers
+/// check first_error() after Wait() and decide whether to retry the stage
+/// (see engine/retry.h).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
@@ -33,18 +41,32 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void Wait();
 
+  /// OK while no task has thrown; otherwise an Internal status carrying the
+  /// first escaped exception's message. Stable across Wait() calls until
+  /// ResetErrors().
+  Status first_error() const;
+
+  /// Number of tasks that terminated by throwing since construction or the
+  /// last ResetErrors().
+  size_t failed_task_count() const;
+
+  /// Clears the error channel (e.g. between retried stages).
+  void ResetErrors();
+
   size_t num_threads() const { return workers_.size(); }
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  Status first_error_;
+  size_t failed_tasks_ = 0;
 };
 
 }  // namespace jsonsi::engine

@@ -1,12 +1,14 @@
 #include "json/jsonl.h"
 
+#include <algorithm>
 #include <fstream>
-#include <sstream>
 
 #include "json/serializer.h"
 
 namespace jsonsi::json {
 namespace {
+
+constexpr std::string_view kUtf8Bom = "\xEF\xBB\xBF";
 
 bool IsBlank(std::string_view line) {
   for (char c : line) {
@@ -15,27 +17,168 @@ bool IsBlank(std::string_view line) {
   return true;
 }
 
+// Applies the malformed-line policy and maintains the IngestStats while the
+// drivers below feed it one line at a time. Lines arrive raw; this class
+// owns BOM/CRLF tolerance and blank-line skipping.
+class LineIngester {
+ public:
+  LineIngester(const RecordSink& sink, const IngestOptions& options,
+               IngestStats* stats)
+      : sink_(sink), options_(options), stats_(stats) {}
+
+  // Processes one line. Returns an error to abort the read; sets done()
+  // when the sink asked to stop.
+  Status OnLine(std::string_view line, uint64_t byte_offset) {
+    ++stats_->lines_read;
+    if (stats_->lines_read == 1 && line.substr(0, kUtf8Bom.size()) == kUtf8Bom) {
+      line.remove_prefix(kUtf8Bom.size());  // tolerate a UTF-8 BOM
+    }
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);  // tolerate CRLF files
+    }
+    if (IsBlank(line)) {
+      ++stats_->blank_lines;
+      return Status::OK();
+    }
+    Result<ValueRef> value = Parse(line, options_.parse);
+    if (value.ok()) {
+      ++stats_->records;
+      if (!sink_(std::move(value).value())) done_ = true;
+      return Status::OK();
+    }
+
+    ++stats_->malformed_lines;
+    if (stats_->errors.size() < options_.max_recorded_errors) {
+      stats_->errors.push_back(IngestError{stats_->lines_read, byte_offset,
+                                           value.status().message()});
+    }
+    switch (options_.on_malformed) {
+      case MalformedLinePolicy::kFail:
+        return Status::ParseError("line " + std::to_string(stats_->lines_read) +
+                                  ": " + value.status().message());
+      case MalformedLinePolicy::kSkip:
+        return Status::OK();
+      case MalformedLinePolicy::kFailAboveRate: {
+        uint64_t non_blank = stats_->records + stats_->malformed_lines;
+        if (non_blank >= options_.min_lines_for_rate && RateExceeded()) {
+          return RateError();
+        }
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  // End-of-input check: kFailAboveRate re-validates the final rate, so short
+  // inputs (below min_lines_for_rate) are still policed.
+  Status Finish() {
+    if (options_.on_malformed == MalformedLinePolicy::kFailAboveRate &&
+        stats_->malformed_lines > 0 && RateExceeded()) {
+      return RateError();
+    }
+    return Status::OK();
+  }
+
+  bool done() const { return done_; }
+
+ private:
+  bool RateExceeded() const {
+    uint64_t non_blank = stats_->records + stats_->malformed_lines;
+    return static_cast<double>(stats_->malformed_lines) >
+           options_.max_error_rate * static_cast<double>(non_blank);
+  }
+
+  Status RateError() const {
+    std::string msg =
+        "malformed-line rate " + std::to_string(stats_->malformed_lines) + "/" +
+        std::to_string(stats_->records + stats_->malformed_lines) +
+        " exceeds tolerated rate";
+    if (!stats_->errors.empty()) {
+      msg += "; first error at line " +
+             std::to_string(stats_->errors.front().line_number) + ": " +
+             stats_->errors.front().message;
+    }
+    return Status::ParseError(std::move(msg));
+  }
+
+  const RecordSink& sink_;
+  const IngestOptions& options_;
+  IngestStats* stats_;
+  bool done_ = false;
+};
+
 }  // namespace
+
+double IngestStats::ErrorRate() const {
+  uint64_t non_blank = records + malformed_lines;
+  return non_blank == 0
+             ? 0.0
+             : static_cast<double>(malformed_lines) /
+                   static_cast<double>(non_blank);
+}
+
+void IngestStats::Absorb(const IngestStats& other,
+                         size_t max_recorded_errors) {
+  for (const IngestError& e : other.errors) {
+    if (errors.size() >= max_recorded_errors) break;
+    errors.push_back(IngestError{e.line_number + lines_read,
+                                 e.byte_offset + bytes_read, e.message});
+  }
+  lines_read += other.lines_read;
+  blank_lines += other.blank_lines;
+  records += other.records;
+  malformed_lines += other.malformed_lines;
+  bytes_read += other.bytes_read;
+}
+
+Status ReadJsonLines(std::istream& in, const RecordSink& sink,
+                     const IngestOptions& options, IngestStats* stats) {
+  IngestStats local;
+  if (!stats) stats = &local;
+  *stats = IngestStats{};
+  LineIngester ingester(sink, options, stats);
+  std::string line;
+  uint64_t offset = 0;
+  while (std::getline(in, line)) {
+    uint64_t line_start = offset;
+    offset += line.size() + (in.eof() ? 0 : 1);  // +1 for the consumed '\n'
+    stats->bytes_read = offset;
+    JSONSI_RETURN_IF_ERROR(ingester.OnLine(line, line_start));
+    if (ingester.done()) return Status::OK();
+  }
+  return ingester.Finish();
+}
 
 Status ReadJsonLines(std::istream& in, const RecordSink& sink,
                      const ParseOptions& options) {
-  std::string line;
-  size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (IsBlank(line)) continue;
-    Result<ValueRef> value = Parse(line, options);
-    if (!value.ok()) {
-      return Status::ParseError("line " + std::to_string(line_number) + ": " +
-                                value.status().message());
-    }
-    if (!sink(std::move(value).value())) break;
+  IngestOptions strict;
+  strict.parse = options;
+  return ReadJsonLines(in, sink, strict, nullptr);
+}
+
+Status ReadJsonLines(std::string_view text, const RecordSink& sink,
+                     const IngestOptions& options, IngestStats* stats) {
+  IngestStats local;
+  if (!stats) stats = &local;
+  *stats = IngestStats{};
+  LineIngester ingester(sink, options, stats);
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    size_t end = nl == std::string_view::npos ? text.size() : nl;
+    std::string_view line = text.substr(pos, end - pos);
+    uint64_t line_start = pos;
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    stats->bytes_read = pos;
+    JSONSI_RETURN_IF_ERROR(ingester.OnLine(line, line_start));
+    if (ingester.done()) return Status::OK();
   }
-  return Status::OK();
+  return ingester.Finish();
 }
 
 Result<std::vector<ValueRef>> ReadJsonLinesFile(const std::string& path,
-                                                const ParseOptions& options) {
+                                                const IngestOptions& options,
+                                                IngestStats* stats) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open file: " + path);
   std::vector<ValueRef> values;
@@ -45,24 +188,38 @@ Result<std::vector<ValueRef>> ReadJsonLinesFile(const std::string& path,
         values.push_back(std::move(v));
         return true;
       },
-      options);
+      options, stats);
+  if (!st.ok()) return st;
+  return values;
+}
+
+Result<std::vector<ValueRef>> ReadJsonLinesFile(const std::string& path,
+                                                const ParseOptions& options) {
+  IngestOptions strict;
+  strict.parse = options;
+  return ReadJsonLinesFile(path, strict, nullptr);
+}
+
+Result<std::vector<ValueRef>> ParseJsonLines(std::string_view text,
+                                             const IngestOptions& options,
+                                             IngestStats* stats) {
+  std::vector<ValueRef> values;
+  Status st = ReadJsonLines(
+      text,
+      [&](ValueRef v) {
+        values.push_back(std::move(v));
+        return true;
+      },
+      options, stats);
   if (!st.ok()) return st;
   return values;
 }
 
 Result<std::vector<ValueRef>> ParseJsonLines(std::string_view text,
                                              const ParseOptions& options) {
-  std::istringstream in{std::string(text)};
-  std::vector<ValueRef> values;
-  Status st = ReadJsonLines(
-      in,
-      [&](ValueRef v) {
-        values.push_back(std::move(v));
-        return true;
-      },
-      options);
-  if (!st.ok()) return st;
-  return values;
+  IngestOptions strict;
+  strict.parse = options;
+  return ParseJsonLines(text, strict, nullptr);
 }
 
 std::string ToJsonLines(const std::vector<ValueRef>& values) {

@@ -1,12 +1,23 @@
 // JSON-Lines ingestion: one JSON value per line, the standard layout of
 // crawled datasets (GitHub events, Twitter firehose dumps, Wikidata exports).
+//
+// Real crawls are dirty: truncated lines at chunk boundaries, interleaved
+// log output, encoding accidents. Aborting a multi-GB read on the first bad
+// line (the default, and the only behaviour this module used to have) is
+// rarely what a production pipeline wants, so ingestion takes a
+// MalformedLinePolicy and reports an IngestStats: how many lines were read,
+// skipped, and where the first errors were (line number, byte offset,
+// parser message). Windows line endings (trailing '\r') and a UTF-8 BOM on
+// the first line are tolerated everywhere.
 
 #ifndef JSONSI_JSON_JSONL_H_
 #define JSONSI_JSON_JSONL_H_
 
+#include <cstdint>
 #include <functional>
 #include <istream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "json/parser.h"
@@ -18,16 +29,88 @@ namespace jsonsi::json {
 /// Per-record sink. Return false to stop early (e.g. record-count limits).
 using RecordSink = std::function<bool(ValueRef value)>;
 
+/// What to do with a line that fails to parse.
+enum class MalformedLinePolicy {
+  /// Abort the read with a ParseError carrying the line number (default —
+  /// the strict behaviour).
+  kFail,
+  /// Count and skip malformed lines; the read always succeeds.
+  kSkip,
+  /// Skip malformed lines while their fraction of non-blank lines stays at
+  /// or below IngestOptions::max_error_rate; abort once it is exceeded
+  /// (checked once at least min_lines_for_rate lines have been seen, and
+  /// again at end of input). Guards against silently "ingesting" a file
+  /// that is mostly garbage, e.g. a binary file passed by mistake.
+  kFailAboveRate,
+};
+
+/// Ingestion configuration.
+struct IngestOptions {
+  ParseOptions parse;
+  MalformedLinePolicy on_malformed = MalformedLinePolicy::kFail;
+  /// kFailAboveRate: tolerated malformed fraction of non-blank lines.
+  double max_error_rate = 0.01;
+  /// kFailAboveRate: no early rate check before this many non-blank lines
+  /// (avoids spurious aborts on the first lines of a sparse prefix).
+  uint64_t min_lines_for_rate = 100;
+  /// At most this many IngestError entries are recorded in IngestStats.
+  size_t max_recorded_errors = 8;
+};
+
+/// One rejected line.
+struct IngestError {
+  uint64_t line_number = 0;  // 1-based
+  uint64_t byte_offset = 0;  // offset of the line's first byte in the input
+  std::string message;
+};
+
+/// Degraded-mode ingestion report.
+struct IngestStats {
+  uint64_t lines_read = 0;       // all lines seen, blank ones included
+  uint64_t blank_lines = 0;
+  uint64_t records = 0;          // successfully parsed
+  uint64_t malformed_lines = 0;  // rejected (skipped or fatal)
+  uint64_t bytes_read = 0;
+  /// First IngestOptions::max_recorded_errors rejections.
+  std::vector<IngestError> errors;
+
+  /// Malformed fraction of non-blank lines seen so far (0 when none seen).
+  double ErrorRate() const;
+
+  /// Folds a follow-up read's stats into this one, shifting the other's
+  /// line numbers and byte offsets past this report's totals — so per-chunk
+  /// reads of one logical stream accumulate a coherent report.
+  void Absorb(const IngestStats& other, size_t max_recorded_errors);
+};
+
 /// Reads JSON-Lines from a stream, invoking `sink` per parsed record. Blank
-/// lines are skipped. The first malformed line aborts with its line number.
+/// lines are skipped. Malformed lines are handled per
+/// `options.on_malformed`; `stats`, when provided, receives the ingestion
+/// report (also on failure, describing everything read up to the abort).
+Status ReadJsonLines(std::istream& in, const RecordSink& sink,
+                     const IngestOptions& options, IngestStats* stats = nullptr);
+
+/// Strict-mode convenience (MalformedLinePolicy::kFail): the first malformed
+/// line aborts with its line number.
 Status ReadJsonLines(std::istream& in, const RecordSink& sink,
                      const ParseOptions& options = {});
 
+/// Zero-copy counterpart over an in-memory buffer: lines are string_view
+/// slices of `text`, no per-line copies are made.
+Status ReadJsonLines(std::string_view text, const RecordSink& sink,
+                     const IngestOptions& options, IngestStats* stats = nullptr);
+
 /// Reads an entire JSON-Lines file into memory.
+Result<std::vector<ValueRef>> ReadJsonLinesFile(
+    const std::string& path, const IngestOptions& options,
+    IngestStats* stats = nullptr);
 Result<std::vector<ValueRef>> ReadJsonLinesFile(
     const std::string& path, const ParseOptions& options = {});
 
-/// Parses every line of `text` as one JSON value.
+/// Parses every line of `text` as one JSON value (zero-copy line slicing).
+Result<std::vector<ValueRef>> ParseJsonLines(std::string_view text,
+                                             const IngestOptions& options,
+                                             IngestStats* stats = nullptr);
 Result<std::vector<ValueRef>> ParseJsonLines(std::string_view text,
                                              const ParseOptions& options = {});
 

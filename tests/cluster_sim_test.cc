@@ -93,6 +93,175 @@ TEST(ClusterSimTest, SingleMachineConfigModelsTheMacMini) {
   EXPECT_NEAR(r.makespan_seconds, 50.0, 1.0);
 }
 
+// ------------------------------------------------- fault injection --------
+
+TEST(ClusterSimFaultTest, EmptyScheduleMatchesLegacyOverload) {
+  // The fault-aware scheduler must be bit-identical to the pre-existing
+  // greedy loop when no faults are injected, for every placement/shape.
+  struct Case {
+    std::vector<SimTask> tasks;
+    Placement placement;
+  };
+  std::vector<Case> cases;
+  cases.push_back({MakeUniformTasks(40, 200.0, 22e9, 2, 4096),
+                   Placement::kLocalOnly});
+  cases.push_back({MakeSpreadTasks(60, 300.0, 22e9, 6, 4096),
+                   Placement::kLocalOnly});
+  cases.push_back({MakeUniformTasks(60, 300.0, 22e9, 0, 4096),
+                   Placement::kAnyWithTransfer});
+  for (const Case& c : cases) {
+    auto legacy = SimulateJob(c.tasks, PaperCluster(), c.placement, 0.001);
+    auto faulty = SimulateJob(c.tasks, PaperCluster(), c.placement, 0.001,
+                              FaultSchedule{}, RecoveryPolicy{});
+    EXPECT_DOUBLE_EQ(legacy.makespan_seconds, faulty.makespan_seconds);
+    EXPECT_DOUBLE_EQ(legacy.map_seconds, faulty.map_seconds);
+    EXPECT_EQ(legacy.nodes_used, faulty.nodes_used);
+    ASSERT_EQ(legacy.task_finish_seconds.size(),
+              faulty.task_finish_seconds.size());
+    for (size_t i = 0; i < legacy.task_finish_seconds.size(); ++i) {
+      EXPECT_DOUBLE_EQ(legacy.task_finish_seconds[i],
+                       faulty.task_finish_seconds[i]);
+    }
+    EXPECT_EQ(faulty.attempt_failures, 0u);
+    EXPECT_EQ(faulty.retries, 0u);
+    EXPECT_TRUE(faulty.completed);
+    EXPECT_DOUBLE_EQ(faulty.wasted_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(faulty.recovery_overhead_seconds, 0.0);
+  }
+}
+
+FaultSchedule MixedFaults() {
+  FaultSchedule faults;
+  faults.crashes = {NodeCrash{1, 0.8, 1.5}};
+  faults.straggler_factor = {1.0, 1.0, 1.0, 4.0};
+  faults.corrupt_tasks = {3, 17};
+  return faults;
+}
+
+TEST(ClusterSimFaultTest, FaultyRunIsDeterministic) {
+  auto tasks = MakeSpreadTasks(48, 240.0, 22e9, 6, 4096);
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    RecoveryPolicy policy;
+    policy.seed = seed;
+    policy.speculation_threshold = 2.0;
+    auto a = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.001,
+                         MixedFaults(), policy);
+    auto b = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.001,
+                         MixedFaults(), policy);
+    EXPECT_DOUBLE_EQ(a.makespan_seconds, b.makespan_seconds);
+    EXPECT_DOUBLE_EQ(a.wasted_seconds, b.wasted_seconds);
+    EXPECT_DOUBLE_EQ(a.backoff_wait_seconds, b.backoff_wait_seconds);
+    EXPECT_EQ(a.attempt_failures, b.attempt_failures);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.speculative_launches, b.speculative_launches);
+    ASSERT_EQ(a.task_finish_seconds.size(), b.task_finish_seconds.size());
+    for (size_t i = 0; i < a.task_finish_seconds.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.task_finish_seconds[i], b.task_finish_seconds[i]);
+    }
+  }
+}
+
+TEST(ClusterSimFaultTest, CorruptPartitionRetriesAndRecovers) {
+  auto tasks = MakeSpreadTasks(24, 120.0, 22e9, 6, 4096);
+  FaultSchedule faults;
+  faults.corrupt_tasks = {5};
+  faults.corrupt_attempt_failures = 1;
+  auto r = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.001,
+                       faults, RecoveryPolicy{});
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.failed_tasks, 0u);
+  EXPECT_EQ(r.attempt_failures, 1u);
+  EXPECT_EQ(r.retries, 1u);
+  EXPECT_GT(r.wasted_seconds, 0.0);
+  EXPECT_GT(r.backoff_wait_seconds, 0.0);
+  EXPECT_GT(r.recovery_overhead_seconds, 0.0);
+}
+
+TEST(ClusterSimFaultTest, PermanentNodeLossFallsBackToRemoteReplica) {
+  // All data on node 2; node 2 dies mid-run and never comes back. Under
+  // kLocalOnly the scheduler must fall back to remote reads of the
+  // surviving replica rather than deadlock.
+  auto tasks = MakeUniformTasks(40, 200.0, 22e9, 2, 4096);
+  FaultSchedule faults;
+  faults.crashes = {NodeCrash{2, 2.0}};  // infinite downtime
+  auto r = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.001,
+                       faults, RecoveryPolicy{});
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.attempt_failures, 0u);
+  EXPECT_GT(r.nodes_used, 1u);
+  EXPECT_GT(r.recovery_overhead_seconds, 0.0);
+}
+
+TEST(ClusterSimFaultTest, SpeculationNeutralizesStraggler) {
+  auto tasks = MakeSpreadTasks(30, 150.0, 1e9, 6, 1024);
+  FaultSchedule faults;
+  faults.straggler_factor = {6.0};  // node 0 six times slower
+  RecoveryPolicy no_spec;
+  RecoveryPolicy spec;
+  spec.speculation_threshold = 2.0;
+  auto slow = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.001,
+                          faults, no_spec);
+  auto helped = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly,
+                            0.001, faults, spec);
+  EXPECT_EQ(slow.speculative_launches, 0u);
+  EXPECT_GT(helped.speculative_launches, 0u);
+  EXPECT_GT(helped.speculative_wins, 0u);
+  EXPECT_LT(helped.makespan_seconds, slow.makespan_seconds);
+}
+
+TEST(ClusterSimFaultTest, RepeatedFailuresBlacklistTheNode) {
+  // Every task's data lives on node 0, which crashes briefly mid-run and
+  // kills the attempts running there: after two failures the node is
+  // blacklisted and the rest of the job runs remotely on healthy nodes
+  // (which never fail, so exactly one node is ever blacklisted).
+  auto tasks = MakeUniformTasks(20, 100.0, 1e9, 0, 1024);
+  FaultSchedule faults;
+  faults.crashes = {NodeCrash{0, 1.0, 0.1}};
+  RecoveryPolicy policy;
+  policy.blacklist_after_failures = 2;
+  auto r = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.001,
+                       faults, policy);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.nodes_blacklisted, 1u);
+  EXPECT_GT(r.nodes_used, 1u);
+}
+
+TEST(ClusterSimFaultTest, ExhaustedAttemptsMarkJobIncomplete) {
+  auto tasks = MakeSpreadTasks(12, 60.0, 1e9, 6, 1024);
+  FaultSchedule faults;
+  faults.corrupt_tasks = {4};
+  faults.corrupt_attempt_failures = 100;  // never heals
+  RecoveryPolicy policy;
+  policy.max_attempts_per_task = 3;
+  auto r = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.001,
+                       faults, policy);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.failed_tasks, 1u);
+  EXPECT_EQ(r.attempt_failures, 3u);
+  EXPECT_EQ(r.retries, 2u);
+}
+
+TEST(ClusterSimFaultTest, SmallPartitionsLoseLessWorkToACrash) {
+  // The robustness angle on the paper's early-fusion design: partial schemas
+  // are small, so nothing forces coarse partitions — and finer partitions
+  // bound the work a mid-task crash destroys.
+  ClusterConfig one_node;
+  one_node.num_nodes = 1;
+  one_node.cores_per_node = 20;
+  FaultSchedule faults;
+  faults.crashes = {NodeCrash{0, 0.5, 0.5}};
+  auto coarse = SimulateJob(MakeUniformTasks(20, 40.0, 1e9, 0, 1024), one_node,
+                            Placement::kLocalOnly, 0.001, faults,
+                            RecoveryPolicy{});
+  auto fine = SimulateJob(MakeUniformTasks(160, 40.0, 1e9, 0, 1024), one_node,
+                          Placement::kLocalOnly, 0.001, faults,
+                          RecoveryPolicy{});
+  ASSERT_TRUE(coarse.completed);
+  ASSERT_TRUE(fine.completed);
+  EXPECT_LT(fine.wasted_seconds, coarse.wasted_seconds);
+  EXPECT_LT(fine.recovery_overhead_seconds, coarse.recovery_overhead_seconds);
+}
+
 TEST(ClusterSimTest, UniformAndSpreadTaskBuilders) {
   auto uniform = MakeUniformTasks(4, 8.0, 4000, 3, 99);
   ASSERT_EQ(uniform.size(), 4u);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "engine/dataset.h"
+#include "engine/retry.h"
 #include "engine/thread_pool.h"
 #include "fusion/fuse.h"
 #include "inference/infer.h"
@@ -59,6 +60,157 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     }
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ExceptionInTaskBecomesStatusNotTermination) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([] { throw std::runtime_error("disk on fire"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  // The other tasks keep running; the error is reported, not thrown.
+  EXPECT_EQ(counter.load(), 20);
+  EXPECT_FALSE(pool.first_error().ok());
+  EXPECT_NE(pool.first_error().message().find("disk on fire"),
+            std::string::npos);
+  EXPECT_EQ(pool.failed_task_count(), 1u);
+}
+
+TEST(ThreadPoolTest, FirstErrorKeptAcrossLaterFailures) {
+  ThreadPool pool(1);  // one worker => deterministic failure order
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Submit([] { throw std::runtime_error("second"); });
+  pool.Wait();
+  EXPECT_EQ(pool.failed_task_count(), 2u);
+  EXPECT_NE(pool.first_error().message().find("first"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, NonStdExceptionCaught) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw 42; });
+  pool.Wait();
+  EXPECT_FALSE(pool.first_error().ok());
+  EXPECT_EQ(pool.failed_task_count(), 1u);
+}
+
+TEST(ThreadPoolTest, ResetErrorsClearsTheChannel) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("transient"); });
+  pool.Wait();
+  ASSERT_FALSE(pool.first_error().ok());
+  pool.ResetErrors();
+  EXPECT_TRUE(pool.first_error().ok());
+  EXPECT_EQ(pool.failed_task_count(), 0u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_TRUE(pool.first_error().ok());
+}
+
+// ---------------------------------------------------------- RunWithRetry --
+
+RetryPolicy FastPolicy() {
+  RetryPolicy p;
+  p.sleep_between_attempts = false;  // account backoff, don't sleep
+  return p;
+}
+
+TEST(RetryTest, FirstAttemptSuccessDoesNotRetry) {
+  RetryStats stats;
+  Status st = RunWithRetry([] { return Status::OK(); }, FastPolicy(), &stats);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_DOUBLE_EQ(stats.total_backoff_seconds, 0.0);
+  EXPECT_TRUE(stats.last_error.ok());
+}
+
+TEST(RetryTest, TransientFailureHealsWithinBudget) {
+  int calls = 0;
+  RetryStats stats;
+  Status st = RunWithRetry(
+      [&calls]() -> Status {
+        return ++calls < 3 ? Status::Internal("flaky") : Status::OK();
+      },
+      FastPolicy(), &stats);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_GT(stats.total_backoff_seconds, 0.0);
+}
+
+TEST(RetryTest, BudgetExhaustionReturnsLastError) {
+  int calls = 0;
+  RetryPolicy policy = FastPolicy();
+  policy.max_attempts = 4;
+  Status st = RunWithRetry(
+      [&calls]() -> Status {
+        ++calls;
+        return Status::Internal("always down");
+      },
+      policy);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 4);
+  EXPECT_NE(st.message().find("always down"), std::string::npos);
+}
+
+TEST(RetryTest, DeterministicInputErrorsAreNotRetried) {
+  for (Status permanent :
+       {Status::ParseError("bad json"), Status::InvalidArgument("bad flag"),
+        Status::NotFound("no file"), Status::OutOfRange("index")}) {
+    int calls = 0;
+    Status st = RunWithRetry(
+        [&]() -> Status {
+          ++calls;
+          return permanent;
+        },
+        FastPolicy());
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(calls, 1) << permanent;  // no second attempt
+  }
+}
+
+TEST(RetryTest, CustomRetryablePredicateWins) {
+  RetryPolicy policy = FastPolicy();
+  policy.retryable = [](const Status& s) {
+    return s.code() == StatusCode::kNotFound;  // e.g. eventual consistency
+  };
+  int calls = 0;
+  Status st = RunWithRetry(
+      [&calls]() -> Status {
+        return ++calls < 2 ? Status::NotFound("not yet") : Status::OK();
+      },
+      policy);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, BackoffSequenceIsSeededAndDeterministic) {
+  auto run = [](uint64_t seed) {
+    RetryPolicy policy = FastPolicy();
+    policy.max_attempts = 5;
+    policy.seed = seed;
+    RetryStats stats;
+    RunWithRetry([] { return Status::Internal("down"); }, policy, &stats);
+    return stats.total_backoff_seconds;
+  };
+  EXPECT_DOUBLE_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // jitter actually depends on the seed
+}
+
+TEST(RetryTest, BackoffGrowsButIsCapped) {
+  RetryPolicy policy = FastPolicy();
+  policy.max_attempts = 10;
+  policy.initial_backoff_seconds = 0.01;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.04;
+  policy.jitter_fraction = 0.0;
+  RetryStats stats;
+  RunWithRetry([] { return Status::Internal("down"); }, policy, &stats);
+  // 0.01 + 0.02 + 0.04 * 7 (capped) = 0.31, nine pauses for ten attempts.
+  EXPECT_NEAR(stats.total_backoff_seconds, 0.31, 1e-12);
 }
 
 // --------------------------------------------------------------- Dataset --

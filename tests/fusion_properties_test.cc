@@ -10,8 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
 #include <vector>
 
+#include "engine/cluster_sim.h"
 #include "fusion/fuse.h"
 #include "inference/infer.h"
 #include "random_value_gen.h"
@@ -174,6 +177,84 @@ TEST_P(FusionProperties, FusedSizeBounded) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FusionProperties,
                          ::testing::Range<uint64_t>(0, 20));
+
+// The correctness anchor of fault-tolerant execution: whatever failure and
+// retry schedule the cluster suffers, the fused schema equals the
+// failure-free one — because a re-executed map task *recomputes* its partial
+// schema exactly (inference is pure), and partials fuse to the same result
+// in any completion order (Theorems 5.4/5.5). Note the at-most-once caveat:
+// each partial is delivered exactly once. Duplicated delivery would NOT be
+// safe — Fuse is not idempotent on types with exact array types (see
+// SelfFusionStabilizesAndAbsorbs above).
+class RetryReplayProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RetryReplayProperty, FusedSchemaUnchangedByFailuresAndRetries) {
+  using engine::ClusterConfig;
+  using engine::FaultSchedule;
+  using engine::NodeCrash;
+  using engine::Placement;
+  using engine::RecoveryPolicy;
+
+  const uint64_t seed = GetParam();
+  const size_t kPartitions = 8;
+  auto values = jsonsi::testing::RandomValues(seed + 8000, 64);
+  const size_t per_part = values.size() / kPartitions;
+
+  // One inference pass over a partition, from scratch — what a (re)launched
+  // map task does.
+  auto compute_partial = [&](size_t part) {
+    TypeRef acc = Type::Empty();
+    for (size_t i = part * per_part; i < (part + 1) * per_part; ++i) {
+      acc = Fuse(acc, inference::InferType(*values[i]));
+    }
+    return acc;
+  };
+
+  // Failure-free run: every partial computed once, fused in task order.
+  TypeRef baseline = Type::Empty();
+  for (size_t p = 0; p < kPartitions; ++p) {
+    baseline = Fuse(baseline, compute_partial(p));
+  }
+
+  // Crash, straggler, and corrupt-partition schedules, simulated to obtain
+  // realistic completion (= delivery) orders under retries.
+  std::vector<FaultSchedule> schedules(3);
+  schedules[0].crashes = {NodeCrash{0, 0.2, 0.5}, NodeCrash{3, 0.1, 1.0}};
+  schedules[1].straggler_factor = {1.0, 5.0, 1.0, 1.0, 3.0};
+  schedules[2].corrupt_tasks = {1, 6};
+  schedules[2].corrupt_attempt_failures = 2;
+
+  for (size_t which = 0; which < schedules.size(); ++which) {
+    RecoveryPolicy policy;
+    policy.seed = seed;
+    policy.max_attempts_per_task = 6;
+    auto tasks = engine::MakeSpreadTasks(kPartitions, 16.0, 1e9, 6, 256);
+    auto sim = engine::SimulateJob(tasks, ClusterConfig{},
+                                   Placement::kLocalOnly, 0.0,
+                                   schedules[which], policy);
+    ASSERT_TRUE(sim.completed) << "schedule " << which << " seed " << seed;
+
+    // Partials re-enter the reduce in completion order; retried tasks
+    // recompute their partial from scratch. Each task delivers exactly once.
+    std::vector<size_t> order(kPartitions);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return sim.task_finish_seconds[a] < sim.task_finish_seconds[b];
+    });
+
+    TypeRef replayed = Type::Empty();
+    for (size_t task : order) {
+      replayed = Fuse(replayed, compute_partial(task));  // recomputation
+    }
+    ASSERT_TRUE(replayed->Equals(*baseline))
+        << "schedule " << which << " seed " << seed
+        << "\n baseline=" << ToString(*baseline)
+        << "\n replayed=" << ToString(*replayed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetryReplayProperty,
+                         ::testing::Values<uint64_t>(11, 12, 13));
 
 }  // namespace
 }  // namespace jsonsi::fusion

@@ -77,5 +77,213 @@ TEST(JsonlTest, MissingFileIsNotFound) {
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 }
 
+// ------------------------------------------- dirty-input tolerance --------
+
+TEST(JsonlTest, StripsWindowsLineEndings) {
+  auto r = ParseJsonLines("{\"a\":1}\r\n{\"a\":2}\r\n[3]\r\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r.value().size(), 3u);
+  EXPECT_TRUE(r.value()[2]->is_array());
+  // Mixed endings and a final line without any newline also work.
+  auto mixed = ParseJsonLines("1\r\n2\n3\r");
+  ASSERT_TRUE(mixed.ok()) << mixed.status();
+  EXPECT_EQ(mixed.value().size(), 3u);
+}
+
+TEST(JsonlTest, CarriageReturnOnlyLineIsBlank) {
+  auto r = ParseJsonLines("1\r\n\r\n2\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(JsonlTest, ToleratesUtf8BomOnFirstLine) {
+  auto r = ParseJsonLines("\xEF\xBB\xBF{\"a\":1}\n{\"a\":2}\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(JsonlTest, BomOnLaterLineIsStillAnError) {
+  auto r = ParseJsonLines("{\"a\":1}\n\xEF\xBB\xBF{\"a\":2}\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(JsonlTest, BomCrlfAndBlankLinesViaStream) {
+  std::istringstream in("\xEF\xBB\xBF{\"a\":1}\r\n\r\n{\"a\":2}\r\n");
+  int seen = 0;
+  Status st = ReadJsonLines(in, [&](ValueRef) {
+    ++seen;
+    return true;
+  });
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(JsonlTest, SkipPolicyCountsAndContinues) {
+  IngestOptions options;
+  options.on_malformed = MalformedLinePolicy::kSkip;
+  IngestStats stats;
+  auto r = ParseJsonLines("{\"a\":1}\nnot json\n\n{\"a\":2}\n{broken\n",
+                          options, &stats);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(stats.lines_read, 5u);
+  EXPECT_EQ(stats.blank_lines, 1u);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.malformed_lines, 2u);
+  ASSERT_EQ(stats.errors.size(), 2u);
+  EXPECT_EQ(stats.errors[0].line_number, 2u);
+  EXPECT_EQ(stats.errors[1].line_number, 5u);
+  EXPECT_DOUBLE_EQ(stats.ErrorRate(), 0.5);
+}
+
+TEST(JsonlTest, ErrorByteOffsetsPointAtTheBadLines) {
+  const std::string text = "{\"a\":1}\nbad\n{\"a\":2}\nworse\n";
+  IngestOptions options;
+  options.on_malformed = MalformedLinePolicy::kSkip;
+  IngestStats stats;
+  ASSERT_TRUE(ParseJsonLines(text, options, &stats).ok());
+  ASSERT_EQ(stats.errors.size(), 2u);
+  EXPECT_EQ(stats.errors[0].byte_offset, text.find("bad"));
+  EXPECT_EQ(stats.errors[1].byte_offset, text.find("worse"));
+  EXPECT_EQ(stats.bytes_read, text.size());
+}
+
+TEST(JsonlTest, RecordedErrorsAreCapped) {
+  std::string text;
+  for (int i = 0; i < 20; ++i) text += "nope\n";
+  IngestOptions options;
+  options.on_malformed = MalformedLinePolicy::kSkip;
+  options.max_recorded_errors = 3;
+  IngestStats stats;
+  ASSERT_TRUE(ParseJsonLines(text, options, &stats).ok());
+  EXPECT_EQ(stats.malformed_lines, 20u);
+  EXPECT_EQ(stats.errors.size(), 3u);
+}
+
+TEST(JsonlTest, FailAboveRateToleratesSparseErrors) {
+  std::string text;
+  for (int i = 0; i < 99; ++i) text += "{\"a\":" + std::to_string(i) + "}\n";
+  text += "garbage\n";
+  IngestOptions options;
+  options.on_malformed = MalformedLinePolicy::kFailAboveRate;
+  options.max_error_rate = 0.05;
+  options.min_lines_for_rate = 10;
+  IngestStats stats;
+  auto r = ParseJsonLines(text, options, &stats);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), 99u);
+  EXPECT_EQ(stats.malformed_lines, 1u);
+}
+
+TEST(JsonlTest, FailAboveRateAbortsOnMostlyGarbage) {
+  // A binary file passed by mistake: mostly unparseable. The read must not
+  // silently "succeed" with a near-empty record set.
+  std::string text;
+  for (int i = 0; i < 50; ++i) {
+    text += i % 2 ? "\x01\x02 binary junk\n" : "{\"a\":1}\n";
+  }
+  IngestOptions options;
+  options.on_malformed = MalformedLinePolicy::kFailAboveRate;
+  options.max_error_rate = 0.05;
+  options.min_lines_for_rate = 10;
+  IngestStats stats;
+  auto r = ParseJsonLines(text, options, &stats);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_GT(stats.malformed_lines, 0u);
+}
+
+TEST(JsonlTest, FailAboveRateChecksAgainAtEndOfInput) {
+  // Too few lines to trigger the early check, but the final rate is over
+  // budget: the end-of-input check must catch it.
+  IngestOptions options;
+  options.on_malformed = MalformedLinePolicy::kFailAboveRate;
+  options.max_error_rate = 0.10;
+  options.min_lines_for_rate = 100;
+  auto r = ParseJsonLines("{\"a\":1}\nbad\n{\"a\":2}\n{\"a\":3}\n", options,
+                          nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(JsonlTest, StreamAndStringViewReadersAgreeOnStats) {
+  const std::string text =
+      "\xEF\xBB\xBF{\"a\":1}\r\nbad\n\n{\"a\":2}\nalso bad\n{\"a\":3}\r\n";
+  IngestOptions options;
+  options.on_malformed = MalformedLinePolicy::kSkip;
+
+  IngestStats via_view;
+  int view_records = 0;
+  ASSERT_TRUE(ReadJsonLines(std::string_view(text),
+                            [&](ValueRef) {
+                              ++view_records;
+                              return true;
+                            },
+                            options, &via_view)
+                  .ok());
+
+  std::istringstream in(text);
+  IngestStats via_stream;
+  int stream_records = 0;
+  ASSERT_TRUE(ReadJsonLines(in,
+                            [&](ValueRef) {
+                              ++stream_records;
+                              return true;
+                            },
+                            options, &via_stream)
+                  .ok());
+
+  EXPECT_EQ(view_records, stream_records);
+  EXPECT_EQ(via_view.lines_read, via_stream.lines_read);
+  EXPECT_EQ(via_view.blank_lines, via_stream.blank_lines);
+  EXPECT_EQ(via_view.records, via_stream.records);
+  EXPECT_EQ(via_view.malformed_lines, via_stream.malformed_lines);
+  ASSERT_EQ(via_view.errors.size(), via_stream.errors.size());
+  for (size_t i = 0; i < via_view.errors.size(); ++i) {
+    EXPECT_EQ(via_view.errors[i].line_number, via_stream.errors[i].line_number);
+    EXPECT_EQ(via_view.errors[i].byte_offset, via_stream.errors[i].byte_offset);
+  }
+}
+
+TEST(JsonlTest, AbsorbShiftsLineNumbersAndOffsets) {
+  IngestOptions options;
+  options.on_malformed = MalformedLinePolicy::kSkip;
+  IngestStats first, second;
+  ASSERT_TRUE(ParseJsonLines("{\"a\":1}\n{\"a\":2}\n", options, &first).ok());
+  ASSERT_TRUE(ParseJsonLines("oops\n{\"a\":3}\n", options, &second).ok());
+  first.Absorb(second, options.max_recorded_errors);
+  EXPECT_EQ(first.lines_read, 4u);
+  EXPECT_EQ(first.records, 3u);
+  EXPECT_EQ(first.malformed_lines, 1u);
+  ASSERT_EQ(first.errors.size(), 1u);
+  // "oops" was line 1 of the second chunk = line 3 of the logical stream,
+  // starting right after the first chunk's 16 bytes.
+  EXPECT_EQ(first.errors[0].line_number, 3u);
+  EXPECT_EQ(first.errors[0].byte_offset, 16u);
+}
+
+TEST(JsonlTest, LargeInputZeroCopyParse) {
+  // A bulk input exercising the string_view slicing path: enough lines that
+  // a per-line copy regression would be visible in test time, plus dirt.
+  std::string text;
+  text.reserve(2u << 20);
+  const size_t kLines = 50000;
+  for (size_t i = 0; i < kLines; ++i) {
+    text += "{\"id\":" + std::to_string(i) + ",\"tag\":\"x\"}";
+    text += (i % 3 == 0) ? "\r\n" : "\n";
+    if (i % 1000 == 999) text += "truncated{\n";
+  }
+  IngestOptions options;
+  options.on_malformed = MalformedLinePolicy::kSkip;
+  IngestStats stats;
+  auto r = ParseJsonLines(text, options, &stats);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), kLines);
+  EXPECT_EQ(stats.records, kLines);
+  EXPECT_EQ(stats.malformed_lines, kLines / 1000);
+  EXPECT_EQ(stats.bytes_read, text.size());
+}
+
 }  // namespace
 }  // namespace jsonsi::json

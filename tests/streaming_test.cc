@@ -83,6 +83,52 @@ TEST(StreamingTest, SkipMalformedCountsAndContinues) {
   EXPECT_TRUE(streaming.Snapshot().type->Equals(*T("{a: Num}")));
 }
 
+TEST(StreamingTest, ExplicitPolicyAndCumulativeIngestStats) {
+  StreamingOptions opts;
+  opts.on_malformed = json::MalformedLinePolicy::kSkip;
+  StreamingInferencer streaming(opts);
+  // Stats accumulate coherently across documents and chunked line feeds.
+  ASSERT_TRUE(streaming.AddJson("{\"a\":1}").ok());
+  ASSERT_TRUE(streaming.AddJson("{nope").ok());  // skipped, not fatal
+  ASSERT_TRUE(streaming.AddJsonLines("bad\n{\"a\":2}\n").ok());
+  ASSERT_TRUE(streaming.AddJsonLines("{\"a\":3}\n").ok());
+  const auto& stats = streaming.ingest_stats();
+  EXPECT_EQ(stats.lines_read, 5u);
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.malformed_lines, 2u);
+  ASSERT_EQ(stats.errors.size(), 2u);
+  EXPECT_EQ(stats.errors[0].line_number, 2u);  // the bad document
+  EXPECT_EQ(stats.errors[1].line_number, 3u);  // "bad" in the first chunk
+  EXPECT_EQ(streaming.record_count(), 3u);
+}
+
+TEST(StreamingTest, FailAboveRatePolicyAbortsOnGarbageStream) {
+  StreamingOptions opts;
+  opts.on_malformed = json::MalformedLinePolicy::kFailAboveRate;
+  opts.max_error_rate = 0.10;
+  opts.min_lines_for_rate = 4;
+  StreamingInferencer streaming(opts);
+  Status st = streaming.AddJsonLines("{\"a\":1}\nbad\n{\"a\":2}\nworse\n");
+  EXPECT_FALSE(st.ok());
+  EXPECT_GT(streaming.malformed_count(), 0u);
+  // The report still covers the aborted chunk.
+  EXPECT_GE(streaming.ingest_stats().lines_read, 2u);
+}
+
+TEST(StreamingTest, MergeConcatenatesIngestReports) {
+  StreamingOptions opts;
+  opts.on_malformed = json::MalformedLinePolicy::kSkip;
+  StreamingInferencer a(opts), b(opts);
+  ASSERT_TRUE(a.AddJsonLines("{\"x\":1}\n{\"x\":2}\n").ok());
+  ASSERT_TRUE(b.AddJsonLines("junk\n{\"x\":3}\n").ok());
+  a.Merge(b);
+  EXPECT_EQ(a.record_count(), 3u);
+  EXPECT_EQ(a.malformed_count(), 1u);
+  ASSERT_EQ(a.ingest_stats().errors.size(), 1u);
+  // b's line 1 lands after a's two lines in the concatenated report.
+  EXPECT_EQ(a.ingest_stats().errors[0].line_number, 3u);
+}
+
 TEST(StreamingTest, ShardMergeEqualsSingleStream) {
   auto values = jsonsi::testing::RandomValues(17, 90);
   StreamingInferencer whole;

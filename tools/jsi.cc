@@ -2,8 +2,12 @@
 //
 // Subcommands:
 //   jsi infer <file.jsonl | ->  [--pretty] [--stats] [--partitions N]
+//             [--skip-malformed] [--max-error-rate R]
 //       Infers and prints the fused schema of a JSON-Lines input
-//       ('-' reads stdin).
+//       ('-' reads stdin). --skip-malformed ingests dirty inputs in
+//       degraded mode (bad lines are counted, reported on stderr, and
+//       skipped); --max-error-rate R skips bad lines only while they stay
+//       within a fraction R of the input, failing otherwise.
 //   jsi gen <github|twitter|wikidata|nytimes> <count> [--seed S]
 //       Emits a synthetic dataset as JSON-Lines on stdout.
 //   jsi paths <file.jsonl | ->
@@ -71,6 +75,7 @@ int Usage() {
   std::cerr <<
       "usage:\n"
       "  jsi infer <file.jsonl | -> [--pretty] [--stats] [--partitions N]\n"
+      "            [--skip-malformed] [--max-error-rate R]\n"
       "  jsi gen <github|twitter|wikidata|nytimes> <count> [--seed S]\n"
       "  jsi paths <file.jsonl | ->\n"
       "  jsi check <file.jsonl | -> --schema '<type expression>'\n"
@@ -85,13 +90,27 @@ int Usage() {
   return 1;
 }
 
-Result<std::vector<jsonsi::json::ValueRef>> ReadInput(const std::string& arg) {
+Result<std::vector<jsonsi::json::ValueRef>> ReadInput(
+    const std::string& arg, const jsonsi::json::IngestOptions& ingest = {},
+    jsonsi::json::IngestStats* stats = nullptr) {
   if (arg == "-") {
     std::stringstream buffer;
     buffer << std::cin.rdbuf();
-    return jsonsi::json::ParseJsonLines(buffer.str());
+    return jsonsi::json::ParseJsonLines(buffer.str(), ingest, stats);
   }
-  return jsonsi::json::ReadJsonLinesFile(arg);
+  return jsonsi::json::ReadJsonLinesFile(arg, ingest, stats);
+}
+
+// Degraded-mode report for inputs read with a non-strict policy.
+void ReportIngest(const jsonsi::json::IngestStats& stats) {
+  if (stats.malformed_lines == 0) return;
+  std::cerr << "jsi: skipped " << stats.malformed_lines
+            << " malformed line(s) of " << stats.lines_read << " ("
+            << jsonsi::FormatFixed(100.0 * stats.ErrorRate(), 2) << "%)\n";
+  for (const auto& e : stats.errors) {
+    std::cerr << "jsi:   line " << e.line_number << " @ byte " << e.byte_offset
+              << ": " << e.message << "\n";
+  }
 }
 
 std::optional<std::string> FlagValue(std::vector<std::string>& args,
@@ -116,19 +135,43 @@ bool Flag(std::vector<std::string>& args, const std::string& flag) {
   return false;
 }
 
+int BadFlagValue(const std::string& flag, const std::string& value) {
+  std::cerr << "jsi: " << flag << " needs a numeric value, got '" << value
+            << "'\n";
+  return Usage();
+}
+
 int RunInfer(std::vector<std::string> args) {
-  if (args.empty()) return Usage();
   bool pretty = Flag(args, "--pretty");
   bool stats = Flag(args, "--stats");
   jsonsi::core::InferenceOptions options;
   if (auto p = FlagValue(args, "--partitions")) {
-    options.num_partitions = std::stoul(*p);
+    try {
+      options.num_partitions = std::stoul(*p);
+    } catch (const std::exception&) {
+      return BadFlagValue("--partitions", *p);
+    }
   }
-  auto values = ReadInput(args[0]);
+  jsonsi::json::IngestOptions ingest;
+  if (Flag(args, "--skip-malformed")) {
+    ingest.on_malformed = jsonsi::json::MalformedLinePolicy::kSkip;
+  }
+  if (auto r = FlagValue(args, "--max-error-rate")) {
+    ingest.on_malformed = jsonsi::json::MalformedLinePolicy::kFailAboveRate;
+    try {
+      ingest.max_error_rate = std::stod(*r);
+    } catch (const std::exception&) {
+      return BadFlagValue("--max-error-rate", *r);
+    }
+  }
+  if (args.empty()) return Usage();
+  jsonsi::json::IngestStats ingest_stats;
+  auto values = ReadInput(args[0], ingest, &ingest_stats);
   if (!values.ok()) {
     std::cerr << "jsi: " << values.status() << "\n";
     return 2;
   }
+  ReportIngest(ingest_stats);
   Schema schema = SchemaInferencer(options).InferFromValues(values.value());
   std::cout << schema.ToString(pretty) << "\n";
   if (stats) {
