@@ -10,6 +10,10 @@
 //   JSI_MAX_RECORDS  caps the largest row (default 1,000,000). Useful for
 //                    quick smoke runs: JSI_MAX_RECORDS=10000.
 //   JSI_SEED         generator seed (default 42), for reproducibility sweeps.
+//   JSI_BENCH_JSON   when set, harnesses turn telemetry on and write their
+//                    per-phase accounting as BENCH_<name>.json into the
+//                    named directory ("1" means the current directory) —
+//                    the machine-readable companion of the printed tables.
 
 #ifndef JSONSI_BENCH_BENCH_COMMON_H_
 #define JSONSI_BENCH_BENCH_COMMON_H_
@@ -17,6 +21,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -27,6 +32,7 @@
 #include "json/serializer.h"
 #include "support/string_util.h"
 #include "support/timer.h"
+#include "telemetry/telemetry.h"
 #include "types/type.h"
 
 namespace jsonsi::bench {
@@ -49,6 +55,40 @@ inline std::vector<uint64_t> SnapshotSizes() {
 
 inline uint64_t BenchSeed() { return EnvU64("JSI_SEED", 42); }
 
+/// RAII for the JSI_BENCH_JSON knob: the constructor enables telemetry when
+/// the env var is set, the destructor snapshots the metrics registry into
+/// <dir>/BENCH_<name>.json. Instantiate once at the top of a harness main;
+/// a no-op when the knob is unset.
+class BenchJsonScope {
+ public:
+  explicit BenchJsonScope(const std::string& name) : name_(name) {
+    const char* dir = std::getenv("JSI_BENCH_JSON");
+    if (!dir || !*dir) return;
+    dir_ = std::strcmp(dir, "1") == 0 ? "." : dir;
+    telemetry::SetEnabled(true);
+  }
+
+  ~BenchJsonScope() {
+    if (dir_.empty()) return;
+    std::string path = dir_ + "/BENCH_" + name_ + ".json";
+    telemetry::FileSink sink(path, /*trace_path=*/"");
+    Status st = telemetry::Flush(sink);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench: telemetry write failed: %s\n",
+                   st.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+    }
+  }
+
+  BenchJsonScope(const BenchJsonScope&) = delete;
+  BenchJsonScope& operator=(const BenchJsonScope&) = delete;
+
+ private:
+  std::string name_;
+  std::string dir_;
+};
+
 /// One row of Tables 2-5 plus the timing/size info other tables reuse.
 struct SnapshotRow {
   uint64_t records = 0;
@@ -63,6 +103,29 @@ struct SnapshotRow {
   double infer_seconds = 0;  // Map phase, single-thread
   double fuse_seconds = 0;   // Reduce phase (tree order), single-thread
 };
+
+/// Publishes one pipeline run's final accounting under bench.<dataset>.*.
+/// Registry counters are additive, so a binary that runs several datasets
+/// (Tables 1 and 6) gets one metric family per dataset, not a blend.
+inline void PublishBenchTelemetry(datagen::DatasetId id,
+                                  const SnapshotRow& last) {
+  if (!telemetry::Enabled()) return;
+  auto& registry = telemetry::MetricsRegistry::Global();
+  const std::string prefix = std::string("bench.") + datagen::DatasetName(id);
+  auto ns = [](double seconds) {
+    return seconds > 0 ? static_cast<uint64_t>(seconds * 1e9) : 0;
+  };
+  registry.GetCounter(prefix + ".records").Add(last.records);
+  registry.GetCounter(prefix + ".gen_ns").Add(ns(last.gen_seconds));
+  registry.GetCounter(prefix + ".infer_ns").Add(ns(last.infer_seconds));
+  registry.GetCounter(prefix + ".fuse_ns").Add(ns(last.fuse_seconds));
+  registry.GetCounter(prefix + ".serialized_bytes")
+      .Add(last.serialized_bytes);
+  registry.GetGauge(prefix + ".distinct_types")
+      .Set(static_cast<int64_t>(last.distinct_types));
+  registry.GetGauge(prefix + ".fused_size")
+      .Set(static_cast<int64_t>(last.fused_size));
+}
 
 /// Streams `sizes.back()` records of `id`, snapshotting at every size.
 /// Phases are timed in chunks so the clock overhead stays negligible.
@@ -143,6 +206,7 @@ inline std::vector<SnapshotRow> RunStreamingPipeline(
       ++next_snapshot_index;
     }
   }
+  if (!rows.empty()) PublishBenchTelemetry(id, rows.back());
   return rows;
 }
 

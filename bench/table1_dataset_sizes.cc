@@ -16,6 +16,7 @@
 
 int main() {
   using namespace jsonsi;
+  bench::BenchJsonScope bench_json("table1_dataset_sizes");
   auto sizes = bench::SnapshotSizes();
 
   std::printf("Table 1: (sub-)dataset sizes (JSON-Lines bytes)\n");

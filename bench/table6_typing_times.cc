@@ -21,6 +21,7 @@
 
 int main() {
   using namespace jsonsi;
+  bench::BenchJsonScope bench_json("table6_typing_times");
   auto sizes = bench::SnapshotSizes();
 
   std::printf("Table 6: typing execution times (largest row: %s records)\n",

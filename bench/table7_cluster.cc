@@ -26,6 +26,7 @@
 
 int main() {
   using namespace jsonsi;
+  bench::BenchJsonScope bench_json("table7_cluster");
   uint64_t target = bench::SnapshotSizes().back();
   uint64_t sample = std::min<uint64_t>(target, 50000);
 

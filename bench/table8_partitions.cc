@@ -26,6 +26,7 @@
 
 int main() {
   using namespace jsonsi;
+  bench::BenchJsonScope bench_json("table8_partitions");
   uint64_t total = bench::SnapshotSizes().back();
 
   // The paper's partition proportions of its 1,184,943-record dataset.

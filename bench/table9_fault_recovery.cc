@@ -22,10 +22,12 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.h"
 #include "engine/cluster_sim.h"
 
 int main() {
   using namespace jsonsi::engine;
+  jsonsi::bench::BenchJsonScope bench_json("table9_fault_recovery");
 
   // A Table-7-scale job: ~600 CPU-seconds of typing over ~20 GB, spread
   // across the 6-node cluster, partial schemas of a few KB.

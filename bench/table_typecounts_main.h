@@ -13,6 +13,7 @@ namespace jsonsi::bench {
 
 inline int RunTypeCountTable(datagen::DatasetId id, const char* title,
                              const char* paper_rows) {
+  BenchJsonScope bench_json(datagen::DatasetName(id));
   auto rows =
       RunStreamingPipeline(id, SnapshotSizes(), BenchSeed(),
                            /*measure_bytes=*/false);

@@ -12,6 +12,7 @@
 #include "json/jsonl.h"
 #include "stats/type_stats.h"
 #include "support/timer.h"
+#include "telemetry/telemetry.h"
 #include "types/printer.h"
 
 namespace jsonsi::core {
@@ -44,6 +45,7 @@ Result<Schema> SchemaInferencer::TryInferFromValues(
   // Theorems 5.4/5.5. Each attempt runs on a fresh pool.
   Status st = engine::RunWithRetry(
       [&]() -> Status {
+        JSONSI_SPAN("infer.pipeline");
         engine::ThreadPool pool(options_.num_threads);
         auto dataset = engine::Dataset<json::ValueRef>::FromVector(
             values, options_.num_partitions);
@@ -54,15 +56,27 @@ Result<Schema> SchemaInferencer::TryInferFromValues(
         // ---- Map phase: per-value type inference (Figure 4). ----
         Stopwatch infer_watch;
         engine::StageMetrics map_metrics;
-        auto typed = dataset.Map(
-            pool,
-            [](const json::ValueRef& v) { return inference::InferType(*v); },
-            &map_metrics);
+        auto typed = [&] {
+          JSONSI_SPAN("infer.map");
+          return dataset.Map(
+              pool,
+              [](const json::ValueRef& v) { return inference::InferType(*v); },
+              &map_metrics);
+        }();
         schema.stats.infer_seconds = infer_watch.ElapsedSeconds();
+        if (telemetry::Enabled()) {
+          JSONSI_COUNTER("map.records").Add(values.size());
+          JSONSI_COUNTER("map.partitions").Add(dataset.num_partitions());
+          for (double s : map_metrics.partition_seconds) {
+            JSONSI_HISTOGRAM("map.partition_ns")
+                .Record(s > 0 ? static_cast<uint64_t>(s * 1e9) : 0);
+          }
+        }
         JSONSI_RETURN_IF_ERROR(pool.first_error());
 
         // ---- Statistics (Tables 2-5), gathered partition-parallel. ----
         if (options_.collect_stats && values.size() > 0) {
+          JSONSI_SPAN("infer.stats");
           struct PartStats {
             stats::DistinctTypeSet distinct;
             size_t min = 0;
@@ -112,17 +126,36 @@ Result<Schema> SchemaInferencer::TryInferFromValues(
         // asymptotically cheaper on wide schemas — then the per-partition
         // partials fuse together. ----
         Stopwatch fuse_watch;
-        auto partials = typed.MapPartitions(
-            pool, [](const std::vector<TypeRef>& part) {
-              fusion::TreeFuser fuser;
-              for (const TypeRef& t : part) fuser.Add(t);
-              return std::vector<TypeRef>{fuser.Finish()};
-            });
-        JSONSI_RETURN_IF_ERROR(pool.first_error());
-        fusion::TreeFuser combiner;
-        for (const TypeRef& partial : partials.Collect()) combiner.Add(partial);
-        schema.type = combiner.Finish();
+        {
+          JSONSI_SPAN("infer.reduce");
+          engine::StageMetrics reduce_metrics;
+          auto partials = typed.MapPartitions(
+              pool,
+              [](const std::vector<TypeRef>& part) {
+                fusion::TreeFuser fuser;
+                for (const TypeRef& t : part) fuser.Add(t);
+                return std::vector<TypeRef>{fuser.Finish()};
+              },
+              &reduce_metrics);
+          JSONSI_RETURN_IF_ERROR(pool.first_error());
+          fusion::TreeFuser combiner;
+          for (const TypeRef& partial : partials.Collect()) {
+            combiner.Add(partial);
+          }
+          schema.type = combiner.Finish();
+          if (telemetry::Enabled()) {
+            JSONSI_COUNTER("reduce.partials").Add(partials.num_partitions());
+            for (double s : reduce_metrics.partition_seconds) {
+              JSONSI_HISTOGRAM("reduce.partition_ns")
+                  .Record(s > 0 ? static_cast<uint64_t>(s * 1e9) : 0);
+            }
+          }
+        }
         schema.stats.fuse_seconds = fuse_watch.ElapsedSeconds();
+        if (telemetry::Enabled()) {
+          JSONSI_HISTOGRAM("infer.fused_size")
+              .Record(schema.type ? schema.type->size() : 0);
+        }
         return Status::OK();
       },
       options_.retry);

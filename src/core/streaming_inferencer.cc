@@ -5,6 +5,7 @@
 
 #include "inference/infer.h"
 #include "json/parser.h"
+#include "telemetry/telemetry.h"
 
 namespace jsonsi::core {
 
@@ -39,6 +40,18 @@ void StreamingInferencer::AddValue(const json::ValueRef& value) {
   if (profiler_) profiler_->Observe(*value, record_count_);
   fuser_.Add(std::move(t));
   ++record_count_;
+  JSONSI_COUNTER("stream.records").Increment();
+}
+
+void StreamingInferencer::PublishIngestTelemetry() const {
+  if (!telemetry::Enabled()) return;
+  // Cumulative levels, not deltas: gauges mirror the ingest_stats() report
+  // so an exporter snapshot always shows the stream totals, however the
+  // input was batched.
+  JSONSI_GAUGE("stream.lines_read")
+      .Set(static_cast<int64_t>(ingest_stats_.lines_read));
+  JSONSI_GAUGE("stream.malformed_lines")
+      .Set(static_cast<int64_t>(ingest_stats_.malformed_lines));
 }
 
 Status StreamingInferencer::AddJson(std::string_view json_text) {
@@ -53,6 +66,8 @@ Status StreamingInferencer::AddJson(std::string_view json_text) {
   }
 
   ++ingest_stats_.malformed_lines;
+  JSONSI_COUNTER("stream.malformed_documents").Increment();
+  PublishIngestTelemetry();
   if (ingest_stats_.errors.size() < options_.max_recorded_errors) {
     ingest_stats_.errors.push_back(json::IngestError{
         ingest_stats_.lines_read, 0, value.status().message()});
@@ -84,6 +99,12 @@ Status StreamingInferencer::AddJsonLines(std::string_view text) {
   ingest.max_error_rate = options_.max_error_rate;
   ingest.min_lines_for_rate = options_.min_lines_for_rate;
   ingest.max_recorded_errors = options_.max_recorded_errors;
+  // Rate decisions must see the whole stream, not just this chunk:
+  // without the baseline a late 5-line chunk with one bad line would abort
+  // a stream that is 99.99% clean, and a rate creeping up across chunks
+  // would never trip. ingest_stats_ is only read during the chunk; it is
+  // folded forward below, after the read completes.
+  ingest.rate_baseline = &ingest_stats_;
   json::IngestStats chunk;
   Status st = json::ReadJsonLines(
       text,
@@ -94,6 +115,7 @@ Status StreamingInferencer::AddJsonLines(std::string_view text) {
       ingest, &chunk);
   // Accumulate even on failure, so the report covers the aborted chunk.
   ingest_stats_.Absorb(chunk, options_.max_recorded_errors);
+  PublishIngestTelemetry();
   return st;
 }
 
@@ -121,6 +143,9 @@ void StreamingInferencer::Merge(const StreamingInferencer& other) {
 }
 
 Schema StreamingInferencer::Snapshot() const {
+  JSONSI_SPAN("stream.snapshot");
+  JSONSI_COUNTER("stream.snapshots").Increment();
+  PublishIngestTelemetry();
   Schema schema;
   schema.type = fuser_.Finish();
   schema.stats.record_count = record_count_;

@@ -96,6 +96,9 @@ class StreamingInferencer {
 
  private:
   json::MalformedLinePolicy EffectivePolicy() const;
+  /// Mirrors the cumulative ingestion report into stream.* gauges (no-op
+  /// while telemetry is disabled).
+  void PublishIngestTelemetry() const;
 
   StreamingOptions options_;
   fusion::TreeFuser fuser_;

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "support/rng.h"
+#include "telemetry/telemetry.h"
 
 namespace jsonsi::engine {
 namespace {
@@ -374,10 +375,40 @@ SimResult SimulateJob(const std::vector<SimTask>& tasks,
   FaultSim sim(tasks, config, placement, faults, recovery);
   SimResult result = sim.Run(reduce_combine_seconds);
   if (faults.HasFaults()) {
-    SimResult clean =
-        SimulateJob(tasks, config, placement, reduce_combine_seconds);
+    // Fault-free baseline for the overhead delta; run directly (not through
+    // the public overload) so it does not count as a second telemetry job.
+    // FaultSim holds its schedule/policy by reference, so these must outlive
+    // the Run call.
+    const FaultSchedule no_faults;
+    const RecoveryPolicy default_recovery;
+    FaultSim clean_sim(tasks, config, placement, no_faults, default_recovery);
+    SimResult clean = clean_sim.Run(reduce_combine_seconds);
     result.recovery_overhead_seconds =
         result.makespan_seconds - clean.makespan_seconds;
+  }
+  // Publish the job's recovery ledger. Virtual durations are recorded in
+  // virtual nanoseconds so histograms share one unit with real timings.
+  if (telemetry::Enabled()) {
+    JSONSI_COUNTER("sim.jobs").Increment();
+    JSONSI_COUNTER("sim.tasks").Add(tasks.size());
+    JSONSI_COUNTER("sim.attempt_failures").Add(result.attempt_failures);
+    JSONSI_COUNTER("sim.retries").Add(result.retries);
+    JSONSI_COUNTER("sim.speculative_launches")
+        .Add(result.speculative_launches);
+    JSONSI_COUNTER("sim.speculative_wins").Add(result.speculative_wins);
+    JSONSI_COUNTER("sim.nodes_blacklisted").Add(result.nodes_blacklisted);
+    JSONSI_COUNTER("sim.failed_tasks").Add(result.failed_tasks);
+    if (!result.completed) JSONSI_COUNTER("sim.incomplete_jobs").Increment();
+    auto virtual_ns = [](double seconds) {
+      return seconds > 0 ? static_cast<uint64_t>(seconds * 1e9) : 0;
+    };
+    JSONSI_HISTOGRAM("sim.makespan_vns")
+        .Record(virtual_ns(result.makespan_seconds));
+    JSONSI_HISTOGRAM("sim.wasted_vns").Record(virtual_ns(result.wasted_seconds));
+    JSONSI_HISTOGRAM("sim.backoff_wait_vns")
+        .Record(virtual_ns(result.backoff_wait_seconds));
+    JSONSI_HISTOGRAM("sim.recovery_overhead_vns")
+        .Record(virtual_ns(result.recovery_overhead_seconds));
   }
   return result;
 }

@@ -1,10 +1,10 @@
 #include "engine/retry.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 
 #include "support/rng.h"
+#include "support/timer.h"
+#include "telemetry/telemetry.h"
 
 namespace jsonsi::engine {
 namespace {
@@ -30,15 +30,24 @@ Status RunWithRetry(const std::function<Status()>& fn,
   RetryStats& s = stats ? *stats : local;
   s = RetryStats{};
 
+  JSONSI_COUNTER("retry.runs").Increment();
   int max_attempts = std::max(1, policy.max_attempts);
   for (int attempt = 1;; ++attempt) {
     ++s.attempts;
+    JSONSI_COUNTER("retry.attempts").Increment();
     Status status = fn();
     if (status.ok()) return status;
     s.last_error = status;
     bool retryable =
         policy.retryable ? policy.retryable(status) : DefaultRetryable(status);
-    if (!retryable || attempt >= max_attempts) return status;
+    if (!retryable || attempt >= max_attempts) {
+      if (retryable) {
+        JSONSI_COUNTER("retry.budget_exhausted").Increment();
+      } else {
+        JSONSI_COUNTER("retry.permanent_failures").Increment();
+      }
+      return status;
+    }
 
     double backoff = policy.initial_backoff_seconds;
     for (int i = 1; i < attempt; ++i) backoff *= policy.backoff_multiplier;
@@ -48,8 +57,14 @@ Status RunWithRetry(const std::function<Status()>& fn,
     }
     backoff = std::max(backoff, 0.0);
     s.total_backoff_seconds += backoff;
+    JSONSI_COUNTER("retry.retries").Increment();
+    if (telemetry::Enabled()) {
+      JSONSI_HISTOGRAM("retry.backoff_ns")
+          .Record(static_cast<uint64_t>(backoff * 1e9));
+    }
     if (policy.sleep_between_attempts && backoff > 0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      JSONSI_SPAN("retry.backoff_sleep");
+      SleepForSeconds(backoff);
     }
   }
 }

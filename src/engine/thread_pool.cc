@@ -3,6 +3,9 @@
 #include <exception>
 #include <string>
 
+#include "support/timer.h"
+#include "telemetry/telemetry.h"
+
 namespace jsonsi::engine {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -27,6 +30,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    JSONSI_COUNTER("pool.tasks_submitted").Increment();
+    JSONSI_GAUGE("pool.queue_depth").Set(static_cast<int64_t>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -65,10 +70,13 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      JSONSI_GAUGE("pool.queue_depth").Set(static_cast<int64_t>(queue_.size()));
     }
     // An exception leaving `task()` on a worker thread would terminate the
     // whole process; convert it into the pool's error channel instead so the
     // run degrades to a reportable (and retryable) failure.
+    const bool telemetry_on = telemetry::Enabled();
+    const uint64_t start_ns = telemetry_on ? MonotonicNanos() : 0;
     Status error;
     try {
       task();
@@ -76,6 +84,11 @@ void ThreadPool::WorkerLoop() {
       error = Status::Internal(std::string("worker task threw: ") + e.what());
     } catch (...) {
       error = Status::Internal("worker task threw a non-std exception");
+    }
+    if (telemetry_on) {
+      JSONSI_HISTOGRAM("pool.task_ns").Record(MonotonicNanos() - start_ns);
+      JSONSI_COUNTER("pool.tasks_completed").Increment();
+      if (!error.ok()) JSONSI_COUNTER("pool.tasks_failed").Increment();
     }
     {
       std::unique_lock<std::mutex> lock(mu_);

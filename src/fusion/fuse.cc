@@ -3,6 +3,8 @@
 #include <array>
 #include <cassert>
 
+#include "telemetry/telemetry.h"
+
 namespace jsonsi::fusion {
 
 using types::FieldType;
@@ -85,6 +87,7 @@ TypeRef FuseArrays(const Fuser& fuser, const TypeRef& a, const TypeRef& b) {
 
 TypeRef Fuser::Collapse(const TypeRef& exact_array) const {
   assert(exact_array->is_array_exact());
+  JSONSI_COUNTER("fuse.collapse_calls").Increment();
   TypeRef acc = Type::Empty();  // collapse(EArrT) = eps
   for (const TypeRef& element : exact_array->elements()) {
     acc = Fuse(acc, element);
@@ -96,6 +99,7 @@ TypeRef Fuser::LFuse(const TypeRef& a, const TypeRef& b) const {
   assert(!a->is_union() && !a->is_empty());
   assert(!b->is_union() && !b->is_empty());
   assert(a->kind() == b->kind());
+  JSONSI_COUNTER("fuse.lfuse_calls").Increment();
   switch (a->kind()) {
     case Kind::kNull:
     case Kind::kBool:
@@ -111,6 +115,13 @@ TypeRef Fuser::LFuse(const TypeRef& a, const TypeRef& b) const {
 }
 
 TypeRef Fuser::Fuse(const TypeRef& a, const TypeRef& b) const {
+  // The identity cases skip the bucket/merge machinery entirely: fusing with
+  // eps returns the other operand unchanged (sharing its node, the memo-like
+  // fast path the telemetry counter below makes visible).
+  if (a->is_empty() || b->is_empty()) {
+    JSONSI_COUNTER("fuse.identity_hits").Increment();
+    return a->is_empty() ? b : a;
+  }
   std::array<TypeRef, 6> ba = BucketByKind(*this, a);
   std::array<TypeRef, 6> bb = BucketByKind(*this, b);
   std::vector<TypeRef> out;
@@ -125,7 +136,17 @@ TypeRef Fuser::Fuse(const TypeRef& a, const TypeRef& b) const {
     }
   }
   // Union() canonicalizes: 0 addends -> eps, 1 -> the addend itself.
-  return Type::Union(std::move(out));
+  TypeRef result = Type::Union(std::move(out));
+  if (telemetry::Enabled()) {
+    JSONSI_COUNTER("fuse.calls").Increment();
+    JSONSI_HISTOGRAM("fuse.result_size").Record(result->size());
+    // Compaction per pair: how much smaller the supertype is than its inputs
+    // combined — the quantity behind the paper's fused/avg ratios.
+    size_t inputs = a->size() + b->size();
+    JSONSI_HISTOGRAM("fuse.size_delta")
+        .Record(inputs > result->size() ? inputs - result->size() : 0);
+  }
+  return result;
 }
 
 TypeRef Fuser::FuseAll(const std::vector<TypeRef>& ts) const {

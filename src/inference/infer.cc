@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "json/parser.h"
+#include "telemetry/telemetry.h"
 
 namespace jsonsi::inference {
 
@@ -12,7 +13,10 @@ using types::FieldType;
 using types::Type;
 using types::TypeRef;
 
-TypeRef InferType(const Value& value) {
+namespace {
+
+// The Figure 4 recursion; InferType wraps it with per-value accounting.
+TypeRef InferNode(const Value& value) {
   switch (value.kind()) {
     case ValueKind::kNull:
       return Type::Null();
@@ -26,7 +30,7 @@ TypeRef InferType(const Value& value) {
       std::vector<FieldType> fields;
       fields.reserve(value.fields().size());
       for (const json::Field& f : value.fields()) {
-        fields.push_back({f.key, InferType(*f.value), /*optional=*/false});
+        fields.push_back({f.key, InferNode(*f.value), /*optional=*/false});
       }
       // Value fields are key-sorted and unique already.
       return Type::RecordFromSorted(std::move(fields));
@@ -35,12 +39,23 @@ TypeRef InferType(const Value& value) {
       std::vector<TypeRef> elements;
       elements.reserve(value.elements().size());
       for (const json::ValueRef& e : value.elements()) {
-        elements.push_back(InferType(*e));
+        elements.push_back(InferNode(*e));
       }
       return Type::ArrayExact(std::move(elements));
     }
   }
   return Type::Null();
+}
+
+}  // namespace
+
+TypeRef InferType(const Value& value) {
+  TypeRef t = InferNode(value);
+  if (telemetry::Enabled()) {
+    JSONSI_COUNTER("infer.values").Increment();
+    JSONSI_HISTOGRAM("infer.type_size").Record(t->size());
+  }
+  return t;
 }
 
 Result<types::TypeRef> InferTypeFromJson(std::string_view json_text) {

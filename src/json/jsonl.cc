@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "json/serializer.h"
+#include "telemetry/telemetry.h"
 
 namespace jsonsi::json {
 namespace {
@@ -59,8 +60,8 @@ class LineIngester {
       case MalformedLinePolicy::kSkip:
         return Status::OK();
       case MalformedLinePolicy::kFailAboveRate: {
-        uint64_t non_blank = stats_->records + stats_->malformed_lines;
-        if (non_blank >= options_.min_lines_for_rate && RateExceeded()) {
+        if (CumulativeNonBlank() >= options_.min_lines_for_rate &&
+            RateExceeded()) {
           return RateError();
         }
         return Status::OK();
@@ -82,17 +83,32 @@ class LineIngester {
   bool done() const { return done_; }
 
  private:
+  // Rate decisions run on the whole logical stream: this read's stats plus
+  // any rate_baseline carried over from earlier chunks of the same stream.
+  uint64_t CumulativeNonBlank() const {
+    uint64_t base = options_.rate_baseline
+                        ? options_.rate_baseline->records +
+                              options_.rate_baseline->malformed_lines
+                        : 0;
+    return base + stats_->records + stats_->malformed_lines;
+  }
+
+  uint64_t CumulativeMalformed() const {
+    uint64_t base =
+        options_.rate_baseline ? options_.rate_baseline->malformed_lines : 0;
+    return base + stats_->malformed_lines;
+  }
+
   bool RateExceeded() const {
-    uint64_t non_blank = stats_->records + stats_->malformed_lines;
-    return static_cast<double>(stats_->malformed_lines) >
-           options_.max_error_rate * static_cast<double>(non_blank);
+    return static_cast<double>(CumulativeMalformed()) >
+           options_.max_error_rate * static_cast<double>(CumulativeNonBlank());
   }
 
   Status RateError() const {
-    std::string msg =
-        "malformed-line rate " + std::to_string(stats_->malformed_lines) + "/" +
-        std::to_string(stats_->records + stats_->malformed_lines) +
-        " exceeds tolerated rate";
+    std::string msg = "malformed-line rate " +
+                      std::to_string(CumulativeMalformed()) + "/" +
+                      std::to_string(CumulativeNonBlank()) +
+                      " exceeds tolerated rate";
     if (!stats_->errors.empty()) {
       msg += "; first error at line " +
              std::to_string(stats_->errors.front().line_number) + ": " +
@@ -106,6 +122,19 @@ class LineIngester {
   IngestStats* stats_;
   bool done_ = false;
 };
+
+// Bulk-publishes one read's ingestion report to the global registry: a
+// handful of counter adds per read (not per line), so degraded-mode readers
+// are observable at zero per-line cost.
+void RecordIngestTelemetry(const IngestStats& stats) {
+  if (!telemetry::Enabled()) return;
+  JSONSI_COUNTER("ingest.reads").Increment();
+  JSONSI_COUNTER("ingest.lines").Add(stats.lines_read);
+  JSONSI_COUNTER("ingest.blank_lines").Add(stats.blank_lines);
+  JSONSI_COUNTER("ingest.records").Add(stats.records);
+  JSONSI_COUNTER("ingest.malformed_lines").Add(stats.malformed_lines);
+  JSONSI_COUNTER("ingest.bytes").Add(stats.bytes_read);
+}
 
 }  // namespace
 
@@ -136,17 +165,22 @@ Status ReadJsonLines(std::istream& in, const RecordSink& sink,
   IngestStats local;
   if (!stats) stats = &local;
   *stats = IngestStats{};
-  LineIngester ingester(sink, options, stats);
-  std::string line;
-  uint64_t offset = 0;
-  while (std::getline(in, line)) {
-    uint64_t line_start = offset;
-    offset += line.size() + (in.eof() ? 0 : 1);  // +1 for the consumed '\n'
-    stats->bytes_read = offset;
-    JSONSI_RETURN_IF_ERROR(ingester.OnLine(line, line_start));
-    if (ingester.done()) return Status::OK();
-  }
-  return ingester.Finish();
+  Status status = [&] {
+    JSONSI_SPAN("ingest.read");
+    LineIngester ingester(sink, options, stats);
+    std::string line;
+    uint64_t offset = 0;
+    while (std::getline(in, line)) {
+      uint64_t line_start = offset;
+      offset += line.size() + (in.eof() ? 0 : 1);  // +1 for the consumed '\n'
+      stats->bytes_read = offset;
+      JSONSI_RETURN_IF_ERROR(ingester.OnLine(line, line_start));
+      if (ingester.done()) return Status::OK();
+    }
+    return ingester.Finish();
+  }();
+  RecordIngestTelemetry(*stats);
+  return status;
 }
 
 Status ReadJsonLines(std::istream& in, const RecordSink& sink,
@@ -161,19 +195,24 @@ Status ReadJsonLines(std::string_view text, const RecordSink& sink,
   IngestStats local;
   if (!stats) stats = &local;
   *stats = IngestStats{};
-  LineIngester ingester(sink, options, stats);
-  size_t pos = 0;
-  while (pos < text.size()) {
-    size_t nl = text.find('\n', pos);
-    size_t end = nl == std::string_view::npos ? text.size() : nl;
-    std::string_view line = text.substr(pos, end - pos);
-    uint64_t line_start = pos;
-    pos = nl == std::string_view::npos ? text.size() : nl + 1;
-    stats->bytes_read = pos;
-    JSONSI_RETURN_IF_ERROR(ingester.OnLine(line, line_start));
-    if (ingester.done()) return Status::OK();
-  }
-  return ingester.Finish();
+  Status status = [&] {
+    JSONSI_SPAN("ingest.read");
+    LineIngester ingester(sink, options, stats);
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t nl = text.find('\n', pos);
+      size_t end = nl == std::string_view::npos ? text.size() : nl;
+      std::string_view line = text.substr(pos, end - pos);
+      uint64_t line_start = pos;
+      pos = nl == std::string_view::npos ? text.size() : nl + 1;
+      stats->bytes_read = pos;
+      JSONSI_RETURN_IF_ERROR(ingester.OnLine(line, line_start));
+      if (ingester.done()) return Status::OK();
+    }
+    return ingester.Finish();
+  }();
+  RecordIngestTelemetry(*stats);
+  return status;
 }
 
 Result<std::vector<ValueRef>> ReadJsonLinesFile(const std::string& path,

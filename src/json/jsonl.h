@@ -44,6 +44,8 @@ enum class MalformedLinePolicy {
   kFailAboveRate,
 };
 
+struct IngestStats;
+
 /// Ingestion configuration.
 struct IngestOptions {
   ParseOptions parse;
@@ -55,6 +57,16 @@ struct IngestOptions {
   uint64_t min_lines_for_rate = 100;
   /// At most this many IngestError entries are recorded in IngestStats.
   size_t max_recorded_errors = 8;
+  /// Totals from earlier chunks of the same logical stream. When set,
+  /// kFailAboveRate decisions (rate and min_lines_for_rate) are made on the
+  /// cumulative stream — baseline plus the current read — not on the chunk
+  /// alone, so feeding one stream in batches neither forgives a
+  /// slowly-accumulating error rate nor aborts a late chunk whose few lines
+  /// are locally bad while the stream as a whole is clean. The baseline is
+  /// read at decision points only; it is never mutated, and must outlive the
+  /// read. Callers accumulate with IngestStats::Absorb between chunks (see
+  /// core::StreamingInferencer).
+  const IngestStats* rate_baseline = nullptr;
 };
 
 /// One rejected line.

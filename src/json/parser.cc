@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/telemetry.h"
+
 namespace jsonsi::json {
 namespace {
 
@@ -333,21 +335,36 @@ class Parser {
   size_t line_start_ = 0;
 };
 
+// Per-document accounting shared by both entry points: one relaxed counter
+// increment per call (plus one per error), a bulk byte add.
+void RecordParseTelemetry(std::string_view text, const Result<ValueRef>& r) {
+  if (!telemetry::Enabled()) return;
+  JSONSI_COUNTER("parse.calls").Increment();
+  JSONSI_COUNTER("parse.bytes").Add(text.size());
+  if (!r.ok()) JSONSI_COUNTER("parse.errors").Increment();
+}
+
 }  // namespace
 
 Result<ValueRef> Parse(std::string_view text, const ParseOptions& options) {
   Parser parser(text, options);
-  if (options.allow_trailing_content) {
-    size_t ignored = 0;
-    return parser.ParseDocument(&ignored);
-  }
-  return parser.ParseDocument(nullptr);
+  Result<ValueRef> result = [&] {
+    if (options.allow_trailing_content) {
+      size_t ignored = 0;
+      return parser.ParseDocument(&ignored);
+    }
+    return parser.ParseDocument(nullptr);
+  }();
+  RecordParseTelemetry(text, result);
+  return result;
 }
 
 Result<ValueRef> ParsePrefix(std::string_view text, size_t* consumed,
                              const ParseOptions& options) {
   Parser parser(text, options);
-  return parser.ParseDocument(consumed);
+  Result<ValueRef> result = parser.ParseDocument(consumed);
+  RecordParseTelemetry(text, result);
+  return result;
 }
 
 }  // namespace jsonsi::json

@@ -1,28 +1,59 @@
-// Wall-clock stopwatch used by the experiment harnesses.
+// Monotonic-clock utilities: the single source of wall-clock truth for the
+// experiment harnesses, the retry machinery, and the telemetry subsystem.
+// Everything that times or sleeps goes through these helpers so the clock
+// (steady_clock) is chosen exactly once.
 
 #ifndef JSONSI_SUPPORT_TIMER_H_
 #define JSONSI_SUPPORT_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
+#include <thread>
 
 namespace jsonsi {
+
+/// The one monotonic clock used across jsonsi.
+using MonotonicClock = std::chrono::steady_clock;
+
+/// Nanoseconds on the monotonic clock; the timestamp unit of telemetry
+/// spans and histograms.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          MonotonicClock::now().time_since_epoch())
+          .count());
+}
+
+/// Blocks the calling thread for `seconds` (no-op for non-positive values).
+/// Shared by retry backoff and any harness that needs a real pause.
+inline void SleepForSeconds(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
 
 /// Monotonic stopwatch; starts at construction.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(MonotonicClock::now()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = MonotonicClock::now(); }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return std::chrono::duration<double>(MonotonicClock::now() - start_)
+        .count();
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            MonotonicClock::now() - start_)
+            .count());
+  }
+
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  MonotonicClock::time_point start_;
 };
 
 }  // namespace jsonsi

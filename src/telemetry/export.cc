@@ -1,0 +1,159 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/string_util.h"
+
+namespace jsonsi::telemetry {
+namespace {
+
+void AppendQuoted(std::string_view text, std::string* out) {
+  out->push_back('"');
+  AppendJsonEscaped(text, out);
+  out->push_back('"');
+}
+
+void AppendU64(uint64_t value, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out->append(buf);
+}
+
+void AppendI64(int64_t value, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out->append(buf);
+}
+
+// "fuse.calls" -> "jsonsi_fuse_calls": Prometheus names allow [a-zA-Z0-9_:].
+std::string PrometheusName(std::string_view name) {
+  std::string out = "jsonsi_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(name, &out);
+    out.append(": ");
+    AppendU64(value, &out);
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+  out.append("  \"gauges\": {");
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(name, &out);
+    out.append(": ");
+    AppendI64(value, &out);
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+  out.append("  \"histograms\": {");
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(name, &out);
+    out.append(": {\"count\": ");
+    AppendU64(hist.count, &out);
+    out.append(", \"sum\": ");
+    AppendU64(hist.sum, &out);
+    out.append(", \"min\": ");
+    AppendU64(hist.min, &out);
+    out.append(", \"max\": ");
+    AppendU64(hist.max, &out);
+    out.append(", \"mean\": ");
+    out.append(FormatJsonNumber(hist.Mean()));
+    out.append(", \"buckets\": [");
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (i) out.append(", ");
+      out.append("{\"le\": ");
+      AppendU64(hist.buckets[i].first, &out);
+      out.append(", \"count\": ");
+      AppendU64(hist.buckets[i].second, &out);
+      out.push_back('}');
+    }
+    out.append("]}");
+  }
+  out.append(first ? "}\n}\n" : "\n  }\n}\n");
+  return out;
+}
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string pname = PrometheusName(name);
+    out.append("# TYPE ").append(pname).append(" counter\n");
+    out.append(pname).append(" ");
+    AppendU64(value, &out);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string pname = PrometheusName(name);
+    out.append("# TYPE ").append(pname).append(" gauge\n");
+    out.append(pname).append(" ");
+    AppendI64(value, &out);
+    out.push_back('\n');
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    std::string pname = PrometheusName(name);
+    out.append("# TYPE ").append(pname).append(" histogram\n");
+    uint64_t cumulative = 0;
+    for (const auto& [le, count] : hist.buckets) {
+      cumulative += count;
+      out.append(pname).append("_bucket{le=\"");
+      AppendU64(le, &out);
+      out.append("\"} ");
+      AppendU64(cumulative, &out);
+      out.push_back('\n');
+    }
+    out.append(pname).append("_bucket{le=\"+Inf\"} ");
+    AppendU64(hist.count, &out);
+    out.push_back('\n');
+    out.append(pname).append("_sum ");
+    AppendU64(hist.sum, &out);
+    out.push_back('\n');
+    out.append(pname).append("_count ");
+    AppendU64(hist.count, &out);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out.append(i ? ",\n  " : "\n  ");
+    out.append("{\"name\": ");
+    AppendQuoted(s.name, &out);
+    out.append(", \"cat\": \"jsonsi\", \"ph\": \"X\", \"ts\": ");
+    // trace_event timestamps are microseconds; keep nanosecond precision
+    // with a fractional part.
+    out.append(FormatJsonNumber(static_cast<double>(s.start_ns) / 1e3));
+    out.append(", \"dur\": ");
+    out.append(
+        FormatJsonNumber(static_cast<double>(s.end_ns - s.start_ns) / 1e3));
+    out.append(", \"pid\": 1, \"tid\": ");
+    AppendU64(s.thread_index, &out);
+    out.append(", \"args\": {\"depth\": ");
+    AppendU64(s.depth, &out);
+    out.append("}}");
+  }
+  out.append(spans.empty() ? "]}\n" : "\n]}\n");
+  return out;
+}
+
+}  // namespace jsonsi::telemetry

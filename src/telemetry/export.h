@@ -1,0 +1,39 @@
+// Exporters: serialize metrics snapshots and span timelines into standard
+// interchange formats.
+//
+//   * MetricsToJson       — one JSON document: counters, gauges, histograms.
+//   * MetricsToPrometheus — Prometheus text exposition format (metric names
+//                           are mangled "fuse.calls" -> "jsonsi_fuse_calls";
+//                           histograms use cumulative le-buckets).
+//   * SpansToChromeTrace  — Chrome trace_event JSON (open chrome://tracing
+//                           or https://ui.perfetto.dev and load the file).
+//
+// These are pure string builders over snapshot structs; they never touch the
+// global registry and are safe to call from any thread.
+
+#ifndef JSONSI_TELEMETRY_EXPORT_H_
+#define JSONSI_TELEMETRY_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace jsonsi::telemetry {
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+/// min, max, mean, buckets: [{le, count}...]}}}
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text format: "# TYPE jsonsi_x counter\njsonsi_x 42\n...".
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
+
+/// {"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid", "tid",
+/// "args": {"depth": d}}, ...]} — complete-event ("X") records, timestamps
+/// in microseconds.
+std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans);
+
+}  // namespace jsonsi::telemetry
+
+#endif  // JSONSI_TELEMETRY_EXPORT_H_

@@ -1,0 +1,171 @@
+// Low-overhead, thread-safe metrics: named counters, gauges, and log-scale
+// histograms behind a process-global registry.
+//
+// Design constraints (see docs/observability.md):
+//   * Hot paths (per-value inference, per-pair fusion) pay ~one relaxed
+//     atomic increment when telemetry is enabled and one relaxed atomic load
+//     when it is disabled. Counters are sharded across cache-line-padded
+//     atomics so concurrent writers do not contend on one line.
+//   * Telemetry is OFF by default; every mutation checks the global enable
+//     flag first, so uninstrumented builds and disabled runs are unaffected.
+//   * Metric objects are registered once by name and never deallocated while
+//     the registry lives, so call sites may cache references in function-
+//     local statics.
+//
+// Accounting is exact, not sampled: counter totals and histogram counts/sums
+// are the precise sum of all recorded values regardless of thread count
+// (relaxed atomics lose no updates, only ordering — and totals are
+// order-independent, the same monoid argument that makes fusion parallel).
+
+#ifndef JSONSI_TELEMETRY_METRICS_H_
+#define JSONSI_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace jsonsi::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+
+/// Stable per-thread shard index in [0, kCounterShards).
+size_t ShardIndex();
+}  // namespace detail
+
+/// Global switch. Telemetry starts disabled; when disabled, every metric
+/// mutation and span is a single relaxed load and an early return.
+inline bool Enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool enabled);
+
+inline constexpr size_t kCounterShards = 8;
+
+/// Monotonically increasing sum, sharded to keep concurrent increments off
+/// one cache line.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    if (!Enabled()) return;
+    shards_[detail::ShardIndex()].value.fetch_add(delta,
+                                                  std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over shards (exact once concurrent writers have quiesced).
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kCounterShards];
+};
+
+/// Instantaneous signed level (queue depths, in-flight tasks).
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    if (!Enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!Enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Read-only view of a histogram at one instant.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when count == 0
+  uint64_t max = 0;
+  /// Occupied log2 buckets only: {inclusive upper bound, count}. Bucket k
+  /// holds values in [2^(k-1), 2^k - 1] (bucket 0 holds the value 0).
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+  double Mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Log-scale (power-of-two bucket) histogram for durations and sizes that
+/// span orders of magnitude. Recording is a handful of relaxed atomic ops;
+/// count and sum are exact, min/max converge via CAS.
+class Histogram {
+ public:
+  void Record(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+  /// Bucket index of a value: 0 for 0, otherwise bit-width (1 + floor(log2)).
+  static size_t BucketIndex(uint64_t value);
+  /// Inclusive upper bound of bucket k.
+  static uint64_t BucketUpperBound(size_t k);
+
+  static constexpr size_t kNumBuckets = 65;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Full registry state at one instant (name-sorted, ready for export).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Counter value by exact name (0 when absent) — convenience for tests
+  /// and self-checks.
+  uint64_t CounterValue(std::string_view name) const;
+};
+
+/// Name-keyed registry of metric instruments. Registration (first GetX for a
+/// name) takes a mutex; returned references are stable for the registry's
+/// lifetime, so hot call sites cache them in function-local statics.
+class MetricsRegistry {
+ public:
+  /// The process-global registry all built-in instrumentation records into.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered instrument (names stay registered). Used by the
+  /// CLI/bench to scope a report to one run, and by tests.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace jsonsi::telemetry
+
+#endif  // JSONSI_TELEMETRY_METRICS_H_

@@ -1,0 +1,45 @@
+#include "telemetry/sink.h"
+
+#include <fstream>
+
+#include "telemetry/export.h"
+
+namespace jsonsi::telemetry {
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out << content;
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+bool HasSuffix(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+Status FileSink::ConsumeMetrics(const MetricsSnapshot& snapshot) {
+  if (metrics_path_.empty()) return Status::OK();
+  const std::string text = HasSuffix(metrics_path_, ".prom")
+                               ? MetricsToPrometheus(snapshot)
+                               : MetricsToJson(snapshot);
+  return WriteFile(metrics_path_, text);
+}
+
+Status FileSink::ConsumeSpans(const std::vector<SpanRecord>& spans) {
+  if (trace_path_.empty()) return Status::OK();
+  return WriteFile(trace_path_, SpansToChromeTrace(spans));
+}
+
+Status Flush(TelemetrySink& sink) {
+  Status st = sink.ConsumeMetrics(MetricsRegistry::Global().Snapshot());
+  Status spans = sink.ConsumeSpans(TraceRecorder::Global().Drain());
+  return st.ok() ? spans : st;
+}
+
+}  // namespace jsonsi::telemetry

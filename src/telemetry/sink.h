@@ -1,0 +1,64 @@
+// Pluggable telemetry output: where a flush sends the metrics snapshot and
+// the drained span timeline.
+//
+// The default sink is NullSink — consuming a flush and discarding it — so a
+// library embedder that never configures telemetry pays nothing beyond the
+// disabled-path atomic loads. FileSink writes the standard formats
+// (telemetry/export.h) to caller-chosen paths; tools/jsi.cc builds one from
+// --metrics-out/--trace-out.
+
+#ifndef JSONSI_TELEMETRY_SINK_H_
+#define JSONSI_TELEMETRY_SINK_H_
+
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace jsonsi::telemetry {
+
+/// Receives one flush of telemetry state. Implementations must tolerate
+/// empty snapshots/timelines.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual Status ConsumeMetrics(const MetricsSnapshot& snapshot) = 0;
+  virtual Status ConsumeSpans(const std::vector<SpanRecord>& spans) = 0;
+};
+
+/// Discards everything (the default).
+class NullSink : public TelemetrySink {
+ public:
+  Status ConsumeMetrics(const MetricsSnapshot&) override {
+    return Status::OK();
+  }
+  Status ConsumeSpans(const std::vector<SpanRecord>&) override {
+    return Status::OK();
+  }
+};
+
+/// Writes metrics (JSON or Prometheus text, by extension ".prom") and spans
+/// (Chrome trace JSON) to files. Empty paths skip that output.
+class FileSink : public TelemetrySink {
+ public:
+  FileSink(std::string metrics_path, std::string trace_path)
+      : metrics_path_(std::move(metrics_path)),
+        trace_path_(std::move(trace_path)) {}
+
+  Status ConsumeMetrics(const MetricsSnapshot& snapshot) override;
+  Status ConsumeSpans(const std::vector<SpanRecord>& spans) override;
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
+/// Snapshots the global registry and drains the global recorder into `sink`.
+/// Returns the first non-OK sink status.
+Status Flush(TelemetrySink& sink);
+
+}  // namespace jsonsi::telemetry
+
+#endif  // JSONSI_TELEMETRY_SINK_H_

@@ -1,0 +1,47 @@
+// Umbrella header for the telemetry subsystem; instrumented modules include
+// this one header.
+//
+//   telemetry::SetEnabled(true);                  // off by default
+//   { JSONSI_SPAN("fuse"); ... }                  // scoped tracing span
+//   JSONSI_COUNTER("fuse.calls").Increment();     // cached named counter
+//   telemetry::FileSink sink("metrics.json", "trace.json");
+//   telemetry::Flush(sink);
+//
+// JSONSI_COUNTER / JSONSI_GAUGE / JSONSI_HISTOGRAM resolve the named
+// instrument once per call site (function-local static) so steady-state cost
+// is one static-guard load plus the instrument's relaxed atomics. See
+// docs/observability.md for the metric and span naming conventions.
+
+#ifndef JSONSI_TELEMETRY_TELEMETRY_H_
+#define JSONSI_TELEMETRY_TELEMETRY_H_
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/sink.h"
+#include "telemetry/trace.h"
+
+/// Per-call-site cached instruments from the global registry. `name` must be
+/// a constant: every evaluation of one macro instance yields the instrument
+/// resolved on first execution.
+#define JSONSI_COUNTER(name)                                               \
+  ([]() -> ::jsonsi::telemetry::Counter& {                                 \
+    static ::jsonsi::telemetry::Counter& c =                               \
+        ::jsonsi::telemetry::MetricsRegistry::Global().GetCounter(name);   \
+    return c;                                                              \
+  }())
+
+#define JSONSI_GAUGE(name)                                                 \
+  ([]() -> ::jsonsi::telemetry::Gauge& {                                   \
+    static ::jsonsi::telemetry::Gauge& g =                                 \
+        ::jsonsi::telemetry::MetricsRegistry::Global().GetGauge(name);     \
+    return g;                                                              \
+  }())
+
+#define JSONSI_HISTOGRAM(name)                                             \
+  ([]() -> ::jsonsi::telemetry::Histogram& {                               \
+    static ::jsonsi::telemetry::Histogram& h =                             \
+        ::jsonsi::telemetry::MetricsRegistry::Global().GetHistogram(name); \
+    return h;                                                              \
+  }())
+
+#endif  // JSONSI_TELEMETRY_TELEMETRY_H_

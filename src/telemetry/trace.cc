@@ -1,0 +1,84 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+
+namespace jsonsi::telemetry {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* instance = new TraceRecorder();
+  return *instance;
+}
+
+TraceRecorder::ThreadRing& TraceRecorder::RingForThisThread() {
+  // The shared_ptr is held both here (thread lifetime) and in rings_
+  // (recorder lifetime), so Drain can read rings of exited threads.
+  thread_local std::shared_ptr<ThreadRing> ring = [this] {
+    auto r = std::make_shared<ThreadRing>();
+    std::lock_guard<std::mutex> lock(mu_);
+    r->slots.resize(ring_capacity_);
+    r->thread_index = next_thread_index_++;
+    rings_.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void TraceRecorder::Record(const SpanRecord& span) {
+  ThreadRing& ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.slots.empty()) return;
+  if (ring.size == ring.slots.size()) ++ring.dropped;  // overwriting oldest
+  SpanRecord stamped = span;
+  stamped.thread_index = ring.thread_index;
+  ring.slots[ring.next] = stamped;
+  ring.next = (ring.next + 1) % ring.slots.size();
+  ring.size = std::min(ring.size + 1, ring.slots.size());
+}
+
+std::vector<SpanRecord> TraceRecorder::Drain() {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    // Oldest-first: the ring's chronological order starts at `next` when the
+    // ring has wrapped, at 0 otherwise.
+    size_t start = (ring->size == ring->slots.size()) ? ring->next : 0;
+    for (size_t i = 0; i < ring->size; ++i) {
+      out.push_back(ring->slots[(start + i) % ring->slots.size()]);
+    }
+    ring->next = 0;
+    ring->size = 0;
+    ring->dropped = 0;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.depth < b.depth;  // parents open before children
+            });
+  return out;
+}
+
+uint64_t TraceRecorder::dropped_spans() const {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  uint64_t total = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+void TraceRecorder::SetRingCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = std::max<size_t>(1, capacity);
+}
+
+}  // namespace jsonsi::telemetry

@@ -1,0 +1,126 @@
+// Scoped tracing spans recorded into thread-local ring buffers and merged at
+// flush time.
+//
+//   void Reduce(...) {
+//     JSONSI_SPAN("fuse");        // RAII: records [enter, exit) when enabled
+//     ...
+//   }
+//
+// A span is recorded on scope exit into the calling thread's fixed-capacity
+// ring buffer (oldest spans are overwritten when full; the overwrite count is
+// reported). Buffers register themselves with the global recorder on first
+// use and stay readable after their thread exits. TraceRecorder::Drain()
+// merges every thread's spans into one start-time-ordered timeline, ready
+// for the Chrome trace_event exporter (telemetry/export.h).
+//
+// Span names must be string literals (or otherwise outlive the recorder):
+// records store the pointer, never a copy, so the disabled path and the
+// record path allocate nothing.
+
+#ifndef JSONSI_TELEMETRY_TRACE_H_
+#define JSONSI_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/timer.h"
+#include "telemetry/metrics.h"
+
+namespace jsonsi::telemetry {
+
+/// One completed span on one thread.
+struct SpanRecord {
+  const char* name = "";   // static-storage string; not owned
+  uint64_t start_ns = 0;   // MonotonicNanos at scope entry
+  uint64_t end_ns = 0;     // MonotonicNanos at scope exit
+  uint32_t thread_index = 0;  // dense per-thread id, stable per thread
+  uint32_t depth = 0;         // nesting depth within the thread (0 = root)
+};
+
+/// Process-global collector of per-thread span rings.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Appends one finished span to the calling thread's ring buffer.
+  void Record(const SpanRecord& span);
+
+  /// Merges all threads' outstanding spans into one start-ordered timeline
+  /// and clears the rings. Spans recorded concurrently with Drain land in
+  /// the next drain.
+  std::vector<SpanRecord> Drain();
+
+  /// Spans overwritten because a ring was full, since the last Drain.
+  uint64_t dropped_spans() const;
+
+  /// Ring capacity for threads that have not yet recorded (existing rings
+  /// keep their size). Default 4096 spans per thread.
+  void SetRingCapacity(size_t capacity);
+
+ private:
+  struct ThreadRing {
+    std::mutex mu;
+    std::vector<SpanRecord> slots;  // ring storage, capacity fixed at creation
+    size_t next = 0;                // write cursor
+    size_t size = 0;                // valid records (<= slots.size())
+    uint64_t dropped = 0;
+    uint32_t thread_index = 0;
+  };
+
+  ThreadRing& RingForThisThread();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadRing>> rings_;
+  size_t ring_capacity_ = 4096;
+  uint32_t next_thread_index_ = 0;
+};
+
+/// RAII span guard; see JSONSI_SPAN. Does nothing when telemetry is off at
+/// scope entry.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (!Enabled()) return;
+    name_ = name;
+    start_ns_ = MonotonicNanos();
+    depth_ = nesting_depth()++;
+  }
+  ~ScopedSpan() {
+    if (!name_) return;
+    --nesting_depth();
+    SpanRecord span;
+    span.name = name_;
+    span.start_ns = start_ns_;
+    span.end_ns = MonotonicNanos();
+    span.depth = depth_;
+    TraceRecorder::Global().Record(span);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  static uint32_t& nesting_depth() {
+    thread_local uint32_t depth = 0;
+    return depth;
+  }
+
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+#define JSONSI_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define JSONSI_TELEMETRY_CONCAT(a, b) JSONSI_TELEMETRY_CONCAT_INNER(a, b)
+
+/// Opens a scoped span named `name` (a string literal) covering the rest of
+/// the enclosing scope.
+#define JSONSI_SPAN(name)                                  \
+  ::jsonsi::telemetry::ScopedSpan JSONSI_TELEMETRY_CONCAT( \
+      jsonsi_scoped_span_, __LINE__)(name)
+
+}  // namespace jsonsi::telemetry
+
+#endif  // JSONSI_TELEMETRY_TRACE_H_

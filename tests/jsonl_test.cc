@@ -207,6 +207,42 @@ TEST(JsonlTest, FailAboveRateChecksAgainAtEndOfInput) {
   EXPECT_EQ(r.status().code(), StatusCode::kParseError);
 }
 
+TEST(JsonlTest, RateBaselineFoldsEarlierChunksIntoRateDecisions) {
+  IngestOptions options;
+  options.on_malformed = MalformedLinePolicy::kFailAboveRate;
+  options.max_error_rate = 0.10;
+  options.min_lines_for_rate = 4;
+
+  // A healthy history: 50 clean records.
+  IngestStats history;
+  history.records = 50;
+  history.lines_read = 50;
+
+  // Locally this chunk is 50% garbage and would abort on its own; against
+  // the 50-record baseline the cumulative rate is 1/52 and the read passes.
+  options.rate_baseline = &history;
+  IngestStats chunk;
+  auto r = ParseJsonLines("bad\n{\"a\":1}\n", options, &chunk);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(chunk.malformed_lines, 1u);
+
+  // The same chunk with no baseline trips the end-of-input rate check.
+  options.rate_baseline = nullptr;
+  auto strict = ParseJsonLines("bad\n{\"a\":1}\n", options, nullptr);
+  ASSERT_FALSE(strict.ok());
+
+  // A baseline already at the edge makes one more bad line fatal, and the
+  // diagnostic reports the cumulative stream, not the chunk.
+  IngestStats dirty_history;
+  dirty_history.records = 45;
+  dirty_history.malformed_lines = 5;  // exactly 10% of 50
+  options.rate_baseline = &dirty_history;
+  auto over = ParseJsonLines("bad\n", options, nullptr);
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.status().message().find("6/51"), std::string::npos)
+      << over.status();
+}
+
 TEST(JsonlTest, StreamAndStringViewReadersAgreeOnStats) {
   const std::string text =
       "\xEF\xBB\xBF{\"a\":1}\r\nbad\n\n{\"a\":2}\nalso bad\n{\"a\":3}\r\n";

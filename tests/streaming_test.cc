@@ -115,6 +115,54 @@ TEST(StreamingTest, FailAboveRatePolicyAbortsOnGarbageStream) {
   EXPECT_GE(streaming.ingest_stats().lines_read, 2u);
 }
 
+TEST(StreamingTest, FailAboveRatePolicyIsCumulativeAcrossChunks) {
+  StreamingOptions opts;
+  opts.on_malformed = json::MalformedLinePolicy::kFailAboveRate;
+  opts.max_error_rate = 0.10;
+  opts.min_lines_for_rate = 4;
+  StreamingInferencer streaming(opts);
+  // 40 clean lines first: the stream is established as healthy.
+  std::string clean;
+  for (int i = 0; i < 40; ++i) clean += "{\"a\":" + std::to_string(i) + "}\n";
+  ASSERT_TRUE(streaming.AddJsonLines(clean).ok());
+  // A tiny late chunk that is 50% garbage locally but leaves the cumulative
+  // rate at 1/42 ~ 2.4% — well under the 10% tolerance. Per-chunk rate
+  // accounting would abort here; cumulative accounting must not.
+  EXPECT_TRUE(streaming.AddJsonLines("bad\n{\"a\":40}\n").ok());
+  EXPECT_EQ(streaming.record_count(), 41u);
+  EXPECT_EQ(streaming.malformed_count(), 1u);
+
+  // The policy still trips once the *cumulative* rate is exceeded, even when
+  // the garbage arrives spread over many small chunks.
+  Status st = Status::OK();
+  for (int i = 0; i < 10 && st.ok(); ++i) {
+    st = streaming.AddJsonLines("nope\n");
+  }
+  EXPECT_FALSE(st.ok());
+  EXPECT_GT(streaming.malformed_count(), 1u);
+}
+
+TEST(StreamingTest, MinLinesForRateCountsAcrossChunks) {
+  StreamingOptions opts;
+  opts.on_malformed = json::MalformedLinePolicy::kFailAboveRate;
+  opts.max_error_rate = 0.10;
+  opts.min_lines_for_rate = 100;
+  StreamingInferencer streaming(opts);
+  // 95 clean lines, then an all-garbage chunk of 20. The second chunk alone
+  // never reaches min_lines_for_rate (20 < 100), but the cumulative stream
+  // crosses 100 non-blank lines five garbage lines in, so the mid-line rate
+  // check engages and aborts before the whole chunk is consumed — chunk-local
+  // accounting would only notice at end of chunk, after swallowing all 20.
+  std::string clean;
+  for (int i = 0; i < 95; ++i) clean += "{\"a\":" + std::to_string(i) + "}\n";
+  ASSERT_TRUE(streaming.AddJsonLines(clean).ok());
+  std::string garbage;
+  for (int i = 0; i < 20; ++i) garbage += "not json\n";
+  EXPECT_FALSE(streaming.AddJsonLines(garbage).ok());
+  EXPECT_LT(streaming.malformed_count(), 20u);
+  EXPECT_EQ(streaming.record_count(), 95u);
+}
+
 TEST(StreamingTest, MergeConcatenatesIngestReports) {
   StreamingOptions opts;
   opts.on_malformed = json::MalformedLinePolicy::kSkip;

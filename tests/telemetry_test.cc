@@ -1,0 +1,347 @@
+// Tests for the telemetry subsystem: metric exactness under concurrency,
+// span nesting through the Chrome exporter (round-tripped with this repo's
+// own JSON parser), allocation-freedom of the hot paths, and the file sink.
+//
+// This binary replaces global operator new/delete with counting versions so
+// the zero-allocation guarantees of the disabled path (and of the enabled
+// counter/histogram path after registration) are asserted, not assumed.
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fusion/fuse.h"
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "telemetry/telemetry.h"
+
+namespace {
+
+std::atomic<uint64_t> g_alloc_count{0};
+
+}  // namespace
+
+// The replaced operators pair malloc with free internally; GCC's
+// -Wmismatched-new-delete cannot see that the replacement makes the pairing
+// consistent and flags inlined call sites, so it is silenced for this block.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;  // aligned_alloc rule
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace jsonsi {
+namespace {
+
+using telemetry::Histogram;
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+using telemetry::SpanRecord;
+using telemetry::TraceRecorder;
+
+// Every test starts enabled on a zeroed registry and leaves telemetry
+// disabled, so tests cannot observe one another's metrics.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetAll();
+    TraceRecorder::Global().Drain();
+    telemetry::SetEnabled(true);
+  }
+  void TearDown() override {
+    telemetry::SetEnabled(false);
+    MetricsRegistry::Global().ResetAll();
+    TraceRecorder::Global().Drain();
+  }
+};
+
+TEST_F(TelemetryTest, CounterIsExactAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  auto& counter = MetricsRegistry::Global().GetCounter("test.concurrent");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST_F(TelemetryTest, HistogramIsExactAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  auto& hist = MetricsRegistry::Global().GetHistogram("test.hist");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        hist.Record(static_cast<uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const uint64_t n = kThreads * kPerThread;
+  auto snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, n);
+  EXPECT_EQ(snap.sum, n * (n - 1) / 2);  // sum of 0..n-1, recorded once each
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, n - 1);
+  uint64_t bucket_total = 0;
+  for (const auto& [le, count] : snap.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, n);
+}
+
+TEST_F(TelemetryTest, BucketIndexMatchesBounds) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  const uint64_t probes[] = {0, 1, 7, 8, 1000, UINT64_MAX};
+  for (uint64_t v : probes) {
+    size_t k = Histogram::BucketIndex(v);
+    ASSERT_LT(k, Histogram::kNumBuckets);
+    EXPECT_LE(v, Histogram::BucketUpperBound(k));
+    if (k > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(k - 1));
+    }
+  }
+}
+
+TEST_F(TelemetryTest, DisabledMutationsAreInvisible) {
+  auto& counter = MetricsRegistry::Global().GetCounter("test.disabled");
+  auto& hist = MetricsRegistry::Global().GetHistogram("test.disabled_hist");
+  telemetry::SetEnabled(false);
+  counter.Add(7);
+  hist.Record(7);
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(hist.Count(), 0u);
+}
+
+TEST_F(TelemetryTest, SpanNestingRoundTripsThroughChromeExporter) {
+  {
+    JSONSI_SPAN("outer");
+    for (int i = 0; i < 2; ++i) {
+      JSONSI_SPAN("inner");
+    }
+  }
+  std::vector<SpanRecord> spans = TraceRecorder::Global().Drain();
+  ASSERT_EQ(spans.size(), 3u);
+  // Drain sorts by start time: the outer span opened first.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+
+  // Round-trip through the exporter using this repo's own parser.
+  std::string trace_json = telemetry::SpansToChromeTrace(spans);
+  auto doc = json::Parse(trace_json);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const json::Value* events = doc.value()->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->elements().size(), 3u);
+
+  double outer_start = 0, outer_end = 0;
+  for (const auto& ev : events->elements()) {
+    ASSERT_TRUE(ev->is_record());
+    EXPECT_EQ(ev->Find("ph")->str_value(), "X");
+    EXPECT_EQ(ev->Find("cat")->str_value(), "jsonsi");
+    if (ev->Find("name")->str_value() == "outer") {
+      outer_start = ev->Find("ts")->num_value();
+      outer_end = outer_start + ev->Find("dur")->num_value();
+      EXPECT_EQ(ev->Find("args")->Find("depth")->num_value(), 0);
+    }
+  }
+  int inner_count = 0;
+  for (const auto& ev : events->elements()) {
+    if (ev->Find("name")->str_value() != "inner") continue;
+    ++inner_count;
+    EXPECT_EQ(ev->Find("args")->Find("depth")->num_value(), 1);
+    double ts = ev->Find("ts")->num_value();
+    double dur = ev->Find("dur")->num_value();
+    // Nested spans lie within their parent's interval.
+    EXPECT_GE(ts, outer_start);
+    EXPECT_LE(ts + dur, outer_end);
+    // All three spans ran on this thread.
+    EXPECT_EQ(ev->Find("tid")->num_value(),
+              events->elements()[0]->Find("tid")->num_value());
+  }
+  EXPECT_EQ(inner_count, 2);
+}
+
+TEST_F(TelemetryTest, FullRingDropsOldestAndCountsDrops) {
+  TraceRecorder::Global().SetRingCapacity(4);
+  // A fresh thread gets the new, smaller ring.
+  std::thread recorder([] {
+    for (int i = 0; i < 10; ++i) {
+      JSONSI_SPAN("ring");
+    }
+  });
+  recorder.join();
+  EXPECT_EQ(TraceRecorder::Global().dropped_spans(), 6u);
+  std::vector<SpanRecord> spans = TraceRecorder::Global().Drain();
+  EXPECT_EQ(spans.size(), 4u);
+  TraceRecorder::Global().SetRingCapacity(4096);
+}
+
+TEST_F(TelemetryTest, DisabledHotPathDoesNotAllocate) {
+  // Register up front: first GetX for a name allocates by design.
+  auto& counter = MetricsRegistry::Global().GetCounter("test.noalloc");
+  auto& hist = MetricsRegistry::Global().GetHistogram("test.noalloc_hist");
+  telemetry::SetEnabled(false);
+
+  uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    counter.Increment();
+    hist.Record(static_cast<uint64_t>(i));
+    JSONSI_SPAN("noalloc");
+  }
+  uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+}
+
+TEST_F(TelemetryTest, EnabledMetricsDoNotAllocateAfterRegistration) {
+  auto& counter = MetricsRegistry::Global().GetCounter("test.noalloc_on");
+  auto& hist = MetricsRegistry::Global().GetHistogram("test.noalloc_on_hist");
+  counter.Increment();  // warm the thread's shard index
+  hist.Record(1);
+
+  uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    counter.Increment();
+    hist.Record(static_cast<uint64_t>(i));
+  }
+  uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+}
+
+TEST_F(TelemetryTest, DisabledFusionRecordsNothing) {
+  telemetry::SetEnabled(false);
+  auto a = json::Parse(R"({"a": 1, "b": "x"})");
+  auto b = json::Parse(R"({"a": null, "c": [1, 2]})");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  types::TypeRef fused = fusion::Fuse(inference::InferType(*a.value()),
+                                      inference::InferType(*b.value()));
+  ASSERT_NE(fused, nullptr);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.CounterValue("fuse.calls"), 0u);
+  EXPECT_EQ(snap.CounterValue("infer.values"), 0u);
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_EQ(value, 0u) << name;
+  }
+}
+
+TEST_F(TelemetryTest, MetricsJsonRoundTripsThroughOwnParser) {
+  MetricsRegistry::Global().GetCounter("json.counter").Add(42);
+  MetricsRegistry::Global().GetGauge("json.gauge").Set(-7);
+  auto& hist = MetricsRegistry::Global().GetHistogram("json.hist");
+  hist.Record(1);
+  hist.Record(100);
+
+  std::string text =
+      telemetry::MetricsToJson(MetricsRegistry::Global().Snapshot());
+  auto doc = json::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const json::Value* counters = doc.value()->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("json.counter")->num_value(), 42);
+  EXPECT_EQ(doc.value()->Find("gauges")->Find("json.gauge")->num_value(), -7);
+  const json::Value* h = doc.value()->Find("histograms")->Find("json.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Find("count")->num_value(), 2);
+  EXPECT_EQ(h->Find("sum")->num_value(), 101);
+  EXPECT_EQ(h->Find("min")->num_value(), 1);
+  EXPECT_EQ(h->Find("max")->num_value(), 100);
+}
+
+TEST_F(TelemetryTest, PrometheusExportMangledNamesAndCumulativeBuckets) {
+  MetricsRegistry::Global().GetCounter("prom.counter").Add(3);
+  auto& hist = MetricsRegistry::Global().GetHistogram("prom.hist");
+  hist.Record(1);
+  hist.Record(2);
+  hist.Record(1000);
+
+  std::string text =
+      telemetry::MetricsToPrometheus(MetricsRegistry::Global().Snapshot());
+  EXPECT_NE(text.find("# TYPE jsonsi_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("jsonsi_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("jsonsi_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("jsonsi_prom_hist_count 3"), std::string::npos);
+  EXPECT_NE(text.find("jsonsi_prom_hist_sum 1003"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, FileSinkWritesBothOutputs) {
+  MetricsRegistry::Global().GetCounter("sink.counter").Increment();
+  {
+    JSONSI_SPAN("sink");
+  }
+  std::string dir = ::testing::TempDir();
+  std::string metrics_path = dir + "/telemetry_test_metrics.json";
+  std::string trace_path = dir + "/telemetry_test_trace.json";
+  telemetry::FileSink sink(metrics_path, trace_path);
+  ASSERT_TRUE(telemetry::Flush(sink).ok());
+
+  for (const std::string& path : {metrics_path, trace_path}) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto doc = json::Parse(buffer.str());
+    EXPECT_TRUE(doc.ok()) << path << ": " << doc.status();
+  }
+  std::remove(metrics_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(TelemetryTest, NullSinkConsumesFlush) {
+  MetricsRegistry::Global().GetCounter("null.counter").Increment();
+  telemetry::NullSink sink;
+  EXPECT_TRUE(telemetry::Flush(sink).ok());
+}
+
+}  // namespace
+}  // namespace jsonsi

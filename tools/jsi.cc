@@ -37,6 +37,15 @@
 //   jsi codegen <file.jsonl | -> [--root Name] [--namespace ns]
 //       Emits C++17 struct bindings for the inferred schema.
 //
+// Global flags (every subcommand):
+//   --metrics-out <file>   Enables telemetry and writes the end-of-run
+//                          metrics snapshot to <file> — Prometheus text
+//                          when the name ends in .prom, JSON otherwise.
+//   --trace-out <file>     Enables telemetry and writes recorded spans as
+//                          Chrome trace_event JSON (load in about:tracing
+//                          or https://ui.perfetto.dev).
+//   Both accept `--flag value` and `--flag=value` spellings.
+//
 // Exit codes: 0 success, 1 usage error, 2 runtime/validation failure.
 
 #include <cstring>
@@ -60,6 +69,7 @@
 #include "json/serializer.h"
 #include "stats/paths.h"
 #include "support/string_util.h"
+#include "telemetry/telemetry.h"
 #include "types/explain.h"
 #include "types/membership.h"
 #include "types/printer.h"
@@ -86,7 +96,8 @@ int Usage() {
       "  jsi expand <file.jsonl | -> --pattern '<pattern>'\n"
       "  jsi repo add <repo.txt> <source> <file.jsonl | ->\n"
       "  jsi repo show <repo.txt> [source]\n"
-      "  jsi codegen <file.jsonl | -> [--root Name] [--namespace ns]\n";
+      "  jsi codegen <file.jsonl | -> [--root Name] [--namespace ns]\n"
+      "global flags: --metrics-out <file>  --trace-out <file>\n";
   return 1;
 }
 
@@ -113,12 +124,20 @@ void ReportIngest(const jsonsi::json::IngestStats& stats) {
   }
 }
 
+// Accepts both spellings: `--flag value` and `--flag=value`.
 std::optional<std::string> FlagValue(std::vector<std::string>& args,
                                      const std::string& flag) {
-  for (size_t i = 0; i + 1 < args.size(); ++i) {
-    if (args[i] == flag) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == flag && i + 1 < args.size()) {
       std::string value = args[i + 1];
       args.erase(args.begin() + i, args.begin() + i + 2);
+      return value;
+    }
+    if (args[i].size() > flag.size() + 1 &&
+        args[i].compare(0, flag.size(), flag) == 0 &&
+        args[i][flag.size()] == '=') {
+      std::string value = args[i].substr(flag.size() + 1);
+      args.erase(args.begin() + i);
       return value;
     }
   }
@@ -187,6 +206,15 @@ int RunInfer(std::vector<std::string> args) {
               << "inference:      " << jsonsi::FormatFixed(s.infer_seconds, 3)
               << "s\nfusion:         "
               << jsonsi::FormatFixed(s.fuse_seconds, 3) << "s\n";
+    if (jsonsi::telemetry::Enabled()) {
+      // Counter digest of the run (full detail goes to --metrics-out).
+      auto snap = jsonsi::telemetry::MetricsRegistry::Global().Snapshot();
+      std::cerr << "telemetry:      parse " << snap.CounterValue("parse.calls")
+                << " / fuse " << snap.CounterValue("fuse.calls")
+                << " / pool tasks "
+                << snap.CounterValue("pool.tasks_completed") << " / retries "
+                << snap.CounterValue("retry.retries") << "\n";
+    }
   }
   return 0;
 }
@@ -445,10 +473,7 @@ int RunCodegen(std::vector<std::string> args) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+int Dispatch(const std::string& command, std::vector<std::string> args) {
   if (command == "infer") return RunInfer(std::move(args));
   if (command == "gen") return RunGen(std::move(args));
   if (command == "paths") return RunPaths(std::move(args));
@@ -461,4 +486,29 @@ int main(int argc, char** argv) {
   if (command == "repo") return RunRepo(std::move(args));
   if (command == "codegen") return RunCodegen(std::move(args));
   return Usage();
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  // Global observability flags, valid on every subcommand. Either one turns
+  // the (otherwise free) telemetry layer on for the whole process.
+  std::string metrics_out = FlagValue(args, "--metrics-out").value_or("");
+  std::string trace_out = FlagValue(args, "--trace-out").value_or("");
+  const bool telemetry_on = !metrics_out.empty() || !trace_out.empty();
+  if (telemetry_on) jsonsi::telemetry::SetEnabled(true);
+
+  int rc = Dispatch(command, std::move(args));
+
+  if (telemetry_on) {
+    jsonsi::telemetry::FileSink sink(metrics_out, trace_out);
+    jsonsi::Status flushed = jsonsi::telemetry::Flush(sink);
+    if (!flushed.ok()) {
+      std::cerr << "jsi: telemetry flush failed: " << flushed << "\n";
+      if (rc == 0) rc = 2;
+    }
+  }
+  return rc;
 }
