@@ -27,8 +27,10 @@
 #include <vector>
 
 #include "datagen/generator.h"
+#include "fusion/fuse_cache.h"
 #include "fusion/tree_fuser.h"
 #include "inference/infer.h"
+#include "types/interner.h"
 #include "json/serializer.h"
 #include "support/string_util.h"
 #include "support/timer.h"
@@ -127,6 +129,40 @@ inline void PublishBenchTelemetry(datagen::DatasetId id,
       .Set(static_cast<int64_t>(last.fused_size));
 }
 
+/// Publishes the process-wide interning/memoization table stats as gauges
+/// (intern.*, fusecache.*) so BENCH_*.json files carry the cache accounting
+/// alongside the per-dataset rows. No-op when telemetry is off.
+inline void PublishCacheTelemetry() {
+  if (!telemetry::Enabled()) return;
+  auto& registry = telemetry::MetricsRegistry::Global();
+  auto is = types::TypeInterner::Global().stats();
+  registry.GetGauge("intern.live").Set(static_cast<int64_t>(is.size));
+  registry.GetGauge("intern.hit_rate_pct")
+      .Set(static_cast<int64_t>(is.HitRate() * 100));
+  auto cs = fusion::FuseCache::Global().stats();
+  registry.GetGauge("fusecache.live").Set(static_cast<int64_t>(cs.size));
+  registry.GetGauge("fusecache.hit_rate_pct")
+      .Set(static_cast<int64_t>(cs.HitRate() * 100));
+}
+
+/// One-line digest of the interning + fuse-cache tables (process-wide,
+/// cumulative). Printed under each table so the speedup rows can be read
+/// against the hit rates that produced them.
+inline void PrintCacheStats() {
+  auto is = types::TypeInterner::Global().stats();
+  auto cs = fusion::FuseCache::Global().stats();
+  std::printf(
+      "interning[%s]: intern %zu live, %.1f%% hits (%llu/%llu, %llu evicted)"
+      " | fuse-cache %zu live, %.1f%% hits (%llu/%llu, %llu evicted)\n\n",
+      types::InterningEnabled() ? "on" : "off", is.size, is.HitRate() * 100,
+      static_cast<unsigned long long>(is.hits),
+      static_cast<unsigned long long>(is.hits + is.misses),
+      static_cast<unsigned long long>(is.evictions), cs.size,
+      cs.HitRate() * 100, static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.hits + cs.misses),
+      static_cast<unsigned long long>(cs.evictions));
+}
+
 /// Streams `sizes.back()` records of `id`, snapshotting at every size.
 /// Phases are timed in chunks so the clock overhead stays negligible.
 inline std::vector<SnapshotRow> RunStreamingPipeline(
@@ -206,7 +242,10 @@ inline std::vector<SnapshotRow> RunStreamingPipeline(
       ++next_snapshot_index;
     }
   }
-  if (!rows.empty()) PublishBenchTelemetry(id, rows.back());
+  if (!rows.empty()) {
+    PublishBenchTelemetry(id, rows.back());
+    PublishCacheTelemetry();
+  }
   return rows;
 }
 
@@ -235,7 +274,7 @@ inline void PrintTypeTable(const char* title,
                     ? static_cast<double>(r.fused_size) / r.avg_size
                     : 0.0);
   }
-  std::printf("\n");
+  PrintCacheStats();
 }
 
 }  // namespace jsonsi::bench

@@ -125,9 +125,17 @@ void RenderKind(const char* name, uint64_t count, uint64_t total,
   *first = false;
   *out += name;
   // Per-kind counts matter only when the position actually varies.
-  *out += "[" + std::to_string(count) + "]";
+  // (Appended piecewise: operator+(const char*, std::string&&) trips the
+  // GCC 12 -Wrestrict false positive, as in datagen.)
+  out->push_back('[');
+  *out += std::to_string(count);
+  out->push_back(']');
   (void)total;
-  if (stats && !range.empty()) *out += "{" + range + "}";
+  if (stats && !range.empty()) {
+    out->push_back('{');
+    *out += range;
+    out->push_back('}');
+  }
 }
 
 void Render(const ProfileNode& node, bool stats, int depth,

@@ -3,7 +3,9 @@
 #include <array>
 #include <cassert>
 
+#include "fusion/fuse_cache.h"
 #include "telemetry/telemetry.h"
+#include "types/interner.h"
 
 namespace jsonsi::fusion {
 
@@ -122,6 +124,36 @@ TypeRef Fuser::Fuse(const TypeRef& a, const TypeRef& b) const {
     JSONSI_COUNTER("fuse.identity_hits").Increment();
     return a->is_empty() ? b : a;
   }
+
+  // Memoized path: canonicalize operands to their interned representatives
+  // (structurally equal, possibly the same node), then consult the memo
+  // keyed on node identity. Both layers preserve structural equality, so
+  // this branch is invisible apart from speed (differential-tested).
+  if (!interning_active() && !memoization_active()) {
+    return FuseUncached(a, b);
+  }
+  TypeRef ai = a;
+  TypeRef bi = b;
+  if (interning_active()) {
+    types::TypeInterner& interner = types::TypeInterner::Global();
+    ai = interner.Intern(std::move(ai));
+    bi = interner.Intern(std::move(bi));
+  }
+  const uint64_t tag = static_cast<uint64_t>(options_.max_tuple_length);
+  if (memoization_active()) {
+    if (TypeRef hit = FuseCache::Global().Lookup(ai, bi, tag)) return hit;
+  }
+  TypeRef result = FuseUncached(ai, bi);
+  if (interning_active()) {
+    result = types::TypeInterner::Global().Intern(std::move(result));
+  }
+  if (memoization_active()) {
+    FuseCache::Global().Insert(ai, bi, tag, result);
+  }
+  return result;
+}
+
+TypeRef Fuser::FuseUncached(const TypeRef& a, const TypeRef& b) const {
   std::array<TypeRef, 6> ba = BucketByKind(*this, a);
   std::array<TypeRef, 6> bb = BucketByKind(*this, b);
   std::vector<TypeRef> out;

@@ -38,6 +38,20 @@
 // paper's starred simplification. L = 0 (the default, and what the free
 // functions use) is exactly the paper's algorithm. The parameterized
 // operator remains commutative and associative (property-tested).
+//
+// -- Hash-consed, memoized fusion (the hot-path optimization) ---------------
+//
+// Because Fuse is a pure function of its operands' structure, and real
+// datasets repeat the same structural types millions of times, the default
+// Fuser runs *memoized*: operands are canonicalized through the global
+// TypeInterner (types/interner.h), the pair is looked up in the global
+// FuseCache (fuse_cache.h, commutatively normalized), and only misses run
+// the Figure 5/6 merge. Results are interned too, so equal schemas share
+// nodes and later equality checks short-circuit on pointer identity. The
+// optimization is *provably invisible*: outputs are structurally identical
+// to the unoptimized path (differential suite in tests/interning_test.cc),
+// and it is disabled wholesale by `types::SetInterningEnabled(false)`
+// (`jsi --no-intern`) or per-instance via FuseOptions.
 
 #ifndef JSONSI_FUSION_FUSE_H_
 #define JSONSI_FUSION_FUSE_H_
@@ -45,19 +59,34 @@
 #include <cstddef>
 #include <vector>
 
+#include "types/interner.h"
 #include "types/type.h"
 
 namespace jsonsi::fusion {
 
-/// Knobs for the precision/efficiency study.
+/// Knobs for the precision/efficiency study plus the memoization toggles.
 struct FuseOptions {
   /// Exact arrays of equal length <= this fuse positionally (tuple types)
   /// instead of collapsing to a starred body. 0 = paper behaviour.
   size_t max_tuple_length = 0;
+  /// Canonicalize operands/results through the global TypeInterner before
+  /// and after fusing, so structurally equal types share one node.
+  bool intern = true;
+  /// Memoize Fuse(a, b) in the global FuseCache keyed on interned identity.
+  bool memoize = true;
+  /// TreeFuser-level dedup: coalesce structurally identical stream elements
+  /// into (type, count) entries and fuse each distinct type once.
+  bool dedup = true;
+  /// Distinct types buffered by TreeFuser dedup before flushing into the
+  /// balanced-tree slots (bounds memory on mostly-distinct streams).
+  size_t dedup_max_pending = 4096;
 };
 
-/// A fusion operator instance. Stateless apart from its options; cheap to
-/// copy. The default-constructed Fuser implements the paper exactly.
+/// A fusion operator instance. Holds no mutable state of its own (the
+/// interner/memo it consults are process-global); cheap to copy. The
+/// default-constructed Fuser implements the paper exactly, accelerated by
+/// interning + memoization; both layers are identity-preserving and can be
+/// switched off via options or globally (types::SetInterningEnabled).
 class Fuser {
  public:
   explicit Fuser(const FuseOptions& options = {}) : options_(options) {}
@@ -80,7 +109,23 @@ class Fuser {
 
   const FuseOptions& options() const { return options_; }
 
+  /// True when this instance currently interns/memoizes (its options say so
+  /// AND the global switch is on).
+  bool interning_active() const {
+    return options_.intern && types::InterningEnabled();
+  }
+  bool memoization_active() const {
+    return options_.memoize && types::InterningEnabled();
+  }
+  bool dedup_active() const {
+    return options_.dedup && types::InterningEnabled();
+  }
+
  private:
+  /// The unmemoized Figure 5/6 merge (identity cases already handled).
+  types::TypeRef FuseUncached(const types::TypeRef& a,
+                              const types::TypeRef& b) const;
+
   FuseOptions options_;
 };
 

@@ -12,13 +12,30 @@
 // holds the fusion of exactly 2^k stream elements; pushing an element merges
 // carries upward. This is the in-process analogue of Spark's treeReduce and
 // is what the experiment harnesses use for the 1M-record table rows.
+//
+// -- Dedup layer ------------------------------------------------------------
+//
+// Real streams emit the same structural types over and over (GitHub events
+// repeat a few dozen shapes across millions of records). When the fuser's
+// dedup option is active, Add() coalesces structurally identical elements
+// into a bounded (type, count) multiset and the fold fuses each *distinct*
+// type once: the fold of c copies of T is computed by self-fusing T to its
+// fixpoint (reached after at most one step beyond star-normalization — see
+// FusionProperties.SelfFusionStabilizesAndAbsorbs), which is structurally
+// identical to folding the c copies one by one, by associativity. The
+// multiset is bounded (FuseOptions::dedup_max_pending); mostly-distinct
+// streams (Wikidata) spill into the binary-counter slots and behave exactly
+// as before. The whole layer is differential-tested against the plain path.
 
 #ifndef JSONSI_FUSION_TREE_FUSER_H_
 #define JSONSI_FUSION_TREE_FUSER_H_
 
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fusion/fuse.h"
+#include "telemetry/telemetry.h"
 #include "types/type.h"
 
 namespace jsonsi::fusion {
@@ -26,35 +43,92 @@ namespace jsonsi::fusion {
 /// Accumulates types one at a time, fusing in balanced-tree order.
 class TreeFuser {
  public:
+  TreeFuser() = default;
+  /// Fuses with the given operator (tuple mode, memoization, dedup knobs).
+  explicit TreeFuser(Fuser fuser) : fuser_(std::move(fuser)) {}
+
   /// Adds one type to the reduction.
   void Add(types::TypeRef t) {
+    ++count_;
+    if (fuser_.dedup_active()) {
+      auto [it, inserted] = pending_.try_emplace(std::move(t), 0);
+      ++it->second;
+      if (!inserted) {
+        JSONSI_COUNTER("treefuser.dedup_hits").Increment();
+      } else if (pending_.size() >= fuser_.options().dedup_max_pending) {
+        FlushPending();
+      }
+      return;
+    }
+    // Dedup inactive (or toggled off mid-stream): drain any buffered
+    // entries, then fold directly.
+    if (!pending_.empty()) FlushPending();
+    AddToSlots(std::move(t));
+  }
+
+  /// Number of types added so far (dedup included).
+  size_t count() const { return count_; }
+
+  /// Distinct types currently buffered by the dedup layer.
+  size_t pending_distinct() const { return pending_.size(); }
+
+  /// Fuses the outstanding slots (and pending dedup entries) into the final
+  /// result, folding from the first live slot — no Fuse(eps, slot) warm-up
+  /// call. Returns eps when nothing was added. The fuser remains usable;
+  /// Finish() is idempotent between Add() calls.
+  types::TypeRef Finish() const {
+    types::TypeRef acc;
+    for (const types::TypeRef& slot : slots_) {
+      if (!slot) continue;
+      acc = acc ? fuser_.Fuse(acc, slot) : slot;
+    }
+    for (const auto& [t, count] : pending_) {
+      types::TypeRef part = FoldCopies(t, count);
+      acc = acc ? fuser_.Fuse(acc, part) : std::move(part);
+    }
+    return acc ? acc : types::Type::Empty();
+  }
+
+  const Fuser& fuser() const { return fuser_; }
+
+ private:
+  void AddToSlots(types::TypeRef t) {
     // Binary-counter carry: slot k full -> merge and carry into slot k+1.
     size_t k = 0;
     while (k < slots_.size() && slots_[k]) {
-      t = Fuse(slots_[k], t);
+      t = fuser_.Fuse(slots_[k], t);
       slots_[k] = nullptr;
       ++k;
     }
     if (k == slots_.size()) slots_.emplace_back();
     slots_[k] = std::move(t);
-    ++count_;
   }
 
-  /// Number of types added so far.
-  size_t count() const { return count_; }
-
-  /// Fuses the outstanding slots into the final result (eps when empty).
-  /// The fuser remains usable; Finish() is idempotent between Add() calls.
-  types::TypeRef Finish() const {
-    types::TypeRef acc = types::Type::Empty();
-    for (const types::TypeRef& slot : slots_) {
-      if (slot) acc = Fuse(acc, slot);
+  /// Exact fold of `count` copies of t: self-fuse until the accumulator
+  /// stops changing. Fuse is deterministic on structural inputs, so once one
+  /// step is a no-op every further copy is too — the loop result equals the
+  /// count-long left fold for any count >= the fixpoint index.
+  types::TypeRef FoldCopies(const types::TypeRef& t, size_t count) const {
+    types::TypeRef acc = t;
+    for (size_t i = 1; i < count; ++i) {
+      types::TypeRef next = fuser_.Fuse(acc, t);
+      if (next->Equals(*acc)) break;
+      acc = std::move(next);
     }
     return acc;
   }
 
- private:
+  /// Drains the dedup multiset into the binary-counter slots.
+  void FlushPending() {
+    for (auto& [t, count] : pending_) AddToSlots(FoldCopies(t, count));
+    pending_.clear();
+  }
+
+  Fuser fuser_;
   std::vector<types::TypeRef> slots_;  // slot k: fusion of 2^k elements
+  std::unordered_map<types::TypeRef, size_t, types::TypeRefHash,
+                     types::TypeRefEq>
+      pending_;  // dedup multiset: distinct type -> multiplicity
   size_t count_ = 0;
 };
 

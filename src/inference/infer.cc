@@ -4,6 +4,7 @@
 
 #include "json/parser.h"
 #include "telemetry/telemetry.h"
+#include "types/interner.h"
 
 namespace jsonsi::inference {
 
@@ -16,7 +17,14 @@ using types::TypeRef;
 namespace {
 
 // The Figure 4 recursion; InferType wraps it with per-value accounting.
-TypeRef InferNode(const Value& value) {
+// When interning is enabled, record and array nodes are hash-consed at
+// construction, bottom-up: repeated shapes (the common case on real
+// datasets) share one node tree, so the Reduce phase sees pointer-identical
+// types, dedup and the fusion memo key on identity, and equality checks
+// short-circuit. Leaves need no interning — the basic-type factories are
+// already process-wide singletons. Interning returns a structurally equal
+// node, so the inferred type is unchanged either way (differential-tested).
+TypeRef InferNode(const Value& value, const bool intern) {
   switch (value.kind()) {
     case ValueKind::kNull:
       return Type::Null();
@@ -30,18 +38,21 @@ TypeRef InferNode(const Value& value) {
       std::vector<FieldType> fields;
       fields.reserve(value.fields().size());
       for (const json::Field& f : value.fields()) {
-        fields.push_back({f.key, InferNode(*f.value), /*optional=*/false});
+        fields.push_back(
+            {f.key, InferNode(*f.value, intern), /*optional=*/false});
       }
       // Value fields are key-sorted and unique already.
-      return Type::RecordFromSorted(std::move(fields));
+      TypeRef t = Type::RecordFromSorted(std::move(fields));
+      return intern ? types::TypeInterner::Global().Intern(std::move(t)) : t;
     }
     case ValueKind::kArray: {
       std::vector<TypeRef> elements;
       elements.reserve(value.elements().size());
       for (const json::ValueRef& e : value.elements()) {
-        elements.push_back(InferNode(*e));
+        elements.push_back(InferNode(*e, intern));
       }
-      return Type::ArrayExact(std::move(elements));
+      TypeRef t = Type::ArrayExact(std::move(elements));
+      return intern ? types::TypeInterner::Global().Intern(std::move(t)) : t;
     }
   }
   return Type::Null();
@@ -50,7 +61,7 @@ TypeRef InferNode(const Value& value) {
 }  // namespace
 
 TypeRef InferType(const Value& value) {
-  TypeRef t = InferNode(value);
+  TypeRef t = InferNode(value, types::InterningEnabled());
   if (telemetry::Enabled()) {
     JSONSI_COUNTER("infer.values").Increment();
     JSONSI_HISTOGRAM("infer.type_size").Record(t->size());

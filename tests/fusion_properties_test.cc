@@ -7,17 +7,25 @@
 //   normal-form invariant:       Fuse of normal types is normal
 //   idempotence:                 Fuse(T, T) == T (on fused/normal types)
 //   plus fold-order independence over whole collections.
+//
+// Every law runs in TWO modes (testing::Combine): against the plain
+// Figure 5/6 operator with all acceleration off, and against the default
+// hash-consed + memoized operator. A memo bug (stale entry, bad key
+// normalization, options aliasing) that broke any theorem would fail the
+// kMemoized leg while kPlain stays green, pinpointing the cache.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <numeric>
+#include <tuple>
 #include <vector>
 
 #include "engine/cluster_sim.h"
 #include "fusion/fuse.h"
 #include "inference/infer.h"
 #include "random_value_gen.h"
+#include "types/interner.h"
 #include "types/membership.h"
 #include "types/printer.h"
 
@@ -31,10 +39,27 @@ using types::ToString;
 using types::Type;
 using types::TypeRef;
 
+enum class FuseMode { kPlain, kMemoized };
+
+const char* ModeName(FuseMode mode) {
+  return mode == FuseMode::kPlain ? "plain" : "memoized";
+}
+
+Fuser MakeFuser(FuseMode mode) {
+  FuseOptions opts;
+  if (mode == FuseMode::kPlain) {
+    opts.intern = false;
+    opts.memoize = false;
+    opts.dedup = false;
+  }
+  return Fuser(opts);
+}
+
 // Random *normal* types are obtained the way the system produces them: by
 // inferring from random values and optionally pre-fusing a few, which also
 // covers unions, optional fields, and starred arrays.
-std::vector<TypeRef> RandomNormalTypes(uint64_t seed, size_t count) {
+std::vector<TypeRef> RandomNormalTypes(const Fuser& fuser, uint64_t seed,
+                                       size_t count) {
   auto values =
       jsonsi::testing::RandomValues(seed, count * 2);
   std::vector<TypeRef> out;
@@ -44,40 +69,48 @@ std::vector<TypeRef> RandomNormalTypes(uint64_t seed, size_t count) {
     if (i % 2 == 1) {
       // Every other sample is itself a fusion result, so the properties are
       // exercised on union/starred types too.
-      t = Fuse(t, inference::InferType(*values[2 * i + 1]));
+      t = fuser.Fuse(t, inference::InferType(*values[2 * i + 1]));
     }
     out.push_back(t);
   }
   return out;
 }
 
-class FusionProperties : public ::testing::TestWithParam<uint64_t> {};
+class FusionProperties
+    : public ::testing::TestWithParam<std::tuple<uint64_t, FuseMode>> {
+ protected:
+  uint64_t seed() const { return std::get<0>(GetParam()); }
+  FuseMode mode() const { return std::get<1>(GetParam()); }
+  Fuser fuser() const { return MakeFuser(mode()); }
+};
 
 TEST_P(FusionProperties, Commutativity) {
-  auto ts = RandomNormalTypes(GetParam(), 12);
+  const Fuser f = fuser();
+  auto ts = RandomNormalTypes(f, seed(), 12);
   for (size_t i = 0; i < ts.size(); ++i) {
     for (size_t j = 0; j < ts.size(); ++j) {
-      TypeRef ab = Fuse(ts[i], ts[j]);
-      TypeRef ba = Fuse(ts[j], ts[i]);
+      TypeRef ab = f.Fuse(ts[i], ts[j]);
+      TypeRef ba = f.Fuse(ts[j], ts[i]);
       ASSERT_TRUE(ab->Equals(*ba))
-          << "seed=" << GetParam() << "\n a=" << ToString(*ts[i])
-          << "\n b=" << ToString(*ts[j]) << "\n ab=" << ToString(*ab)
-          << "\n ba=" << ToString(*ba);
+          << "seed=" << seed() << " mode=" << ModeName(mode())
+          << "\n a=" << ToString(*ts[i]) << "\n b=" << ToString(*ts[j])
+          << "\n ab=" << ToString(*ab) << "\n ba=" << ToString(*ba);
     }
   }
 }
 
 TEST_P(FusionProperties, Associativity) {
-  auto ts = RandomNormalTypes(GetParam() + 1000, 8);
+  const Fuser f = fuser();
+  auto ts = RandomNormalTypes(f, seed() + 1000, 8);
   for (size_t i = 0; i < ts.size(); ++i) {
     for (size_t j = 0; j < ts.size(); ++j) {
       for (size_t k = 0; k < ts.size(); k += 3) {
-        TypeRef left = Fuse(Fuse(ts[i], ts[j]), ts[k]);
-        TypeRef right = Fuse(ts[i], Fuse(ts[j], ts[k]));
+        TypeRef left = f.Fuse(f.Fuse(ts[i], ts[j]), ts[k]);
+        TypeRef right = f.Fuse(ts[i], f.Fuse(ts[j], ts[k]));
         ASSERT_TRUE(left->Equals(*right))
-            << "seed=" << GetParam() << "\n a=" << ToString(*ts[i])
-            << "\n b=" << ToString(*ts[j]) << "\n c=" << ToString(*ts[k])
-            << "\n (ab)c=" << ToString(*left)
+            << "seed=" << seed() << " mode=" << ModeName(mode())
+            << "\n a=" << ToString(*ts[i]) << "\n b=" << ToString(*ts[j])
+            << "\n c=" << ToString(*ts[k]) << "\n (ab)c=" << ToString(*left)
             << "\n a(bc)=" << ToString(*right);
       }
     }
@@ -87,38 +120,44 @@ TEST_P(FusionProperties, Associativity) {
 TEST_P(FusionProperties, CorrectnessMembershipPreserved) {
   // For sampled values: once a value's inferred type enters a fusion, the
   // value stays a member of every further fusion result (Thm 5.2 iterated).
-  auto values = jsonsi::testing::RandomValues(GetParam() + 2000, 20);
+  // The Matches witness (Lemma 5.1) must hold on memoized results too —
+  // a stale cache hit would hand back a supertype of the *wrong* pair.
+  const Fuser f = fuser();
+  auto values = jsonsi::testing::RandomValues(seed() + 2000, 20);
   std::vector<TypeRef> types;
   types.reserve(values.size());
   for (const ValueRef& v : values) {
     types.push_back(inference::InferType(*v));
   }
-  TypeRef fused = FuseAll(types);
+  TypeRef fused = f.FuseAll(types);
   for (size_t i = 0; i < values.size(); ++i) {
     ASSERT_TRUE(Matches(*values[i], *fused))
-        << "seed=" << GetParam() << " value#" << i
+        << "seed=" << seed() << " mode=" << ModeName(mode()) << " value#" << i
         << " fused=" << ToString(*fused);
   }
 }
 
 TEST_P(FusionProperties, PairwiseCorrectnessBothSides) {
-  auto values = jsonsi::testing::RandomValues(GetParam() + 3000, 10);
+  const Fuser f = fuser();
+  auto values = jsonsi::testing::RandomValues(seed() + 3000, 10);
   for (size_t i = 0; i + 1 < values.size(); i += 2) {
     TypeRef ta = inference::InferType(*values[i]);
     TypeRef tb = inference::InferType(*values[i + 1]);
-    TypeRef f = Fuse(ta, tb);
-    ASSERT_TRUE(Matches(*values[i], *f)) << ToString(*f);
-    ASSERT_TRUE(Matches(*values[i + 1], *f)) << ToString(*f);
+    TypeRef fab = f.Fuse(ta, tb);
+    ASSERT_TRUE(Matches(*values[i], *fab)) << ToString(*fab);
+    ASSERT_TRUE(Matches(*values[i + 1], *fab)) << ToString(*fab);
   }
 }
 
 TEST_P(FusionProperties, NormalityPreserved) {
-  auto ts = RandomNormalTypes(GetParam() + 4000, 10);
+  const Fuser f = fuser();
+  auto ts = RandomNormalTypes(f, seed() + 4000, 10);
   for (const TypeRef& t : ts) ASSERT_TRUE(IsNormal(t)) << ToString(*t);
   TypeRef acc = Type::Empty();
   for (const TypeRef& t : ts) {
-    acc = Fuse(acc, t);
-    ASSERT_TRUE(IsNormal(acc)) << "seed=" << GetParam()
+    acc = f.Fuse(acc, t);
+    ASSERT_TRUE(IsNormal(acc)) << "seed=" << seed()
+                               << " mode=" << ModeName(mode())
                                << " acc=" << ToString(*acc);
   }
 }
@@ -129,33 +168,35 @@ TEST_P(FusionProperties, SelfFusionStabilizesAndAbsorbs) {
   // simplification, so Fuse(T, T) may differ from T. One self-fusion
   // star-normalizes every reachable array, after which fusion is a join:
   // idempotent and absorbing.
-  auto ts = RandomNormalTypes(GetParam() + 5000, 10);
-  TypeRef fused = FuseAll(ts);
-  TypeRef stable = Fuse(fused, fused);
-  ASSERT_TRUE(Fuse(stable, stable)->Equals(*stable)) << ToString(*stable);
+  const Fuser f = fuser();
+  auto ts = RandomNormalTypes(f, seed() + 5000, 10);
+  TypeRef fused = f.FuseAll(ts);
+  TypeRef stable = f.Fuse(fused, fused);
+  ASSERT_TRUE(f.Fuse(stable, stable)->Equals(*stable)) << ToString(*stable);
   // Absorption: every input is already included in the stabilized schema.
   for (const TypeRef& t : ts) {
-    ASSERT_TRUE(Fuse(stable, t)->Equals(*stable))
-        << "seed=" << GetParam() << "\n t=" << ToString(*t)
-        << "\n stable=" << ToString(*stable);
+    ASSERT_TRUE(f.Fuse(stable, t)->Equals(*stable))
+        << "seed=" << seed() << " mode=" << ModeName(mode())
+        << "\n t=" << ToString(*t) << "\n stable=" << ToString(*stable);
   }
 }
 
 TEST_P(FusionProperties, FoldOrderIrrelevant) {
-  auto ts = RandomNormalTypes(GetParam() + 6000, 9);
+  const Fuser f = fuser();
+  auto ts = RandomNormalTypes(f, seed() + 6000, 9);
   // Left fold.
-  TypeRef left = FuseAll(ts);
+  TypeRef left = f.FuseAll(ts);
   // Right fold.
   TypeRef right = Type::Empty();
   for (auto it = ts.rbegin(); it != ts.rend(); ++it) {
-    right = Fuse(*it, right);
+    right = f.Fuse(*it, right);
   }
   // Balanced tree fold.
   std::vector<TypeRef> layer = ts;
   while (layer.size() > 1) {
     std::vector<TypeRef> next;
     for (size_t i = 0; i + 1 < layer.size(); i += 2) {
-      next.push_back(Fuse(layer[i], layer[i + 1]));
+      next.push_back(f.Fuse(layer[i], layer[i + 1]));
     }
     if (layer.size() % 2) next.push_back(layer.back());
     layer = std::move(next);
@@ -168,15 +209,36 @@ TEST_P(FusionProperties, FoldOrderIrrelevant) {
 TEST_P(FusionProperties, FusedSizeBounded) {
   // Succinctness direction of the design: the fused type is never larger
   // than the concatenation of inputs (it collapses shared structure).
-  auto ts = RandomNormalTypes(GetParam() + 7000, 10);
+  const Fuser f = fuser();
+  auto ts = RandomNormalTypes(f, seed() + 7000, 10);
   size_t total = 0;
   for (const TypeRef& t : ts) total += t->size();
-  TypeRef fused = FuseAll(ts);
+  TypeRef fused = f.FuseAll(ts);
   EXPECT_LE(fused->size(), total + ts.size());  // + union-node slack
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FusionProperties,
-                         ::testing::Range<uint64_t>(0, 20));
+TEST_P(FusionProperties, PlainAndMemoizedAgree) {
+  // Direct cross-mode differential (runs once per mode; trivially symmetric):
+  // whatever mode this instantiation uses, the other mode yields the same
+  // schema for the same fold.
+  const Fuser f = fuser();
+  const Fuser other =
+      MakeFuser(mode() == FuseMode::kPlain ? FuseMode::kMemoized
+                                           : FuseMode::kPlain);
+  auto ts = RandomNormalTypes(f, seed() + 8000, 12);
+  ASSERT_TRUE(f.FuseAll(ts)->Equals(*other.FuseAll(ts)))
+      << "seed=" << seed() << " mode=" << ModeName(mode());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FusionProperties,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 20),
+                       ::testing::Values(FuseMode::kPlain,
+                                         FuseMode::kMemoized)),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, FuseMode>>& info) {
+      return std::string(ModeName(std::get<1>(info.param))) + "_" +
+             std::to_string(std::get<0>(info.param));
+    });
 
 // The correctness anchor of fault-tolerant execution: whatever failure and
 // retry schedule the cluster suffers, the fused schema equals the

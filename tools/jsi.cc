@@ -44,7 +44,11 @@
 //   --trace-out <file>     Enables telemetry and writes recorded spans as
 //                          Chrome trace_event JSON (load in about:tracing
 //                          or https://ui.perfetto.dev).
-//   Both accept `--flag value` and `--flag=value` spellings.
+//   --no-intern            Disables hash-consed type interning and fusion
+//                          memoization (docs/performance.md) for this run —
+//                          the escape hatch for A/B timing and debugging;
+//                          results are structurally identical either way.
+//   Value flags accept `--flag value` and `--flag=value` spellings.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime/validation failure.
 
@@ -70,7 +74,9 @@
 #include "stats/paths.h"
 #include "support/string_util.h"
 #include "telemetry/telemetry.h"
+#include "fusion/fuse_cache.h"
 #include "types/explain.h"
+#include "types/interner.h"
 #include "types/membership.h"
 #include "types/printer.h"
 #include "types/type_parser.h"
@@ -97,7 +103,7 @@ int Usage() {
       "  jsi repo add <repo.txt> <source> <file.jsonl | ->\n"
       "  jsi repo show <repo.txt> [source]\n"
       "  jsi codegen <file.jsonl | -> [--root Name] [--namespace ns]\n"
-      "global flags: --metrics-out <file>  --trace-out <file>\n";
+      "global flags: --metrics-out <file>  --trace-out <file>  --no-intern\n";
   return 1;
 }
 
@@ -214,6 +220,17 @@ int RunInfer(std::vector<std::string> args) {
                 << " / pool tasks "
                 << snap.CounterValue("pool.tasks_completed") << " / retries "
                 << snap.CounterValue("retry.retries") << "\n";
+    }
+    if (jsonsi::types::InterningEnabled()) {
+      // Interning/memoization digest — always-on internal stats, no
+      // telemetry needed (docs/performance.md).
+      auto is = jsonsi::types::TypeInterner::Global().stats();
+      auto cs = jsonsi::fusion::FuseCache::Global().stats();
+      std::cerr << "interning:      "
+                << jsonsi::FormatFixed(is.HitRate() * 100, 1)
+                << "% intern hits (" << is.size << " live) / "
+                << jsonsi::FormatFixed(cs.HitRate() * 100, 1)
+                << "% fuse-cache hits (" << cs.size << " live)\n";
     }
   }
   return 0;
@@ -499,6 +516,9 @@ int main(int argc, char** argv) {
   std::string trace_out = FlagValue(args, "--trace-out").value_or("");
   const bool telemetry_on = !metrics_out.empty() || !trace_out.empty();
   if (telemetry_on) jsonsi::telemetry::SetEnabled(true);
+  // Opt out of the interning/memoization acceleration (identity-preserving,
+  // so only timings change).
+  if (Flag(args, "--no-intern")) jsonsi::types::SetInterningEnabled(false);
 
   int rc = Dispatch(command, std::move(args));
 
