@@ -41,7 +41,8 @@ int main() {
   std::printf("%-10s | %12s | %12s | %9s | %6s\n", "Dataset", "full re-run",
               "incremental", "speedup", "equal");
   std::printf(
-      "----------------------------------------------------------------------\n");
+      "-----------------------------------------------------------------"
+      "-----\n");
 
   for (auto id : datagen::AllDatasets()) {
     auto gen = datagen::MakeGenerator(id, bench::BenchSeed());

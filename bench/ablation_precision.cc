@@ -23,7 +23,8 @@ int main() {
   std::printf("%-10s | %10s %10s | %8s %12s %10s\n", "Dataset", "fused sz",
               "coerced sz", "unions", "->Str", "struct lost");
   std::printf(
-      "----------------------------------------------------------------------\n");
+      "-----------------------------------------------------------------"
+      "-----\n");
 
   for (auto id : datagen::AllDatasets()) {
     auto gen = datagen::MakeGenerator(id, bench::BenchSeed());

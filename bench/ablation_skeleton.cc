@@ -28,7 +28,8 @@ int main() {
   std::printf("%-10s | %9s %9s | %9s %9s | %9s %9s\n", "Dataset", "ours cov",
               "ours sz", "sk1% cov", "sk1% sz", "sk5% cov", "sk5% sz");
   std::printf(
-      "----------------------------------------------------------------------\n");
+      "-----------------------------------------------------------------"
+      "-----\n");
 
   for (auto id : datagen::AllDatasets()) {
     auto gen = datagen::MakeGenerator(id, bench::BenchSeed());

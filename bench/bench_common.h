@@ -14,6 +14,11 @@
 //                    per-phase accounting as BENCH_<name>.json into the
 //                    named directory ("1" means the current directory) —
 //                    the machine-readable companion of the printed tables.
+//   JSI_BENCH_QUICK  smoke mode for CI: caps SnapshotSizes() at 10K records
+//                    (unless JSI_MAX_RECORDS overrides) and makes
+//                    google-benchmark mains run each benchmark for ~0.01s
+//                    (ApplyQuickArgs). Numbers are meaningless for
+//                    comparison — the point is that every harness executes.
 
 #ifndef JSONSI_BENCH_BENCH_COMMON_H_
 #define JSONSI_BENCH_BENCH_COMMON_H_
@@ -44,9 +49,33 @@ inline uint64_t EnvU64(const char* name, uint64_t fallback) {
   return v ? std::strtoull(v, nullptr, 10) : fallback;
 }
 
-/// The paper's sub-dataset sizes (1K/10K/100K/1M), capped by JSI_MAX_RECORDS.
+/// True when JSI_BENCH_QUICK asks for a smoke run (any value but "" / "0").
+inline bool BenchQuick() {
+  const char* v = std::getenv("JSI_BENCH_QUICK");
+  return v && *v && std::strcmp(v, "0") != 0;
+}
+
+/// Rewrites (argc, argv) before benchmark::Initialize when quick mode is
+/// on: injects --benchmark_min_time=0.01 unless the command line already
+/// sets one. Call once at the top of a google-benchmark main; storage is
+/// static, so the pointers stay valid for the process lifetime.
+inline void ApplyQuickArgs(int* argc, char*** argv) {
+  if (!BenchQuick()) return;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strstr((*argv)[i], "--benchmark_min_time") != nullptr) return;
+  }
+  static std::vector<char*> args(*argv, *argv + *argc);
+  static char flag[] = "--benchmark_min_time=0.01";
+  args.push_back(flag);
+  args.push_back(nullptr);
+  *argv = args.data();
+  *argc = static_cast<int>(args.size()) - 1;
+}
+
+/// The paper's sub-dataset sizes (1K/10K/100K/1M), capped by JSI_MAX_RECORDS
+/// (default 1M, or 10K under JSI_BENCH_QUICK).
 inline std::vector<uint64_t> SnapshotSizes() {
-  uint64_t cap = EnvU64("JSI_MAX_RECORDS", 1000000);
+  uint64_t cap = EnvU64("JSI_MAX_RECORDS", BenchQuick() ? 10000 : 1000000);
   std::vector<uint64_t> sizes;
   for (uint64_t s : {1000ull, 10000ull, 100000ull, 1000000ull}) {
     if (s <= cap) sizes.push_back(s);

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <numeric>
 
 #include "datagen/generator.h"
@@ -28,33 +30,44 @@ void BM_ThreadPoolDispatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 64);
 }
-BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4)->Name("ThreadPool/dispatch64/threads");
+BENCHMARK(BM_ThreadPoolDispatch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Name("ThreadPool/dispatch64/threads");
 
 void BM_DatasetMap(benchmark::State& state) {
   engine::ThreadPool pool(2);
   std::vector<int> items(100000);
   std::iota(items.begin(), items.end(), 0);
-  auto ds = engine::Dataset<int>::FromVector(items,
-                                             static_cast<size_t>(state.range(0)));
+  auto ds = engine::Dataset<int>::FromVector(
+      items, static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     auto out = ds.Map(pool, [](const int& x) { return x * 2; });
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(state.iterations() * 100000);
 }
-BENCHMARK(BM_DatasetMap)->Arg(1)->Arg(8)->Arg(64)->Name("Dataset/map100k/partitions");
+BENCHMARK(BM_DatasetMap)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Name("Dataset/map100k/partitions");
 
 void BM_DatasetReduce(benchmark::State& state) {
   engine::ThreadPool pool(2);
   std::vector<int> items(100000, 1);
-  auto ds = engine::Dataset<int>::FromVector(items,
-                                             static_cast<size_t>(state.range(0)));
+  auto ds = engine::Dataset<int>::FromVector(
+      items, static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     int sum = ds.Reduce(pool, 0, [](int a, int b) { return a + b; });
     benchmark::DoNotOptimize(sum);
   }
 }
-BENCHMARK(BM_DatasetReduce)->Arg(1)->Arg(8)->Arg(64)->Name("Dataset/reduce100k/partitions");
+BENCHMARK(BM_DatasetReduce)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Name("Dataset/reduce100k/partitions");
 
 void BM_EnginePipeline(benchmark::State& state) {
   // The paper's full dataflow through the engine: map InferType, reduce
@@ -95,4 +108,14 @@ BENCHMARK(BM_ClusterSimulation)->Arg(60)->Arg(600)->Name("ClusterSim/tasks");
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Writes BENCH_micro_engine.json under JSI_BENCH_JSON (see bench_common.h).
+  jsonsi::bench::BenchJsonScope scope("micro_engine");
+  jsonsi::bench::ApplyQuickArgs(&argc, &argv);  // JSI_BENCH_QUICK smoke mode
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  jsonsi::bench::PublishCacheTelemetry();
+  return 0;
+}

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <vector>
 
 #include "datagen/generator.h"
@@ -37,7 +39,8 @@ void BM_ParseRecord(benchmark::State& state) {
 BENCHMARK(BM_ParseRecord)->DenseRange(0, 3)->Name("Parse/dataset");
 
 void BM_SerializeRecord(benchmark::State& state) {
-  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 1);
+  auto values =
+      SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 1);
   std::string out;
   for (auto _ : state) {
     out.clear();
@@ -48,7 +51,8 @@ void BM_SerializeRecord(benchmark::State& state) {
 BENCHMARK(BM_SerializeRecord)->DenseRange(0, 3)->Name("Serialize/dataset");
 
 void BM_InferType(benchmark::State& state) {
-  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 64);
+  auto values =
+      SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 64);
   size_t i = 0;
   for (auto _ : state) {
     auto t = inference::InferType(*values[i++ % values.size()]);
@@ -58,7 +62,8 @@ void BM_InferType(benchmark::State& state) {
 BENCHMARK(BM_InferType)->DenseRange(0, 3)->Name("InferType/dataset");
 
 void BM_FusePair(benchmark::State& state) {
-  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 64);
+  auto values =
+      SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 64);
   std::vector<types::TypeRef> ts;
   for (const auto& v : values) ts.push_back(inference::InferType(*v));
   size_t i = 0;
@@ -73,7 +78,8 @@ BENCHMARK(BM_FusePair)->DenseRange(0, 3)->Name("FusePair/dataset");
 void BM_FuseIntoAccumulator(benchmark::State& state) {
   // The per-record cost of maintaining a schema accumulator (the left-fold
   // reduce step); range(0) selects the dataset.
-  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 256);
+  auto values =
+      SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 256);
   std::vector<types::TypeRef> ts;
   for (const auto& v : values) ts.push_back(inference::InferType(*v));
   types::TypeRef acc = fusion::FuseAll(ts);  // pre-warmed accumulator
@@ -86,7 +92,8 @@ void BM_FuseIntoAccumulator(benchmark::State& state) {
 BENCHMARK(BM_FuseIntoAccumulator)->DenseRange(0, 3)->Name("FuseAccum/dataset");
 
 void BM_LeftFold1000(benchmark::State& state) {
-  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 1000);
+  auto values =
+      SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 1000);
   std::vector<types::TypeRef> ts;
   for (const auto& v : values) ts.push_back(inference::InferType(*v));
   for (auto _ : state) {
@@ -100,7 +107,8 @@ BENCHMARK(BM_LeftFold1000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_TreeFold1000(benchmark::State& state) {
-  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 1000);
+  auto values =
+      SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 1000);
   std::vector<types::TypeRef> ts;
   for (const auto& v : values) ts.push_back(inference::InferType(*v));
   for (auto _ : state) {
@@ -136,7 +144,8 @@ void BM_CollapseArray(benchmark::State& state) {
 BENCHMARK(BM_CollapseArray)->Arg(4)->Arg(32)->Arg(256)->Name("Collapse/len");
 
 void BM_Membership(benchmark::State& state) {
-  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 64);
+  auto values =
+      SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 64);
   std::vector<types::TypeRef> ts;
   for (const auto& v : values) ts.push_back(inference::InferType(*v));
   types::TypeRef schema = fusion::FuseAll(ts);
@@ -149,7 +158,8 @@ void BM_Membership(benchmark::State& state) {
 BENCHMARK(BM_Membership)->DenseRange(0, 3)->Name("Matches/dataset");
 
 void BM_ProfilerObserve(benchmark::State& state) {
-  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 256);
+  auto values =
+      SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 256);
   annotate::SchemaProfiler profiler;
   size_t i = 0;
   for (auto _ : state) {
@@ -161,7 +171,8 @@ void BM_ProfilerObserve(benchmark::State& state) {
 BENCHMARK(BM_ProfilerObserve)->DenseRange(0, 3)->Name("Profiler/dataset");
 
 void BM_SubtypeCheck(benchmark::State& state) {
-  auto values = SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 128);
+  auto values =
+      SampleValues(static_cast<datagen::DatasetId>(state.range(0)), 128);
   std::vector<types::TypeRef> ts;
   for (const auto& v : values) ts.push_back(inference::InferType(*v));
   types::TypeRef schema = fusion::FuseAll(ts);
@@ -175,4 +186,14 @@ BENCHMARK(BM_SubtypeCheck)->DenseRange(0, 3)->Name("Subtype/dataset");
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Writes BENCH_micro_fusion.json under JSI_BENCH_JSON (see bench_common.h).
+  jsonsi::bench::BenchJsonScope scope("micro_fusion");
+  jsonsi::bench::ApplyQuickArgs(&argc, &argv);  // JSI_BENCH_QUICK smoke mode
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  jsonsi::bench::PublishCacheTelemetry();
+  return 0;
+}

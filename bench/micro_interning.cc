@@ -192,6 +192,7 @@ int main(int argc, char** argv) {
   // registry to BENCH_interning.json on exit; the final-table gauges are
   // published just before that flush.
   jsonsi::bench::BenchJsonScope scope("interning");
+  jsonsi::bench::ApplyQuickArgs(&argc, &argv);  // JSI_BENCH_QUICK smoke mode
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

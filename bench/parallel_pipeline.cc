@@ -1,0 +1,125 @@
+// Parallel end-to-end pipeline scaling harness.
+//
+// Measures the full text-to-schema pipeline (chunked JSONL ingestion +
+// partition-parallel map/fuse + parallel tree-reduce, see
+// core/schema_inferencer.h) at 1/2/4/8 threads over the GitHub and Twitter
+// generators, reporting wall-clock, records/s, and speedup vs the serial
+// path. The schema of every thread count is checked structurally identical
+// to the 1-thread result — a mismatch exits non-zero, so this harness
+// doubles as a determinism gate on real-sized inputs.
+//
+// Speedups are only meaningful on multi-core hosts; the printed table
+// includes the detected hardware concurrency so flat numbers on a 1-core
+// box read as expected, not as a regression.
+//
+// Knobs: JSI_MAX_RECORDS (default 200,000 or 5,000 under JSI_BENCH_QUICK),
+// JSI_SEED, JSI_BENCH_JSON (writes BENCH_parallel_pipeline.json).
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/schema_inferencer.h"
+#include "json/jsonl.h"
+#include "types/type.h"
+
+namespace {
+
+using namespace jsonsi;
+
+struct Measurement {
+  size_t threads = 0;
+  double seconds = 0;
+  core::Schema schema;
+};
+
+Measurement RunOnce(const std::string& text, size_t threads) {
+  core::InferenceOptions options;
+  options.num_threads = threads;
+  options.parallel_ingest_min_bytes = 0;
+  Measurement m;
+  m.threads = threads;
+  Stopwatch watch;
+  auto result = core::SchemaInferencer(options).InferFromJsonLines(text);
+  m.seconds = watch.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "parallel_pipeline: inference failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  m.schema = std::move(result).value();
+  return m;
+}
+
+int RunDataset(datagen::DatasetId id, uint64_t records) {
+  auto gen = datagen::MakeGenerator(id, bench::BenchSeed());
+  std::vector<json::ValueRef> values;
+  values.reserve(records);
+  for (uint64_t i = 0; i < records; ++i) values.push_back(gen->Generate(i));
+  const std::string text = json::ToJsonLines(values);
+  values.clear();
+
+  std::printf("%s: %s records, %.1f MiB JSONL\n", datagen::DatasetName(id),
+              bench::SizeLabel(records).c_str(),
+              static_cast<double>(text.size()) / (1024.0 * 1024.0));
+  std::printf("%8s %10s %12s %9s\n", "threads", "wall s", "records/s",
+              "speedup");
+
+  double serial_seconds = 0;
+  types::TypeRef serial_type;
+  int failures = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    Measurement m = RunOnce(text, threads);
+    if (threads == 1) {
+      serial_seconds = m.seconds;
+      serial_type = m.schema.type;
+    } else if (!types::TypeEquals(serial_type, m.schema.type)) {
+      // The determinism gate: parallel output must be structurally
+      // identical to serial, not merely equivalent-looking.
+      std::fprintf(stderr,
+                   "parallel_pipeline: %s @ %zu threads diverged from the "
+                   "serial schema\n",
+                   datagen::DatasetName(id), threads);
+      ++failures;
+    }
+    double speedup = m.seconds > 0 ? serial_seconds / m.seconds : 0;
+    std::printf("%8zu %10.3f %12.0f %8.2fx\n", threads, m.seconds,
+                m.seconds > 0 ? static_cast<double>(records) / m.seconds : 0,
+                speedup);
+    if (telemetry::Enabled()) {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      const std::string prefix = std::string("bench.parallel.") +
+                                 datagen::DatasetName(id) + ".t" +
+                                 std::to_string(threads);
+      registry.GetGauge(prefix + ".wall_ns")
+          .Set(static_cast<int64_t>(m.seconds * 1e9));
+      registry.GetGauge(prefix + ".speedup_x100")
+          .Set(static_cast<int64_t>(speedup * 100));
+    }
+  }
+  std::printf("\n");
+  return failures;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchJsonScope scope("parallel_pipeline");
+  const uint64_t records =
+      bench::EnvU64("JSI_MAX_RECORDS", bench::BenchQuick() ? 5000 : 200000);
+  std::printf("Parallel pipeline scaling (hardware concurrency: %u)\n\n",
+              std::thread::hardware_concurrency());
+  int failures = 0;
+  failures += RunDataset(datagen::DatasetId::kGitHub, records);
+  failures += RunDataset(datagen::DatasetId::kTwitter, records);
+  bench::PublishCacheTelemetry();
+  bench::PrintCacheStats();
+  if (failures > 0) {
+    std::fprintf(stderr, "parallel_pipeline: %d determinism failure(s)\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}

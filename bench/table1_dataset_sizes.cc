@@ -24,7 +24,8 @@ int main() {
   for (uint64_t n : sizes) {
     std::printf(" %12s", bench::SizeLabel(n).c_str());
   }
-  std::printf("\n------------------------------------------------------------\n");
+  std::printf(
+      "\n------------------------------------------------------------\n");
 
   for (auto id : datagen::AllDatasets()) {
     // Generation-only pass: inference/fusion timings are not needed here,

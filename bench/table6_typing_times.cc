@@ -9,15 +9,20 @@
 //     irregularity.
 //
 // We report (a) real single-thread seconds measured on this host for the
-// largest configured row, and (b) the virtual-time projection of those
+// largest configured row, (b) the virtual-time projection of those
 // measurements onto the paper's two hardware setups via the cluster
 // simulator (Mac mini: 1 node x 2 cores; cluster: 6 nodes x 20 cores with
-// the dataset spread across HDFS).
+// the dataset spread across HDFS), and (c) real parallel wall-clock of the
+// end-to-end pipeline at 1/2/4/8 threads on this host (the local analogue
+// of the paper's Spark parallelism; see also bench/parallel_pipeline.cc).
 
 #include <cstdio>
+#include <thread>
 
 #include "bench_common.h"
+#include "core/schema_inferencer.h"
 #include "engine/cluster_sim.h"
+#include "json/jsonl.h"
 
 int main() {
   using namespace jsonsi;
@@ -28,7 +33,9 @@ int main() {
               bench::SizeLabel(sizes.back()).c_str());
   std::printf("%-10s | %12s %12s | %14s %14s\n", "Dataset", "infer(s)",
               "fuse(s)", "mac-mini(vt s)", "cluster(vt s)");
-  std::printf("----------------------------------------------------------------------\n");
+  std::printf(
+      "----------------------------------------------------------------------"
+      "\n");
 
   for (auto id : {datagen::DatasetId::kGitHub, datagen::DatasetId::kTwitter,
                   datagen::DatasetId::kWikidata}) {
@@ -62,5 +69,41 @@ int main() {
   std::printf(
       "\nShape check (paper): Wikidata >> GitHub > Twitter in total typing\n"
       "time; fusion dominates on Wikidata, inference elsewhere.\n");
+
+  // ---- Parallel scaling of the real pipeline on this host. ----
+  // Uses a smaller row than the table above so the 4 thread counts stay
+  // affordable; speedups are only meaningful on multi-core hosts.
+  const uint64_t scale_records = std::min<uint64_t>(sizes.back(), 100000);
+  auto gen =
+      datagen::MakeGenerator(datagen::DatasetId::kGitHub, bench::BenchSeed());
+  std::vector<json::ValueRef> values;
+  values.reserve(scale_records);
+  for (uint64_t i = 0; i < scale_records; ++i) {
+    values.push_back(gen->Generate(i));
+  }
+  const std::string text = json::ToJsonLines(values);
+  values.clear();
+  std::printf(
+      "\nParallel pipeline, github %s records (host concurrency: %u)\n",
+      bench::SizeLabel(scale_records).c_str(),
+      std::thread::hardware_concurrency());
+  std::printf("%8s %10s %9s\n", "threads", "wall s", "speedup");
+  double serial_seconds = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    core::InferenceOptions options;
+    options.num_threads = threads;
+    options.parallel_ingest_min_bytes = 0;
+    Stopwatch watch;
+    auto result = core::SchemaInferencer(options).InferFromJsonLines(text);
+    double seconds = watch.ElapsedSeconds();
+    if (!result.ok()) {
+      std::fprintf(stderr, "table6: parallel inference failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (threads == 1) serial_seconds = seconds;
+    std::printf("%8zu %10.3f %8.2fx\n", threads, seconds,
+                seconds > 0 ? serial_seconds / seconds : 0.0);
+  }
   return 0;
 }

@@ -28,7 +28,8 @@ void ObserveInto(ProfileNode* node, const Value& value, uint64_t ordinal) {
       return;
     case ValueKind::kStr:
       ++node->str_count;
-      node->str_len_stats.Observe(static_cast<double>(value.str_value().size()));
+      node->str_len_stats.Observe(
+          static_cast<double>(value.str_value().size()));
       return;
     case ValueKind::kRecord: {
       ++node->record_count;

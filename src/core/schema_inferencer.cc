@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
 
-#include "engine/dataset.h"
+#include "engine/parallel_reduce.h"
 #include "engine/thread_pool.h"
 #include "fusion/fuse.h"
 #include "fusion/tree_fuser.h"
 #include "inference/infer.h"
 #include "json/jsonl.h"
+#include "json/jsonl_chunk.h"
 #include "stats/type_stats.h"
 #include "support/timer.h"
 #include "telemetry/telemetry.h"
@@ -36,127 +40,235 @@ SchemaInferencer::SchemaInferencer(const InferenceOptions& options)
   }
 }
 
+namespace {
+
+// Everything one parallel worker produces from its slice of the input: the
+// slice's partial schema (a thread-local TreeFuser fold), its contribution
+// to the Tables 2-5 statistics, and stage timings for the critical-path
+// accounting in SchemaStats.
+struct PartitionPartial {
+  TypeRef partial;
+  stats::DistinctTypeSet distinct;
+  size_t min_size = 0;
+  size_t max_size = 0;
+  size_t count = 0;
+  double total_size = 0;
+  double infer_seconds = 0;
+  double fuse_seconds = 0;
+};
+
+// The exact pre-parallel pipeline: one inference loop, one TreeFuser fold in
+// stream order, no thread pool. num_threads == 1 runs this; the parallel
+// path is validated against it (structural identity, Theorems 5.4/5.5).
+Status InferSerial(const std::vector<json::ValueRef>& values,
+                   const InferenceOptions& options, Schema* schema) {
+  JSONSI_SPAN("infer.pipeline");
+  schema->stats.record_count = values.size();
+
+  // ---- Map phase: per-value type inference (Figure 4). ----
+  Stopwatch infer_watch;
+  std::vector<TypeRef> typed;
+  typed.reserve(values.size());
+  {
+    JSONSI_SPAN("infer.map");
+    for (const json::ValueRef& v : values) {
+      typed.push_back(inference::InferType(*v));
+    }
+  }
+  schema->stats.infer_seconds = infer_watch.ElapsedSeconds();
+  if (telemetry::Enabled()) {
+    JSONSI_COUNTER("map.records").Add(values.size());
+    JSONSI_COUNTER("map.partitions").Increment();
+  }
+
+  // ---- Statistics (Tables 2-5). ----
+  if (options.collect_stats && !values.empty()) {
+    JSONSI_SPAN("infer.stats");
+    stats::DistinctTypeSet distinct;
+    size_t min = 0, max = 0;
+    double total = 0;
+    for (size_t i = 0; i < typed.size(); ++i) {
+      distinct.Add(typed[i]);
+      size_t s = typed[i]->size();
+      if (i == 0) {
+        min = max = s;
+      } else {
+        min = std::min(min, s);
+        max = std::max(max, s);
+      }
+      total += static_cast<double>(s);
+    }
+    schema->stats.distinct_type_count = distinct.size();
+    schema->stats.min_type_size = min;
+    schema->stats.max_type_size = max;
+    schema->stats.avg_type_size = total / static_cast<double>(typed.size());
+  }
+
+  // ---- Reduce phase: associative fusion (Figures 5-6), balanced-tree
+  // order (TreeFuser) for asymptotic cheapness on wide schemas. ----
+  Stopwatch fuse_watch;
+  {
+    JSONSI_SPAN("infer.reduce");
+    fusion::TreeFuser fuser;
+    for (TypeRef& t : typed) fuser.Add(std::move(t));
+    schema->type = fuser.Finish();
+  }
+  schema->stats.fuse_seconds = fuse_watch.ElapsedSeconds();
+  if (telemetry::Enabled()) {
+    JSONSI_COUNTER("reduce.partials").Increment();
+    JSONSI_HISTOGRAM("infer.fused_size")
+        .Record(schema->type ? schema->type->size() : 0);
+  }
+  return Status::OK();
+}
+
+// The parallel pipeline: the input is sliced into contiguous index ranges,
+// each range runs map + stats + a thread-local TreeFuser fold as ONE pool
+// task (no cross-stage barrier, no materialised global type vector), and the
+// per-worker partial schemas merge in a log-depth parallel tree-reduce.
+// Interning is process-global, so identical record types dedup across
+// workers despite the thread-local fusers.
+Status InferParallel(const std::vector<json::ValueRef>& values,
+                     const InferenceOptions& options, Schema* schema) {
+  JSONSI_SPAN("infer.pipeline");
+  const size_t n = values.size();
+  schema->stats.record_count = n;
+  if (n == 0) {
+    schema->type = Type::Empty();
+    return Status::OK();
+  }
+
+  engine::ThreadPool pool(options.num_threads);
+  const size_t parts =
+      std::max<size_t>(1, std::min(options.num_partitions, n));
+  std::vector<PartitionPartial> partials(parts);
+  const bool collect = options.collect_stats;
+
+  {
+    JSONSI_SPAN("infer.map");
+    const size_t base = n / parts;
+    const size_t extra = n % parts;
+    size_t offset = 0;
+    for (size_t p = 0; p < parts; ++p) {
+      const size_t len = base + (p < extra ? 1 : 0);
+      const size_t begin = offset;
+      offset += len;
+      pool.Submit([&values, &partials, p, begin, len, collect] {
+        JSONSI_SPAN("pipeline.worker");
+        PartitionPartial& pp = partials[p];
+        Stopwatch infer_watch;
+        std::vector<TypeRef> typed;
+        typed.reserve(len);
+        for (size_t i = begin; i < begin + len; ++i) {
+          typed.push_back(inference::InferType(*values[i]));
+        }
+        pp.infer_seconds = infer_watch.ElapsedSeconds();
+        if (collect) {
+          for (size_t i = 0; i < typed.size(); ++i) {
+            pp.distinct.Add(typed[i]);
+            size_t s = typed[i]->size();
+            if (i == 0) {
+              pp.min_size = pp.max_size = s;
+            } else {
+              pp.min_size = std::min(pp.min_size, s);
+              pp.max_size = std::max(pp.max_size, s);
+            }
+            pp.total_size += static_cast<double>(s);
+          }
+        }
+        Stopwatch fuse_watch;
+        fusion::TreeFuser fuser;
+        for (TypeRef& t : typed) fuser.Add(std::move(t));
+        pp.partial = fuser.Finish();
+        pp.fuse_seconds = fuse_watch.ElapsedSeconds();
+        pp.count = len;
+      });
+    }
+    pool.Wait();
+  }
+  JSONSI_RETURN_IF_ERROR(pool.first_error());
+
+  double max_infer = 0, max_fuse = 0;
+  for (const PartitionPartial& pp : partials) {
+    max_infer = std::max(max_infer, pp.infer_seconds);
+    max_fuse = std::max(max_fuse, pp.fuse_seconds);
+  }
+  if (collect) {
+    stats::DistinctTypeSet distinct;
+    size_t min = 0, max = 0, count = 0;
+    double total = 0;
+    for (PartitionPartial& pp : partials) {
+      if (pp.count == 0) continue;
+      distinct.Merge(pp.distinct);
+      min = (count == 0) ? pp.min_size : std::min(min, pp.min_size);
+      max = std::max(max, pp.max_size);
+      total += pp.total_size;
+      count += pp.count;
+    }
+    schema->stats.distinct_type_count = distinct.size();
+    schema->stats.min_type_size = min;
+    schema->stats.max_type_size = max;
+    schema->stats.avg_type_size =
+        count ? total / static_cast<double>(count) : 0.0;
+  }
+
+  Stopwatch reduce_watch;
+  size_t rounds = 0;
+  {
+    JSONSI_SPAN("infer.reduce");
+    std::vector<TypeRef> types;
+    types.reserve(parts);
+    for (PartitionPartial& pp : partials) {
+      types.push_back(std::move(pp.partial));
+    }
+    schema->type = engine::ParallelTreeReduce(
+        pool, std::move(types), Type::Empty(),
+        [](const TypeRef& a, const TypeRef& b) { return fusion::Fuse(a, b); },
+        &rounds);
+  }
+  JSONSI_RETURN_IF_ERROR(pool.first_error());
+  schema->stats.infer_seconds = max_infer;
+  schema->stats.fuse_seconds = max_fuse + reduce_watch.ElapsedSeconds();
+
+  if (telemetry::Enabled()) {
+    JSONSI_COUNTER("map.records").Add(n);
+    JSONSI_COUNTER("map.partitions").Add(parts);
+    JSONSI_COUNTER("reduce.partials").Add(parts);
+    JSONSI_COUNTER("pipeline.parallel.runs").Increment();
+    JSONSI_COUNTER("pipeline.parallel.records").Add(n);
+    JSONSI_COUNTER("pipeline.parallel.partitions").Add(parts);
+    JSONSI_COUNTER("pipeline.parallel.reduce_rounds").Add(rounds);
+    for (const PartitionPartial& pp : partials) {
+      JSONSI_HISTOGRAM("map.partition_ns")
+          .Record(pp.infer_seconds > 0
+                      ? static_cast<uint64_t>(pp.infer_seconds * 1e9)
+                      : 0);
+      JSONSI_HISTOGRAM("reduce.partition_ns")
+          .Record(pp.fuse_seconds > 0
+                      ? static_cast<uint64_t>(pp.fuse_seconds * 1e9)
+                      : 0);
+    }
+    JSONSI_HISTOGRAM("infer.fused_size")
+        .Record(schema->type ? schema->type->size() : 0);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<Schema> SchemaInferencer::TryInferFromValues(
     const std::vector<json::ValueRef>& values) const {
   Schema schema;
   // The whole pipeline is a pure function of `values` (inference is
   // deterministic, fusion associative/commutative), so re-running it after a
   // transient worker failure is sound — the retry-safety corollary of
-  // Theorems 5.4/5.5. Each attempt runs on a fresh pool.
+  // Theorems 5.4/5.5. Each parallel attempt runs on a fresh pool.
   Status st = engine::RunWithRetry(
       [&]() -> Status {
-        JSONSI_SPAN("infer.pipeline");
-        engine::ThreadPool pool(options_.num_threads);
-        auto dataset = engine::Dataset<json::ValueRef>::FromVector(
-            values, options_.num_partitions);
-
         schema = Schema{};
-        schema.stats.record_count = values.size();
-
-        // ---- Map phase: per-value type inference (Figure 4). ----
-        Stopwatch infer_watch;
-        engine::StageMetrics map_metrics;
-        auto typed = [&] {
-          JSONSI_SPAN("infer.map");
-          return dataset.Map(
-              pool,
-              [](const json::ValueRef& v) { return inference::InferType(*v); },
-              &map_metrics);
-        }();
-        schema.stats.infer_seconds = infer_watch.ElapsedSeconds();
-        if (telemetry::Enabled()) {
-          JSONSI_COUNTER("map.records").Add(values.size());
-          JSONSI_COUNTER("map.partitions").Add(dataset.num_partitions());
-          for (double s : map_metrics.partition_seconds) {
-            JSONSI_HISTOGRAM("map.partition_ns")
-                .Record(s > 0 ? static_cast<uint64_t>(s * 1e9) : 0);
-          }
-        }
-        JSONSI_RETURN_IF_ERROR(pool.first_error());
-
-        // ---- Statistics (Tables 2-5), gathered partition-parallel. ----
-        if (options_.collect_stats && values.size() > 0) {
-          JSONSI_SPAN("infer.stats");
-          struct PartStats {
-            stats::DistinctTypeSet distinct;
-            size_t min = 0;
-            size_t max = 0;
-            double total = 0;
-            size_t count = 0;
-          };
-          auto partials = typed.MapPartitions(
-              pool, [](const std::vector<TypeRef>& part) {
-                PartStats ps;
-                for (const TypeRef& t : part) {
-                  ps.distinct.Add(t);
-                  size_t s = t->size();
-                  if (ps.count == 0) {
-                    ps.min = ps.max = s;
-                  } else {
-                    ps.min = std::min(ps.min, s);
-                    ps.max = std::max(ps.max, s);
-                  }
-                  ps.total += static_cast<double>(s);
-                  ++ps.count;
-                }
-                return std::vector<PartStats>{std::move(ps)};
-              });
-          JSONSI_RETURN_IF_ERROR(pool.first_error());
-          stats::DistinctTypeSet distinct;
-          size_t min = 0, max = 0, count = 0;
-          double total = 0;
-          for (const PartStats& ps : partials.Collect()) {
-            if (ps.count == 0) continue;
-            distinct.Merge(ps.distinct);
-            min = (count == 0) ? ps.min : std::min(min, ps.min);
-            max = std::max(max, ps.max);
-            total += ps.total;
-            count += ps.count;
-          }
-          schema.stats.distinct_type_count = distinct.size();
-          schema.stats.min_type_size = min;
-          schema.stats.max_type_size = max;
-          schema.stats.avg_type_size =
-              count ? total / static_cast<double>(count) : 0.0;
-        }
-
-        // ---- Reduce phase: associative fusion (Figures 5-6). Each
-        // partition is reduced in balanced-tree order (TreeFuser) —
-        // identical result to any other order by Theorems 5.4/5.5, but
-        // asymptotically cheaper on wide schemas — then the per-partition
-        // partials fuse together. ----
-        Stopwatch fuse_watch;
-        {
-          JSONSI_SPAN("infer.reduce");
-          engine::StageMetrics reduce_metrics;
-          auto partials = typed.MapPartitions(
-              pool,
-              [](const std::vector<TypeRef>& part) {
-                fusion::TreeFuser fuser;
-                for (const TypeRef& t : part) fuser.Add(t);
-                return std::vector<TypeRef>{fuser.Finish()};
-              },
-              &reduce_metrics);
-          JSONSI_RETURN_IF_ERROR(pool.first_error());
-          fusion::TreeFuser combiner;
-          for (const TypeRef& partial : partials.Collect()) {
-            combiner.Add(partial);
-          }
-          schema.type = combiner.Finish();
-          if (telemetry::Enabled()) {
-            JSONSI_COUNTER("reduce.partials").Add(partials.num_partitions());
-            for (double s : reduce_metrics.partition_seconds) {
-              JSONSI_HISTOGRAM("reduce.partition_ns")
-                  .Record(s > 0 ? static_cast<uint64_t>(s * 1e9) : 0);
-            }
-          }
-        }
-        schema.stats.fuse_seconds = fuse_watch.ElapsedSeconds();
-        if (telemetry::Enabled()) {
-          JSONSI_HISTOGRAM("infer.fused_size")
-              .Record(schema.type ? schema.type->size() : 0);
-        }
-        return Status::OK();
+        return options_.num_threads <= 1
+                   ? InferSerial(values, options_, &schema)
+                   : InferParallel(values, options_, &schema);
       },
       options_.retry);
   if (!st.ok()) return st;
@@ -178,10 +290,50 @@ Schema SchemaInferencer::InferFromValues(
 
 Result<Schema> SchemaInferencer::InferFromJsonLines(
     std::string_view text, json::IngestStats* stats) const {
-  Result<std::vector<json::ValueRef>> values =
-      json::ParseJsonLines(text, options_.ingest, stats);
-  if (!values.ok()) return values.status();
-  return TryInferFromValues(values.value());
+  if (options_.num_threads <= 1 ||
+      text.size() < options_.parallel_ingest_min_bytes) {
+    Result<std::vector<json::ValueRef>> values =
+        json::ParseJsonLines(text, options_.ingest, stats);
+    if (!values.ok()) return values.status();
+    return TryInferFromValues(values.value());
+  }
+
+  // Chunk-parallel ingestion: cut on line boundaries, parse chunks on the
+  // pool, then replay the malformed-line policy sequentially so degraded
+  // mode behaves byte-for-byte like the serial reader (jsonl_chunk.h).
+  std::vector<json::ValueRef> values;
+  {
+    JSONSI_SPAN("ingest.parallel");
+    const size_t max_chunks =
+        options_.num_threads * std::max<size_t>(1, options_.chunks_per_thread);
+    std::vector<json::ChunkSpan> spans =
+        json::SplitJsonLines(text, max_chunks);
+    std::vector<json::ChunkOutcome> outcomes(spans.size());
+    {
+      engine::ThreadPool pool(options_.num_threads);
+      for (size_t i = 0; i < spans.size(); ++i) {
+        pool.Submit([&text, &spans, &outcomes, i, this] {
+          JSONSI_SPAN("ingest.chunk_worker");
+          outcomes[i] = json::ParseJsonLinesChunk(
+              text.substr(spans[i].begin, spans[i].size()),
+              options_.ingest.parse, options_.ingest.max_recorded_errors,
+              i == 0);
+        });
+      }
+      pool.Wait();
+      JSONSI_RETURN_IF_ERROR(pool.first_error());
+    }
+    if (telemetry::Enabled()) {
+      JSONSI_COUNTER("pipeline.parallel.chunks").Add(spans.size());
+    }
+    json::IngestStats local;
+    json::IngestStats* out = stats ? stats : &local;
+    json::ChunkReplay replay =
+        json::ReplayChunkPolicy(outcomes, options_.ingest, out);
+    if (!replay.status.ok()) return replay.status;
+    values = json::TakeIncludedValues(std::move(outcomes), replay);
+  }
+  return TryInferFromValues(values);
 }
 
 Result<Schema> SchemaInferencer::InferFromFile(
@@ -189,6 +341,24 @@ Result<Schema> SchemaInferencer::InferFromFile(
   // Reads retry under the policy: transient I/O errors heal, while
   // deterministic ones (missing file, malformed content under kFail) are
   // classified permanent by the default predicate and fail immediately.
+  if (options_.num_threads > 1) {
+    // Slurp the file (retried), then hand the buffer to the chunk-parallel
+    // text path above.
+    std::string content;
+    Status st = engine::RunWithRetry(
+        [&]() -> Status {
+          std::ifstream in(path, std::ios::binary);
+          if (!in) return Status::NotFound("cannot open file: " + path);
+          std::ostringstream buf;
+          buf << in.rdbuf();
+          if (in.bad()) return Status::Internal("read failed: " + path);
+          content = std::move(buf).str();
+          return Status::OK();
+        },
+        options_.retry);
+    if (!st.ok()) return st;
+    return InferFromJsonLines(content, stats);
+  }
   Result<std::vector<json::ValueRef>> values =
       Status::Internal("not attempted");
   Status st = engine::RunWithRetry(

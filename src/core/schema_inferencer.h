@@ -12,6 +12,25 @@
 // the incremental-maintenance story of Section 1 (new records, or re-typed
 // partitions, fold into an existing schema without reprocessing the rest).
 //
+// Parallel end-to-end execution: with num_threads > 1 every stage runs on
+// the thread pool —
+//
+//   * text input is cut into ~4x-threads chunks on line boundaries
+//     (json/jsonl_chunk.h) and parsed chunk-parallel, with the degraded-mode
+//     MalformedLinePolicy replayed to exact serial semantics;
+//   * the Map phase runs one task per partition, each owning a thread-local
+//     TreeFuser that folds its slice as it is typed (interning is process-
+//     global, so structural duplicates dedup across workers);
+//   * the per-partition partial schemas merge in a parallel pairwise
+//     tree-reduce (engine/parallel_reduce.h), log-depth instead of a serial
+//     fold.
+//
+// num_threads == 1 bypasses the pool entirely and runs the exact serial
+// pipeline (single TreeFuser fold in stream order); by associativity and
+// commutativity of Fuse (Theorems 5.4/5.5) the parallel schema is
+// structurally identical to the serial one for every thread/partition/chunk
+// count — asserted by tests/parallel_pipeline_test.cc.
+//
 // Fault tolerance: the same algebraic structure makes every stage re-runnable
 // — recomputing a partition's types or partial schema reproduces it exactly
 // — so the driver executes the parallel stages under a retry policy
@@ -59,6 +78,13 @@ struct InferenceOptions {
   engine::RetryPolicy retry;
   /// Malformed-line handling for the text/file entry points.
   json::IngestOptions ingest;
+  /// Text inputs at least this large are ingested chunk-parallel when
+  /// num_threads > 1 (below it, chunking overhead beats the win). Tests set
+  /// 0 to force the parallel path on tiny inputs.
+  size_t parallel_ingest_min_bytes = 1 << 16;
+  /// Ingestion chunks created per worker thread (load-balancing slack for
+  /// uneven line lengths).
+  size_t chunks_per_thread = 4;
 };
 
 /// Statistics gathered by one inference run (or accumulated by Merge).
@@ -68,8 +94,12 @@ struct SchemaStats {
   size_t min_type_size = 0;
   size_t max_type_size = 0;
   double avg_type_size = 0;         // mean over records (not distinct types)
-  double infer_seconds = 0;         // Map-phase wall-clock
-  double fuse_seconds = 0;          // Reduce-phase wall-clock
+  /// Map-phase cost. Serial: wall-clock of the inference loop. Parallel:
+  /// the critical path — the slowest worker's inference time.
+  double infer_seconds = 0;
+  /// Reduce-phase cost. Serial: wall-clock of the fold. Parallel: slowest
+  /// worker's partition fold plus the tree-reduce wall-clock.
+  double fuse_seconds = 0;
 };
 
 /// An inferred schema: the fused type plus run statistics.

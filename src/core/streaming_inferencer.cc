@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
+#include "engine/thread_pool.h"
 #include "inference/infer.h"
+#include "json/jsonl_chunk.h"
 #include "json/parser.h"
 #include "telemetry/telemetry.h"
 
@@ -78,7 +83,8 @@ Status StreamingInferencer::AddJson(std::string_view json_text) {
     case json::MalformedLinePolicy::kSkip:
       return Status::OK();
     case json::MalformedLinePolicy::kFailAboveRate: {
-      uint64_t non_blank = ingest_stats_.records + ingest_stats_.malformed_lines;
+      uint64_t non_blank =
+          ingest_stats_.records + ingest_stats_.malformed_lines;
       if (non_blank >= options_.min_lines_for_rate &&
           static_cast<double>(ingest_stats_.malformed_lines) >
               options_.max_error_rate * static_cast<double>(non_blank)) {
@@ -117,6 +123,121 @@ Status StreamingInferencer::AddJsonLines(std::string_view text) {
   ingest_stats_.Absorb(chunk, options_.max_recorded_errors);
   PublishIngestTelemetry();
   return st;
+}
+
+Status StreamingInferencer::AddJsonLinesParallel(std::string_view text,
+                                                 size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (num_threads <= 1) return AddJsonLines(text);
+  JSONSI_SPAN("stream.add_parallel");
+
+  json::IngestOptions ingest;
+  ingest.on_malformed = EffectivePolicy();
+  ingest.max_error_rate = options_.max_error_rate;
+  ingest.min_lines_for_rate = options_.min_lines_for_rate;
+  ingest.max_recorded_errors = options_.max_recorded_errors;
+  // Same cumulative-rate story as AddJsonLines: the replay judges this
+  // buffer's malformed lines against the whole stream read so far.
+  ingest.rate_baseline = &ingest_stats_;
+
+  engine::ThreadPool pool(num_threads);
+  std::vector<json::ChunkSpan> spans =
+      json::SplitJsonLines(text, num_threads * 4);
+  std::vector<json::ChunkOutcome> outcomes(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    pool.Submit([&text, &spans, &outcomes, i, &ingest] {
+      outcomes[i] = json::ParseJsonLinesChunk(
+          text.substr(spans[i].begin, spans[i].size()), ingest.parse,
+          ingest.max_recorded_errors, i == 0);
+    });
+  }
+  pool.Wait();
+  JSONSI_RETURN_IF_ERROR(pool.first_error());
+
+  json::IngestStats chunk;
+  json::ChunkReplay replay = json::ReplayChunkPolicy(outcomes, ingest, &chunk);
+
+  // Per-chunk inference shards, run on the pool and folded forward in chunk
+  // order. Profiling provenance must carry GLOBAL record ordinals (the
+  // serial path numbers records across the whole stream), so each shard is
+  // seeded with the stream ordinal of its first included record.
+  struct Shard {
+    fusion::TreeFuser fuser;
+    std::unordered_set<uint64_t> hashes;
+    std::unique_ptr<annotate::SchemaProfiler> profiler;
+    size_t min_size = 0;
+    size_t max_size = 0;
+    double total_size = 0;
+    uint64_t count = 0;
+  };
+  const size_t included_chunks =
+      replay.full_chunks + (replay.partial_records > 0 ? 1 : 0);
+  std::vector<Shard> shards(included_chunks);
+  uint64_t next_ordinal = record_count_;
+  const bool count_distinct = options_.count_distinct_types;
+  for (size_t c = 0; c < included_chunks; ++c) {
+    const size_t take =
+        c < replay.full_chunks
+            ? outcomes[c].values.size()
+            : std::min(replay.partial_records, outcomes[c].values.size());
+    const uint64_t base = next_ordinal;
+    next_ordinal += take;
+    if (take == 0) continue;
+    Shard& shard = shards[c];
+    if (profiler_) {
+      shard.profiler = std::make_unique<annotate::SchemaProfiler>();
+    }
+    pool.Submit([&outcomes, &shard, c, take, base, count_distinct] {
+      JSONSI_SPAN("pipeline.worker");
+      const std::vector<json::ValueRef>& vals = outcomes[c].values;
+      for (size_t i = 0; i < take; ++i) {
+        types::TypeRef t = inference::InferType(*vals[i]);
+        if (count_distinct) shard.hashes.insert(t->hash());
+        size_t s = t->size();
+        if (shard.count == 0) {
+          shard.min_size = shard.max_size = s;
+        } else {
+          shard.min_size = std::min(shard.min_size, s);
+          shard.max_size = std::max(shard.max_size, s);
+        }
+        shard.total_size += static_cast<double>(s);
+        if (shard.profiler) shard.profiler->Observe(*vals[i], base + i);
+        shard.fuser.Add(std::move(t));
+        ++shard.count;
+        JSONSI_COUNTER("stream.records").Increment();
+      }
+    });
+  }
+  pool.Wait();
+  JSONSI_RETURN_IF_ERROR(pool.first_error());
+
+  // Fold shards in stream order — the same merge Merge() performs for
+  // explicit shards, so the snapshot schema matches serial AddJsonLines.
+  for (Shard& shard : shards) {
+    if (shard.count == 0) continue;
+    fuser_.Add(shard.fuser.Finish());
+    if (record_count_ == 0) {
+      min_type_size_ = shard.min_size;
+      max_type_size_ = shard.max_size;
+    } else {
+      min_type_size_ = std::min(min_type_size_, shard.min_size);
+      max_type_size_ = std::max(max_type_size_, shard.max_size);
+    }
+    total_type_size_ += shard.total_size;
+    distinct_hashes_.insert(shard.hashes.begin(), shard.hashes.end());
+    if (profiler_ && shard.profiler) profiler_->Merge(*shard.profiler);
+    record_count_ += shard.count;
+  }
+
+  // Accumulate even on failure, so the report covers the aborted buffer.
+  ingest_stats_.Absorb(chunk, options_.max_recorded_errors);
+  PublishIngestTelemetry();
+  if (telemetry::Enabled()) {
+    JSONSI_COUNTER("pipeline.parallel.chunks").Add(spans.size());
+  }
+  return replay.status;
 }
 
 void StreamingInferencer::Merge(const StreamingInferencer& other) {

@@ -73,6 +73,14 @@ class StreamingInferencer {
   /// line numbers.
   Status AddJsonLines(std::string_view text);
 
+  /// As AddJsonLines, but parses and infers the buffer chunk-parallel on
+  /// `num_threads` workers (0 = hardware concurrency; <= 1 falls back to
+  /// the serial method). Exactly equivalent to AddJsonLines — the degraded-
+  /// mode policy is replayed against the cumulative stream (rate_baseline =
+  /// ingest_stats()), profiling provenance keeps global record ordinals,
+  /// and the snapshot schema is structurally identical by associativity.
+  Status AddJsonLinesParallel(std::string_view text, size_t num_threads = 0);
+
   /// Merges another streaming inferencer (e.g. one per shard) into this one.
   /// Exact, by associativity/commutativity of fusion and profile merging.
   /// Distinct-type counts merge exactly (hash-set union).

@@ -61,7 +61,8 @@ class GitHubGenerator final : public DatasetGenerator {
         // Lower-level variation: profile fields users often leave unset.
         {"name", nullable_str(0.012, rng.Ident(10))},
         {"company", nullable_str(0.02, rng.Ident(7))},
-        {"email", nullable_str(0.015, rng.Ident(6) + "@" + rng.Ident(5) + ".com")},
+        {"email",
+         nullable_str(0.015, rng.Ident(6) + "@" + rng.Ident(5) + ".com")},
     });
 
     auto repo = [&](std::string owner) {

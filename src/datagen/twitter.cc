@@ -54,13 +54,15 @@ class TwitterGenerator final : public DatasetGenerator {
     return VRec({{"delete",
                   VRec({{"status", VRec({
                                        {"id", VNum(id)},
-                                       {"id_str", VStr(std::to_string(
-                                                      static_cast<uint64_t>(id)))},
+                                       {"id_str",
+                                        VStr(std::to_string(
+                                            static_cast<uint64_t>(id)))},
                                        {"user_id", VNum(static_cast<double>(
                                                        rng.Below(100000000)))},
                                    })},
                         {"timestamp_ms",
-                         VStr(std::to_string(1460000000000ULL + rng.Below(1e10)))}})}});
+                         VStr(std::to_string(1460000000000ULL +
+                                             rng.Below(1e10)))}})}});
   }
 
   static ValueRef User(Rng& rng) {

@@ -128,8 +128,9 @@ class WikidataGenerator final : public DatasetGenerator {
                 VStr(std::string("P") + std::to_string(rng.Below(2000)))},
                {"datavalue",
                 VRec({{"value", inner_value},
-                      {"type", VStr(inner_value->is_str() ? "string"
-                                                          : "structured")}})}})},
+                      {"type", VStr(inner_value->is_str()
+                                        ? "string"
+                                        : "structured")}})}})},
         {"type", VStr("statement")},
         {"rank", VStr(rng.Chance(0.9) ? "normal" : "preferred")},
     });

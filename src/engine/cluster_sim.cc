@@ -229,7 +229,8 @@ CopyOutcome FaultSim::LaunchCopy(size_t t, int attempt, double ready,
     fail_at = start + duration * faults_.corrupt_failure_fraction;
   }
   // A node crash mid-attempt kills it at the crash instant.
-  fail_at = std::min(fail_at, CrashWithin(node, start, std::min(finish, fail_at)));
+  fail_at = std::min(fail_at,
+                     CrashWithin(node, start, std::min(finish, fail_at)));
 
   out.succeeded = fail_at == std::numeric_limits<double>::infinity();
   out.end = out.succeeded ? finish : fail_at;
@@ -317,11 +318,13 @@ SimResult FaultSim::Run(double reduce_combine_seconds) {
     for (int i = 1; i < a.attempt; ++i) backoff *= recovery_.backoff_multiplier;
     backoff = std::min(backoff, recovery_.backoff_max_seconds);
     if (recovery_.backoff_jitter > 0) {
-      backoff *= 1.0 + recovery_.backoff_jitter * (2.0 * rng_.NextDouble() - 1.0);
+      backoff *=
+          1.0 + recovery_.backoff_jitter * (2.0 * rng_.NextDouble() - 1.0);
     }
     result.backoff_wait_seconds += backoff;
     ++result.retries;
-    queue.push(PendingAttempt{failed_at + backoff, seq++, a.task, a.attempt + 1});
+    queue.push(
+        PendingAttempt{failed_at + backoff, seq++, a.task, a.attempt + 1});
   }
 
   for (bool a : abandoned) {
@@ -404,7 +407,8 @@ SimResult SimulateJob(const std::vector<SimTask>& tasks,
     };
     JSONSI_HISTOGRAM("sim.makespan_vns")
         .Record(virtual_ns(result.makespan_seconds));
-    JSONSI_HISTOGRAM("sim.wasted_vns").Record(virtual_ns(result.wasted_seconds));
+    JSONSI_HISTOGRAM("sim.wasted_vns")
+        .Record(virtual_ns(result.wasted_seconds));
     JSONSI_HISTOGRAM("sim.backoff_wait_vns")
         .Record(virtual_ns(result.backoff_wait_seconds));
     JSONSI_HISTOGRAM("sim.recovery_overhead_vns")

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/parallel_reduce.h"
 #include "engine/thread_pool.h"
 #include "support/timer.h"
 
@@ -58,7 +59,8 @@ class Dataset {
     assert(num_partitions > 0);
     Dataset ds;
     size_t n = items.size();
-    num_partitions = std::max<size_t>(1, std::min(num_partitions, std::max<size_t>(n, 1)));
+    num_partitions = std::max<size_t>(
+        1, std::min(num_partitions, std::max<size_t>(n, 1)));
     ds.partitions_.resize(num_partitions);
     size_t base = n / num_partitions;
     size_t extra = n % num_partitions;
@@ -119,7 +121,8 @@ class Dataset {
   template <typename F>
   auto MapPartitions(ThreadPool& pool, F&& fn,
                      StageMetrics* metrics = nullptr) const
-      -> Dataset<typename std::invoke_result_t<F, const std::vector<T>&>::value_type> {
+      -> Dataset<typename std::invoke_result_t<
+          F, const std::vector<T>&>::value_type> {
     using Vec = std::invoke_result_t<F, const std::vector<T>&>;
     std::vector<Vec> out(partitions_.size());
     std::vector<double> seconds(partitions_.size(), 0.0);
@@ -157,17 +160,10 @@ class Dataset {
     if (metrics) metrics->partition_seconds = std::move(seconds);
     // Pairwise tree combine (treeReduce): legal because `combine` is
     // associative; chosen over a left fold to mirror Spark and to keep the
-    // critical path logarithmic when partials are expensive to merge.
-    while (partials.size() > 1) {
-      std::vector<T> next;
-      next.reserve((partials.size() + 1) / 2);
-      for (size_t i = 0; i + 1 < partials.size(); i += 2) {
-        next.push_back(combine(partials[i], partials[i + 1]));
-      }
-      if (partials.size() % 2 == 1) next.push_back(std::move(partials.back()));
-      partials = std::move(next);
-    }
-    return partials.empty() ? identity : std::move(partials.front());
+    // critical path logarithmic when partials are expensive to merge. The
+    // rounds themselves run on the pool (parallel_reduce.h) with the exact
+    // bracketing of the old sequential loop, so results are unchanged.
+    return ParallelTreeReduce(pool, std::move(partials), identity, combine);
   }
 
   /// Parallel predicate filter; partitioning is preserved (partitions may

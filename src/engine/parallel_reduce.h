@@ -1,0 +1,69 @@
+// Parallel pairwise tree reduction — the log-depth Reduce of the paper's
+// map/reduce pipeline (Spark's treeReduce), run on the local thread pool.
+//
+// A serial left fold of k partials costs k-1 sequential combines; when the
+// combiner is Fuse on wide schemas each of those walks a large accumulator.
+// Because Fuse is associative and commutative (Theorems 5.4/5.5), ANY
+// reduction tree yields a structurally identical result, so the partials
+// can instead be merged pairwise in ceil(log2 k) rounds with every pair of
+// a round combining concurrently — the critical path shrinks from k-1 to
+// log2 k combines.
+//
+// The bracketing is byte-for-byte the one the serial pairwise loop in
+// Dataset::Reduce used ((0,1),(2,3),... per round, odd element carried),
+// so switching the rounds from sequential to pooled execution cannot change
+// the result even for combiners that are associative but not commutative.
+
+#ifndef JSONSI_ENGINE_PARALLEL_REDUCE_H_
+#define JSONSI_ENGINE_PARALLEL_REDUCE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "telemetry/telemetry.h"
+
+namespace jsonsi::engine {
+
+/// Reduces `items` with an associative `combine` in parallel pairwise
+/// rounds on `pool`. Returns `identity` for an empty input. `rounds_out`,
+/// when provided, receives the number of rounds executed (== ceil(log2 n),
+/// 0 for n <= 1).
+///
+/// A combine that throws is captured by the pool as a Status; its pair's
+/// slot keeps the identity value. Callers that care must check
+/// pool.first_error() afterwards (the engine convention, see
+/// thread_pool.h). The pool must have no unrelated tasks in flight: each
+/// round issues a pool.Wait() barrier.
+template <typename T, typename Combine>
+T ParallelTreeReduce(ThreadPool& pool, std::vector<T> items, const T& identity,
+                     Combine&& combine, size_t* rounds_out = nullptr) {
+  size_t rounds = 0;
+  while (items.size() > 1) {
+    ++rounds;
+    const size_t pairs = items.size() / 2;
+    const bool odd = items.size() % 2 == 1;
+    std::vector<T> next(pairs + (odd ? 1 : 0), identity);
+    if (pairs == 1) {
+      // One pair left: dispatching to a worker only adds latency.
+      next[0] = combine(items[0], items[1]);
+    } else {
+      for (size_t i = 0; i < pairs; ++i) {
+        pool.Submit([&items, &next, &combine, i] {
+          JSONSI_SPAN("reduce.pair");
+          next[i] = combine(items[2 * i], items[2 * i + 1]);
+        });
+      }
+      pool.Wait();
+    }
+    if (odd) next.back() = std::move(items.back());
+    items = std::move(next);
+  }
+  if (rounds_out) *rounds_out = rounds;
+  return items.empty() ? identity : std::move(items.front());
+}
+
+}  // namespace jsonsi::engine
+
+#endif  // JSONSI_ENGINE_PARALLEL_REDUCE_H_

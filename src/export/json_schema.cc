@@ -98,7 +98,8 @@ ValueRef Translate(const Type& t, const JsonSchemaOptions& options) {
       for (const TypeRef& alt : t.alternatives()) {
         any_of.push_back(Translate(*alt, options));
       }
-      return Value::RecordUnchecked({{"anyOf", Value::Array(std::move(any_of))}});
+      return Value::RecordUnchecked(
+          {{"anyOf", Value::Array(std::move(any_of))}});
     }
   }
   return TypeName("null");

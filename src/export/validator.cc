@@ -40,7 +40,8 @@ bool ValidateObject(const Value& value, const Value& schema) {
   const Value* additional = schema.Find("additionalProperties");
   for (const json::Field& f : value.fields()) {
     const Value* prop =
-        properties && properties->is_record() ? properties->Find(f.key) : nullptr;
+        properties && properties->is_record() ? properties->Find(f.key)
+                                              : nullptr;
     if (prop) {
       if (!Validates(*f.value, *prop)) return false;
     } else if (additional && additional->is_bool() &&

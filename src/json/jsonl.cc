@@ -3,20 +3,12 @@
 #include <algorithm>
 #include <fstream>
 
+#include "json/line_scan.h"
 #include "json/serializer.h"
 #include "telemetry/telemetry.h"
 
 namespace jsonsi::json {
 namespace {
-
-constexpr std::string_view kUtf8Bom = "\xEF\xBB\xBF";
-
-bool IsBlank(std::string_view line) {
-  for (char c : line) {
-    if (c != ' ' && c != '\t' && c != '\r') return false;
-  }
-  return true;
-}
 
 // Applies the malformed-line policy and maintains the IngestStats while the
 // drivers below feed it one line at a time. Lines arrive raw; this class
@@ -31,13 +23,8 @@ class LineIngester {
   // when the sink asked to stop.
   Status OnLine(std::string_view line, uint64_t byte_offset) {
     ++stats_->lines_read;
-    if (stats_->lines_read == 1 && line.substr(0, kUtf8Bom.size()) == kUtf8Bom) {
-      line.remove_prefix(kUtf8Bom.size());  // tolerate a UTF-8 BOM
-    }
-    if (!line.empty() && line.back() == '\r') {
-      line.remove_suffix(1);  // tolerate CRLF files
-    }
-    if (IsBlank(line)) {
+    line = internal::UndecorateLine(line, stats_->lines_read == 1);
+    if (internal::IsBlankLine(line)) {
       ++stats_->blank_lines;
       return Status::OK();
     }

@@ -100,7 +100,8 @@ struct IngestStats {
 /// `options.on_malformed`; `stats`, when provided, receives the ingestion
 /// report (also on failure, describing everything read up to the abort).
 Status ReadJsonLines(std::istream& in, const RecordSink& sink,
-                     const IngestOptions& options, IngestStats* stats = nullptr);
+                     const IngestOptions& options,
+                     IngestStats* stats = nullptr);
 
 /// Strict-mode convenience (MalformedLinePolicy::kFail): the first malformed
 /// line aborts with its line number.
@@ -110,7 +111,8 @@ Status ReadJsonLines(std::istream& in, const RecordSink& sink,
 /// Zero-copy counterpart over an in-memory buffer: lines are string_view
 /// slices of `text`, no per-line copies are made.
 Status ReadJsonLines(std::string_view text, const RecordSink& sink,
-                     const IngestOptions& options, IngestStats* stats = nullptr);
+                     const IngestOptions& options,
+                     IngestStats* stats = nullptr);
 
 /// Reads an entire JSON-Lines file into memory.
 Result<std::vector<ValueRef>> ReadJsonLinesFile(

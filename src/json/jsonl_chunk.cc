@@ -1,0 +1,232 @@
+#include "json/jsonl_chunk.h"
+
+#include <algorithm>
+
+#include "json/line_scan.h"
+#include "json/parser.h"
+#include "telemetry/telemetry.h"
+
+namespace jsonsi::json {
+namespace {
+
+// Mirror of jsonl.cc's per-read telemetry publication: one bulk add per
+// merged parallel read, under the same counter names, so serial and chunked
+// ingestion are indistinguishable to exporters.
+void RecordIngestTelemetry(const IngestStats& stats) {
+  if (!telemetry::Enabled()) return;
+  JSONSI_COUNTER("ingest.reads").Increment();
+  JSONSI_COUNTER("ingest.lines").Add(stats.lines_read);
+  JSONSI_COUNTER("ingest.blank_lines").Add(stats.blank_lines);
+  JSONSI_COUNTER("ingest.records").Add(stats.records);
+  JSONSI_COUNTER("ingest.malformed_lines").Add(stats.malformed_lines);
+  JSONSI_COUNTER("ingest.bytes").Add(stats.bytes_read);
+}
+
+}  // namespace
+
+std::vector<ChunkSpan> SplitJsonLines(std::string_view text,
+                                      size_t max_chunks) {
+  std::vector<ChunkSpan> spans;
+  if (text.empty()) return spans;
+  max_chunks = std::max<size_t>(1, max_chunks);
+  // Aim for equal byte shares; every boundary then advances to the next
+  // '\n' so no line (or CRLF pair) is ever split. Short inputs simply
+  // produce fewer chunks.
+  const size_t target = std::max<size_t>(1, text.size() / max_chunks);
+  size_t begin = 0;
+  while (begin < text.size() && spans.size() + 1 < max_chunks) {
+    size_t want = begin + target;
+    if (want >= text.size()) break;
+    size_t nl = text.find('\n', want - 1);
+    if (nl == std::string_view::npos || nl + 1 >= text.size()) break;
+    spans.push_back(ChunkSpan{begin, nl + 1});
+    begin = nl + 1;
+  }
+  spans.push_back(ChunkSpan{begin, text.size()});
+  return spans;
+}
+
+ChunkOutcome ParseJsonLinesChunk(std::string_view chunk,
+                                 const ParseOptions& parse,
+                                 size_t max_recorded_errors,
+                                 bool first_chunk) {
+  JSONSI_SPAN("ingest.chunk");
+  ChunkOutcome out;
+  size_t pos = 0;
+  // Identical line-splitting loop to the serial string_view reader in
+  // jsonl.cc: '\n'-delimited, the byte offset advances past the consumed
+  // newline, a trailing '\n' yields no final empty line.
+  while (pos < chunk.size()) {
+    size_t nl = chunk.find('\n', pos);
+    size_t end = nl == std::string_view::npos ? chunk.size() : nl;
+    std::string_view line = chunk.substr(pos, end - pos);
+    uint64_t line_start = pos;
+    pos = nl == std::string_view::npos ? chunk.size() : nl + 1;
+    out.stats.bytes_read = pos;
+    ++out.stats.lines_read;
+    line = internal::UndecorateLine(line,
+                                    first_chunk && out.stats.lines_read == 1);
+    if (internal::IsBlankLine(line)) {
+      ++out.stats.blank_lines;
+      continue;
+    }
+    Result<ValueRef> value = Parse(line, parse);
+    if (value.ok()) {
+      ++out.stats.records;
+      out.values.push_back(std::move(value).value());
+      continue;
+    }
+    // Malformed: record unconditionally (the policy runs at replay time) and
+    // snapshot the local counters so the replay can truncate here.
+    ++out.stats.malformed_lines;
+    if (out.stats.malformed_lines == 1) {
+      out.first_error_message = value.status().message();
+    }
+    if (out.stats.errors.size() < max_recorded_errors) {
+      out.stats.errors.push_back(IngestError{
+          out.stats.lines_read, line_start, value.status().message()});
+    }
+    out.malformed.push_back(ChunkOutcome::MalformedAt{
+        out.stats.lines_read, out.stats.blank_lines, out.stats.records,
+        out.stats.malformed_lines, out.stats.bytes_read});
+  }
+  return out;
+}
+
+namespace {
+
+// Truncates chunk `o`'s accounting at malformed-line snapshot `at` and folds
+// it into `*stats` — the prefix a serial reader would have consumed before
+// aborting on that line.
+void AbsorbTruncated(const ChunkOutcome& o,
+                     const ChunkOutcome::MalformedAt& at,
+                     size_t max_recorded_errors, IngestStats* stats) {
+  IngestStats prefix;
+  prefix.lines_read = at.lines_read;
+  prefix.blank_lines = at.blank_lines;
+  prefix.records = at.records;
+  prefix.malformed_lines = at.malformed_lines;
+  prefix.bytes_read = at.bytes_read;
+  for (const IngestError& e : o.stats.errors) {
+    if (e.line_number > at.lines_read) break;
+    prefix.errors.push_back(e);
+  }
+  stats->Absorb(prefix, max_recorded_errors);
+}
+
+Status RateError(const IngestOptions& options, const IngestStats& stats) {
+  uint64_t base_records =
+      options.rate_baseline ? options.rate_baseline->records : 0;
+  uint64_t base_malformed =
+      options.rate_baseline ? options.rate_baseline->malformed_lines : 0;
+  uint64_t malformed = base_malformed + stats.malformed_lines;
+  uint64_t non_blank =
+      base_records + base_malformed + stats.records + stats.malformed_lines;
+  std::string msg = "malformed-line rate " + std::to_string(malformed) + "/" +
+                    std::to_string(non_blank) + " exceeds tolerated rate";
+  if (!stats.errors.empty()) {
+    msg += "; first error at line " +
+           std::to_string(stats.errors.front().line_number) + ": " +
+           stats.errors.front().message;
+  }
+  return Status::ParseError(std::move(msg));
+}
+
+}  // namespace
+
+ChunkReplay ReplayChunkPolicy(const std::vector<ChunkOutcome>& outcomes,
+                              const IngestOptions& options,
+                              IngestStats* stats) {
+  IngestStats local;
+  if (!stats) stats = &local;
+  *stats = IngestStats{};
+  ChunkReplay replay;
+  const uint64_t base_records =
+      options.rate_baseline ? options.rate_baseline->records : 0;
+  const uint64_t base_malformed =
+      options.rate_baseline ? options.rate_baseline->malformed_lines : 0;
+  const auto exceeded = [&options](uint64_t malformed, uint64_t non_blank) {
+    return static_cast<double>(malformed) >
+           options.max_error_rate * static_cast<double>(non_blank);
+  };
+
+  for (size_t c = 0; c < outcomes.size(); ++c) {
+    const ChunkOutcome& o = outcomes[c];
+    if (options.on_malformed != MalformedLinePolicy::kSkip) {
+      for (const ChunkOutcome::MalformedAt& at : o.malformed) {
+        // Stream-cumulative counts at the moment this line failed, exactly
+        // as the serial LineIngester would have seen them.
+        uint64_t malformed_at = stats->malformed_lines + at.malformed_lines;
+        uint64_t records_at = stats->records + at.records;
+        bool abort = false;
+        if (options.on_malformed == MalformedLinePolicy::kFail) {
+          abort = true;
+        } else {  // kFailAboveRate
+          uint64_t cum_non_blank =
+              base_records + base_malformed + records_at + malformed_at;
+          uint64_t cum_malformed = base_malformed + malformed_at;
+          abort = cum_non_blank >= options.min_lines_for_rate &&
+                  exceeded(cum_malformed, cum_non_blank);
+        }
+        if (abort) {
+          AbsorbTruncated(o, at, options.max_recorded_errors, stats);
+          replay.full_chunks = c;
+          replay.partial_records = at.records;
+          if (options.on_malformed == MalformedLinePolicy::kFail) {
+            replay.status = Status::ParseError(
+                "line " + std::to_string(stats->lines_read) + ": " +
+                o.first_error_message);
+          } else {
+            replay.status = RateError(options, *stats);
+          }
+          RecordIngestTelemetry(*stats);
+          return replay;
+        }
+      }
+    }
+    stats->Absorb(o.stats, options.max_recorded_errors);
+  }
+
+  replay.full_chunks = outcomes.size();
+  replay.partial_records = 0;
+  replay.status = Status::OK();
+  // End-of-input rate check, mirroring LineIngester::Finish(): short inputs
+  // (below min_lines_for_rate) are still policed once the read completes.
+  if (options.on_malformed == MalformedLinePolicy::kFailAboveRate &&
+      stats->malformed_lines > 0) {
+    uint64_t cum_malformed = base_malformed + stats->malformed_lines;
+    uint64_t cum_non_blank = base_records + base_malformed + stats->records +
+                             stats->malformed_lines;
+    if (exceeded(cum_malformed, cum_non_blank)) {
+      replay.status = RateError(options, *stats);
+    }
+  }
+  RecordIngestTelemetry(*stats);
+  return replay;
+}
+
+std::vector<ValueRef> TakeIncludedValues(std::vector<ChunkOutcome>&& outcomes,
+                                         const ChunkReplay& replay) {
+  size_t total = 0;
+  for (size_t c = 0; c < replay.full_chunks && c < outcomes.size(); ++c) {
+    total += outcomes[c].values.size();
+  }
+  total += replay.partial_records;
+  std::vector<ValueRef> values;
+  values.reserve(total);
+  for (size_t c = 0; c < replay.full_chunks && c < outcomes.size(); ++c) {
+    auto& chunk_values = outcomes[c].values;
+    values.insert(values.end(),
+                  std::make_move_iterator(chunk_values.begin()),
+                  std::make_move_iterator(chunk_values.end()));
+  }
+  if (replay.partial_records > 0 && replay.full_chunks < outcomes.size()) {
+    auto& chunk_values = outcomes[replay.full_chunks].values;
+    size_t keep = std::min(replay.partial_records, chunk_values.size());
+    values.insert(values.end(), std::make_move_iterator(chunk_values.begin()),
+                  std::make_move_iterator(chunk_values.begin() + keep));
+  }
+  return values;
+}
+
+}  // namespace jsonsi::json

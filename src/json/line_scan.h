@@ -1,0 +1,38 @@
+// Internal line-scanning helpers shared by the serial JSON-Lines reader
+// (jsonl.cc) and the chunked parallel reader (jsonl_chunk.cc). Both must
+// agree byte-for-byte on what constitutes a line, a blank line, and a BOM,
+// or the chunked path's serial-parity guarantee breaks.
+
+#ifndef JSONSI_JSON_LINE_SCAN_H_
+#define JSONSI_JSON_LINE_SCAN_H_
+
+#include <string_view>
+
+namespace jsonsi::json::internal {
+
+inline constexpr std::string_view kUtf8Bom = "\xEF\xBB\xBF";
+
+/// True when the line holds only spaces, tabs, or a stray '\r'.
+inline bool IsBlankLine(std::string_view line) {
+  for (char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+/// Strips the BOM/CRLF decorations every reader tolerates: a UTF-8 BOM on
+/// the stream's first line, and a trailing '\r' (CRLF input) on any line.
+inline std::string_view UndecorateLine(std::string_view line,
+                                       bool stream_first_line) {
+  if (stream_first_line && line.substr(0, kUtf8Bom.size()) == kUtf8Bom) {
+    line.remove_prefix(kUtf8Bom.size());
+  }
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+}  // namespace jsonsi::json::internal
+
+#endif  // JSONSI_JSON_LINE_SCAN_H_

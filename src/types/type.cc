@@ -101,7 +101,9 @@ TypeRef Type::Basic(Kind kind) {
 
 Result<TypeRef> Type::Record(std::vector<FieldType> fields) {
   std::sort(fields.begin(), fields.end(),
-            [](const FieldType& a, const FieldType& b) { return a.key < b.key; });
+            [](const FieldType& a, const FieldType& b) {
+              return a.key < b.key;
+            });
   for (size_t i = 1; i < fields.size(); ++i) {
     if (fields[i - 1].key == fields[i].key) {
       return Status::InvalidArgument("duplicate record-type key: \"" +
@@ -113,7 +115,9 @@ Result<TypeRef> Type::Record(std::vector<FieldType> fields) {
 
 TypeRef Type::RecordUnchecked(std::vector<FieldType> fields) {
   std::sort(fields.begin(), fields.end(),
-            [](const FieldType& a, const FieldType& b) { return a.key < b.key; });
+            [](const FieldType& a, const FieldType& b) {
+              return a.key < b.key;
+            });
   return RecordFromSorted(std::move(fields));
 }
 

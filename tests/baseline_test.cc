@@ -62,7 +62,8 @@ TEST(SparkCoercionTest, MergeRules) {
 }
 
 TEST(SparkCoercionTest, RecordMergeTracksOptionality) {
-  types::TypeRef t = MergeCoerced(T("{a: Num, b: Str}"), T("{b: Str, c: Bool}"));
+  types::TypeRef t =
+      MergeCoerced(T("{a: Num, b: Str}"), T("{b: Str, c: Bool}"));
   EXPECT_TRUE(t->Equals(*T("{a: Num?, b: Str, c: Bool?}")))
       << types::ToString(*t);
 }
@@ -179,8 +180,10 @@ TEST(SkeletonTest, CompletenessGapIsMeasurable) {
   for (const auto& v : values) {
     for (const auto& p : stats::ValuePaths(*v)) all_value_paths.insert(p);
   }
-  double full_cov = stats::Coverage(all_value_paths, stats::TypePaths(*complete));
-  double skel_cov = stats::Coverage(all_value_paths, stats::TypePaths(*skeleton));
+  double full_cov =
+      stats::Coverage(all_value_paths, stats::TypePaths(*complete));
+  double skel_cov =
+      stats::Coverage(all_value_paths, stats::TypePaths(*skeleton));
   EXPECT_DOUBLE_EQ(full_cov, 1.0);
   EXPECT_LT(skel_cov, 1.0);
 }

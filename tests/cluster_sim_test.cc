@@ -25,7 +25,8 @@ TEST(ClusterSimTest, LocalOnlyWithOneDataNodeUsesOneNode) {
   // The paper's observed pathology: HDFS put the whole dataset on one node,
   // so local-only scheduling serializes the job onto that node.
   auto tasks = MakeUniformTasks(40, 200.0, 22e9, /*data_node=*/2, 4096);
-  auto result = SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.001);
+  auto result =
+      SimulateJob(tasks, PaperCluster(), Placement::kLocalOnly, 0.001);
   EXPECT_EQ(result.nodes_used, 1u);
   // 200 CPU-seconds on one 20-core node: ~10s + overheads.
   EXPECT_GE(result.makespan_seconds, 10.0);

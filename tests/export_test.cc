@@ -81,8 +81,9 @@ TEST(JsonSchemaExportTest, UnionBecomesAnyOf) {
 }
 
 TEST(JsonSchemaExportTest, StarArray) {
-  EXPECT_TRUE(ToJsonSchema(T("[(Num)*]"), NoDraft())
-                  ->Equals(*V(R"({"type":"array","items":{"type":"number"}})")));
+  EXPECT_TRUE(
+      ToJsonSchema(T("[(Num)*]"), NoDraft())
+          ->Equals(*V(R"({"type":"array","items":{"type":"number"}})")));
   EXPECT_TRUE(ToJsonSchema(T("[(Empty)*]"), NoDraft())
                   ->Equals(*V(R"({"type":"array","maxItems":0})")));
 }

@@ -115,7 +115,8 @@ TEST_P(FuserOptionProperties, CommutativeAssociativeCorrect) {
         ASSERT_TRUE(left->Equals(*right))
             << "associativity, L=" << max_len << "\n a=" << ToString(*ts[i])
             << "\n b=" << ToString(*ts[j]) << "\n c=" << ToString(*ts[k])
-            << "\n (ab)c=" << ToString(*left) << "\n a(bc)=" << ToString(*right);
+            << "\n (ab)c=" << ToString(*left)
+            << "\n a(bc)=" << ToString(*right);
       }
     }
   }

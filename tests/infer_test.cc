@@ -125,7 +125,8 @@ TEST_P(InferSoundness, ValueBelongsToItsInferredType) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, InferSoundness, ::testing::Range<uint64_t>(0, 25));
+INSTANTIATE_TEST_SUITE_P(Seeds, InferSoundness,
+                         ::testing::Range<uint64_t>(0, 25));
 
 }  // namespace
 }  // namespace jsonsi::inference

@@ -53,7 +53,8 @@ TEST(RepositoryTest, UnchangedSchemaDoesNotBumpVersion) {
 TEST(RepositoryTest, SubsumedBatchDoesNotBumpVersion) {
   // A batch whose schema is already included fuses to the same schema.
   SchemaRepository repo;
-  ASSERT_TRUE(repo.RegisterBatch("s", T("{a: (Num + Str), b: Bool?}"), 10).ok());
+  ASSERT_TRUE(
+      repo.RegisterBatch("s", T("{a: (Num + Str), b: Bool?}"), 10).ok());
   ASSERT_TRUE(repo.RegisterBatch("s", T("{a: Num, b: Bool}"), 5).ok());
   EXPECT_EQ(repo.Current("s")->version, 1u);
   EXPECT_EQ(repo.Current("s")->cumulative_records, 15u);

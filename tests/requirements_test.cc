@@ -123,8 +123,8 @@ TEST(RequirementsTest, EndToEndTwitterQueryTypecheck) {
   // "SELECT text, user.screen_name, entities.hashtags[].text WHERE id = ?"
   // typechecked against the inferred firehose schema, plus two buggy
   // selections the analysis must catch.
-  auto values =
-      datagen::MakeGenerator(datagen::DatasetId::kTwitter, 23)->GenerateMany(2000);
+  auto values = datagen::MakeGenerator(datagen::DatasetId::kTwitter, 23)
+                    ->GenerateMany(2000);
   core::Schema schema = core::SchemaInferencer().InferFromValues(values);
   auto results = CheckRequirements(
       schema.type,

@@ -107,7 +107,8 @@ TEST_P(SamplerSoundness, SamplesAreMembers) {
   Rng rng(GetParam() * 31 + 7);
   for (size_t i = 0; i + 1 < values.size(); i += 2) {
     TypeRef inferred = inference::InferType(*values[i]);
-    TypeRef fused = fusion::Fuse(inferred, inference::InferType(*values[i + 1]));
+    TypeRef fused =
+        fusion::Fuse(inferred, inference::InferType(*values[i + 1]));
     for (const TypeRef& t : {inferred, fused}) {
       for (int k = 0; k < 10; ++k) {
         json::ValueRef sample = SampleMember(*t, rng);

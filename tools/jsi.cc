@@ -1,10 +1,13 @@
 // jsi — command-line front end for the jsonsi schema-inference library.
 //
 // Subcommands:
-//   jsi infer <file.jsonl | ->  [--pretty] [--stats] [--partitions N]
-//             [--skip-malformed] [--max-error-rate R]
+//   jsi infer <file.jsonl | ->  [--pretty] [--stats] [--threads N]
+//             [--partitions N] [--skip-malformed] [--max-error-rate R]
 //       Infers and prints the fused schema of a JSON-Lines input
-//       ('-' reads stdin). --skip-malformed ingests dirty inputs in
+//       ('-' reads stdin). --threads N runs the whole pipeline — chunked
+//       ingestion, map, tree-reduce — on N workers (default: hardware
+//       concurrency; 1 = the exact serial path, structurally identical
+//       output). --skip-malformed ingests dirty inputs in
 //       degraded mode (bad lines are counted, reported on stderr, and
 //       skipped); --max-error-rate R skips bad lines only while they stay
 //       within a fraction R of the input, failing otherwise.
@@ -90,8 +93,8 @@ using jsonsi::core::SchemaInferencer;
 int Usage() {
   std::cerr <<
       "usage:\n"
-      "  jsi infer <file.jsonl | -> [--pretty] [--stats] [--partitions N]\n"
-      "            [--skip-malformed] [--max-error-rate R]\n"
+      "  jsi infer <file.jsonl | -> [--pretty] [--stats] [--threads N]\n"
+      "            [--partitions N] [--skip-malformed] [--max-error-rate R]\n"
       "  jsi gen <github|twitter|wikidata|nytimes> <count> [--seed S]\n"
       "  jsi paths <file.jsonl | ->\n"
       "  jsi check <file.jsonl | -> --schema '<type expression>'\n"
@@ -170,6 +173,13 @@ int RunInfer(std::vector<std::string> args) {
   bool pretty = Flag(args, "--pretty");
   bool stats = Flag(args, "--stats");
   jsonsi::core::InferenceOptions options;
+  if (auto t = FlagValue(args, "--threads")) {
+    try {
+      options.num_threads = std::stoul(*t);
+    } catch (const std::exception&) {
+      return BadFlagValue("--threads", *t);
+    }
+  }
   if (auto p = FlagValue(args, "--partitions")) {
     try {
       options.num_partitions = std::stoul(*p);
@@ -177,31 +187,52 @@ int RunInfer(std::vector<std::string> args) {
       return BadFlagValue("--partitions", *p);
     }
   }
-  jsonsi::json::IngestOptions ingest;
   if (Flag(args, "--skip-malformed")) {
-    ingest.on_malformed = jsonsi::json::MalformedLinePolicy::kSkip;
+    options.ingest.on_malformed = jsonsi::json::MalformedLinePolicy::kSkip;
   }
   if (auto r = FlagValue(args, "--max-error-rate")) {
-    ingest.on_malformed = jsonsi::json::MalformedLinePolicy::kFailAboveRate;
+    options.ingest.on_malformed =
+        jsonsi::json::MalformedLinePolicy::kFailAboveRate;
     try {
-      ingest.max_error_rate = std::stod(*r);
+      options.ingest.max_error_rate = std::stod(*r);
     } catch (const std::exception&) {
       return BadFlagValue("--max-error-rate", *r);
     }
   }
   if (args.empty()) return Usage();
+  // Slurp the input and run the end-to-end pipeline on it: with more than
+  // one thread, ingestion is chunk-parallel and map/reduce run on the pool
+  // (see core/schema_inferencer.h); one thread is the exact serial path.
+  std::string text;
+  if (args[0] == "-") {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = std::move(buffer).str();
+  } else {
+    std::ifstream in(args[0], std::ios::binary);
+    if (!in) {
+      std::cerr << "jsi: cannot open file: " << args[0] << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    text = std::move(buffer).str();
+  }
   jsonsi::json::IngestStats ingest_stats;
-  auto values = ReadInput(args[0], ingest, &ingest_stats);
-  if (!values.ok()) {
-    std::cerr << "jsi: " << values.status() << "\n";
+  SchemaInferencer inferencer(options);
+  Result<Schema> result = inferencer.InferFromJsonLines(text, &ingest_stats);
+  if (!result.ok()) {
+    std::cerr << "jsi: " << result.status() << "\n";
     return 2;
   }
   ReportIngest(ingest_stats);
-  Schema schema = SchemaInferencer(options).InferFromValues(values.value());
+  Schema schema = std::move(result).value();
   std::cout << schema.ToString(pretty) << "\n";
   if (stats) {
     const auto& s = schema.stats;
-    std::cerr << "records:        " << jsonsi::WithThousands(
+    std::cerr << "threads:        " << inferencer.options().num_threads
+              << "\n"
+              << "records:        " << jsonsi::WithThousands(
                      static_cast<int64_t>(s.record_count)) << "\n"
               << "distinct types: " << jsonsi::WithThousands(
                      static_cast<int64_t>(s.distinct_type_count)) << "\n"
