@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the DOM-free direct inference
+// kernel: per-record DirectInferType vs Parse+InferType over the four
+// datagen corpora (the ISSUE's >= 1.5x records/s acceptance gate), the
+// tokenizer-only validation floor, and the end-to-end InferFromJsonLines
+// A/B (direct vs --no-direct, serial and chunk-parallel). Every benchmark
+// reports MB/s via SetBytesProcessed and records/s via SetItemsProcessed
+// so the two paths read off one table.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/schema_inferencer.h"
+#include "inference/direct_infer.h"
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "json/serializer.h"
+#include "json/tokenizer.h"
+
+namespace {
+
+using namespace jsonsi;
+
+constexpr size_t kRecordsPerDataset = 512;
+
+// One serialized corpus per dataset, generated once per process.
+struct Corpus {
+  std::vector<std::string> lines;
+  std::string jsonl;  // the same lines joined with '\n'
+  int64_t bytes = 0;
+};
+
+const Corpus& GetCorpus(datagen::DatasetId id) {
+  static Corpus corpora[4];
+  Corpus& c = corpora[static_cast<int>(id)];
+  if (c.lines.empty()) {
+    auto values =
+        datagen::MakeGenerator(id, bench::BenchSeed())
+            ->GenerateMany(kRecordsPerDataset);
+    for (const auto& v : values) {
+      c.lines.push_back(json::ToJson(v));
+      c.bytes += static_cast<int64_t>(c.lines.back().size());
+      c.jsonl += c.lines.back();
+      c.jsonl += '\n';
+    }
+  }
+  return c;
+}
+
+datagen::DatasetId Dataset(const benchmark::State& state) {
+  return static_cast<datagen::DatasetId>(state.range(0));
+}
+
+// Baseline: the composed pipeline — materialize a json::Value, then type it.
+void BM_DomInfer(benchmark::State& state) {
+  const Corpus& corpus = GetCorpus(Dataset(state));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto value = json::Parse(corpus.lines[i++ % corpus.lines.size()]);
+    auto type = inference::InferType(*value.value());
+    benchmark::DoNotOptimize(type);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * corpus.bytes /
+                          static_cast<int64_t>(corpus.lines.size()));
+}
+BENCHMARK(BM_DomInfer)->DenseRange(0, 3)->Name("Infer/dom/dataset");
+
+// The kernel under test: one fused pass, no DOM.
+void BM_DirectInfer(benchmark::State& state) {
+  const Corpus& corpus = GetCorpus(Dataset(state));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto type =
+        inference::DirectInferType(corpus.lines[i++ % corpus.lines.size()]);
+    benchmark::DoNotOptimize(type);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * corpus.bytes /
+                          static_cast<int64_t>(corpus.lines.size()));
+}
+BENCHMARK(BM_DirectInfer)->DenseRange(0, 3)->Name("Infer/direct/dataset");
+
+// Floor: the raw token stream with no type construction at all — how much
+// of the direct path's cost is lexing vs building/interning types.
+void BM_TokenizeOnly(benchmark::State& state) {
+  const Corpus& corpus = GetCorpus(Dataset(state));
+  size_t i = 0;
+  for (auto _ : state) {
+    json::Tokenizer tok(corpus.lines[i++ % corpus.lines.size()]);
+    json::Token t;
+    do {
+      Status st = tok.Next(&t);
+      benchmark::DoNotOptimize(st);
+    } while (t.kind != json::TokenKind::kEnd);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * corpus.bytes /
+                          static_cast<int64_t>(corpus.lines.size()));
+}
+BENCHMARK(BM_TokenizeOnly)->DenseRange(0, 3)->Name("Tokenize/dataset");
+
+// End-to-end A/B: the whole InferFromJsonLines pipeline, direct vs DOM.
+// range(0) = dataset, range(1) = threads (1 = serial path).
+void BM_EndToEnd(benchmark::State& state, bool direct) {
+  const Corpus& corpus = GetCorpus(Dataset(state));
+  core::InferenceOptions options;
+  options.direct_infer = direct;
+  options.num_threads = static_cast<size_t>(state.range(1));
+  options.parallel_ingest_min_bytes = 0;
+  core::SchemaInferencer inferencer(options);
+  for (auto _ : state) {
+    auto schema = inferencer.InferFromJsonLines(corpus.jsonl);
+    benchmark::DoNotOptimize(schema);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.lines.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.jsonl.size()));
+}
+void BM_EndToEndDirect(benchmark::State& state) { BM_EndToEnd(state, true); }
+void BM_EndToEndDom(benchmark::State& state) { BM_EndToEnd(state, false); }
+BENCHMARK(BM_EndToEndDirect)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 4}})
+    ->Name("E2E/direct/dataset/threads");
+BENCHMARK(BM_EndToEndDom)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 4}})
+    ->Name("E2E/dom/dataset/threads");
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // BenchJsonScope turns telemetry on under JSI_BENCH_JSON and flushes the
+  // registry (including the infer.direct.* counters the benchmarks drive)
+  // to BENCH_direct_infer.json on exit.
+  jsonsi::bench::BenchJsonScope scope("direct_infer");
+  jsonsi::bench::ApplyQuickArgs(&argc, &argv);  // JSI_BENCH_QUICK smoke mode
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

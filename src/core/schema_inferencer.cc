@@ -11,6 +11,7 @@
 #include "engine/thread_pool.h"
 #include "fusion/fuse.h"
 #include "fusion/tree_fuser.h"
+#include "inference/direct_infer.h"
 #include "inference/infer.h"
 #include "json/jsonl.h"
 #include "json/jsonl_chunk.h"
@@ -64,6 +65,7 @@ Status InferSerial(const std::vector<json::ValueRef>& values,
                    const InferenceOptions& options, Schema* schema) {
   JSONSI_SPAN("infer.pipeline");
   schema->stats.record_count = values.size();
+  schema->stats.dom_records = values.size();
 
   // ---- Map phase: per-value type inference (Figure 4). ----
   Stopwatch infer_watch;
@@ -133,6 +135,7 @@ Status InferParallel(const std::vector<json::ValueRef>& values,
   JSONSI_SPAN("infer.pipeline");
   const size_t n = values.size();
   schema->stats.record_count = n;
+  schema->stats.dom_records = n;
   if (n == 0) {
     schema->type = Type::Empty();
     return Status::OK();
@@ -254,6 +257,189 @@ Status InferParallel(const std::vector<json::ValueRef>& values,
   return Status::OK();
 }
 
+// ---- Typed pipeline tail: the DOM-free ingestion path already ran the
+// Map phase (DirectInferType per line), so only statistics and the Reduce
+// phase remain. Both variants read `typed` without consuming it — retry
+// attempts re-run over the intact vector. ----
+
+Status InferSerialTyped(const std::vector<TypeRef>& typed,
+                        const InferenceOptions& options, Schema* schema) {
+  JSONSI_SPAN("infer.pipeline");
+  schema->stats.record_count = typed.size();
+  schema->stats.direct_records = typed.size();
+
+  if (options.collect_stats && !typed.empty()) {
+    JSONSI_SPAN("infer.stats");
+    stats::DistinctTypeSet distinct;
+    size_t min = 0, max = 0;
+    double total = 0;
+    for (size_t i = 0; i < typed.size(); ++i) {
+      distinct.Add(typed[i]);
+      size_t s = typed[i]->size();
+      if (i == 0) {
+        min = max = s;
+      } else {
+        min = std::min(min, s);
+        max = std::max(max, s);
+      }
+      total += static_cast<double>(s);
+    }
+    schema->stats.distinct_type_count = distinct.size();
+    schema->stats.min_type_size = min;
+    schema->stats.max_type_size = max;
+    schema->stats.avg_type_size = total / static_cast<double>(typed.size());
+  }
+
+  Stopwatch fuse_watch;
+  {
+    JSONSI_SPAN("infer.reduce");
+    fusion::TreeFuser fuser;
+    for (const TypeRef& t : typed) fuser.Add(t);
+    schema->type = fuser.Finish();
+  }
+  schema->stats.fuse_seconds = fuse_watch.ElapsedSeconds();
+  if (telemetry::Enabled()) {
+    JSONSI_COUNTER("map.records").Add(typed.size());
+    JSONSI_COUNTER("map.partitions").Increment();
+    JSONSI_COUNTER("reduce.partials").Increment();
+    JSONSI_HISTOGRAM("infer.fused_size")
+        .Record(schema->type ? schema->type->size() : 0);
+  }
+  return Status::OK();
+}
+
+Status InferParallelTyped(const std::vector<TypeRef>& typed,
+                          const InferenceOptions& options, Schema* schema) {
+  JSONSI_SPAN("infer.pipeline");
+  const size_t n = typed.size();
+  schema->stats.record_count = n;
+  schema->stats.direct_records = n;
+  if (n == 0) {
+    schema->type = Type::Empty();
+    return Status::OK();
+  }
+
+  engine::ThreadPool pool(options.num_threads);
+  const size_t parts =
+      std::max<size_t>(1, std::min(options.num_partitions, n));
+  std::vector<PartitionPartial> partials(parts);
+  const bool collect = options.collect_stats;
+
+  {
+    JSONSI_SPAN("infer.map");
+    const size_t base = n / parts;
+    const size_t extra = n % parts;
+    size_t offset = 0;
+    for (size_t p = 0; p < parts; ++p) {
+      const size_t len = base + (p < extra ? 1 : 0);
+      const size_t begin = offset;
+      offset += len;
+      pool.Submit([&typed, &partials, p, begin, len, collect] {
+        JSONSI_SPAN("pipeline.worker");
+        PartitionPartial& pp = partials[p];
+        if (collect) {
+          for (size_t i = begin; i < begin + len; ++i) {
+            pp.distinct.Add(typed[i]);
+            size_t s = typed[i]->size();
+            if (i == begin) {
+              pp.min_size = pp.max_size = s;
+            } else {
+              pp.min_size = std::min(pp.min_size, s);
+              pp.max_size = std::max(pp.max_size, s);
+            }
+            pp.total_size += static_cast<double>(s);
+          }
+        }
+        Stopwatch fuse_watch;
+        fusion::TreeFuser fuser;
+        for (size_t i = begin; i < begin + len; ++i) fuser.Add(typed[i]);
+        pp.partial = fuser.Finish();
+        pp.fuse_seconds = fuse_watch.ElapsedSeconds();
+        pp.count = len;
+      });
+    }
+    pool.Wait();
+  }
+  JSONSI_RETURN_IF_ERROR(pool.first_error());
+
+  double max_fuse = 0;
+  for (const PartitionPartial& pp : partials) {
+    max_fuse = std::max(max_fuse, pp.fuse_seconds);
+  }
+  if (collect) {
+    stats::DistinctTypeSet distinct;
+    size_t min = 0, max = 0, count = 0;
+    double total = 0;
+    for (PartitionPartial& pp : partials) {
+      if (pp.count == 0) continue;
+      distinct.Merge(pp.distinct);
+      min = (count == 0) ? pp.min_size : std::min(min, pp.min_size);
+      max = std::max(max, pp.max_size);
+      total += pp.total_size;
+      count += pp.count;
+    }
+    schema->stats.distinct_type_count = distinct.size();
+    schema->stats.min_type_size = min;
+    schema->stats.max_type_size = max;
+    schema->stats.avg_type_size =
+        count ? total / static_cast<double>(count) : 0.0;
+  }
+
+  Stopwatch reduce_watch;
+  size_t rounds = 0;
+  {
+    JSONSI_SPAN("infer.reduce");
+    std::vector<TypeRef> types;
+    types.reserve(parts);
+    for (PartitionPartial& pp : partials) {
+      types.push_back(std::move(pp.partial));
+    }
+    schema->type = engine::ParallelTreeReduce(
+        pool, std::move(types), Type::Empty(),
+        [](const TypeRef& a, const TypeRef& b) { return fusion::Fuse(a, b); },
+        &rounds);
+  }
+  JSONSI_RETURN_IF_ERROR(pool.first_error());
+  // Map cost lives in the fused ingestion pass; the caller adds it.
+  schema->stats.fuse_seconds = max_fuse + reduce_watch.ElapsedSeconds();
+
+  if (telemetry::Enabled()) {
+    JSONSI_COUNTER("map.records").Add(n);
+    JSONSI_COUNTER("map.partitions").Add(parts);
+    JSONSI_COUNTER("reduce.partials").Add(parts);
+    JSONSI_COUNTER("pipeline.parallel.runs").Increment();
+    JSONSI_COUNTER("pipeline.parallel.records").Add(n);
+    JSONSI_COUNTER("pipeline.parallel.partitions").Add(parts);
+    JSONSI_COUNTER("pipeline.parallel.reduce_rounds").Add(rounds);
+    for (const PartitionPartial& pp : partials) {
+      JSONSI_HISTOGRAM("reduce.partition_ns")
+          .Record(pp.fuse_seconds > 0
+                      ? static_cast<uint64_t>(pp.fuse_seconds * 1e9)
+                      : 0);
+    }
+    JSONSI_HISTOGRAM("infer.fused_size")
+        .Record(schema->type ? schema->type->size() : 0);
+  }
+  return Status::OK();
+}
+
+// Retrying driver over the typed tail — the typed analogue of
+// TryInferFromValues, sound for the same algebraic reasons.
+Result<Schema> TryInferTyped(const std::vector<TypeRef>& typed,
+                             const InferenceOptions& options) {
+  Schema schema;
+  Status st = engine::RunWithRetry(
+      [&]() -> Status {
+        schema = Schema{};
+        return options.num_threads <= 1
+                   ? InferSerialTyped(typed, options, &schema)
+                   : InferParallelTyped(typed, options, &schema);
+      },
+      options.retry);
+  if (!st.ok()) return st;
+  return schema;
+}
+
 }  // namespace
 
 Result<Schema> SchemaInferencer::TryInferFromValues(
@@ -288,8 +474,74 @@ Schema SchemaInferencer::InferFromValues(
   return std::move(result).value();
 }
 
+Result<Schema> SchemaInferencer::InferDirectFromJsonLines(
+    std::string_view text, json::IngestStats* stats) const {
+  std::vector<TypeRef> typed;
+  double ingest_seconds = 0;
+
+  if (options_.num_threads <= 1 ||
+      text.size() < options_.parallel_ingest_min_bytes) {
+    // Serial fused pass: one DirectInferType per line behind the standard
+    // degraded-mode line machinery — same policy decisions, same report.
+    Stopwatch ingest_watch;
+    {
+      JSONSI_SPAN("infer.direct");
+      json::LineFn fn = [&](std::string_view line) -> Result<bool> {
+        Result<TypeRef> t =
+            inference::DirectInferType(line, options_.ingest.parse);
+        if (!t.ok()) return t.status();
+        typed.push_back(std::move(t).value());
+        return true;
+      };
+      Status st = json::IngestJsonLines(text, fn, options_.ingest, stats);
+      if (!st.ok()) return st;
+    }
+    ingest_seconds = ingest_watch.ElapsedSeconds();
+  } else {
+    // Chunk-parallel fused pass: DOM-free chunk workers, then the shared
+    // sequential policy replay for exact serial-reader semantics.
+    Stopwatch ingest_watch;
+    JSONSI_SPAN("infer.direct.parallel");
+    const size_t max_chunks =
+        options_.num_threads * std::max<size_t>(1, options_.chunks_per_thread);
+    std::vector<json::ChunkSpan> spans = json::SplitJsonLines(text, max_chunks);
+    std::vector<inference::TypedChunkOutcome> outcomes(spans.size());
+    {
+      engine::ThreadPool pool(options_.num_threads);
+      for (size_t i = 0; i < spans.size(); ++i) {
+        pool.Submit([&text, &spans, &outcomes, i, this] {
+          JSONSI_SPAN("ingest.chunk_worker");
+          outcomes[i] = inference::InferJsonLinesChunk(
+              text.substr(spans[i].begin, spans[i].size()),
+              options_.ingest.parse, options_.ingest.max_recorded_errors,
+              i == 0);
+        });
+      }
+      pool.Wait();
+      JSONSI_RETURN_IF_ERROR(pool.first_error());
+    }
+    if (telemetry::Enabled()) {
+      JSONSI_COUNTER("pipeline.parallel.chunks").Add(spans.size());
+    }
+    json::IngestStats local;
+    json::IngestStats* out = stats ? stats : &local;
+    json::ChunkReplay replay =
+        inference::ReplayChunkPolicy(outcomes, options_.ingest, out);
+    if (!replay.status.ok()) return replay.status;
+    typed = inference::TakeIncludedTypes(std::move(outcomes), replay);
+    ingest_seconds = ingest_watch.ElapsedSeconds();
+  }
+
+  Result<Schema> schema = TryInferTyped(typed, options_);
+  if (!schema.ok()) return schema;
+  // Parsing and Map are one fused pass on this path; bill it as Map cost.
+  schema.value().stats.infer_seconds += ingest_seconds;
+  return schema;
+}
+
 Result<Schema> SchemaInferencer::InferFromJsonLines(
     std::string_view text, json::IngestStats* stats) const {
+  if (options_.direct_infer) return InferDirectFromJsonLines(text, stats);
   if (options_.num_threads <= 1 ||
       text.size() < options_.parallel_ingest_min_bytes) {
     Result<std::vector<json::ValueRef>> values =
@@ -341,9 +593,9 @@ Result<Schema> SchemaInferencer::InferFromFile(
   // Reads retry under the policy: transient I/O errors heal, while
   // deterministic ones (missing file, malformed content under kFail) are
   // classified permanent by the default predicate and fail immediately.
-  if (options_.num_threads > 1) {
-    // Slurp the file (retried), then hand the buffer to the chunk-parallel
-    // text path above.
+  if (options_.num_threads > 1 || options_.direct_infer) {
+    // Slurp the file (retried), then hand the buffer to the text path
+    // above (chunk-parallel and/or DOM-free per the options).
     std::string content;
     Status st = engine::RunWithRetry(
         [&]() -> Status {
@@ -403,6 +655,8 @@ Schema SchemaInferencer::Merge(const Schema& a, const Schema& b) {
   }
   out.stats.infer_seconds = sa.infer_seconds + sb.infer_seconds;
   out.stats.fuse_seconds = sa.fuse_seconds + sb.fuse_seconds;
+  out.stats.direct_records = sa.direct_records + sb.direct_records;
+  out.stats.dom_records = sa.dom_records + sb.dom_records;
   return out;
 }
 

@@ -78,6 +78,13 @@ struct InferenceOptions {
   engine::RetryPolicy retry;
   /// Malformed-line handling for the text/file entry points.
   json::IngestOptions ingest;
+  /// Fuse parsing and the Map phase into one DOM-free pass for the
+  /// text/file entry points (inference/direct_infer.h): types are built
+  /// straight from the token stream, no json::Value is materialized. Error
+  /// messages, positions and degraded-mode policy decisions are identical
+  /// to the DOM path. On by default; `jsi infer --no-direct` (or setting
+  /// this false) restores the parse-then-infer pipeline for A/B runs.
+  bool direct_infer = true;
   /// Text inputs at least this large are ingested chunk-parallel when
   /// num_threads > 1 (below it, chunking overhead beats the win). Tests set
   /// 0 to force the parallel path on tiny inputs.
@@ -95,11 +102,18 @@ struct SchemaStats {
   size_t max_type_size = 0;
   double avg_type_size = 0;         // mean over records (not distinct types)
   /// Map-phase cost. Serial: wall-clock of the inference loop. Parallel:
-  /// the critical path — the slowest worker's inference time.
+  /// the critical path — the slowest worker's inference time. On the
+  /// direct-inference path parsing and Map are one fused pass, so this is
+  /// the ingestion wall-clock (serial) or the slowest chunk worker.
   double infer_seconds = 0;
   /// Reduce-phase cost. Serial: wall-clock of the fold. Parallel: slowest
   /// worker's partition fold plus the tree-reduce wall-clock.
   double fuse_seconds = 0;
+  /// Ingestion-mode accounting: how many records were typed DOM-free
+  /// (direct) vs through a materialized json::Value (dom). Merge sums both,
+  /// so A/B and mixed runs stay self-describing (`jsi infer --stats`).
+  size_t direct_records = 0;
+  size_t dom_records = 0;
 };
 
 /// An inferred schema: the fused type plus run statistics.
@@ -147,6 +161,11 @@ class SchemaInferencer {
   const InferenceOptions& options() const { return options_; }
 
  private:
+  /// DOM-free text ingestion: DirectInferType per line (serial) or per
+  /// chunk worker (parallel), then the typed Reduce tail.
+  Result<Schema> InferDirectFromJsonLines(std::string_view text,
+                                          json::IngestStats* stats) const;
+
   InferenceOptions options_;
 };
 

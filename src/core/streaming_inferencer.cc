@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "engine/thread_pool.h"
+#include "inference/direct_infer.h"
 #include "inference/infer.h"
 #include "json/jsonl_chunk.h"
 #include "json/parser.h"
@@ -33,8 +34,13 @@ json::MalformedLinePolicy StreamingInferencer::EffectivePolicy() const {
 
 void StreamingInferencer::AddValue(const json::ValueRef& value) {
   types::TypeRef t = inference::InferType(*value);
-  if (options_.count_distinct_types) distinct_hashes_.insert(t->hash());
-  size_t s = t->size();
+  if (profiler_) profiler_->Observe(*value, record_count_);
+  AddType(std::move(t));
+}
+
+void StreamingInferencer::AddType(types::TypeRef type) {
+  if (options_.count_distinct_types) distinct_hashes_.insert(type->hash());
+  size_t s = type->size();
   if (record_count_ == 0) {
     min_type_size_ = max_type_size_ = s;
   } else {
@@ -42,8 +48,7 @@ void StreamingInferencer::AddValue(const json::ValueRef& value) {
     max_type_size_ = std::max(max_type_size_, s);
   }
   total_type_size_ += static_cast<double>(s);
-  if (profiler_) profiler_->Observe(*value, record_count_);
-  fuser_.Add(std::move(t));
+  fuser_.Add(std::move(type));
   ++record_count_;
   JSONSI_COUNTER("stream.records").Increment();
 }
@@ -112,13 +117,28 @@ Status StreamingInferencer::AddJsonLines(std::string_view text) {
   // folded forward below, after the read completes.
   ingest.rate_baseline = &ingest_stats_;
   json::IngestStats chunk;
-  Status st = json::ReadJsonLines(
-      text,
-      [&](json::ValueRef v) {
-        AddValue(v);
-        return true;
-      },
-      ingest, &chunk);
+  Status st;
+  if (UseDirectIngestion()) {
+    // DOM-free fused pass: type each line straight off the token stream,
+    // behind the same line machinery (policy, report, rate baseline).
+    JSONSI_SPAN("infer.direct");
+    json::LineFn fn = [&](std::string_view line) -> Result<bool> {
+      Result<types::TypeRef> t =
+          inference::DirectInferType(line, ingest.parse);
+      if (!t.ok()) return t.status();
+      AddType(std::move(t).value());
+      return true;
+    };
+    st = json::IngestJsonLines(text, fn, ingest, &chunk);
+  } else {
+    st = json::ReadJsonLines(
+        text,
+        [&](json::ValueRef v) {
+          AddValue(v);
+          return true;
+        },
+        ingest, &chunk);
+  }
   // Accumulate even on failure, so the report covers the aborted chunk.
   ingest_stats_.Absorb(chunk, options_.max_recorded_errors);
   PublishIngestTelemetry();
@@ -131,6 +151,9 @@ Status StreamingInferencer::AddJsonLinesParallel(std::string_view text,
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   if (num_threads <= 1) return AddJsonLines(text);
+  if (UseDirectIngestion()) {
+    return AddJsonLinesParallelDirect(text, num_threads);
+  }
   JSONSI_SPAN("stream.add_parallel");
 
   json::IngestOptions ingest;
@@ -228,6 +251,108 @@ Status StreamingInferencer::AddJsonLinesParallel(std::string_view text,
     total_type_size_ += shard.total_size;
     distinct_hashes_.insert(shard.hashes.begin(), shard.hashes.end());
     if (profiler_ && shard.profiler) profiler_->Merge(*shard.profiler);
+    record_count_ += shard.count;
+  }
+
+  // Accumulate even on failure, so the report covers the aborted buffer.
+  ingest_stats_.Absorb(chunk, options_.max_recorded_errors);
+  PublishIngestTelemetry();
+  if (telemetry::Enabled()) {
+    JSONSI_COUNTER("pipeline.parallel.chunks").Add(spans.size());
+  }
+  return replay.status;
+}
+
+Status StreamingInferencer::AddJsonLinesParallelDirect(std::string_view text,
+                                                       size_t num_threads) {
+  JSONSI_SPAN("stream.add_parallel");
+
+  json::IngestOptions ingest;
+  ingest.on_malformed = EffectivePolicy();
+  ingest.max_error_rate = options_.max_error_rate;
+  ingest.min_lines_for_rate = options_.min_lines_for_rate;
+  ingest.max_recorded_errors = options_.max_recorded_errors;
+  // Same cumulative-rate story as AddJsonLines: the replay judges this
+  // buffer's malformed lines against the whole stream read so far.
+  ingest.rate_baseline = &ingest_stats_;
+
+  engine::ThreadPool pool(num_threads);
+  std::vector<json::ChunkSpan> spans =
+      json::SplitJsonLines(text, num_threads * 4);
+  std::vector<inference::TypedChunkOutcome> outcomes(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    pool.Submit([&text, &spans, &outcomes, i, &ingest] {
+      outcomes[i] = inference::InferJsonLinesChunk(
+          text.substr(spans[i].begin, spans[i].size()), ingest.parse,
+          ingest.max_recorded_errors, i == 0);
+    });
+  }
+  pool.Wait();
+  JSONSI_RETURN_IF_ERROR(pool.first_error());
+
+  json::IngestStats chunk;
+  json::ChunkReplay replay =
+      inference::ReplayChunkPolicy(outcomes, ingest, &chunk);
+
+  // Per-chunk statistics shards, folded forward in chunk order. Simpler
+  // than the DOM arm: this path never runs with a profiler, so no global
+  // record ordinals are needed.
+  struct Shard {
+    fusion::TreeFuser fuser;
+    std::unordered_set<uint64_t> hashes;
+    size_t min_size = 0;
+    size_t max_size = 0;
+    double total_size = 0;
+    uint64_t count = 0;
+  };
+  const size_t included_chunks =
+      replay.full_chunks + (replay.partial_records > 0 ? 1 : 0);
+  std::vector<Shard> shards(included_chunks);
+  const bool count_distinct = options_.count_distinct_types;
+  for (size_t c = 0; c < included_chunks; ++c) {
+    const size_t take =
+        c < replay.full_chunks
+            ? outcomes[c].types.size()
+            : std::min(replay.partial_records, outcomes[c].types.size());
+    if (take == 0) continue;
+    Shard& shard = shards[c];
+    pool.Submit([&outcomes, &shard, c, take, count_distinct] {
+      JSONSI_SPAN("pipeline.worker");
+      std::vector<types::TypeRef>& chunk_types = outcomes[c].types;
+      for (size_t i = 0; i < take; ++i) {
+        types::TypeRef& t = chunk_types[i];
+        if (count_distinct) shard.hashes.insert(t->hash());
+        size_t s = t->size();
+        if (shard.count == 0) {
+          shard.min_size = shard.max_size = s;
+        } else {
+          shard.min_size = std::min(shard.min_size, s);
+          shard.max_size = std::max(shard.max_size, s);
+        }
+        shard.total_size += static_cast<double>(s);
+        shard.fuser.Add(std::move(t));
+        ++shard.count;
+        JSONSI_COUNTER("stream.records").Increment();
+      }
+    });
+  }
+  pool.Wait();
+  JSONSI_RETURN_IF_ERROR(pool.first_error());
+
+  // Fold shards in stream order — same merge as the DOM arm, so the
+  // snapshot schema matches serial AddJsonLines.
+  for (Shard& shard : shards) {
+    if (shard.count == 0) continue;
+    fuser_.Add(shard.fuser.Finish());
+    if (record_count_ == 0) {
+      min_type_size_ = shard.min_size;
+      max_type_size_ = shard.max_size;
+    } else {
+      min_type_size_ = std::min(min_type_size_, shard.min_size);
+      max_type_size_ = std::max(max_type_size_, shard.max_size);
+    }
+    total_type_size_ += shard.total_size;
+    distinct_hashes_.insert(shard.hashes.begin(), shard.hashes.end());
     record_count_ += shard.count;
   }
 

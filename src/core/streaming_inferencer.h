@@ -52,6 +52,13 @@ struct StreamingOptions {
   double max_error_rate = 0.01;
   uint64_t min_lines_for_rate = 100;
   size_t max_recorded_errors = 8;
+  /// Ingest AddJsonLines{,Parallel} text DOM-free (inference/direct_infer.h):
+  /// types are built straight from the token stream, no json::Value per
+  /// line. Policy decisions, reports and the snapshot schema are identical
+  /// to the DOM path. Ignored (DOM path used) when `profile` is set — the
+  /// profiler needs the parsed values. AddValue/AddJson always use the DOM
+  /// path: their inputs are values by definition.
+  bool direct_infer = true;
 };
 
 /// Accumulates a schema over a pushed stream of records.
@@ -104,6 +111,16 @@ class StreamingInferencer {
 
  private:
   json::MalformedLinePolicy EffectivePolicy() const;
+  /// True when text ingestion should run DOM-free.
+  bool UseDirectIngestion() const {
+    return options_.direct_infer && !profiler_;
+  }
+  /// Folds one inferred type into the running schema and statistics — the
+  /// shared tail of AddValue (DOM) and the direct ingestion paths.
+  void AddType(types::TypeRef type);
+  /// DOM-free chunk-parallel ingestion (AddJsonLinesParallel's direct arm).
+  Status AddJsonLinesParallelDirect(std::string_view text,
+                                    size_t num_threads);
   /// Mirrors the cumulative ingestion report into stream.* gauges (no-op
   /// while telemetry is disabled).
   void PublishIngestTelemetry() const;

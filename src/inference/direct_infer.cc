@@ -1,0 +1,329 @@
+#include "inference/direct_infer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <utility>
+
+#include "json/line_scan.h"
+#include "json/tokenizer.h"
+#include "telemetry/telemetry.h"
+#include "types/interner.h"
+
+namespace jsonsi::inference {
+
+using json::Token;
+using json::TokenKind;
+using json::Tokenizer;
+using types::FieldType;
+using types::Type;
+using types::TypeRef;
+
+namespace {
+
+// Iterative grammar driver: the parser's recursive descent flattened onto
+// an explicit frame stack, producing type nodes where the parser produces
+// Values. Every error check runs in the same order and at the same cursor
+// position as the recursive parser, so statuses match byte for byte
+// (differential-tested). Tokens are pulled only at value positions — at
+// key and separator positions the parser reports grammar errors before
+// lexing anything, so this driver peeks instead.
+class DirectInferrer {
+ public:
+  DirectInferrer(std::string_view text, const json::ParseOptions& options)
+      : tok_(text), options_(options), intern_(types::InterningEnabled()) {}
+
+  Result<TypeRef> Infer() {
+    TypeRef root;
+    JSONSI_RETURN_IF_ERROR(Run(&root));
+    if (!options_.allow_trailing_content) {
+      tok_.SkipWhitespace();
+      if (!tok_.AtEnd()) {
+        return tok_.ErrorHere("trailing content after JSON value");
+      }
+    }
+    return root;
+  }
+
+ private:
+  // One record or array under construction. `start` indexes the shared
+  // accumulator (fields_ for records, elems_ for arrays): children pushed
+  // past it belong to this frame and are consumed when it closes.
+  struct Frame {
+    bool is_record;
+    size_t start;
+  };
+
+  Status Run(TypeRef* out) {
+    for (;;) {
+      // --- Value position: the only place a token is pulled. ---
+      Token t;
+      TypeRef closed;
+      JSONSI_RETURN_IF_ERROR(tok_.Next(&t));
+      switch (t.kind) {
+        case TokenKind::kNull:
+          closed = Type::Null();
+          break;
+        case TokenKind::kTrue:
+        case TokenKind::kFalse:
+          closed = Type::Bool();
+          break;
+        case TokenKind::kNumber:
+          closed = Type::Num();
+          break;
+        case TokenKind::kString:
+          closed = Type::Str();
+          break;
+        case TokenKind::kEnd:
+          return Tokenizer::ErrorAt(t, "unexpected end of input");
+        case TokenKind::kLBrace: {
+          if (frames_.size() >= options_.max_depth) {
+            return Tokenizer::ErrorAt(t, "nesting too deep");
+          }
+          tok_.SkipWhitespace();
+          if (!tok_.AtEnd() && tok_.Peek() == '}') {
+            tok_.Advance();
+            closed = MakeRecord({});
+            break;
+          }
+          frames_.push_back(Frame{/*is_record=*/true, fields_.size()});
+          JSONSI_RETURN_IF_ERROR(ReadKey());
+          continue;  // next value = first field value
+        }
+        case TokenKind::kLBracket: {
+          if (frames_.size() >= options_.max_depth) {
+            return Tokenizer::ErrorAt(t, "nesting too deep");
+          }
+          tok_.SkipWhitespace();
+          if (!tok_.AtEnd() && tok_.Peek() == ']') {
+            tok_.Advance();
+            closed = MakeArray({});
+            break;
+          }
+          frames_.push_back(Frame{/*is_record=*/false, elems_.size()});
+          continue;  // next value = first element
+        }
+        default:
+          // Stray punctuation at a value position: the parser falls into
+          // ParseNumber and fails at the token's first byte.
+          return Tokenizer::ErrorAt(t, "invalid number");
+      }
+
+      // --- A value closed: unwind frames until one needs another value. ---
+      for (;;) {
+        if (frames_.empty()) {
+          *out = std::move(closed);
+          return Status::OK();
+        }
+        Frame& frame = frames_.back();
+        if (frame.is_record) {
+          // fields_.back() is this frame's pending field (nested frames
+          // consume their fields before we unwind back here).
+          fields_.back().type = std::move(closed);
+          tok_.SkipWhitespace();
+          if (tok_.AtEnd()) return tok_.ErrorHere("unterminated record");
+          char c = tok_.Peek();
+          if (c == ',') {
+            tok_.Advance();
+            JSONSI_RETURN_IF_ERROR(ReadKey());
+            break;  // back to value position
+          }
+          if (c == '}') {
+            tok_.Advance();
+            JSONSI_RETURN_IF_ERROR(CloseRecord(&closed));
+            continue;  // keep unwinding
+          }
+          return tok_.ErrorHere("expected ',' or '}' in record");
+        }
+        elems_.push_back(std::move(closed));
+        tok_.SkipWhitespace();
+        if (tok_.AtEnd()) return tok_.ErrorHere("unterminated array");
+        char c = tok_.Peek();
+        if (c == ',') {
+          tok_.Advance();
+          break;  // back to value position
+        }
+        if (c == ']') {
+          tok_.Advance();
+          CloseArray(&closed);
+          continue;  // keep unwinding
+        }
+        return tok_.ErrorHere("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  // Key, colon, and the pending-field push. Mirrors the top of the
+  // parser's record loop, including the order of its error checks.
+  Status ReadKey() {
+    tok_.SkipWhitespace();
+    if (tok_.AtEnd() || tok_.Peek() != '"') {
+      return tok_.ErrorHere("expected record key string");
+    }
+    Token key;
+    key_buf_.clear();
+    JSONSI_RETURN_IF_ERROR(tok_.Next(&key, &key_buf_));
+    tok_.SkipWhitespace();
+    if (tok_.AtEnd() || tok_.Peek() != ':') {
+      return tok_.ErrorHere("expected ':' after key");
+    }
+    tok_.Advance();
+    fields_.push_back(FieldType{key_buf_, nullptr, /*optional=*/false});
+    return Status::OK();
+  }
+
+  // Pops the top record frame into a record type node. Keys are compared
+  // unescaped (so "A" and "A" collide, as on the DOM path), and the
+  // duplicate-key message + position match Value::Record's rejection as
+  // re-wrapped by the parser: reported just past the closing '}'.
+  Status CloseRecord(TypeRef* closed) {
+    size_t start = frames_.back().start;
+    frames_.pop_back();
+    auto first = fields_.begin() + static_cast<ptrdiff_t>(start);
+    std::sort(first, fields_.end(),
+              [](const FieldType& a, const FieldType& b) {
+                return a.key < b.key;
+              });
+    for (size_t i = start; i + 1 < fields_.size(); ++i) {
+      if (fields_[i].key == fields_[i + 1].key) {
+        return tok_.ErrorHere("duplicate record key: \"" + fields_[i].key +
+                              "\"");
+      }
+    }
+    std::vector<FieldType> fields(std::make_move_iterator(first),
+                                  std::make_move_iterator(fields_.end()));
+    fields_.resize(start);
+    *closed = MakeRecord(std::move(fields));
+    return Status::OK();
+  }
+
+  void CloseArray(TypeRef* closed) {
+    size_t start = frames_.back().start;
+    frames_.pop_back();
+    auto first = elems_.begin() + static_cast<ptrdiff_t>(start);
+    std::vector<TypeRef> elements(std::make_move_iterator(first),
+                                  std::make_move_iterator(elems_.end()));
+    elems_.resize(start);
+    *closed = MakeArray(std::move(elements));
+  }
+
+  // Same interning policy as InferNode: record/array nodes are hash-consed
+  // bottom-up when interning is enabled; leaves are already singletons.
+  TypeRef MakeRecord(std::vector<FieldType> fields) {
+    TypeRef t = Type::RecordFromSorted(std::move(fields));
+    return intern_ ? types::TypeInterner::Global().Intern(std::move(t)) : t;
+  }
+
+  TypeRef MakeArray(std::vector<TypeRef> elements) {
+    TypeRef t = Type::ArrayExact(std::move(elements));
+    return intern_ ? types::TypeInterner::Global().Intern(std::move(t)) : t;
+  }
+
+  Tokenizer tok_;
+  json::ParseOptions options_;
+  const bool intern_;
+  std::vector<Frame> frames_;
+  std::vector<FieldType> fields_;  // shared field accumulator
+  std::vector<TypeRef> elems_;     // shared element accumulator
+  std::string key_buf_;            // reused unescape buffer for keys
+};
+
+}  // namespace
+
+Result<TypeRef> DirectInferType(std::string_view text,
+                                const json::ParseOptions& options) {
+  DirectInferrer inferrer(text, options);
+  Result<TypeRef> result = inferrer.Infer();
+  if (telemetry::Enabled()) {
+    JSONSI_COUNTER("infer.direct.bytes").Add(text.size());
+    if (result.ok()) {
+      JSONSI_COUNTER("infer.direct.records").Increment();
+      JSONSI_COUNTER("infer.direct.dom_bypassed").Increment();
+      JSONSI_HISTOGRAM("infer.type_size").Record(result.value()->size());
+    } else {
+      JSONSI_COUNTER("infer.direct.errors").Increment();
+    }
+  }
+  return result;
+}
+
+TypedChunkOutcome InferJsonLinesChunk(std::string_view chunk,
+                                      const json::ParseOptions& parse,
+                                      size_t max_recorded_errors,
+                                      bool first_chunk) {
+  JSONSI_SPAN("infer.direct.chunk");
+  TypedChunkOutcome out;
+  size_t pos = 0;
+  // Identical line-splitting loop to json::ParseJsonLinesChunk, with
+  // DirectInferType in place of Parse — the only difference between the
+  // DOM and DOM-free chunk workers.
+  while (pos < chunk.size()) {
+    size_t nl = chunk.find('\n', pos);
+    size_t end = nl == std::string_view::npos ? chunk.size() : nl;
+    std::string_view line = chunk.substr(pos, end - pos);
+    uint64_t line_start = pos;
+    pos = nl == std::string_view::npos ? chunk.size() : nl + 1;
+    out.stats.bytes_read = pos;
+    ++out.stats.lines_read;
+    line = json::internal::UndecorateLine(
+        line, first_chunk && out.stats.lines_read == 1);
+    if (json::internal::IsBlankLine(line)) {
+      ++out.stats.blank_lines;
+      continue;
+    }
+    Result<TypeRef> type = DirectInferType(line, parse);
+    if (type.ok()) {
+      ++out.stats.records;
+      out.types.push_back(std::move(type).value());
+      continue;
+    }
+    ++out.stats.malformed_lines;
+    if (out.stats.malformed_lines == 1) {
+      out.first_error_message = type.status().message();
+    }
+    if (out.stats.errors.size() < max_recorded_errors) {
+      out.stats.errors.push_back(json::IngestError{
+          out.stats.lines_read, line_start, type.status().message()});
+    }
+    out.malformed.push_back(json::ChunkIngest::MalformedAt{
+        out.stats.lines_read, out.stats.blank_lines, out.stats.records,
+        out.stats.malformed_lines, out.stats.bytes_read});
+  }
+  return out;
+}
+
+json::ChunkReplay ReplayChunkPolicy(
+    const std::vector<TypedChunkOutcome>& outcomes,
+    const json::IngestOptions& options, json::IngestStats* stats) {
+  std::vector<const json::ChunkIngest*> views;
+  views.reserve(outcomes.size());
+  for (const TypedChunkOutcome& o : outcomes) views.push_back(&o);
+  return json::ReplayChunkPolicy(views, options, stats);
+}
+
+std::vector<TypeRef> TakeIncludedTypes(
+    std::vector<TypedChunkOutcome>&& outcomes,
+    const json::ChunkReplay& replay) {
+  size_t total = 0;
+  for (size_t c = 0; c < replay.full_chunks && c < outcomes.size(); ++c) {
+    total += outcomes[c].types.size();
+  }
+  total += replay.partial_records;
+  std::vector<TypeRef> types;
+  types.reserve(total);
+  for (size_t c = 0; c < replay.full_chunks && c < outcomes.size(); ++c) {
+    auto& chunk_types = outcomes[c].types;
+    types.insert(types.end(), std::make_move_iterator(chunk_types.begin()),
+                 std::make_move_iterator(chunk_types.end()));
+  }
+  if (replay.partial_records > 0 && replay.full_chunks < outcomes.size()) {
+    auto& chunk_types = outcomes[replay.full_chunks].types;
+    size_t keep = std::min(replay.partial_records, chunk_types.size());
+    types.insert(types.end(), std::make_move_iterator(chunk_types.begin()),
+                 std::make_move_iterator(chunk_types.begin() + keep));
+  }
+  return types;
+}
+
+}  // namespace jsonsi::inference

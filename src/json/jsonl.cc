@@ -12,15 +12,18 @@ namespace {
 
 // Applies the malformed-line policy and maintains the IngestStats while the
 // drivers below feed it one line at a time. Lines arrive raw; this class
-// owns BOM/CRLF tolerance and blank-line skipping.
+// owns BOM/CRLF tolerance and blank-line skipping. Per-line semantics are
+// delegated to a LineFn: the DOM readers parse into a Value and call a
+// RecordSink, the direct-inference path folds a type, both behind the same
+// policy and reporting machinery.
 class LineIngester {
  public:
-  LineIngester(const RecordSink& sink, const IngestOptions& options,
+  LineIngester(const LineFn& fn, const IngestOptions& options,
                IngestStats* stats)
-      : sink_(sink), options_(options), stats_(stats) {}
+      : fn_(fn), options_(options), stats_(stats) {}
 
   // Processes one line. Returns an error to abort the read; sets done()
-  // when the sink asked to stop.
+  // when the line fn asked to stop.
   Status OnLine(std::string_view line, uint64_t byte_offset) {
     ++stats_->lines_read;
     line = internal::UndecorateLine(line, stats_->lines_read == 1);
@@ -28,10 +31,10 @@ class LineIngester {
       ++stats_->blank_lines;
       return Status::OK();
     }
-    Result<ValueRef> value = Parse(line, options_.parse);
+    Result<bool> value = fn_(line);
     if (value.ok()) {
       ++stats_->records;
-      if (!sink_(std::move(value).value())) done_ = true;
+      if (!value.value()) done_ = true;
       return Status::OK();
     }
 
@@ -104,11 +107,21 @@ class LineIngester {
     return Status::ParseError(std::move(msg));
   }
 
-  const RecordSink& sink_;
+  const LineFn& fn_;
   const IngestOptions& options_;
   IngestStats* stats_;
   bool done_ = false;
 };
+
+// The LineFn of the DOM ingestion path: parse each line into a Value and
+// forward it to the RecordSink.
+LineFn ParseToSink(const RecordSink& sink, const ParseOptions& parse) {
+  return [&sink, parse](std::string_view line) -> Result<bool> {
+    Result<ValueRef> value = Parse(line, parse);
+    if (!value.ok()) return value.status();
+    return sink(std::move(value).value());
+  };
+}
 
 // Bulk-publishes one read's ingestion report to the global registry: a
 // handful of counter adds per read (not per line), so degraded-mode readers
@@ -152,9 +165,10 @@ Status ReadJsonLines(std::istream& in, const RecordSink& sink,
   IngestStats local;
   if (!stats) stats = &local;
   *stats = IngestStats{};
+  LineFn fn = ParseToSink(sink, options.parse);
   Status status = [&] {
     JSONSI_SPAN("ingest.read");
-    LineIngester ingester(sink, options, stats);
+    LineIngester ingester(fn, options, stats);
     std::string line;
     uint64_t offset = 0;
     while (std::getline(in, line)) {
@@ -179,12 +193,18 @@ Status ReadJsonLines(std::istream& in, const RecordSink& sink,
 
 Status ReadJsonLines(std::string_view text, const RecordSink& sink,
                      const IngestOptions& options, IngestStats* stats) {
+  LineFn fn = ParseToSink(sink, options.parse);
+  return IngestJsonLines(text, fn, options, stats);
+}
+
+Status IngestJsonLines(std::string_view text, const LineFn& fn,
+                       const IngestOptions& options, IngestStats* stats) {
   IngestStats local;
   if (!stats) stats = &local;
   *stats = IngestStats{};
   Status status = [&] {
     JSONSI_SPAN("ingest.read");
-    LineIngester ingester(sink, options, stats);
+    LineIngester ingester(fn, options, stats);
     size_t pos = 0;
     while (pos < text.size()) {
       size_t nl = text.find('\n', pos);

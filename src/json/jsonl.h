@@ -29,6 +29,14 @@ namespace jsonsi::json {
 /// Per-record sink. Return false to stop early (e.g. record-count limits).
 using RecordSink = std::function<bool(ValueRef value)>;
 
+/// Per-line processor for generic (DOM-free) ingestion. Called once per
+/// undecorated non-blank line. Return ok(true) to continue, ok(false) to
+/// stop the read early, or an error Status to classify the line as
+/// malformed — the message then feeds the IngestStats report and the
+/// MalformedLinePolicy machinery exactly like a parse failure does on the
+/// DOM path.
+using LineFn = std::function<Result<bool>(std::string_view line)>;
+
 /// What to do with a line that fails to parse.
 enum class MalformedLinePolicy {
   /// Abort the read with a ParseError carrying the line number (default —
@@ -113,6 +121,15 @@ Status ReadJsonLines(std::istream& in, const RecordSink& sink,
 Status ReadJsonLines(std::string_view text, const RecordSink& sink,
                      const IngestOptions& options,
                      IngestStats* stats = nullptr);
+
+/// Generic degraded-mode ingestion over an in-memory buffer: the same
+/// line splitting, BOM/CRLF tolerance, blank-line skipping, policy
+/// enforcement and reporting as ReadJsonLines, with per-line handling
+/// delegated to `fn` instead of the DOM parser. The DOM-free direct
+/// inference path (inference/direct_infer.h) rides on this.
+Status IngestJsonLines(std::string_view text, const LineFn& fn,
+                       const IngestOptions& options,
+                       IngestStats* stats = nullptr);
 
 /// Reads an entire JSON-Lines file into memory.
 Result<std::vector<ValueRef>> ReadJsonLinesFile(

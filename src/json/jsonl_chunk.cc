@@ -98,8 +98,7 @@ namespace {
 // Truncates chunk `o`'s accounting at malformed-line snapshot `at` and folds
 // it into `*stats` — the prefix a serial reader would have consumed before
 // aborting on that line.
-void AbsorbTruncated(const ChunkOutcome& o,
-                     const ChunkOutcome::MalformedAt& at,
+void AbsorbTruncated(const ChunkIngest& o, const ChunkIngest::MalformedAt& at,
                      size_t max_recorded_errors, IngestStats* stats) {
   IngestStats prefix;
   prefix.lines_read = at.lines_read;
@@ -137,6 +136,15 @@ Status RateError(const IngestOptions& options, const IngestStats& stats) {
 ChunkReplay ReplayChunkPolicy(const std::vector<ChunkOutcome>& outcomes,
                               const IngestOptions& options,
                               IngestStats* stats) {
+  std::vector<const ChunkIngest*> views;
+  views.reserve(outcomes.size());
+  for (const ChunkOutcome& o : outcomes) views.push_back(&o);
+  return ReplayChunkPolicy(views, options, stats);
+}
+
+ChunkReplay ReplayChunkPolicy(const std::vector<const ChunkIngest*>& outcomes,
+                              const IngestOptions& options,
+                              IngestStats* stats) {
   IngestStats local;
   if (!stats) stats = &local;
   *stats = IngestStats{};
@@ -151,9 +159,9 @@ ChunkReplay ReplayChunkPolicy(const std::vector<ChunkOutcome>& outcomes,
   };
 
   for (size_t c = 0; c < outcomes.size(); ++c) {
-    const ChunkOutcome& o = outcomes[c];
+    const ChunkIngest& o = *outcomes[c];
     if (options.on_malformed != MalformedLinePolicy::kSkip) {
-      for (const ChunkOutcome::MalformedAt& at : o.malformed) {
+      for (const ChunkIngest::MalformedAt& at : o.malformed) {
         // Stream-cumulative counts at the moment this line failed, exactly
         // as the serial LineIngester would have seen them.
         uint64_t malformed_at = stats->malformed_lines + at.malformed_lines;

@@ -62,12 +62,13 @@ struct ChunkSpan {
 std::vector<ChunkSpan> SplitJsonLines(std::string_view text,
                                       size_t max_chunks);
 
-/// Everything one chunk contributes to the merged read. Produced by
-/// ParseJsonLinesChunk with *chunk-local* line numbers and byte offsets;
-/// ReplayChunkPolicy rebases them into stream coordinates.
-struct ChunkOutcome {
-  /// Values parsed from the chunk, in line order.
-  std::vector<ValueRef> values;
+/// The policy-relevant half of one chunk's outcome: everything the
+/// sequential replay needs to re-make the degraded-mode decisions,
+/// independent of what the chunk worker produced per record (DOM values
+/// here, inferred types in inference/direct_infer.h). Chunk workers fill
+/// it with *chunk-local* line numbers and byte offsets; ReplayChunkPolicy
+/// rebases them into stream coordinates.
+struct ChunkIngest {
   /// Chunk-local ingestion report (policy-free: malformed lines are always
   /// counted and skipped at this stage; the global policy runs at replay).
   IngestStats stats;
@@ -87,6 +88,13 @@ struct ChunkOutcome {
   /// Parse message of the chunk's first malformed line (kFail needs it even
   /// when IngestOptions::max_recorded_errors is 0).
   std::string first_error_message;
+};
+
+/// Everything one DOM-parsing chunk contributes to the merged read.
+/// Produced by ParseJsonLinesChunk.
+struct ChunkOutcome : ChunkIngest {
+  /// Values parsed from the chunk, in line order.
+  std::vector<ValueRef> values;
 };
 
 /// Parses one chunk in isolation. Pure and thread-safe: may run
@@ -118,6 +126,13 @@ struct ChunkReplay {
 /// cover the buffer contiguously. Also publishes the ingest.* telemetry
 /// counters for the merged read (once, not per chunk).
 ChunkReplay ReplayChunkPolicy(const std::vector<ChunkOutcome>& outcomes,
+                              const IngestOptions& options,
+                              IngestStats* stats);
+
+/// Payload-agnostic core of the replay: non-owning views of the chunks'
+/// policy halves, in chunk order. The DOM overload above and the typed
+/// (direct-inference) ingestion path both funnel into this.
+ChunkReplay ReplayChunkPolicy(const std::vector<const ChunkIngest*>& outcomes,
                               const IngestOptions& options,
                               IngestStats* stats);
 

@@ -1,31 +1,36 @@
 #include "json/parser.h"
 
-#include <cassert>
-#include <charconv>
-#include <cmath>
-#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "json/scan.h"
 #include "telemetry/telemetry.h"
 
 namespace jsonsi::json {
 namespace {
 
+// Recursive-descent grammar driver over the shared scanning layer
+// (json/scan.h). All literal lexing — numbers, strings, whitespace,
+// keyword literals — lives in scan.h so the DOM-free tokenizer and this
+// parser cannot drift apart; this class only owns the grammar and the
+// Value construction.
 class Parser {
  public:
   Parser(std::string_view text, const ParseOptions& options)
-      : text_(text), options_(options) {}
+      : options_(options) {
+    cursor_.text = text;
+  }
 
   Result<ValueRef> ParseDocument(size_t* consumed) {
-    SkipWhitespace();
+    cursor_.SkipWhitespace();
     Result<ValueRef> value = ParseValue(0);
     if (!value.ok()) return value;
     if (consumed) {
-      *consumed = pos_;
+      *consumed = cursor_.pos;
     } else {
-      SkipWhitespace();
-      if (pos_ != text_.size()) {
+      cursor_.SkipWhitespace();
+      if (cursor_.pos != cursor_.text.size()) {
         return Error("trailing content after JSON value");
       }
     }
@@ -33,61 +38,39 @@ class Parser {
   }
 
  private:
-  Status Error(std::string message) const {
-    return Status::ParseError(message + " at line " + std::to_string(line_) +
-                              ", column " + std::to_string(Column()));
-  }
+  Status Error(std::string message) const { return cursor_.Error(message); }
 
-  size_t Column() const { return pos_ - line_start_ + 1; }
-
-  bool AtEnd() const { return pos_ >= text_.size(); }
-  char Peek() const { return text_[pos_]; }
-
-  void Advance() {
-    if (text_[pos_] == '\n') {
-      ++line_;
-      line_start_ = pos_ + 1;
-    }
-    ++pos_;
-  }
-
-  void SkipWhitespace() {
-    while (!AtEnd()) {
-      char c = Peek();
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      Advance();
-    }
-  }
-
-  bool ConsumeLiteral(std::string_view literal) {
-    if (text_.substr(pos_, literal.size()) != literal) return false;
-    for (size_t i = 0; i < literal.size(); ++i) Advance();
-    return true;
-  }
+  bool AtEnd() const { return cursor_.AtEnd(); }
+  char Peek() const { return cursor_.Peek(); }
+  void Advance() { cursor_.Advance(); }
+  void SkipWhitespace() { cursor_.SkipWhitespace(); }
 
   Result<ValueRef> ParseValue(size_t depth) {
     if (AtEnd()) return Error("unexpected end of input");
     switch (Peek()) {
       case 'n':
-        if (ConsumeLiteral("null")) return Value::Null();
+        if (scan::ConsumeLiteral(cursor_, "null")) return Value::Null();
         return Error("invalid literal (expected 'null')");
       case 't':
-        if (ConsumeLiteral("true")) return Value::Bool(true);
+        if (scan::ConsumeLiteral(cursor_, "true")) return Value::Bool(true);
         return Error("invalid literal (expected 'true')");
       case 'f':
-        if (ConsumeLiteral("false")) return Value::Bool(false);
+        if (scan::ConsumeLiteral(cursor_, "false")) return Value::Bool(false);
         return Error("invalid literal (expected 'false')");
       case '"': {
-        Result<std::string> s = ParseString();
-        if (!s.ok()) return s.status();
-        return Value::Str(std::move(s).value());
+        std::string s;
+        JSONSI_RETURN_IF_ERROR(scan::ScanString(cursor_, &s));
+        return Value::Str(std::move(s));
       }
       case '{':
         return ParseRecord(depth);
       case '[':
         return ParseArray(depth);
-      default:
-        return ParseNumber();
+      default: {
+        double number = 0;
+        JSONSI_RETURN_IF_ERROR(scan::ScanNumber(cursor_, &number));
+        return Value::Num(number);
+      }
     }
   }
 
@@ -103,15 +86,15 @@ class Parser {
     while (true) {
       SkipWhitespace();
       if (AtEnd() || Peek() != '"') return Error("expected record key string");
-      Result<std::string> key = ParseString();
-      if (!key.ok()) return key.status();
+      std::string key;
+      JSONSI_RETURN_IF_ERROR(scan::ScanString(cursor_, &key));
       SkipWhitespace();
       if (AtEnd() || Peek() != ':') return Error("expected ':' after key");
       Advance();
       SkipWhitespace();
       Result<ValueRef> value = ParseValue(depth + 1);
       if (!value.ok()) return value;
-      fields.push_back({std::move(key).value(), std::move(value).value()});
+      fields.push_back({std::move(key), std::move(value).value()});
       SkipWhitespace();
       if (AtEnd()) return Error("unterminated record");
       if (Peek() == ',') {
@@ -162,177 +145,8 @@ class Parser {
     return Value::Array(std::move(elements));
   }
 
-  Result<ValueRef> ParseNumber() {
-    size_t start = pos_;
-    if (!AtEnd() && Peek() == '-') Advance();
-    if (AtEnd() || !IsDigit(Peek())) return Error("invalid number");
-    if (Peek() == '0') {
-      Advance();
-      if (!AtEnd() && IsDigit(Peek())) {
-        return Error("leading zeros are not allowed");
-      }
-    } else {
-      while (!AtEnd() && IsDigit(Peek())) Advance();
-    }
-    if (!AtEnd() && Peek() == '.') {
-      Advance();
-      if (AtEnd() || !IsDigit(Peek())) return Error("digit expected after '.'");
-      while (!AtEnd() && IsDigit(Peek())) Advance();
-    }
-    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
-      Advance();
-      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) Advance();
-      if (AtEnd() || !IsDigit(Peek())) {
-        return Error("digit expected in exponent");
-      }
-      while (!AtEnd() && IsDigit(Peek())) Advance();
-    }
-    std::string_view lexeme = text_.substr(start, pos_ - start);
-    double value = 0;
-    auto [ptr, ec] =
-        std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), value);
-    if (ec == std::errc::result_out_of_range) {
-      // RFC 8259 lets implementations clamp; we follow IEEE and use ±inf...
-      // except JSON has no infinity, so reject to keep values finite.
-      return Error("number out of range");
-    }
-    if (ec != std::errc() || ptr != lexeme.data() + lexeme.size()) {
-      return Error("invalid number");
-    }
-    assert(std::isfinite(value));
-    return Value::Num(value);
-  }
-
-  Result<std::string> ParseString() {
-    Advance();  // '"'
-    std::string out;
-    while (true) {
-      if (AtEnd()) return Status(Error("unterminated string"));
-      unsigned char c = static_cast<unsigned char>(Peek());
-      if (c == '"') {
-        Advance();
-        return out;
-      }
-      if (c == '\\') {
-        Advance();
-        if (AtEnd()) return Status(Error("unterminated escape"));
-        char esc = Peek();
-        Advance();
-        switch (esc) {
-          case '"':
-            out.push_back('"');
-            break;
-          case '\\':
-            out.push_back('\\');
-            break;
-          case '/':
-            out.push_back('/');
-            break;
-          case 'b':
-            out.push_back('\b');
-            break;
-          case 'f':
-            out.push_back('\f');
-            break;
-          case 'n':
-            out.push_back('\n');
-            break;
-          case 'r':
-            out.push_back('\r');
-            break;
-          case 't':
-            out.push_back('\t');
-            break;
-          case 'u': {
-            Result<uint32_t> cp = ParseUnicodeEscape();
-            if (!cp.ok()) return cp.status();
-            AppendUtf8(cp.value(), &out);
-            break;
-          }
-          default:
-            return Status(Error("invalid escape character"));
-        }
-        continue;
-      }
-      if (c < 0x20) {
-        return Status(Error("unescaped control character in string"));
-      }
-      out.push_back(static_cast<char>(c));
-      Advance();
-    }
-  }
-
-  // Parses the 4 hex digits after "\u"; combines surrogate pairs.
-  Result<uint32_t> ParseUnicodeEscape() {
-    Result<uint32_t> first = ParseHex4();
-    if (!first.ok()) return first;
-    uint32_t cp = first.value();
-    if (cp >= 0xD800 && cp <= 0xDBFF) {
-      // High surrogate: a low surrogate escape must follow.
-      if (text_.substr(pos_, 2) != "\\u") {
-        return Status(Error("unpaired high surrogate"));
-      }
-      Advance();
-      Advance();
-      Result<uint32_t> second = ParseHex4();
-      if (!second.ok()) return second;
-      uint32_t lo = second.value();
-      if (lo < 0xDC00 || lo > 0xDFFF) {
-        return Status(Error("invalid low surrogate"));
-      }
-      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
-      return Status(Error("unpaired low surrogate"));
-    }
-    return cp;
-  }
-
-  Result<uint32_t> ParseHex4() {
-    uint32_t cp = 0;
-    for (int i = 0; i < 4; ++i) {
-      if (AtEnd()) return Status(Error("unterminated unicode escape"));
-      char c = Peek();
-      uint32_t digit;
-      if (c >= '0' && c <= '9') {
-        digit = static_cast<uint32_t>(c - '0');
-      } else if (c >= 'a' && c <= 'f') {
-        digit = static_cast<uint32_t>(c - 'a' + 10);
-      } else if (c >= 'A' && c <= 'F') {
-        digit = static_cast<uint32_t>(c - 'A' + 10);
-      } else {
-        return Status(Error("invalid hex digit in unicode escape"));
-      }
-      cp = cp * 16 + digit;
-      Advance();
-    }
-    return cp;
-  }
-
-  static void AppendUtf8(uint32_t cp, std::string* out) {
-    if (cp < 0x80) {
-      out->push_back(static_cast<char>(cp));
-    } else if (cp < 0x800) {
-      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
-      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    } else if (cp < 0x10000) {
-      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
-      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    } else {
-      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
-      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    }
-  }
-
-  static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
-
-  std::string_view text_;
   ParseOptions options_;
-  size_t pos_ = 0;
-  size_t line_ = 1;
-  size_t line_start_ = 0;
+  scan::Cursor cursor_;
 };
 
 // Per-document accounting shared by both entry points: one relaxed counter

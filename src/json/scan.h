@@ -1,0 +1,395 @@
+// Shared low-level scanning for RFC 8259 literals: the single source of
+// truth for number and string lexing used by both the DOM parser
+// (json/parser.cc) and the DOM-free tokenizer (json/tokenizer.cc).
+//
+// The scanner is a small cursor (position + line/column accounting) plus
+// free functions that consume one literal each. Hot loops use SWAR
+// (SIMD-within-a-register) fast paths that classify 8 bytes per step:
+// whitespace runs, plain (unescaped, non-control) string runs, and digit
+// runs. The masks are exact — no borrow/carry false positives — so the
+// fast paths are behaviour-preserving down to the error positions:
+// a '\n' can never hide inside a bulk-advanced run (it is a control
+// character inside strings, a separator elsewhere), which keeps the
+// line/line_start bookkeeping byte-identical to the per-character loop.
+//
+// Everything in this header reports errors with the exact messages and
+// "at line L, column C" suffix historically produced by Parse(...); the
+// degraded-mode ingestion policies compare those strings across the DOM
+// and direct paths, so treat every message here as frozen API.
+
+#ifndef JSONSI_JSON_SCAN_H_
+#define JSONSI_JSON_SCAN_H_
+
+#include <bit>
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+
+namespace jsonsi::json::scan {
+
+namespace swar {
+
+inline constexpr uint64_t kOnes = 0x0101010101010101ull;
+inline constexpr uint64_t kHighs = 0x8080808080808080ull;
+
+inline constexpr bool kLittleEndian =
+    std::endian::native == std::endian::little;
+
+inline uint64_t LoadWord(const char* p) {
+  uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+/// 0x80 in every byte lane that is zero, 0x00 elsewhere. Exact: the
+/// classic (x - kOnes) & ~x & kHighs trick has false positives above the
+/// first zero byte; this formulation is carry-free because
+/// (x & 0x7F) + 0x7F never overflows a lane.
+inline uint64_t ZeroMask(uint64_t x) {
+  uint64_t y = (x & ~kHighs) + ~kHighs;
+  return ~(y | x) & kHighs;
+}
+
+/// 0x80 per lane equal to byte `b`.
+inline uint64_t EqMask(uint64_t w, uint8_t b) {
+  return ZeroMask(w ^ (kOnes * b));
+}
+
+/// 0x80 per lane whose byte is strictly below `n` (n <= 0x80). Exact for
+/// the same carry-free reason as ZeroMask.
+inline uint64_t LtMask(uint64_t x, uint8_t n) {
+  uint64_t low = (x & ~kHighs) + kOnes * static_cast<uint8_t>(0x80 - n);
+  return ~(low | x) & kHighs;
+}
+
+/// Index of the first marked lane in a (little-endian) mask of 0x80s.
+inline size_t FirstMarked(uint64_t mask) {
+  return static_cast<size_t>(std::countr_zero(mask)) / 8;
+}
+
+/// Index of the last marked lane.
+inline size_t LastMarked(uint64_t mask) {
+  return static_cast<size_t>(63 - std::countl_zero(mask)) / 8;
+}
+
+/// Mask limited to the first `n` lanes (n in [0, 8]).
+inline uint64_t PrefixLanes(uint64_t mask, size_t n) {
+  if (n >= 8) return mask;
+  return mask & ((uint64_t{1} << (8 * n)) - 1);
+}
+
+/// JSON insignificant whitespace: ' ', '\t', '\n', '\r'.
+inline uint64_t WhitespaceMask(uint64_t w) {
+  return EqMask(w, ' ') | EqMask(w, '\t') | EqMask(w, '\n') | EqMask(w, '\r');
+}
+
+/// ASCII digit lanes.
+inline uint64_t DigitMask(uint64_t w) {
+  return LtMask(w, '9' + 1) & ~LtMask(w, '0') & kHighs;
+}
+
+/// Lanes that stop a plain string run: '"', '\\', or a control character.
+inline uint64_t StringStopMask(uint64_t w) {
+  return EqMask(w, '"') | EqMask(w, '\\') | LtMask(w, 0x20);
+}
+
+}  // namespace swar
+
+/// Scanning cursor: a view plus the position/line bookkeeping every error
+/// message depends on. `line_start` is the byte offset of the current
+/// line's first character, so Column() is 1-based.
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+  size_t line = 1;
+  size_t line_start = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void Advance() {
+    if (text[pos] == '\n') {
+      ++line;
+      line_start = pos + 1;
+    }
+    ++pos;
+  }
+
+  size_t Column() const { return pos - line_start + 1; }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at line " + std::to_string(line) +
+                              ", column " + std::to_string(Column()));
+  }
+
+  /// Skips JSON whitespace, counting newlines. SWAR: classifies 8 bytes
+  /// per step; the newline bookkeeping for a bulk-skipped prefix is exact
+  /// (popcount of the newline lanes, line_start after the last one).
+  void SkipWhitespace() {
+    if constexpr (swar::kLittleEndian) {
+      while (pos + 8 <= text.size()) {
+        uint64_t w = swar::LoadWord(text.data() + pos);
+        uint64_t ws = swar::WhitespaceMask(w);
+        uint64_t non_ws = ~ws & swar::kHighs;
+        size_t n = non_ws == 0 ? 8 : swar::FirstMarked(non_ws);
+        if (n > 0) {
+          uint64_t nl = swar::PrefixLanes(swar::EqMask(w, '\n'), n);
+          if (nl != 0) {
+            line += static_cast<size_t>(std::popcount(nl));
+            line_start = pos + swar::LastMarked(nl) + 1;
+          }
+          pos += n;
+        }
+        if (non_ws != 0) return;
+      }
+    }
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      Advance();
+    }
+  }
+};
+
+inline bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Consumes `literal` if it is next; false (cursor untouched) otherwise.
+inline bool ConsumeLiteral(Cursor& c, std::string_view literal) {
+  if (c.text.substr(c.pos, literal.size()) != literal) return false;
+  // Literals contain no newline; bulk advance keeps line accounting exact.
+  c.pos += literal.size();
+  return true;
+}
+
+namespace internal {
+
+/// Advances past a run of ASCII digits. Digits never include '\n', so the
+/// bulk advance is line-accounting exact.
+inline void SkipDigits(Cursor& c) {
+  if constexpr (swar::kLittleEndian) {
+    while (c.pos + 8 <= c.text.size()) {
+      uint64_t w = swar::LoadWord(c.text.data() + c.pos);
+      uint64_t digits = swar::DigitMask(w);
+      if (digits == swar::kHighs) {
+        c.pos += 8;
+        continue;
+      }
+      uint64_t stop = ~digits & swar::kHighs;
+      c.pos += swar::FirstMarked(stop);
+      return;
+    }
+  }
+  while (!c.AtEnd() && IsDigit(c.Peek())) c.Advance();
+}
+
+inline void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+inline Status ScanHex4(Cursor& c, uint32_t* out) {
+  uint32_t cp = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (c.AtEnd()) return c.Error("unterminated unicode escape");
+    char ch = c.Peek();
+    uint32_t digit;
+    if (ch >= '0' && ch <= '9') {
+      digit = static_cast<uint32_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = static_cast<uint32_t>(ch - 'a' + 10);
+    } else if (ch >= 'A' && ch <= 'F') {
+      digit = static_cast<uint32_t>(ch - 'A' + 10);
+    } else {
+      return c.Error("invalid hex digit in unicode escape");
+    }
+    cp = cp * 16 + digit;
+    c.Advance();
+  }
+  *out = cp;
+  return Status::OK();
+}
+
+/// The 4 hex digits after "\u"; combines surrogate pairs.
+inline Status ScanUnicodeEscape(Cursor& c, uint32_t* out) {
+  uint32_t cp = 0;
+  JSONSI_RETURN_IF_ERROR(ScanHex4(c, &cp));
+  if (cp >= 0xD800 && cp <= 0xDBFF) {
+    // High surrogate: a low surrogate escape must follow.
+    if (c.text.substr(c.pos, 2) != "\\u") {
+      return c.Error("unpaired high surrogate");
+    }
+    c.Advance();
+    c.Advance();
+    uint32_t lo = 0;
+    JSONSI_RETURN_IF_ERROR(ScanHex4(c, &lo));
+    if (lo < 0xDC00 || lo > 0xDFFF) {
+      return c.Error("invalid low surrogate");
+    }
+    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+  } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+    return c.Error("unpaired low surrogate");
+  }
+  *out = cp;
+  return Status::OK();
+}
+
+/// Advances past the longest plain run (no quote, no backslash, no control
+/// character), appending it to `out` when non-null. Plain runs cannot
+/// contain '\n' (it is a control character), so bulk advances are exact.
+inline void SkipPlainStringRun(Cursor& c, std::string* out) {
+  size_t start = c.pos;
+  if constexpr (swar::kLittleEndian) {
+    while (c.pos + 8 <= c.text.size()) {
+      uint64_t w = swar::LoadWord(c.text.data() + c.pos);
+      uint64_t stop = swar::StringStopMask(w);
+      if (stop == 0) {
+        c.pos += 8;
+        continue;
+      }
+      c.pos += swar::FirstMarked(stop);
+      if (out && c.pos > start) out->append(c.text, start, c.pos - start);
+      return;
+    }
+  }
+  while (!c.AtEnd()) {
+    unsigned char ch = static_cast<unsigned char>(c.Peek());
+    if (ch == '"' || ch == '\\' || ch < 0x20) break;
+    ++c.pos;
+  }
+  if (out && c.pos > start) out->append(c.text, start, c.pos - start);
+}
+
+}  // namespace internal
+
+/// Scans one JSON number with the cursor on its first character ('-' or a
+/// digit). On success the cursor sits just past the number and `*out`
+/// holds its finite double value. Errors (messages frozen): "invalid
+/// number", "leading zeros are not allowed", "digit expected after '.'",
+/// "digit expected in exponent", "number out of range".
+inline Status ScanNumber(Cursor& c, double* out) {
+  size_t start = c.pos;
+  if (!c.AtEnd() && c.Peek() == '-') c.Advance();
+  if (c.AtEnd() || !IsDigit(c.Peek())) return c.Error("invalid number");
+  if (c.Peek() == '0') {
+    c.Advance();
+    if (!c.AtEnd() && IsDigit(c.Peek())) {
+      return c.Error("leading zeros are not allowed");
+    }
+  } else {
+    internal::SkipDigits(c);
+  }
+  if (!c.AtEnd() && c.Peek() == '.') {
+    c.Advance();
+    if (c.AtEnd() || !IsDigit(c.Peek())) {
+      return c.Error("digit expected after '.'");
+    }
+    internal::SkipDigits(c);
+  }
+  if (!c.AtEnd() && (c.Peek() == 'e' || c.Peek() == 'E')) {
+    c.Advance();
+    if (!c.AtEnd() && (c.Peek() == '+' || c.Peek() == '-')) c.Advance();
+    if (c.AtEnd() || !IsDigit(c.Peek())) {
+      return c.Error("digit expected in exponent");
+    }
+    internal::SkipDigits(c);
+  }
+  std::string_view lexeme = c.text.substr(start, c.pos - start);
+  double value = 0;
+  auto [ptr, ec] =
+      std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    // RFC 8259 lets implementations clamp; we follow IEEE and use ±inf...
+    // except JSON has no infinity, so reject to keep values finite.
+    return c.Error("number out of range");
+  }
+  if (ec != std::errc() || ptr != lexeme.data() + lexeme.size()) {
+    return c.Error("invalid number");
+  }
+  assert(std::isfinite(value));
+  *out = value;
+  return Status::OK();
+}
+
+/// Scans one JSON string with the cursor on the opening quote. On success
+/// the cursor sits just past the closing quote. When `out` is non-null the
+/// unescaped contents are appended to it (surrogate pairs combined and
+/// re-encoded as UTF-8); when null the string is validated and skipped
+/// without copying a byte.
+inline Status ScanString(Cursor& c, std::string* out) {
+  c.Advance();  // '"'
+  while (true) {
+    internal::SkipPlainStringRun(c, out);
+    if (c.AtEnd()) return c.Error("unterminated string");
+    unsigned char ch = static_cast<unsigned char>(c.Peek());
+    if (ch == '"') {
+      c.Advance();
+      return Status::OK();
+    }
+    if (ch == '\\') {
+      c.Advance();
+      if (c.AtEnd()) return c.Error("unterminated escape");
+      char esc = c.Peek();
+      c.Advance();
+      switch (esc) {
+        case '"':
+          if (out) out->push_back('"');
+          break;
+        case '\\':
+          if (out) out->push_back('\\');
+          break;
+        case '/':
+          if (out) out->push_back('/');
+          break;
+        case 'b':
+          if (out) out->push_back('\b');
+          break;
+        case 'f':
+          if (out) out->push_back('\f');
+          break;
+        case 'n':
+          if (out) out->push_back('\n');
+          break;
+        case 'r':
+          if (out) out->push_back('\r');
+          break;
+        case 't':
+          if (out) out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          JSONSI_RETURN_IF_ERROR(internal::ScanUnicodeEscape(c, &cp));
+          if (out) internal::AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return c.Error("invalid escape character");
+      }
+      continue;
+    }
+    // ch < 0x20: SkipPlainStringRun stops on nothing else.
+    return c.Error("unescaped control character in string");
+  }
+}
+
+}  // namespace jsonsi::json::scan
+
+#endif  // JSONSI_JSON_SCAN_H_

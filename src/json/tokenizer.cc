@@ -1,0 +1,81 @@
+#include "json/tokenizer.h"
+
+namespace jsonsi::json {
+
+Status Tokenizer::Next(Token* token, std::string* unescaped) {
+  cursor_.SkipWhitespace();
+  token->offset = cursor_.pos;
+  token->line = cursor_.line;
+  token->column = cursor_.Column();
+  token->text = {};
+  if (cursor_.AtEnd()) {
+    token->kind = TokenKind::kEnd;
+    return Status::OK();
+  }
+  switch (cursor_.Peek()) {
+    case '{':
+      token->kind = TokenKind::kLBrace;
+      cursor_.Advance();
+      return Status::OK();
+    case '}':
+      token->kind = TokenKind::kRBrace;
+      cursor_.Advance();
+      return Status::OK();
+    case '[':
+      token->kind = TokenKind::kLBracket;
+      cursor_.Advance();
+      return Status::OK();
+    case ']':
+      token->kind = TokenKind::kRBracket;
+      cursor_.Advance();
+      return Status::OK();
+    case ':':
+      token->kind = TokenKind::kColon;
+      cursor_.Advance();
+      return Status::OK();
+    case ',':
+      token->kind = TokenKind::kComma;
+      cursor_.Advance();
+      return Status::OK();
+    case 'n':
+      if (scan::ConsumeLiteral(cursor_, "null")) {
+        token->kind = TokenKind::kNull;
+        return Status::OK();
+      }
+      return cursor_.Error("invalid literal (expected 'null')");
+    case 't':
+      if (scan::ConsumeLiteral(cursor_, "true")) {
+        token->kind = TokenKind::kTrue;
+        return Status::OK();
+      }
+      return cursor_.Error("invalid literal (expected 'true')");
+    case 'f':
+      if (scan::ConsumeLiteral(cursor_, "false")) {
+        token->kind = TokenKind::kFalse;
+        return Status::OK();
+      }
+      return cursor_.Error("invalid literal (expected 'false')");
+    case '"': {
+      size_t start = cursor_.pos;
+      JSONSI_RETURN_IF_ERROR(scan::ScanString(cursor_, unescaped));
+      token->kind = TokenKind::kString;
+      // Raw contents between the quotes; payload is validated, not copied.
+      token->text =
+          cursor_.text.substr(start + 1, cursor_.pos - start - 2);
+      return Status::OK();
+    }
+    default: {
+      // Everything else lexes as a number — including stray punctuation,
+      // which then fails with "invalid number" at the token start, exactly
+      // like the DOM parser's ParseNumber fallthrough.
+      size_t start = cursor_.pos;
+      double value = 0;
+      JSONSI_RETURN_IF_ERROR(scan::ScanNumber(cursor_, &value));
+      token->kind = TokenKind::kNumber;
+      token->text = cursor_.text.substr(start, cursor_.pos - start);
+      return Status::OK();
+    }
+  }
+}
+
+}  // namespace jsonsi::json

@@ -3,6 +3,7 @@
 // Subcommands:
 //   jsi infer <file.jsonl | ->  [--pretty] [--stats] [--threads N]
 //             [--partitions N] [--skip-malformed] [--max-error-rate R]
+//             [--no-direct]
 //       Infers and prints the fused schema of a JSON-Lines input
 //       ('-' reads stdin). --threads N runs the whole pipeline — chunked
 //       ingestion, map, tree-reduce — on N workers (default: hardware
@@ -10,7 +11,10 @@
 //       output). --skip-malformed ingests dirty inputs in
 //       degraded mode (bad lines are counted, reported on stderr, and
 //       skipped); --max-error-rate R skips bad lines only while they stay
-//       within a fraction R of the input, failing otherwise.
+//       within a fraction R of the input, failing otherwise. Ingestion is
+//       DOM-free by default (parse and Map fused into one pass over the
+//       text); --no-direct restores the parse-then-infer pipeline for
+//       A/B comparison.
 //   jsi gen <github|twitter|wikidata|nytimes> <count> [--seed S]
 //       Emits a synthetic dataset as JSON-Lines on stdout.
 //   jsi paths <file.jsonl | ->
@@ -95,6 +99,7 @@ int Usage() {
       "usage:\n"
       "  jsi infer <file.jsonl | -> [--pretty] [--stats] [--threads N]\n"
       "            [--partitions N] [--skip-malformed] [--max-error-rate R]\n"
+      "            [--no-direct]\n"
       "  jsi gen <github|twitter|wikidata|nytimes> <count> [--seed S]\n"
       "  jsi paths <file.jsonl | ->\n"
       "  jsi check <file.jsonl | -> --schema '<type expression>'\n"
@@ -187,6 +192,11 @@ int RunInfer(std::vector<std::string> args) {
       return BadFlagValue("--partitions", *p);
     }
   }
+  if (Flag(args, "--no-direct")) {
+    // Escape hatch for A/B runs: parse into a DOM, then infer, instead of
+    // the default fused DOM-free pass.
+    options.direct_infer = false;
+  }
   if (Flag(args, "--skip-malformed")) {
     options.ingest.on_malformed = jsonsi::json::MalformedLinePolicy::kSkip;
   }
@@ -230,8 +240,19 @@ int RunInfer(std::vector<std::string> args) {
   std::cout << schema.ToString(pretty) << "\n";
   if (stats) {
     const auto& s = schema.stats;
+    // Ingestion-mode row: which pipeline typed the records, so A/B runs
+    // (--no-direct vs default) are self-describing.
+    const char* mode = s.direct_records > 0
+                           ? (s.dom_records > 0 ? "mixed" : "direct")
+                           : (s.dom_records > 0 ? "dom" : "direct");
     std::cerr << "threads:        " << inferencer.options().num_threads
               << "\n"
+              << "ingestion:      " << mode << " (direct "
+              << jsonsi::WithThousands(
+                     static_cast<int64_t>(s.direct_records))
+              << " / dom "
+              << jsonsi::WithThousands(static_cast<int64_t>(s.dom_records))
+              << ")\n"
               << "records:        " << jsonsi::WithThousands(
                      static_cast<int64_t>(s.record_count)) << "\n"
               << "distinct types: " << jsonsi::WithThousands(
