@@ -1,0 +1,76 @@
+// Differential fuzz target: the DOM parser and the DOM-free direct
+// inference kernel must be observationally equivalent on ARBITRARY bytes —
+// same accept/reject decision, byte-identical Status message, and (on
+// accept) a direct type TypeEquals-identical to InferType over the parsed
+// value. This is the fuzz-hardened version of the fixed adversarial gallery
+// in tests/direct_infer_test.cc; the gallery seeds the corpus.
+//
+// The first input byte selects the ParseOptions variant (default, shallow
+// max_depth, tiny max_document_bytes, trailing content allowed) so the
+// budget-rejection paths are fuzzed too; the rest is the document.
+//
+// Built with -fsanitize=fuzzer under Clang (see fuzz/CMakeLists.txt); under
+// GCC the same target links fuzz/standalone_main.cc and replays the corpus
+// as a ctest smoke.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "inference/direct_infer.h"
+#include "inference/infer.h"
+#include "json/parser.h"
+#include "json/value.h"
+#include "types/type.h"
+
+namespace {
+
+void Fail(const char* what, std::string_view doc) {
+  std::fprintf(stderr, "differential_fuzz: %s on %zu-byte input: ", what,
+               doc.size());
+  std::fwrite(doc.data(), 1, doc.size(), stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  jsonsi::json::ParseOptions options;
+  std::string_view doc(reinterpret_cast<const char*>(data), size);
+  if (!doc.empty()) {
+    switch (static_cast<unsigned char>(doc.front()) % 4) {
+      case 0:
+        break;  // defaults
+      case 1:
+        options.max_depth = 4;
+        break;
+      case 2:
+        options.max_document_bytes = 16;
+        break;
+      case 3:
+        options.allow_trailing_content = true;
+        break;
+    }
+    doc.remove_prefix(1);
+  }
+
+  jsonsi::Result<jsonsi::json::ValueRef> parsed =
+      jsonsi::json::Parse(doc, options);
+  jsonsi::Result<jsonsi::types::TypeRef> direct =
+      jsonsi::inference::DirectInferType(doc, options);
+
+  if (parsed.ok() != direct.ok()) Fail("accept/reject mismatch", doc);
+  if (!parsed.ok()) {
+    if (parsed.status().message() != direct.status().message()) {
+      Fail("status message mismatch", doc);
+    }
+    return 0;
+  }
+  jsonsi::types::TypeRef via_dom =
+      jsonsi::inference::InferType(*parsed.value());
+  if (!via_dom->Equals(*direct.value())) Fail("type mismatch", doc);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Corpus replay driver for toolchains without libFuzzer (the GCC-only CI
+// image and local ctest smoke runs). Each argument is a corpus file or a
+// directory of corpus files; every file is fed once to
+// LLVMFuzzerTestOneInput. Under Clang the fuzz targets link
+// -fsanitize=fuzzer instead and this file is not compiled.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else {
+      files.push_back(arg);
+    }
+  }
+  int rc = 0;
+  for (const auto& f : files) rc |= RunFile(f);
+  std::printf("replayed %zu corpus file(s)\n", files.size());
+  return rc;
+}

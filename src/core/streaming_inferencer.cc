@@ -7,11 +7,13 @@
 #include <vector>
 
 #include "engine/thread_pool.h"
+#include "fusion/fuse_cache.h"
 #include "inference/direct_infer.h"
 #include "inference/infer.h"
 #include "json/jsonl_chunk.h"
 #include "json/parser.h"
 #include "telemetry/telemetry.h"
+#include "types/interner.h"
 
 namespace jsonsi::core {
 
@@ -39,7 +41,11 @@ void StreamingInferencer::AddValue(const json::ValueRef& value) {
 }
 
 void StreamingInferencer::AddType(types::TypeRef type) {
-  if (options_.count_distinct_types) distinct_hashes_.insert(type->hash());
+  // Once the watermark fired the distinct-type set is frozen: admitting new
+  // hashes is what grows it, so the count becomes a lower bound.
+  if (options_.count_distinct_types && !memory_degraded_) {
+    distinct_hashes_.insert(type->hash());
+  }
   size_t s = type->size();
   if (record_count_ == 0) {
     min_type_size_ = max_type_size_ = s;
@@ -51,6 +57,41 @@ void StreamingInferencer::AddType(types::TypeRef type) {
   fuser_.Add(std::move(type));
   ++record_count_;
   JSONSI_COUNTER("stream.records").Increment();
+  // Cheap periodic check; the estimate walks no types, so even every record
+  // would be affordable, but 512 keeps it entirely off the hot path.
+  if ((record_count_ & 511) == 0) EnforceMemoryBudget();
+}
+
+size_t StreamingInferencer::EstimateAuxiliaryMemory() const {
+  // Rough, monotone accounting — a soft watermark needs the right order of
+  // magnitude, not malloc truth. Per-entry costs approximate libstdc++ node
+  // + bucket overhead; types themselves are shared (interned), so containers
+  // are charged shallow ownership only.
+  size_t bytes = distinct_hashes_.size() * 48;       // 8-byte hash + node
+  bytes += fuser_.pending_distinct() * 96;           // (type, count) map node
+  bytes += fuser_.slots().capacity() * sizeof(types::TypeRef);
+  bytes += types::TypeInterner::Global().stats().size * 96;
+  bytes += fusion::FuseCache::Global().stats().size * 128;
+  return bytes;
+}
+
+void StreamingInferencer::EnforceMemoryBudget() {
+  if (options_.soft_memory_limit_bytes == 0) return;
+  if (EstimateAuxiliaryMemory() <= options_.soft_memory_limit_bytes) return;
+  // Crossed: shed what can be shed without touching the schema. The dedup
+  // buffer folds into the O(log n) slots (same reduction result), and the
+  // global accelerator tables are pure caches — clearing them only costs
+  // future hit rate. The frozen distinct-hash set is released outright; its
+  // size() stays meaningful as a lower bound via stats, so keep the set but
+  // stop growing it (AddType checks memory_degraded_).
+  fuser_.ShrinkToSlots();
+  types::TypeInterner::Global().Clear();
+  fusion::FuseCache::Global().Clear();
+  if (!memory_degraded_) {
+    memory_degraded_ = true;
+    JSONSI_COUNTER("stream.memory_degraded").Increment();
+  }
+  JSONSI_COUNTER("stream.memory_sheds").Increment();
 }
 
 void StreamingInferencer::PublishIngestTelemetry() const {
@@ -68,9 +109,10 @@ Status StreamingInferencer::AddJson(std::string_view json_text) {
   // One document = one logical line of the cumulative ingestion report.
   ++ingest_stats_.lines_read;
   ingest_stats_.bytes_read += json_text.size();
-  Result<json::ValueRef> value = json::Parse(json_text);
+  Result<json::ValueRef> value = json::Parse(json_text, options_.parse);
   if (value.ok()) {
     ++ingest_stats_.records;
+    ingest_stats_.bytes_consumed = ingest_stats_.bytes_read;
     AddValue(value.value());
     return Status::OK();
   }
@@ -86,6 +128,7 @@ Status StreamingInferencer::AddJson(std::string_view json_text) {
     case json::MalformedLinePolicy::kFail:
       return value.status();
     case json::MalformedLinePolicy::kSkip:
+      ingest_stats_.bytes_consumed = ingest_stats_.bytes_read;
       return Status::OK();
     case json::MalformedLinePolicy::kFailAboveRate: {
       uint64_t non_blank =
@@ -98,6 +141,7 @@ Status StreamingInferencer::AddJson(std::string_view json_text) {
             std::to_string(ingest_stats_.malformed_lines) + "/" +
             std::to_string(non_blank) + " exceeds tolerated rate");
       }
+      ingest_stats_.bytes_consumed = ingest_stats_.bytes_read;
       return Status::OK();
     }
   }
@@ -106,6 +150,7 @@ Status StreamingInferencer::AddJson(std::string_view json_text) {
 
 Status StreamingInferencer::AddJsonLines(std::string_view text) {
   json::IngestOptions ingest;
+  ingest.parse = options_.parse;
   ingest.on_malformed = EffectivePolicy();
   ingest.max_error_rate = options_.max_error_rate;
   ingest.min_lines_for_rate = options_.min_lines_for_rate;
@@ -157,6 +202,7 @@ Status StreamingInferencer::AddJsonLinesParallel(std::string_view text,
   JSONSI_SPAN("stream.add_parallel");
 
   json::IngestOptions ingest;
+  ingest.parse = options_.parse;
   ingest.on_malformed = EffectivePolicy();
   ingest.max_error_rate = options_.max_error_rate;
   ingest.min_lines_for_rate = options_.min_lines_for_rate;
@@ -249,10 +295,13 @@ Status StreamingInferencer::AddJsonLinesParallel(std::string_view text,
       max_type_size_ = std::max(max_type_size_, shard.max_size);
     }
     total_type_size_ += shard.total_size;
-    distinct_hashes_.insert(shard.hashes.begin(), shard.hashes.end());
+    if (!memory_degraded_) {
+      distinct_hashes_.insert(shard.hashes.begin(), shard.hashes.end());
+    }
     if (profiler_ && shard.profiler) profiler_->Merge(*shard.profiler);
     record_count_ += shard.count;
   }
+  EnforceMemoryBudget();
 
   // Accumulate even on failure, so the report covers the aborted buffer.
   ingest_stats_.Absorb(chunk, options_.max_recorded_errors);
@@ -268,6 +317,7 @@ Status StreamingInferencer::AddJsonLinesParallelDirect(std::string_view text,
   JSONSI_SPAN("stream.add_parallel");
 
   json::IngestOptions ingest;
+  ingest.parse = options_.parse;
   ingest.on_malformed = EffectivePolicy();
   ingest.max_error_rate = options_.max_error_rate;
   ingest.min_lines_for_rate = options_.min_lines_for_rate;
@@ -352,9 +402,12 @@ Status StreamingInferencer::AddJsonLinesParallelDirect(std::string_view text,
       max_type_size_ = std::max(max_type_size_, shard.max_size);
     }
     total_type_size_ += shard.total_size;
-    distinct_hashes_.insert(shard.hashes.begin(), shard.hashes.end());
+    if (!memory_degraded_) {
+      distinct_hashes_.insert(shard.hashes.begin(), shard.hashes.end());
+    }
     record_count_ += shard.count;
   }
+  EnforceMemoryBudget();
 
   // Accumulate even on failure, so the report covers the aborted buffer.
   ingest_stats_.Absorb(chunk, options_.max_recorded_errors);

@@ -39,6 +39,21 @@ namespace jsonsi::core {
 struct StreamingOptions {
   /// Track the number of distinct inferred types (Tables 2-5 metric).
   bool count_distinct_types = true;
+  /// Per-document parser budgets, applied identically on the DOM and direct
+  /// paths, serial and chunk-parallel: `max_depth` caps nesting,
+  /// `max_document_bytes` caps line size (0 = unlimited). A document over
+  /// either budget is a malformed line under `on_malformed` — degraded-mode
+  /// streams skip it and keep going instead of aborting.
+  json::ParseOptions parse;
+  /// Soft watermark (bytes, 0 = unlimited) over the inferencer's resident
+  /// auxiliary state: the distinct-type hash set, the TreeFuser dedup
+  /// buffer, and the process-global interner / fuse-cache tables. When the
+  /// estimate crosses the watermark, ingestion keeps going but stops
+  /// growing: the dedup buffer is flushed into the O(log n) fusion slots,
+  /// the distinct-type set stops admitting new hashes (the count becomes a
+  /// lower bound), and the global caches are cleared (identity-preserving —
+  /// they are pure accelerators). The schema itself is never dropped.
+  size_t soft_memory_limit_bytes = 0;
   /// Maintain the annotated profile (field counts, provenance, value stats).
   /// Costs one extra pass per record.
   bool profile = false;
@@ -104,12 +119,30 @@ class StreamingInferencer {
   uint64_t malformed_count() const { return ingest_stats_.malformed_lines; }
 
   /// Cumulative text-ingestion report (AddJson + AddJsonLines).
+  /// `ingest_stats().bytes_consumed` is the stream's exact resume offset —
+  /// the byte just past the last fully-processed line — and is what a
+  /// checkpoint records as the position to restart reading from.
   const json::IngestStats& ingest_stats() const { return ingest_stats_; }
 
   /// The annotated profile; nullptr unless options.profile was set.
   const annotate::SchemaProfiler* profiler() const { return profiler_.get(); }
 
+  /// The streaming configuration this inferencer was built with.
+  const StreamingOptions& options() const { return options_; }
+
+  /// True once the soft memory watermark fired (see
+  /// StreamingOptions::soft_memory_limit_bytes); the distinct-type count is
+  /// a lower bound from then on.
+  bool memory_degraded() const { return memory_degraded_; }
+
  private:
+  // Crash-safe snapshot/restore of the full stream state (core/checkpoint.h
+  // owns the on-disk format; it reads and writes the private fields below).
+  friend Result<std::string> SerializeCheckpoint(
+      const StreamingInferencer& inferencer);
+  friend Status RestoreCheckpoint(std::string_view text,
+                                  StreamingInferencer* inferencer);
+
   json::MalformedLinePolicy EffectivePolicy() const;
   /// True when text ingestion should run DOM-free.
   bool UseDirectIngestion() const {
@@ -124,6 +157,11 @@ class StreamingInferencer {
   /// Mirrors the cumulative ingestion report into stream.* gauges (no-op
   /// while telemetry is disabled).
   void PublishIngestTelemetry() const;
+  /// Rough byte estimate of the resident auxiliary state the soft watermark
+  /// governs (hash set, dedup buffer, global caches).
+  size_t EstimateAuxiliaryMemory() const;
+  /// Checks the soft watermark and sheds state once when it is crossed.
+  void EnforceMemoryBudget();
 
   StreamingOptions options_;
   fusion::TreeFuser fuser_;
@@ -135,6 +173,9 @@ class StreamingInferencer {
   size_t min_type_size_ = 0;
   size_t max_type_size_ = 0;
   double total_type_size_ = 0;
+  // Sticky soft-watermark latch: once crossed, the distinct-type set stops
+  // growing and the dedup buffer stays flushed.
+  bool memory_degraded_ = false;
 };
 
 }  // namespace jsonsi::core

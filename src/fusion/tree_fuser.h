@@ -91,6 +91,42 @@ class TreeFuser {
 
   const Fuser& fuser() const { return fuser_; }
 
+  /// Binary-counter slots (slot k: fusion of 2^k elements, or null). Exposed
+  /// for checkpointing; treat as opaque state to be fed back via
+  /// RestoreState.
+  const std::vector<types::TypeRef>& slots() const { return slots_; }
+
+  /// The dedup multiset as (type, multiplicity) pairs, in unspecified order
+  /// (fusion is commutative, so any order restores an equivalent fuser).
+  std::vector<std::pair<types::TypeRef, size_t>> pending_entries() const {
+    std::vector<std::pair<types::TypeRef, size_t>> entries;
+    entries.reserve(pending_.size());
+    for (const auto& [t, count] : pending_) entries.emplace_back(t, count);
+    return entries;
+  }
+
+  /// Replaces the accumulator state wholesale with a previously exported
+  /// (slots, pending, count) triple — the restore half of a checkpoint.
+  /// Slots may carry trailing nulls; pending multiplicities must be >= 1.
+  void RestoreState(std::vector<types::TypeRef> slots,
+                    std::vector<std::pair<types::TypeRef, size_t>> pending,
+                    size_t count) {
+    slots_ = std::move(slots);
+    while (!slots_.empty() && !slots_.back()) slots_.pop_back();
+    pending_.clear();
+    for (auto& [t, n] : pending) pending_[std::move(t)] += n;
+    count_ = count;
+  }
+
+  /// Drains the dedup buffer into the O(log n) slots, releasing the
+  /// multiset's memory. The reduction result is unchanged (Finish() folds
+  /// pending entries through the same FoldCopies path); used by the
+  /// soft-memory watermark to shed resident state.
+  void ShrinkToSlots() {
+    if (!pending_.empty()) FlushPending();
+    pending_.rehash(0);
+  }
+
  private:
   void AddToSlots(types::TypeRef t) {
     // Binary-counter carry: slot k full -> merge and carry into slot k+1.

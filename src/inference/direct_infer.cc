@@ -233,6 +233,10 @@ class DirectInferrer {
 
 Result<TypeRef> DirectInferType(std::string_view text,
                                 const json::ParseOptions& options) {
+  if (options.max_document_bytes != 0 &&
+      text.size() > options.max_document_bytes) {
+    return json::DocumentTooLarge(text.size(), options.max_document_bytes);
+  }
   DirectInferrer inferrer(text, options);
   Result<TypeRef> result = inferrer.Infer();
   if (telemetry::Enabled()) {
@@ -265,6 +269,9 @@ TypedChunkOutcome InferJsonLinesChunk(std::string_view chunk,
     uint64_t line_start = pos;
     pos = nl == std::string_view::npos ? chunk.size() : nl + 1;
     out.stats.bytes_read = pos;
+    // Every line is fully processed at the chunk stage (the abort decision
+    // is the replay's); the resume offset tracks the scan.
+    out.stats.bytes_consumed = pos;
     ++out.stats.lines_read;
     line = json::internal::UndecorateLine(
         line, first_chunk && out.stats.lines_read == 1);
@@ -288,7 +295,7 @@ TypedChunkOutcome InferJsonLinesChunk(std::string_view chunk,
     }
     out.malformed.push_back(json::ChunkIngest::MalformedAt{
         out.stats.lines_read, out.stats.blank_lines, out.stats.records,
-        out.stats.malformed_lines, out.stats.bytes_read});
+        out.stats.malformed_lines, out.stats.bytes_read, line_start});
   }
   return out;
 }

@@ -29,13 +29,13 @@ class LineIngester {
     line = internal::UndecorateLine(line, stats_->lines_read == 1);
     if (internal::IsBlankLine(line)) {
       ++stats_->blank_lines;
-      return Status::OK();
+      return Consumed();
     }
     Result<bool> value = fn_(line);
     if (value.ok()) {
       ++stats_->records;
       if (!value.value()) done_ = true;
-      return Status::OK();
+      return Consumed();
     }
 
     ++stats_->malformed_lines;
@@ -48,16 +48,16 @@ class LineIngester {
         return Status::ParseError("line " + std::to_string(stats_->lines_read) +
                                   ": " + value.status().message());
       case MalformedLinePolicy::kSkip:
-        return Status::OK();
+        return Consumed();
       case MalformedLinePolicy::kFailAboveRate: {
         if (CumulativeNonBlank() >= options_.min_lines_for_rate &&
             RateExceeded()) {
           return RateError();
         }
-        return Status::OK();
+        return Consumed();
       }
     }
-    return Status::OK();
+    return Consumed();
   }
 
   // End-of-input check: kFailAboveRate re-validates the final rate, so short
@@ -73,6 +73,14 @@ class LineIngester {
   bool done() const { return done_; }
 
  private:
+  // A line's processing finished without aborting the read: the resume
+  // offset advances past it. The drivers set bytes_read to the offset just
+  // past the current line (newline included) before calling OnLine.
+  Status Consumed() {
+    stats_->bytes_consumed = stats_->bytes_read;
+    return Status::OK();
+  }
+
   // Rate decisions run on the whole logical stream: this read's stats plus
   // any rate_baseline carried over from earlier chunks of the same stream.
   uint64_t CumulativeNonBlank() const {
@@ -157,6 +165,9 @@ void IngestStats::Absorb(const IngestStats& other,
   blank_lines += other.blank_lines;
   records += other.records;
   malformed_lines += other.malformed_lines;
+  // The other read's offsets rebase past this report's scanned bytes; an
+  // empty follow-up read leaves the resume offset where it was.
+  if (other.lines_read > 0) bytes_consumed = bytes_read + other.bytes_consumed;
   bytes_read += other.bytes_read;
 }
 

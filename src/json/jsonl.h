@@ -91,6 +91,13 @@ struct IngestStats {
   uint64_t records = 0;          // successfully parsed
   uint64_t malformed_lines = 0;  // rejected (skipped or fatal)
   uint64_t bytes_read = 0;
+  /// Byte offset just past the last line whose processing completed without
+  /// aborting the read (its trailing '\n' included). This is the exact
+  /// resume offset for checkpoint/restart: re-reading the source from here
+  /// revisits nothing and misses nothing. Equal to bytes_read on a
+  /// successful read; on an abort it stops at the start of the aborting
+  /// line, whereas bytes_read covers the bytes actually scanned.
+  uint64_t bytes_consumed = 0;
   /// First IngestOptions::max_recorded_errors rejections.
   std::vector<IngestError> errors;
 

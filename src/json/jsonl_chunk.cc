@@ -63,6 +63,9 @@ ChunkOutcome ParseJsonLinesChunk(std::string_view chunk,
     uint64_t line_start = pos;
     pos = nl == std::string_view::npos ? chunk.size() : nl + 1;
     out.stats.bytes_read = pos;
+    // Every line is fully processed at the chunk stage (the abort decision
+    // is the replay's); the resume offset tracks the scan.
+    out.stats.bytes_consumed = pos;
     ++out.stats.lines_read;
     line = internal::UndecorateLine(line,
                                     first_chunk && out.stats.lines_read == 1);
@@ -88,7 +91,7 @@ ChunkOutcome ParseJsonLinesChunk(std::string_view chunk,
     }
     out.malformed.push_back(ChunkOutcome::MalformedAt{
         out.stats.lines_read, out.stats.blank_lines, out.stats.records,
-        out.stats.malformed_lines, out.stats.bytes_read});
+        out.stats.malformed_lines, out.stats.bytes_read, line_start});
   }
   return out;
 }
@@ -106,6 +109,9 @@ void AbsorbTruncated(const ChunkIngest& o, const ChunkIngest::MalformedAt& at,
   prefix.records = at.records;
   prefix.malformed_lines = at.malformed_lines;
   prefix.bytes_read = at.bytes_read;
+  // The aborting line itself was not consumed: a resumed read restarts at
+  // its first byte, exactly like the serial LineIngester's abort.
+  prefix.bytes_consumed = at.line_begin;
   for (const IngestError& e : o.stats.errors) {
     if (e.line_number > at.lines_read) break;
     prefix.errors.push_back(e);

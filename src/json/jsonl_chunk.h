@@ -82,6 +82,7 @@ struct ChunkIngest {
     uint64_t records = 0;      // records parsed before this line
     uint64_t malformed_lines = 0;  // including this line
     uint64_t bytes_read = 0;   // local offset just past this line
+    uint64_t line_begin = 0;   // local offset of this line's first byte
   };
   std::vector<MalformedAt> malformed;
 

@@ -161,6 +161,10 @@ void RecordParseTelemetry(std::string_view text, const Result<ValueRef>& r) {
 }  // namespace
 
 Result<ValueRef> Parse(std::string_view text, const ParseOptions& options) {
+  if (options.max_document_bytes != 0 &&
+      text.size() > options.max_document_bytes) {
+    return DocumentTooLarge(text.size(), options.max_document_bytes);
+  }
   Parser parser(text, options);
   Result<ValueRef> result = [&] {
     if (options.allow_trailing_content) {

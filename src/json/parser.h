@@ -23,10 +23,25 @@ namespace jsonsi::json {
 struct ParseOptions {
   /// Maximum record/array nesting before the parser fails (stack safety).
   size_t max_depth = 512;
+  /// Maximum document size in bytes; 0 = unlimited. Documents larger than
+  /// this are rejected before any parsing work, with an identical error on
+  /// the DOM (Parse) and DOM-free (DirectInferType) paths — so JSON-Lines
+  /// ingestion can cap per-line cost under the MalformedLinePolicy instead
+  /// of aborting (`jsi infer --max-line-bytes`).
+  size_t max_document_bytes = 0;
   /// When false, trailing non-whitespace after the top-level value is an
   /// error. ParseMany-style callers set this and use `consumed`.
   bool allow_trailing_content = false;
 };
+
+/// The rejection both parsing paths return for a document over
+/// ParseOptions::max_document_bytes — a single construction point, so the
+/// DOM and direct paths cannot drift apart.
+inline Status DocumentTooLarge(size_t size, size_t limit) {
+  return Status::ParseError("document size " + std::to_string(size) +
+                            " exceeds limit of " + std::to_string(limit) +
+                            " bytes at line 1, column 1");
+}
 
 /// Parses exactly one JSON value from `text` (surrounded by optional
 /// whitespace). Errors carry "line L, column C" positions.

@@ -1,0 +1,363 @@
+// Tests for crash-safe checkpoint/resume (core/checkpoint.h).
+//
+// The two headline invariants of the durability layer, property-tested:
+//   * a run killed and resumed at ANY record boundary produces a schema
+//     TypeEquals-identical (and statistics-identical) to the uninterrupted
+//     run — exhaustively at small scale, sampled over a 10k-record corpus;
+//   * a checkpoint truncated at EVERY byte prefix, or corrupted at every
+//     byte, is detected as corrupt — there is no input that silently
+//     restores to a wrong state.
+// Plus the durability protocol (temp-file + atomic rename, TornWriteInjector
+// faults leave the previous checkpoint intact), abort/resume offsets, and
+// SchemaRepository interop (a resumed run registers with the same
+// version/diff history as an uninterrupted one).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/streaming_inferencer.h"
+#include "datagen/generator.h"
+#include "json/serializer.h"
+#include "repository/schema_repository.h"
+
+namespace jsonsi::core {
+namespace {
+
+std::string DatagenJsonl(datagen::DatasetId id, size_t n, uint64_t seed) {
+  auto gen = datagen::MakeGenerator(id, seed);
+  std::string text;
+  for (size_t i = 0; i < n; ++i) {
+    json::AppendJson(*gen->Generate(i), &text);
+    text.push_back('\n');
+  }
+  return text;
+}
+
+// Byte offsets of every line start in `text` (first entry 0), plus end.
+std::vector<size_t> LineBoundaries(std::string_view text) {
+  std::vector<size_t> offsets{0};
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') offsets.push_back(i + 1);
+  }
+  if (offsets.back() != text.size()) offsets.push_back(text.size());
+  return offsets;
+}
+
+void ExpectSameState(const StreamingInferencer& a,
+                     const StreamingInferencer& b) {
+  Schema sa = a.Snapshot();
+  Schema sb = b.Snapshot();
+  EXPECT_TRUE(sa.type->Equals(*sb.type))
+      << "schemas diverge after resume";
+  EXPECT_EQ(sa.stats.record_count, sb.stats.record_count);
+  EXPECT_EQ(sa.stats.distinct_type_count, sb.stats.distinct_type_count);
+  EXPECT_EQ(sa.stats.min_type_size, sb.stats.min_type_size);
+  EXPECT_EQ(sa.stats.max_type_size, sb.stats.max_type_size);
+  EXPECT_NEAR(sa.stats.avg_type_size, sb.stats.avg_type_size, 1e-9);
+  EXPECT_EQ(a.ingest_stats().bytes_consumed, b.ingest_stats().bytes_consumed);
+  EXPECT_EQ(a.ingest_stats().lines_read, b.ingest_stats().lines_read);
+  EXPECT_EQ(a.ingest_stats().malformed_lines,
+            b.ingest_stats().malformed_lines);
+}
+
+TEST(CheckpointTest, EmptyStreamRoundTrips) {
+  StreamingInferencer original;
+  auto text = SerializeCheckpoint(original);
+  ASSERT_TRUE(text.ok()) << text.status();
+  StreamingInferencer restored;
+  ASSERT_TRUE(RestoreCheckpoint(text.value(), &restored).ok());
+  ExpectSameState(original, restored);
+  EXPECT_TRUE(restored.Snapshot().type->is_empty());
+}
+
+TEST(CheckpointTest, RoundTripPreservesStateAndOptions) {
+  StreamingOptions opts;
+  opts.on_malformed = json::MalformedLinePolicy::kSkip;
+  opts.parse.max_depth = 64;
+  opts.parse.max_document_bytes = 1 << 20;
+  opts.max_error_rate = 0.25;
+  StreamingInferencer original(opts);
+  ASSERT_TRUE(original
+                  .AddJsonLines("{\"a\":1}\nbad line\n{\"a\":\"s\"}\n\n"
+                                "{\"b\":[1,2]}\n")
+                  .ok());
+
+  auto text = SerializeCheckpoint(original);
+  ASSERT_TRUE(text.ok()) << text.status();
+  StreamingInferencer restored;
+  ASSERT_TRUE(RestoreCheckpoint(text.value(), &restored).ok());
+
+  ExpectSameState(original, restored);
+  EXPECT_EQ(restored.options().on_malformed,
+            json::MalformedLinePolicy::kSkip);
+  EXPECT_EQ(restored.options().parse.max_depth, 64u);
+  EXPECT_EQ(restored.options().parse.max_document_bytes, 1u << 20);
+  EXPECT_DOUBLE_EQ(restored.options().max_error_rate, 0.25);
+  EXPECT_EQ(restored.ingest_stats().errors.size(),
+            original.ingest_stats().errors.size());
+  ASSERT_FALSE(restored.ingest_stats().errors.empty());
+  EXPECT_EQ(restored.ingest_stats().errors[0].message,
+            original.ingest_stats().errors[0].message);
+
+  // Both must keep evolving identically: the checkpoint carries the policy
+  // baseline, not just the schema.
+  ASSERT_TRUE(original.AddJsonLines("{\"c\":null}\nworse\n").ok());
+  ASSERT_TRUE(restored.AddJsonLines("{\"c\":null}\nworse\n").ok());
+  ExpectSameState(original, restored);
+}
+
+// The headline invariant, exhaustively: kill at every record boundary of a
+// mixed corpus and resume; the result must equal the uninterrupted run.
+TEST(CheckpointTest, ResumeAtEveryRecordBoundaryMatchesUninterrupted) {
+  const std::string text =
+      DatagenJsonl(datagen::DatasetId::kGitHub, 120, 3) +
+      DatagenJsonl(datagen::DatasetId::kTwitter, 80, 4);
+  const std::vector<size_t> boundaries = LineBoundaries(text);
+
+  StreamingInferencer uninterrupted;
+  ASSERT_TRUE(uninterrupted.AddJsonLines(text).ok());
+
+  for (size_t off : boundaries) {
+    StreamingInferencer first;
+    ASSERT_TRUE(first.AddJsonLines(std::string_view(text).substr(0, off)).ok());
+    ASSERT_EQ(first.ingest_stats().bytes_consumed, off);
+
+    auto cp = SerializeCheckpoint(first);
+    ASSERT_TRUE(cp.ok()) << cp.status();
+    StreamingInferencer resumed;
+    ASSERT_TRUE(RestoreCheckpoint(cp.value(), &resumed).ok());
+    size_t resume_at = resumed.ingest_stats().bytes_consumed;
+    ASSERT_EQ(resume_at, off);
+    ASSERT_TRUE(
+        resumed.AddJsonLines(std::string_view(text).substr(resume_at)).ok());
+    ExpectSameState(uninterrupted, resumed);
+  }
+}
+
+// Same invariant at scale (10k records), sampled boundaries, resuming onto
+// the chunk-parallel path — resume must not care how the remainder is fed.
+TEST(CheckpointTest, TenThousandRecordsSampledBoundariesParallelResume) {
+  const std::string text =
+      DatagenJsonl(datagen::DatasetId::kGitHub, 10000, 11);
+  const std::vector<size_t> boundaries = LineBoundaries(text);
+
+  StreamingInferencer uninterrupted;
+  ASSERT_TRUE(uninterrupted.AddJsonLines(text).ok());
+  Schema full = uninterrupted.Snapshot();
+
+  for (size_t b = 977; b < boundaries.size(); b += 977) {
+    size_t off = boundaries[b];
+    StreamingInferencer first;
+    ASSERT_TRUE(
+        first.AddJsonLines(std::string_view(text).substr(0, off)).ok());
+    auto cp = SerializeCheckpoint(first);
+    ASSERT_TRUE(cp.ok()) << cp.status();
+    StreamingInferencer resumed;
+    ASSERT_TRUE(RestoreCheckpoint(cp.value(), &resumed).ok());
+    ASSERT_TRUE(resumed
+                    .AddJsonLinesParallel(std::string_view(text).substr(off),
+                                          4)
+                    .ok());
+    Schema schema = resumed.Snapshot();
+    EXPECT_TRUE(schema.type->Equals(*full.type)) << "boundary " << b;
+    EXPECT_EQ(schema.stats.record_count, full.stats.record_count);
+    EXPECT_EQ(schema.stats.distinct_type_count,
+              full.stats.distinct_type_count);
+  }
+}
+
+// Degraded-mode resume: an aborted read checkpoints with bytes_consumed at
+// the aborting line; fixing the input in place and resuming equals a clean
+// run over the fixed input.
+TEST(CheckpointTest, AbortCheckpointResumesAtTheFailingLine) {
+  std::string good = DatagenJsonl(datagen::DatasetId::kGitHub, 40, 9);
+  std::vector<size_t> lines = LineBoundaries(good);
+  std::string broken = good;
+  size_t bad_at = lines[17];
+  broken[bad_at] = '#';  // line 18 now fails to parse
+
+  StreamingInferencer stream;
+  Status st = stream.AddJsonLines(broken);
+  ASSERT_FALSE(st.ok());
+  ASSERT_EQ(stream.ingest_stats().bytes_consumed, bad_at);
+
+  auto cp = SerializeCheckpoint(stream);
+  ASSERT_TRUE(cp.ok()) << cp.status();
+  StreamingInferencer resumed;
+  ASSERT_TRUE(RestoreCheckpoint(cp.value(), &resumed).ok());
+  size_t off = resumed.ingest_stats().bytes_consumed;
+  ASSERT_TRUE(
+      resumed.AddJsonLines(std::string_view(good).substr(off)).ok());
+
+  StreamingInferencer clean;
+  ASSERT_TRUE(clean.AddJsonLines(good).ok());
+  EXPECT_TRUE(resumed.Snapshot().type->Equals(*clean.Snapshot().type));
+  EXPECT_EQ(resumed.record_count(), clean.record_count());
+}
+
+TEST(CheckpointTest, EveryBytePrefixTruncationIsDetected) {
+  StreamingInferencer stream;
+  ASSERT_TRUE(
+      stream
+          .AddJsonLines(DatagenJsonl(datagen::DatasetId::kNYTimes, 25, 5))
+          .ok());
+  auto cp = SerializeCheckpoint(stream);
+  ASSERT_TRUE(cp.ok()) << cp.status();
+  const std::string& full = cp.value();
+
+  for (size_t n = 0; n < full.size(); ++n) {
+    StreamingInferencer sink;
+    Status st = RestoreCheckpoint(std::string_view(full).substr(0, n), &sink);
+    EXPECT_FALSE(st.ok()) << "prefix of " << n << " bytes restored";
+  }
+  StreamingInferencer whole;
+  EXPECT_TRUE(RestoreCheckpoint(full, &whole).ok());
+  ExpectSameState(stream, whole);
+}
+
+TEST(CheckpointTest, EveryByteCorruptionIsDetected) {
+  StreamingInferencer stream;
+  ASSERT_TRUE(stream.AddJsonLines("{\"a\":1}\n{\"b\":\"x\"}\n").ok());
+  auto cp = SerializeCheckpoint(stream);
+  ASSERT_TRUE(cp.ok()) << cp.status();
+  std::string bytes = cp.value();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] ^= 0x01;
+    StreamingInferencer sink;
+    EXPECT_FALSE(RestoreCheckpoint(bytes, &sink).ok())
+        << "flip at byte " << i << " restored";
+    bytes[i] ^= 0x01;
+  }
+}
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "jsonsi_checkpoint_test.ckpt";
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(CheckpointFileTest, SaveLoadRoundTrip) {
+  StreamingInferencer stream;
+  ASSERT_TRUE(
+      stream.AddJsonLines(DatagenJsonl(datagen::DatasetId::kGitHub, 30, 2))
+          .ok());
+  ASSERT_TRUE(SaveCheckpoint(stream, path_).ok());
+  StreamingInferencer loaded;
+  ASSERT_TRUE(LoadCheckpoint(path_, &loaded).ok());
+  ExpectSameState(stream, loaded);
+}
+
+TEST_F(CheckpointFileTest, TruncatedPublishIsDetectedAtLoad) {
+  StreamingInferencer stream;
+  ASSERT_TRUE(stream.AddJsonLines("{\"a\":1}\n").ok());
+  for (size_t cut : {0u, 1u, 40u, 200u}) {
+    TornWriteInjector fault;
+    fault.truncate_at = cut;
+    ASSERT_TRUE(SaveCheckpoint(stream, path_, &fault).ok());
+    StreamingInferencer sink;
+    EXPECT_FALSE(LoadCheckpoint(path_, &sink).ok())
+        << "truncation at " << cut << " loaded";
+  }
+}
+
+TEST_F(CheckpointFileTest, CorruptedPublishIsDetectedAtLoad) {
+  StreamingInferencer stream;
+  ASSERT_TRUE(stream.AddJsonLines("{\"a\":1}\n{\"b\":2}\n").ok());
+  TornWriteInjector fault;
+  fault.corrupt_at = 60;
+  ASSERT_TRUE(SaveCheckpoint(stream, path_, &fault).ok());
+  StreamingInferencer sink;
+  EXPECT_FALSE(LoadCheckpoint(path_, &sink).ok());
+}
+
+TEST_F(CheckpointFileTest, CrashBeforeRenameLeavesPreviousCheckpointIntact) {
+  StreamingInferencer stream;
+  ASSERT_TRUE(stream.AddJsonLines("{\"a\":1}\n").ok());
+  ASSERT_TRUE(SaveCheckpoint(stream, path_).ok());
+
+  ASSERT_TRUE(stream.AddJsonLines("{\"b\":2}\n{\"c\":3}\n").ok());
+  TornWriteInjector crash;
+  crash.fail_before_rename = true;
+  EXPECT_FALSE(SaveCheckpoint(stream, path_, &crash).ok());
+
+  // The published file still holds the previous consistent state.
+  StreamingInferencer loaded;
+  ASSERT_TRUE(LoadCheckpoint(path_, &loaded).ok());
+  EXPECT_EQ(loaded.record_count(), 1u);
+}
+
+TEST(CheckpointTest, ProfilingStreamsRefuseToCheckpoint) {
+  StreamingOptions opts;
+  opts.profile = true;
+  StreamingInferencer stream(opts);
+  ASSERT_TRUE(stream.AddJson("{\"a\":1}").ok());
+  EXPECT_FALSE(SerializeCheckpoint(stream).ok());
+}
+
+// Satellite: a resumed run is indistinguishable downstream — registering
+// its schema in a SchemaRepository yields the same version and diff history
+// as the uninterrupted run, byte for byte in the persisted form.
+TEST(CheckpointTest, RepositoryInteropMatchesUninterruptedRun) {
+  const std::string batch1 = DatagenJsonl(datagen::DatasetId::kGitHub, 60, 7);
+  const std::string batch2 =
+      DatagenJsonl(datagen::DatasetId::kTwitter, 60, 8);
+
+  // Uninterrupted: two batches into a repository.
+  repository::SchemaRepository repo_full;
+  {
+    StreamingInferencer s;
+    ASSERT_TRUE(s.AddJsonLines(batch1).ok());
+    ASSERT_TRUE(
+        repo_full.RegisterBatch("events", s.Snapshot().type, 60).ok());
+    ASSERT_TRUE(s.AddJsonLines(batch2).ok());
+    ASSERT_TRUE(
+        repo_full.RegisterBatch("events", s.Snapshot().type, 60).ok());
+  }
+
+  // Interrupted: killed mid-batch2 and resumed from the checkpoint.
+  repository::SchemaRepository repo_resumed;
+  {
+    StreamingInferencer s;
+    ASSERT_TRUE(s.AddJsonLines(batch1).ok());
+    ASSERT_TRUE(
+        repo_resumed.RegisterBatch("events", s.Snapshot().type, 60).ok());
+    size_t half = LineBoundaries(batch2)[30];
+    ASSERT_TRUE(
+        s.AddJsonLines(std::string_view(batch2).substr(0, half)).ok());
+    auto cp = SerializeCheckpoint(s);
+    ASSERT_TRUE(cp.ok()) << cp.status();
+    StreamingInferencer resumed;
+    ASSERT_TRUE(RestoreCheckpoint(cp.value(), &resumed).ok());
+    size_t off = resumed.ingest_stats().bytes_consumed -
+                 batch1.size();  // offset within batch2
+    ASSERT_TRUE(
+        resumed.AddJsonLines(std::string_view(batch2).substr(off)).ok());
+    ASSERT_TRUE(
+        repo_resumed.RegisterBatch("events", resumed.Snapshot().type, 60)
+            .ok());
+  }
+
+  EXPECT_EQ(repo_full.Serialize(), repo_resumed.Serialize());
+  EXPECT_EQ(repo_full.Current("events")->version,
+            repo_resumed.Current("events")->version);
+  EXPECT_EQ(repo_full.LatestDrift("events").size(),
+            repo_resumed.LatestDrift("events").size());
+}
+
+}  // namespace
+}  // namespace jsonsi::core

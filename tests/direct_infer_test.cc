@@ -113,6 +113,23 @@ TEST(DirectInferTest, DepthLimitParity) {
   }
 }
 
+TEST(DirectInferTest, DocumentBudgetParity) {
+  ParseOptions tight;
+  tight.max_document_bytes = 16;
+  for (std::string_view text :
+       {"{\"key\":\"a much longer document\"}", "[1,2,3,4,5,6,7,8,9,10]",
+        "\"exactly seventeen\"", "{\"a\":1}", "null", ""}) {
+    ExpectParity(text, tight);
+    ExpectParity(text);  // unlimited budget for good measure
+  }
+  // A document of exactly the limit is admitted.
+  ParseOptions exact;
+  exact.max_document_bytes = 7;
+  ExpectParity("{\"a\":1}", exact);
+  auto ok = DirectInferType("{\"a\":1}", exact);
+  EXPECT_TRUE(ok.ok()) << ok.status().message();
+}
+
 TEST(DirectInferTest, TrailingContentOptionParity) {
   ParseOptions lenient;
   lenient.allow_trailing_content = true;

@@ -46,4 +46,37 @@ grep -q "kinds-broadened" "$TMP/diff.txt"
 
 "$JSI" codegen "$TMP/gh.jsonl" --root PullRequest --namespace gh | grep -q "struct PullRequest"
 
+# checkpoint/resume: a checkpointed run matches the plain run, and resuming
+# a partial run from its checkpoint converges to the same schema.
+"$JSI" infer "$TMP/gh.jsonl" > "$TMP/schema_plain.txt"
+"$JSI" infer "$TMP/gh.jsonl" --checkpoint "$TMP/cp.txt" --checkpoint-every 7 \
+  > "$TMP/schema_cp.txt"
+cmp "$TMP/schema_plain.txt" "$TMP/schema_cp.txt"
+test -f "$TMP/cp.txt"
+head -20 "$TMP/gh.jsonl" > "$TMP/gh_head.jsonl"
+"$JSI" infer "$TMP/gh_head.jsonl" --checkpoint "$TMP/cp2.txt" > /dev/null
+"$JSI" infer "$TMP/gh.jsonl" --checkpoint "$TMP/cp2.txt" --resume --stats \
+  > "$TMP/schema_resumed.txt" 2> "$TMP/resume_stats.txt"
+cmp "$TMP/schema_plain.txt" "$TMP/schema_resumed.txt"
+grep -q "resumed from" "$TMP/resume_stats.txt"
+# a truncated checkpoint is refused, not silently mis-resumed.
+head -c 40 "$TMP/cp2.txt" > "$TMP/cp_torn.txt"
+if "$JSI" infer "$TMP/gh.jsonl" --checkpoint "$TMP/cp_torn.txt" --resume \
+    > /dev/null 2>&1; then
+  echo "expected resume from torn checkpoint to fail"; exit 1
+fi
+# budget flags: oversize lines are rejected under the strict policy and
+# skipped under --skip-malformed, identically on the DOM path.
+if "$JSI" infer "$TMP/gh.jsonl" --max-line-bytes 64 > /dev/null 2>&1; then
+  echo "expected --max-line-bytes 64 to fail on github records"; exit 1
+fi
+"$JSI" infer "$TMP/gh.jsonl" --max-line-bytes 64 --skip-malformed \
+  > "$TMP/budget_direct.txt" 2> /dev/null
+"$JSI" infer "$TMP/gh.jsonl" --max-line-bytes 64 --skip-malformed --no-direct \
+  > "$TMP/budget_dom.txt" 2> /dev/null
+cmp "$TMP/budget_direct.txt" "$TMP/budget_dom.txt"
+if "$JSI" infer "$TMP/gh.jsonl" --max-depth 2 > /dev/null 2>&1; then
+  echo "expected --max-depth 2 to fail on nested records"; exit 1
+fi
+
 echo "jsi CLI smoke test passed"

@@ -99,6 +99,7 @@ void ExpectSameStats(const IngestStats& serial, const IngestStats& chunked) {
   EXPECT_EQ(serial.records, chunked.records);
   EXPECT_EQ(serial.malformed_lines, chunked.malformed_lines);
   EXPECT_EQ(serial.bytes_read, chunked.bytes_read);
+  EXPECT_EQ(serial.bytes_consumed, chunked.bytes_consumed);
   ASSERT_EQ(serial.errors.size(), chunked.errors.size());
   for (size_t i = 0; i < serial.errors.size(); ++i) {
     EXPECT_EQ(serial.errors[i].line_number, chunked.errors[i].line_number);

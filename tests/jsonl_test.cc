@@ -321,5 +321,80 @@ TEST(JsonlTest, LargeInputZeroCopyParse) {
   EXPECT_EQ(stats.bytes_read, text.size());
 }
 
+TEST(JsonlTest, BytesConsumedEqualsBytesReadOnSuccess) {
+  const std::string text = "{\"a\":1}\n\n{\"b\":2}\r\n{\"c\":3}";
+  IngestOptions options;
+  IngestStats stats;
+  ASSERT_TRUE(ParseJsonLines(text, options, &stats).ok());
+  EXPECT_EQ(stats.bytes_consumed, stats.bytes_read);
+  EXPECT_EQ(stats.bytes_consumed, text.size());
+}
+
+TEST(JsonlTest, BytesConsumedStopsAtAbortingLine) {
+  // kFail aborts on line 3: consumed covers lines 1-2 only, while
+  // bytes_read includes the scanned (aborting) line — the gap is exactly
+  // what a resumed read must revisit.
+  const std::string text = "{\"a\":1}\n{\"b\":2}\nbad line\n{\"c\":3}\n";
+  const size_t bad_at = text.find("bad");
+  IngestOptions options;
+  IngestStats stats;
+  auto r = ParseJsonLines(text, options, &stats);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(stats.bytes_consumed, bad_at);
+  EXPECT_GT(stats.bytes_read, stats.bytes_consumed);
+
+  // Resuming at bytes_consumed re-reads the bad line first, nothing else.
+  IngestStats resumed;
+  options.on_malformed = MalformedLinePolicy::kSkip;
+  auto rest = ParseJsonLines(std::string_view(text).substr(bad_at), options,
+                             &resumed);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest.value().size(), 1u);
+  EXPECT_EQ(resumed.malformed_lines, 1u);
+}
+
+TEST(JsonlTest, BytesConsumedAdvancesPastSkippedLines) {
+  IngestOptions options;
+  options.on_malformed = MalformedLinePolicy::kSkip;
+  IngestStats stats;
+  const std::string text = "{\"a\":1}\nbad\n{\"b\":2}\n";
+  ASSERT_TRUE(ParseJsonLines(text, options, &stats).ok());
+  // Skipped lines are fully processed: nothing to revisit on resume.
+  EXPECT_EQ(stats.bytes_consumed, text.size());
+}
+
+TEST(JsonlTest, AbsorbRebasesBytesConsumed) {
+  IngestOptions options;
+  IngestStats first;
+  ASSERT_TRUE(ParseJsonLines("{\"a\":1}\n", options, &first).ok());
+  IngestStats second;
+  ASSERT_TRUE(ParseJsonLines("{\"b\":22}\n", options, &second).ok());
+  first.Absorb(second, options.max_recorded_errors);
+  EXPECT_EQ(first.bytes_consumed, first.bytes_read);
+  EXPECT_EQ(first.bytes_consumed, 8u + 9u);
+
+  // An empty follow-up read must not move the resume offset.
+  IngestStats empty;
+  ASSERT_TRUE(ParseJsonLines("", options, &empty).ok());
+  first.Absorb(empty, options.max_recorded_errors);
+  EXPECT_EQ(first.bytes_consumed, 8u + 9u);
+}
+
+TEST(JsonlTest, MaxDocumentBytesRejectsOversizeLinesUnderPolicy) {
+  IngestOptions options;
+  options.parse.max_document_bytes = 16;
+  options.on_malformed = MalformedLinePolicy::kSkip;
+  IngestStats stats;
+  const std::string text =
+      "{\"a\":1}\n{\"key\":\"a long oversize line\"}\n{\"b\":2}\n";
+  auto r = ParseJsonLines(text, options, &stats);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(stats.malformed_lines, 1u);
+  ASSERT_FALSE(stats.errors.empty());
+  EXPECT_NE(stats.errors[0].message.find("exceeds limit"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace jsonsi::json

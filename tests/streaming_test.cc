@@ -243,6 +243,47 @@ TEST(StreamingTest, DistinctCountingCanBeDisabled) {
   EXPECT_EQ(streaming.Snapshot().stats.distinct_type_count, 0u);
 }
 
+TEST(StreamingTest, MemoryWatermarkDegradesWithoutChangingSchema) {
+  auto gen = datagen::MakeGenerator(datagen::DatasetId::kGitHub, 21);
+  std::string jsonl;
+  for (uint64_t i = 0; i < 800; ++i) {
+    jsonl += json::ToJson(gen->Generate(i));
+    jsonl += '\n';
+  }
+
+  StreamingInferencer unlimited;
+  ASSERT_TRUE(unlimited.AddJsonLines(jsonl).ok());
+  EXPECT_FALSE(unlimited.memory_degraded());
+
+  StreamingOptions tight;
+  tight.soft_memory_limit_bytes = 1;  // force shedding immediately
+  StreamingInferencer degraded(tight);
+  ASSERT_TRUE(degraded.AddJsonLines(jsonl).ok());
+  EXPECT_TRUE(degraded.memory_degraded());
+
+  // Shedding touches only auxiliary structures: the inferred schema and the
+  // record count are untouched; the distinct count becomes a lower bound.
+  Schema full = unlimited.Snapshot();
+  Schema shed = degraded.Snapshot();
+  EXPECT_TRUE(shed.type->Equals(*full.type));
+  EXPECT_EQ(shed.stats.record_count, full.stats.record_count);
+  EXPECT_LE(shed.stats.distinct_type_count, full.stats.distinct_type_count);
+
+  // The parallel path degrades and converges to the same schema too.
+  StreamingInferencer parallel_degraded(tight);
+  ASSERT_TRUE(parallel_degraded.AddJsonLinesParallel(jsonl, 4).ok());
+  EXPECT_TRUE(parallel_degraded.memory_degraded());
+  EXPECT_TRUE(parallel_degraded.Snapshot().type->Equals(*full.type));
+}
+
+TEST(StreamingTest, BytesConsumedTracksIngestion) {
+  StreamingInferencer streaming;
+  const std::string jsonl = "{\"a\":1}\n{\"a\":2}\n";
+  ASSERT_TRUE(streaming.AddJsonLines(jsonl).ok());
+  EXPECT_EQ(streaming.ingest_stats().bytes_consumed, jsonl.size());
+  EXPECT_EQ(streaming.ingest_stats().bytes_read, jsonl.size());
+}
+
 TEST(StreamingTest, WorksAtDatasetScale) {
   auto gen = datagen::MakeGenerator(datagen::DatasetId::kTwitter, 9);
   StreamingInferencer streaming;

@@ -3,7 +3,9 @@
 // Subcommands:
 //   jsi infer <file.jsonl | ->  [--pretty] [--stats] [--threads N]
 //             [--partitions N] [--skip-malformed] [--max-error-rate R]
-//             [--no-direct]
+//             [--no-direct] [--max-depth N] [--max-line-bytes N]
+//             [--checkpoint F [--checkpoint-every N] [--resume]]
+//             [--memory-watermark-mb N]
 //       Infers and prints the fused schema of a JSON-Lines input
 //       ('-' reads stdin). --threads N runs the whole pipeline — chunked
 //       ingestion, map, tree-reduce — on N workers (default: hardware
@@ -15,6 +17,15 @@
 //       DOM-free by default (parse and Map fused into one pass over the
 //       text); --no-direct restores the parse-then-infer pipeline for
 //       A/B comparison.
+//       Resource budgets (docs/robustness.md): --max-depth caps nesting
+//       (default 512) and --max-line-bytes caps per-line size; a document
+//       over budget is a malformed line under the active policy, with
+//       identical errors on the DOM and direct paths. --memory-watermark-mb
+//       soft-caps the resident auxiliary state (checkpointed runs only).
+//       Durability: --checkpoint F streams the input and atomically saves
+//       the full inference state to F every --checkpoint-every lines
+//       (default 100000); --resume restores F and continues from its byte
+//       offset — the final schema is identical to an uninterrupted run.
 //   jsi gen <github|twitter|wikidata|nytimes> <count> [--seed S]
 //       Emits a synthetic dataset as JSON-Lines on stdout.
 //   jsi paths <file.jsonl | ->
@@ -59,16 +70,20 @@
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime/validation failure.
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "annotate/counted_schema.h"
+#include "core/checkpoint.h"
 #include "core/schema_inferencer.h"
+#include "core/streaming_inferencer.h"
 #include "diff/schema_diff.h"
 #include "export/cpp_codegen.h"
 #include "export/json_schema.h"
@@ -99,7 +114,9 @@ int Usage() {
       "usage:\n"
       "  jsi infer <file.jsonl | -> [--pretty] [--stats] [--threads N]\n"
       "            [--partitions N] [--skip-malformed] [--max-error-rate R]\n"
-      "            [--no-direct]\n"
+      "            [--no-direct] [--max-depth N] [--max-line-bytes N]\n"
+      "            [--checkpoint F [--checkpoint-every N] [--resume]]\n"
+      "            [--memory-watermark-mb N]\n"
       "  jsi gen <github|twitter|wikidata|nytimes> <count> [--seed S]\n"
       "  jsi paths <file.jsonl | ->\n"
       "  jsi check <file.jsonl | -> --schema '<type expression>'\n"
@@ -174,6 +191,153 @@ int BadFlagValue(const std::string& flag, const std::string& value) {
   return Usage();
 }
 
+// --stats report shared by the batch and checkpointed-streaming infer paths.
+void PrintInferStats(const Schema& schema, size_t threads) {
+  const auto& s = schema.stats;
+  // Ingestion-mode row: which pipeline typed the records, so A/B runs
+  // (--no-direct vs default) are self-describing.
+  const char* mode = s.direct_records > 0
+                         ? (s.dom_records > 0 ? "mixed" : "direct")
+                         : (s.dom_records > 0 ? "dom" : "direct");
+  std::cerr << "threads:        " << threads << "\n"
+            << "ingestion:      " << mode << " (direct "
+            << jsonsi::WithThousands(static_cast<int64_t>(s.direct_records))
+            << " / dom "
+            << jsonsi::WithThousands(static_cast<int64_t>(s.dom_records))
+            << ")\n"
+            << "records:        "
+            << jsonsi::WithThousands(static_cast<int64_t>(s.record_count))
+            << "\n"
+            << "distinct types: "
+            << jsonsi::WithThousands(
+                   static_cast<int64_t>(s.distinct_type_count))
+            << "\n"
+            << "type size:      min " << s.min_type_size << " / max "
+            << s.max_type_size << " / avg "
+            << jsonsi::FormatFixed(s.avg_type_size, 1) << "\n"
+            << "fused size:     " << schema.type->size() << "\n"
+            << "inference:      " << jsonsi::FormatFixed(s.infer_seconds, 3)
+            << "s\nfusion:         "
+            << jsonsi::FormatFixed(s.fuse_seconds, 3) << "s\n";
+  if (jsonsi::telemetry::Enabled()) {
+    // Counter digest of the run (full detail goes to --metrics-out).
+    auto snap = jsonsi::telemetry::MetricsRegistry::Global().Snapshot();
+    std::cerr << "telemetry:      parse " << snap.CounterValue("parse.calls")
+              << " / fuse " << snap.CounterValue("fuse.calls")
+              << " / pool tasks "
+              << snap.CounterValue("pool.tasks_completed") << " / retries "
+              << snap.CounterValue("retry.retries") << "\n";
+  }
+  if (jsonsi::types::InterningEnabled()) {
+    // Interning/memoization digest — always-on internal stats, no
+    // telemetry needed (docs/performance.md).
+    auto is = jsonsi::types::TypeInterner::Global().stats();
+    auto cs = jsonsi::fusion::FuseCache::Global().stats();
+    std::cerr << "interning:      "
+              << jsonsi::FormatFixed(is.HitRate() * 100, 1)
+              << "% intern hits (" << is.size << " live) / "
+              << jsonsi::FormatFixed(cs.HitRate() * 100, 1)
+              << "% fuse-cache hits (" << cs.size << " live)\n";
+  }
+}
+
+// Checkpointed streaming inference: feed the input to a StreamingInferencer
+// in --checkpoint-every-line batches and atomically save the full stream
+// state after each one. --resume restores the checkpoint and restarts
+// reading at its bytes_consumed offset; by associativity of fusion the
+// final schema is TypeEquals-identical to an uninterrupted run.
+int RunInferCheckpointed(const std::string& text,
+                         const jsonsi::core::InferenceOptions& options,
+                         const std::string& checkpoint_path, bool resume,
+                         uint64_t checkpoint_every, uint64_t watermark_mb,
+                         bool pretty, bool stats) {
+  jsonsi::core::StreamingOptions sopts;
+  sopts.parse = options.ingest.parse;
+  sopts.on_malformed = options.ingest.on_malformed;
+  sopts.max_error_rate = options.ingest.max_error_rate;
+  sopts.min_lines_for_rate = options.ingest.min_lines_for_rate;
+  sopts.max_recorded_errors = options.ingest.max_recorded_errors;
+  sopts.direct_infer = options.direct_infer;
+  sopts.soft_memory_limit_bytes = watermark_mb * (1ull << 20);
+  jsonsi::core::StreamingInferencer stream(sopts);
+  size_t pos = 0;
+  if (resume) {
+    jsonsi::Status loaded =
+        jsonsi::core::LoadCheckpoint(checkpoint_path, &stream);
+    if (!loaded.ok()) {
+      std::cerr << "jsi: cannot resume: " << loaded << "\n";
+      return 2;
+    }
+    pos = stream.ingest_stats().bytes_consumed;
+    if (pos > text.size()) {
+      std::cerr << "jsi: checkpoint offset " << pos
+                << " is past the end of the input (" << text.size()
+                << " bytes) — wrong input file?\n";
+      return 2;
+    }
+    std::cerr << "jsi: resumed from " << checkpoint_path << " at byte " << pos
+              << " (" << stream.record_count() << " records)\n";
+  }
+
+  uint64_t saves = 0;
+  auto save = [&]() -> jsonsi::Status {
+    jsonsi::Status st = jsonsi::core::SaveCheckpoint(stream, checkpoint_path);
+    if (st.ok()) ++saves;
+    return st;
+  };
+  while (pos < text.size()) {
+    // Advance checkpoint_every whole lines; batch boundaries always fall on
+    // line boundaries, so batching never changes what each Add call sees.
+    size_t end = pos;
+    for (uint64_t n = 0; n < checkpoint_every && end < text.size(); ++n) {
+      size_t nl = text.find('\n', end);
+      end = nl == std::string::npos ? text.size() : nl + 1;
+    }
+    jsonsi::Status st = stream.AddJsonLinesParallel(
+        std::string_view(text).substr(pos, end - pos), options.num_threads);
+    if (!st.ok()) {
+      // Persist the consistent pre-abort state: bytes_consumed points at
+      // the aborting line, so a fixed-up input can be resumed in place.
+      if (jsonsi::Status cp = save(); !cp.ok()) {
+        std::cerr << "jsi: checkpoint save failed: " << cp << "\n";
+      }
+      std::cerr << "jsi: " << st << "\n";
+      return 2;
+    }
+    pos = end;
+    if (jsonsi::Status cp = save(); !cp.ok()) {
+      std::cerr << "jsi: checkpoint save failed: " << cp << "\n";
+      return 2;
+    }
+  }
+  if (saves == 0) {
+    // Empty input (or everything already consumed on resume): still leave a
+    // fresh checkpoint behind so the file always reflects this run.
+    if (jsonsi::Status cp = save(); !cp.ok()) {
+      std::cerr << "jsi: checkpoint save failed: " << cp << "\n";
+      return 2;
+    }
+  }
+  ReportIngest(stream.ingest_stats());
+  Schema schema = stream.Snapshot();
+  std::cout << schema.ToString(pretty) << "\n";
+  if (stats) {
+    size_t threads = options.num_threads
+                         ? options.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+    PrintInferStats(schema, threads);
+    std::cerr << "checkpoints:    " << saves << " save(s) to "
+              << checkpoint_path << "\n"
+              << "consumed:       "
+              << jsonsi::WithThousands(
+                     static_cast<int64_t>(stream.ingest_stats().bytes_consumed))
+              << " bytes"
+              << (stream.memory_degraded() ? " (memory watermark hit)" : "")
+              << "\n";
+  }
+  return 0;
+}
+
 int RunInfer(std::vector<std::string> args) {
   bool pretty = Flag(args, "--pretty");
   bool stats = Flag(args, "--stats");
@@ -209,6 +373,46 @@ int RunInfer(std::vector<std::string> args) {
       return BadFlagValue("--max-error-rate", *r);
     }
   }
+  // Parser budgets apply to every ingestion path (DOM, direct, serial,
+  // chunk-parallel) through ParseOptions; over-budget documents are
+  // malformed lines under the active policy.
+  if (auto d = FlagValue(args, "--max-depth")) {
+    try {
+      options.ingest.parse.max_depth = std::stoul(*d);
+    } catch (const std::exception&) {
+      return BadFlagValue("--max-depth", *d);
+    }
+  }
+  if (auto b = FlagValue(args, "--max-line-bytes")) {
+    try {
+      options.ingest.parse.max_document_bytes = std::stoull(*b);
+    } catch (const std::exception&) {
+      return BadFlagValue("--max-line-bytes", *b);
+    }
+  }
+  std::optional<std::string> checkpoint = FlagValue(args, "--checkpoint");
+  bool resume = Flag(args, "--resume");
+  uint64_t checkpoint_every = 100000;
+  if (auto e = FlagValue(args, "--checkpoint-every")) {
+    try {
+      checkpoint_every = std::stoull(*e);
+    } catch (const std::exception&) {
+      return BadFlagValue("--checkpoint-every", *e);
+    }
+    if (checkpoint_every == 0) checkpoint_every = 1;
+  }
+  uint64_t watermark_mb = 0;
+  if (auto m = FlagValue(args, "--memory-watermark-mb")) {
+    try {
+      watermark_mb = std::stoull(*m);
+    } catch (const std::exception&) {
+      return BadFlagValue("--memory-watermark-mb", *m);
+    }
+  }
+  if (resume && !checkpoint) {
+    std::cerr << "jsi: --resume needs --checkpoint <file>\n";
+    return Usage();
+  }
   if (args.empty()) return Usage();
   // Slurp the input and run the end-to-end pipeline on it: with more than
   // one thread, ingestion is chunk-parallel and map/reduce run on the pool
@@ -228,6 +432,11 @@ int RunInfer(std::vector<std::string> args) {
     buffer << in.rdbuf();
     text = std::move(buffer).str();
   }
+  if (checkpoint) {
+    return RunInferCheckpointed(text, options, *checkpoint, resume,
+                                checkpoint_every, watermark_mb, pretty,
+                                stats);
+  }
   jsonsi::json::IngestStats ingest_stats;
   SchemaInferencer inferencer(options);
   Result<Schema> result = inferencer.InferFromJsonLines(text, &ingest_stats);
@@ -238,53 +447,7 @@ int RunInfer(std::vector<std::string> args) {
   ReportIngest(ingest_stats);
   Schema schema = std::move(result).value();
   std::cout << schema.ToString(pretty) << "\n";
-  if (stats) {
-    const auto& s = schema.stats;
-    // Ingestion-mode row: which pipeline typed the records, so A/B runs
-    // (--no-direct vs default) are self-describing.
-    const char* mode = s.direct_records > 0
-                           ? (s.dom_records > 0 ? "mixed" : "direct")
-                           : (s.dom_records > 0 ? "dom" : "direct");
-    std::cerr << "threads:        " << inferencer.options().num_threads
-              << "\n"
-              << "ingestion:      " << mode << " (direct "
-              << jsonsi::WithThousands(
-                     static_cast<int64_t>(s.direct_records))
-              << " / dom "
-              << jsonsi::WithThousands(static_cast<int64_t>(s.dom_records))
-              << ")\n"
-              << "records:        " << jsonsi::WithThousands(
-                     static_cast<int64_t>(s.record_count)) << "\n"
-              << "distinct types: " << jsonsi::WithThousands(
-                     static_cast<int64_t>(s.distinct_type_count)) << "\n"
-              << "type size:      min " << s.min_type_size << " / max "
-              << s.max_type_size << " / avg "
-              << jsonsi::FormatFixed(s.avg_type_size, 1) << "\n"
-              << "fused size:     " << schema.type->size() << "\n"
-              << "inference:      " << jsonsi::FormatFixed(s.infer_seconds, 3)
-              << "s\nfusion:         "
-              << jsonsi::FormatFixed(s.fuse_seconds, 3) << "s\n";
-    if (jsonsi::telemetry::Enabled()) {
-      // Counter digest of the run (full detail goes to --metrics-out).
-      auto snap = jsonsi::telemetry::MetricsRegistry::Global().Snapshot();
-      std::cerr << "telemetry:      parse " << snap.CounterValue("parse.calls")
-                << " / fuse " << snap.CounterValue("fuse.calls")
-                << " / pool tasks "
-                << snap.CounterValue("pool.tasks_completed") << " / retries "
-                << snap.CounterValue("retry.retries") << "\n";
-    }
-    if (jsonsi::types::InterningEnabled()) {
-      // Interning/memoization digest — always-on internal stats, no
-      // telemetry needed (docs/performance.md).
-      auto is = jsonsi::types::TypeInterner::Global().stats();
-      auto cs = jsonsi::fusion::FuseCache::Global().stats();
-      std::cerr << "interning:      "
-                << jsonsi::FormatFixed(is.HitRate() * 100, 1)
-                << "% intern hits (" << is.size << " live) / "
-                << jsonsi::FormatFixed(cs.HitRate() * 100, 1)
-                << "% fuse-cache hits (" << cs.size << " live)\n";
-    }
-  }
+  if (stats) PrintInferStats(schema, inferencer.options().num_threads);
   return 0;
 }
 
