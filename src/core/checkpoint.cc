@@ -8,6 +8,11 @@
 #include <utility>
 #include <vector>
 
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "support/hash.h"
 #include "telemetry/telemetry.h"
 #include "types/printer.h"
@@ -66,6 +71,37 @@ std::pair<std::string_view, std::string_view> KeyRest(std::string_view line) {
   size_t sp = line.find(' ');
   if (sp == std::string_view::npos) return {line, {}};
   return {line.substr(0, sp), line.substr(sp + 1)};
+}
+
+// Flushes a freshly-written file to stable storage before it is published:
+// the rename can otherwise survive a power failure while the data does not,
+// replacing the previous good checkpoint with a truncated one. (The checksum
+// would detect that at load, but the prior state would already be gone.)
+Status SyncFile(const std::string& path) {
+#if !defined(_WIN32)
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return Status::Internal("cannot reopen " + path + " for fsync");
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Internal("fsync " + path + " failed");
+#endif
+  return Status::OK();
+}
+
+// Best-effort fsync of the directory containing `path`, making the rename
+// itself durable. Failures are ignored: some filesystems refuse directory
+// fsync, and the worst outcome is the previous checkpoint — still consistent.
+void SyncParentDir(const std::string& path) {
+#if !defined(_WIN32)
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#endif
 }
 
 // Pops the first space-delimited token off `*rest`.
@@ -330,6 +366,14 @@ Status RestoreCheckpoint(std::string_view text,
   }
 
   // --- Commit: rebuild the inferencer wholesale. ---
+  // A checkpoint saved after an aborted read carries the aborting line in
+  // its counts (scanned but not consumed, bytes_read > bytes_consumed). The
+  // resumed read restarts at bytes_consumed and re-scans that line, so
+  // rewind to the consumed prefix: otherwise Absorb would rebase the next
+  // read's offsets past the stale bytes_read — inflating bytes_consumed by
+  // the old failing line's length, so a later checkpoint+resume would skip
+  // those bytes mid-line — and the re-read line would be double-counted.
+  stats.RewindToConsumed();
   StreamingInferencer restored(opts);
   restored.ingest_stats_ = std::move(stats);
   restored.record_count_ = record_count;
@@ -369,12 +413,14 @@ Status SaveCheckpoint(const StreamingInferencer& inferencer,
     out.flush();
     if (!out) return Status::Internal("short write to " + tmp);
   }
+  JSONSI_RETURN_IF_ERROR(SyncFile(tmp));
   if (fault && fault->fail_before_rename) {
     return Status::Internal("injected crash before rename");
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::Internal("rename " + tmp + " -> " + path + " failed");
   }
+  SyncParentDir(path);
   JSONSI_COUNTER("checkpoint.saves").Increment();
   JSONSI_COUNTER("checkpoint.bytes").Add(bytes.size());
   return Status::OK();

@@ -161,6 +161,10 @@ Status StreamingInferencer::AddJsonLines(std::string_view text) {
   // would never trip. ingest_stats_ is only read during the chunk; it is
   // folded forward below, after the read completes.
   ingest.rate_baseline = &ingest_stats_;
+  // First-line BOM stripping belongs to the true start of the stream, not to
+  // every batch: a follow-up chunk (or a resume at a mid-file offset) must
+  // classify its first line exactly as a one-shot read of the whole input.
+  ingest.continuation = ingest_stats_.lines_read > 0;
   json::IngestStats chunk;
   Status st;
   if (UseDirectIngestion()) {
@@ -210,6 +214,8 @@ Status StreamingInferencer::AddJsonLinesParallel(std::string_view text,
   // Same cumulative-rate story as AddJsonLines: the replay judges this
   // buffer's malformed lines against the whole stream read so far.
   ingest.rate_baseline = &ingest_stats_;
+  // As in AddJsonLines: only the stream's true first line sheds a BOM.
+  ingest.continuation = ingest_stats_.lines_read > 0;
 
   engine::ThreadPool pool(num_threads);
   std::vector<json::ChunkSpan> spans =
@@ -219,7 +225,7 @@ Status StreamingInferencer::AddJsonLinesParallel(std::string_view text,
     pool.Submit([&text, &spans, &outcomes, i, &ingest] {
       outcomes[i] = json::ParseJsonLinesChunk(
           text.substr(spans[i].begin, spans[i].size()), ingest.parse,
-          ingest.max_recorded_errors, i == 0);
+          ingest.max_recorded_errors, i == 0 && !ingest.continuation);
     });
   }
   pool.Wait();
@@ -325,6 +331,8 @@ Status StreamingInferencer::AddJsonLinesParallelDirect(std::string_view text,
   // Same cumulative-rate story as AddJsonLines: the replay judges this
   // buffer's malformed lines against the whole stream read so far.
   ingest.rate_baseline = &ingest_stats_;
+  // As in AddJsonLines: only the stream's true first line sheds a BOM.
+  ingest.continuation = ingest_stats_.lines_read > 0;
 
   engine::ThreadPool pool(num_threads);
   std::vector<json::ChunkSpan> spans =
@@ -334,7 +342,7 @@ Status StreamingInferencer::AddJsonLinesParallelDirect(std::string_view text,
     pool.Submit([&text, &spans, &outcomes, i, &ingest] {
       outcomes[i] = inference::InferJsonLinesChunk(
           text.substr(spans[i].begin, spans[i].size()), ingest.parse,
-          ingest.max_recorded_errors, i == 0);
+          ingest.max_recorded_errors, i == 0 && !ingest.continuation);
     });
   }
   pool.Wait();

@@ -26,7 +26,8 @@ class LineIngester {
   // when the line fn asked to stop.
   Status OnLine(std::string_view line, uint64_t byte_offset) {
     ++stats_->lines_read;
-    line = internal::UndecorateLine(line, stats_->lines_read == 1);
+    line = internal::UndecorateLine(
+        line, !options_.continuation && stats_->lines_read == 1);
     if (internal::IsBlankLine(line)) {
       ++stats_->blank_lines;
       return Consumed();
@@ -169,6 +170,19 @@ void IngestStats::Absorb(const IngestStats& other,
   // empty follow-up read leaves the resume offset where it was.
   if (other.lines_read > 0) bytes_consumed = bytes_read + other.bytes_consumed;
   bytes_read += other.bytes_read;
+}
+
+void IngestStats::RewindToConsumed() {
+  if (bytes_read <= bytes_consumed) return;
+  // Exactly one line is ever scanned but not consumed: the one whose
+  // processing aborted the read (blank and successfully-parsed lines are
+  // always consumed, so that line was counted as malformed).
+  bytes_read = bytes_consumed;
+  if (lines_read > 0) --lines_read;
+  if (malformed_lines > 0) --malformed_lines;
+  while (!errors.empty() && errors.back().line_number > lines_read) {
+    errors.pop_back();
+  }
 }
 
 Status ReadJsonLines(std::istream& in, const RecordSink& sink,

@@ -75,6 +75,12 @@ struct IngestOptions {
   /// read. Callers accumulate with IngestStats::Absorb between chunks (see
   /// core::StreamingInferencer).
   const IngestStats* rate_baseline = nullptr;
+  /// This read continues an earlier read of the same logical stream (a
+  /// follow-up batch, or a checkpoint resume at a mid-file offset): its
+  /// first line is an interior line of the stream, so first-line-only
+  /// decorations (the UTF-8 BOM) are not stripped from it. Batched and
+  /// one-shot reads of the same bytes then classify every line identically.
+  bool continuation = false;
 };
 
 /// One rejected line.
@@ -106,8 +112,21 @@ struct IngestStats {
 
   /// Folds a follow-up read's stats into this one, shifting the other's
   /// line numbers and byte offsets past this report's totals — so per-chunk
-  /// reads of one logical stream accumulate a coherent report.
+  /// reads of one logical stream accumulate a coherent report. Assumes the
+  /// follow-up read started at this report's bytes_read; after an aborted
+  /// read (bytes_read > bytes_consumed) call RewindToConsumed() first, since
+  /// a resumed read restarts at bytes_consumed.
   void Absorb(const IngestStats& other, size_t max_recorded_errors);
+
+  /// Rewinds the report to its consumed prefix. After an aborted read the
+  /// aborting line was scanned but not consumed: it is counted in
+  /// lines_read/malformed_lines, its error may be recorded, and bytes_read
+  /// covers it while bytes_consumed stops at its first byte. A resumed read
+  /// restarts at bytes_consumed and re-scans that line, so this backs out
+  /// its counts (and restores bytes_read == bytes_consumed) to keep the
+  /// cumulative report — and the kFailAboveRate baseline and Absorb's
+  /// offset rebasing — exact across the resume. No-op after a clean read.
+  void RewindToConsumed();
 };
 
 /// Reads JSON-Lines from a stream, invoking `sink` per parsed record. Blank

@@ -193,6 +193,14 @@ TEST(CheckpointTest, AbortCheckpointResumesAtTheFailingLine) {
   StreamingInferencer resumed;
   ASSERT_TRUE(RestoreCheckpoint(cp.value(), &resumed).ok());
   size_t off = resumed.ingest_stats().bytes_consumed;
+  ASSERT_EQ(off, bad_at);
+  // Restore rewinds to the consumed prefix: the aborting line was scanned
+  // but not consumed, and the resumed read re-scans it, so its counts and
+  // recorded error must not be carried twice.
+  EXPECT_EQ(resumed.ingest_stats().bytes_read, bad_at);
+  EXPECT_EQ(resumed.ingest_stats().lines_read, 17u);
+  EXPECT_EQ(resumed.ingest_stats().malformed_lines, 0u);
+  EXPECT_TRUE(resumed.ingest_stats().errors.empty());
   ASSERT_TRUE(
       resumed.AddJsonLines(std::string_view(good).substr(off)).ok());
 
@@ -200,6 +208,90 @@ TEST(CheckpointTest, AbortCheckpointResumesAtTheFailingLine) {
   ASSERT_TRUE(clean.AddJsonLines(good).ok());
   EXPECT_TRUE(resumed.Snapshot().type->Equals(*clean.Snapshot().type));
   EXPECT_EQ(resumed.record_count(), clean.record_count());
+  ExpectSameState(clean, resumed);
+  EXPECT_EQ(resumed.ingest_stats().bytes_read, good.size());
+}
+
+// The reviewer scenario for abort accounting: checkpoint after an abort,
+// resume, checkpoint again mid-stream, crash, resume again. The second
+// checkpoint must record the true position — not one inflated by the old
+// failing line's length — and recorded errors must keep absolute offsets.
+TEST(CheckpointTest, SecondCrashAndResumeAfterAbortStaysExact) {
+  std::string good = DatagenJsonl(datagen::DatasetId::kGitHub, 40, 9);
+  std::vector<size_t> lines = LineBoundaries(good);
+  std::string broken = good;
+  size_t bad_at = lines[17];
+  broken[bad_at] = '#';
+
+  StreamingInferencer stream;
+  ASSERT_FALSE(stream.AddJsonLines(broken).ok());
+  auto cp1 = SerializeCheckpoint(stream);
+  ASSERT_TRUE(cp1.ok()) << cp1.status();
+
+  // Resume over the unchanged input: the same line aborts again, and its
+  // recorded error must carry the absolute stream offset and line number.
+  {
+    StreamingInferencer again;
+    ASSERT_TRUE(RestoreCheckpoint(cp1.value(), &again).ok());
+    ASSERT_FALSE(
+        again.AddJsonLines(std::string_view(broken).substr(bad_at)).ok());
+    ASSERT_EQ(again.ingest_stats().errors.size(), 1u);
+    EXPECT_EQ(again.ingest_stats().errors[0].byte_offset, bad_at);
+    EXPECT_EQ(again.ingest_stats().errors[0].line_number, 18u);
+    EXPECT_EQ(again.ingest_stats().bytes_consumed, bad_at);
+  }
+
+  // Resume over the fixed input, but only partway — then checkpoint and
+  // "crash". The second resume must pick up at the exact byte.
+  StreamingInferencer first;
+  ASSERT_TRUE(RestoreCheckpoint(cp1.value(), &first).ok());
+  size_t partial = lines[30];
+  ASSERT_TRUE(first
+                  .AddJsonLines(
+                      std::string_view(good).substr(bad_at, partial - bad_at))
+                  .ok());
+  ASSERT_EQ(first.ingest_stats().bytes_consumed, partial);
+  ASSERT_EQ(first.ingest_stats().bytes_read, partial);
+  auto cp2 = SerializeCheckpoint(first);
+  ASSERT_TRUE(cp2.ok()) << cp2.status();
+
+  StreamingInferencer second;
+  ASSERT_TRUE(RestoreCheckpoint(cp2.value(), &second).ok());
+  ASSERT_EQ(second.ingest_stats().bytes_consumed, partial);
+  ASSERT_TRUE(
+      second.AddJsonLines(std::string_view(good).substr(partial)).ok());
+
+  StreamingInferencer clean;
+  ASSERT_TRUE(clean.AddJsonLines(good).ok());
+  ExpectSameState(clean, second);
+  EXPECT_EQ(second.ingest_stats().bytes_read, good.size());
+  EXPECT_EQ(second.ingest_stats().lines_read, 40u);
+  EXPECT_TRUE(second.ingest_stats().errors.empty());
+}
+
+// A resume at a mid-file offset must not treat the first re-read line as the
+// stream's first line: an interior UTF-8 BOM stays malformed, exactly as in
+// an uninterrupted run.
+TEST(CheckpointTest, ResumeDoesNotStripMidStreamBom) {
+  const std::string text =
+      "{\"a\":1}\n\xEF\xBB\xBF{\"a\":2}\n{\"a\":3}\n";
+  StreamingOptions opts;
+  opts.on_malformed = json::MalformedLinePolicy::kSkip;
+
+  StreamingInferencer uninterrupted(opts);
+  ASSERT_TRUE(uninterrupted.AddJsonLines(text).ok());
+  ASSERT_EQ(uninterrupted.malformed_count(), 1u);
+
+  StreamingInferencer first(opts);
+  size_t off = text.find('\n') + 1;  // kill right before the BOM line
+  ASSERT_TRUE(first.AddJsonLines(std::string_view(text).substr(0, off)).ok());
+  auto cp = SerializeCheckpoint(first);
+  ASSERT_TRUE(cp.ok()) << cp.status();
+  StreamingInferencer resumed(opts);
+  ASSERT_TRUE(RestoreCheckpoint(cp.value(), &resumed).ok());
+  ASSERT_TRUE(resumed.AddJsonLines(std::string_view(text).substr(off)).ok());
+  ExpectSameState(uninterrupted, resumed);
+  EXPECT_EQ(resumed.malformed_count(), 1u);
 }
 
 TEST(CheckpointTest, EveryBytePrefixTruncationIsDetected) {

@@ -284,6 +284,35 @@ TEST(StreamingTest, BytesConsumedTracksIngestion) {
   EXPECT_EQ(streaming.ingest_stats().bytes_read, jsonl.size());
 }
 
+TEST(StreamingTest, MidStreamBomMatchesOneShotHoweverBatched) {
+  // A UTF-8 BOM is tolerated on the stream's first line only. A batched
+  // feed must agree: the first line of a follow-up batch is an interior
+  // line, so its BOM makes it malformed exactly as in a one-shot read.
+  const std::string batch1 = "\xEF\xBB\xBF{\"a\":1}\n{\"a\":2}\n";
+  const std::string batch2 = "\xEF\xBB\xBF{\"a\":3}\n{\"a\":4}\n";
+  StreamingOptions opts;
+  opts.on_malformed = json::MalformedLinePolicy::kSkip;
+
+  StreamingInferencer one_shot(opts);
+  ASSERT_TRUE(one_shot.AddJsonLines(batch1 + batch2).ok());
+  EXPECT_EQ(one_shot.record_count(), 3u);  // line 1's BOM stripped, line 3's
+  EXPECT_EQ(one_shot.malformed_count(), 1u);  // not
+
+  StreamingInferencer batched(opts);
+  ASSERT_TRUE(batched.AddJsonLines(batch1).ok());
+  ASSERT_TRUE(batched.AddJsonLines(batch2).ok());
+  EXPECT_EQ(batched.record_count(), one_shot.record_count());
+  EXPECT_EQ(batched.malformed_count(), one_shot.malformed_count());
+  EXPECT_TRUE(batched.Snapshot().type->Equals(*one_shot.Snapshot().type));
+
+  StreamingInferencer parallel(opts);
+  ASSERT_TRUE(parallel.AddJsonLines(batch1).ok());
+  ASSERT_TRUE(parallel.AddJsonLinesParallel(batch2, 4).ok());
+  EXPECT_EQ(parallel.record_count(), one_shot.record_count());
+  EXPECT_EQ(parallel.malformed_count(), one_shot.malformed_count());
+  EXPECT_TRUE(parallel.Snapshot().type->Equals(*one_shot.Snapshot().type));
+}
+
 TEST(StreamingTest, WorksAtDatasetScale) {
   auto gen = datagen::MakeGenerator(datagen::DatasetId::kTwitter, 9);
   StreamingInferencer streaming;
