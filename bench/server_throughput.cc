@@ -1,0 +1,126 @@
+// Server throughput — `jsi serve` under concurrent tenants.
+//
+// Starts a real InferenceServer on an ephemeral loopback port, then drives
+// N tenant threads through the real HTTP client: each creates a session,
+// streams its share of a generated JSONL corpus as fixed-size ingest
+// batches, reads its schema back, and closes. The printed row is end-to-end
+// wall-clock — socket framing, routing, per-session locking, and inference
+// — so it measures the serving overhead on top of the core pipeline, not
+// the pipeline alone.
+//
+// Environment knobs (on top of bench_common.h's):
+//   JSI_SERVER_SESSIONS  concurrent tenants      (default 8, quick: 2)
+//   JSI_SERVER_BATCHES   ingest batches/tenant   (default 16, quick: 4)
+//   JSI_SERVER_LINES     records per batch       (default 2000, quick: 200)
+//
+// With JSI_BENCH_JSON set, the registry flush lands in BENCH_server.json —
+// including the live server.* counters (ingest bytes/records, sessions,
+// http errors) the daemon itself maintains.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "support/timer.h"
+
+namespace {
+
+std::string MakeBatch(uint64_t tenant, uint64_t lines, uint64_t offset) {
+  std::string out;
+  out.reserve(lines * 64);
+  for (uint64_t i = offset; i < offset + lines; ++i) {
+    out += "{\"id\": " + std::to_string(i);
+    out += ", \"tenant\": " + std::to_string(tenant);
+    out += ", \"name\": \"u" + std::to_string(i % 97) + "\"";
+    if (i % 3 == 0) out += ", \"flag\": true";
+    if (i % 5 == tenant % 5)
+      out += ", \"tags\": [" + std::to_string(i) + ", \"t\"]";
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace jsonsi;
+  bench::BenchJsonScope bench_json("server");
+
+  const uint64_t sessions =
+      bench::EnvU64("JSI_SERVER_SESSIONS", bench::BenchQuick() ? 2 : 8);
+  const uint64_t batches =
+      bench::EnvU64("JSI_SERVER_BATCHES", bench::BenchQuick() ? 4 : 16);
+  const uint64_t lines =
+      bench::EnvU64("JSI_SERVER_LINES", bench::BenchQuick() ? 200 : 2000);
+
+  server::InferenceServer srv;
+  if (Status st = srv.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::atomic<uint64_t> total_bytes{0};
+  std::atomic<int> failures{0};
+  Stopwatch timer;
+  std::vector<std::thread> tenants;
+  tenants.reserve(sessions);
+  for (uint64_t t = 0; t < sessions; ++t) {
+    tenants.emplace_back([&, t] {
+      server::HttpConnection conn;
+      if (!conn.Connect("127.0.0.1", srv.port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto created = conn.Call("POST", "/v1/sessions", "{}");
+      if (!created.ok() || created.value().status != 201) {
+        failures.fetch_add(1);
+        return;
+      }
+      const std::string& body = created.value().body;
+      size_t pos = body.find("\"session\": \"") + 12;
+      const std::string id = body.substr(pos, body.find('"', pos) - pos);
+      for (uint64_t b = 0; b < batches; ++b) {
+        const std::string batch = MakeBatch(t, lines, b * lines);
+        total_bytes.fetch_add(batch.size(), std::memory_order_relaxed);
+        auto resp = conn.Call("POST", "/v1/sessions/" + id + "/ingest",
+                              batch, "application/x-ndjson");
+        if (!resp.ok() || resp.value().status != 200) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+      auto schema = conn.Call("GET", "/v1/sessions/" + id + "/schema");
+      if (!schema.ok() || schema.value().status != 200) failures.fetch_add(1);
+      conn.Call("DELETE", "/v1/sessions/" + id);
+    });
+  }
+  for (auto& t : tenants) t.join();
+  const double seconds = timer.ElapsedSeconds();
+  Status stopped = srv.Stop();
+
+  if (failures.load() != 0 || !stopped.ok()) {
+    std::fprintf(stderr, "server bench: %d tenant failures, stop: %s\n",
+                 failures.load(), stopped.ToString().c_str());
+    return 1;
+  }
+
+  const uint64_t records = sessions * batches * lines;
+  const double mb = static_cast<double>(total_bytes.load()) / (1024.0 * 1024.0);
+  std::printf("Server throughput: %llu sessions x %llu batches x %llu lines\n",
+              static_cast<unsigned long long>(sessions),
+              static_cast<unsigned long long>(batches),
+              static_cast<unsigned long long>(lines));
+  std::printf("%-12s | %12s | %10s | %12s | %10s\n", "wall (s)", "records",
+              "MB", "records/s", "MB/s");
+  std::printf("-------------------------------------------------------------"
+              "-----\n");
+  std::printf("%-12.3f | %12llu | %10.2f | %12.0f | %10.2f\n", seconds,
+              static_cast<unsigned long long>(records), mb,
+              static_cast<double>(records) / seconds, mb / seconds);
+  return 0;
+}

@@ -1,0 +1,396 @@
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "support/string_util.h"
+
+namespace jsonsi::server {
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+// Blocking-with-poll receive of more bytes into `buffer`. Returns:
+//   >0  bytes appended
+//    0  peer closed
+//   -1  stop tripped and grace policy says give up (idle or expired)
+//   -2  socket error
+int ReceiveMore(int fd, const HttpLimits& limits,
+                const std::atomic<bool>* stop, bool request_started,
+                int* grace_spent_ms, std::string* buffer) {
+  for (;;) {
+    const bool stopping =
+        stop != nullptr && stop->load(std::memory_order_acquire);
+    if (stopping) {
+      // Idle connection: nothing of a request read yet — drop immediately.
+      if (!request_started) return -1;
+      // Mid-request: allow a bounded grace for the rest to arrive.
+      if (*grace_spent_ms >= limits.drain_grace_ms) return -1;
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    int ready = poll(&pfd, 1, limits.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return -2;
+    }
+    if (ready == 0) {
+      if (stopping) *grace_spent_ms += limits.poll_interval_ms;
+      continue;
+    }
+    char chunk[16 * 1024];
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return -2;
+    }
+    if (n == 0) return 0;
+    buffer->append(chunk, static_cast<size_t>(n));
+    return static_cast<int>(n);
+  }
+}
+
+Status SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send failed: ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Parses "Name: value" header lines in [begin, end) of `text` into `headers`
+// (names lowercased, values trimmed). Lines are CRLF-separated.
+Status ParseHeaderLines(std::string_view text,
+                        std::map<std::string, std::string>* headers) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("malformed header line: " +
+                                std::string(line.substr(0, 64)));
+    }
+    (*headers)[ToLower(Trim(line.substr(0, colon)))] =
+        std::string(Trim(line.substr(colon + 1)));
+  }
+  return Status::OK();
+}
+
+Result<size_t> ParseContentLength(
+    const std::map<std::string, std::string>& headers, size_t max_bytes) {
+  auto it = headers.find("content-length");
+  if (it == headers.end()) {
+    if (headers.count("transfer-encoding")) {
+      return Status::ParseError("chunked transfer encoding not supported");
+    }
+    return size_t{0};
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::ParseError("bad content-length: " + it->second);
+  }
+  if (max_bytes != 0 && v > max_bytes) {
+    return Status::OutOfRange("body of " + std::to_string(v) +
+                              " bytes exceeds the " +
+                              std::to_string(max_bytes) + "-byte limit");
+  }
+  return static_cast<size_t>(v);
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Path() const {
+  std::string_view t = target;
+  size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+std::string_view HttpRequest::Query() const {
+  std::string_view t = target;
+  size_t q = t.find('?');
+  return q == std::string_view::npos ? std::string_view() : t.substr(q + 1);
+}
+
+std::string HttpRequest::QueryParam(std::string_view key) const {
+  for (std::string_view pair : Split(Query(), '&')) {
+    size_t eq = pair.find('=');
+    std::string_view name =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (name != key) continue;
+    return eq == std::string_view::npos ? std::string("")
+                                        : std::string(pair.substr(eq + 1));
+  }
+  return "";
+}
+
+Result<HttpRequest> ReadHttpRequest(int fd, const HttpLimits& limits,
+                                    const std::atomic<bool>* stop) {
+  std::string buffer;
+  int grace_spent_ms = 0;
+  size_t header_end;
+  // Phase 1: accumulate until the blank line terminating the headers.
+  for (;;) {
+    header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buffer.size() > limits.max_header_bytes) {
+      return Status::OutOfRange("request headers exceed " +
+                                std::to_string(limits.max_header_bytes) +
+                                " bytes");
+    }
+    int got = ReceiveMore(fd, limits, stop, /*request_started=*/
+                          !buffer.empty(), &grace_spent_ms, &buffer);
+    if (got == 0) {
+      if (buffer.empty()) return Status::NotFound("connection closed");
+      return Status::ParseError("connection closed mid-request");
+    }
+    if (got == -1) return Status::NotFound("connection drained for shutdown");
+    if (got == -2) {
+      return Status::Internal(std::string("recv failed: ") +
+                              std::strerror(errno));
+    }
+  }
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  size_t line_end = buffer.find("\r\n");
+  std::string_view request_line =
+      std::string_view(buffer).substr(0, line_end);
+  std::vector<std::string_view> parts;
+  for (std::string_view p : Split(request_line, ' ')) {
+    if (!p.empty()) parts.push_back(p);
+  }
+  if (parts.size() != 3 || parts[2].substr(0, 5) != "HTTP/") {
+    return Status::ParseError("malformed request line: " +
+                              std::string(request_line.substr(0, 128)));
+  }
+  HttpRequest request;
+  request.method = std::string(parts[0]);
+  request.target = std::string(parts[1]);
+  const bool http11 = parts[2] == "HTTP/1.1";
+  JSONSI_RETURN_IF_ERROR(ParseHeaderLines(
+      std::string_view(buffer).substr(line_end + 2,
+                                      header_end - (line_end + 2)),
+      &request.headers));
+
+  auto connection = request.headers.find("connection");
+  if (connection != request.headers.end()) {
+    std::string value = ToLower(connection->second);
+    request.keep_alive = value != "close" && (http11 || value == "keep-alive");
+  } else {
+    request.keep_alive = http11;
+  }
+
+  // Phase 2: the body, Content-Length bytes past the header terminator.
+  Result<size_t> length =
+      ParseContentLength(request.headers, limits.max_body_bytes);
+  if (!length.ok()) return length.status();
+  const size_t body_begin = header_end + 4;
+  while (buffer.size() - body_begin < length.value()) {
+    int got = ReceiveMore(fd, limits, stop, /*request_started=*/true,
+                          &grace_spent_ms, &buffer);
+    if (got == 0) return Status::ParseError("connection closed mid-body");
+    if (got == -1) return Status::NotFound("connection drained for shutdown");
+    if (got == -2) {
+      return Status::Internal(std::string("recv failed: ") +
+                              std::strerror(errno));
+    }
+  }
+  request.body = buffer.substr(body_begin, length.value());
+  return request;
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Content Too Large";
+    case 422: return "Unprocessable Content";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Bad Request";
+  }
+}
+
+Status WriteHttpResponse(int fd, const HttpResponse& response,
+                         bool keep_alive) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     HttpStatusText(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  head += "\r\n";
+  JSONSI_RETURN_IF_ERROR(SendAll(fd, head));
+  return SendAll(fd, response.body);
+}
+
+// -- Client ----------------------------------------------------------------
+
+HttpConnection::~HttpConnection() { Close(); }
+
+void HttpConnection::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpConnection::Connect(const std::string& host, uint16_t port) {
+  Close();
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    Status st = Status::Internal("connect to " + host + ":" +
+                                 std::to_string(port) + " failed: " +
+                                 std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  host_ = host;
+  port_ = port;
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpConnection::Call(const std::string& method,
+                                          const std::string& target,
+                                          const std::string& body,
+                                          const std::string& content_type) {
+  if (fd_ < 0 && !host_.empty()) {
+    // The server closed the previous exchange; transparently reconnect.
+    JSONSI_RETURN_IF_ERROR(Connect(host_, port_));
+  }
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  std::string head = method + " " + target + " HTTP/1.1\r\n";
+  head += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  if (!body.empty() || method == "POST") {
+    head += "Content-Type: " + content_type + "\r\n";
+    head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  head += "\r\n";
+  Status sent = SendAll(fd_, head);
+  if (sent.ok()) sent = SendAll(fd_, body);
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+
+  // Response: status line + headers + Content-Length body, read through the
+  // same buffered machinery as the server side.
+  std::string buffer;
+  HttpLimits limits;
+  int grace = 0;
+  size_t header_end;
+  for (;;) {
+    header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    int got = ReceiveMore(fd_, limits, nullptr, !buffer.empty(), &grace,
+                          &buffer);
+    if (got <= 0) {
+      Close();
+      return Status::ParseError("connection closed reading response");
+    }
+  }
+  size_t line_end = buffer.find("\r\n");
+  std::string_view status_line = std::string_view(buffer).substr(0, line_end);
+  if (status_line.substr(0, 5) != "HTTP/" || status_line.size() < 12) {
+    Close();
+    return Status::ParseError("malformed status line: " +
+                              std::string(status_line.substr(0, 64)));
+  }
+  HttpResponse response;
+  response.status = std::atoi(std::string(status_line.substr(9, 3)).c_str());
+  std::map<std::string, std::string> headers;
+  Status parsed = ParseHeaderLines(
+      std::string_view(buffer).substr(line_end + 2,
+                                      header_end - (line_end + 2)),
+      &headers);
+  if (!parsed.ok()) {
+    Close();
+    return parsed;
+  }
+  auto ct = headers.find("content-type");
+  if (ct != headers.end()) response.content_type = ct->second;
+  Result<size_t> length = ParseContentLength(headers, /*max_bytes=*/0);
+  if (!length.ok()) {
+    Close();
+    return length.status();
+  }
+  const size_t body_begin = header_end + 4;
+  while (buffer.size() - body_begin < length.value()) {
+    int got = ReceiveMore(fd_, limits, nullptr, true, &grace, &buffer);
+    if (got <= 0) {
+      Close();
+      return Status::ParseError("connection closed reading response body");
+    }
+  }
+  response.body = buffer.substr(body_begin, length.value());
+  auto connection = headers.find("connection");
+  if (connection != headers.end() && ToLower(connection->second) == "close") {
+    Close();
+  }
+  return response;
+}
+
+Result<HttpResponse> HttpCall(const std::string& host, uint16_t port,
+                              const std::string& method,
+                              const std::string& target,
+                              const std::string& body,
+                              const std::string& content_type) {
+  HttpConnection connection;
+  JSONSI_RETURN_IF_ERROR(connection.Connect(host, port));
+  return connection.Call(method, target, body, content_type);
+}
+
+}  // namespace jsonsi::server

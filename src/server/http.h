@@ -1,0 +1,121 @@
+// Minimal blocking-socket HTTP/1.1 — just enough protocol for a local
+// schema-inference endpoint, with zero third-party dependencies.
+//
+// Server side: ReadHttpRequest pulls one request off a connected socket
+// (request line, headers, Content-Length body; no chunked encoding) and
+// WriteHttpResponse sends one response. Reads poll in short slices so a
+// drain flag can interrupt an *idle* keep-alive connection without cutting
+// off a request that is already on the wire — the server's graceful-
+// shutdown contract is "finish what was started, accept nothing new".
+//
+// Client side: HttpConnection is the matching keep-alive client used by the
+// integration tests and the throughput bench, plus a one-shot HttpCall
+// convenience. Both sides speak through the same parser, so the tests
+// exercise exactly the framing the server emits.
+
+#ifndef JSONSI_SERVER_HTTP_H_
+#define JSONSI_SERVER_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+
+namespace jsonsi::server {
+
+/// One parsed request. Header names are lowercased; values are trimmed.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", "DELETE", ...
+  std::string target;   // origin-form: path + optional "?query"
+  std::string body;
+  std::map<std::string, std::string> headers;
+  /// HTTP/1.1 keep-alive default, overridden by a "connection: close"
+  /// header (or "connection: keep-alive" on HTTP/1.0).
+  bool keep_alive = true;
+
+  /// Target split helpers: path without the query string, and the raw query.
+  std::string_view Path() const;
+  std::string_view Query() const;
+  /// Value of `key` in the query string ("" when absent); no %-decoding —
+  /// the API's identifiers are plain tokens.
+  std::string QueryParam(std::string_view key) const;
+};
+
+/// One response to serialize.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Read-side limits and pacing.
+struct HttpLimits {
+  size_t max_header_bytes = 64 * 1024;
+  /// Per-request body cap; an over-limit request is rejected (413) before
+  /// buffering the body. Ingest batches stream as multiple requests.
+  size_t max_body_bytes = 64ull << 20;
+  /// Poll slice while waiting for bytes; bounds drain-flag latency.
+  int poll_interval_ms = 100;
+  /// Once `stop` is observed mid-request, how long an in-flight request may
+  /// keep trickling in before the connection is abandoned.
+  int drain_grace_ms = 5000;
+};
+
+/// Reads one request from `fd`. Status taxonomy:
+///   NotFound     — clean end of conversation: peer closed before sending a
+///                  byte, or `stop` tripped while the connection was idle.
+///                  Close the socket, nothing to answer.
+///   ParseError   — malformed framing (answer 400 and close).
+///   OutOfRange   — header/body over limits (answer 413 and close).
+///   Internal     — socket error.
+Result<HttpRequest> ReadHttpRequest(int fd, const HttpLimits& limits,
+                                    const std::atomic<bool>* stop = nullptr);
+
+/// Serializes one response. `keep_alive` controls the Connection header —
+/// it must match what the handler will actually do with the socket.
+Status WriteHttpResponse(int fd, const HttpResponse& response,
+                         bool keep_alive);
+
+/// "OK", "Not Found", ... for the status line (400 for unknown codes).
+const char* HttpStatusText(int status);
+
+/// Keep-alive HTTP/1.1 client over one TCP connection.
+class HttpConnection {
+ public:
+  HttpConnection() = default;
+  ~HttpConnection();
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost").
+  Status Connect(const std::string& host, uint16_t port);
+  /// Sends one request and reads the response. The connection stays open
+  /// for the next call unless the server answered "connection: close".
+  Result<HttpResponse> Call(const std::string& method,
+                            const std::string& target,
+                            const std::string& body = "",
+                            const std::string& content_type =
+                                "application/json");
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string host_;
+  uint16_t port_ = 0;
+};
+
+/// One-shot convenience: connect, send, read, close.
+Result<HttpResponse> HttpCall(const std::string& host, uint16_t port,
+                              const std::string& method,
+                              const std::string& target,
+                              const std::string& body = "",
+                              const std::string& content_type =
+                                  "application/json");
+
+}  // namespace jsonsi::server
+
+#endif  // JSONSI_SERVER_HTTP_H_

@@ -1,0 +1,374 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "export/json_schema.h"
+#include "support/string_util.h"
+#include "telemetry/telemetry.h"
+
+namespace jsonsi::server {
+namespace {
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  JSONSI_COUNTER("server.http_errors").Increment();
+  std::string body = "{\"error\": ";
+  body.push_back('"');
+  AppendJsonEscaped(message, &body);
+  body.append("\"}\n");
+  return HttpResponse{status, "application/json", std::move(body)};
+}
+
+void AppendField(const char* key, const std::string& raw_value,
+                 std::string* out) {
+  if (out->back() != '{') out->append(", ");
+  out->push_back('"');
+  out->append(key);
+  out->append("\": ");
+  out->append(raw_value);
+}
+
+void AppendStrField(const char* key, std::string_view value,
+                    std::string* out) {
+  std::string quoted = "\"";
+  AppendJsonEscaped(value, &quoted);
+  quoted.push_back('"');
+  AppendField(key, quoted, out);
+}
+
+// Shared accounting block of the ingest/info/close responses.
+void AppendSessionAccounting(const SessionInfo& info, std::string* out) {
+  AppendField("records", std::to_string(info.records), out);
+  AppendField("lines_read", std::to_string(info.ingest.lines_read), out);
+  AppendField("blank_lines", std::to_string(info.ingest.blank_lines), out);
+  AppendField("malformed_lines",
+              std::to_string(info.ingest.malformed_lines), out);
+  AppendField("bytes_consumed",
+              std::to_string(info.ingest.bytes_consumed), out);
+  AppendField("error_rate", FormatJsonNumber(info.ingest.ErrorRate()), out);
+  AppendField("aborted", info.aborted ? "true" : "false", out);
+  if (info.aborted) AppendStrField("error", info.abort_message, out);
+  AppendField("durable", info.durable ? "true" : "false", out);
+  AppendField("memory_degraded", info.memory_degraded ? "true" : "false",
+              out);
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const ServerOptions& options)
+    : options_(options) {}
+
+InferenceServer::~InferenceServer() { Stop(); }
+
+Status InferenceServer::Start() {
+  if (options_.enable_telemetry) telemetry::SetEnabled(true);
+  if (!options_.repository_path.empty()) {
+    auto loaded =
+        repository::SchemaRepository::LoadFromFile(options_.repository_path);
+    // A missing file means a fresh repository; any other failure is real.
+    if (loaded.ok()) {
+      repo_ = std::move(loaded).value();
+    } else if (loaded.status().code() == StatusCode::kNotFound) {
+      repo_.emplace();
+    } else {
+      return loaded.status();
+    }
+  }
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  const std::string bind_host = options_.bind_address == "localhost"
+                                    ? "127.0.0.1"
+                                    : options_.bind_address;
+  if (inet_pton(AF_INET, bind_host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("not an IPv4 bind address: " +
+                                   options_.bind_address);
+  }
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::Internal("bind to " + options_.bind_address + ":" +
+                                 std::to_string(options_.port) +
+                                 " failed: " + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  if (listen(fd, 128) != 0) {
+    Status st =
+        Status::Internal(std::string("listen failed: ") + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  struct sockaddr_in bound = {};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) !=
+      0) {
+    Status st = Status::Internal(std::string("getsockname failed: ") +
+                                 std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+
+  size_t threads = options_.num_threads
+                       ? options_.num_threads
+                       : std::max(2u, std::thread::hardware_concurrency());
+  pool_ = std::make_unique<engine::ThreadPool>(threads);
+  stopping_.store(false, std::memory_order_release);
+  stopped_ = false;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+Status InferenceServer::Stop() {
+  if (stopped_) return Status::OK();
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Drain: every connection handler observes stopping_, finishes the
+  // request it already started, and closes. Wait() returns once the last
+  // one has.
+  if (pool_) pool_->Wait();
+  // Now the sessions are quiescent; persist every durable one.
+  return sessions_.CheckpointAll();
+}
+
+void InferenceServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    int ready = poll(&pfd, 1, 200);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    JSONSI_COUNTER("server.connections").Increment();
+    pool_->Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void InferenceServer::HandleConnection(int fd) {
+  for (;;) {
+    Result<HttpRequest> request =
+        ReadHttpRequest(fd, options_.http, &stopping_);
+    if (!request.ok()) {
+      // NotFound = clean close / idle drain: nothing left to answer.
+      if (request.status().code() == StatusCode::kParseError) {
+        WriteHttpResponse(fd, ErrorResponse(400, request.status().message()),
+                          /*keep_alive=*/false);
+      } else if (request.status().code() == StatusCode::kOutOfRange) {
+        WriteHttpResponse(fd, ErrorResponse(413, request.status().message()),
+                          /*keep_alive=*/false);
+      }
+      break;
+    }
+    JSONSI_COUNTER("server.requests").Increment();
+    JSONSI_GAUGE("server.requests_inflight").Add(1);
+    HttpResponse response = Route(request.value());
+    JSONSI_GAUGE("server.requests_inflight").Add(-1);
+    const bool keep_alive = request.value().keep_alive &&
+                            !stopping_.load(std::memory_order_acquire);
+    Status written = WriteHttpResponse(fd, response, keep_alive);
+    if (!written.ok() || !keep_alive) break;
+  }
+  close(fd);
+}
+
+HttpResponse InferenceServer::Route(const HttpRequest& request) {
+  const std::string_view path = request.Path();
+  if (path == "/healthz") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "healthz is GET-only");
+    }
+    return HttpResponse{200, "application/json", "{\"status\": \"ok\"}\n"};
+  }
+  if (path == "/metrics") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "metrics is GET-only");
+    }
+    return MetricsResponse();
+  }
+  if (path == "/v1/sessions") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST to create a session");
+    }
+    return CreateSession(request);
+  }
+  // /v1/sessions/{id}[/verb]
+  constexpr std::string_view kPrefix = "/v1/sessions/";
+  if (path.substr(0, kPrefix.size()) == kPrefix) {
+    std::string_view rest = path.substr(kPrefix.size());
+    size_t slash = rest.find('/');
+    std::string id(rest.substr(0, slash));
+    std::string_view verb =
+        slash == std::string_view::npos ? std::string_view() : rest.substr(
+            slash + 1);
+    if (id.empty()) return ErrorResponse(404, "missing session id");
+    if (verb.empty()) {
+      if (request.method == "DELETE") return CloseSession(id);
+      if (request.method != "GET") {
+        return ErrorResponse(405, "use GET or DELETE on a session");
+      }
+      std::shared_ptr<Session> session = sessions_.Find(id);
+      if (!session) return ErrorResponse(404, "no session " + id);
+      return SessionInfoResponse(session);
+    }
+    std::shared_ptr<Session> session = sessions_.Find(id);
+    if (!session) return ErrorResponse(404, "no session " + id);
+    if (verb == "ingest") {
+      if (request.method != "POST") {
+        return ErrorResponse(405, "ingest is POST-only");
+      }
+      return SessionIngest(session, request);
+    }
+    if (verb == "schema") {
+      if (request.method != "GET") {
+        return ErrorResponse(405, "schema is GET-only");
+      }
+      return SessionSchema(session, request);
+    }
+    return ErrorResponse(404, "unknown session endpoint: " +
+                                  std::string(verb));
+  }
+  return ErrorResponse(404, "unknown path: " + std::string(path));
+}
+
+HttpResponse InferenceServer::CreateSession(const HttpRequest& request) {
+  Result<SessionConfig> config = ParseSessionConfig(request.body);
+  if (!config.ok()) return ErrorResponse(400, config.status().message());
+  if (!config.value().source.empty() && !repo_.has_value()) {
+    return ErrorResponse(
+        400, "session names a \"source\" but the server runs without "
+             "--repo; publishing is disabled");
+  }
+  Result<std::shared_ptr<Session>> session =
+      sessions_.Create(config.value());
+  if (!session.ok()) return ErrorResponse(400, session.status().message());
+  JSONSI_GAUGE("server.sessions_active")
+      .Set(static_cast<int64_t>(sessions_.size()));
+  std::string body = "{";
+  AppendStrField("session", session.value()->id(), &body);
+  const SessionInfo info = session.value()->Info();
+  AppendField("resumed_records", std::to_string(info.records), &body);
+  AppendField("durable", info.durable ? "true" : "false", &body);
+  body.append("}\n");
+  return HttpResponse{201, "application/json", std::move(body)};
+}
+
+HttpResponse InferenceServer::SessionIngest(
+    const std::shared_ptr<Session>& session, const HttpRequest& request) {
+  if (session->Info().aborted) {
+    return ErrorResponse(409, "session " + session->id() +
+                                  " is frozen by an earlier policy abort");
+  }
+  const uint64_t records_before = session->Info().records;
+  Status st = session->Ingest(request.body);
+  SessionInfo info = session->Info();
+  JSONSI_COUNTER("server.ingest_records")
+      .Add(info.records - records_before);
+  std::string body = "{";
+  AppendStrField("session", session->id(), &body);
+  AppendSessionAccounting(info, &body);
+  body.append("}\n");
+  // A policy abort is a tenant-data problem, not a server failure: 422 with
+  // the full accounting, mirroring the CLI's stderr report + exit 2.
+  return HttpResponse{st.ok() ? 200 : 422, "application/json",
+                      std::move(body)};
+}
+
+HttpResponse InferenceServer::SessionSchema(
+    const std::shared_ptr<Session>& session, const HttpRequest& request) {
+  const bool pretty = request.QueryParam("pretty") == "1";
+  const std::string format = request.QueryParam("format");
+  core::Schema schema = session->Snapshot();
+  if (format == "type") {
+    return HttpResponse{200, "text/plain; charset=utf-8",
+                        schema.ToString(pretty) + "\n"};
+  }
+  if (!format.empty() && format != "json-schema") {
+    return ErrorResponse(400, "unknown format: " + format +
+                                  " (want type | json-schema)");
+  }
+  return HttpResponse{200, "application/schema+json",
+                      exporter::ToJsonSchemaText(*schema.type, pretty) +
+                          "\n"};
+}
+
+HttpResponse InferenceServer::SessionInfoResponse(
+    const std::shared_ptr<Session>& session) {
+  SessionInfo info = session->Info();
+  std::string body = "{";
+  AppendStrField("session", info.id, &body);
+  AppendSessionAccounting(info, &body);
+  body.append("}\n");
+  return HttpResponse{200, "application/json", std::move(body)};
+}
+
+HttpResponse InferenceServer::CloseSession(const std::string& id) {
+  Result<std::shared_ptr<Session>> removed = sessions_.Remove(id);
+  if (!removed.ok()) return ErrorResponse(404, removed.status().message());
+  JSONSI_GAUGE("server.sessions_active")
+      .Set(static_cast<int64_t>(sessions_.size()));
+  const std::shared_ptr<Session>& session = removed.value();
+  SessionInfo info = session->Info();
+  std::string body = "{";
+  AppendStrField("closed", id, &body);
+  AppendField("records", std::to_string(info.records), &body);
+  Status checkpointed = session->Checkpoint();
+  if (!checkpointed.ok()) {
+    AppendStrField("checkpoint_error", checkpointed.message(), &body);
+  }
+  if (!session->config().source.empty() && repo_.has_value()) {
+    core::Schema schema = session->Snapshot();
+    std::lock_guard<std::mutex> lock(repo_mu_);
+    Status published = repo_->RegisterBatch(session->config().source,
+                                            schema.type, info.records);
+    if (published.ok()) {
+      published = repo_->SaveToFile(options_.repository_path);
+    }
+    if (published.ok()) {
+      const repository::SchemaVersion* current =
+          repo_->Current(session->config().source);
+      AppendStrField("published_source", session->config().source, &body);
+      AppendField("published_version",
+                  std::to_string(current ? current->version : 0), &body);
+      JSONSI_COUNTER("server.publishes").Increment();
+    } else {
+      AppendStrField("publish_error", published.message(), &body);
+    }
+  }
+  body.append("}\n");
+  return HttpResponse{200, "application/json", std::move(body)};
+}
+
+HttpResponse InferenceServer::MetricsResponse() {
+  JSONSI_GAUGE("server.sessions_active")
+      .Set(static_cast<int64_t>(sessions_.size()));
+  return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                      telemetry::GlobalMetricsPrometheus()};
+}
+
+}  // namespace jsonsi::server

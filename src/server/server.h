@@ -1,0 +1,115 @@
+// `jsi serve` — the long-running multi-tenant schema-inference daemon.
+//
+// The ROADMAP's "inference as a service" unlock: instead of one-shot CLI
+// runs, a resident process holds many tenants' StreamingInferencer state and
+// exposes it over a local HTTP/1.1 endpoint. An accept thread hands each
+// connection to the existing engine::ThreadPool; handlers serialize per
+// session and run concurrently across sessions, all sharing the process-
+// global TypeInterner + FuseCache so tenants amortize each other's
+// structure.
+//
+// Protocol (docs/server.md):
+//   POST   /v1/sessions               create a session (JSON config body)
+//   POST   /v1/sessions/{id}/ingest   feed a JSONL batch (streamed through
+//                                     AddJsonLines / AddJsonLinesParallel)
+//   GET    /v1/sessions/{id}          session accounting (records, stats)
+//   GET    /v1/sessions/{id}/schema   JSON Schema (?format=type for the
+//                                     paper syntax; ?pretty=1)
+//   DELETE /v1/sessions/{id}          close (checkpoint durable state,
+//                                     publish to the repository when named)
+//   GET    /metrics                   live Prometheus scrape of the global
+//                                     telemetry registry
+//   GET    /healthz                   liveness probe
+//
+// Graceful shutdown: Stop() (wired to SIGINT/SIGTERM by the CLI through
+// server/shutdown.h) stops accepting, lets every in-flight request finish,
+// then checkpoints all durable sessions — a SIGTERM mid-ingest loses no
+// checkpointed session state.
+
+#ifndef JSONSI_SERVER_SERVER_H_
+#define JSONSI_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "engine/thread_pool.h"
+#include "repository/schema_repository.h"
+#include "server/http.h"
+#include "server/session.h"
+#include "support/status.h"
+
+namespace jsonsi::server {
+
+/// Daemon configuration.
+struct ServerOptions {
+  /// Listen address; loopback by default — the daemon trusts its callers.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back from port()).
+  uint16_t port = 0;
+  /// Connection-handler pool size (0 = hardware concurrency). Each worker
+  /// owns one connection at a time, so this bounds concurrent tenants.
+  size_t num_threads = 0;
+  /// Path of a SchemaRepository to publish named sessions into on close
+  /// ("" = publishing disabled). Loaded at Start, saved after each publish.
+  std::string repository_path;
+  /// HTTP framing limits (body cap, drain grace).
+  HttpLimits http;
+  /// Turn the telemetry layer on at Start so /metrics has live counters.
+  bool enable_telemetry = true;
+};
+
+/// The daemon. Start() returns immediately; Stop() drains and checkpoints.
+class InferenceServer {
+ public:
+  explicit InferenceServer(const ServerOptions& options = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+
+  /// The bound port (resolves port 0 to the kernel-assigned one).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, finish in-flight requests, checkpoint
+  /// durable sessions. Idempotent; returns the first checkpoint failure.
+  Status Stop();
+
+  /// The live session table (exposed for tests and the CLI's exit report).
+  SessionManager& sessions() { return sessions_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  HttpResponse Route(const HttpRequest& request);
+  HttpResponse CreateSession(const HttpRequest& request);
+  HttpResponse SessionIngest(const std::shared_ptr<Session>& session,
+                             const HttpRequest& request);
+  HttpResponse SessionSchema(const std::shared_ptr<Session>& session,
+                             const HttpRequest& request);
+  HttpResponse SessionInfoResponse(const std::shared_ptr<Session>& session);
+  HttpResponse CloseSession(const std::string& id);
+  HttpResponse MetricsResponse();
+
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+  std::thread accept_thread_;
+  std::unique_ptr<engine::ThreadPool> pool_;
+  SessionManager sessions_;
+  // Publish target; present only when repository_path was configured.
+  std::mutex repo_mu_;
+  std::optional<repository::SchemaRepository> repo_;
+};
+
+}  // namespace jsonsi::server
+
+#endif  // JSONSI_SERVER_SERVER_H_

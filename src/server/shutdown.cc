@@ -1,0 +1,104 @@
+#include "server/shutdown.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <mutex>
+
+namespace jsonsi::server {
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+// Self-pipe; write end is O_NONBLOCK so a handler never blocks on a full
+// pipe (one unread byte already means "latch tripped").
+std::atomic<int> g_wake_read_fd{-1};
+std::atomic<int> g_wake_write_fd{-1};
+std::once_flag g_pipe_once;
+std::once_flag g_handlers_once;
+
+void EnsurePipe() {
+  std::call_once(g_pipe_once, [] {
+    int fds[2];
+    if (pipe(fds) != 0) return;  // latch still works via the flag alone
+    fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+    fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    g_wake_read_fd.store(fds[0], std::memory_order_release);
+    g_wake_write_fd.store(fds[1], std::memory_order_release);
+  });
+}
+
+// The only code a signal handler runs: set the flag, poke the pipe.
+void TripLatch() {
+  g_shutdown_requested.store(true, std::memory_order_release);
+  int fd = g_wake_write_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    char byte = 1;
+    // Best effort; EAGAIN means a wake byte is already pending.
+    [[maybe_unused]] ssize_t n = write(fd, &byte, 1);
+  }
+}
+
+void HandleSignal(int /*signum*/) { TripLatch(); }
+
+}  // namespace
+
+void InstallShutdownSignalHandlers() {
+  EnsurePipe();
+  std::call_once(g_handlers_once, [] {
+    struct sigaction sa = {};
+    sa.sa_handler = HandleSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+  });
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_acquire);
+}
+
+void RequestShutdown() {
+  EnsurePipe();
+  TripLatch();
+}
+
+int ShutdownWakeFd() {
+  EnsurePipe();
+  return g_wake_read_fd.load(std::memory_order_acquire);
+}
+
+void WaitForShutdown() {
+  EnsurePipe();
+  while (!ShutdownRequested()) {
+    int fd = g_wake_read_fd.load(std::memory_order_acquire);
+    if (fd < 0) {
+      // No pipe (creation failed): degrade to a flag poll.
+      struct timespec ts = {0, 50 * 1000 * 1000};
+      nanosleep(&ts, nullptr);
+      continue;
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    poll(&pfd, 1, 200);
+  }
+}
+
+void ResetShutdownForTesting() {
+  g_shutdown_requested.store(false, std::memory_order_release);
+  int fd = g_wake_read_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    // Drain pending wake bytes so the next WaitForShutdown really blocks.
+    char buf[16];
+    int flags = fcntl(fd, F_GETFL);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    while (read(fd, buf, sizeof(buf)) > 0) {
+    }
+    fcntl(fd, F_SETFL, flags);
+  }
+}
+
+}  // namespace jsonsi::server

@@ -1,0 +1,44 @@
+// Process-wide graceful-shutdown latch shared by every long-running entry
+// point: `jsi serve` drains its connections and checkpoints durable sessions
+// when the latch fires, and a checkpointed `jsi infer` saves a final
+// checkpoint between batches instead of losing the run.
+//
+// The latch is a one-way atomic flag plus a self-pipe. Signal handlers for
+// SIGINT/SIGTERM only set the flag and write one byte to the pipe (both
+// async-signal-safe); everything else — draining requests, saving
+// checkpoints, printing reports — happens on normal threads that observe
+// ShutdownRequested() or poll ShutdownWakeFd(). RequestShutdown() trips the
+// same latch programmatically, so tests and embedders exercise the exact
+// drain path a real signal takes.
+
+#ifndef JSONSI_SERVER_SHUTDOWN_H_
+#define JSONSI_SERVER_SHUTDOWN_H_
+
+namespace jsonsi::server {
+
+/// Installs SIGINT/SIGTERM handlers that trip the shutdown latch.
+/// Idempotent; first call creates the self-pipe.
+void InstallShutdownSignalHandlers();
+
+/// True once a shutdown signal was delivered or RequestShutdown() ran.
+bool ShutdownRequested();
+
+/// Trips the latch programmatically (same observable effect as a signal).
+void RequestShutdown();
+
+/// Read end of the self-pipe: becomes readable when the latch trips, so
+/// event loops can poll({server_fd, ShutdownWakeFd()}) instead of spinning.
+/// Creates the pipe on first use.
+int ShutdownWakeFd();
+
+/// Blocks until the latch trips (poll on the self-pipe). Returns
+/// immediately when it already has.
+void WaitForShutdown();
+
+/// Re-arms the latch for the next test: clears the flag and drains the
+/// pipe. Never used in production paths — shutdown is one-way there.
+void ResetShutdownForTesting();
+
+}  // namespace jsonsi::server
+
+#endif  // JSONSI_SERVER_SHUTDOWN_H_

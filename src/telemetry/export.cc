@@ -132,6 +132,10 @@ std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+std::string GlobalMetricsPrometheus() {
+  return MetricsToPrometheus(MetricsRegistry::Global().Snapshot());
+}
+
 std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans) {
   std::string out = "{\"traceEvents\": [";
   for (size_t i = 0; i < spans.size(); ++i) {

@@ -29,6 +29,13 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot);
 /// Prometheus text format: "# TYPE jsonsi_x counter\njsonsi_x 42\n...".
 std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
 
+/// Live-scrape entry point (`GET /metrics` in `jsi serve`): snapshots the
+/// global registry *now* and renders it as Prometheus text, all in memory —
+/// no file I/O. Every call re-reads the registry, so instruments registered
+/// after an earlier render are included in the next one (asserted by
+/// telemetry_test.cc).
+std::string GlobalMetricsPrometheus();
+
 /// {"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid", "tid",
 /// "args": {"depth": d}}, ...]} — complete-event ("X") records, timestamps
 /// in microseconds.

@@ -36,6 +36,18 @@ Status FileSink::ConsumeSpans(const std::vector<SpanRecord>& spans) {
   return WriteFile(trace_path_, SpansToChromeTrace(spans));
 }
 
+Status StringSink::ConsumeMetrics(const MetricsSnapshot& snapshot) {
+  metrics_text_ = format_ == MetricsFormat::kPrometheus
+                      ? MetricsToPrometheus(snapshot)
+                      : MetricsToJson(snapshot);
+  return Status::OK();
+}
+
+Status StringSink::ConsumeSpans(const std::vector<SpanRecord>& spans) {
+  trace_json_ = SpansToChromeTrace(spans);
+  return Status::OK();
+}
+
 Status Flush(TelemetrySink& sink) {
   Status st = sink.ConsumeMetrics(MetricsRegistry::Global().Snapshot());
   Status spans = sink.ConsumeSpans(TraceRecorder::Global().Drain());

@@ -55,6 +55,30 @@ class FileSink : public TelemetrySink {
   std::string trace_path_;
 };
 
+/// Renders a flush in memory — the no-file-I/O counterpart of FileSink for
+/// embedders that *serve* telemetry (an HTTP /metrics endpoint, a test
+/// harness) instead of writing it out at process exit. The rendered text is
+/// replaced on every flush.
+class StringSink : public TelemetrySink {
+ public:
+  enum class MetricsFormat { kJson, kPrometheus };
+  explicit StringSink(MetricsFormat format = MetricsFormat::kJson)
+      : format_(format) {}
+
+  Status ConsumeMetrics(const MetricsSnapshot& snapshot) override;
+  Status ConsumeSpans(const std::vector<SpanRecord>& spans) override;
+
+  /// Last flush's metrics, rendered per the chosen format.
+  const std::string& metrics_text() const { return metrics_text_; }
+  /// Last flush's spans as Chrome trace JSON.
+  const std::string& trace_json() const { return trace_json_; }
+
+ private:
+  MetricsFormat format_;
+  std::string metrics_text_;
+  std::string trace_json_;
+};
+
 /// Snapshots the global registry and drains the global recorder into `sink`.
 /// Returns the first non-OK sink status.
 Status Flush(TelemetrySink& sink);

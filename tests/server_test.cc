@@ -1,0 +1,534 @@
+// Integration tests for the `jsi serve` daemon (src/server/).
+//
+// Every test starts a real InferenceServer on an ephemeral port and drives
+// it through the real HTTP client, so the suite exercises exactly the wire
+// protocol a tenant sees. The load-bearing assertions are schema parity:
+// each session's final schema — however its input was batched, interleaved
+// with other tenants, or split across a server restart — must be
+// TypeEquals-identical (and print-identical) to a one-shot
+// SchemaInferencer run over the same concatenated input, by associativity
+// of fusion.
+
+#include <csignal>
+#include <cstdio>
+#include <atomic>
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/schema_inferencer.h"
+#include "core/streaming_inferencer.h"
+#include "gtest/gtest.h"
+#include "json/jsonl.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "server/shutdown.h"
+#include "types/type.h"
+#include "types/type_parser.h"
+
+namespace jsonsi::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+/// Deterministic JSONL dataset whose schema depends on `variant`, so the
+/// concurrent-session test can verify tenants never bleed into each other.
+std::string MakeDataset(int variant, int lines, int offset = 0) {
+  std::string out;
+  for (int i = offset; i < offset + lines; ++i) {
+    out += "{\"id\": " + std::to_string(i);
+    out += ", \"tenant_" + std::to_string(variant) + "\": \"u" +
+           std::to_string(i % 7) + "\"";
+    if (i % 3 == 0) {
+      out += ", \"flag\": " + std::string(i % 2 ? "true" : "false");
+    }
+    if (i % 4 == variant % 4)
+      out += ", \"tags\": [\"a\", " + std::to_string(i) + "]";
+    if (i % 5 == 0) {
+      out += ", \"nested\": {\"depth\": " + std::to_string(variant) + "}";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+/// Crude but sufficient extractors for the server's flat JSON responses
+/// (the tests own both sides of the wire, and values never contain escaped
+/// quotes).
+std::string JsonStrField(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  size_t pos = body.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  size_t end = body.find('"', pos);
+  return end == std::string::npos ? "" : body.substr(pos, end - pos);
+}
+
+long JsonNumField(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  size_t pos = body.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::stol(body.substr(pos + needle.size()));
+}
+
+bool JsonBoolField(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  size_t pos = body.find(needle);
+  return pos != std::string::npos &&
+         body.compare(pos + needle.size(), 4, "true") == 0;
+}
+
+/// A Prometheus text-format exposition is lines of `# ...` comments and
+/// `metric_name value` samples. Returns false (with a diagnostic) on the
+/// first line that is neither — the /metrics-parseable-mid-ingest check.
+::testing::AssertionResult PrometheusParses(const std::string& text) {
+  if (text.empty()) return ::testing::AssertionFailure() << "empty exposition";
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      return ::testing::AssertionFailure() << "unterminated last line";
+    }
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    // metric_name[{labels}] value
+    size_t name_end = 0;
+    while (name_end < line.size()) {
+      char c = line[name_end];
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+          c != ':') {
+        break;
+      }
+      ++name_end;
+    }
+    if (name_end == 0) {
+      return ::testing::AssertionFailure() << "bad metric name: " << line;
+    }
+    size_t value_start = name_end;
+    if (value_start < line.size() && line[value_start] == '{') {
+      size_t close = line.find('}', value_start);
+      if (close == std::string::npos) {
+        return ::testing::AssertionFailure() << "unclosed labels: " << line;
+      }
+      value_start = close + 1;
+    }
+    if (value_start >= line.size() || line[value_start] != ' ') {
+      return ::testing::AssertionFailure() << "no sample value: " << line;
+    }
+    if (line.find(' ', value_start + 1) != std::string::npos) {
+      return ::testing::AssertionFailure() << "trailing garbage: " << line;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// One-shot reference: the CLI pipeline over the full concatenated input.
+std::string OneShotSchemaText(const std::string& jsonl) {
+  core::SchemaInferencer inferencer;
+  auto schema = inferencer.InferFromJsonLines(jsonl);
+  EXPECT_TRUE(schema.ok()) << schema.status().message();
+  return schema.ok() ? schema.value().ToString() : std::string();
+}
+
+/// Creates a session over `conn` and returns its id (ADD_FAILURE on error).
+std::string CreateSession(HttpConnection& conn, const std::string& config) {
+  auto resp = conn.Call("POST", "/v1/sessions", config);
+  if (!resp.ok() || resp.value().status != 201) {
+    ADD_FAILURE() << "create failed: "
+                  << (resp.ok() ? resp.value().body : resp.status().message());
+    return "";
+  }
+  return JsonStrField(resp.value().body, "session");
+}
+
+/// Fetches /v1/sessions/{id}/schema?format=type and asserts it equals the
+/// one-shot schema of `full_input`, both printed and structurally.
+void ExpectSchemaMatchesOneShot(HttpConnection& conn, const std::string& id,
+                                const std::string& full_input) {
+  auto resp = conn.Call("GET", "/v1/sessions/" + id + "/schema?format=type");
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  ASSERT_EQ(resp.value().status, 200) << resp.value().body;
+  EXPECT_EQ(resp.value().content_type, "text/plain; charset=utf-8");
+
+  const std::string reference = OneShotSchemaText(full_input);
+  EXPECT_EQ(resp.value().body, reference + "\n") << "session " << id;
+
+  auto served = types::ParseType(resp.value().body);
+  auto expected = types::ParseType(reference);
+  ASSERT_TRUE(served.ok()) << served.status().message();
+  ASSERT_TRUE(expected.ok()) << expected.status().message();
+  EXPECT_TRUE(types::TypeEquals(served.value(), expected.value()));
+}
+
+// ---------------------------------------------------------------------------
+// Basic endpoint behaviour
+
+TEST(ServerTest, HealthMetricsAndErrorTaxonomy) {
+  InferenceServer server;
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);  // ephemeral port resolved
+
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.port()).ok());
+
+  auto health = conn.Call("GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().status, 200);
+
+  auto metrics = conn.Call("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value().status, 200);
+  EXPECT_EQ(metrics.value().content_type,
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_TRUE(PrometheusParses(metrics.value().body));
+
+  auto missing = conn.Call("GET", "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().status, 404);
+  EXPECT_NE(missing.value().body.find("\"error\""), std::string::npos);
+
+  auto wrong_method = conn.Call("POST", "/healthz", "{}");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method.value().status, 405);
+
+  auto bad_config = conn.Call("POST", "/v1/sessions", "{not json");
+  ASSERT_TRUE(bad_config.ok());
+  EXPECT_EQ(bad_config.value().status, 400);
+
+  auto typo = conn.Call("POST", "/v1/sessions", "{\"polcy\": \"skip\"}");
+  ASSERT_TRUE(typo.ok());
+  EXPECT_EQ(typo.value().status, 400);  // unknown keys fail loudly
+
+  auto no_session = conn.Call("POST", "/v1/sessions/s-99/ingest", "{}\n");
+  ASSERT_TRUE(no_session.ok());
+  EXPECT_EQ(no_session.value().status, 404);
+
+  // Naming a repository source without a configured repository is a 400 at
+  // create time, not a surprise at close time.
+  auto orphan = conn.Call("POST", "/v1/sessions", "{\"source\": \"logs\"}");
+  ASSERT_TRUE(orphan.ok());
+  EXPECT_EQ(orphan.value().status, 400);
+
+  EXPECT_TRUE(conn.connected());  // keep-alive survived the whole dialogue
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(ServerTest, OversizedBodyRejectedBeforeBuffering) {
+  ServerOptions options;
+  options.http.max_body_bytes = 256;
+  InferenceServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto resp = HttpCall("127.0.0.1", server.port(), "POST", "/v1/sessions",
+                       std::string(1024, ' '));
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  EXPECT_EQ(resp.value().status, 413);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Schema parity
+
+TEST(ServerTest, SingleSessionMatchesOneShot) {
+  InferenceServer server;
+  ASSERT_TRUE(server.Start().ok());
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect("localhost", server.port()).ok());
+
+  const std::string id = CreateSession(conn, "{}");
+  ASSERT_FALSE(id.empty());
+
+  std::string full;
+  for (int batch = 0; batch < 4; ++batch) {
+    const std::string text = MakeDataset(/*variant=*/1, 50, batch * 50);
+    full += text;
+    auto resp = conn.Call("POST", "/v1/sessions/" + id + "/ingest", text,
+                          "application/x-ndjson");
+    ASSERT_TRUE(resp.ok()) << resp.status().message();
+    ASSERT_EQ(resp.value().status, 200) << resp.value().body;
+    EXPECT_EQ(JsonNumField(resp.value().body, "records"), (batch + 1) * 50);
+  }
+
+  ExpectSchemaMatchesOneShot(conn, id, full);
+
+  // The default export is JSON Schema; ?pretty=1 must stay valid.
+  auto js = conn.Call("GET", "/v1/sessions/" + id + "/schema?pretty=1");
+  ASSERT_TRUE(js.ok());
+  ASSERT_EQ(js.value().status, 200);
+  EXPECT_EQ(js.value().content_type, "application/schema+json");
+  EXPECT_NE(js.value().body.find("\"type\""), std::string::npos);
+
+  auto info = conn.Call("GET", "/v1/sessions/" + id);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info.value().status, 200);
+  EXPECT_EQ(JsonNumField(info.value().body, "records"), 200);
+  EXPECT_EQ(
+      static_cast<size_t>(JsonNumField(info.value().body, "bytes_consumed")),
+      full.size());
+  EXPECT_FALSE(JsonBoolField(info.value().body, "aborted"));
+
+  auto closed = conn.Call("DELETE", "/v1/sessions/" + id);
+  ASSERT_TRUE(closed.ok());
+  ASSERT_EQ(closed.value().status, 200);
+  EXPECT_EQ(JsonStrField(closed.value().body, "closed"), id);
+
+  auto gone = conn.Call("GET", "/v1/sessions/" + id);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_EQ(gone.value().status, 404);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(ServerTest, EightConcurrentSessionsMatchOneShot) {
+  constexpr int kSessions = 8;
+  constexpr int kBatches = 4;
+  constexpr int kLinesPerBatch = 100;
+
+  InferenceServer server;
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  // A scraper hammers /metrics for the whole run: the exposition must stay
+  // parseable mid-ingest, not just at quiescence.
+  std::atomic<bool> done{false};
+  std::atomic<int> scrapes{0};
+  std::thread scraper([&] {
+    HttpConnection conn;
+    if (!conn.Connect("127.0.0.1", port).ok()) return;
+    while (!done.load(std::memory_order_relaxed)) {
+      auto resp = conn.Call("GET", "/metrics");
+      if (!resp.ok()) break;
+      EXPECT_EQ(resp.value().status, 200);
+      EXPECT_TRUE(PrometheusParses(resp.value().body));
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::string> inputs(kSessions);
+  std::vector<std::string> served(kSessions);
+  std::vector<std::thread> tenants;
+  tenants.reserve(kSessions);
+  for (int t = 0; t < kSessions; ++t) {
+    tenants.emplace_back([&, t] {
+      HttpConnection conn;
+      ASSERT_TRUE(conn.Connect("127.0.0.1", port).ok());
+      // Odd tenants ingest chunk-parallel — results must be identical.
+      const std::string config =
+          t % 2 ? "{\"threads\": 3}" : "{}";
+      const std::string id = CreateSession(conn, config);
+      ASSERT_FALSE(id.empty());
+      for (int b = 0; b < kBatches; ++b) {
+        const std::string text =
+            MakeDataset(t, kLinesPerBatch, b * kLinesPerBatch);
+        inputs[t] += text;
+        auto resp = conn.Call("POST", "/v1/sessions/" + id + "/ingest", text,
+                              "application/x-ndjson");
+        ASSERT_TRUE(resp.ok()) << resp.status().message();
+        ASSERT_EQ(resp.value().status, 200) << resp.value().body;
+      }
+      auto resp =
+          conn.Call("GET", "/v1/sessions/" + id + "/schema?format=type");
+      ASSERT_TRUE(resp.ok()) << resp.status().message();
+      ASSERT_EQ(resp.value().status, 200) << resp.value().body;
+      served[t] = resp.value().body;
+      auto closed = conn.Call("DELETE", "/v1/sessions/" + id);
+      ASSERT_TRUE(closed.ok());
+      EXPECT_EQ(closed.value().status, 200);
+    });
+  }
+  for (auto& t : tenants) t.join();
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_GT(scrapes.load(), 0);
+
+  for (int t = 0; t < kSessions; ++t) {
+    const std::string reference = OneShotSchemaText(inputs[t]);
+    EXPECT_EQ(served[t], reference + "\n") << "tenant " << t;
+    auto a = types::ParseType(served[t]);
+    auto b = types::ParseType(reference);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(types::TypeEquals(a.value(), b.value())) << "tenant " << t;
+  }
+  EXPECT_EQ(server.sessions().size(), 0u);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Policy aborts
+
+TEST(ServerTest, PolicyAbortFreezesSessionWithPreAbortSchema) {
+  InferenceServer server;
+  ASSERT_TRUE(server.Start().ok());
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.port()).ok());
+
+  const std::string config =
+      "{\"policy\": \"fail-above-rate\", \"max_error_rate\": 0.2, "
+      "\"min_lines_for_rate\": 10}";
+  const std::string id = CreateSession(conn, config);
+  ASSERT_FALSE(id.empty());
+
+  std::string poisoned;
+  for (int i = 0; i < 30; ++i) {
+    poisoned += i % 3 == 2 ? "not json\n"
+                           : "{\"a\": " + std::to_string(i) + "}\n";
+  }
+  auto resp = conn.Call("POST", "/v1/sessions/" + id + "/ingest", poisoned,
+                        "application/x-ndjson");
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  // A policy abort is tenant data trouble, not a server fault.
+  EXPECT_EQ(resp.value().status, 422) << resp.value().body;
+  EXPECT_TRUE(JsonBoolField(resp.value().body, "aborted"));
+  EXPECT_FALSE(JsonStrField(resp.value().body, "error").empty());
+
+  // The session is frozen: further ingests conflict with its final state.
+  auto again = conn.Call("POST", "/v1/sessions/" + id + "/ingest",
+                         "{\"a\": 1}\n", "application/x-ndjson");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().status, 409);
+
+  // The pre-abort schema stays queryable and matches a local streaming run
+  // under the identical policy — the same state a checkpointed CLI saves.
+  core::StreamingOptions opts;
+  opts.on_malformed = json::MalformedLinePolicy::kFailAboveRate;
+  opts.max_error_rate = 0.2;
+  opts.min_lines_for_rate = 10;
+  core::StreamingInferencer reference(opts);
+  EXPECT_FALSE(reference.AddJsonLines(poisoned).ok());
+
+  auto schema = conn.Call("GET", "/v1/sessions/" + id + "/schema?format=type");
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ(schema.value().status, 200);
+  EXPECT_EQ(schema.value().body, reference.Snapshot().ToString() + "\n");
+
+  auto info = conn.Call("GET", "/v1/sessions/" + id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(JsonBoolField(info.value().body, "aborted"));
+  EXPECT_EQ(static_cast<uint64_t>(JsonNumField(info.value().body, "records")),
+            reference.record_count());
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Durability across a server restart
+
+TEST(ServerTest, CheckpointSurvivesServerRestart) {
+  const std::string ckpt = ::testing::TempDir() + "jsonsi_server_test.ckpt";
+  std::remove(ckpt.c_str());
+  const std::string config =
+      "{\"checkpoint\": \"" + ckpt + "\"}";
+  const std::string first_half = MakeDataset(/*variant=*/2, 120, 0);
+  const std::string second_half = MakeDataset(/*variant=*/2, 120, 120);
+
+  {
+    InferenceServer server;
+    ASSERT_TRUE(server.Start().ok());
+    HttpConnection conn;
+    ASSERT_TRUE(conn.Connect("127.0.0.1", server.port()).ok());
+    const std::string id = CreateSession(conn, config);
+    ASSERT_FALSE(id.empty());
+    auto resp = conn.Call("POST", "/v1/sessions/" + id + "/ingest",
+                          first_half, "application/x-ndjson");
+    ASSERT_TRUE(resp.ok()) << resp.status().message();
+    ASSERT_EQ(resp.value().status, 200) << resp.value().body;
+    // Stop() is the SIGTERM drain path: it must checkpoint the durable
+    // session even though nobody DELETEd it.
+    ASSERT_TRUE(server.Stop().ok());
+  }
+
+  {
+    InferenceServer server;
+    ASSERT_TRUE(server.Start().ok());
+    HttpConnection conn;
+    ASSERT_TRUE(conn.Connect("127.0.0.1", server.port()).ok());
+    auto created = conn.Call(
+        "POST", "/v1/sessions",
+        "{\"checkpoint\": \"" + ckpt + "\", \"resume\": true}");
+    ASSERT_TRUE(created.ok()) << created.status().message();
+    ASSERT_EQ(created.value().status, 201) << created.value().body;
+    const std::string id = JsonStrField(created.value().body, "session");
+    EXPECT_EQ(JsonNumField(created.value().body, "resumed_records"), 120);
+    EXPECT_TRUE(JsonBoolField(created.value().body, "durable"));
+
+    auto resp = conn.Call("POST", "/v1/sessions/" + id + "/ingest",
+                          second_half, "application/x-ndjson");
+    ASSERT_TRUE(resp.ok()) << resp.status().message();
+    ASSERT_EQ(resp.value().status, 200) << resp.value().body;
+
+    // Restart + resume == one uninterrupted stream, by associativity.
+    ExpectSchemaMatchesOneShot(conn, id, first_half + second_half);
+    ASSERT_TRUE(server.Stop().ok());
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(ServerTest, ResumeWithoutCheckpointFileIs400) {
+  const std::string ckpt = ::testing::TempDir() + "jsonsi_server_absent.ckpt";
+  std::remove(ckpt.c_str());
+  InferenceServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto resp = HttpCall(
+      "127.0.0.1", server.port(), "POST", "/v1/sessions",
+      "{\"checkpoint\": \"" + ckpt + "\", \"resume\": true}");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, 400);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Repository publishing
+
+TEST(ServerTest, ClosingNamedSessionPublishesToRepository) {
+  const std::string repo = ::testing::TempDir() + "jsonsi_server_repo.json";
+  std::remove(repo.c_str());
+  ServerOptions options;
+  options.repository_path = repo;
+  InferenceServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.port()).ok());
+  const std::string id = CreateSession(conn, "{\"source\": \"events\"}");
+  ASSERT_FALSE(id.empty());
+  auto ingest = conn.Call("POST", "/v1/sessions/" + id + "/ingest",
+                          MakeDataset(3, 40), "application/x-ndjson");
+  ASSERT_TRUE(ingest.ok());
+  ASSERT_EQ(ingest.value().status, 200);
+
+  auto closed = conn.Call("DELETE", "/v1/sessions/" + id);
+  ASSERT_TRUE(closed.ok());
+  ASSERT_EQ(closed.value().status, 200) << closed.value().body;
+  EXPECT_EQ(JsonStrField(closed.value().body, "published_source"), "events");
+  EXPECT_GE(JsonNumField(closed.value().body, "published_version"), 1);
+  ASSERT_TRUE(server.Stop().ok());
+  std::remove(repo.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown latch
+
+TEST(ServerTest, ShutdownLatchTripsOnSignalAndProgrammatically) {
+  InstallShutdownSignalHandlers();
+  ResetShutdownForTesting();
+  EXPECT_FALSE(ShutdownRequested());
+
+  RequestShutdown();
+  EXPECT_TRUE(ShutdownRequested());
+  WaitForShutdown();  // already tripped: returns immediately
+  ResetShutdownForTesting();
+  EXPECT_FALSE(ShutdownRequested());
+
+  // A real SIGTERM takes the identical path: flag plus self-pipe wakeup,
+  // nothing else — the handler is async-signal-safe by construction.
+  ASSERT_EQ(raise(SIGTERM), 0);
+  EXPECT_TRUE(ShutdownRequested());
+  WaitForShutdown();
+  ResetShutdownForTesting();
+  EXPECT_FALSE(ShutdownRequested());
+}
+
+}  // namespace
+}  // namespace jsonsi::server

@@ -343,5 +343,45 @@ TEST_F(TelemetryTest, NullSinkConsumesFlush) {
   EXPECT_TRUE(telemetry::Flush(sink).ok());
 }
 
+TEST_F(TelemetryTest, StringSinkSeesMetricsRegisteredAfterFirstFlush) {
+  // A live scrape endpoint re-snapshots per flush: a counter that first
+  // exists after an earlier export must appear in the next one.
+  telemetry::StringSink sink(telemetry::StringSink::MetricsFormat::kPrometheus);
+  MetricsRegistry::Global().GetCounter("early.counter").Increment();
+  ASSERT_TRUE(telemetry::Flush(sink).ok());
+  EXPECT_NE(sink.metrics_text().find("jsonsi_early_counter 1"),
+            std::string::npos);
+  EXPECT_EQ(sink.metrics_text().find("jsonsi_late_counter"),
+            std::string::npos);
+
+  MetricsRegistry::Global().GetCounter("late.counter").Add(7);
+  ASSERT_TRUE(telemetry::Flush(sink).ok());
+  EXPECT_NE(sink.metrics_text().find("jsonsi_early_counter 1"),
+            std::string::npos);
+  EXPECT_NE(sink.metrics_text().find("jsonsi_late_counter 7"),
+            std::string::npos);
+
+  // The JSON-format sink renders the same snapshot as parseable JSON.
+  telemetry::StringSink json_sink;
+  ASSERT_TRUE(telemetry::Flush(json_sink).ok());
+  auto doc = json::Parse(json_sink.metrics_text());
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  EXPECT_NE(json_sink.metrics_text().find("late.counter"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, GlobalMetricsPrometheusIsTheLiveScrapeView) {
+  MetricsRegistry::Global().GetCounter("scrape.counter").Add(5);
+  const std::string first = telemetry::GlobalMetricsPrometheus();
+  EXPECT_EQ(first, telemetry::MetricsToPrometheus(
+                       MetricsRegistry::Global().Snapshot()));
+  EXPECT_NE(first.find("jsonsi_scrape_counter 5"), std::string::npos);
+
+  // Counters registered after that first render show up in the next scrape
+  // — the /metrics endpoint never serves a stale registry.
+  MetricsRegistry::Global().GetCounter("scrape.after").Increment();
+  const std::string second = telemetry::GlobalMetricsPrometheus();
+  EXPECT_NE(second.find("jsonsi_scrape_after 1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace jsonsi

@@ -54,6 +54,19 @@
 //       Prints registered sources, or one source's version history.
 //   jsi codegen <file.jsonl | -> [--root Name] [--namespace ns]
 //       Emits C++17 struct bindings for the inferred schema.
+//   jsi serve [--port N] [--bind ADDR] [--threads N] [--repo FILE]
+//             [--max-body-mb N]
+//       Runs the long-running multi-tenant inference daemon (src/server/):
+//       per-tenant sessions over local HTTP/1.1, JSONL ingest batches,
+//       JSON Schema export, live Prometheus /metrics, graceful
+//       SIGINT/SIGTERM drain that checkpoints durable sessions. --port 0
+//       (the default) binds an ephemeral port; the bound address is
+//       printed on stdout. See docs/server.md for the protocol.
+//
+// Signals: a checkpointed `jsi infer` and `jsi serve` install SIGINT/
+// SIGTERM handlers (server/shutdown.h). `jsi infer --checkpoint F` saves a
+// final checkpoint between batches and exits 3 (resume with --resume);
+// `jsi serve` drains in-flight requests and checkpoints durable sessions.
 //
 // Global flags (every subcommand):
 //   --metrics-out <file>   Enables telemetry and writes the end-of-run
@@ -68,7 +81,8 @@
 //                          results are structurally identical either way.
 //   Value flags accept `--flag value` and `--flag=value` spellings.
 //
-// Exit codes: 0 success, 1 usage error, 2 runtime/validation failure.
+// Exit codes: 0 success, 1 usage error, 2 runtime/validation failure,
+// 3 interrupted by SIGINT/SIGTERM with state saved (checkpointed infer).
 
 #include <algorithm>
 #include <cstring>
@@ -93,6 +107,8 @@
 #include "datagen/generator.h"
 #include "json/jsonl.h"
 #include "json/serializer.h"
+#include "server/server.h"
+#include "server/shutdown.h"
 #include "stats/paths.h"
 #include "support/string_util.h"
 #include "telemetry/telemetry.h"
@@ -128,6 +144,8 @@ int Usage() {
       "  jsi repo add <repo.txt> <source> <file.jsonl | ->\n"
       "  jsi repo show <repo.txt> [source]\n"
       "  jsi codegen <file.jsonl | -> [--root Name] [--namespace ns]\n"
+      "  jsi serve [--port N] [--bind ADDR] [--threads N] [--repo FILE]\n"
+      "            [--max-body-mb N]\n"
       "global flags: --metrics-out <file>  --trace-out <file>  --no-intern\n";
   return 1;
 }
@@ -285,7 +303,23 @@ int RunInferCheckpointed(const std::string& text,
     if (st.ok()) ++saves;
     return st;
   };
+  // A checkpointed run is exactly the kind of long job that gets SIGTERMed
+  // (deploys, preemption): arm the shared shutdown latch and save a final
+  // checkpoint between batches instead of losing the run. Same drain
+  // machinery `jsi serve` uses.
+  jsonsi::server::InstallShutdownSignalHandlers();
   while (pos < text.size()) {
+    if (jsonsi::server::ShutdownRequested()) {
+      if (jsonsi::Status cp = save(); !cp.ok()) {
+        std::cerr << "jsi: checkpoint save failed: " << cp << "\n";
+        return 2;
+      }
+      std::cerr << "jsi: interrupted at byte "
+                << stream.ingest_stats().bytes_consumed << " ("
+                << stream.record_count() << " records) — state saved to "
+                << checkpoint_path << "; rerun with --resume to continue\n";
+      return 3;
+    }
     // Advance checkpoint_every whole lines; batch boundaries always fall on
     // line boundaries, so batching never changes what each Add call sees.
     size_t end = pos;
@@ -703,6 +737,54 @@ int RunCodegen(std::vector<std::string> args) {
   return 0;
 }
 
+int RunServe(std::vector<std::string> args) {
+  jsonsi::server::ServerOptions options;
+  if (auto p = FlagValue(args, "--port")) {
+    try {
+      options.port = static_cast<uint16_t>(std::stoul(*p));
+    } catch (const std::exception&) {
+      return BadFlagValue("--port", *p);
+    }
+  }
+  if (auto b = FlagValue(args, "--bind")) options.bind_address = *b;
+  if (auto t = FlagValue(args, "--threads")) {
+    try {
+      options.num_threads = std::stoul(*t);
+    } catch (const std::exception&) {
+      return BadFlagValue("--threads", *t);
+    }
+  }
+  if (auto r = FlagValue(args, "--repo")) options.repository_path = *r;
+  if (auto m = FlagValue(args, "--max-body-mb")) {
+    try {
+      options.http.max_body_bytes = std::stoull(*m) * (1ull << 20);
+    } catch (const std::exception&) {
+      return BadFlagValue("--max-body-mb", *m);
+    }
+  }
+  if (!args.empty()) return Usage();
+
+  jsonsi::server::InferenceServer server(options);
+  if (jsonsi::Status st = server.Start(); !st.ok()) {
+    std::cerr << "jsi: " << st << "\n";
+    return 2;
+  }
+  // Machine-parseable so scripts can grab the (possibly ephemeral) port.
+  std::cout << "jsi: serving on http://" << options.bind_address << ":"
+            << server.port() << "\n"
+            << std::flush;
+  jsonsi::server::InstallShutdownSignalHandlers();
+  jsonsi::server::WaitForShutdown();
+  std::cerr << "jsi: shutdown signal — draining " << server.sessions().size()
+            << " live session(s)\n";
+  jsonsi::Status stopped = server.Stop();
+  if (!stopped.ok()) {
+    std::cerr << "jsi: drain checkpoint failed: " << stopped << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int Dispatch(const std::string& command, std::vector<std::string> args) {
@@ -717,6 +799,7 @@ int Dispatch(const std::string& command, std::vector<std::string> args) {
   if (command == "expand") return RunExpand(std::move(args));
   if (command == "repo") return RunRepo(std::move(args));
   if (command == "codegen") return RunCodegen(std::move(args));
+  if (command == "serve") return RunServe(std::move(args));
   return Usage();
 }
 
