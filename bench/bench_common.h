@@ -28,6 +28,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -85,6 +86,21 @@ inline std::vector<uint64_t> SnapshotSizes() {
 }
 
 inline uint64_t BenchSeed() { return EnvU64("JSI_SEED", 42); }
+
+/// Touches every 4 KiB page of `data` (plus the last byte) and returns a
+/// byte sum the caller should feed to DoNotOptimize. Run this over a
+/// freshly generated corpus BEFORE the timed region: otherwise the first
+/// benchmark to scan it absorbs all the soft page faults and its MB/s row
+/// is not comparable to later rows over the same bytes (which matters once
+/// rows differ only by SIMD kernel).
+inline uint64_t WarmPages(std::string_view data) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < data.size(); i += 4096) {
+    sum += static_cast<unsigned char>(data[i]);
+  }
+  if (!data.empty()) sum += static_cast<unsigned char>(data.back());
+  return sum;
+}
 
 /// RAII for the JSI_BENCH_JSON knob: the constructor enables telemetry when
 /// the env var is set, the destructor snapshots the metrics registry into

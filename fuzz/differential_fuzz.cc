@@ -6,8 +6,13 @@
 // in tests/direct_infer_test.cc; the gallery seeds the corpus.
 //
 // The first input byte selects the ParseOptions variant (default, shallow
-// max_depth, tiny max_document_bytes, trailing content allowed) so the
-// budget-rejection paths are fuzzed too; the rest is the document.
+// max_depth, tiny max_document_bytes, trailing content allowed); the second
+// byte selects the SIMD kernel the direct path runs under (modulo the
+// kernels this host actually has, so every corpus entry is meaningful on
+// every machine). The direct pass additionally runs under the scalar kernel
+// and both results are cross-checked — a vector kernel that mis-scans any
+// byte sequence shows up as a scalar/vector divergence even when the DOM
+// comparison alone would pass. The rest of the input is the document.
 //
 // Built with -fsanitize=fuzzer under Clang (see fuzz/CMakeLists.txt); under
 // GCC the same target links fuzz/standalone_main.cc and replays the corpus
@@ -18,10 +23,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
+#include <vector>
 
 #include "inference/direct_infer.h"
 #include "inference/infer.h"
 #include "json/parser.h"
+#include "json/simd/kernel.h"
 #include "json/value.h"
 #include "types/type.h"
 
@@ -38,6 +45,9 @@ void Fail(const char* what, std::string_view doc) {
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  namespace simd = jsonsi::json::simd;
+  static const std::vector<simd::Kernel> kKernels = simd::AvailableKernels();
+
   jsonsi::json::ParseOptions options;
   std::string_view doc(reinterpret_cast<const char*>(data), size);
   if (!doc.empty()) {
@@ -56,12 +66,34 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     }
     doc.remove_prefix(1);
   }
+  simd::Kernel kernel = simd::Kernel::kScalar;
+  if (!doc.empty()) {
+    kernel = kKernels[static_cast<unsigned char>(doc.front()) %
+                      kKernels.size()];
+    doc.remove_prefix(1);
+  }
 
   jsonsi::Result<jsonsi::json::ValueRef> parsed =
       jsonsi::json::Parse(doc, options);
+
+  simd::SetKernel(simd::Kernel::kScalar);
+  jsonsi::Result<jsonsi::types::TypeRef> scalar =
+      jsonsi::inference::DirectInferType(doc, options);
+  simd::SetKernel(kernel);
   jsonsi::Result<jsonsi::types::TypeRef> direct =
       jsonsi::inference::DirectInferType(doc, options);
 
+  // Vector kernel vs scalar: the SIMD parity axis.
+  if (scalar.ok() != direct.ok()) Fail("kernel accept/reject split", doc);
+  if (!scalar.ok() &&
+      scalar.status().message() != direct.status().message()) {
+    Fail("kernel status message mismatch", doc);
+  }
+  if (scalar.ok() && !scalar.value()->Equals(*direct.value())) {
+    Fail("kernel type mismatch", doc);
+  }
+
+  // Direct vs DOM: the PR-7 parity axis.
   if (parsed.ok() != direct.ok()) Fail("accept/reject mismatch", doc);
   if (!parsed.ok()) {
     if (parsed.status().message() != direct.status().message()) {

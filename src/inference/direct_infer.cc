@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "json/line_scan.h"
+#include "json/simd/kernel.h"
 #include "json/tokenizer.h"
 #include "telemetry/telemetry.h"
 #include "types/interner.h"
@@ -241,6 +242,7 @@ Result<TypeRef> DirectInferType(std::string_view text,
   Result<TypeRef> result = inferrer.Infer();
   if (telemetry::Enabled()) {
     JSONSI_COUNTER("infer.direct.bytes").Add(text.size());
+    json::simd::AddKernelBytes(text.size());
     if (result.ok()) {
       JSONSI_COUNTER("infer.direct.records").Increment();
       JSONSI_COUNTER("infer.direct.dom_bypassed").Increment();
@@ -263,11 +265,11 @@ TypedChunkOutcome InferJsonLinesChunk(std::string_view chunk,
   // DirectInferType in place of Parse — the only difference between the
   // DOM and DOM-free chunk workers.
   while (pos < chunk.size()) {
-    size_t nl = chunk.find('\n', pos);
-    size_t end = nl == std::string_view::npos ? chunk.size() : nl;
+    size_t nl = json::simd::FindNewline(chunk, pos);
+    size_t end = nl;
     std::string_view line = chunk.substr(pos, end - pos);
     uint64_t line_start = pos;
-    pos = nl == std::string_view::npos ? chunk.size() : nl + 1;
+    pos = nl < chunk.size() ? nl + 1 : chunk.size();
     out.stats.bytes_read = pos;
     // Every line is fully processed at the chunk stage (the abort decision
     // is the replay's); the resume offset tracks the scan.

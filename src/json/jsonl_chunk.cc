@@ -4,6 +4,7 @@
 
 #include "json/line_scan.h"
 #include "json/parser.h"
+#include "json/simd/kernel.h"
 #include "telemetry/telemetry.h"
 
 namespace jsonsi::json {
@@ -37,8 +38,8 @@ std::vector<ChunkSpan> SplitJsonLines(std::string_view text,
   while (begin < text.size() && spans.size() + 1 < max_chunks) {
     size_t want = begin + target;
     if (want >= text.size()) break;
-    size_t nl = text.find('\n', want - 1);
-    if (nl == std::string_view::npos || nl + 1 >= text.size()) break;
+    size_t nl = simd::FindNewline(text, want - 1);
+    if (nl >= text.size() || nl + 1 >= text.size()) break;
     spans.push_back(ChunkSpan{begin, nl + 1});
     begin = nl + 1;
   }
@@ -57,11 +58,11 @@ ChunkOutcome ParseJsonLinesChunk(std::string_view chunk,
   // jsonl.cc: '\n'-delimited, the byte offset advances past the consumed
   // newline, a trailing '\n' yields no final empty line.
   while (pos < chunk.size()) {
-    size_t nl = chunk.find('\n', pos);
-    size_t end = nl == std::string_view::npos ? chunk.size() : nl;
+    size_t nl = simd::FindNewline(chunk, pos);
+    size_t end = nl;
     std::string_view line = chunk.substr(pos, end - pos);
     uint64_t line_start = pos;
-    pos = nl == std::string_view::npos ? chunk.size() : nl + 1;
+    pos = nl < chunk.size() ? nl + 1 : chunk.size();
     out.stats.bytes_read = pos;
     // Every line is fully processed at the chunk stage (the abort decision
     // is the replay's); the resume offset tracks the scan.

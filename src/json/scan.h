@@ -16,6 +16,14 @@
 // "at line L, column C" suffix historically produced by Parse(...); the
 // degraded-mode ingestion policies compare those strings across the DOM
 // and direct paths, so treat every message here as frozen API.
+//
+// When a SIMD structural index (json/simd/structural.h) is attached to the
+// cursor, the three bulk skips below consume its precomputed bit planes —
+// one find-next-bit per run instead of rescanning — and the SWAR loops
+// become the tail/fallback path. The planes encode exactly the same
+// per-byte predicates as the SWAR masks, so positions, newline accounting,
+// and therefore error strings are identical either way (enforced by
+// tests/simd_parity_test.cc across every available kernel).
 
 #ifndef JSONSI_JSON_SCAN_H_
 #define JSONSI_JSON_SCAN_H_
@@ -29,6 +37,7 @@
 #include <string>
 #include <string_view>
 
+#include "json/simd/structural.h"
 #include "support/status.h"
 
 namespace jsonsi::json::scan {
@@ -109,6 +118,9 @@ struct Cursor {
   size_t pos = 0;
   size_t line = 1;
   size_t line_start = 0;
+  /// Optional stage-1 structural index covering exactly `text` (owned by
+  /// the tokenizer). When set, the bulk skips jump via its bit planes.
+  const simd::StructuralIndex* index = nullptr;
 
   bool AtEnd() const { return pos >= text.size(); }
   char Peek() const { return text[pos]; }
@@ -128,10 +140,24 @@ struct Cursor {
                               ", column " + std::to_string(Column()));
   }
 
-  /// Skips JSON whitespace, counting newlines. SWAR: classifies 8 bytes
-  /// per step; the newline bookkeeping for a bulk-skipped prefix is exact
-  /// (popcount of the newline lanes, line_start after the last one).
+  /// Skips JSON whitespace, counting newlines. With a structural index:
+  /// one jump to the next non-whitespace bit, newlines recovered exactly
+  /// from the newline plane (popcount, line_start after the last one).
+  /// Without: SWAR classifies 8 bytes per step with the same bookkeeping.
   void SkipWhitespace() {
+    if (index != nullptr) {
+      size_t target = index->NextNonWhitespace(pos);
+      if (target > pos) {
+        size_t newlines, last;
+        index->CountNewlines(pos, target, &newlines, &last);
+        if (newlines > 0) {
+          line += newlines;
+          line_start = last + 1;
+        }
+        pos = target;
+      }
+      return;
+    }
     if constexpr (swar::kLittleEndian) {
       while (pos + 8 <= text.size()) {
         uint64_t w = swar::LoadWord(text.data() + pos);
@@ -172,6 +198,10 @@ namespace internal {
 /// Advances past a run of ASCII digits. Digits never include '\n', so the
 /// bulk advance is line-accounting exact.
 inline void SkipDigits(Cursor& c) {
+  if (c.index != nullptr) {
+    c.pos = c.index->NextNonDigit(c.pos);
+    return;
+  }
   if constexpr (swar::kLittleEndian) {
     while (c.pos + 8 <= c.text.size()) {
       uint64_t w = swar::LoadWord(c.text.data() + c.pos);
@@ -257,6 +287,13 @@ inline Status ScanUnicodeEscape(Cursor& c, uint32_t* out) {
 /// contain '\n' (it is a control character), so bulk advances are exact.
 inline void SkipPlainStringRun(Cursor& c, std::string* out) {
   size_t start = c.pos;
+  if (c.index != nullptr) {
+    // One jump to the next '"' / '\\' / control bit — a whole plain run
+    // costs O(1) regardless of length. Plain runs cannot contain '\n'.
+    c.pos = c.index->NextStringStop(c.pos);
+    if (out && c.pos > start) out->append(c.text, start, c.pos - start);
+    return;
+  }
   if constexpr (swar::kLittleEndian) {
     while (c.pos + 8 <= c.text.size()) {
       uint64_t w = swar::LoadWord(c.text.data() + c.pos);

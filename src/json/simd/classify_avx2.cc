@@ -1,0 +1,138 @@
+// AVX2 block classifier: two 32-byte vectors per 64-byte block — the same
+// comparison structure as the SSE4 kernel at twice the width. See
+// classify_sse4.cc for the unsigned-comparison rationale; everything here
+// is parity-gated by tests/simd_parity_test.cc against the scalar kernel.
+
+#include "json/simd/classify_internal.h"
+#include "json/simd/plane_combine.h"
+
+#if defined(JSONSI_SIMD_X86)
+
+#include <immintrin.h>
+
+namespace jsonsi::json::simd::internal {
+namespace {
+
+#define JSONSI_TARGET_AVX2 __attribute__((target("avx2")))
+
+JSONSI_TARGET_AVX2 inline uint64_t Mask32(__m256i m) {
+  return static_cast<uint64_t>(
+      static_cast<unsigned>(_mm256_movemask_epi8(m)));
+}
+
+JSONSI_TARGET_AVX2 inline __m256i Eq(__m256i v, char b) {
+  return _mm256_cmpeq_epi8(v, _mm256_set1_epi8(b));
+}
+
+// Unsigned v <= bound, per byte.
+JSONSI_TARGET_AVX2 inline __m256i LeU(__m256i v, uint8_t bound) {
+  return _mm256_cmpeq_epi8(
+      _mm256_min_epu8(v, _mm256_set1_epi8(static_cast<char>(bound))), v);
+}
+
+// Whitespace via one shuffle: pshufb indexes by the low nibble (high-bit
+// bytes map to 0), and the table is built so table[b & 0xF] == b holds for
+// exactly ' ', '\t', '\n', '\r' — the filler values have low nibbles that
+// can never index their own slot.
+JSONSI_TARGET_AVX2 inline __m256i WhitespaceV(__m256i v) {
+  const __m256i table = _mm256_setr_epi8(
+      ' ', 100, 100, 100, 17, 100, 113, 2, 100, '\t', '\n', 112, 100, '\r',
+      100, 100, ' ', 100, 100, 100, 17, 100, 113, 2, 100, '\t', '\n', 112,
+      100, '\r', 100, 100);
+  return _mm256_cmpeq_epi8(_mm256_shuffle_epi8(table, v), v);
+}
+
+// Structural punctuation via one shuffle: OR-ing 0x20 folds '[' onto '{'
+// and ']' onto '}', leaving four candidates 0x2C/0x3A/0x7B/0x7D with
+// distinct low nibbles. Control bytes 0x0C/0x1A also curlify onto
+// ','/':' — callers mask those out with the control plane.
+JSONSI_TARGET_AVX2 inline __m256i PunctV(__m256i v, __m256i control) {
+  const __m256i table = _mm256_setr_epi8(
+      1, 1, 1, 1, 1, 1, 1, 1, 1, 1, ':', '{', ',', '}', 1, 1, 1, 1, 1, 1, 1,
+      1, 1, 1, 1, 1, ':', '{', ',', '}', 1, 1);
+  __m256i curlified = _mm256_or_si256(v, _mm256_set1_epi8(0x20));
+  __m256i hit =
+      _mm256_cmpeq_epi8(_mm256_shuffle_epi8(table, curlified), curlified);
+  return _mm256_andnot_si256(control, hit);
+}
+
+// always_inline body shared by the ops entry point and the build loop —
+// without it gcc keeps the (address-taken) classify as an out-of-line call
+// per block, which costs the build pass ~2x.
+JSONSI_TARGET_AVX2 __attribute__((always_inline)) inline void ClassifyBody(
+    const char* block, BlockMasks* out) {
+  *out = BlockMasks{};
+  for (size_t i = 0; i < 2; ++i) {
+    __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(block + i * 32));
+    uint64_t shift = i * 32;
+    __m256i digit = _mm256_andnot_si256(LeU(v, '0' - 1), LeU(v, '9'));
+    __m256i control = LeU(v, 0x1F);
+    out->ws |= Mask32(WhitespaceV(v)) << shift;
+    out->nl |= Mask32(Eq(v, '\n')) << shift;
+    out->digit |= Mask32(digit) << shift;
+    out->quote |= Mask32(Eq(v, '"')) << shift;
+    out->backslash |= Mask32(Eq(v, '\\')) << shift;
+    out->control |= Mask32(control) << shift;
+    out->punct |= Mask32(PunctV(v, control)) << shift;
+  }
+}
+
+JSONSI_TARGET_AVX2 void ClassifyAVX2(const char* block, BlockMasks* out) {
+  ClassifyBody(block, out);
+}
+
+JSONSI_TARGET_AVX2 size_t FindByteAVX2(const char* p, size_t n, char byte) {
+  const __m256i needle = _mm256_set1_epi8(byte);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    unsigned hits = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, needle)));
+    if (hits != 0) return i + static_cast<size_t>(__builtin_ctz(hits));
+  }
+  for (; i < n; ++i) {
+    if (p[i] == byte) return i;
+  }
+  return n;
+}
+
+#define JSONSI_TARGET_AVX2_CLMUL __attribute__((target("avx2,pclmul")))
+
+// Prefix-XOR as a carry-less multiply by all-ones: one 3-cycle PCLMULQDQ
+// instead of a 12-op shift chain. The chain is loop-carried (next block's
+// in-string state depends on it), so its latency is the build's critical
+// path. Dispatch guarantees pclmul is present whenever avx2 is selected.
+JSONSI_TARGET_AVX2_CLMUL inline uint64_t PrefixXorClmul(uint64_t x) {
+  __m128i v = _mm_set_epi64x(0, static_cast<long long>(x));
+  __m128i ones = _mm_set1_epi8(static_cast<char>(0xFF));
+  return static_cast<uint64_t>(
+      _mm_cvtsi128_si64(_mm_clmulepi64_si128(v, ones, 0)));
+}
+
+// The hot stage-1 loop: ClassifyBody and the combine step both inline
+// here, so each 64-byte block is classified in ymm registers and folded
+// straight into the planes without a per-block call or BlockMasks spill.
+JSONSI_TARGET_AVX2_CLMUL void BuildAVX2(const char* data, size_t blocks,
+                                        const IndexPlanes& out,
+                                        ScanCarries* carry) {
+  for (size_t b = 0; b < blocks; ++b) {
+    BlockMasks m;
+    ClassifyBody(data + b * 64, &m);
+    CombineBlockT<PrefixXorClmul>(m, ~uint64_t{0}, b, out, carry);
+  }
+}
+
+#undef JSONSI_TARGET_AVX2_CLMUL
+
+#undef JSONSI_TARGET_AVX2
+
+}  // namespace
+
+const KernelOps kAVX2Ops = {Kernel::kAVX2, "avx2", ClassifyAVX2,
+                            FindByteAVX2, BuildAVX2};
+
+}  // namespace jsonsi::json::simd::internal
+
+#endif  // JSONSI_SIMD_X86

@@ -1,0 +1,33 @@
+// Internal glue between the kernel registry (kernel.cc) and the per-ISA
+// classify translation units. Each TU defines one KernelOps value; which
+// ones exist depends on the target architecture, so the arch probe macros
+// live here and every party guards on them identically.
+
+#ifndef JSONSI_JSON_SIMD_CLASSIFY_INTERNAL_H_
+#define JSONSI_JSON_SIMD_CLASSIFY_INTERNAL_H_
+
+#include "json/simd/kernel.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define JSONSI_SIMD_X86 1
+#elif defined(__aarch64__)
+#define JSONSI_SIMD_ARM 1
+#endif
+
+namespace jsonsi::json::simd::internal {
+
+// Always present: SWAR classify + libc memchr. Also backs the tail block
+// of every index build and the cross-kernel bitmap tests.
+extern const KernelOps kScalarOps;
+
+#if defined(JSONSI_SIMD_X86)
+extern const KernelOps kSSE4Ops;
+extern const KernelOps kAVX2Ops;
+#endif
+#if defined(JSONSI_SIMD_ARM)
+extern const KernelOps kNEONOps;
+#endif
+
+}  // namespace jsonsi::json::simd::internal
+
+#endif  // JSONSI_JSON_SIMD_CLASSIFY_INTERNAL_H_

@@ -1,0 +1,99 @@
+// NEON (aarch64) block classifier: four 16-byte vectors per 64-byte block.
+// NEON has no pmovmskb; the bit-gather uses the standard and-with-bit-
+// position + three pairwise-add reduction, yielding the same little-endian
+// bit order as the x86 kernels. NEON byte comparisons (vcleq_u8 etc.) are
+// natively unsigned, so no signed-compare pitfalls here. Parity-gated by
+// tests/simd_parity_test.cc on ARM hosts.
+
+#include "json/simd/classify_internal.h"
+#include "json/simd/plane_combine.h"
+
+#if defined(JSONSI_SIMD_ARM)
+
+#include <arm_neon.h>
+
+namespace jsonsi::json::simd::internal {
+namespace {
+
+inline uint64_t Mask16(uint8x16_t m) {
+  const uint8x16_t bit = {0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80,
+                          0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80};
+  uint8x16_t masked = vandq_u8(m, bit);
+  uint8x16_t sum = vpaddq_u8(masked, masked);
+  sum = vpaddq_u8(sum, sum);
+  sum = vpaddq_u8(sum, sum);
+  return static_cast<uint64_t>(
+      vgetq_lane_u16(vreinterpretq_u16_u8(sum), 0));
+}
+
+inline uint8x16_t Eq(uint8x16_t v, uint8_t b) {
+  return vceqq_u8(v, vdupq_n_u8(b));
+}
+
+// always_inline body shared by the ops entry point and the build loop (see
+// classify_avx2.cc for why).
+__attribute__((always_inline)) inline void ClassifyBody(const char* block,
+                                                        BlockMasks* out) {
+  *out = BlockMasks{};
+  for (size_t i = 0; i < 4; ++i) {
+    uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const uint8_t*>(block) + i * 16);
+    uint64_t shift = i * 16;
+    uint8x16_t nl = Eq(v, '\n');
+    uint8x16_t ws = vorrq_u8(vorrq_u8(Eq(v, ' '), Eq(v, '\t')),
+                             vorrq_u8(nl, Eq(v, '\r')));
+    uint8x16_t digit =
+        vandq_u8(vcgeq_u8(v, vdupq_n_u8('0')), vcleq_u8(v, vdupq_n_u8('9')));
+    uint8x16_t punct =
+        vorrq_u8(vorrq_u8(vorrq_u8(Eq(v, '{'), Eq(v, '}')),
+                          vorrq_u8(Eq(v, '['), Eq(v, ']'))),
+                 vorrq_u8(Eq(v, ':'), Eq(v, ',')));
+    out->ws |= Mask16(ws) << shift;
+    out->nl |= Mask16(nl) << shift;
+    out->digit |= Mask16(digit) << shift;
+    out->quote |= Mask16(Eq(v, '"')) << shift;
+    out->backslash |= Mask16(Eq(v, '\\')) << shift;
+    out->control |= Mask16(vcltq_u8(v, vdupq_n_u8(0x20))) << shift;
+    out->punct |= Mask16(punct) << shift;
+  }
+}
+
+void ClassifyNEON(const char* block, BlockMasks* out) {
+  ClassifyBody(block, out);
+}
+
+size_t FindByteNEON(const char* p, size_t n, char byte) {
+  const uint8x16_t needle = vdupq_n_u8(static_cast<uint8_t>(byte));
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    uint8x16_t v = vld1q_u8(reinterpret_cast<const uint8_t*>(p) + i);
+    uint64_t hits = Mask16(vceqq_u8(v, needle));
+    if (hits != 0) {
+      return i + static_cast<size_t>(__builtin_ctzll(hits));
+    }
+  }
+  for (; i < n; ++i) {
+    if (p[i] == byte) return i;
+  }
+  return n;
+}
+
+// The hot stage-1 loop; NEON is baseline on aarch64, so no target
+// attribute is needed for the classifier to inline.
+void BuildNEON(const char* data, size_t blocks, const IndexPlanes& out,
+               ScanCarries* carry) {
+  for (size_t b = 0; b < blocks; ++b) {
+    BlockMasks m;
+    ClassifyBody(data + b * 64, &m);
+    CombineBlock(m, ~uint64_t{0}, b, out, carry);
+  }
+}
+
+}  // namespace
+
+const KernelOps kNEONOps = {Kernel::kNEON, "neon", ClassifyNEON,
+                            FindByteNEON, BuildNEON};
+
+}  // namespace jsonsi::json::simd::internal
+
+#endif  // JSONSI_SIMD_ARM

@@ -1,0 +1,67 @@
+// Scalar (SWAR) block classifier: the portable reference every vector
+// kernel is differentially tested against, and the routine that classifies
+// the padded tail block of every index build. Reuses the exact carry-free
+// byte masks of json/scan.h, so a bit set here is set iff the PR-5 SWAR
+// cursor paths would have stopped on (or matched) that byte.
+
+#include <cstring>
+
+#include "json/scan.h"
+#include "json/simd/classify_internal.h"
+#include "json/simd/plane_combine.h"
+
+namespace jsonsi::json::simd::internal {
+namespace {
+
+using jsonsi::json::scan::swar::DigitMask;
+using jsonsi::json::scan::swar::EqMask;
+using jsonsi::json::scan::swar::kHighs;
+using jsonsi::json::scan::swar::LoadWord;
+using jsonsi::json::scan::swar::LtMask;
+using jsonsi::json::scan::swar::WhitespaceMask;
+
+// Compresses a 0x80-per-matching-lane SWAR mask into 8 little-endian bits
+// (bit j = byte j), the SWAR stand-in for pmovmskb.
+inline uint64_t Movemask8(uint64_t lanes) {
+  return ((lanes >> 7) * 0x0102040810204080ull) >> 56;
+}
+
+void ClassifyScalar(const char* block, BlockMasks* out) {
+  *out = BlockMasks{};
+  for (size_t i = 0; i < 8; ++i) {
+    uint64_t w = LoadWord(block + i * 8);
+    uint64_t shift = i * 8;
+    out->ws |= Movemask8(WhitespaceMask(w)) << shift;
+    out->nl |= Movemask8(EqMask(w, '\n')) << shift;
+    out->digit |= Movemask8(DigitMask(w)) << shift;
+    out->quote |= Movemask8(EqMask(w, '"')) << shift;
+    out->backslash |= Movemask8(EqMask(w, '\\')) << shift;
+    out->control |= Movemask8(LtMask(w, 0x20)) << shift;
+    out->punct |= Movemask8(EqMask(w, '{') | EqMask(w, '}') |
+                            EqMask(w, '[') | EqMask(w, ']') |
+                            EqMask(w, ':') | EqMask(w, ',')) << shift;
+  }
+}
+
+size_t FindByteScalar(const char* p, size_t n, char byte) {
+  const void* hit = std::memchr(p, static_cast<unsigned char>(byte), n);
+  return hit == nullptr
+             ? n
+             : static_cast<size_t>(static_cast<const char*>(hit) - p);
+}
+
+void BuildScalar(const char* data, size_t blocks, const IndexPlanes& out,
+                 ScanCarries* carry) {
+  for (size_t b = 0; b < blocks; ++b) {
+    BlockMasks m;
+    ClassifyScalar(data + b * 64, &m);
+    CombineBlock(m, ~uint64_t{0}, b, out, carry);
+  }
+}
+
+}  // namespace
+
+const KernelOps kScalarOps = {Kernel::kScalar, "scalar", ClassifyScalar,
+                              FindByteScalar, BuildScalar};
+
+}  // namespace jsonsi::json::simd::internal

@@ -1,0 +1,121 @@
+// SSE4 block classifier: four 16-byte vectors per 64-byte block, one
+// pcmpeqb per character class, pmovmskb to gather little-endian bit masks.
+// Built with a function-level target attribute so the rest of the binary
+// keeps the portable baseline; runtime dispatch (json/simd/kernel.cc) only
+// selects this kernel when the CPU reports SSE4.2.
+//
+// Byte comparisons that involve ordering use unsigned idioms (min_epu8 /
+// max_epu8) — pcmpgtb is signed and would misclassify UTF-8 continuation
+// bytes >= 0x80, which the parity suite's Utf8ContinuationBytes sweep
+// exists to catch.
+
+#include "json/simd/classify_internal.h"
+#include "json/simd/plane_combine.h"
+
+#if defined(JSONSI_SIMD_X86)
+
+#include <immintrin.h>
+
+namespace jsonsi::json::simd::internal {
+namespace {
+
+#define JSONSI_TARGET_SSE4 __attribute__((target("sse4.2")))
+
+JSONSI_TARGET_SSE4 inline uint64_t Mask16(__m128i m) {
+  return static_cast<uint64_t>(
+      static_cast<unsigned>(_mm_movemask_epi8(m)));
+}
+
+JSONSI_TARGET_SSE4 inline __m128i Eq(__m128i v, char b) {
+  return _mm_cmpeq_epi8(v, _mm_set1_epi8(b));
+}
+
+// Unsigned v <= bound, per byte.
+JSONSI_TARGET_SSE4 inline __m128i LeU(__m128i v, uint8_t bound) {
+  return _mm_cmpeq_epi8(
+      _mm_min_epu8(v, _mm_set1_epi8(static_cast<char>(bound))), v);
+}
+
+// Whitespace / punctuation via single pshufb lookups — see the table
+// derivations in classify_avx2.cc (identical 16-byte tables, half width).
+JSONSI_TARGET_SSE4 inline __m128i WhitespaceV(__m128i v) {
+  const __m128i table =
+      _mm_setr_epi8(' ', 100, 100, 100, 17, 100, 113, 2, 100, '\t', '\n',
+                    112, 100, '\r', 100, 100);
+  return _mm_cmpeq_epi8(_mm_shuffle_epi8(table, v), v);
+}
+
+JSONSI_TARGET_SSE4 inline __m128i PunctV(__m128i v, __m128i control) {
+  const __m128i table = _mm_setr_epi8(1, 1, 1, 1, 1, 1, 1, 1, 1, 1, ':',
+                                      '{', ',', '}', 1, 1);
+  __m128i curlified = _mm_or_si128(v, _mm_set1_epi8(0x20));
+  __m128i hit = _mm_cmpeq_epi8(_mm_shuffle_epi8(table, curlified), curlified);
+  return _mm_andnot_si128(control, hit);
+}
+
+// always_inline body shared by the ops entry point and the build loop (see
+// classify_avx2.cc for why).
+JSONSI_TARGET_SSE4 __attribute__((always_inline)) inline void ClassifyBody(
+    const char* block, BlockMasks* out) {
+  *out = BlockMasks{};
+  for (size_t i = 0; i < 4; ++i) {
+    __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + i * 16));
+    uint64_t shift = i * 16;
+    // '0' <= v <= '9', unsigned: v <= '9' and NOT v <= '/' ('0' - 1).
+    __m128i digit = _mm_andnot_si128(LeU(v, '0' - 1), LeU(v, '9'));
+    __m128i control = LeU(v, 0x1F);
+    out->ws |= Mask16(WhitespaceV(v)) << shift;
+    out->nl |= Mask16(Eq(v, '\n')) << shift;
+    out->digit |= Mask16(digit) << shift;
+    out->quote |= Mask16(Eq(v, '"')) << shift;
+    out->backslash |= Mask16(Eq(v, '\\')) << shift;
+    out->control |= Mask16(control) << shift;
+    out->punct |= Mask16(PunctV(v, control)) << shift;
+  }
+}
+
+JSONSI_TARGET_SSE4 void ClassifySSE4(const char* block, BlockMasks* out) {
+  ClassifyBody(block, out);
+}
+
+JSONSI_TARGET_SSE4 size_t FindByteSSE4(const char* p, size_t n, char byte) {
+  const __m128i needle = _mm_set1_epi8(byte);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    int hits = _mm_movemask_epi8(_mm_cmpeq_epi8(v, needle));
+    if (hits != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(
+                     static_cast<unsigned>(hits)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (p[i] == byte) return i;
+  }
+  return n;
+}
+
+// The hot stage-1 loop: ClassifySSE4 and CombineBlock both inline here
+// (same target on the former, no target on the latter), so each block is
+// classified in registers and folded straight into the planes.
+JSONSI_TARGET_SSE4 void BuildSSE4(const char* data, size_t blocks,
+                                  const IndexPlanes& out,
+                                  ScanCarries* carry) {
+  for (size_t b = 0; b < blocks; ++b) {
+    BlockMasks m;
+    ClassifyBody(data + b * 64, &m);
+    CombineBlock(m, ~uint64_t{0}, b, out, carry);
+  }
+}
+
+#undef JSONSI_TARGET_SSE4
+
+}  // namespace
+
+const KernelOps kSSE4Ops = {Kernel::kSSE4, "sse4", ClassifySSE4,
+                            FindByteSSE4, BuildSSE4};
+
+}  // namespace jsonsi::json::simd::internal
+
+#endif  // JSONSI_SIMD_X86

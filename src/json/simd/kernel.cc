@@ -1,0 +1,235 @@
+#include "json/simd/kernel.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "json/simd/classify_internal.h"
+#include "telemetry/telemetry.h"
+
+namespace jsonsi::json::simd {
+
+namespace {
+
+// -1 = not yet resolved (next ActiveKernel() reads JSI_FORCE_KERNEL).
+std::atomic<int> g_active{-1};
+std::mutex g_init_mutex;
+
+bool CpuSupports(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return true;
+#if defined(JSONSI_SIMD_X86)
+    case Kernel::kSSE4:
+      return __builtin_cpu_supports("sse4.2");
+    case Kernel::kAVX2:
+      // BuildAVX2 uses PCLMULQDQ for its prefix-XOR; every AVX2 CPU ships
+      // it, but the dispatch check keeps that an invariant, not a hope.
+      return __builtin_cpu_supports("avx2") &&
+             __builtin_cpu_supports("pclmul");
+#endif
+#if defined(JSONSI_SIMD_ARM)
+    case Kernel::kNEON:
+      return true;  // NEON is baseline on aarch64
+#endif
+    default:
+      return false;
+  }
+}
+
+void PublishKernelGauge(Kernel k) {
+  if (!telemetry::Enabled()) return;
+  JSONSI_GAUGE("infer.simd.kernel").Set(static_cast<int64_t>(k));
+}
+
+Kernel Resolve(Kernel k) {
+  g_active.store(static_cast<int>(k), std::memory_order_relaxed);
+  PublishKernelGauge(k);
+  return k;
+}
+
+// Applies JSI_FORCE_KERNEL under the init mutex. Unknown names warn and
+// fall through to detection; unavailable kernels warn and pin scalar —
+// the env override must never make a binary fail to start.
+Kernel InitFromEnv() {
+  std::lock_guard<std::mutex> lock(g_init_mutex);
+  int cached = g_active.load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<Kernel>(cached);
+  const char* env = std::getenv("JSI_FORCE_KERNEL");
+  if (env != nullptr && *env != '\0' &&
+      std::strcmp(env, "auto") != 0) {
+    Kernel k;
+    if (std::strcmp(env, "scalar") == 0) {
+      k = Kernel::kScalar;
+    } else if (std::strcmp(env, "sse4") == 0) {
+      k = Kernel::kSSE4;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      k = Kernel::kAVX2;
+    } else if (std::strcmp(env, "neon") == 0) {
+      k = Kernel::kNEON;
+    } else {
+      std::fprintf(stderr,
+                   "jsonsi: JSI_FORCE_KERNEL=%s is not a known SIMD kernel "
+                   "(auto, scalar, sse4, avx2, neon); auto-detecting\n",
+                   env);
+      return Resolve(DetectBestKernel());
+    }
+    if (!KernelAvailable(k)) {
+      std::fprintf(stderr,
+                   "jsonsi: SIMD kernel '%s' (JSI_FORCE_KERNEL) is not "
+                   "available on this CPU; falling back to scalar\n",
+                   env);
+      k = Kernel::kScalar;
+    }
+    return Resolve(k);
+  }
+  return Resolve(DetectBestKernel());
+}
+
+}  // namespace
+
+const char* KernelName(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kSSE4:
+      return "sse4";
+    case Kernel::kAVX2:
+      return "avx2";
+    case Kernel::kNEON:
+      return "neon";
+  }
+  return "scalar";
+}
+
+bool KernelAvailable(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return true;
+#if defined(JSONSI_SIMD_X86)
+    case Kernel::kSSE4:
+    case Kernel::kAVX2:
+      return CpuSupports(k);
+#endif
+#if defined(JSONSI_SIMD_ARM)
+    case Kernel::kNEON:
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+std::vector<Kernel> AvailableKernels() {
+  std::vector<Kernel> kernels{Kernel::kScalar};
+  for (Kernel k : {Kernel::kSSE4, Kernel::kAVX2, Kernel::kNEON}) {
+    if (KernelAvailable(k)) kernels.push_back(k);
+  }
+  return kernels;
+}
+
+Kernel DetectBestKernel() {
+  for (Kernel k : {Kernel::kAVX2, Kernel::kSSE4, Kernel::kNEON}) {
+    if (KernelAvailable(k)) return k;
+  }
+  return Kernel::kScalar;
+}
+
+Kernel ActiveKernel() {
+  int k = g_active.load(std::memory_order_relaxed);
+  if (k >= 0) return static_cast<Kernel>(k);
+  return InitFromEnv();
+}
+
+const KernelOps& OpsFor(Kernel k) {
+  switch (k) {
+#if defined(JSONSI_SIMD_X86)
+    case Kernel::kSSE4:
+      return internal::kSSE4Ops;
+    case Kernel::kAVX2:
+      return internal::kAVX2Ops;
+#endif
+#if defined(JSONSI_SIMD_ARM)
+    case Kernel::kNEON:
+      return internal::kNEONOps;
+#endif
+    default:
+      return internal::kScalarOps;
+  }
+}
+
+const KernelOps& ActiveOps() { return OpsFor(ActiveKernel()); }
+
+Status ForceKernel(std::string_view name) {
+  if (name == "auto") {
+    Resolve(DetectBestKernel());
+    return Status::OK();
+  }
+  Kernel k;
+  if (name == "scalar") {
+    k = Kernel::kScalar;
+  } else if (name == "sse4") {
+    k = Kernel::kSSE4;
+  } else if (name == "avx2") {
+    k = Kernel::kAVX2;
+  } else if (name == "neon") {
+    k = Kernel::kNEON;
+  } else {
+    return Status::InvalidArgument(
+        "unknown SIMD kernel '" + std::string(name) +
+        "' (expected auto, scalar, sse4, avx2, or neon)");
+  }
+  SetKernel(k);
+  return Status::OK();
+}
+
+void SetKernel(Kernel k) {
+  if (!KernelAvailable(k)) {
+    std::fprintf(stderr,
+                 "jsonsi: SIMD kernel '%s' is not available on this CPU; "
+                 "falling back to scalar\n",
+                 KernelName(k));
+    k = Kernel::kScalar;
+  }
+  Resolve(k);
+}
+
+void ResetKernelForTesting() {
+  g_active.store(-1, std::memory_order_relaxed);
+}
+
+size_t FindNewline(std::string_view text, size_t from) {
+  if (from >= text.size()) return text.size();
+  return from + ActiveOps().find_byte(text.data() + from, text.size() - from,
+                                      '\n');
+}
+
+bool ShouldIndex(size_t size) {
+  if constexpr (std::endian::native != std::endian::little) return false;
+  return size >= 64 && ActiveKernel() != Kernel::kScalar;
+}
+
+void AddKernelBytes(uint64_t bytes) {
+  // One counter per kernel so BENCH_direct_infer.json rows and Prometheus
+  // scrapes attribute ingested bytes to the ISA that scanned them. The
+  // kernel can change mid-process (tests, --simd), hence one cached
+  // instrument per name rather than one per call site.
+  static std::atomic<telemetry::Counter*> counters[4] = {};
+  Kernel k = ActiveKernel();
+  int i = static_cast<int>(k);
+  telemetry::Counter* c = counters[i].load(std::memory_order_acquire);
+  if (c == nullptr) {
+    // GetCounter returns the same instrument for the same name, so a
+    // racing double-resolve is harmless.
+    c = &telemetry::MetricsRegistry::Global().GetCounter(
+        std::string("infer.simd.bytes.") + KernelName(k));
+    counters[i].store(c, std::memory_order_release);
+  }
+  c->Add(bytes);
+}
+
+}  // namespace jsonsi::json::simd

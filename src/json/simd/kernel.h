@@ -1,0 +1,151 @@
+// SIMD kernel registry for the structural-index tokenizer front-end.
+//
+// Stage 1 of the two-stage scan (json/simd/structural.h) classifies input
+// in 64-byte blocks. The classification routine is selected ONCE per
+// process from the instruction sets the CPU actually supports — AVX2 and
+// SSE4 on x86-64, NEON on aarch64 — with the PR-5 SWAR scanner as the
+// always-correct scalar fallback (a scalar-forced run never builds an
+// index at all; the cursor fast paths in json/scan.h run unchanged, which
+// is what makes scalar the parity reference).
+//
+// Selection order is avx2 > sse4 > neon > scalar, overridable two ways:
+//   * JSI_FORCE_KERNEL=<name> in the environment (read once, lazily);
+//   * ForceKernel(name) — the CLI's --simd flag and the tests.
+// Forcing a kernel the CPU (or build) does not have falls back to scalar
+// with a warning on stderr rather than failing: a pinned deployment config
+// must keep working when the fleet gains older machines. Unknown names are
+// rejected with an InvalidArgument listing the valid spellings.
+//
+// Every kernel must be observationally identical: the differential suite
+// tests/simd_parity_test.cc runs the adversarial gallery under each
+// available kernel and asserts byte-identical Status messages, positions,
+// IngestStats, and inferred types against the scalar path.
+
+#ifndef JSONSI_JSON_SIMD_KERNEL_H_
+#define JSONSI_JSON_SIMD_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace jsonsi::json::simd {
+
+enum class Kernel : int {
+  kScalar = 0,
+  kSSE4 = 1,
+  kAVX2 = 2,
+  kNEON = 3,
+};
+
+/// Per-byte classification of one 64-byte block, one bit per byte in
+/// little-endian bit order (bit i describes byte i). Produced by the
+/// per-ISA classify routines; consumed by simd::StructuralIndex.
+struct BlockMasks {
+  uint64_t ws = 0;         // ' ', '\t', '\n', '\r'
+  uint64_t nl = 0;         // '\n'
+  uint64_t digit = 0;      // '0'..'9'
+  uint64_t quote = 0;      // '"'
+  uint64_t backslash = 0;  // '\\'
+  uint64_t control = 0;    // bytes < 0x20 (unsigned)
+  uint64_t punct = 0;      // '{' '}' '[' ']' ':' ','
+};
+
+/// Classifies exactly 64 bytes starting at `block`.
+using ClassifyFn = void (*)(const char* block, BlockMasks* out);
+
+/// First index of `byte` in [p, p+n), or `n` when absent.
+using FindByteFn = size_t (*)(const char* p, size_t n, char byte);
+
+/// Output planes of one index build; each points at `blocks` words (word b
+/// covers bytes [64*b, 64*b + 64) of the input).
+struct IndexPlanes {
+  uint64_t* nonws;
+  uint64_t* newline;
+  uint64_t* digit;
+  uint64_t* stop;
+  uint64_t* structural;
+};
+
+/// Block-to-block carries of the in-string masking: whether an odd-length
+/// backslash run ends exactly at the block boundary, and the all-ones /
+/// all-zeros "currently inside a string" state.
+struct ScanCarries {
+  uint64_t ends_odd_backslash = 0;
+  uint64_t in_string = 0;
+};
+
+/// Builds all planes over `blocks` full 64-byte blocks in one pass. This is
+/// the hot stage-1 entry: each ISA compiles the entire loop — classify,
+/// carry propagation, plane stores — as one target-attributed function, so
+/// nothing spills per block. The (padded) tail block is NOT handled here;
+/// StructuralIndex::Build finishes it with one classify call on a padded
+/// copy (same kernel — all classifiers are bit-identical by contract).
+using BuildFn = void (*)(const char* data, size_t blocks,
+                         const IndexPlanes& out, ScanCarries* carry);
+
+struct KernelOps {
+  Kernel id;
+  const char* name;
+  ClassifyFn classify;
+  FindByteFn find_byte;
+  BuildFn build;
+};
+
+/// Stable lowercase name ("scalar", "sse4", "avx2", "neon").
+const char* KernelName(Kernel k);
+
+/// True when the kernel is compiled in AND the CPU supports it. kScalar is
+/// always available.
+bool KernelAvailable(Kernel k);
+
+/// Every available kernel, scalar first — what the parity suite iterates.
+std::vector<Kernel> AvailableKernels();
+
+/// Best available kernel (avx2 > sse4 > neon > scalar).
+Kernel DetectBestKernel();
+
+/// The kernel in effect for this process. First call resolves
+/// JSI_FORCE_KERNEL (unknown value: warning, auto-detect; unavailable
+/// value: warning, scalar) and publishes the `infer.simd.kernel` gauge.
+Kernel ActiveKernel();
+
+/// Ops vtable of ActiveKernel(). The scalar entry is valid too (it backs
+/// tail blocks and the cross-kernel bitmap tests).
+const KernelOps& ActiveOps();
+
+/// Ops for a specific kernel; scalar ops when `k` is not available.
+const KernelOps& OpsFor(Kernel k);
+
+/// Forces the kernel by name ("auto" re-runs detection). Unknown names
+/// return InvalidArgument; known-but-unavailable kernels fall back to
+/// scalar with a warning on stderr and return OK.
+Status ForceKernel(std::string_view name);
+
+/// Forces a specific kernel (falls back to scalar when unavailable).
+void SetKernel(Kernel k);
+
+/// Drops the cached selection so the next ActiveKernel() re-reads
+/// JSI_FORCE_KERNEL. Tests only.
+void ResetKernelForTesting();
+
+/// First index of '\n' at or after `from`, or `text.size()` when there is
+/// none — a dispatched memchr used by the JSONL chunk splitter and the
+/// chunk workers' line loops.
+size_t FindNewline(std::string_view text, size_t from);
+
+/// True when documents of `size` bytes should get a structural index:
+/// a vector kernel is active, the host is little-endian, and the document
+/// spans at least one full 64-byte block. Scalar runs never index — the
+/// SWAR cursor fast paths ARE the scalar kernel.
+bool ShouldIndex(size_t size);
+
+/// Counter "infer.simd.bytes.<name>" for per-kernel byte accounting
+/// (resolved once per kernel, cheap to call on the hot path).
+void AddKernelBytes(uint64_t bytes);
+
+}  // namespace jsonsi::json::simd
+
+#endif  // JSONSI_JSON_SIMD_KERNEL_H_

@@ -1,0 +1,98 @@
+// Shared block-combine step of every stage-1 index build: takes one
+// block's raw BlockMasks and folds it into the output planes, threading
+// the backslash-run and in-string carries across blocks. Pulled into a
+// header (no target attributes, plain integer ops) so each per-ISA build
+// loop inlines it next to its vector classifier — the whole of stage 1
+// then compiles to one straight-line function per ISA with no per-block
+// calls or mask spills.
+
+#ifndef JSONSI_JSON_SIMD_PLANE_COMBINE_H_
+#define JSONSI_JSON_SIMD_PLANE_COMBINE_H_
+
+#include <cstdint>
+
+#include "json/simd/kernel.h"
+
+namespace jsonsi::json::simd::internal {
+
+// Marks the character *after* every odd-length backslash run, i.e. every
+// escaped character — simdjson's find_odd_backslash_sequences. The carry
+// in `*ends_odd` (0 or 1) propagates a run that crosses the 64-byte block
+// boundary.
+inline uint64_t OddBackslashEnds(uint64_t bs, uint64_t* ends_odd) {
+  constexpr uint64_t kEven = 0x5555555555555555ull;
+  constexpr uint64_t kOdd = ~kEven;
+  uint64_t start_edges = bs & ~(bs << 1);
+  uint64_t even_start_mask = kEven ^ *ends_odd;
+  uint64_t even_starts = start_edges & even_start_mask;
+  uint64_t odd_starts = start_edges & ~even_start_mask;
+  uint64_t even_carries = bs + even_starts;
+  uint64_t odd_carries;
+  bool overflow = __builtin_add_overflow(bs, odd_starts, &odd_carries);
+  odd_carries |= *ends_odd;
+  *ends_odd = overflow ? 1 : 0;
+  uint64_t even_carry_ends = even_carries & ~bs;
+  uint64_t odd_carry_ends = odd_carries & ~bs;
+  return (even_carry_ends & kOdd) | (odd_carry_ends & kEven);
+}
+
+// Cumulative XOR from bit 0 upward: bit i of the result is the parity of
+// bits [0, i] of `x`. The portable carry-less-multiply-by-all-ones.
+inline uint64_t PrefixXor(uint64_t x) {
+  x ^= x << 1;
+  x ^= x << 2;
+  x ^= x << 4;
+  x ^= x << 8;
+  x ^= x << 16;
+  x ^= x << 32;
+  return x;
+}
+
+// Folds block `b`'s masks into the planes. `valid` limits the block to the
+// document's real bytes (all-ones except for the padded tail block).
+// Templated on the prefix-XOR so x86 build loops substitute a carry-less
+// multiply (PCLMULQDQ, ~3 cycles) for the 12-op shift chain — the chain is
+// loop-carried through `carry`, so its latency bounds build throughput.
+template <uint64_t (*PrefixXorFn)(uint64_t)>
+inline void CombineBlockT(const BlockMasks& m, uint64_t valid, size_t b,
+                          const IndexPlanes& out, ScanCarries* carry) {
+  const uint64_t ws = m.ws & valid;
+  out.nonws[b] = ~ws & valid;
+  out.newline[b] = m.nl & valid;
+  out.digit[b] = m.digit & valid;
+  const uint64_t quote = m.quote & valid;
+  const uint64_t backslash = m.backslash & valid;
+  out.stop[b] = quote | backslash | (m.control & valid);
+
+  // In-string masking with cross-block carries: escaped quotes are
+  // dropped, remaining quotes toggle string state via prefix-XOR. The
+  // quote bit itself lands "inside", the closing quote "outside", so
+  // punctuation between quotes — and only there — is masked out. Both
+  // branches skip the (serial) carry math for the common all-text and
+  // no-quote blocks; they are well-predicted on real corpora.
+  uint64_t escaped;
+  if ((backslash | carry->ends_odd_backslash) == 0) {
+    escaped = 0;
+  } else {
+    escaped = OddBackslashEnds(backslash, &carry->ends_odd_backslash);
+  }
+  const uint64_t quotes = quote & ~escaped;
+  uint64_t in_string;
+  if (quotes == 0) {
+    in_string = carry->in_string;
+  } else {
+    in_string = PrefixXorFn(quotes) ^ carry->in_string;
+    carry->in_string =
+        static_cast<uint64_t>(static_cast<int64_t>(in_string) >> 63);
+  }
+  out.structural[b] = m.punct & valid & ~in_string;
+}
+
+inline void CombineBlock(const BlockMasks& m, uint64_t valid, size_t b,
+                         const IndexPlanes& out, ScanCarries* carry) {
+  CombineBlockT<PrefixXor>(m, valid, b, out, carry);
+}
+
+}  // namespace jsonsi::json::simd::internal
+
+#endif  // JSONSI_JSON_SIMD_PLANE_COMBINE_H_

@@ -1,0 +1,99 @@
+#include "json/simd/structural.h"
+
+#include <cstring>
+
+#include "json/simd/classify_internal.h"
+#include "json/simd/plane_combine.h"
+
+namespace jsonsi::json::simd {
+
+namespace {
+
+// Thread-local recycling of index buffers (LIFO, so nested tokenizers on
+// one thread each get their own buffer back). Oversized buffers are not
+// pooled: one pathological multi-megabyte line must not pin its bitmaps
+// for the life of the thread.
+constexpr size_t kPoolSlots = 4;
+constexpr size_t kPoolMaxWords = (1u << 20) / 8;  // ~1 MiB of bitmap words
+
+thread_local std::vector<std::vector<uint64_t>> t_pool;
+
+}  // namespace
+
+StructuralIndex::StructuralIndex() {
+  if (!t_pool.empty()) {
+    storage_ = std::move(t_pool.back());
+    t_pool.pop_back();
+  }
+}
+
+StructuralIndex::~StructuralIndex() {
+  if (storage_.capacity() > 0 && storage_.capacity() <= kPoolMaxWords &&
+      t_pool.size() < kPoolSlots) {
+    t_pool.push_back(std::move(storage_));
+  }
+}
+
+void StructuralIndex::Build(std::string_view text, Kernel kernel) {
+  const KernelOps& ops = OpsFor(kernel);
+  kernel_ = ops.id;
+  size_ = text.size();
+  words_ = (size_ + 63) / 64;
+  storage_.resize(words_ * kPlanes);
+
+  IndexPlanes planes{mutable_plane(kNonWs), mutable_plane(kNewline),
+                     mutable_plane(kDigit), mutable_plane(kStop),
+                     mutable_plane(kStructural)};
+  ScanCarries carry;
+
+  // Full blocks run in one per-ISA pass (classify + carry propagation +
+  // plane stores fused into one target-compiled loop, see BuildFn).
+  const size_t full_blocks = size_ / 64;
+  ops.build(text.data(), full_blocks, planes, &carry);
+
+  if (words_ > full_blocks) {
+    // Padded tail: copied into a zero-filled block and classified with the
+    // same kernel as the full blocks (all classifiers are bit-identical by
+    // the parity contract, and NUL padding is plain control-class bytes);
+    // bits past the end are masked off.
+    char buf[64] = {0};
+    const size_t tail = size_ - full_blocks * 64;
+    std::memcpy(buf, text.data() + full_blocks * 64, tail);
+    BlockMasks m;
+    ops.classify(buf, &m);
+    const uint64_t valid =
+        tail == 64 ? ~uint64_t{0} : ((uint64_t{1} << tail) - 1);
+    internal::CombineBlock(m, valid, full_blocks, planes, &carry);
+  }
+}
+
+uint64_t StructuralIndex::StructuralCount() const {
+  uint64_t count = 0;
+  const uint64_t* s = plane(kStructural);
+  for (size_t w = 0; w < words_; ++w) {
+    count += static_cast<uint64_t>(std::popcount(s[w]));
+  }
+  return count;
+}
+
+void StructuralIndex::CountNewlines(size_t pos, size_t target, size_t* count,
+                                    size_t* last) const {
+  *count = 0;
+  *last = 0;
+  if (target <= pos) return;
+  const uint64_t* nl = plane(kNewline);
+  size_t w_begin = pos >> 6;
+  size_t w_end = (target - 1) >> 6;
+  for (size_t w = w_begin; w <= w_end && w < words_; ++w) {
+    uint64_t word = nl[w];
+    if (w == w_begin) word &= ~uint64_t{0} << (pos & 63);
+    if (w == w_end && ((target & 63) != 0)) {
+      word &= (uint64_t{1} << (target & 63)) - 1;
+    }
+    if (word == 0) continue;
+    *count += static_cast<size_t>(std::popcount(word));
+    *last = (w << 6) + 63 - static_cast<size_t>(std::countl_zero(word));
+  }
+}
+
+}  // namespace jsonsi::json::simd

@@ -1,0 +1,132 @@
+// Stage 1 of the two-stage scan: a structural-character index over the
+// whole document, built in one vectorized pass of 64-byte blocks by the
+// active SIMD kernel (json/simd/kernel.h), then consumed by the pull
+// tokenizer's bulk skips (stage 2, json/scan.h) instead of rescanning.
+//
+// The index stores one bit per input byte in five planes:
+//
+//   nonws       NOT JSON whitespace            -> SkipWhitespace jumps
+//   newline     '\n'                           -> exact line/column upkeep
+//   digit       '0'..'9'                       -> ScanNumber digit runs
+//   stop        '"' | '\\' | control (< 0x20)  -> plain string runs
+//   structural  {}[]:, OUTSIDE strings         -> per-record shape stats
+//
+// The structural plane is the full simdjson-style computation: odd-length
+// backslash runs are resolved with an add-carry that propagates across
+// block boundaries, unescaped quotes toggle an in-string mask via a
+// prefix-XOR, and punctuation inside strings is masked out. The first four
+// planes are per-byte predicates identical to the PR-5 SWAR masks, which
+// is what makes every index-driven bulk skip byte-identical to the scalar
+// cursor loops — including error positions (frozen API, differential-
+// tested by tests/simd_parity_test.cc).
+//
+// Error-exactness is also why stage 2 jumps on whitespace/stop planes and
+// NOT structural-to-structural the way simdjson does: on malformed input
+// ("[1 2]") the frozen contract reports the error at the first non-
+// whitespace byte, which a structural jump would sail past.
+
+#ifndef JSONSI_JSON_SIMD_STRUCTURAL_H_
+#define JSONSI_JSON_SIMD_STRUCTURAL_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "json/simd/kernel.h"
+
+namespace jsonsi::json::simd {
+
+class StructuralIndex {
+ public:
+  // Pooled storage: index buffers recycle through a small thread-local
+  // free list so per-line tokenization does not pay one malloc per record.
+  StructuralIndex();
+  ~StructuralIndex();
+  StructuralIndex(const StructuralIndex&) = delete;
+  StructuralIndex& operator=(const StructuralIndex&) = delete;
+
+  /// Builds all planes over `text` with OpsFor(kernel); the tail is
+  /// classified through the same kernel on a zero-padded copy. Reusable.
+  void Build(std::string_view text, Kernel kernel);
+  void Build(std::string_view text) { Build(text, ActiveKernel()); }
+
+  size_t size() const { return size_; }
+  size_t words() const { return words_; }
+  Kernel kernel() const { return kernel_; }
+
+  /// Raw planes for the cross-kernel bitmap tests; word i covers bytes
+  /// [64*i, 64*i + 64), bits past size() are zero.
+  const uint64_t* nonws_plane() const { return plane(kNonWs); }
+  const uint64_t* newline_plane() const { return plane(kNewline); }
+  const uint64_t* digit_plane() const { return plane(kDigit); }
+  const uint64_t* stop_plane() const { return plane(kStop); }
+  const uint64_t* structural_plane() const { return plane(kStructural); }
+
+  /// Number of structural characters outside strings in the document.
+  uint64_t StructuralCount() const;
+
+  // --- Bulk-skip queries (stage 2). All results are clamped to size(). ---
+
+  /// First position >= pos holding a non-whitespace byte.
+  size_t NextNonWhitespace(size_t pos) const {
+    return FindNextSet(plane(kNonWs), pos);
+  }
+
+  /// First position >= pos holding a non-digit byte.
+  size_t NextNonDigit(size_t pos) const {
+    return FindNextClear(plane(kDigit), pos);
+  }
+
+  /// First position >= pos holding '"', '\\', or a control character.
+  size_t NextStringStop(size_t pos) const {
+    return FindNextSet(plane(kStop), pos);
+  }
+
+  /// Newlines in [pos, target): count and the position of the last one
+  /// (meaningful only when *count > 0). Powers the exact line/line_start
+  /// bookkeeping of bulk whitespace skips.
+  void CountNewlines(size_t pos, size_t target, size_t* count,
+                     size_t* last) const;
+
+ private:
+  enum Plane { kNonWs = 0, kNewline, kDigit, kStop, kStructural, kPlanes };
+
+  const uint64_t* plane(size_t p) const {
+    return storage_.data() + p * words_;
+  }
+  uint64_t* mutable_plane(size_t p) { return storage_.data() + p * words_; }
+
+  size_t FindNextSet(const uint64_t* bm, size_t pos) const {
+    size_t w = pos >> 6;
+    if (w >= words_) return size_;
+    uint64_t word = bm[w] & (~uint64_t{0} << (pos & 63));
+    while (word == 0) {
+      if (++w >= words_) return size_;
+      word = bm[w];
+    }
+    return (w << 6) + static_cast<size_t>(std::countr_zero(word));
+  }
+
+  size_t FindNextClear(const uint64_t* bm, size_t pos) const {
+    size_t w = pos >> 6;
+    if (w >= words_) return size_;
+    uint64_t word = ~bm[w] & (~uint64_t{0} << (pos & 63));
+    while (word == 0) {
+      if (++w >= words_) return size_;
+      word = ~bm[w];
+    }
+    size_t found = (w << 6) + static_cast<size_t>(std::countr_zero(word));
+    return found < size_ ? found : size_;
+  }
+
+  std::vector<uint64_t> storage_;  // kPlanes planes of words_ words each
+  size_t size_ = 0;
+  size_t words_ = 0;
+  Kernel kernel_ = Kernel::kScalar;
+};
+
+}  // namespace jsonsi::json::simd
+
+#endif  // JSONSI_JSON_SIMD_STRUCTURAL_H_

@@ -25,6 +25,7 @@
 #include <string_view>
 
 #include "json/scan.h"
+#include "json/simd/structural.h"
 #include "support/status.h"
 
 namespace jsonsi::json {
@@ -57,7 +58,21 @@ struct Token {
 
 class Tokenizer {
  public:
-  explicit Tokenizer(std::string_view text) { cursor_.text = text; }
+  /// Builds the stage-1 structural index over `text` when a vector SIMD
+  /// kernel is active and the document spans at least one 64-byte block
+  /// (simd::ShouldIndex); the cursor's bulk skips then consume the
+  /// precomputed bit planes. Under the scalar kernel — or for short
+  /// documents — the PR-5 SWAR paths run unchanged.
+  explicit Tokenizer(std::string_view text) {
+    cursor_.text = text;
+    if (simd::ShouldIndex(text.size())) {
+      index_.Build(text);
+      cursor_.index = &index_;
+    }
+  }
+
+  /// The stage-1 index, or nullptr when this document is unindexed.
+  const simd::StructuralIndex* index() const { return cursor_.index; }
 
   /// Skips whitespace and lexes one token into `*token`. Number tokens are
   /// fully validated (range-checked via from_chars); string tokens are
@@ -87,6 +102,7 @@ class Tokenizer {
 
  private:
   scan::Cursor cursor_;
+  simd::StructuralIndex index_;
 };
 
 }  // namespace jsonsi::json

@@ -1,0 +1,587 @@
+// Differential parity suite for the SIMD structural-index front-end
+// (json/simd/). The contract under test: every kernel is observationally
+// identical to the scalar SWAR path — byte-identical Status codes and
+// messages (hence error positions), identical token streams (kind, text,
+// offset, line, column), identical inferred types, identical IngestStats
+// (including bytes_consumed, the checkpoint resume offset) through every
+// malformed-line policy, and bit-identical classification planes.
+//
+// The gallery leans on the structural edge cases vector kernels get wrong
+// when they are wrong: constructs straddling 64-byte block boundaries at
+// every offset, escaped-quote runs whose backslash carry crosses blocks,
+// UTF-8 continuation bytes (signed-compare bugs), NUL and control bytes,
+// and truncations that cut a document mid-construct.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/schema_inferencer.h"
+#include "inference/direct_infer.h"
+#include "inference/infer.h"
+#include "json/jsonl.h"
+#include "json/parser.h"
+#include "json/simd/kernel.h"
+#include "json/simd/structural.h"
+#include "json/tokenizer.h"
+#include "types/printer.h"
+#include "types/type.h"
+
+namespace jsonsi {
+namespace {
+
+using core::InferenceOptions;
+using core::SchemaInferencer;
+using inference::DirectInferType;
+using json::MalformedLinePolicy;
+using json::simd::ActiveKernel;
+using json::simd::AvailableKernels;
+using json::simd::Kernel;
+using json::simd::KernelAvailable;
+using json::simd::KernelName;
+using json::simd::OpsFor;
+using json::simd::SetKernel;
+using json::simd::StructuralIndex;
+
+// Pins the process-wide kernel for one scope; restores on exit so test
+// order never leaks a forced kernel into later tests.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(Kernel k) : saved_(ActiveKernel()) { SetKernel(k); }
+  ~ScopedKernel() { SetKernel(saved_); }
+  ScopedKernel(const ScopedKernel&) = delete;
+  ScopedKernel& operator=(const ScopedKernel&) = delete;
+
+ private:
+  Kernel saved_;
+};
+
+std::vector<Kernel> VectorKernels() {
+  std::vector<Kernel> out;
+  for (Kernel k : AvailableKernels()) {
+    if (k != Kernel::kScalar) out.push_back(k);
+  }
+  return out;
+}
+
+// The ctest log banner: which kernel auto-dispatch picked on this host and
+// which kernels this run actually exercised (CI greps for this line).
+TEST(SimdParityTest, Banner) {
+  std::string names;
+  for (Kernel k : AvailableKernels()) {
+    if (!names.empty()) names += ", ";
+    names += KernelName(k);
+  }
+  std::cout << "[ SIMD ] active kernel: " << KernelName(ActiveKernel())
+            << "; available: " << names << std::endl;
+}
+
+// ---------------------------------------------------------------------------
+// Layer 0: raw classification. Every kernel's per-byte classifier must be
+// bit-identical to scalar over the full byte alphabet — this is the test
+// that catches a wrong pshufb table entry or a signed-compare slip.
+
+TEST(SimdParityTest, ClassifyAll256ByteValues) {
+  char blocks[4][64];
+  for (int b = 0; b < 4; ++b) {
+    for (int i = 0; i < 64; ++i) {
+      blocks[b][i] = static_cast<char>(b * 64 + i);
+    }
+  }
+  const auto& scalar = OpsFor(Kernel::kScalar);
+  for (Kernel k : VectorKernels()) {
+    const auto& ops = OpsFor(k);
+    for (int b = 0; b < 4; ++b) {
+      json::simd::BlockMasks want, got;
+      scalar.classify(blocks[b], &want);
+      ops.classify(blocks[b], &got);
+      SCOPED_TRACE(std::string(KernelName(k)) + " bytes " +
+                   std::to_string(b * 64) + ".." + std::to_string(b * 64 + 63));
+      EXPECT_EQ(want.ws, got.ws);
+      EXPECT_EQ(want.nl, got.nl);
+      EXPECT_EQ(want.digit, got.digit);
+      EXPECT_EQ(want.quote, got.quote);
+      EXPECT_EQ(want.backslash, got.backslash);
+      EXPECT_EQ(want.control, got.control);
+      EXPECT_EQ(want.punct, got.punct);
+    }
+  }
+}
+
+// Reversed byte order shifts every value to a different lane — catches
+// lane-order mistakes the ascending pattern can't.
+TEST(SimdParityTest, ClassifyAll256ByteValuesReversed) {
+  char blocks[4][64];
+  for (int b = 0; b < 4; ++b) {
+    for (int i = 0; i < 64; ++i) {
+      blocks[b][i] = static_cast<char>(255 - (b * 64 + i));
+    }
+  }
+  const auto& scalar = OpsFor(Kernel::kScalar);
+  for (Kernel k : VectorKernels()) {
+    const auto& ops = OpsFor(k);
+    for (int b = 0; b < 4; ++b) {
+      json::simd::BlockMasks want, got;
+      scalar.classify(blocks[b], &want);
+      ops.classify(blocks[b], &got);
+      SCOPED_TRACE(std::string(KernelName(k)) + " block " + std::to_string(b));
+      EXPECT_EQ(want.ws, got.ws);
+      EXPECT_EQ(want.nl, got.nl);
+      EXPECT_EQ(want.digit, got.digit);
+      EXPECT_EQ(want.quote, got.quote);
+      EXPECT_EQ(want.backslash, got.backslash);
+      EXPECT_EQ(want.control, got.control);
+      EXPECT_EQ(want.punct, got.punct);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: whole-index plane equality. Build the five planes with each
+// kernel and require them word-for-word identical — carries and the padded
+// tail block included.
+
+void ExpectPlanesEqual(std::string_view text) {
+  StructuralIndex base;
+  base.Build(text, Kernel::kScalar);
+  for (Kernel k : VectorKernels()) {
+    StructuralIndex index;
+    index.Build(text, k);
+    ASSERT_EQ(base.words(), index.words());
+    for (size_t w = 0; w < base.words(); ++w) {
+      SCOPED_TRACE(std::string(KernelName(k)) + " word " + std::to_string(w) +
+                   " of: " + std::string(text.substr(0, 80)));
+      EXPECT_EQ(base.nonws_plane()[w], index.nonws_plane()[w]);
+      EXPECT_EQ(base.newline_plane()[w], index.newline_plane()[w]);
+      EXPECT_EQ(base.digit_plane()[w], index.digit_plane()[w]);
+      EXPECT_EQ(base.stop_plane()[w], index.stop_plane()[w]);
+      EXPECT_EQ(base.structural_plane()[w], index.structural_plane()[w]);
+    }
+    EXPECT_EQ(base.StructuralCount(), index.StructuralCount());
+  }
+}
+
+TEST(SimdParityTest, PlaneEqualityStructuralEdgeCases) {
+  const std::string sixty = std::string(60, 'x');
+  for (const std::string& text : {
+           std::string(R"({"a":1,"b":[true,null],"c":"text"})"),
+           // Quote exactly at a block boundary.
+           "\"" + std::string(63, 'a') + "\"tail",
+           // Escaped quote whose backslash is byte 63, quote byte 64.
+           "\"" + sixty + "xx\\\"more\"",
+           // Odd backslash run crossing the boundary.
+           "\"" + std::string(61, 'a') + "\\\\\\\"end\"",
+           // Even backslash run crossing the boundary.
+           "\"" + std::string(62, 'a') + "\\\\\"after",
+           // A string spanning three full blocks.
+           "\"" + std::string(170, 'b') + "\"",
+           // Unterminated string: in-string carry stays set to the end.
+           "\"" + std::string(100, 'c'),
+           // Structural characters inside and outside strings.
+           R"(["{\"}", {"]": "[,:"}])" + std::string(64, ' ') + "[]",
+           // NUL and control bytes, inside and outside a string.
+           std::string("\"ab\0cd\"\0[1]", 11),
+           std::string(64, '\0'),
+           // UTF-8 multi-byte content (continuation bytes >= 0x80).
+           "\"héllo \xF0\x9F\x98\x80 wörld" + std::string(60, 'x') + "\"",
+           std::string("\x80\xFF\xC0 [1, 2]"),
+           // Whitespace soup with newlines at odd offsets.
+           "\n \t\r\n" + std::string(61, ' ') + "\n[1,\n2]\n",
+           // Digits crossing the boundary.
+           std::string(63, ' ') + std::string(40, '7'),
+       }) {
+    ExpectPlanesEqual(text);
+  }
+}
+
+// Every construct placed at every offset 0..63 of its first block, so each
+// class of scan (string run, escape pair, digit run, \u escape) crosses a
+// block boundary at every possible alignment.
+TEST(SimdParityTest, PlaneEqualityBoundaryStraddleSweep) {
+  const std::string cores[] = {
+      "\"" + std::string(90, 's') + "\"",
+      "\"" + std::string(30, 'a') + "\\\"" + std::string(40, 'b') + "\"",
+      "\"\\\\\\\\\\\"" + std::string(70, 'q') + "\"",
+      std::string(80, '9'),
+      R"("\u0041\u00e9\ud83d\ude00")" + std::string(48, 'k'),
+      "\"" + std::string(70, 'u'),  // unterminated
+  };
+  for (size_t offset = 0; offset < 64; ++offset) {
+    for (const std::string& core : cores) {
+      ExpectPlanesEqual(std::string(offset, ' ') + core);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: token-stream identity. The full pull-tokenizer output — kinds,
+// lexeme slices, offsets, lines, columns, and the terminating status — must
+// match scalar exactly under every kernel.
+
+struct TokenRecord {
+  json::TokenKind kind;
+  std::string text;
+  size_t offset, line, column;
+  bool operator==(const TokenRecord& o) const {
+    return kind == o.kind && text == o.text && offset == o.offset &&
+           line == o.line && column == o.column;
+  }
+};
+
+struct TokenTrace {
+  std::vector<TokenRecord> tokens;
+  std::string unescaped;
+  Status status = Status::OK();
+};
+
+TokenTrace Tokenize(std::string_view text) {
+  TokenTrace trace;
+  json::Tokenizer tok(text);
+  json::Token t;
+  do {
+    trace.status = tok.Next(&t, &trace.unescaped);
+    if (!trace.status.ok()) break;
+    trace.tokens.push_back(
+        {t.kind, std::string(t.text), t.offset, t.line, t.column});
+  } while (t.kind != json::TokenKind::kEnd);
+  return trace;
+}
+
+TEST(SimdParityTest, TokenStreamIdentity) {
+  const std::string docs[] = {
+      R"({"key": [1, -2.5e3, true, false, null], "s": "a\nb\u0041"})",
+      "[\n  1,\n  \"" + std::string(200, 'x') + "\",\n  {\"a\": 3}\n]",
+      std::string(64, ' ') + "\"multi\\\"escape\\\\run\"",
+      "\"" + std::string(63, 'a') + "\\\"" + std::string(63, 'b') + "\"",
+      "[1 2]",            // error after a bulk skip
+      "\"unterminated " + std::string(80, 'z'),
+      "{\"a\":1,}\n\n[3]",
+      std::string(100, '1') + "e4",
+  };
+  for (const std::string& doc : docs) {
+    TokenTrace base;
+    {
+      ScopedKernel pin(Kernel::kScalar);
+      base = Tokenize(doc);
+    }
+    for (Kernel k : VectorKernels()) {
+      ScopedKernel pin(k);
+      TokenTrace got = Tokenize(doc);
+      SCOPED_TRACE(std::string(KernelName(k)) + " on: " + doc.substr(0, 80));
+      EXPECT_EQ(base.status, got.status);
+      EXPECT_EQ(base.unescaped, got.unescaped);
+      ASSERT_EQ(base.tokens.size(), got.tokens.size());
+      for (size_t i = 0; i < base.tokens.size(); ++i) {
+        EXPECT_TRUE(base.tokens[i] == got.tokens[i])
+            << "token " << i << " diverged (offset " << base.tokens[i].offset
+            << " vs " << got.tokens[i].offset << ")";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: end-to-end inference parity. DirectInferType under each kernel
+// vs scalar, and vs the DOM pipeline: same types, same Status byte-for-byte.
+
+void ExpectInferParity(std::string_view text) {
+  Result<types::TypeRef> base = [&] {
+    ScopedKernel pin(Kernel::kScalar);
+    return DirectInferType(text);
+  }();
+  // Scalar direct vs the DOM pipeline (the PR-7 contract, re-checked here
+  // because the kernels are compared against scalar transitively).
+  auto parsed = json::Parse(text);
+  ASSERT_EQ(base.ok(), parsed.ok()) << "on: " << text;
+  if (!base.ok()) {
+    EXPECT_EQ(base.status(), parsed.status()) << "on: " << text;
+  }
+  for (Kernel k : VectorKernels()) {
+    ScopedKernel pin(k);
+    auto got = DirectInferType(text);
+    SCOPED_TRACE(std::string(KernelName(k)) + " on: " +
+                 std::string(text.substr(0, 80)));
+    ASSERT_EQ(base.ok(), got.ok());
+    if (base.ok()) {
+      EXPECT_TRUE(types::TypeEquals(base.value(), got.value()))
+          << "  scalar: " << types::ToString(*base.value())
+          << "\n  kernel: " << types::ToString(*got.value());
+    } else {
+      EXPECT_EQ(base.status(), got.status());
+    }
+  }
+}
+
+TEST(SimdParityTest, AdversarialGallery) {
+  const std::string pad64 = std::string(64, ' ');
+  const std::vector<std::string> gallery = {
+           // Valid documents big enough to be indexed.
+           pad64 + R"({"a":[1,2,3],"b":{"c":"d"},"e":null})",
+           "[" + std::string(40, '1') + "," + std::string(40, '2') + "]",
+           R"({"esc":"a\nb\t\"c\"\\d\/e\u0041\uD83D\uDE00"})" + pad64,
+           // Malformed, with the error after at least one block.
+           pad64 + "[1 2]",
+           pad64 + "{\"a\":}",
+           pad64 + "\"tail never closes",
+           "\"" + std::string(70, 'a') + "\n\"",  // raw newline in string
+           "\"" + std::string(70, 'a') + "\\q\"",  // bad escape far in
+           pad64 + "01",
+           pad64 + "1e",
+           pad64 + "{\"a\":1,\"a\":2}",
+           pad64 + "[1,2",
+           pad64 + "{} {}",
+           pad64,  // all whitespace
+           // Short docs (unindexed) for completeness.
+           "nul", "[", "{\"a\"}", "",
+           // Raw UTF-8 and control bytes.
+           pad64 + "\"caf\xC3\xA9 \xE2\x82\xAC\"",
+           pad64 + std::string("\"nul\0byte\"", 10),
+           std::string("\x80\x81\x82", 3) + pad64,
+  };
+  for (const std::string& text : gallery) {
+    ExpectInferParity(text);
+  }
+}
+
+TEST(SimdParityTest, TruncationSweep) {
+  const std::string doc =
+      R"({"a":[1,2.5,null],"esc":"a\"b\\c","nested":{"k":[true,false],)"
+      R"("s":"xyzzy"},"num":-12.75e2,"tail":"padpadpadpadpadpadpadpad"})";
+  ASSERT_GT(doc.size(), 64u) << "sweep must cross a block boundary";
+  for (size_t len = 0; len <= doc.size(); ++len) {
+    ExpectInferParity(std::string_view(doc).substr(0, len));
+  }
+}
+
+TEST(SimdParityTest, BoundaryStraddleInference) {
+  const std::string cores[] = {
+      "\"" + std::string(90, 's') + "\"",
+      "[" + std::string(70, '7') + "]",
+      R"({"k":"\u00e9\ud83d\ude00)" + std::string(60, 'v') + "\"}",
+      "\"" + std::string(50, 'a') + "\\\"" + std::string(50, 'b') + "\"",
+      "\"" + std::string(70, 'u'),  // unterminated
+      "[true," + std::string(60, ' ') + "false]",
+  };
+  for (size_t offset = 0; offset < 64; ++offset) {
+    for (const std::string& core : cores) {
+      ExpectInferParity(std::string(offset, ' ') + core);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 4: degraded-mode ingestion. The policy x rate grid through
+// SchemaInferencer must yield identical Status, schema, and IngestStats —
+// bytes_consumed included, because a kernel that mis-scans newlines would
+// corrupt checkpoint resume offsets long before it corrupts a type.
+
+void ExpectStatsEqual(const json::IngestStats& want,
+                      const json::IngestStats& got) {
+  EXPECT_EQ(want.lines_read, got.lines_read);
+  EXPECT_EQ(want.blank_lines, got.blank_lines);
+  EXPECT_EQ(want.records, got.records);
+  EXPECT_EQ(want.malformed_lines, got.malformed_lines);
+  EXPECT_EQ(want.bytes_read, got.bytes_read);
+  EXPECT_EQ(want.bytes_consumed, got.bytes_consumed);
+  ASSERT_EQ(want.errors.size(), got.errors.size());
+  for (size_t i = 0; i < want.errors.size(); ++i) {
+    EXPECT_EQ(want.errors[i].line_number, got.errors[i].line_number);
+    EXPECT_EQ(want.errors[i].byte_offset, got.errors[i].byte_offset);
+    EXPECT_EQ(want.errors[i].message, got.errors[i].message);
+  }
+}
+
+std::string MixedCorpus() {
+  std::string corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus += R"({"id":)" + std::to_string(i) + R"(,"name":")" +
+              std::string(80 + i, 'n') + "\"}\n";
+    if (i % 8 == 3) corpus += "{\"broken\": " + std::string(70, 'x') + "\n";
+    if (i % 10 == 7) corpus += "\n";  // blank line
+  }
+  return corpus;
+}
+
+TEST(SimdParityTest, PolicyRateGridStatsParity) {
+  const std::string corpus = MixedCorpus();
+  struct Config {
+    MalformedLinePolicy policy;
+    double rate;
+  };
+  const Config grid[] = {
+      {MalformedLinePolicy::kFail, 0.0},
+      {MalformedLinePolicy::kSkip, 0.0},
+      {MalformedLinePolicy::kFailAboveRate, 0.05},
+      {MalformedLinePolicy::kFailAboveRate, 0.5},
+  };
+  for (const Config& config : grid) {
+    for (size_t threads : {size_t{1}, size_t{2}}) {
+      InferenceOptions options;
+      options.ingest.on_malformed = config.policy;
+      options.ingest.max_error_rate = config.rate;
+      options.ingest.min_lines_for_rate = 4;
+      options.num_threads = threads;
+      options.parallel_ingest_min_bytes = 0;
+      SchemaInferencer inferencer(options);
+
+      json::IngestStats base_stats;
+      Result<core::Schema> base = [&] {
+        ScopedKernel pin(Kernel::kScalar);
+        return inferencer.InferFromJsonLines(corpus, &base_stats);
+      }();
+      for (Kernel k : VectorKernels()) {
+        ScopedKernel pin(k);
+        json::IngestStats stats;
+        auto got = inferencer.InferFromJsonLines(corpus, &stats);
+        SCOPED_TRACE(std::string(KernelName(k)) + " policy " +
+                     std::to_string(static_cast<int>(config.policy)) +
+                     " rate " + std::to_string(config.rate) + " threads " +
+                     std::to_string(threads));
+        ASSERT_EQ(base.ok(), got.ok());
+        if (base.ok()) {
+          EXPECT_TRUE(
+              types::TypeEquals(base.value().type, got.value().type));
+          EXPECT_EQ(base.value().stats.record_count,
+                    got.value().stats.record_count);
+        } else {
+          EXPECT_EQ(base.status(), got.status());
+        }
+        ExpectStatsEqual(base_stats, stats);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 5: dispatch. Forcing, fallback, env override, and the FindNewline /
+// ShouldIndex entry points the chunk splitter depends on.
+
+TEST(SimdDispatchTest, ForceKernelByName) {
+  ScopedKernel restore(ActiveKernel());
+  for (Kernel k : AvailableKernels()) {
+    ASSERT_TRUE(json::simd::ForceKernel(KernelName(k)).ok());
+    EXPECT_EQ(ActiveKernel(), k);
+  }
+  ASSERT_TRUE(json::simd::ForceKernel("auto").ok());
+  EXPECT_EQ(ActiveKernel(), json::simd::DetectBestKernel());
+}
+
+TEST(SimdDispatchTest, UnknownKernelNameRejected) {
+  const Kernel before = ActiveKernel();
+  ScopedKernel restore(before);
+  Status status = json::simd::ForceKernel("avx1024");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown SIMD kernel"), std::string::npos)
+      << status.message();
+  // A rejected force must leave the active kernel untouched.
+  EXPECT_EQ(ActiveKernel(), before);
+}
+
+TEST(SimdDispatchTest, UnavailableKernelFallsBackToScalar) {
+  ScopedKernel restore(ActiveKernel());
+  // Pick an ISA this host cannot have: NEON on x86, AVX2 on ARM. At least
+  // one of the two is always foreign.
+  Kernel foreign =
+      KernelAvailable(Kernel::kNEON) ? Kernel::kAVX2 : Kernel::kNEON;
+  ASSERT_FALSE(KernelAvailable(foreign));
+  SetKernel(foreign);  // must not crash, must not select the foreign ISA
+  EXPECT_EQ(ActiveKernel(), Kernel::kScalar);
+  // ForceKernel with the same name: OK (deployment configs keep working),
+  // scalar selected, warning on stderr.
+  ASSERT_TRUE(json::simd::ForceKernel(KernelName(foreign)).ok());
+  EXPECT_EQ(ActiveKernel(), Kernel::kScalar);
+}
+
+class EnvKernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prior = std::getenv("JSI_FORCE_KERNEL");
+    if (prior != nullptr) saved_env_ = prior;
+    had_env_ = prior != nullptr;
+    saved_kernel_ = ActiveKernel();
+  }
+  void TearDown() override {
+    if (had_env_) {
+      setenv("JSI_FORCE_KERNEL", saved_env_.c_str(), 1);
+    } else {
+      unsetenv("JSI_FORCE_KERNEL");
+    }
+    json::simd::ResetKernelForTesting();
+    SetKernel(saved_kernel_);
+  }
+  std::string saved_env_;
+  bool had_env_ = false;
+  Kernel saved_kernel_ = Kernel::kScalar;
+};
+
+TEST_F(EnvKernelTest, EnvForcesKernel) {
+  for (Kernel k : AvailableKernels()) {
+    setenv("JSI_FORCE_KERNEL", KernelName(k), 1);
+    json::simd::ResetKernelForTesting();
+    EXPECT_EQ(ActiveKernel(), k) << KernelName(k);
+  }
+}
+
+TEST_F(EnvKernelTest, UnknownEnvValueFallsBackToDetection) {
+  setenv("JSI_FORCE_KERNEL", "quantum9000", 1);
+  json::simd::ResetKernelForTesting();
+  EXPECT_EQ(ActiveKernel(), json::simd::DetectBestKernel());
+}
+
+TEST(SimdDispatchTest, ShouldIndexPolicy) {
+  {
+    ScopedKernel pin(Kernel::kScalar);
+    EXPECT_FALSE(json::simd::ShouldIndex(1 << 20))
+        << "scalar runs must never build an index";
+  }
+  for (Kernel k : VectorKernels()) {
+    ScopedKernel pin(k);
+    EXPECT_FALSE(json::simd::ShouldIndex(63));
+    EXPECT_TRUE(json::simd::ShouldIndex(64));
+  }
+}
+
+TEST(SimdDispatchTest, TokenizerIndexGating) {
+  const std::string doc = "[" + std::string(100, '1') + "]";
+  {
+    ScopedKernel pin(Kernel::kScalar);
+    json::Tokenizer tok(doc);
+    EXPECT_EQ(tok.index(), nullptr);
+  }
+  for (Kernel k : VectorKernels()) {
+    ScopedKernel pin(k);
+    json::Tokenizer tok(doc);
+    ASSERT_NE(tok.index(), nullptr);
+    EXPECT_EQ(tok.index()->kernel(), k);
+    json::Tokenizer small(std::string_view(doc).substr(0, 10));
+    EXPECT_EQ(small.index(), nullptr);
+  }
+}
+
+TEST(SimdDispatchTest, FindNewlineParity) {
+  std::string text;
+  for (int i = 0; i < 10; ++i) {
+    text += std::string(static_cast<size_t>(i * 13 + 1), 'x');
+    text += '\n';
+  }
+  text += std::string(50, 'y');  // no trailing newline
+  for (Kernel k : AvailableKernels()) {
+    ScopedKernel pin(k);
+    for (size_t from = 0; from <= text.size(); from += 7) {
+      size_t want = text.find('\n', from);
+      if (want == std::string::npos) want = text.size();
+      EXPECT_EQ(json::simd::FindNewline(text, from), want)
+          << KernelName(k) << " from " << from;
+    }
+    EXPECT_EQ(json::simd::FindNewline(text, text.size()), text.size());
+    EXPECT_EQ(json::simd::FindNewline("", 0), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace jsonsi

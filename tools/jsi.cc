@@ -79,6 +79,12 @@
 //                          memoization (docs/performance.md) for this run —
 //                          the escape hatch for A/B timing and debugging;
 //                          results are structurally identical either way.
+//   --simd <kernel>        Pins the structural-index scan kernel: auto
+//                          (default: best available), scalar, sse4, avx2,
+//                          or neon. Unavailable kernels fall back to scalar
+//                          with a warning; unknown names are a usage error.
+//                          Equivalent to JSI_FORCE_KERNEL=<kernel>; the
+//                          flag wins when both are given.
 //   Value flags accept `--flag value` and `--flag=value` spellings.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime/validation failure,
@@ -107,6 +113,7 @@
 #include "datagen/generator.h"
 #include "json/jsonl.h"
 #include "json/serializer.h"
+#include "json/simd/kernel.h"
 #include "server/server.h"
 #include "server/shutdown.h"
 #include "stats/paths.h"
@@ -146,7 +153,8 @@ int Usage() {
       "  jsi codegen <file.jsonl | -> [--root Name] [--namespace ns]\n"
       "  jsi serve [--port N] [--bind ADDR] [--threads N] [--repo FILE]\n"
       "            [--max-body-mb N]\n"
-      "global flags: --metrics-out <file>  --trace-out <file>  --no-intern\n";
+      "global flags: --metrics-out <file>  --trace-out <file>  --no-intern\n"
+      "              --simd <auto|scalar|sse4|avx2|neon>\n";
   return 1;
 }
 
@@ -218,6 +226,10 @@ void PrintInferStats(const Schema& schema, size_t threads) {
                          ? (s.dom_records > 0 ? "mixed" : "direct")
                          : (s.dom_records > 0 ? "dom" : "direct");
   std::cerr << "threads:        " << threads << "\n"
+            << "simd:           "
+            << jsonsi::json::simd::KernelName(
+                   jsonsi::json::simd::ActiveKernel())
+            << "\n"
             << "ingestion:      " << mode << " (direct "
             << jsonsi::WithThousands(static_cast<int64_t>(s.direct_records))
             << " / dom "
@@ -817,6 +829,15 @@ int main(int argc, char** argv) {
   // Opt out of the interning/memoization acceleration (identity-preserving,
   // so only timings change).
   if (Flag(args, "--no-intern")) jsonsi::types::SetInterningEnabled(false);
+  // Pin the structural-index scan kernel (parity-identical output; only
+  // throughput changes). Overrides JSI_FORCE_KERNEL.
+  if (auto simd = FlagValue(args, "--simd")) {
+    jsonsi::Status forced = jsonsi::json::simd::ForceKernel(*simd);
+    if (!forced.ok()) {
+      std::cerr << "jsi: " << forced << "\n";
+      return Usage();
+    }
+  }
 
   int rc = Dispatch(command, std::move(args));
 
