@@ -1,0 +1,41 @@
+#!/bin/sh
+# Validates the BENCH_*.json accounting emitted by a bench run: every
+# expected file must exist, parse, and carry a non-empty "gauges" object.
+# A harness that silently stopped exporting its gauges (telemetry wiring
+# dropped, JSI_BENCH_JSON ignored, registry renamed) fails the bench-smoke
+# job instead of uploading an empty artifact.
+#
+# Usage: check_bench_json.sh <dir> <name>...
+#   <dir>   directory the harnesses wrote into (JSI_BENCH_JSON)
+#   <name>  BENCH_<name>.json basenames expected in <dir>
+set -eu
+
+DIR="$1"
+shift
+[ $# -gt 0 ] || { echo "check_bench_json.sh: no expected names given" >&2; exit 2; }
+
+status=0
+for name in "$@"; do
+  file="$DIR/BENCH_$name.json"
+  if [ ! -s "$file" ]; then
+    echo "MISSING $file" >&2
+    status=1
+    continue
+  fi
+  if python3 - "$file" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+gauges = doc.get("gauges")
+if not isinstance(gauges, dict) or not gauges:
+    raise SystemExit(f"{sys.argv[1]}: empty or missing 'gauges'")
+EOF
+  then
+    count=$(python3 -c "import json,sys; print(len(json.load(open(sys.argv[1]))['gauges']))" "$file")
+    echo "OK      $file ($count gauges)"
+  else
+    echo "BAD     $file" >&2
+    status=1
+  fi
+done
+exit $status

@@ -6,13 +6,18 @@
 // in tests/direct_infer_test.cc; the gallery seeds the corpus.
 //
 // The first input byte selects the ParseOptions variant (default, shallow
-// max_depth, tiny max_document_bytes, trailing content allowed); the second
-// byte selects the SIMD kernel the direct path runs under (modulo the
-// kernels this host actually has, so every corpus entry is meaningful on
-// every machine). The direct pass additionally runs under the scalar kernel
-// and both results are cross-checked — a vector kernel that mis-scans any
-// byte sequence shows up as a scalar/vector divergence even when the DOM
-// comparison alone would pass. The rest of the input is the document.
+// max_depth, tiny max_document_bytes, trailing content allowed) and, in its
+// high half (selector >= 4), turns annotation collection on: the same four
+// option variants re-run with an Annotation accumulator, cross-checking that
+// annotating changes no accept/reject decision or type, and that the
+// tokenizer-driven collection agrees exactly with the DOM-walk ObserveValue
+// (annotate/annotation.h). The second byte selects the SIMD kernel the
+// direct path runs under (modulo the kernels this host actually has, so
+// every corpus entry is meaningful on every machine). The direct pass
+// additionally runs under the scalar kernel and both results are
+// cross-checked — a vector kernel that mis-scans any byte sequence shows
+// up as a scalar/vector divergence even when the DOM comparison alone
+// would pass. The rest of the input is the document.
 //
 // Built with -fsanitize=fuzzer under Clang (see fuzz/CMakeLists.txt); under
 // GCC the same target links fuzz/standalone_main.cc and replays the corpus
@@ -25,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "annotate/annotation.h"
 #include "inference/direct_infer.h"
 #include "inference/infer.h"
 #include "json/parser.h"
@@ -49,9 +55,12 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   static const std::vector<simd::Kernel> kKernels = simd::AvailableKernels();
 
   jsonsi::json::ParseOptions options;
+  bool annotate = false;
   std::string_view doc(reinterpret_cast<const char*>(data), size);
   if (!doc.empty()) {
-    switch (static_cast<unsigned char>(doc.front()) % 4) {
+    const unsigned selector = static_cast<unsigned char>(doc.front()) % 8;
+    annotate = selector >= 4;
+    switch (selector % 4) {
       case 0:
         break;  // defaults
       case 1:
@@ -76,12 +85,16 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   jsonsi::Result<jsonsi::json::ValueRef> parsed =
       jsonsi::json::Parse(doc, options);
 
+  jsonsi::annotate::Annotation ann_scalar;
+  jsonsi::annotate::Annotation ann_vector;
   simd::SetKernel(simd::Kernel::kScalar);
   jsonsi::Result<jsonsi::types::TypeRef> scalar =
-      jsonsi::inference::DirectInferType(doc, options);
+      annotate ? jsonsi::inference::DirectInferType(doc, options, &ann_scalar)
+               : jsonsi::inference::DirectInferType(doc, options);
   simd::SetKernel(kernel);
   jsonsi::Result<jsonsi::types::TypeRef> direct =
-      jsonsi::inference::DirectInferType(doc, options);
+      annotate ? jsonsi::inference::DirectInferType(doc, options, &ann_vector)
+               : jsonsi::inference::DirectInferType(doc, options);
 
   // Vector kernel vs scalar: the SIMD parity axis.
   if (scalar.ok() != direct.ok()) Fail("kernel accept/reject split", doc);
@@ -104,5 +117,22 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   jsonsi::types::TypeRef via_dom =
       jsonsi::inference::InferType(*parsed.value());
   if (!via_dom->Equals(*direct.value())) Fail("type mismatch", doc);
+
+  if (annotate) {
+    // Annotation axes: collection must not perturb the type, the two
+    // kernels must accumulate identical statistics, and the tokenizer
+    // collection must equal the DOM walk.
+    jsonsi::Result<jsonsi::types::TypeRef> plain =
+        jsonsi::inference::DirectInferType(doc, options);
+    if (!plain.ok() || !plain.value()->Equals(*direct.value())) {
+      Fail("annotated/unannotated type mismatch", doc);
+    }
+    if (!ann_scalar.Equals(ann_vector)) {
+      Fail("kernel annotation mismatch", doc);
+    }
+    jsonsi::annotate::Annotation ann_dom;
+    jsonsi::annotate::ObserveValue(*parsed.value(), &ann_dom);
+    if (!ann_dom.Equals(ann_vector)) Fail("DOM annotation mismatch", doc);
+  }
   return 0;
 }

@@ -67,9 +67,9 @@ void MergeInto(ProfileNode* dst, const ProfileNode& src) {
   dst->str_count += src.str_count;
   dst->record_count += src.record_count;
   dst->array_count += src.array_count;
-  dst->num_stats.Merge(src.num_stats);
-  dst->str_len_stats.Merge(src.str_len_stats);
-  dst->array_len_stats.Merge(src.array_len_stats);
+  dst->num_stats.MergeFrom(src.num_stats);
+  dst->str_len_stats.MergeFrom(src.str_len_stats);
+  dst->array_len_stats.MergeFrom(src.array_len_stats);
   for (const auto& [key, sfp] : src.fields) {
     ProfileNode::FieldProfile& dfp = dst->fields[key];
     if (!dfp.node) {

@@ -30,32 +30,11 @@
 #include <memory>
 #include <string>
 
+#include "annotate/annotation.h"  // MinMax — shared with the monoid lattice
 #include "json/value.h"
 #include "types/type.h"
 
 namespace jsonsi::annotate {
-
-/// Running min/max over doubles (numeric values or lengths).
-struct MinMax {
-  bool seen = false;
-  double min = 0;
-  double max = 0;
-
-  void Observe(double v) {
-    if (!seen) {
-      min = max = v;
-      seen = true;
-    } else {
-      if (v < min) min = v;
-      if (v > max) max = v;
-    }
-  }
-  void Merge(const MinMax& other) {
-    if (!other.seen) return;
-    Observe(other.min);
-    Observe(other.max);
-  }
-};
 
 /// One annotated schema position.
 struct ProfileNode {

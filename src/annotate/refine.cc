@@ -1,0 +1,175 @@
+#include "annotate/refine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string_view>
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace jsonsi::annotate {
+
+namespace {
+
+// Minimal union-find over shape indices (at most kShapeCap of them).
+struct UnionFind {
+  std::vector<size_t> parent;
+
+  explicit UnionFind(size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent[Find(a)] = parent[Find(b)]; }
+};
+
+// Splits a shape signature (keys joined by '\x1f', trailing separator)
+// back into its keys.
+std::vector<std::string_view> SignatureKeys(std::string_view signature) {
+  std::vector<std::string_view> keys;
+  size_t pos = 0;
+  while (pos < signature.size()) {
+    size_t sep = signature.find('\x1f', pos);
+    if (sep == std::string_view::npos) break;  // malformed; ignore tail
+    keys.push_back(signature.substr(pos, sep - pos));
+    pos = sep + 1;
+  }
+  return keys;
+}
+
+// How many disjoint groups `key`'s value sets split the shapes into
+// (0 = not a valid discriminator).
+size_t GroupCount(const std::vector<const ShapeInfo*>& shapes,
+                  const std::string& key, UnionFind* uf) {
+  std::map<std::string_view, size_t> owner;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    auto it = shapes[i]->field_values.find(key);
+    if (it == shapes[i]->field_values.end()) return 0;
+    const DistinctSample& sample = it->second;
+    // The field must be a scalar in every record of the shape, with a
+    // complete value set — otherwise an unseen value could select the
+    // wrong variant.
+    if (sample.truncated || sample.observations != shapes[i]->count) {
+      return 0;
+    }
+    for (const std::string& v : sample.values) {
+      auto [slot, inserted] = owner.emplace(v, i);
+      if (!inserted) uf->Union(i, slot->second);
+    }
+  }
+  size_t groups = 0;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    if (uf->Find(i) == i) ++groups;
+  }
+  return groups;
+}
+
+void RefineNode(const std::string& path, const Annotation& node,
+                RefinementMap* out) {
+  // Refinement needs the COMPLETE shape census: a truncated map could hide
+  // a shape the discriminator does not cover.
+  if (node.shapes.size() >= 2 && !node.shapes_truncated) {
+    std::vector<std::string_view> signatures;
+    std::vector<const ShapeInfo*> shapes;
+    signatures.reserve(node.shapes.size());
+    shapes.reserve(node.shapes.size());
+    for (const auto& [signature, info] : node.shapes) {
+      signatures.push_back(signature);
+      shapes.push_back(&info);
+    }
+    // Candidate discriminators come from the first shape's sampled scalar
+    // fields; GroupCount re-checks presence and completeness per shape.
+    std::string best_key;
+    size_t best_groups = 0;
+    UnionFind best_uf(0);
+    for (const auto& [key, sample] : shapes[0]->field_values) {
+      UnionFind uf(shapes.size());
+      size_t groups = GroupCount(shapes, key, &uf);
+      if (groups >= 2 && (groups > best_groups ||
+                          (groups == best_groups && key < best_key))) {
+        best_key = key;
+        best_groups = groups;
+        best_uf = std::move(uf);
+      }
+    }
+    if (best_groups >= 2) {
+      std::map<size_t, RefinedVariant> groups;  // root index -> variant
+      for (size_t i = 0; i < shapes.size(); ++i) {
+        RefinedVariant& variant = groups[best_uf.Find(i)];
+        variant.count += shapes[i]->count;
+        // Plain set union, NOT DistinctSample::MergeFrom: each shape's
+        // sample is complete, and the variant's value set must stay
+        // complete even when the union outgrows the sample cap.
+        const std::vector<std::string>& sample_values =
+            shapes[i]->field_values.at(best_key).values;
+        std::vector<std::string> merged;
+        merged.reserve(variant.values.size() + sample_values.size());
+        std::set_union(variant.values.begin(), variant.values.end(),
+                       sample_values.begin(), sample_values.end(),
+                       std::back_inserter(merged));
+        variant.values = std::move(merged);
+        for (std::string_view key : SignatureKeys(signatures[i])) {
+          variant.key_presence[std::string(key)] += shapes[i]->count;
+        }
+      }
+      Refinement refinement;
+      refinement.discriminator = best_key;
+      refinement.variants.reserve(groups.size());
+      for (auto& [root, variant] : groups) {
+        refinement.variants.push_back(std::move(variant));
+      }
+      std::sort(refinement.variants.begin(), refinement.variants.end(),
+                [](const RefinedVariant& a, const RefinedVariant& b) {
+                  return a.values < b.values;
+                });
+      (*out)[path] = std::move(refinement);
+    }
+  }
+  for (const auto& [key, info] : node.fields) {
+    if (!info.node) continue;
+    RefineNode(path.empty() ? key : path + "." + key, *info.node, out);
+  }
+  if (node.items) RefineNode(path + "[]", *node.items, out);
+}
+
+}  // namespace
+
+RefinementMap RefineTaggedUnions(const Annotation& root) {
+  RefinementMap out;
+  RefineNode("", root, &out);
+  if (telemetry::Enabled() && !out.empty()) {
+    JSONSI_COUNTER("annotate.refined_unions").Add(out.size());
+  }
+  return out;
+}
+
+std::string FormatRefinements(const RefinementMap& refinements) {
+  std::string out;
+  for (const auto& [path, refinement] : refinements) {
+    out += path.empty() ? "<root>" : path;
+    out += ": discriminated by \"" + refinement.discriminator + "\" into " +
+           std::to_string(refinement.variants.size()) + " variants\n";
+    for (const RefinedVariant& variant : refinement.variants) {
+      out += "  " + refinement.discriminator + " = ";
+      for (size_t i = 0; i < variant.values.size(); ++i) {
+        if (i) out += " | ";
+        out += DecodeScalarDisplay(variant.values[i]);
+      }
+      out += ": " + std::to_string(variant.count) + " record" +
+             (variant.count == 1 ? "" : "s") + ", fields {";
+      bool first = true;
+      for (const auto& [key, present] : variant.key_presence) {
+        if (!first) out += ", ";
+        first = false;
+        out += key;
+        if (present < variant.count) out += "?";
+      }
+      out += "}\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace jsonsi::annotate

@@ -1,0 +1,81 @@
+// Tagged-union refinement from collected annotations.
+//
+// The paper's normal form fuses {type:"a", x:Num} and {type:"b", y:Str}
+// into ONE record with every field optional — precise about labels, silent
+// about which fields co-occur. Klessinger et al. (PAPERS.md) recover the
+// co-occurrence structure when a discriminator field exists: a field,
+// present in every variant, whose observed value sets partition the record
+// shapes. The Annotation shape map carries exactly the evidence needed —
+// per key-set signature, the complete value sample of every always-present
+// scalar field — so refinement is a pure function of the annotation:
+//
+//   1. candidate discriminators = scalar fields present in every record of
+//      every shape whose value samples are complete (not truncated);
+//   2. group shapes that share any candidate value (union-find) — the
+//      candidate partitions the position iff that leaves >= 2 groups;
+//   3. the best candidate (most groups, then smallest name) becomes the
+//      discriminator; each group becomes a variant with its value set,
+//      record count, and per-key presence.
+//
+// Truncation makes the analysis conservative, never wrong: a truncated
+// shape map or value sample disqualifies the position/candidate instead of
+// risking a variant that silently excludes unseen records. Because the
+// annotation is merge-order-independent, so is the refinement — serial and
+// parallel runs produce identical RefinementMaps (asserted in
+// tests/annotation_pipeline_test.cc).
+//
+// Consumers: `jsi infer --annotate` and `--stats` (report), the JSON Schema
+// exporter (oneOf + const/enum encoding), and `jsi diff --data`
+// (discriminator/variant drift).
+
+#ifndef JSONSI_ANNOTATE_REFINE_H_
+#define JSONSI_ANNOTATE_REFINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "annotate/annotation.h"
+
+namespace jsonsi::annotate {
+
+/// One alternative of a refined union: the discriminator values selecting
+/// it, how many records it covers, and which keys those records carried.
+struct RefinedVariant {
+  /// Encoded discriminator values (sorted; decode with
+  /// DecodeScalarDisplay/DecodeScalarValue).
+  std::vector<std::string> values;
+  uint64_t count = 0;
+  /// key -> number of the variant's records carrying the key (== count
+  /// means mandatory within the variant).
+  std::map<std::string, uint64_t> key_presence;
+
+  friend bool operator==(const RefinedVariant&,
+                         const RefinedVariant&) = default;
+};
+
+/// A discriminated union detected at one record position.
+struct Refinement {
+  std::string discriminator;
+  /// Sorted by first (smallest) discriminator value.
+  std::vector<RefinedVariant> variants;
+
+  friend bool operator==(const Refinement&, const Refinement&) = default;
+};
+
+/// Dotted schema path -> refinement. Paths follow diff/schema_diff.h
+/// conventions: "" is the root, "a.b" nests fields, "[]" marks array
+/// element positions ("items[]" is the body of field `items`).
+using RefinementMap = std::map<std::string, Refinement>;
+
+/// Detects every discriminated union in the annotation tree.
+RefinementMap RefineTaggedUnions(const Annotation& root);
+
+/// Multi-line report, deterministic ("<root>: discriminated by \"type\"
+/// into 2 variants" plus one line per variant).
+std::string FormatRefinements(const RefinementMap& refinements);
+
+}  // namespace jsonsi::annotate
+
+#endif  // JSONSI_ANNOTATE_REFINE_H_

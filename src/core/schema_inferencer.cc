@@ -49,6 +49,7 @@ namespace {
 // accounting in SchemaStats.
 struct PartitionPartial {
   TypeRef partial;
+  std::unique_ptr<annotate::Annotation> annotation;
   stats::DistinctTypeSet distinct;
   size_t min_size = 0;
   size_t max_size = 0;
@@ -69,14 +70,18 @@ Status InferSerial(const std::vector<json::ValueRef>& values,
 
   // ---- Map phase: per-value type inference (Figure 4). ----
   Stopwatch infer_watch;
+  std::unique_ptr<annotate::Annotation> ann;
+  if (options.annotate) ann = std::make_unique<annotate::Annotation>();
   std::vector<TypeRef> typed;
   typed.reserve(values.size());
   {
     JSONSI_SPAN("infer.map");
     for (const json::ValueRef& v : values) {
-      typed.push_back(inference::InferType(*v));
+      typed.push_back(ann ? inference::InferType(*v, ann.get())
+                          : inference::InferType(*v));
     }
   }
+  if (ann) schema->annotation = std::move(ann);
   schema->stats.infer_seconds = infer_watch.ElapsedSeconds();
   if (telemetry::Enabled()) {
     JSONSI_COUNTER("map.records").Add(values.size());
@@ -146,6 +151,7 @@ Status InferParallel(const std::vector<json::ValueRef>& values,
       std::max<size_t>(1, std::min(options.num_partitions, n));
   std::vector<PartitionPartial> partials(parts);
   const bool collect = options.collect_stats;
+  const bool do_annotate = options.annotate;
 
   {
     JSONSI_SPAN("infer.map");
@@ -156,14 +162,20 @@ Status InferParallel(const std::vector<json::ValueRef>& values,
       const size_t len = base + (p < extra ? 1 : 0);
       const size_t begin = offset;
       offset += len;
-      pool.Submit([&values, &partials, p, begin, len, collect] {
+      pool.Submit([&values, &partials, p, begin, len, collect, do_annotate] {
         JSONSI_SPAN("pipeline.worker");
         PartitionPartial& pp = partials[p];
+        if (do_annotate) {
+          pp.annotation = std::make_unique<annotate::Annotation>();
+        }
         Stopwatch infer_watch;
         std::vector<TypeRef> typed;
         typed.reserve(len);
         for (size_t i = begin; i < begin + len; ++i) {
-          typed.push_back(inference::InferType(*values[i]));
+          typed.push_back(
+              do_annotate
+                  ? inference::InferType(*values[i], pp.annotation.get())
+                  : inference::InferType(*values[i]));
         }
         pp.infer_seconds = infer_watch.ElapsedSeconds();
         if (collect) {
@@ -190,6 +202,16 @@ Status InferParallel(const std::vector<json::ValueRef>& values,
     pool.Wait();
   }
   JSONSI_RETURN_IF_ERROR(pool.first_error());
+
+  if (do_annotate) {
+    // Associativity + commutativity make any merge order exact; index order
+    // keeps the fold deterministic anyway.
+    auto acc = std::make_unique<annotate::Annotation>();
+    for (PartitionPartial& pp : partials) {
+      if (pp.annotation) acc->MergeFrom(*pp.annotation);
+    }
+    schema->annotation = std::move(acc);
+  }
 
   double max_infer = 0, max_fuse = 0;
   for (const PartitionPartial& pp : partials) {
@@ -477,6 +499,8 @@ Schema SchemaInferencer::InferFromValues(
 Result<Schema> SchemaInferencer::InferDirectFromJsonLines(
     std::string_view text, json::IngestStats* stats) const {
   std::vector<TypeRef> typed;
+  std::unique_ptr<annotate::Annotation> annotation;
+  if (options_.annotate) annotation = std::make_unique<annotate::Annotation>();
   double ingest_seconds = 0;
 
   if (options_.num_threads <= 1 ||
@@ -487,6 +511,17 @@ Result<Schema> SchemaInferencer::InferDirectFromJsonLines(
     {
       JSONSI_SPAN("infer.direct");
       json::LineFn fn = [&](std::string_view line) -> Result<bool> {
+        if (annotation) {
+          // Per-record tree, folded only on success, so a malformed line's
+          // partial observations never reach the accumulator.
+          annotate::Annotation rec;
+          Result<TypeRef> t =
+              inference::DirectInferType(line, options_.ingest.parse, &rec);
+          if (!t.ok()) return t.status();
+          annotation->MergeFrom(rec);
+          typed.push_back(std::move(t).value());
+          return true;
+        }
         Result<TypeRef> t =
             inference::DirectInferType(line, options_.ingest.parse);
         if (!t.ok()) return t.status();
@@ -514,7 +549,7 @@ Result<Schema> SchemaInferencer::InferDirectFromJsonLines(
           outcomes[i] = inference::InferJsonLinesChunk(
               text.substr(spans[i].begin, spans[i].size()),
               options_.ingest.parse, options_.ingest.max_recorded_errors,
-              i == 0);
+              i == 0, options_.annotate);
         });
       }
       pool.Wait();
@@ -528,6 +563,31 @@ Result<Schema> SchemaInferencer::InferDirectFromJsonLines(
     json::ChunkReplay replay =
         inference::ReplayChunkPolicy(outcomes, options_.ingest, out);
     if (!replay.status.ok()) return replay.status;
+    if (annotation) {
+      // Fold the eager whole-chunk accumulators the replay kept in full,
+      // in index order. The chunk the replay aborted inside (if any) is
+      // re-scanned over just its included prefix — its eager fold saw
+      // excluded records and cannot be used.
+      size_t merges = 0;
+      for (size_t c = 0; c < replay.full_chunks && c < outcomes.size(); ++c) {
+        if (outcomes[c].annotation) {
+          annotation->MergeFrom(*outcomes[c].annotation);
+          ++merges;
+        }
+      }
+      if (replay.partial_records > 0 && replay.full_chunks < outcomes.size()) {
+        const json::ChunkSpan& span = spans[replay.full_chunks];
+        inference::AnnotateChunkPrefix(text.substr(span.begin, span.size()),
+                                       options_.ingest.parse,
+                                       replay.full_chunks == 0,
+                                       replay.partial_records,
+                                       annotation.get());
+        ++merges;
+      }
+      if (telemetry::Enabled()) {
+        JSONSI_COUNTER("annotate.chunk_merges").Add(merges);
+      }
+    }
     typed = inference::TakeIncludedTypes(std::move(outcomes), replay);
     ingest_seconds = ingest_watch.ElapsedSeconds();
   }
@@ -536,6 +596,7 @@ Result<Schema> SchemaInferencer::InferDirectFromJsonLines(
   if (!schema.ok()) return schema;
   // Parsing and Map are one fused pass on this path; bill it as Map cost.
   schema.value().stats.infer_seconds += ingest_seconds;
+  schema.value().annotation = std::move(annotation);
   return schema;
 }
 
@@ -657,6 +718,15 @@ Schema SchemaInferencer::Merge(const Schema& a, const Schema& b) {
   out.stats.fuse_seconds = sa.fuse_seconds + sb.fuse_seconds;
   out.stats.direct_records = sa.direct_records + sb.direct_records;
   out.stats.dom_records = sa.dom_records + sb.dom_records;
+  if (a.annotation || b.annotation) {
+    // The annotation lattice merges exactly like the types do (the same
+    // monoid fold), so the merged schema's statistics are those of the
+    // union of the two inputs.
+    auto merged = std::make_unique<annotate::Annotation>();
+    if (a.annotation) merged->MergeFrom(*a.annotation);
+    if (b.annotation) merged->MergeFrom(*b.annotation);
+    out.annotation = std::move(merged);
+  }
   return out;
 }
 

@@ -50,10 +50,12 @@
 #define JSONSI_CORE_SCHEMA_INFERENCER_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "annotate/annotation.h"
 #include "engine/retry.h"
 #include "json/jsonl.h"
 #include "json/value.h"
@@ -92,6 +94,14 @@ struct InferenceOptions {
   /// Ingestion chunks created per worker thread (load-balancing slack for
   /// uneven line lengths).
   size_t chunks_per_thread = 4;
+  /// Collect the Annotation monoid lattice (annotate/annotation.h) beside
+  /// the schema: per-position counts, numeric/string ranges, distinct-value
+  /// samples, cardinality sketches and record-shape evidence for
+  /// tagged-union refinement. Off by default — the un-annotated hot path
+  /// keeps its throughput; `jsi infer --annotate` opts in. The annotation
+  /// is exactly identical across serial, parallel and chunk-parallel runs
+  /// (every component is an associative + commutative merge).
+  bool annotate = false;
 };
 
 /// Statistics gathered by one inference run (or accumulated by Merge).
@@ -120,6 +130,10 @@ struct SchemaStats {
 struct Schema {
   types::TypeRef type;
   SchemaStats stats;
+  /// Value statistics keyed by schema position (null unless
+  /// InferenceOptions::annotate was set). Shared, not owned: Merge() and
+  /// copies of the schema alias the same immutable tree.
+  std::shared_ptr<const annotate::Annotation> annotation;
 
   /// Renders the type in the paper's notation (multiline when `pretty`).
   std::string ToString(bool pretty = false) const;

@@ -1,6 +1,7 @@
 #include "diff/schema_diff.h"
 
 #include <algorithm>
+#include <set>
 
 #include "fusion/fuse.h"
 #include "types/printer.h"
@@ -199,6 +200,16 @@ const char* ChangeKindName(ChangeKind kind) {
       return "kinds-narrowed";
     case ChangeKind::kArrayShapeChanged:
       return "array-shape-changed";
+    case ChangeKind::kDiscriminatorAdded:
+      return "discriminator-added";
+    case ChangeKind::kDiscriminatorRemoved:
+      return "discriminator-removed";
+    case ChangeKind::kDiscriminatorChanged:
+      return "discriminator-changed";
+    case ChangeKind::kVariantAdded:
+      return "variant-added";
+    case ChangeKind::kVariantRemoved:
+      return "variant-removed";
   }
   return "?";
 }
@@ -216,14 +227,94 @@ std::vector<SchemaChange> DiffSchemas(const types::TypeRef& before,
   return changes;
 }
 
+std::vector<SchemaChange> DiffRefinements(
+    const annotate::RefinementMap& before,
+    const annotate::RefinementMap& after) {
+  // A variant is identified by its discriminator value set, rendered for
+  // humans ("\"a\" | \"b\"").
+  auto variant_label = [](const annotate::RefinedVariant& v) {
+    std::string label;
+    for (size_t i = 0; i < v.values.size(); ++i) {
+      if (i) label += " | ";
+      label += annotate::DecodeScalarDisplay(v.values[i]);
+    }
+    return label;
+  };
+  std::vector<SchemaChange> changes;
+  auto emit = [&](const std::string& path, ChangeKind kind,
+                  std::string detail) {
+    changes.push_back(
+        {path.empty() ? "<root>" : path, kind, std::move(detail)});
+  };
+  auto ib = before.begin();
+  auto ia = after.begin();
+  while (ib != before.end() || ia != after.end()) {
+    int cmp = ib == before.end()   ? 1
+              : ia == after.end() ? -1
+                                  : ib->first.compare(ia->first);
+    if (cmp < 0) {
+      emit(ib->first, ChangeKind::kDiscriminatorRemoved,
+           "\"" + ib->second.discriminator + "\"");
+      ++ib;
+      continue;
+    }
+    if (cmp > 0) {
+      emit(ia->first, ChangeKind::kDiscriminatorAdded,
+           "\"" + ia->second.discriminator + "\", " +
+               std::to_string(ia->second.variants.size()) + " variants");
+      ++ia;
+      continue;
+    }
+    const annotate::Refinement& rb = ib->second;
+    const annotate::Refinement& ra = ia->second;
+    if (rb.discriminator != ra.discriminator) {
+      emit(ib->first, ChangeKind::kDiscriminatorChanged,
+           "\"" + rb.discriminator + "\" -> \"" + ra.discriminator + "\"");
+    } else {
+      // Same discriminator: compare variant groups by value set.
+      std::set<std::string> vb, va;
+      for (const annotate::RefinedVariant& v : rb.variants) {
+        vb.insert(variant_label(v));
+      }
+      for (const annotate::RefinedVariant& v : ra.variants) {
+        va.insert(variant_label(v));
+      }
+      for (const std::string& label : vb) {
+        if (!va.count(label)) {
+          emit(ib->first, ChangeKind::kVariantRemoved,
+               rb.discriminator + " = " + label);
+        }
+      }
+      for (const std::string& label : va) {
+        if (!vb.count(label)) {
+          emit(ia->first, ChangeKind::kVariantAdded,
+               ra.discriminator + " = " + label);
+        }
+      }
+    }
+    ++ib;
+    ++ia;
+  }
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const SchemaChange& a, const SchemaChange& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return changes;
+}
+
 std::string FormatChanges(const std::vector<SchemaChange>& changes) {
   std::string out;
   for (const SchemaChange& c : changes) {
     switch (c.kind) {
       case ChangeKind::kFieldAdded:
+      case ChangeKind::kDiscriminatorAdded:
+      case ChangeKind::kVariantAdded:
         out += "+ ";
         break;
       case ChangeKind::kFieldRemoved:
+      case ChangeKind::kDiscriminatorRemoved:
+      case ChangeKind::kVariantRemoved:
         out += "- ";
         break;
       default:

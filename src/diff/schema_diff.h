@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "annotate/refine.h"
 #include "types/type.h"
 
 namespace jsonsi::diff {
@@ -33,6 +34,13 @@ enum class ChangeKind {
   kKindsBroadened,    // position accepts new kinds (e.g. Num -> Num + Str)
   kKindsNarrowed,     // position lost kinds
   kArrayShapeChanged, // exact <-> starred array form
+  // Refinement drift (annotated runs only): changes in the discriminated
+  // tagged-union structure recovered by annotate/refine.h.
+  kDiscriminatorAdded,    // position became a discriminated union
+  kDiscriminatorRemoved,  // position no longer discriminates
+  kDiscriminatorChanged,  // a different field discriminates now
+  kVariantAdded,          // a new discriminator value group appeared
+  kVariantRemoved,        // a discriminator value group disappeared
 };
 
 /// Stable lowercase name ("field-added", ...).
@@ -50,6 +58,15 @@ struct SchemaChange {
 /// paths lexicographically, then change kind.
 std::vector<SchemaChange> DiffSchemas(const types::TypeRef& before,
                                       const types::TypeRef& after);
+
+/// Computes refinement drift between two annotated runs (`jsi diff --data`):
+/// discriminators appearing/disappearing/moving and variant groups added or
+/// removed. Variants are identified by their discriminator value sets. Same
+/// path conventions and ordering as DiffSchemas; concatenate and re-sort to
+/// mix with structural changes (FormatChanges renders either).
+std::vector<SchemaChange> DiffRefinements(
+    const annotate::RefinementMap& before,
+    const annotate::RefinementMap& after);
 
 /// Renders the change list one line per change ("~ user.id: kinds broadened
 /// (Num -> Num + Str)").

@@ -15,18 +15,125 @@ using types::TypeRef;
 
 namespace {
 
-ValueRef Translate(const Type& t, const JsonSchemaOptions& options);
+// Annotation context for one schema position: the matching accumulator node
+// (null when annotations are absent or the position was never observed) and
+// the differ-convention dotted path used to look up refinements.
+struct Ctx {
+  const annotate::Annotation* ann = nullptr;
+  std::string path;
+
+  Ctx Field(const std::string& key) const {
+    Ctx child;
+    child.path = path.empty() ? key : path + "." + key;
+    if (ann != nullptr) {
+      auto it = ann->fields.find(key);
+      if (it != ann->fields.end()) child.ann = it->second.node.get();
+    }
+    return child;
+  }
+
+  Ctx Items() const {
+    Ctx child;
+    child.path = path + "[]";
+    if (ann != nullptr) child.ann = ann->items.get();
+    return child;
+  }
+};
+
+ValueRef Translate(const Type& t, const JsonSchemaOptions& options,
+                   const Ctx& ctx);
 
 ValueRef TypeName(const char* name) {
   return Value::RecordUnchecked({{"type", Value::Str(name)}});
 }
 
-ValueRef TranslateRecord(const Type& t, const JsonSchemaOptions& options) {
+// Attaches "enum" when the position's complete distinct-value set was
+// sampled. Values are filtered by the leaf's encoding tag so a union
+// position's Num branch only enumerates numbers, the Str branch strings.
+void AppendEnum(const annotate::Annotation& ann, char tag,
+                std::vector<Field>* schema) {
+  if (!ann.sample.complete() || ann.sample.values.empty()) return;
+  std::vector<ValueRef> values;
+  for (const std::string& v : ann.sample.values) {
+    if (!v.empty() && v[0] == tag) {
+      values.push_back(annotate::DecodeScalarValue(v));
+    }
+  }
+  if (!values.empty()) {
+    schema->push_back({"enum", Value::Array(std::move(values))});
+  }
+}
+
+ValueRef TranslateNum(const Ctx& ctx) {
+  if (ctx.ann == nullptr) return TypeName("number");
+  std::vector<Field> schema = {{"type", Value::Str("number")}};
+  if (ctx.ann->num_range.seen) {
+    schema.push_back({"minimum", Value::Num(ctx.ann->num_range.min)});
+    schema.push_back({"maximum", Value::Num(ctx.ann->num_range.max)});
+  }
+  AppendEnum(*ctx.ann, 'n', &schema);
+  return Value::RecordUnchecked(std::move(schema));
+}
+
+ValueRef TranslateStr(const Ctx& ctx) {
+  if (ctx.ann == nullptr) return TypeName("string");
+  std::vector<Field> schema = {{"type", Value::Str("string")}};
+  if (ctx.ann->str_len.seen) {
+    schema.push_back(
+        {"minLength", Value::Num(static_cast<double>(ctx.ann->str_len.min))});
+    schema.push_back(
+        {"maxLength", Value::Num(static_cast<double>(ctx.ann->str_len.max))});
+  }
+  AppendEnum(*ctx.ann, 's', &schema);
+  return Value::RecordUnchecked(std::move(schema));
+}
+
+// The discriminated-variant encoding: one "oneOf" branch per variant, each
+// pinning the discriminator ("const" for one value, "enum" for several) and
+// requiring the keys every record of the variant carried. Composes with the
+// fused object schema it is attached to — properties/types still validate
+// there; the oneOf restores what fusion erased.
+ValueRef TranslateRefinement(const annotate::Refinement& refinement) {
+  std::vector<ValueRef> one_of;
+  one_of.reserve(refinement.variants.size());
+  for (const annotate::RefinedVariant& variant : refinement.variants) {
+    ValueRef disc;
+    if (variant.values.size() == 1) {
+      disc = Value::RecordUnchecked(
+          {{"const", annotate::DecodeScalarValue(variant.values[0])}});
+    } else {
+      std::vector<ValueRef> values;
+      values.reserve(variant.values.size());
+      for (const std::string& v : variant.values) {
+        values.push_back(annotate::DecodeScalarValue(v));
+      }
+      disc = Value::RecordUnchecked(
+          {{"enum", Value::Array(std::move(values))}});
+    }
+    std::vector<Field> branch = {
+        {"properties", Value::RecordUnchecked(
+                           {{refinement.discriminator, std::move(disc)}})},
+    };
+    std::vector<ValueRef> required;
+    for (const auto& [key, present] : variant.key_presence) {
+      if (present == variant.count) required.push_back(Value::Str(key));
+    }
+    if (!required.empty()) {
+      branch.push_back({"required", Value::Array(std::move(required))});
+    }
+    one_of.push_back(Value::RecordUnchecked(std::move(branch)));
+  }
+  return Value::Array(std::move(one_of));
+}
+
+ValueRef TranslateRecord(const Type& t, const JsonSchemaOptions& options,
+                         const Ctx& ctx) {
   std::vector<Field> properties;
   std::vector<ValueRef> required;
   properties.reserve(t.fields().size());
   for (const types::FieldType& f : t.fields()) {
-    properties.push_back({f.key, Translate(*f.type, options)});
+    properties.push_back(
+        {f.key, Translate(*f.type, options, ctx.Field(f.key))});
     if (!f.optional) required.push_back(Value::Str(f.key));
   }
   std::vector<Field> schema = {
@@ -39,15 +146,25 @@ ValueRef TranslateRecord(const Type& t, const JsonSchemaOptions& options) {
   if (options.closed_records) {
     schema.push_back({"additionalProperties", Value::Bool(false)});
   }
+  if (options.refinements != nullptr) {
+    auto it = options.refinements->find(ctx.path);
+    if (it != options.refinements->end()) {
+      schema.push_back({"oneOf", TranslateRefinement(it->second)});
+    }
+  }
   return Value::RecordUnchecked(std::move(schema));
 }
 
-ValueRef TranslateExactArray(const Type& t, const JsonSchemaOptions& options) {
+ValueRef TranslateExactArray(const Type& t, const JsonSchemaOptions& options,
+                             const Ctx& ctx) {
   double n = static_cast<double>(t.elements().size());
+  // All elements of a position pool into one annotation child, so each
+  // prefix item reads the same (valid, pooled) statistics.
+  Ctx items = ctx.Items();
   std::vector<ValueRef> prefix;
   prefix.reserve(t.elements().size());
   for (const TypeRef& e : t.elements()) {
-    prefix.push_back(Translate(*e, options));
+    prefix.push_back(Translate(*e, options, items));
   }
   std::vector<Field> schema = {
       {"type", Value::Str("array")},
@@ -61,7 +178,8 @@ ValueRef TranslateExactArray(const Type& t, const JsonSchemaOptions& options) {
   return Value::RecordUnchecked(std::move(schema));
 }
 
-ValueRef TranslateStarArray(const Type& t, const JsonSchemaOptions& options) {
+ValueRef TranslateStarArray(const Type& t, const JsonSchemaOptions& options,
+                            const Ctx& ctx) {
   if (t.body()->is_empty()) {
     // [Empty*] denotes exactly the empty array.
     return Value::RecordUnchecked(
@@ -69,34 +187,35 @@ ValueRef TranslateStarArray(const Type& t, const JsonSchemaOptions& options) {
   }
   return Value::RecordUnchecked(
       {{"type", Value::Str("array")},
-       {"items", Translate(*t.body(), options)}});
+       {"items", Translate(*t.body(), options, ctx.Items())}});
 }
 
-ValueRef Translate(const Type& t, const JsonSchemaOptions& options) {
+ValueRef Translate(const Type& t, const JsonSchemaOptions& options,
+                   const Ctx& ctx) {
   switch (t.node()) {
     case TypeNode::kNull:
       return TypeName("null");
     case TypeNode::kBool:
       return TypeName("boolean");
     case TypeNode::kNum:
-      return TypeName("number");
+      return TranslateNum(ctx);
     case TypeNode::kStr:
-      return TypeName("string");
+      return TranslateStr(ctx);
     case TypeNode::kEmpty:
       // The false schema: matches nothing.
       return Value::RecordUnchecked(
           {{"not", Value::RecordUnchecked({})}});
     case TypeNode::kRecord:
-      return TranslateRecord(t, options);
+      return TranslateRecord(t, options, ctx);
     case TypeNode::kArrayExact:
-      return TranslateExactArray(t, options);
+      return TranslateExactArray(t, options, ctx);
     case TypeNode::kArrayStar:
-      return TranslateStarArray(t, options);
+      return TranslateStarArray(t, options, ctx);
     case TypeNode::kUnion: {
       std::vector<ValueRef> any_of;
       any_of.reserve(t.alternatives().size());
       for (const TypeRef& alt : t.alternatives()) {
-        any_of.push_back(Translate(*alt, options));
+        any_of.push_back(Translate(*alt, options, ctx));
       }
       return Value::RecordUnchecked(
           {{"anyOf", Value::Array(std::move(any_of))}});
@@ -108,7 +227,9 @@ ValueRef Translate(const Type& t, const JsonSchemaOptions& options) {
 }  // namespace
 
 ValueRef ToJsonSchema(const Type& type, const JsonSchemaOptions& options) {
-  ValueRef body = Translate(type, options);
+  Ctx root;
+  root.ann = options.annotation;
+  ValueRef body = Translate(type, options, root);
   if (!options.include_draft_uri) return body;
   std::vector<Field> fields = {
       {"$schema", Value::Str("https://json-schema.org/draft/2020-12/schema")}};

@@ -22,12 +22,22 @@
 //   [Empty*]                     {"type": "array", "maxItems": 0}
 //   T1 + ... + Tn                {"anyOf": [...]}
 //   Empty                        false-schema ({"not": {}})
+//
+// With annotations attached (JsonSchemaOptions::annotation, collected by
+// `--annotate`), the translation additionally emits validation facets the
+// observed data supports: "minimum"/"maximum" on numbers, "minLength"/
+// "maxLength" on strings, "enum" where the complete distinct-value set was
+// sampled, and — at record positions with a tagged-union refinement
+// (annotate/refine.h) — a "oneOf" of discriminator constraints encoding the
+// variants as {"properties": {disc: {"const": v}}, "required": [...]}.
 
 #ifndef JSONSI_EXPORT_JSON_SCHEMA_H_
 #define JSONSI_EXPORT_JSON_SCHEMA_H_
 
 #include <string>
 
+#include "annotate/annotation.h"
+#include "annotate/refine.h"
 #include "json/value.h"
 #include "types/type.h"
 
@@ -40,6 +50,14 @@ struct JsonSchemaOptions {
   /// Emit "additionalProperties": false (the paper's closed-record
   /// semantics). Disable for lenient consumer-side validation.
   bool closed_records = true;
+  /// Value statistics keyed by schema position (core::Schema::annotation).
+  /// When set, data-supported facets (ranges, lengths, enums) are attached
+  /// at matching positions. Borrowed, not owned; may be null.
+  const annotate::Annotation* annotation = nullptr;
+  /// Tagged-union refinements (RefineTaggedUnions over `annotation`), keyed
+  /// by the same dotted paths the differ uses. When set, refined record
+  /// positions carry the discriminated "oneOf" encoding. May be null.
+  const annotate::RefinementMap* refinements = nullptr;
 };
 
 /// Translates `type` into a JSON Schema document (as a JSON value).

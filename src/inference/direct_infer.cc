@@ -1,6 +1,7 @@
 #include "inference/direct_infer.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <iterator>
 #include <string>
@@ -32,8 +33,14 @@ namespace {
 // lexing anything, so this driver peeks instead.
 class DirectInferrer {
  public:
-  DirectInferrer(std::string_view text, const json::ParseOptions& options)
-      : tok_(text), options_(options), intern_(types::InterningEnabled()) {}
+  DirectInferrer(std::string_view text, const json::ParseOptions& options,
+                 annotate::Annotation* ann)
+      : tok_(text),
+        options_(options),
+        intern_(types::InterningEnabled()),
+        ann_(ann) {
+    if (ann_ != nullptr) ann_targets_.push_back(ann_);
+  }
 
   Result<TypeRef> Infer() {
     TypeRef root;
@@ -50,31 +57,72 @@ class DirectInferrer {
  private:
   // One record or array under construction. `start` indexes the shared
   // accumulator (fields_ for records, elems_ for arrays): children pushed
-  // past it belong to this frame and are consumed when it closes.
+  // past it belong to this frame and are consumed when it closes. When
+  // annotating, `ann` is the container's own accumulator and
+  // `scalar_start` its slice of scalar_fields_ (shape evidence).
   struct Frame {
     bool is_record;
     size_t start;
+    annotate::Annotation* ann = nullptr;
+    size_t scalar_start = 0;
   };
+
+  // The accumulator the next value at the cursor observes into: the root,
+  // the current field's node, or the enclosing array's items node.
+  annotate::Annotation* AnnTarget() { return ann_targets_.back(); }
 
   Status Run(TypeRef* out) {
     for (;;) {
       // --- Value position: the only place a token is pulled. ---
       Token t;
       TypeRef closed;
-      JSONSI_RETURN_IF_ERROR(tok_.Next(&t));
+      if (ann_ == nullptr) {
+        JSONSI_RETURN_IF_ERROR(tok_.Next(&t));
+      } else {
+        // Annotation needs unescaped string payloads (lengths, samples);
+        // the extra buffer changes no validation or error position.
+        val_buf_.clear();
+        JSONSI_RETURN_IF_ERROR(tok_.Next(&t, &val_buf_));
+      }
       switch (t.kind) {
         case TokenKind::kNull:
           closed = Type::Null();
+          if (ann_ != nullptr) {
+            AnnTarget()->ObserveNull();
+            pending_scalar_ = annotate::EncodeNull();
+            has_pending_scalar_ = true;
+          }
           break;
         case TokenKind::kTrue:
-        case TokenKind::kFalse:
+        case TokenKind::kFalse: {
           closed = Type::Bool();
+          if (ann_ != nullptr) {
+            const bool b = t.kind == TokenKind::kTrue;
+            AnnTarget()->ObserveBool(b);
+            pending_scalar_ = annotate::EncodeBool(b);
+            has_pending_scalar_ = true;
+          }
           break;
+        }
         case TokenKind::kNumber:
           closed = Type::Num();
+          if (ann_ != nullptr) {
+            // Re-parse the validated lexeme with the same std::from_chars
+            // the DOM parser's ScanNumber uses — bit-identical doubles.
+            double d = 0;
+            std::from_chars(t.text.data(), t.text.data() + t.text.size(), d);
+            AnnTarget()->ObserveNum(d);
+            pending_scalar_ = annotate::EncodeNum(d);
+            has_pending_scalar_ = true;
+          }
           break;
         case TokenKind::kString:
           closed = Type::Str();
+          if (ann_ != nullptr) {
+            AnnTarget()->ObserveStr(val_buf_);
+            pending_scalar_ = annotate::EncodeStr(val_buf_);
+            has_pending_scalar_ = true;
+          }
           break;
         case TokenKind::kEnd:
           return Tokenizer::ErrorAt(t, "unexpected end of input");
@@ -85,10 +133,21 @@ class DirectInferrer {
           tok_.SkipWhitespace();
           if (!tok_.AtEnd() && tok_.Peek() == '}') {
             tok_.Advance();
+            if (ann_ != nullptr) {
+              annotate::Annotation* a = AnnTarget();
+              a->ObserveRecordOpen();
+              a->ObserveShape(std::string(), {});
+            }
             closed = MakeRecord({});
             break;
           }
           frames_.push_back(Frame{/*is_record=*/true, fields_.size()});
+          if (ann_ != nullptr) {
+            Frame& f = frames_.back();
+            f.ann = AnnTarget();
+            f.scalar_start = scalar_fields_.size();
+            f.ann->ObserveRecordOpen();
+          }
           JSONSI_RETURN_IF_ERROR(ReadKey());
           continue;  // next value = first field value
         }
@@ -99,10 +158,16 @@ class DirectInferrer {
           tok_.SkipWhitespace();
           if (!tok_.AtEnd() && tok_.Peek() == ']') {
             tok_.Advance();
+            if (ann_ != nullptr) AnnTarget()->ObserveArray(0);
             closed = MakeArray({});
             break;
           }
           frames_.push_back(Frame{/*is_record=*/false, elems_.size()});
+          if (ann_ != nullptr) {
+            Frame& f = frames_.back();
+            f.ann = AnnTarget();
+            ann_targets_.push_back(f.ann->ItemsEntry());
+          }
           continue;  // next value = first element
         }
         default:
@@ -122,6 +187,14 @@ class DirectInferrer {
           // fields_.back() is this frame's pending field (nested frames
           // consume their fields before we unwind back here).
           fields_.back().type = std::move(closed);
+          if (ann_ != nullptr) {
+            ann_targets_.pop_back();  // leave the field position
+            if (has_pending_scalar_) {
+              scalar_fields_.emplace_back(fields_.back().key,
+                                          std::move(pending_scalar_));
+              has_pending_scalar_ = false;
+            }
+          }
           tok_.SkipWhitespace();
           if (tok_.AtEnd()) return tok_.ErrorHere("unterminated record");
           char c = tok_.Peek();
@@ -138,6 +211,9 @@ class DirectInferrer {
           return tok_.ErrorHere("expected ',' or '}' in record");
         }
         elems_.push_back(std::move(closed));
+        // Array elements contribute no shape evidence; drop any scalar
+        // encoding the element left behind.
+        has_pending_scalar_ = false;
         tok_.SkipWhitespace();
         if (tok_.AtEnd()) return tok_.ErrorHere("unterminated array");
         char c = tok_.Peek();
@@ -171,6 +247,10 @@ class DirectInferrer {
     }
     tok_.Advance();
     fields_.push_back(FieldType{key_buf_, nullptr, /*optional=*/false});
+    if (ann_ != nullptr) {
+      // Enter the field position: the next value observes into this node.
+      ann_targets_.push_back(frames_.back().ann->ObserveFieldEntry(key_buf_));
+    }
     return Status::OK();
   }
 
@@ -179,7 +259,8 @@ class DirectInferrer {
   // duplicate-key message + position match Value::Record's rejection as
   // re-wrapped by the parser: reported just past the closing '}'.
   Status CloseRecord(TypeRef* closed) {
-    size_t start = frames_.back().start;
+    const Frame frame = frames_.back();
+    const size_t start = frame.start;
     frames_.pop_back();
     auto first = fields_.begin() + static_cast<ptrdiff_t>(start);
     std::sort(first, fields_.end(),
@@ -192,6 +273,21 @@ class DirectInferrer {
                               "\"");
       }
     }
+    if (ann_ != nullptr) {
+      // Same signature scheme as the DOM path: each sorted key followed by
+      // a separator (so {} and {"":x} stay distinct).
+      std::string signature;
+      for (size_t i = start; i < fields_.size(); ++i) {
+        signature += fields_[i].key;
+        signature += '\x1f';
+      }
+      std::vector<std::pair<std::string, std::string>> scalars(
+          std::make_move_iterator(scalar_fields_.begin() +
+                                  static_cast<ptrdiff_t>(frame.scalar_start)),
+          std::make_move_iterator(scalar_fields_.end()));
+      scalar_fields_.resize(frame.scalar_start);
+      frame.ann->ObserveShape(signature, scalars);
+    }
     std::vector<FieldType> fields(std::make_move_iterator(first),
                                   std::make_move_iterator(fields_.end()));
     fields_.resize(start);
@@ -200,8 +296,13 @@ class DirectInferrer {
   }
 
   void CloseArray(TypeRef* closed) {
-    size_t start = frames_.back().start;
+    const Frame frame = frames_.back();
+    const size_t start = frame.start;
     frames_.pop_back();
+    if (ann_ != nullptr) {
+      ann_targets_.pop_back();  // leave the items position
+      frame.ann->ObserveArray(elems_.size() - start);
+    }
     auto first = elems_.begin() + static_cast<ptrdiff_t>(start);
     std::vector<TypeRef> elements(std::make_move_iterator(first),
                                   std::make_move_iterator(elems_.end()));
@@ -228,17 +329,34 @@ class DirectInferrer {
   std::vector<FieldType> fields_;  // shared field accumulator
   std::vector<TypeRef> elems_;     // shared element accumulator
   std::string key_buf_;            // reused unescape buffer for keys
+
+  // Annotation state — all idle (and ann_targets_ untouched) when ann_ is
+  // null, so the default path pays nothing but a branch per token.
+  annotate::Annotation* ann_;
+  std::vector<annotate::Annotation*> ann_targets_;
+  // Shared (key, encoded scalar) accumulator, sliced by Frame::scalar_start
+  // exactly like fields_ — the shape evidence for discriminator detection.
+  std::vector<std::pair<std::string, std::string>> scalar_fields_;
+  std::string val_buf_;         // reused unescape buffer for string values
+  std::string pending_scalar_;  // encoding of the value that just closed
+  bool has_pending_scalar_ = false;
 };
 
 }  // namespace
 
 Result<TypeRef> DirectInferType(std::string_view text,
                                 const json::ParseOptions& options) {
+  return DirectInferType(text, options, /*ann=*/nullptr);
+}
+
+Result<TypeRef> DirectInferType(std::string_view text,
+                                const json::ParseOptions& options,
+                                annotate::Annotation* ann) {
   if (options.max_document_bytes != 0 &&
       text.size() > options.max_document_bytes) {
     return json::DocumentTooLarge(text.size(), options.max_document_bytes);
   }
-  DirectInferrer inferrer(text, options);
+  DirectInferrer inferrer(text, options, ann);
   Result<TypeRef> result = inferrer.Infer();
   if (telemetry::Enabled()) {
     JSONSI_COUNTER("infer.direct.bytes").Add(text.size());
@@ -247,6 +365,7 @@ Result<TypeRef> DirectInferType(std::string_view text,
       JSONSI_COUNTER("infer.direct.records").Increment();
       JSONSI_COUNTER("infer.direct.dom_bypassed").Increment();
       JSONSI_HISTOGRAM("infer.type_size").Record(result.value()->size());
+      if (ann != nullptr) JSONSI_COUNTER("annotate.records").Increment();
     } else {
       JSONSI_COUNTER("infer.direct.errors").Increment();
     }
@@ -257,9 +376,10 @@ Result<TypeRef> DirectInferType(std::string_view text,
 TypedChunkOutcome InferJsonLinesChunk(std::string_view chunk,
                                       const json::ParseOptions& parse,
                                       size_t max_recorded_errors,
-                                      bool first_chunk) {
+                                      bool first_chunk, bool annotate) {
   JSONSI_SPAN("infer.direct.chunk");
   TypedChunkOutcome out;
+  if (annotate) out.annotation = std::make_unique<annotate::Annotation>();
   size_t pos = 0;
   // Identical line-splitting loop to json::ParseJsonLinesChunk, with
   // DirectInferType in place of Parse — the only difference between the
@@ -281,7 +401,13 @@ TypedChunkOutcome InferJsonLinesChunk(std::string_view chunk,
       ++out.stats.blank_lines;
       continue;
     }
-    Result<TypeRef> type = DirectInferType(line, parse);
+    // When annotating, observe into a per-record tree and fold it into the
+    // chunk accumulator only on success: a mid-record parse failure must
+    // not leak partial observations into the merge.
+    annotate::Annotation rec;
+    Result<TypeRef> type = annotate ? DirectInferType(line, parse, &rec)
+                                    : DirectInferType(line, parse);
+    if (annotate && type.ok()) out.annotation->MergeFrom(rec);
     if (type.ok()) {
       ++out.stats.records;
       out.types.push_back(std::move(type).value());
@@ -300,6 +426,27 @@ TypedChunkOutcome InferJsonLinesChunk(std::string_view chunk,
         out.stats.malformed_lines, out.stats.bytes_read, line_start});
   }
   return out;
+}
+
+void AnnotateChunkPrefix(std::string_view chunk,
+                         const json::ParseOptions& parse, bool first_chunk,
+                         size_t records, annotate::Annotation* acc) {
+  size_t pos = 0;
+  size_t lines_read = 0;
+  size_t kept = 0;
+  while (pos < chunk.size() && kept < records) {
+    size_t nl = json::simd::FindNewline(chunk, pos);
+    std::string_view line = chunk.substr(pos, nl - pos);
+    pos = nl < chunk.size() ? nl + 1 : chunk.size();
+    ++lines_read;
+    line = json::internal::UndecorateLine(line, first_chunk && lines_read == 1);
+    if (json::internal::IsBlankLine(line)) continue;
+    annotate::Annotation rec;
+    if (DirectInferType(line, parse, &rec).ok()) {
+      acc->MergeFrom(rec);
+      ++kept;
+    }
+  }
 }
 
 json::ChunkReplay ReplayChunkPolicy(

@@ -22,9 +22,11 @@
 #define JSONSI_INFERENCE_DIRECT_INFER_H_
 
 #include <cstddef>
+#include <memory>
 #include <string_view>
 #include <vector>
 
+#include "annotate/annotation.h"
 #include "json/jsonl.h"
 #include "json/jsonl_chunk.h"
 #include "json/parser.h"
@@ -40,21 +42,49 @@ namespace jsonsi::inference {
 Result<types::TypeRef> DirectInferType(std::string_view text,
                                        const json::ParseOptions& options = {});
 
+/// As above, additionally folding the document's statistics into `ann`
+/// (annotate/annotation.h) straight from the token stream — no DOM is
+/// materialized for annotation either. The annotation equals the DOM path's
+/// ObserveValue(*Parse(text)) exactly (differential-tested and fuzzed): the
+/// same std::from_chars scan produces the numbers, string statistics use
+/// the unescaped payload, and shape signatures come from the same sorted
+/// keys. On a malformed document `ann` holds a partial observation the
+/// caller must discard. `ann == nullptr` is the plain overload.
+Result<types::TypeRef> DirectInferType(std::string_view text,
+                                       const json::ParseOptions& options,
+                                       annotate::Annotation* ann);
+
 /// Everything one DOM-free chunk worker contributes to a merged parallel
 /// read: inferred types instead of parsed values, plus the shared
 /// ChunkIngest policy half (chunk-local stats, malformed-line snapshots).
 struct TypedChunkOutcome : json::ChunkIngest {
   /// Types inferred from the chunk's well-formed lines, in line order.
   std::vector<types::TypeRef> types;
+  /// Eagerly folded annotation of the chunk's well-formed lines (non-null
+  /// only when the worker ran with annotate=true). Per-record trees merge
+  /// into this accumulator as lines complete, so memory stays O(chunks);
+  /// the replay's abort exclusions are repaired by AnnotateChunkPrefix.
+  std::unique_ptr<annotate::Annotation> annotation;
 };
 
 /// DOM-free sibling of json::ParseJsonLinesChunk: one isolated chunk,
 /// DirectInferType per line, identical line splitting, BOM/CRLF tolerance
-/// and policy-free malformed-line accounting. Pure and thread-safe.
+/// and policy-free malformed-line accounting. Pure and thread-safe. With
+/// `annotate` set the outcome also carries the chunk's annotation fold.
 TypedChunkOutcome InferJsonLinesChunk(std::string_view chunk,
                                       const json::ParseOptions& parse,
                                       size_t max_recorded_errors,
-                                      bool first_chunk);
+                                      bool first_chunk, bool annotate = false);
+
+/// Re-annotates the first `records` well-formed lines of `chunk` into
+/// `acc`. Used for the chunk a policy replay aborts inside: its eager
+/// whole-chunk fold includes excluded records, so the included prefix is
+/// re-scanned instead (same line machinery, DirectInferType per line).
+/// Deterministic, so serial == chunk-parallel annotations hold exactly
+/// even on aborted runs.
+void AnnotateChunkPrefix(std::string_view chunk,
+                         const json::ParseOptions& parse, bool first_chunk,
+                         size_t records, annotate::Annotation* acc);
 
 /// Replays the malformed-line policy over typed chunk outcomes — the same
 /// payload-agnostic replay core as the DOM path, so abort points, statuses

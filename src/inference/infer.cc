@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "annotate/annotation.h"
 #include "json/parser.h"
 #include "telemetry/telemetry.h"
 #include "types/interner.h"
@@ -67,6 +68,11 @@ TypeRef InferType(const Value& value) {
     JSONSI_HISTOGRAM("infer.type_size").Record(t->size());
   }
   return t;
+}
+
+TypeRef InferType(const Value& value, annotate::Annotation* ann) {
+  if (ann != nullptr) annotate::ObserveValue(value, ann);
+  return InferType(value);
 }
 
 Result<types::TypeRef> InferTypeFromJson(std::string_view json_text) {

@@ -15,6 +15,7 @@
 
 #include <string_view>
 
+#include "annotate/annotation.h"
 #include "json/value.h"
 #include "support/status.h"
 #include "types/type.h"
@@ -26,6 +27,12 @@ types::TypeRef InferType(const json::Value& value);
 inline types::TypeRef InferType(const json::ValueRef& value) {
   return InferType(*value);
 }
+
+/// As InferType, additionally folding the value's statistics into `ann`
+/// (annotate/annotation.h) when `ann` is non-null. The annotation rides
+/// beside the type, never inside it: interning may hash-cons the returned
+/// type to a shared node, and the accumulator still sees every record.
+types::TypeRef InferType(const json::Value& value, annotate::Annotation* ann);
 
 /// Convenience: parse JSON text, then infer (one record of a dataset).
 Result<types::TypeRef> InferTypeFromJson(std::string_view json_text);

@@ -79,4 +79,33 @@ if "$JSI" infer "$TMP/gh.jsonl" --max-depth 2 > /dev/null 2>&1; then
   echo "expected --max-depth 2 to fail on nested records"; exit 1
 fi
 
+# annotation: --annotate reports refinements, exports enriched JSON Schema,
+# and produces identical output serial vs parallel.
+printf '%s\n' '{"type":"a","x":1}' '{"type":"a","x":2}' '{"type":"b","y":"s"}' \
+  > "$TMP/tagged.jsonl"
+"$JSI" infer "$TMP/tagged.jsonl" --annotate --stats \
+  > "$TMP/ann.txt" 2> "$TMP/ann_stats.txt"
+grep -q 'discriminated by "type" into 2 variants' "$TMP/ann.txt"
+grep -q "annotation:" "$TMP/ann_stats.txt"
+"$JSI" infer "$TMP/gh.jsonl" --annotate --threads 1 > "$TMP/ann_serial.txt"
+"$JSI" infer "$TMP/gh.jsonl" --annotate --threads 8 > "$TMP/ann_par.txt"
+cmp "$TMP/ann_serial.txt" "$TMP/ann_par.txt"
+"$JSI" export "$TMP/tagged.jsonl" --annotate > "$TMP/ann_export.txt"
+grep -q '"oneOf"' "$TMP/ann_export.txt"
+grep -q '"const"' "$TMP/ann_export.txt"
+# annotation is incompatible with checkpointing: refused, not ignored.
+if "$JSI" infer "$TMP/gh.jsonl" --annotate --checkpoint "$TMP/cp3.txt" \
+    > /dev/null 2>&1; then
+  echo "expected --annotate with --checkpoint to be refused"; exit 1
+fi
+# diff --data: variant drift between two annotated datasets exits 2.
+printf '%s\n' '{"type":"a","x":1}' '{"type":"b","y":"s"}' '{"type":"c","z":true}' \
+  > "$TMP/tagged2.jsonl"
+if "$JSI" diff --data "$TMP/tagged.jsonl" "$TMP/tagged2.jsonl" \
+    > "$TMP/ddiff.txt"; then
+  echo "expected diff --data to exit 2"; exit 1
+fi
+grep -q "variant-added" "$TMP/ddiff.txt"
+"$JSI" diff --data "$TMP/tagged.jsonl" "$TMP/tagged.jsonl" | grep -q "identical"
+
 echo "jsi CLI smoke test passed"

@@ -1,7 +1,8 @@
 // jsi — command-line front end for the jsonsi schema-inference library.
 //
 // Subcommands:
-//   jsi infer <file.jsonl | ->  [--pretty] [--stats] [--threads N]
+//   jsi infer <file.jsonl | ->  [--pretty] [--stats] [--annotate]
+//             [--threads N]
 //             [--partitions N] [--skip-malformed] [--max-error-rate R]
 //             [--no-direct] [--max-depth N] [--max-line-bytes N]
 //             [--checkpoint F [--checkpoint-every N] [--resume]]
@@ -26,6 +27,11 @@
 //       the full inference state to F every --checkpoint-every lines
 //       (default 100000); --resume restores F and continues from its byte
 //       offset — the final schema is identical to an uninterrupted run.
+//       --annotate collects the value-statistics lattice beside the schema
+//       (docs/annotations.md) and prints any tagged-union refinements it
+//       supports; with --stats the per-position digest goes to stderr.
+//       Annotations are exactly identical across serial, --threads N and
+//       chunk-parallel runs. Not compatible with --checkpoint.
 //   jsi gen <github|twitter|wikidata|nytimes> <count> [--seed S]
 //       Emits a synthetic dataset as JSON-Lines on stdout.
 //   jsi paths <file.jsonl | ->
@@ -33,15 +39,21 @@
 //   jsi check <file.jsonl | -> --schema '<type expression>'
 //       Validates every record against a schema; prints the first few
 //       violations and exits non-zero if any record fails.
-//   jsi export <file.jsonl | ->
+//   jsi export <file.jsonl | -> [--annotate]
 //       Infers the schema and emits it as a JSON Schema (draft 2020-12)
-//       document.
+//       document. --annotate additionally emits data-supported validation
+//       facets (minimum/maximum, minLength/maxLength, enum) and encodes
+//       refined tagged unions as a "oneOf" of discriminator constraints.
 //   jsi annotate <file.jsonl | -> [--no-stats]
 //       Infers the statistics-annotated schema (per-field counts,
 //       provenance, value ranges).
 //   jsi diff <old.types> <new.types>
 //       Diffs two schema files (one type expression each) and prints the
 //       change report; exits 2 when the schemas differ.
+//   jsi diff --data <old.jsonl> <new.jsonl>
+//       Infers both datasets with annotations and diffs structure AND
+//       refinement drift (discriminators and variants appearing,
+//       disappearing or moving); exits 2 when anything changed.
 //   jsi analyze <file.jsonl | ->
 //       Flags record positions that encode data in keys (the Wikidata
 //       design smell of Section 6.1 of the paper).
@@ -100,7 +112,9 @@
 #include <thread>
 #include <vector>
 
+#include "annotate/annotation.h"
 #include "annotate/counted_schema.h"
+#include "annotate/refine.h"
 #include "core/checkpoint.h"
 #include "core/schema_inferencer.h"
 #include "core/streaming_inferencer.h"
@@ -135,7 +149,8 @@ using jsonsi::core::SchemaInferencer;
 int Usage() {
   std::cerr <<
       "usage:\n"
-      "  jsi infer <file.jsonl | -> [--pretty] [--stats] [--threads N]\n"
+      "  jsi infer <file.jsonl | -> [--pretty] [--stats] [--annotate]\n"
+      "            [--threads N]\n"
       "            [--partitions N] [--skip-malformed] [--max-error-rate R]\n"
       "            [--no-direct] [--max-depth N] [--max-line-bytes N]\n"
       "            [--checkpoint F [--checkpoint-every N] [--resume]]\n"
@@ -143,9 +158,10 @@ int Usage() {
       "  jsi gen <github|twitter|wikidata|nytimes> <count> [--seed S]\n"
       "  jsi paths <file.jsonl | ->\n"
       "  jsi check <file.jsonl | -> --schema '<type expression>'\n"
-      "  jsi export <file.jsonl | ->\n"
+      "  jsi export <file.jsonl | -> [--annotate]\n"
       "  jsi annotate <file.jsonl | -> [--no-stats]\n"
       "  jsi diff <old.types> <new.types>\n"
+      "  jsi diff --data <old.jsonl> <new.jsonl>\n"
       "  jsi analyze <file.jsonl | ->\n"
       "  jsi expand <file.jsonl | -> --pattern '<pattern>'\n"
       "  jsi repo add <repo.txt> <source> <file.jsonl | ->\n"
@@ -388,6 +404,7 @@ int RunInfer(std::vector<std::string> args) {
   bool pretty = Flag(args, "--pretty");
   bool stats = Flag(args, "--stats");
   jsonsi::core::InferenceOptions options;
+  options.annotate = Flag(args, "--annotate");
   if (auto t = FlagValue(args, "--threads")) {
     try {
       options.num_threads = std::stoul(*t);
@@ -459,6 +476,14 @@ int RunInfer(std::vector<std::string> args) {
     std::cerr << "jsi: --resume needs --checkpoint <file>\n";
     return Usage();
   }
+  if (options.annotate && checkpoint) {
+    // The streaming inferencer keeps no annotation state (checkpoints
+    // would have to persist the whole lattice); refuse up front instead of
+    // silently dropping the flag.
+    std::cerr << "jsi: --annotate is not supported with --checkpoint; "
+                 "run without a checkpoint to collect annotations\n";
+    return Usage();
+  }
   if (args.empty()) return Usage();
   // Slurp the input and run the end-to-end pipeline on it: with more than
   // one thread, ingestion is chunk-parallel and map/reduce run on the pool
@@ -494,6 +519,24 @@ int RunInfer(std::vector<std::string> args) {
   Schema schema = std::move(result).value();
   std::cout << schema.ToString(pretty) << "\n";
   if (stats) PrintInferStats(schema, inferencer.options().num_threads);
+  if (schema.annotation) {
+    jsonsi::annotate::RefinementMap refinements =
+        jsonsi::annotate::RefineTaggedUnions(*schema.annotation);
+    if (refinements.empty()) {
+      std::cout << "no tagged unions detected\n";
+    } else {
+      std::cout << jsonsi::annotate::FormatRefinements(refinements);
+    }
+    if (stats) {
+      std::cerr << "annotation:     "
+                << schema.annotation->TreeNodes() << " node(s) / "
+                << jsonsi::WithThousands(
+                       static_cast<int64_t>(schema.annotation->count))
+                << " root value(s) / " << refinements.size()
+                << " refined union(s)\n"
+                << jsonsi::annotate::FormatAnnotation(*schema.annotation);
+    }
+  }
   return 0;
 }
 
@@ -570,14 +613,27 @@ int RunCheck(std::vector<std::string> args) {
 }
 
 int RunExport(std::vector<std::string> args) {
+  bool annotate = Flag(args, "--annotate");
   if (args.empty()) return Usage();
   auto values = ReadInput(args[0]);
   if (!values.ok()) {
     std::cerr << "jsi: " << values.status() << "\n";
     return 2;
   }
-  Schema schema = SchemaInferencer().InferFromValues(values.value());
-  std::cout << jsonsi::exporter::ToJsonSchemaText(*schema.type) << "\n";
+  jsonsi::core::InferenceOptions options;
+  options.annotate = annotate;
+  Schema schema = SchemaInferencer(options).InferFromValues(values.value());
+  jsonsi::exporter::JsonSchemaOptions export_options;
+  jsonsi::annotate::RefinementMap refinements;
+  if (schema.annotation) {
+    export_options.annotation = schema.annotation.get();
+    refinements = jsonsi::annotate::RefineTaggedUnions(*schema.annotation);
+    export_options.refinements = &refinements;
+  }
+  std::cout << jsonsi::exporter::ToJsonSchemaText(*schema.type,
+                                                  /*pretty=*/true,
+                                                  export_options)
+            << "\n";
   return 0;
 }
 
@@ -605,8 +661,51 @@ jsonsi::Result<jsonsi::types::TypeRef> ReadTypeFile(const std::string& path) {
   return jsonsi::types::ParseType(buffer.str());
 }
 
+// `jsi diff --data`: infer both datasets with annotations and report
+// structural changes together with refinement drift.
+int RunDiffData(const std::string& before_path, const std::string& after_path) {
+  jsonsi::core::InferenceOptions options;
+  options.annotate = true;
+  SchemaInferencer inferencer(options);
+  auto values_before = ReadInput(before_path);
+  auto values_after = ReadInput(after_path);
+  if (!values_before.ok() || !values_after.ok()) {
+    std::cerr << "jsi: "
+              << (values_before.ok() ? values_after.status()
+                                     : values_before.status())
+              << "\n";
+    return 2;
+  }
+  Schema before = inferencer.InferFromValues(values_before.value());
+  Schema after = inferencer.InferFromValues(values_after.value());
+  auto changes = jsonsi::diff::DiffSchemas(before.type, after.type);
+  jsonsi::annotate::RefinementMap refined_before, refined_after;
+  if (before.annotation) {
+    refined_before = jsonsi::annotate::RefineTaggedUnions(*before.annotation);
+  }
+  if (after.annotation) {
+    refined_after = jsonsi::annotate::RefineTaggedUnions(*after.annotation);
+  }
+  auto drift = jsonsi::diff::DiffRefinements(refined_before, refined_after);
+  changes.insert(changes.end(), drift.begin(), drift.end());
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const jsonsi::diff::SchemaChange& a,
+                      const jsonsi::diff::SchemaChange& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  if (changes.empty()) {
+    std::cout << "schemas are identical\n";
+    return 0;
+  }
+  std::cout << jsonsi::diff::FormatChanges(changes);
+  return 2;
+}
+
 int RunDiff(std::vector<std::string> args) {
+  bool data = Flag(args, "--data");
   if (args.size() != 2) return Usage();
+  if (data) return RunDiffData(args[0], args[1]);
   auto before = ReadTypeFile(args[0]);
   auto after = ReadTypeFile(args[1]);
   if (!before.ok() || !after.ok()) {
