@@ -1,0 +1,229 @@
+// Ingestion front-end throughput harness (src/io/).
+//
+// Generates a JSONL corpus on disk once, then infers it through every
+// input-source mode — the legacy whole-file slurp as the baseline, the
+// zero-copy mmap path, and the pread/stream pipelines with read-ahead
+// overlap on and off — under both a warm and a cold page cache (cold =
+// fsync + posix_fadvise(DONTNEED) before the run, so the kernel really
+// re-reads the disk). Prints MB/s per row and publishes the numbers as
+// bench.io.* gauges (BENCH_io.json under JSI_BENCH_JSON).
+//
+// Every row's schema is checked structurally identical to the slurp
+// baseline's — a mismatch exits non-zero, so the harness doubles as a
+// differential gate at bench scale.
+//
+// Knobs: JSI_IO_BENCH_MB corpus size in MiB (default 256, or 8 under
+// JSI_BENCH_QUICK), JSI_SEED, JSI_BENCH_JSON.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/schema_inferencer.h"
+#include "datagen/generator.h"
+#include "io/input_source.h"
+#include "json/serializer.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace jsonsi;
+
+std::string BenchFilePath() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = tmp && *tmp ? tmp : "/tmp";
+  return dir + "/jsi_io_bench_" + std::to_string(::getpid()) + ".jsonl";
+}
+
+// Writes ~size_mb MiB of generated JSONL and fsyncs it so cold-cache drops
+// actually evict clean pages.
+uint64_t WriteCorpus(const std::string& path, uint64_t size_mb) {
+  auto gen = datagen::MakeGenerator(datagen::DatasetId::kGitHub,
+                                    bench::BenchSeed());
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    std::perror("io_pipeline: open corpus");
+    std::exit(1);
+  }
+  uint64_t written = 0;
+  uint64_t i = 0;
+  std::string block;
+  while (written < size_mb << 20) {
+    block.clear();
+    for (int n = 0; n < 512; ++n) {
+      block += json::ToJson(*gen->Generate(i++));
+      block += '\n';
+    }
+    ssize_t w = ::write(fd, block.data(), block.size());
+    if (w != static_cast<ssize_t>(block.size())) {
+      std::perror("io_pipeline: write corpus");
+      std::exit(1);
+    }
+    written += static_cast<uint64_t>(w);
+  }
+  ::fsync(fd);
+  ::close(fd);
+  return written;
+}
+
+// Evicts the file's clean pages so the next run reads the disk again.
+void DropCache(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
+}
+
+struct Row {
+  std::string label;
+  double cold_mbps = 0;
+  double warm_mbps = 0;
+};
+
+struct RunResult {
+  double seconds = 0;
+  core::Schema schema;
+  uint64_t records = 0;
+};
+
+RunResult RunSlurp(const std::string& path) {
+  RunResult r;
+  Stopwatch watch;
+  // The legacy ingestion path, verbatim: ostringstream slurp (one copy into
+  // the stream's buffer, a second into the string), then one-shot
+  // inference. This is the baseline the pipeline rows are measured against.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "io_pipeline: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = std::move(buffer).str();
+  auto schema = core::SchemaInferencer().InferFromJsonLines(text);
+  r.seconds = watch.ElapsedSeconds();
+  if (!schema.ok()) {
+    std::fprintf(stderr, "io_pipeline: inference failed: %s\n",
+                 schema.status().ToString().c_str());
+    std::exit(1);
+  }
+  r.schema = std::move(schema).value();
+  r.records = r.schema.stats.record_count;
+  return r;
+}
+
+RunResult RunPiped(const std::string& path, io::IoMode mode, bool overlap) {
+  core::InferenceOptions options;
+  options.io.mode = mode;
+  options.io.overlap = overlap;
+  RunResult r;
+  Stopwatch watch;
+  auto schema = core::SchemaInferencer(options).InferFromFile(path);
+  r.seconds = watch.ElapsedSeconds();
+  if (!schema.ok()) {
+    std::fprintf(stderr, "io_pipeline: %s inference failed: %s\n",
+                 io::IoModeName(mode), schema.status().ToString().c_str());
+    std::exit(1);
+  }
+  r.schema = std::move(schema).value();
+  r.records = r.schema.stats.record_count;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchJsonScope bench_json("io");
+  const uint64_t size_mb =
+      bench::EnvU64("JSI_IO_BENCH_MB", bench::BenchQuick() ? 8 : 256);
+  const std::string path = BenchFilePath();
+  std::printf("generating %llu MiB GitHub JSONL corpus...\n",
+              static_cast<unsigned long long>(size_mb));
+  const uint64_t bytes = WriteCorpus(path, size_mb);
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+
+  struct Case {
+    const char* label;
+    const char* gauge;
+    io::IoMode mode;
+    bool overlap;
+    bool slurp;
+  };
+  const std::vector<Case> cases = {
+      {"slurp + infer (baseline)", "slurp", io::IoMode::kAuto, true, true},
+      {"mmap (zero-copy)", "mmap", io::IoMode::kMmap, true, false},
+      {"pread pipeline, overlap on", "read_overlap", io::IoMode::kRead, true,
+       false},
+      {"pread pipeline, overlap off", "read_sync", io::IoMode::kRead, false,
+       false},
+      {"stream pipeline, overlap on", "stream_overlap", io::IoMode::kStream,
+       true, false},
+      {"stream pipeline, overlap off", "stream_sync", io::IoMode::kStream,
+       false, false},
+  };
+
+  std::printf("%-28s %12s %12s\n", "source", "cold MB/s", "warm MB/s");
+  std::printf("%.*s\n", 54,
+              "------------------------------------------------------");
+
+  auto& registry = telemetry::MetricsRegistry::Global();
+  types::TypeRef baseline_type;
+  double slurp_cold = 0, mmap_cold = 0;
+  int failures = 0;
+  for (const Case& c : cases) {
+    DropCache(path);
+    RunResult cold = c.slurp ? RunSlurp(path) : RunPiped(path, c.mode,
+                                                         c.overlap);
+    RunResult warm = c.slurp ? RunSlurp(path) : RunPiped(path, c.mode,
+                                                         c.overlap);
+    Row row;
+    row.label = c.label;
+    row.cold_mbps = mb / cold.seconds;
+    row.warm_mbps = mb / warm.seconds;
+    std::printf("%-28s %12.1f %12.1f\n", c.label, row.cold_mbps,
+                row.warm_mbps);
+    if (c.slurp) {
+      baseline_type = cold.schema.type;
+      slurp_cold = row.cold_mbps;
+    } else if (!types::TypeEquals(baseline_type, cold.schema.type) ||
+               !types::TypeEquals(baseline_type, warm.schema.type)) {
+      std::fprintf(stderr, "io_pipeline: %s schema DIVERGED from slurp\n",
+                   c.label);
+      ++failures;
+    }
+    if (std::string(c.gauge) == "mmap") mmap_cold = row.cold_mbps;
+    if (telemetry::Enabled()) {
+      const std::string prefix = std::string("bench.io.") + c.gauge;
+      registry.GetGauge(prefix + "_cold_mbps")
+          .Set(static_cast<int64_t>(row.cold_mbps));
+      registry.GetGauge(prefix + "_warm_mbps")
+          .Set(static_cast<int64_t>(row.warm_mbps));
+    }
+  }
+  if (telemetry::Enabled()) {
+    registry.GetGauge("bench.io.file_mb").Set(static_cast<int64_t>(mb));
+    if (slurp_cold > 0) {
+      // The headline number: the default `jsi infer <file>` path (mmap)
+      // against the legacy slurp, both cold-cache, as a percentage
+      // (130 == the 1.3x acceptance bar).
+      registry.GetGauge("bench.io.mmap_vs_slurp_cold_pct")
+          .Set(static_cast<int64_t>(100.0 * mmap_cold / slurp_cold));
+    }
+  }
+  if (slurp_cold > 0) {
+    std::printf("\nmmap vs slurp (cold): %.2fx\n", mmap_cold / slurp_cold);
+  }
+  std::printf("\ncorpus: %.1f MiB; pipeline rows read the file in bounded "
+              "%zu MiB batches\n",
+              mb, io::IoOptions{}.buffer_bytes >> 20);
+  ::unlink(path.c_str());
+  return failures == 0 ? 0 : 1;
+}

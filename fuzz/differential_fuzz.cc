@@ -19,6 +19,15 @@
 // up as a scalar/vector divergence even when the DOM comparison alone
 // would pass. The rest of the input is the document.
 //
+// The second byte's high half is the io-pipeline axis (PR 10): when bit 7
+// is set, the document is additionally treated as JSONL and fed through a
+// PipelineReader over a Contents()-hidden MemorySource with a tiny buffer
+// (bits 4-6 pick the size, down to a single byte, so batch seams land
+// inside tokens, strings and error positions). The pumped stream must
+// reproduce the one-shot AddJsonLines exactly — same accept/abort status
+// message, same IngestStats to the byte offset, same snapshot type —
+// under both the skip and the fail-above-rate policies.
+//
 // Built with -fsanitize=fuzzer under Clang (see fuzz/CMakeLists.txt); under
 // GCC the same target links fuzz/standalone_main.cc and replays the corpus
 // as a ctest smoke.
@@ -31,8 +40,12 @@
 #include <vector>
 
 #include "annotate/annotation.h"
+#include "core/io_pump.h"
+#include "core/streaming_inferencer.h"
 #include "inference/direct_infer.h"
 #include "inference/infer.h"
+#include "io/input_source.h"
+#include "io/pipeline_reader.h"
 #include "json/parser.h"
 #include "json/simd/kernel.h"
 #include "json/value.h"
@@ -46,6 +59,58 @@ void Fail(const char* what, std::string_view doc) {
   std::fwrite(doc.data(), 1, doc.size(), stderr);
   std::fputc('\n', stderr);
   std::abort();
+}
+
+bool SameStats(const jsonsi::json::IngestStats& a,
+               const jsonsi::json::IngestStats& b) {
+  if (a.lines_read != b.lines_read || a.blank_lines != b.blank_lines ||
+      a.records != b.records || a.malformed_lines != b.malformed_lines ||
+      a.bytes_read != b.bytes_read || a.bytes_consumed != b.bytes_consumed ||
+      a.errors.size() != b.errors.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.errors.size(); ++i) {
+    if (a.errors[i].line_number != b.errors[i].line_number ||
+        a.errors[i].byte_offset != b.errors[i].byte_offset ||
+        a.errors[i].message != b.errors[i].message) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The io-pipeline parity axis: batching `doc` through a tiny-buffer
+// PipelineReader must be observationally identical to one AddJsonLines
+// call of the whole text.
+void CheckStreamParity(std::string_view doc, size_t buffer_bytes,
+                       jsonsi::json::MalformedLinePolicy policy) {
+  jsonsi::core::StreamingOptions opts;
+  opts.on_malformed = policy;
+  opts.max_error_rate = 0.25;
+  opts.min_lines_for_rate = 4;
+
+  jsonsi::core::StreamingInferencer one_shot(opts);
+  jsonsi::Status want = one_shot.AddJsonLines(doc);
+
+  jsonsi::core::StreamingInferencer pumped(opts);
+  jsonsi::io::MemorySource source(doc, /*expose_contents=*/false);
+  jsonsi::io::IoOptions io;
+  io.buffer_bytes = buffer_bytes;
+  io.overlap = false;  // deterministic single-thread replay
+  jsonsi::io::PipelineReader reader(&source, io);
+  jsonsi::Status got = jsonsi::core::PumpJsonLines(reader, pumped, {});
+
+  if (want.ok() != got.ok()) Fail("pipeline accept/abort split", doc);
+  if (!want.ok() && want.message() != got.message()) {
+    Fail("pipeline abort message mismatch", doc);
+  }
+  if (!SameStats(one_shot.ingest_stats(), pumped.ingest_stats())) {
+    Fail("pipeline IngestStats mismatch", doc);
+  }
+  if (want.ok() &&
+      !one_shot.Snapshot().type->Equals(*pumped.Snapshot().type)) {
+    Fail("pipeline type mismatch", doc);
+  }
 }
 
 }  // namespace
@@ -76,10 +141,22 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     doc.remove_prefix(1);
   }
   simd::Kernel kernel = simd::Kernel::kScalar;
+  bool stream_parity = false;
+  size_t stream_buffer = 1;
   if (!doc.empty()) {
-    kernel = kKernels[static_cast<unsigned char>(doc.front()) %
-                      kKernels.size()];
+    const unsigned byte = static_cast<unsigned char>(doc.front());
+    kernel = kKernels[byte % kKernels.size()];
+    stream_parity = (byte & 0x80) != 0;
+    static constexpr size_t kBufferSizes[8] = {1, 2, 3, 5, 8, 13, 64, 4096};
+    stream_buffer = kBufferSizes[(byte >> 4) & 7];
     doc.remove_prefix(1);
+  }
+
+  if (stream_parity) {
+    CheckStreamParity(doc, stream_buffer,
+                      jsonsi::json::MalformedLinePolicy::kSkip);
+    CheckStreamParity(doc, stream_buffer,
+                      jsonsi::json::MalformedLinePolicy::kFailAboveRate);
   }
 
   jsonsi::Result<jsonsi::json::ValueRef> parsed =

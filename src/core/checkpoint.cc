@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
-#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include <unistd.h>
 #endif
 
+#include "io/input_source.h"
 #include "support/hash.h"
 #include "telemetry/telemetry.h"
 #include "types/printer.h"
@@ -429,12 +429,15 @@ Status SaveCheckpoint(const StreamingInferencer& inferencer,
 Status LoadCheckpoint(const std::string& path,
                       StreamingInferencer* inferencer) {
   JSONSI_SPAN("checkpoint.load");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open checkpoint " + path);
-  std::string text((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  if (in.bad()) return Status::Internal("error reading " + path);
-  return RestoreCheckpoint(text, inferencer);
+  // Single stat-sized read (io/input_source.h), not a byte-iterator slurp.
+  Result<std::string> text = io::ReadFileToString(path);
+  if (!text.ok()) {
+    if (text.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("cannot open checkpoint " + path);
+    }
+    return text.status();
+  }
+  return RestoreCheckpoint(text.value(), inferencer);
 }
 
 }  // namespace jsonsi::core

@@ -1,0 +1,33 @@
+#include "core/io_pump.h"
+
+#include <string_view>
+
+#include "telemetry/telemetry.h"
+
+namespace jsonsi::core {
+
+Status PumpJsonLines(io::PipelineReader& reader, StreamingInferencer& stream,
+                     const PumpOptions& options) {
+  for (;;) {
+    Result<std::string_view> batch = reader.Next();
+    if (!batch.ok()) return batch.status();
+    if (batch.value().empty()) break;  // end of input
+    JSONSI_COUNTER("io.batches").Increment();
+    JSONSI_COUNTER("io.batch_bytes").Add(batch.value().size());
+    Status st =
+        options.num_threads == 1
+            ? stream.AddJsonLines(batch.value(), /*end_of_stream=*/false)
+            : stream.AddJsonLinesParallel(batch.value(), options.num_threads,
+                                          /*end_of_stream=*/false);
+    if (!st.ok()) return st;
+    if (options.after_batch) {
+      Result<bool> keep_going = options.after_batch();
+      if (!keep_going.ok()) return keep_going.status();
+      if (!keep_going.value()) return Status::OK();
+    }
+  }
+  if (options.finish_at_eof) return stream.FinishStream();
+  return Status::OK();
+}
+
+}  // namespace jsonsi::core

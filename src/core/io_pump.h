@@ -1,0 +1,45 @@
+// The coupling between the io layer and streaming inference: pull
+// newline-bounded batches off a PipelineReader and fold each one into a
+// StreamingInferencer, overlapping the next read with inference.
+//
+// Batches are fed as interior reads (end_of_stream = false) and the stream
+// is closed with FinishStream() at end of input, so the schema, errors and
+// IngestStats are byte-identical to a one-shot read of the whole input —
+// the frozen contract every --io mode honors. Used by
+// SchemaInferencer::InferFromFile (read/stream modes), the checkpointed
+// `jsi infer` loop, and `jsi serve` ingest.
+
+#ifndef JSONSI_CORE_IO_PUMP_H_
+#define JSONSI_CORE_IO_PUMP_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "core/streaming_inferencer.h"
+#include "io/pipeline_reader.h"
+#include "support/status.h"
+
+namespace jsonsi::core {
+
+struct PumpOptions {
+  /// Workers per batch: 1 = serial AddJsonLines, 0 = hardware concurrency,
+  /// N = chunk-parallel (byte-identical results either way).
+  size_t num_threads = 1;
+  /// Run the deferred end-of-stream rate validation when the input ends.
+  /// Off when the caller feeds several sources into one logical stream.
+  bool finish_at_eof = true;
+  /// Invoked after each successfully ingested batch (checkpoint saves,
+  /// shutdown polling). ok(false) stops the pump cleanly — without the
+  /// end-of-stream validation, since the stream is not over — and
+  /// PumpJsonLines returns OK; an error status aborts and is returned.
+  std::function<Result<bool>()> after_batch;
+};
+
+/// Drains `reader` into `stream`. Returns the first read or policy error;
+/// `stream.ingest_stats()` covers everything consumed either way.
+Status PumpJsonLines(io::PipelineReader& reader, StreamingInferencer& stream,
+                     const PumpOptions& options);
+
+}  // namespace jsonsi::core
+
+#endif  // JSONSI_CORE_IO_PUMP_H_

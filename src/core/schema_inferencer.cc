@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "core/io_pump.h"
+#include "core/streaming_inferencer.h"
 #include "engine/parallel_reduce.h"
 #include "engine/thread_pool.h"
 #include "fusion/fuse.h"
@@ -651,37 +653,74 @@ Result<Schema> SchemaInferencer::InferFromJsonLines(
 
 Result<Schema> SchemaInferencer::InferFromFile(
     const std::string& path, json::IngestStats* stats) const {
-  // Reads retry under the policy: transient I/O errors heal, while
-  // deterministic ones (missing file, malformed content under kFail) are
-  // classified permanent by the default predicate and fail immediately.
-  if (options_.num_threads > 1 || options_.direct_infer) {
-    // Slurp the file (retried), then hand the buffer to the text path
-    // above (chunk-parallel and/or DOM-free per the options).
-    std::string content;
-    Status st = engine::RunWithRetry(
-        [&]() -> Status {
-          std::ifstream in(path, std::ios::binary);
-          if (!in) return Status::NotFound("cannot open file: " + path);
-          std::ostringstream buf;
-          buf << in.rdbuf();
-          if (in.bad()) return Status::Internal("read failed: " + path);
-          content = std::move(buf).str();
-          return Status::OK();
-        },
-        options_.retry);
-    if (!st.ok()) return st;
-    return InferFromJsonLines(content, stats);
-  }
-  Result<std::vector<json::ValueRef>> values =
+  // Opening (and mapping) retries under the policy: transient I/O errors
+  // heal, while deterministic ones (missing file, malformed content under
+  // kFail) are classified permanent and fail immediately. Once the source
+  // is open, inference proceeds without mid-stream retry — a consumed
+  // stream cannot be replayed.
+  Result<std::unique_ptr<io::InputSource>> source =
       Status::Internal("not attempted");
   Status st = engine::RunWithRetry(
       [&]() -> Status {
-        values = json::ReadJsonLinesFile(path, options_.ingest, stats);
-        return values.ok() ? Status::OK() : values.status();
+        source = io::OpenInputSource(path, options_.io);
+        return source.ok() ? Status::OK() : source.status();
       },
       options_.retry);
   if (!st.ok()) return st;
-  return TryInferFromValues(values.value());
+  return InferFromSource(*source.value(), stats);
+}
+
+Result<Schema> SchemaInferencer::InferFromSource(
+    io::InputSource& source, json::IngestStats* stats) const {
+  if (std::optional<std::string_view> view = source.Contents()) {
+    // Memory-backed (mmap): the existing buffer pipelines — serial fused
+    // pass or chunk-parallel — run zero-copy on the mapping; the kernel's
+    // readahead overlaps the page-ins with inference.
+    return InferFromJsonLines(*view, stats);
+  }
+  if (options_.annotate) {
+    // The annotation chunk merge re-scans aborted-chunk prefixes, which
+    // needs random access to the whole buffer: non-mapped sources are
+    // buffered first. File inputs normally map (kAuto) and never get here.
+    std::string text;
+    std::vector<char> buf(options_.io.buffer_bytes);
+    if (std::optional<uint64_t> size = source.SizeBytes()) {
+      text.reserve(static_cast<size_t>(*size));
+    }
+    for (;;) {
+      Result<size_t> got = source.Read(buf.data(), buf.size());
+      if (!got.ok()) return got.status();
+      if (got.value() == 0) break;
+      text.append(buf.data(), got.value());
+    }
+    return InferFromJsonLines(text, stats);
+  }
+
+  // Bounded pipeline: the reader overlaps the next read() against the
+  // batch being inferred; peak memory is a few pipeline buffers plus the
+  // streaming state, independent of input size. Batched == one-shot by
+  // the monoid algebra plus the stream-global rate/error baselines.
+  StreamingOptions sopts;
+  sopts.count_distinct_types = options_.collect_stats;
+  sopts.parse = options_.ingest.parse;
+  sopts.on_malformed = options_.ingest.on_malformed;
+  sopts.max_error_rate = options_.ingest.max_error_rate;
+  sopts.min_lines_for_rate = options_.ingest.min_lines_for_rate;
+  sopts.max_recorded_errors = options_.ingest.max_recorded_errors;
+  sopts.direct_infer = options_.direct_infer;
+  StreamingInferencer stream(sopts);
+  io::PipelineReader reader(&source, options_.io);
+  PumpOptions pump;
+  pump.num_threads = options_.num_threads;
+  Status st = PumpJsonLines(reader, stream, pump);
+  if (stats) *stats = stream.ingest_stats();
+  if (!st.ok()) return st;
+  Schema schema = stream.Snapshot();
+  // Snapshot() does not know which pipeline typed the records; keep the
+  // --stats ingestion row self-describing.
+  (options_.direct_infer ? schema.stats.direct_records
+                         : schema.stats.dom_records) = stream.record_count();
+  return schema;
 }
 
 Schema SchemaInferencer::Merge(const Schema& a, const Schema& b) {

@@ -57,6 +57,7 @@
 
 #include "annotate/annotation.h"
 #include "engine/retry.h"
+#include "io/input_source.h"
 #include "json/jsonl.h"
 #include "json/value.h"
 #include "support/status.h"
@@ -102,6 +103,13 @@ struct InferenceOptions {
   /// is exactly identical across serial, parallel and chunk-parallel runs
   /// (every component is an associative + commutative merge).
   bool annotate = false;
+  /// Input-source selection and pipeline buffering for the file/stdin
+  /// entry points (src/io/). kAuto maps regular files (zero-copy, the
+  /// buffer pipelines run on the page cache) and streams pipes; kRead and
+  /// kStream pump bounded batches through a StreamingInferencer, which is
+  /// what makes files larger than RAM inferrable. Every mode produces
+  /// byte-identical schemas, errors and IngestStats.
+  io::IoOptions io;
 };
 
 /// Statistics gathered by one inference run (or accumulated by Merge).
@@ -162,9 +170,20 @@ class SchemaInferencer {
                                     json::IngestStats* stats = nullptr) const;
 
   /// Reads a JSON-Lines file (per options().ingest, under the retry policy
-  /// for transient I/O), then infers.
+  /// for transient I/O), then infers. The source is selected by
+  /// options().io: memory-backed sources run the zero-copy buffer
+  /// pipelines; others stream through bounded pipeline batches
+  /// (constant-memory, identical results). "-" reads stdin.
   Result<Schema> InferFromFile(const std::string& path,
                                json::IngestStats* stats = nullptr) const;
+
+  /// Infers from an already-opened input source — the file/stdin tail of
+  /// InferFromFile, usable directly for custom sources. Memory-backed
+  /// sources (Contents()) take the zero-copy path; everything else pumps
+  /// bounded batches through a StreamingInferencer (annotate falls back to
+  /// buffering: the annotation chunk merge needs random access).
+  Result<Schema> InferFromSource(io::InputSource& source,
+                                 json::IngestStats* stats = nullptr) const;
 
   /// Fuses two schemas into the schema of the union of their inputs.
   /// Associativity of Fuse makes this exact, not approximate. Distinct-type

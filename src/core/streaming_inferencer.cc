@@ -148,7 +148,8 @@ Status StreamingInferencer::AddJson(std::string_view json_text) {
   return Status::OK();
 }
 
-Status StreamingInferencer::AddJsonLines(std::string_view text) {
+Status StreamingInferencer::AddJsonLines(std::string_view text,
+                                         bool end_of_stream) {
   json::IngestOptions ingest;
   ingest.parse = options_.parse;
   ingest.on_malformed = EffectivePolicy();
@@ -165,6 +166,7 @@ Status StreamingInferencer::AddJsonLines(std::string_view text) {
   // every batch: a follow-up chunk (or a resume at a mid-file offset) must
   // classify its first line exactly as a one-shot read of the whole input.
   ingest.continuation = ingest_stats_.lines_read > 0;
+  ingest.end_of_stream = end_of_stream;
   json::IngestStats chunk;
   Status st;
   if (UseDirectIngestion()) {
@@ -194,14 +196,26 @@ Status StreamingInferencer::AddJsonLines(std::string_view text) {
   return st;
 }
 
+Status StreamingInferencer::FinishStream() {
+  if (EffectivePolicy() != json::MalformedLinePolicy::kFailAboveRate) {
+    return Status::OK();
+  }
+  // An empty end-of-stream read: no lines are consumed, only the deferred
+  // end-of-read rate validation runs, with the stream's cumulative stats as
+  // baseline — so the abort message cites the stream's first recorded error
+  // at its global line number, exactly like a one-shot read.
+  return AddJsonLines(std::string_view(), /*end_of_stream=*/true);
+}
+
 Status StreamingInferencer::AddJsonLinesParallel(std::string_view text,
-                                                 size_t num_threads) {
+                                                 size_t num_threads,
+                                                 bool end_of_stream) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  if (num_threads <= 1) return AddJsonLines(text);
+  if (num_threads <= 1) return AddJsonLines(text, end_of_stream);
   if (UseDirectIngestion()) {
-    return AddJsonLinesParallelDirect(text, num_threads);
+    return AddJsonLinesParallelDirect(text, num_threads, end_of_stream);
   }
   JSONSI_SPAN("stream.add_parallel");
 
@@ -216,6 +230,7 @@ Status StreamingInferencer::AddJsonLinesParallel(std::string_view text,
   ingest.rate_baseline = &ingest_stats_;
   // As in AddJsonLines: only the stream's true first line sheds a BOM.
   ingest.continuation = ingest_stats_.lines_read > 0;
+  ingest.end_of_stream = end_of_stream;
 
   engine::ThreadPool pool(num_threads);
   std::vector<json::ChunkSpan> spans =
@@ -319,7 +334,8 @@ Status StreamingInferencer::AddJsonLinesParallel(std::string_view text,
 }
 
 Status StreamingInferencer::AddJsonLinesParallelDirect(std::string_view text,
-                                                       size_t num_threads) {
+                                                       size_t num_threads,
+                                                       bool end_of_stream) {
   JSONSI_SPAN("stream.add_parallel");
 
   json::IngestOptions ingest;
@@ -333,6 +349,7 @@ Status StreamingInferencer::AddJsonLinesParallelDirect(std::string_view text,
   ingest.rate_baseline = &ingest_stats_;
   // As in AddJsonLines: only the stream's true first line sheds a BOM.
   ingest.continuation = ingest_stats_.lines_read > 0;
+  ingest.end_of_stream = end_of_stream;
 
   engine::ThreadPool pool(num_threads);
   std::vector<json::ChunkSpan> spans =

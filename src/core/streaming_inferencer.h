@@ -92,8 +92,11 @@ class StreamingInferencer {
   /// Parses and pushes a whole JSON-Lines buffer (blank lines skipped,
   /// CRLF/BOM tolerated, zero-copy line slicing). Chunks may be fed
   /// repeatedly; ingest_stats() accumulates across calls with coherent
-  /// line numbers.
-  Status AddJsonLines(std::string_view text);
+  /// line numbers. Passing `end_of_stream = false` marks the buffer as an
+  /// interior batch of a longer stream: the end-of-read rate validation is
+  /// deferred until a final batch (or FinishStream()) closes the stream,
+  /// so a batched feed aborts exactly where a one-shot read would.
+  Status AddJsonLines(std::string_view text, bool end_of_stream = true);
 
   /// As AddJsonLines, but parses and infers the buffer chunk-parallel on
   /// `num_threads` workers (0 = hardware concurrency; <= 1 falls back to
@@ -101,7 +104,13 @@ class StreamingInferencer {
   /// mode policy is replayed against the cumulative stream (rate_baseline =
   /// ingest_stats()), profiling provenance keeps global record ordinals,
   /// and the snapshot schema is structurally identical by associativity.
-  Status AddJsonLinesParallel(std::string_view text, size_t num_threads = 0);
+  Status AddJsonLinesParallel(std::string_view text, size_t num_threads = 0,
+                              bool end_of_stream = true);
+
+  /// Closes a stream fed with `end_of_stream = false` batches: runs the
+  /// deferred end-of-stream rate validation against the cumulative stream.
+  /// No-op (OK) for other policies or when nothing was deferred.
+  Status FinishStream();
 
   /// Merges another streaming inferencer (e.g. one per shard) into this one.
   /// Exact, by associativity/commutativity of fusion and profile merging.
@@ -152,8 +161,8 @@ class StreamingInferencer {
   /// shared tail of AddValue (DOM) and the direct ingestion paths.
   void AddType(types::TypeRef type);
   /// DOM-free chunk-parallel ingestion (AddJsonLinesParallel's direct arm).
-  Status AddJsonLinesParallelDirect(std::string_view text,
-                                    size_t num_threads);
+  Status AddJsonLinesParallelDirect(std::string_view text, size_t num_threads,
+                                    bool end_of_stream);
   /// Mirrors the cumulative ingestion report into stream.* gauges (no-op
   /// while telemetry is disabled).
   void PublishIngestTelemetry() const;

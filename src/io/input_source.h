@@ -1,0 +1,195 @@
+// Pluggable input sources for the ingestion front-end.
+//
+// Every file/stdin entry point used to slurp its input into a std::string
+// (twice, via ostringstream) before the first byte was tokenized. This
+// layer replaces that with a small vocabulary of byte sources:
+//
+//   MmapSource    a whole-file read-only mapping — the zero-copy fast path.
+//                 Contents() exposes the mapping as a string_view, so the
+//                 existing buffer pipelines run directly on the page cache
+//                 (madvise(SEQUENTIAL) asks the kernel to read ahead).
+//   ReadSource    positional pread() on a regular file, for filesystems or
+//                 situations where mapping is unavailable or undesirable.
+//   StreamSource  plain read() on a (possibly non-seekable) fd — stdin,
+//                 pipes, sockets. SkipTo() is read-and-discard.
+//   MemorySource  an in-memory buffer behind the same interface, used by
+//                 the server's ingest path, tests and fuzzers. Can hide its
+//                 Contents() view to force the copying pipeline arm.
+//
+// Sources deal in raw bytes only; newline framing and batch cutting live in
+// PipelineReader (pipeline_reader.h), policy and parsing stay in json/.
+// This directory depends on support/ alone.
+
+#ifndef JSONSI_IO_INPUT_SOURCE_H_
+#define JSONSI_IO_INPUT_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+
+namespace jsonsi::io {
+
+/// Input-source selection for the file/stdin entry points.
+enum class IoMode {
+  kAuto,    ///< mmap regular files, stream stdin/pipes, fall back to read.
+  kMmap,    ///< require the zero-copy mapping (error if unmappable).
+  kRead,    ///< positional pread() pipeline.
+  kStream,  ///< sequential read() pipeline (works on any fd).
+};
+
+/// "auto" | "mmap" | "read" | "stream" -> mode. False on unknown names.
+bool ParseIoMode(std::string_view name, IoMode* mode);
+const char* IoModeName(IoMode mode);
+
+/// Source selection plus pipeline buffering knobs (see PipelineReader).
+struct IoOptions {
+  IoMode mode = IoMode::kAuto;
+  /// Target batch size; also the size of each pipeline buffer on the
+  /// copying (read/stream) arm. The CLI exposes this as --read-ahead-mb.
+  size_t buffer_bytes = 8ull << 20;
+  /// Buffers in the producer-consumer ring (>= 2 enables overlap: the
+  /// background producer fills buffer N+1 while the consumer infers N).
+  size_t num_buffers = 3;
+  /// Fill buffers on a background thread, overlapping I/O with inference.
+  /// Off = fill synchronously inside Next() (A/B lever for the bench).
+  bool overlap = true;
+};
+
+/// A readable stream of bytes, optionally memory-backed and/or sized.
+class InputSource {
+ public:
+  virtual ~InputSource() = default;
+
+  /// Whole-input zero-copy view when the source is memory-backed (mmap,
+  /// MemorySource); nullopt otherwise. Valid for the source's lifetime.
+  virtual std::optional<std::string_view> Contents() const {
+    return std::nullopt;
+  }
+
+  /// Total size in bytes when known up front (regular files).
+  virtual std::optional<uint64_t> SizeBytes() const { return std::nullopt; }
+
+  /// Reads up to `len` bytes at the current position into `buf`; returns
+  /// the count actually read, 0 at end of input.
+  virtual Result<size_t> Read(char* buf, size_t len) = 0;
+
+  /// Repositions the source at absolute byte `offset` (checkpoint resume).
+  /// Non-seekable sources read and discard; skipping past the end is not
+  /// an error (the next Read simply reports end of input).
+  virtual Status SkipTo(uint64_t offset) = 0;
+
+  /// Diagnostic name ("<stdin>", the file path, "<memory>").
+  virtual const std::string& name() const = 0;
+};
+
+/// In-memory bytes behind the InputSource interface. Does not own the
+/// buffer; the caller keeps it alive. `expose_contents = false` hides the
+/// zero-copy view so PipelineReader exercises its copying arm (tests,
+/// fuzzers).
+class MemorySource : public InputSource {
+ public:
+  explicit MemorySource(std::string_view data, bool expose_contents = true);
+
+  std::optional<std::string_view> Contents() const override;
+  std::optional<uint64_t> SizeBytes() const override { return data_.size(); }
+  Result<size_t> Read(char* buf, size_t len) override;
+  Status SkipTo(uint64_t offset) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string_view data_;
+  bool expose_contents_;
+  size_t pos_ = 0;
+  std::string name_ = "<memory>";
+};
+
+/// Read-only mapping of a whole regular file.
+class MmapSource : public InputSource {
+ public:
+  /// Maps `path`; NotFound when it cannot be opened, Internal when it
+  /// cannot be mapped (not a regular file, mmap failure).
+  static Result<std::unique_ptr<MmapSource>> Open(const std::string& path);
+  ~MmapSource() override;
+
+  MmapSource(const MmapSource&) = delete;
+  MmapSource& operator=(const MmapSource&) = delete;
+
+  std::optional<std::string_view> Contents() const override {
+    return std::string_view(data_, size_);
+  }
+  std::optional<uint64_t> SizeBytes() const override { return size_; }
+  Result<size_t> Read(char* buf, size_t len) override;
+  Status SkipTo(uint64_t offset) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  MmapSource(std::string name, const char* data, size_t size);
+
+  std::string name_;
+  const char* data_ = nullptr;  // nullptr for the empty-file mapping
+  size_t size_ = 0;
+  size_t pos_ = 0;
+};
+
+/// Positional pread() on a regular file (sequential-access fadvise'd).
+class ReadSource : public InputSource {
+ public:
+  static Result<std::unique_ptr<ReadSource>> Open(const std::string& path);
+  ~ReadSource() override;
+
+  ReadSource(const ReadSource&) = delete;
+  ReadSource& operator=(const ReadSource&) = delete;
+
+  std::optional<uint64_t> SizeBytes() const override { return size_; }
+  Result<size_t> Read(char* buf, size_t len) override;
+  Status SkipTo(uint64_t offset) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  ReadSource(std::string name, int fd, uint64_t size);
+
+  std::string name_;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  uint64_t pos_ = 0;
+};
+
+/// Sequential read() on an fd — stdin, pipes, or files opened elsewhere.
+class StreamSource : public InputSource {
+ public:
+  /// Borrows `fd` (close_fd = false, e.g. stdin) or takes ownership.
+  StreamSource(std::string name, int fd, bool close_fd);
+  ~StreamSource() override;
+
+  StreamSource(const StreamSource&) = delete;
+  StreamSource& operator=(const StreamSource&) = delete;
+
+  Result<size_t> Read(char* buf, size_t len) override;
+  Status SkipTo(uint64_t offset) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  int fd_ = -1;
+  bool close_fd_ = false;
+  uint64_t pos_ = 0;
+};
+
+/// Opens `path` ("-" = stdin) under `options.mode`. kAuto maps regular
+/// files (falling back to pread when mapping fails) and streams stdin;
+/// explicit kMmap/kRead on stdin is an InvalidArgument.
+Result<std::unique_ptr<InputSource>> OpenInputSource(const std::string& path,
+                                                     const IoOptions& options);
+
+/// Reads a whole file with one stat + one pre-sized read — the replacement
+/// for the ostringstream double-copy slurp. NotFound when the file cannot
+/// be opened.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace jsonsi::io
+
+#endif  // JSONSI_IO_INPUT_SOURCE_H_

@@ -1,0 +1,165 @@
+#include "io/pipeline_reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace jsonsi::io {
+namespace {
+
+// Index of the byte just past the last '\n' in [data, data+len), or 0 when
+// there is none. glibc memrchr is vectorized; this runs once per batch.
+size_t AfterLastNewline(const char* data, size_t len) {
+  const void* nl = ::memrchr(data, '\n', len);
+  if (nl == nullptr) return 0;
+  return static_cast<size_t>(static_cast<const char*>(nl) - data) + 1;
+}
+
+}  // namespace
+
+PipelineReader::PipelineReader(InputSource* source, const IoOptions& options,
+                               uint64_t start_offset)
+    : source_(source), options_(options) {
+  options_.buffer_bytes = std::max<size_t>(1, options_.buffer_bytes);
+  options_.num_buffers = std::max<size_t>(2, options_.num_buffers);
+  if (std::optional<std::string_view> view = source_->Contents()) {
+    sliced_ = true;
+    contents_ = *view;
+    pos_ = static_cast<size_t>(
+        std::min<uint64_t>(start_offset, contents_.size()));
+    return;
+  }
+  skip_status_ = start_offset > 0 ? source_->SkipTo(start_offset)
+                                  : Status::OK();
+  if (!skip_status_.ok()) return;
+  if (options_.overlap) {
+    buffers_.resize(options_.num_buffers);
+    for (size_t i = 0; i < buffers_.size(); ++i) free_.push_back(i);
+    producer_ = std::thread(&PipelineReader::ProducerLoop, this);
+  } else {
+    buffers_.resize(1);
+  }
+}
+
+PipelineReader::~PipelineReader() {
+  if (producer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    can_fill_.notify_all();
+    producer_.join();
+  }
+}
+
+Result<std::string_view> PipelineReader::Next() {
+  if (sliced_) return NextSliced();
+  if (!skip_status_.ok()) return skip_status_;
+  if (!options_.overlap) return NextSynchronous();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (consumer_owned_ != SIZE_MAX) {
+    // Recycle the buffer handed out by the previous call.
+    free_.push_back(consumer_owned_);
+    consumer_owned_ = SIZE_MAX;
+    can_fill_.notify_one();
+  }
+  can_consume_.wait(lock, [this] { return !ready_.empty(); });
+  Filled next = ready_.front();
+  ready_.pop_front();
+  if (next.index == SIZE_MAX) {
+    // End (or error) marker: leave it queued so further calls repeat it.
+    ready_.push_front(next);
+    if (!next.status.ok()) return next.status;
+    return std::string_view();
+  }
+  consumer_owned_ = next.index;
+  return std::string_view(buffers_[next.index]);
+}
+
+Result<std::string_view> PipelineReader::NextSliced() {
+  if (pos_ >= contents_.size()) return std::string_view();
+  size_t want = std::min(options_.buffer_bytes, contents_.size() - pos_);
+  size_t cut = AfterLastNewline(contents_.data() + pos_, want);
+  if (cut == 0) {
+    // No newline inside the window: extend to the end of this line (or of
+    // the input) so the batch still holds only whole lines.
+    size_t nl = contents_.find('\n', pos_ + want);
+    cut = (nl == std::string_view::npos ? contents_.size() : nl + 1) - pos_;
+  }
+  std::string_view batch = contents_.substr(pos_, cut);
+  pos_ += cut;
+  return batch;
+}
+
+Result<std::string_view> PipelineReader::NextSynchronous() {
+  if (source_eof_ && carry_.empty()) return std::string_view();
+  bool eof = false;
+  Status st = FillBuffer(0, &eof);
+  if (!st.ok()) return st;
+  source_eof_ = eof;
+  if (buffers_[0].empty()) return std::string_view();
+  return std::string_view(buffers_[0]);
+}
+
+Status PipelineReader::FillBuffer(size_t index, bool* eof) {
+  std::string& buf = buffers_[index];
+  buf.clear();
+  std::swap(buf, carry_);  // the previous fill's partial tail leads
+  *eof = false;
+  for (;;) {
+    size_t filled = buf.size();
+    // Normal fills target one buffer; a line longer than the buffer grows
+    // geometrically until its newline arrives.
+    size_t target = std::max(options_.buffer_bytes, filled * 2);
+    buf.resize(target);
+    Result<size_t> got = source_->Read(buf.data() + filled, target - filled);
+    if (!got.ok()) return got.status();
+    buf.resize(filled + got.value());
+    if (got.value() == 0) {
+      // Source exhausted: whatever is buffered (possibly a final line with
+      // no trailing newline) is the last batch.
+      *eof = true;
+      return Status::OK();
+    }
+    if (buf.size() < options_.buffer_bytes) continue;  // short read: top up
+    size_t cut = AfterLastNewline(buf.data(), buf.size());
+    if (cut == 0) continue;  // one line longer than the buffer: grow
+    carry_.assign(buf, cut, buf.size() - cut);
+    buf.resize(cut);
+    return Status::OK();
+  }
+}
+
+void PipelineReader::ProducerLoop() {
+  for (;;) {
+    size_t index;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      can_fill_.wait(lock, [this] { return stop_ || !free_.empty(); });
+      if (stop_) return;
+      index = free_.front();
+      free_.pop_front();
+    }
+    bool eof = false;
+    Status st = FillBuffer(index, &eof);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (st.ok() && !buffers_[index].empty()) {
+        ready_.push_back(Filled{index, Status::OK()});
+      } else if (st.ok()) {
+        free_.push_back(index);  // empty fill: only the end marker follows
+      }
+      if (!st.ok() || eof) {
+        if (!done_queued_) {
+          ready_.push_back(Filled{SIZE_MAX, st});
+          done_queued_ = true;
+        }
+      }
+    }
+    can_consume_.notify_one();
+    if (!st.ok() || eof) return;
+  }
+}
+
+}  // namespace jsonsi::io

@@ -1,0 +1,104 @@
+// Newline-bounded batching with overlapped I/O.
+//
+// PipelineReader turns an InputSource into a sequence of JSONL batches:
+// every batch ends on a line boundary (the final batch may lack its
+// trailing newline, exactly like a one-shot buffer), so concatenating the
+// batches reproduces the input byte for byte and any line-oriented consumer
+// sees the same lines it would see in a single slurp.
+//
+// Two arms, chosen by the source:
+//
+//   * zero-copy slicing — when the source is memory-backed (mmap,
+//     MemorySource with an exposed view), batches are string_view slices of
+//     the mapping; no bytes are copied and no thread is spawned. Overlap
+//     comes from the kernel's readahead (madvise(SEQUENTIAL)).
+//   * bounded double/triple buffering — otherwise a ring of
+//     IoOptions::num_buffers buffers of buffer_bytes each is filled by a
+//     background producer thread (IoOptions::overlap; off = synchronous
+//     fills inside Next()). The producer carries the partial line at each
+//     buffer's tail into the next fill, and grows a buffer when a single
+//     line exceeds it, so framing never depends on buffer size. Peak
+//     memory is num_buffers * buffer_bytes + one carried line, regardless
+//     of input size — this is what makes inference over files larger than
+//     RAM (and true stdin streaming) work.
+//
+// Single consumer: Next() is not thread-safe, and each returned view is
+// valid until the following Next() call.
+
+#ifndef JSONSI_IO_PIPELINE_READER_H_
+#define JSONSI_IO_PIPELINE_READER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "io/input_source.h"
+#include "support/status.h"
+
+namespace jsonsi::io {
+
+class PipelineReader {
+ public:
+  /// Starts reading `source` at `start_offset` (a checkpoint's
+  /// bytes_consumed resume offset; 0 = the beginning). The source must
+  /// outlive the reader.
+  PipelineReader(InputSource* source, const IoOptions& options,
+                 uint64_t start_offset = 0);
+  ~PipelineReader();
+
+  PipelineReader(const PipelineReader&) = delete;
+  PipelineReader& operator=(const PipelineReader&) = delete;
+
+  /// Returns the next newline-bounded batch, an empty view at end of
+  /// input, or the first I/O error. The view is invalidated by the next
+  /// call.
+  Result<std::string_view> Next();
+
+ private:
+  struct Filled {
+    size_t index;  // buffer index, or SIZE_MAX for the end/error marker
+    Status status;
+  };
+
+  void ProducerLoop();
+  // Fills buffers_[index] with whole lines (plus the carried tail from the
+  // previous fill); sets `*eof` when the source is exhausted after this
+  // fill. On success the buffer is ready for the consumer.
+  Status FillBuffer(size_t index, bool* eof);
+  Result<std::string_view> NextSliced();
+  Result<std::string_view> NextSynchronous();
+
+  InputSource* source_;
+  IoOptions options_;
+  Status skip_status_;
+
+  // Zero-copy slicing arm.
+  bool sliced_ = false;
+  std::string_view contents_;
+  size_t pos_ = 0;
+
+  // Copying arm.
+  std::vector<std::string> buffers_;
+  std::string carry_;      // partial line carried between fills (producer)
+  bool source_eof_ = false;
+  size_t consumer_owned_ = SIZE_MAX;  // buffer lent out by the last Next()
+
+  // Producer-consumer state (overlap mode).
+  std::mutex mu_;
+  std::condition_variable can_fill_;
+  std::condition_variable can_consume_;
+  std::deque<size_t> free_;
+  std::deque<Filled> ready_;
+  bool stop_ = false;
+  bool done_queued_ = false;
+  std::thread producer_;
+};
+
+}  // namespace jsonsi::io
+
+#endif  // JSONSI_IO_PIPELINE_READER_H_

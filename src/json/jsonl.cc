@@ -46,8 +46,9 @@ class LineIngester {
     }
     switch (options_.on_malformed) {
       case MalformedLinePolicy::kFail:
-        return Status::ParseError("line " + std::to_string(stats_->lines_read) +
-                                  ": " + value.status().message());
+        return Status::ParseError(
+            "line " + std::to_string(BaselineLines() + stats_->lines_read) +
+            ": " + value.status().message());
       case MalformedLinePolicy::kSkip:
         return Consumed();
       case MalformedLinePolicy::kFailAboveRate: {
@@ -62,10 +63,12 @@ class LineIngester {
   }
 
   // End-of-input check: kFailAboveRate re-validates the final rate, so short
-  // inputs (below min_lines_for_rate) are still policed.
+  // inputs (below min_lines_for_rate) are still policed. Interior batches
+  // of a longer stream (!end_of_stream) defer this to the final batch.
   Status Finish() {
     if (options_.on_malformed == MalformedLinePolicy::kFailAboveRate &&
-        stats_->malformed_lines > 0 && RateExceeded()) {
+        options_.end_of_stream && CumulativeMalformed() > 0 &&
+        RateExceeded()) {
       return RateError();
     }
     return Status::OK();
@@ -103,15 +106,29 @@ class LineIngester {
            options_.max_error_rate * static_cast<double>(CumulativeNonBlank());
   }
 
+  // Lines the stream read before this batch began (0 for one-shot reads);
+  // added to per-read line numbers so abort messages stay stream-global.
+  uint64_t BaselineLines() const {
+    return options_.rate_baseline ? options_.rate_baseline->lines_read : 0;
+  }
+
   Status RateError() const {
     std::string msg = "malformed-line rate " +
                       std::to_string(CumulativeMalformed()) + "/" +
                       std::to_string(CumulativeNonBlank()) +
                       " exceeds tolerated rate";
-    if (!stats_->errors.empty()) {
+    // Cite the stream's globally-first recorded error: an earlier batch's
+    // if the baseline has one (its line number is already stream-global),
+    // else this read's first, rebased past the baseline.
+    if (options_.rate_baseline && !options_.rate_baseline->errors.empty()) {
+      const IngestError& first = options_.rate_baseline->errors.front();
+      msg += "; first error at line " + std::to_string(first.line_number) +
+             ": " + first.message;
+    } else if (!stats_->errors.empty()) {
       msg += "; first error at line " +
-             std::to_string(stats_->errors.front().line_number) + ": " +
-             stats_->errors.front().message;
+             std::to_string(BaselineLines() +
+                            stats_->errors.front().line_number) +
+             ": " + stats_->errors.front().message;
     }
     return Status::ParseError(std::move(msg));
   }

@@ -80,7 +80,19 @@ struct IngestOptions {
   /// first line is an interior line of the stream, so first-line-only
   /// decorations (the UTF-8 BOM) are not stripped from it. Batched and
   /// one-shot reads of the same bytes then classify every line identically.
+  ///
+  /// When a rate_baseline is also set, abort messages number lines on the
+  /// whole stream (baseline lines_read + this read's position) and rate
+  /// aborts cite the stream's first recorded error, so a batched feed
+  /// reports byte-identical errors to a one-shot read of the same bytes.
   bool continuation = false;
+  /// False marks this read as an interior batch of a longer stream: more
+  /// input follows, so the end-of-read rate validation (which polices
+  /// streams still below min_lines_for_rate when the input ends) is
+  /// deferred to the read that carries end_of_stream — a batched feed then
+  /// aborts exactly where the one-shot read would. Mid-read policy
+  /// decisions are unaffected.
+  bool end_of_stream = true;
 };
 
 /// One rejected line.

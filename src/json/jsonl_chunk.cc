@@ -130,10 +130,19 @@ Status RateError(const IngestOptions& options, const IngestStats& stats) {
       base_records + base_malformed + stats.records + stats.malformed_lines;
   std::string msg = "malformed-line rate " + std::to_string(malformed) + "/" +
                     std::to_string(non_blank) + " exceeds tolerated rate";
-  if (!stats.errors.empty()) {
+  // Mirror of LineIngester::RateError: cite the stream's globally-first
+  // recorded error, preferring the baseline's (already stream-global) over
+  // this read's (rebased), so batched and one-shot reads abort identically.
+  if (options.rate_baseline && !options.rate_baseline->errors.empty()) {
+    const IngestError& first = options.rate_baseline->errors.front();
+    msg += "; first error at line " + std::to_string(first.line_number) +
+           ": " + first.message;
+  } else if (!stats.errors.empty()) {
+    uint64_t base_lines =
+        options.rate_baseline ? options.rate_baseline->lines_read : 0;
     msg += "; first error at line " +
-           std::to_string(stats.errors.front().line_number) + ": " +
-           stats.errors.front().message;
+           std::to_string(base_lines + stats.errors.front().line_number) +
+           ": " + stats.errors.front().message;
   }
   return Status::ParseError(std::move(msg));
 }
@@ -188,9 +197,12 @@ ChunkReplay ReplayChunkPolicy(const std::vector<const ChunkIngest*>& outcomes,
           replay.full_chunks = c;
           replay.partial_records = at.records;
           if (options.on_malformed == MalformedLinePolicy::kFail) {
+            // Baseline lines keep the number stream-global under batching.
+            uint64_t base_lines =
+                options.rate_baseline ? options.rate_baseline->lines_read : 0;
             replay.status = Status::ParseError(
-                "line " + std::to_string(stats->lines_read) + ": " +
-                o.first_error_message);
+                "line " + std::to_string(base_lines + stats->lines_read) +
+                ": " + o.first_error_message);
           } else {
             replay.status = RateError(options, *stats);
           }
@@ -207,8 +219,9 @@ ChunkReplay ReplayChunkPolicy(const std::vector<const ChunkIngest*>& outcomes,
   replay.status = Status::OK();
   // End-of-input rate check, mirroring LineIngester::Finish(): short inputs
   // (below min_lines_for_rate) are still policed once the read completes.
+  // Interior batches of a longer stream defer this to the final batch.
   if (options.on_malformed == MalformedLinePolicy::kFailAboveRate &&
-      stats->malformed_lines > 0) {
+      options.end_of_stream && base_malformed + stats->malformed_lines > 0) {
     uint64_t cum_malformed = base_malformed + stats->malformed_lines;
     uint64_t cum_non_blank = base_records + base_malformed + stats->records +
                              stats->malformed_lines;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "fusion/fuse.h"
+#include "io/input_source.h"
 #include "support/string_util.h"
 #include "types/printer.h"
 #include "types/type_parser.h"
@@ -185,11 +186,11 @@ Status SchemaRepository::SaveToFile(const std::string& path) const {
 
 Result<SchemaRepository> SchemaRepository::LoadFromFile(
     const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open file: " + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return Deserialize(buffer.str());
+  // Single stat-sized read (io/input_source.h), not an ostringstream
+  // double copy — repositories grow with every published version.
+  Result<std::string> text = io::ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return Deserialize(text.value());
 }
 
 }  // namespace jsonsi::repository

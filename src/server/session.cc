@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "core/checkpoint.h"
+#include "core/io_pump.h"
+#include "io/pipeline_reader.h"
 #include "json/parser.h"
 #include "telemetry/telemetry.h"
 
@@ -137,10 +139,17 @@ Status Session::Ingest(std::string_view text) {
                                    abort_status_.message());
   }
   JSONSI_COUNTER("server.ingest_bytes").Add(text.size());
-  Status st = config_.ingest_threads == 1
-                  ? stream_.AddJsonLines(text)
-                  : stream_.AddJsonLinesParallel(text,
-                                                 config_.ingest_threads);
+  // Route the body through the shared ingestion pump (core/io_pump.h): the
+  // buffered body is sliced zero-copy into newline-bounded batches, so a
+  // body of any size ingests in bounded steps. One body is one logical
+  // stream segment — interior batches defer the end-of-read rate check to
+  // the body's end, which makes the pump byte-identical to the single Add
+  // call this used to be.
+  io::MemorySource source(text);
+  io::PipelineReader reader(&source, io::IoOptions{});
+  core::PumpOptions pump;
+  pump.num_threads = config_.ingest_threads;
+  Status st = core::PumpJsonLines(reader, stream_, pump);
   if (!st.ok()) {
     // Freeze with the consistent pre-abort state, exactly what a
     // checkpointed CLI run persists before exiting on a policy abort.

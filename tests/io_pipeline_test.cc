@@ -1,0 +1,600 @@
+// Differential tests for the src/io/ ingestion front-end: every input
+// source and every PipelineReader arm must reproduce, byte for byte, the
+// schemas, errors and IngestStats of the legacy whole-buffer slurp —
+// across buffer sizes, thread counts, malformed-line policies, checkpoint
+// kill/resume, and inputs larger than the buffer ring. Plus a bounded-RSS
+// child-process test proving that --io stream infers a file bigger than
+// its own heap budget.
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/io_pump.h"
+#include "core/schema_inferencer.h"
+#include "core/streaming_inferencer.h"
+#include "io/input_source.h"
+#include "io/pipeline_reader.h"
+#include "json/jsonl.h"
+
+namespace jsonsi {
+namespace {
+
+using core::Schema;
+using core::SchemaInferencer;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "jsonsi_io_pipeline_" + name;
+}
+
+void WriteFile(const std::string& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  ASSERT_TRUE(out.good());
+}
+
+// Deterministic mixed corpus: records of varying shape, blank lines, and
+// (optionally) malformed lines sprinkled at a fixed cadence.
+std::string MakeCorpus(size_t lines, size_t malformed_every,
+                       bool trailing_newline = true) {
+  std::string text;
+  uint64_t rng = 0x243f6a8885a308d3ull;  // fixed seed: corpus is part of
+                                         // the test's identity
+  for (size_t i = 0; i < lines; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    if (malformed_every && i % malformed_every == malformed_every - 1) {
+      text += "{\"broken\": ";  // truncated document
+    } else if (i % 17 == 3) {
+      // blank line (counted, not a record)
+    } else {
+      switch ((rng >> 33) % 4) {
+        case 0:
+          text += "{\"id\": " + std::to_string(rng % 1000) +
+                  ", \"name\": \"u" + std::to_string(i) + "\"}";
+          break;
+        case 1:
+          text += "{\"id\": " + std::to_string(rng % 1000) +
+                  ", \"tags\": [\"a\", \"b\"], \"ok\": true}";
+          break;
+        case 2:
+          text += "{\"nested\": {\"x\": 1.5, \"y\": [" +
+                  std::to_string(rng % 7) + "]}}";
+          break;
+        default:
+          text += "{\"id\": null, \"note\": \"line " + std::to_string(i) +
+                  "\"}";
+          break;
+      }
+    }
+    if (i + 1 < lines || trailing_newline) text += '\n';
+  }
+  return text;
+}
+
+void ExpectSameStats(const json::IngestStats& a, const json::IngestStats& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.lines_read, b.lines_read) << label;
+  EXPECT_EQ(a.blank_lines, b.blank_lines) << label;
+  EXPECT_EQ(a.records, b.records) << label;
+  EXPECT_EQ(a.malformed_lines, b.malformed_lines) << label;
+  EXPECT_EQ(a.bytes_read, b.bytes_read) << label;
+  EXPECT_EQ(a.bytes_consumed, b.bytes_consumed) << label;
+  ASSERT_EQ(a.errors.size(), b.errors.size()) << label;
+  for (size_t i = 0; i < a.errors.size(); ++i) {
+    EXPECT_EQ(a.errors[i].line_number, b.errors[i].line_number) << label;
+    EXPECT_EQ(a.errors[i].byte_offset, b.errors[i].byte_offset) << label;
+    EXPECT_EQ(a.errors[i].message, b.errors[i].message) << label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Input sources.
+
+TEST(InputSourceTest, ParseIoModeRoundTrips) {
+  io::IoMode mode;
+  ASSERT_TRUE(io::ParseIoMode("auto", &mode));
+  EXPECT_EQ(mode, io::IoMode::kAuto);
+  ASSERT_TRUE(io::ParseIoMode("mmap", &mode));
+  EXPECT_EQ(mode, io::IoMode::kMmap);
+  ASSERT_TRUE(io::ParseIoMode("read", &mode));
+  EXPECT_EQ(mode, io::IoMode::kRead);
+  ASSERT_TRUE(io::ParseIoMode("stream", &mode));
+  EXPECT_EQ(mode, io::IoMode::kStream);
+  EXPECT_FALSE(io::ParseIoMode("pwrite", &mode));
+  EXPECT_FALSE(io::ParseIoMode("", &mode));
+}
+
+TEST(InputSourceTest, MmapExposesWholeFile) {
+  const std::string path = TempPath("mmap.jsonl");
+  const std::string text = MakeCorpus(50, 0);
+  WriteFile(path, text);
+  auto mapped = io::MmapSource::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_TRUE(mapped.value()->Contents().has_value());
+  EXPECT_EQ(*mapped.value()->Contents(), text);
+  EXPECT_EQ(mapped.value()->SizeBytes(), text.size());
+  ::unlink(path.c_str());
+}
+
+TEST(InputSourceTest, ReadSourceReadsAndSkips) {
+  const std::string path = TempPath("read.jsonl");
+  const std::string text = MakeCorpus(40, 0);
+  WriteFile(path, text);
+  auto file = io::ReadSource::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status();
+  ASSERT_TRUE(file.value()->SkipTo(10).ok());
+  std::string got;
+  char buf[37];
+  for (;;) {
+    auto n = file.value()->Read(buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status();
+    if (n.value() == 0) break;
+    got.append(buf, n.value());
+  }
+  EXPECT_EQ(got, text.substr(10));
+  ::unlink(path.c_str());
+}
+
+TEST(InputSourceTest, StreamSourceOnPipeSkipsByDiscarding) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string text = "abcdefghij0123456789";
+  ASSERT_EQ(::write(fds[1], text.data(), text.size()),
+            static_cast<ssize_t>(text.size()));
+  ::close(fds[1]);
+  io::StreamSource source("<pipe>", fds[0], /*close_fd=*/true);
+  ASSERT_TRUE(source.SkipTo(10).ok());
+  char buf[64];
+  auto n = source.Read(buf, sizeof(buf));
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(std::string(buf, n.value()), "0123456789");
+  // Backwards seek on a consumed stream is refused, not silently wrong.
+  EXPECT_FALSE(source.SkipTo(0).ok());
+}
+
+TEST(InputSourceTest, OpenErrors) {
+  io::IoOptions options;
+  options.mode = io::IoMode::kMmap;
+  auto missing = io::OpenInputSource(TempPath("nope.jsonl"), options);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find("cannot open file"),
+            std::string::npos);
+  auto stdin_mmap = io::OpenInputSource("-", options);
+  ASSERT_FALSE(stdin_mmap.ok());
+  EXPECT_EQ(stdin_mmap.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InputSourceTest, ReadFileToStringMatchesSlurp) {
+  const std::string path = TempPath("slurp.jsonl");
+  const std::string text = MakeCorpus(33, 0, /*trailing_newline=*/false);
+  WriteFile(path, text);
+  auto got = io::ReadFileToString(path);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got.value(), text);
+  ::unlink(path.c_str());
+  auto missing = io::ReadFileToString(TempPath("nope2.jsonl"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// PipelineReader framing: batches concatenate to the input and only ever
+// split at newlines, for every buffer geometry on both arms.
+
+void CheckFraming(std::string_view text, const io::IoOptions& options,
+                  bool expose_contents, uint64_t start_offset = 0) {
+  io::MemorySource source(text, expose_contents);
+  io::PipelineReader reader(&source, options, start_offset);
+  std::string joined;
+  for (;;) {
+    auto batch = reader.Next();
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    if (batch.value().empty()) break;
+    if (!joined.empty()) {
+      // Every cut lands just after a newline.
+      EXPECT_EQ(joined.back(), '\n');
+    }
+    joined += batch.value();
+  }
+  EXPECT_EQ(joined, text.substr(static_cast<size_t>(start_offset)));
+  // The end marker persists: further calls keep reporting end of input.
+  auto again = reader.Next();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().empty());
+}
+
+TEST(PipelineReaderTest, FramingAcrossGeometries) {
+  const std::string text = MakeCorpus(400, 13);
+  for (bool expose : {true, false}) {
+    for (size_t buffer_bytes : {size_t{1}, size_t{7}, size_t{64},
+                                size_t{4096}, size_t{1} << 20}) {
+      for (size_t num_buffers : {size_t{2}, size_t{3}}) {
+        for (bool overlap : {false, true}) {
+          io::IoOptions options;
+          options.buffer_bytes = buffer_bytes;
+          options.num_buffers = num_buffers;
+          options.overlap = overlap;
+          SCOPED_TRACE("expose=" + std::to_string(expose) +
+                       " buf=" + std::to_string(buffer_bytes) +
+                       " ring=" + std::to_string(num_buffers) +
+                       " overlap=" + std::to_string(overlap));
+          CheckFraming(text, options, expose);
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelineReaderTest, LineLongerThanBufferGrows) {
+  std::string text = "{\"short\": 1}\n{\"long\": \"";
+  text.append(5000, 'x');
+  text += "\"}\n{\"short\": 2}\n";
+  io::IoOptions options;
+  options.buffer_bytes = 32;
+  for (bool overlap : {false, true}) {
+    options.overlap = overlap;
+    CheckFraming(text, options, /*expose_contents=*/false);
+  }
+}
+
+TEST(PipelineReaderTest, StartOffsetResumesMidInput) {
+  const std::string text = MakeCorpus(120, 0);
+  // Resume at a line boundary, the way a checkpoint's bytes_consumed does.
+  size_t offset = text.find('\n', text.size() / 2) + 1;
+  io::IoOptions options;
+  options.buffer_bytes = 24;
+  for (bool expose : {true, false}) {
+    CheckFraming(text, options, expose, offset);
+  }
+}
+
+TEST(PipelineReaderTest, EmptyAndNewlineFreeInputs) {
+  io::IoOptions options;
+  options.buffer_bytes = 8;
+  CheckFraming("", options, true);
+  CheckFraming("", options, false);
+  CheckFraming("{\"one line, no newline\": 1}", options, true);
+  CheckFraming("{\"one line, no newline\": 1}", options, false);
+}
+
+TEST(PipelineReaderTest, SlicedArmIsZeroCopy) {
+  const std::string text = MakeCorpus(60, 0);
+  io::MemorySource source(text);
+  io::IoOptions options;
+  options.buffer_bytes = 100;
+  io::PipelineReader reader(&source, options);
+  for (;;) {
+    auto batch = reader.Next();
+    ASSERT_TRUE(batch.ok());
+    if (batch.value().empty()) break;
+    // Each batch aliases the source buffer: no bytes were copied.
+    EXPECT_GE(batch.value().data(), text.data());
+    EXPECT_LE(batch.value().data() + batch.value().size(),
+              text.data() + text.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential inference: every io mode, thread count and policy must match
+// the one-shot in-memory pipeline exactly.
+
+struct GridCase {
+  io::IoMode mode;
+  size_t buffer_bytes;
+  size_t num_threads;
+};
+
+std::vector<GridCase> Grid() {
+  return {
+      {io::IoMode::kMmap, 1 << 20, 1},  {io::IoMode::kMmap, 1 << 20, 4},
+      {io::IoMode::kRead, 64, 1},       {io::IoMode::kRead, 1 << 20, 4},
+      {io::IoMode::kStream, 97, 1},     {io::IoMode::kStream, 1 << 20, 4},
+      {io::IoMode::kAuto, 1 << 20, 2},
+  };
+}
+
+void RunDifferential(const std::string& text, json::MalformedLinePolicy policy,
+                     double max_error_rate = 0.01) {
+  core::InferenceOptions base;
+  base.ingest.on_malformed = policy;
+  base.ingest.max_error_rate = max_error_rate;
+  base.parallel_ingest_min_bytes = 0;  // force chunk-parallel on tiny inputs
+
+  json::IngestStats want_stats;
+  SchemaInferencer baseline(base);
+  Result<Schema> want = baseline.InferFromJsonLines(text, &want_stats);
+
+  const std::string path = TempPath("grid.jsonl");
+  WriteFile(path, text);
+  for (const GridCase& c : Grid()) {
+    core::InferenceOptions options = base;
+    options.num_threads = c.num_threads;
+    options.io.mode = c.mode;
+    options.io.buffer_bytes = c.buffer_bytes;
+    const std::string label = std::string(io::IoModeName(c.mode)) + "/buf" +
+                              std::to_string(c.buffer_bytes) + "/t" +
+                              std::to_string(c.num_threads);
+    SCOPED_TRACE(label);
+    json::IngestStats got_stats;
+    SchemaInferencer inferencer(options);
+    Result<Schema> got = inferencer.InferFromFile(path, &got_stats);
+    ASSERT_EQ(got.ok(), want.ok()) << label;
+    if (!want.ok()) {
+      // Policy aborts must carry the identical message (line numbers are
+      // stream-global even when the input arrived in pipeline batches).
+      EXPECT_EQ(got.status().message(), want.status().message()) << label;
+    } else {
+      EXPECT_TRUE(got.value().type->Equals(*want.value().type)) << label;
+      EXPECT_EQ(got.value().stats.record_count, want.value().stats.record_count)
+          << label;
+    }
+    ExpectSameStats(got_stats, want_stats, label);
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(IoDifferentialTest, CleanInputStrictPolicy) {
+  RunDifferential(MakeCorpus(600, 0), json::MalformedLinePolicy::kFail);
+}
+
+TEST(IoDifferentialTest, DirtyInputSkipPolicy) {
+  RunDifferential(MakeCorpus(600, 11), json::MalformedLinePolicy::kSkip);
+}
+
+TEST(IoDifferentialTest, DirtyInputStrictAbortsIdentically) {
+  RunDifferential(MakeCorpus(300, 37), json::MalformedLinePolicy::kFail);
+}
+
+TEST(IoDifferentialTest, RatePolicyWithinBudget) {
+  // ~2.3% malformed under a 5% budget: every mode must tolerate it.
+  RunDifferential(MakeCorpus(800, 43),
+                  json::MalformedLinePolicy::kFailAboveRate, 0.05);
+}
+
+TEST(IoDifferentialTest, RatePolicyAbortsIdentically) {
+  // ~12% malformed over a 5% budget: every mode must abort on the same
+  // line with the same message.
+  RunDifferential(MakeCorpus(800, 8),
+                  json::MalformedLinePolicy::kFailAboveRate, 0.05);
+}
+
+TEST(IoDifferentialTest, SparseTailUnderMinLines) {
+  // Fewer non-blank lines than min_lines_for_rate with one bad line: the
+  // end-of-read validation must fire once, at the true end of the stream,
+  // not per pipeline batch.
+  RunDifferential(MakeCorpus(40, 19),
+                  json::MalformedLinePolicy::kFailAboveRate, 0.001);
+}
+
+TEST(IoDifferentialTest, NoTrailingNewline) {
+  RunDifferential(MakeCorpus(200, 0, /*trailing_newline=*/false),
+                  json::MalformedLinePolicy::kFail);
+}
+
+TEST(IoDifferentialTest, BomHandling) {
+  // Leading BOM is stripped once; a mid-file BOM belongs to its line. The
+  // pipeline must not re-strip at batch seams.
+  std::string text = "\xEF\xBB\xBF{\"a\": 1}\n{\"a\": 2}\n{\"a\": 3}\n";
+  RunDifferential(text, json::MalformedLinePolicy::kSkip);
+}
+
+TEST(IoDifferentialTest, AnnotateFallsBackToBuffering) {
+  const std::string text = MakeCorpus(150, 0);
+  core::InferenceOptions options;
+  options.annotate = true;
+  SchemaInferencer baseline(options);
+  Result<Schema> want = baseline.InferFromJsonLines(text);
+  ASSERT_TRUE(want.ok()) << want.status();
+  ASSERT_TRUE(want.value().annotation != nullptr);
+
+  options.io.mode = io::IoMode::kRead;
+  options.io.buffer_bytes = 128;
+  const std::string path = TempPath("annotate.jsonl");
+  WriteFile(path, text);
+  SchemaInferencer inferencer(options);
+  Result<Schema> got = inferencer.InferFromFile(path);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(got.value().annotation != nullptr);
+  EXPECT_TRUE(got.value().type->Equals(*want.value().type));
+  EXPECT_EQ(got.value().annotation->count, want.value().annotation->count);
+  ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Pump parity: batched PumpJsonLines over the copying arm equals a single
+// AddJsonLines of the whole text, success or abort.
+
+TEST(IoPumpTest, BatchedPumpEqualsOneShot) {
+  const std::string text = MakeCorpus(500, 9);
+  core::StreamingOptions sopts;
+  sopts.on_malformed = json::MalformedLinePolicy::kSkip;
+
+  core::StreamingInferencer one_shot(sopts);
+  ASSERT_TRUE(one_shot.AddJsonLines(text).ok());
+
+  for (size_t buffer_bytes : {size_t{1}, size_t{50}, size_t{4096}}) {
+    SCOPED_TRACE(buffer_bytes);
+    core::StreamingInferencer pumped(sopts);
+    io::MemorySource source(text, /*expose_contents=*/false);
+    io::IoOptions options;
+    options.buffer_bytes = buffer_bytes;
+    io::PipelineReader reader(&source, options);
+    ASSERT_TRUE(core::PumpJsonLines(reader, pumped, {}).ok());
+    EXPECT_TRUE(pumped.Snapshot().type->Equals(*one_shot.Snapshot().type));
+    ExpectSameStats(pumped.ingest_stats(), one_shot.ingest_stats(),
+                    "buf" + std::to_string(buffer_bytes));
+  }
+}
+
+TEST(IoPumpTest, AbortMessageMatchesOneShot) {
+  const std::string text = MakeCorpus(400, 6);  // well over any rate budget
+  core::StreamingOptions sopts;
+  sopts.on_malformed = json::MalformedLinePolicy::kFailAboveRate;
+  sopts.max_error_rate = 0.02;
+
+  core::StreamingInferencer one_shot(sopts);
+  Status want = one_shot.AddJsonLines(text);
+  ASSERT_FALSE(want.ok());
+
+  core::StreamingInferencer pumped(sopts);
+  io::MemorySource source(text, /*expose_contents=*/false);
+  io::IoOptions options;
+  options.buffer_bytes = 64;
+  io::PipelineReader reader(&source, options);
+  Status got = core::PumpJsonLines(reader, pumped, {});
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.message(), want.message());
+  ExpectSameStats(pumped.ingest_stats(), one_shot.ingest_stats(), "abort");
+}
+
+TEST(IoPumpTest, AfterBatchCanStopCleanly) {
+  const std::string text = MakeCorpus(300, 0);
+  core::StreamingInferencer stream;
+  io::MemorySource source(text, /*expose_contents=*/false);
+  io::IoOptions options;
+  options.buffer_bytes = 64;
+  io::PipelineReader reader(&source, options);
+  core::PumpOptions pump;
+  size_t batches = 0;
+  pump.after_batch = [&]() -> Result<bool> { return ++batches < 2; };
+  ASSERT_TRUE(core::PumpJsonLines(reader, stream, pump).ok());
+  EXPECT_EQ(batches, 2u);
+  EXPECT_LT(stream.ingest_stats().bytes_consumed, text.size());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint kill/resume through the pipeline: stopping after a batch,
+// saving, and resuming a fresh inferencer at bytes_consumed reproduces the
+// uninterrupted schema and stats exactly.
+
+TEST(IoCheckpointTest, KillAndResumeMatchesUninterrupted) {
+  const std::string text = MakeCorpus(600, 23);
+  const std::string data_path = TempPath("ckpt.jsonl");
+  const std::string ckpt_path = TempPath("ckpt.state");
+  WriteFile(data_path, text);
+
+  core::StreamingOptions sopts;
+  sopts.on_malformed = json::MalformedLinePolicy::kSkip;
+  core::StreamingInferencer uninterrupted(sopts);
+  ASSERT_TRUE(uninterrupted.AddJsonLines(text).ok());
+
+  for (io::IoMode mode : {io::IoMode::kMmap, io::IoMode::kRead,
+                          io::IoMode::kStream}) {
+    SCOPED_TRACE(io::IoModeName(mode));
+    io::IoOptions options;
+    options.mode = mode;
+    options.buffer_bytes = 256;  // force many batches
+
+    // Phase 1: ingest a few batches, then "die" right after a save.
+    {
+      core::StreamingInferencer stream(sopts);
+      auto source = io::OpenInputSource(data_path, options);
+      ASSERT_TRUE(source.ok()) << source.status();
+      io::PipelineReader reader(source.value().get(), options);
+      core::PumpOptions pump;
+      size_t batches = 0;
+      pump.after_batch = [&]() -> Result<bool> { return ++batches < 3; };
+      ASSERT_TRUE(core::PumpJsonLines(reader, stream, pump).ok());
+      ASSERT_LT(stream.ingest_stats().bytes_consumed, text.size());
+      ASSERT_TRUE(core::SaveCheckpoint(stream, ckpt_path).ok());
+    }
+
+    // Phase 2: restore and finish from the checkpoint's byte offset.
+    core::StreamingInferencer resumed(sopts);
+    ASSERT_TRUE(core::LoadCheckpoint(ckpt_path, &resumed).ok());
+    auto source = io::OpenInputSource(data_path, options);
+    ASSERT_TRUE(source.ok()) << source.status();
+    io::PipelineReader reader(source.value().get(), options,
+                              resumed.ingest_stats().bytes_consumed);
+    ASSERT_TRUE(core::PumpJsonLines(reader, resumed, {}).ok());
+
+    EXPECT_TRUE(resumed.Snapshot().type->Equals(
+        *uninterrupted.Snapshot().type));
+    ExpectSameStats(resumed.ingest_stats(), uninterrupted.ingest_stats(),
+                    io::IoModeName(mode));
+    ::unlink(ckpt_path.c_str());
+  }
+  ::unlink(data_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Bounded memory: a child process whose heap is capped far below the input
+// size still infers it under --io stream. Skipped under sanitizers (their
+// shadow mappings blow through any rlimit).
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define JSONSI_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define JSONSI_UNDER_SANITIZER 1
+#endif
+#endif
+
+TEST(IoBoundedMemoryTest, StreamInfersFileLargerThanHeapBudget) {
+#ifdef JSONSI_UNDER_SANITIZER
+  GTEST_SKIP() << "rlimits are meaningless under sanitizer shadow mappings";
+#else
+  // 64 MB of JSONL vs a 32 MB heap cap: a slurp cannot even hold the text.
+  const std::string path = TempPath("big.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out);
+    std::string block;
+    for (int i = 0; i < 4096; ++i) {
+      block += "{\"seq\": " + std::to_string(i) +
+               ", \"payload\": \"0123456789abcdef0123456789abcdef\", "
+               "\"flag\": " +
+               (i % 2 ? "true" : "false") + "}\n";
+    }
+    size_t written = 0;
+    while (written < (64ull << 20)) {
+      out.write(block.data(), static_cast<std::streamsize>(block.size()));
+      written += block.size();
+    }
+    ASSERT_TRUE(out.good());
+  }
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: cap anonymous memory, then infer single-threaded with small
+    // synchronous buffers (no helper threads — their stacks would count).
+    struct rlimit cap;
+    cap.rlim_cur = cap.rlim_max = 32ull << 20;
+    if (::setrlimit(RLIMIT_DATA, &cap) != 0) ::_exit(10);
+    core::InferenceOptions options;
+    options.num_threads = 1;
+    options.collect_stats = false;
+    options.io.mode = io::IoMode::kStream;
+    options.io.buffer_bytes = 1 << 20;
+    options.io.overlap = false;
+    SchemaInferencer inferencer(options);
+    Result<Schema> schema = inferencer.InferFromFile(path);
+    if (!schema.ok()) ::_exit(11);
+    if (schema.value().stats.record_count < 100000) ::_exit(12);
+    ::_exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child crashed (signal "
+                                 << WTERMSIG(status) << ")";
+  EXPECT_EQ(WEXITSTATUS(status), 0)
+      << "child exit " << WEXITSTATUS(status)
+      << " (10=setrlimit, 11=infer failed, 12=short count)";
+  ::unlink(path.c_str());
+#endif
+}
+
+}  // namespace
+}  // namespace jsonsi

@@ -98,6 +98,35 @@ if "$JSI" infer "$TMP/gh.jsonl" --annotate --checkpoint "$TMP/cp3.txt" \
     > /dev/null 2>&1; then
   echo "expected --annotate with --checkpoint to be refused"; exit 1
 fi
+# io modes: every input source produces the identical schema, and stdin
+# streams through the bounded pipeline ('-' equals the file run).
+"$JSI" infer "$TMP/gh.jsonl" --io mmap > "$TMP/io_mmap.txt"
+"$JSI" infer "$TMP/gh.jsonl" --io read --read-ahead-mb 1 > "$TMP/io_read.txt"
+"$JSI" infer "$TMP/gh.jsonl" --io stream --threads 4 > "$TMP/io_stream.txt"
+"$JSI" infer - < "$TMP/gh.jsonl" > "$TMP/io_stdin.txt"
+"$JSI" infer - --stats < "$TMP/gh.jsonl" > "$TMP/io_stdin_stats.txt" 2> /dev/null
+cmp "$TMP/schema_plain.txt" "$TMP/io_mmap.txt"
+cmp "$TMP/schema_plain.txt" "$TMP/io_read.txt"
+cmp "$TMP/schema_plain.txt" "$TMP/io_stream.txt"
+cmp "$TMP/schema_plain.txt" "$TMP/io_stdin.txt"
+cmp "$TMP/schema_plain.txt" "$TMP/io_stdin_stats.txt"
+# degraded-mode parity across sources: same skips, same report.
+"$JSI" infer "$TMP/gh.jsonl" --max-line-bytes 64 --skip-malformed --io stream \
+  > "$TMP/budget_stream.txt" 2> "$TMP/budget_stream_err.txt"
+cmp "$TMP/budget_direct.txt" "$TMP/budget_stream.txt"
+grep -q "skipped" "$TMP/budget_stream_err.txt"
+# checkpointed runs ride the pipeline too, in every mode.
+"$JSI" infer "$TMP/gh.jsonl" --io read --checkpoint "$TMP/cp_io.txt" \
+  --checkpoint-every 7 > "$TMP/io_cp.txt"
+cmp "$TMP/schema_plain.txt" "$TMP/io_cp.txt"
+# seekable-only modes are refused on stdin; unknown modes are usage errors.
+if "$JSI" infer - --io mmap < "$TMP/gh.jsonl" > /dev/null 2>&1; then
+  echo "expected --io mmap on stdin to be refused"; exit 1
+fi
+if "$JSI" infer "$TMP/gh.jsonl" --io pwrite > /dev/null 2>&1; then
+  echo "expected unknown --io mode to be a usage error"; exit 1
+fi
+
 # diff --data: variant drift between two annotated datasets exits 2.
 printf '%s\n' '{"type":"a","x":1}' '{"type":"b","y":"s"}' '{"type":"c","z":true}' \
   > "$TMP/tagged2.jsonl"

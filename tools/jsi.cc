@@ -7,8 +7,15 @@
 //             [--no-direct] [--max-depth N] [--max-line-bytes N]
 //             [--checkpoint F [--checkpoint-every N] [--resume]]
 //             [--memory-watermark-mb N]
+//             [--io auto|mmap|read|stream] [--read-ahead-mb N]
 //       Infers and prints the fused schema of a JSON-Lines input
-//       ('-' reads stdin). --threads N runs the whole pipeline — chunked
+//       ('-' streams stdin in bounded batches, no full buffering).
+//       --io selects the input source (src/io/): auto (default) memory-maps
+//       regular files zero-copy and streams pipes; mmap forces the map;
+//       read and stream pump bounded --read-ahead-mb batches through the
+//       streaming inferencer with overlapped read-ahead — constant memory,
+//       so files larger than RAM infer fine. Every mode produces
+//       byte-identical schemas, errors and ingestion stats. --threads N runs the whole pipeline — chunked
 //       ingestion, map, tree-reduce — on N workers (default: hardware
 //       concurrency; 1 = the exact serial path, structurally identical
 //       output). --skip-malformed ingests dirty inputs in
@@ -134,6 +141,9 @@
 #include "support/string_util.h"
 #include "telemetry/telemetry.h"
 #include "fusion/fuse_cache.h"
+#include "core/io_pump.h"
+#include "io/input_source.h"
+#include "io/pipeline_reader.h"
 #include "types/explain.h"
 #include "types/interner.h"
 #include "types/membership.h"
@@ -155,6 +165,7 @@ int Usage() {
       "            [--no-direct] [--max-depth N] [--max-line-bytes N]\n"
       "            [--checkpoint F [--checkpoint-every N] [--resume]]\n"
       "            [--memory-watermark-mb N]\n"
+      "            [--io auto|mmap|read|stream] [--read-ahead-mb N]\n"
       "  jsi gen <github|twitter|wikidata|nytimes> <count> [--seed S]\n"
       "  jsi paths <file.jsonl | ->\n"
       "  jsi check <file.jsonl | -> --schema '<type expression>'\n"
@@ -292,7 +303,7 @@ void PrintInferStats(const Schema& schema, size_t threads) {
 // state after each one. --resume restores the checkpoint and restarts
 // reading at its bytes_consumed offset; by associativity of fusion the
 // final schema is TypeEquals-identical to an uninterrupted run.
-int RunInferCheckpointed(const std::string& text,
+int RunInferCheckpointed(jsonsi::io::InputSource& source,
                          const jsonsi::core::InferenceOptions& options,
                          const std::string& checkpoint_path, bool resume,
                          uint64_t checkpoint_every, uint64_t watermark_mb,
@@ -306,7 +317,7 @@ int RunInferCheckpointed(const std::string& text,
   sopts.direct_infer = options.direct_infer;
   sopts.soft_memory_limit_bytes = watermark_mb * (1ull << 20);
   jsonsi::core::StreamingInferencer stream(sopts);
-  size_t pos = 0;
+  uint64_t pos = 0;
   if (resume) {
     jsonsi::Status loaded =
         jsonsi::core::LoadCheckpoint(checkpoint_path, &stream);
@@ -315,9 +326,10 @@ int RunInferCheckpointed(const std::string& text,
       return 2;
     }
     pos = stream.ingest_stats().bytes_consumed;
-    if (pos > text.size()) {
+    if (std::optional<uint64_t> size = source.SizeBytes();
+        size && pos > *size) {
       std::cerr << "jsi: checkpoint offset " << pos
-                << " is past the end of the input (" << text.size()
+                << " is past the end of the input (" << *size
                 << " bytes) — wrong input file?\n";
       return 2;
     }
@@ -336,49 +348,61 @@ int RunInferCheckpointed(const std::string& text,
   // checkpoint between batches instead of losing the run. Same drain
   // machinery `jsi serve` uses.
   jsonsi::server::InstallShutdownSignalHandlers();
-  while (pos < text.size()) {
+  // The pipeline reader resumes at the checkpoint's exact bytes_consumed
+  // offset and cuts batches on line boundaries, so batching never changes
+  // what each Add call sees. Saves land between batches, whenever
+  // --checkpoint-every lines have accumulated since the last one.
+  jsonsi::io::PipelineReader reader(&source, options.io, pos);
+  uint64_t last_saved_lines = stream.ingest_stats().lines_read;
+  bool interrupted = false;
+  jsonsi::Status save_failure;
+  jsonsi::core::PumpOptions pump;
+  pump.num_threads = options.num_threads;
+  pump.after_batch = [&]() -> jsonsi::Result<bool> {
     if (jsonsi::server::ShutdownRequested()) {
       if (jsonsi::Status cp = save(); !cp.ok()) {
-        std::cerr << "jsi: checkpoint save failed: " << cp << "\n";
-        return 2;
+        save_failure = cp;
+        return cp;
       }
-      std::cerr << "jsi: interrupted at byte "
-                << stream.ingest_stats().bytes_consumed << " ("
-                << stream.record_count() << " records) — state saved to "
-                << checkpoint_path << "; rerun with --resume to continue\n";
-      return 3;
+      interrupted = true;
+      return false;
     }
-    // Advance checkpoint_every whole lines; batch boundaries always fall on
-    // line boundaries, so batching never changes what each Add call sees.
-    size_t end = pos;
-    for (uint64_t n = 0; n < checkpoint_every && end < text.size(); ++n) {
-      size_t nl = text.find('\n', end);
-      end = nl == std::string::npos ? text.size() : nl + 1;
-    }
-    jsonsi::Status st = stream.AddJsonLinesParallel(
-        std::string_view(text).substr(pos, end - pos), options.num_threads);
-    if (!st.ok()) {
-      // Persist the consistent pre-abort state: bytes_consumed points at
-      // the aborting line, so a fixed-up input can be resumed in place.
+    if (stream.ingest_stats().lines_read - last_saved_lines >=
+        checkpoint_every) {
       if (jsonsi::Status cp = save(); !cp.ok()) {
-        std::cerr << "jsi: checkpoint save failed: " << cp << "\n";
+        save_failure = cp;
+        return cp;
       }
-      std::cerr << "jsi: " << st << "\n";
-      return 2;
+      last_saved_lines = stream.ingest_stats().lines_read;
     }
-    pos = end;
-    if (jsonsi::Status cp = save(); !cp.ok()) {
-      std::cerr << "jsi: checkpoint save failed: " << cp << "\n";
-      return 2;
-    }
+    return true;
+  };
+  jsonsi::Status st = jsonsi::core::PumpJsonLines(reader, stream, pump);
+  if (!save_failure.ok()) {
+    std::cerr << "jsi: checkpoint save failed: " << save_failure << "\n";
+    return 2;
   }
-  if (saves == 0) {
-    // Empty input (or everything already consumed on resume): still leave a
-    // fresh checkpoint behind so the file always reflects this run.
+  if (!st.ok()) {
+    // Persist the consistent pre-abort state: bytes_consumed points at
+    // the aborting line, so a fixed-up input can be resumed in place.
     if (jsonsi::Status cp = save(); !cp.ok()) {
       std::cerr << "jsi: checkpoint save failed: " << cp << "\n";
-      return 2;
     }
+    std::cerr << "jsi: " << st << "\n";
+    return 2;
+  }
+  if (interrupted) {
+    std::cerr << "jsi: interrupted at byte "
+              << stream.ingest_stats().bytes_consumed << " ("
+              << stream.record_count() << " records) — state saved to "
+              << checkpoint_path << "; rerun with --resume to continue\n";
+    return 3;
+  }
+  // Always leave a final checkpoint behind (also covers an empty input or
+  // an already-consumed resume) so the file reflects this run.
+  if (jsonsi::Status cp = save(); !cp.ok()) {
+    std::cerr << "jsi: checkpoint save failed: " << cp << "\n";
+    return 2;
   }
   ReportIngest(stream.ingest_stats());
   Schema schema = stream.Snapshot();
@@ -472,6 +496,22 @@ int RunInfer(std::vector<std::string> args) {
       return BadFlagValue("--memory-watermark-mb", *m);
     }
   }
+  if (auto io = FlagValue(args, "--io")) {
+    if (!jsonsi::io::ParseIoMode(*io, &options.io.mode)) {
+      std::cerr << "jsi: --io wants auto|mmap|read|stream, got '" << *io
+                << "'\n";
+      return Usage();
+    }
+  }
+  if (auto ra = FlagValue(args, "--read-ahead-mb")) {
+    try {
+      uint64_t mb = std::stoull(*ra);
+      if (mb == 0) mb = 1;
+      options.io.buffer_bytes = static_cast<size_t>(mb) << 20;
+    } catch (const std::exception&) {
+      return BadFlagValue("--read-ahead-mb", *ra);
+    }
+  }
   if (resume && !checkpoint) {
     std::cerr << "jsi: --resume needs --checkpoint <file>\n";
     return Usage();
@@ -485,34 +525,32 @@ int RunInfer(std::vector<std::string> args) {
     return Usage();
   }
   if (args.empty()) return Usage();
-  // Slurp the input and run the end-to-end pipeline on it: with more than
-  // one thread, ingestion is chunk-parallel and map/reduce run on the pool
-  // (see core/schema_inferencer.h); one thread is the exact serial path.
-  std::string text;
-  if (args[0] == "-") {
-    std::stringstream buffer;
-    buffer << std::cin.rdbuf();
-    text = std::move(buffer).str();
-  } else {
-    std::ifstream in(args[0], std::ios::binary);
-    if (!in) {
-      std::cerr << "jsi: cannot open file: " << args[0] << "\n";
+  // The input source (mmap / pread / stdin pipe, per --io) replaces the old
+  // whole-file slurp: mapped files take the zero-copy chunk-parallel path,
+  // everything else pumps bounded batches, so files larger than RAM infer
+  // in constant memory (see src/io/ and core/schema_inferencer.h).
+  if (checkpoint) {
+    Result<std::unique_ptr<jsonsi::io::InputSource>> source =
+        jsonsi::io::OpenInputSource(args[0], options.io);
+    if (!source.ok()) {
+      std::cerr << "jsi: " << source.status().message() << "\n";
       return 2;
     }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    text = std::move(buffer).str();
-  }
-  if (checkpoint) {
-    return RunInferCheckpointed(text, options, *checkpoint, resume,
+    return RunInferCheckpointed(*source.value(), options, *checkpoint, resume,
                                 checkpoint_every, watermark_mb, pretty,
                                 stats);
   }
   jsonsi::json::IngestStats ingest_stats;
   SchemaInferencer inferencer(options);
-  Result<Schema> result = inferencer.InferFromJsonLines(text, &ingest_stats);
+  Result<Schema> result = inferencer.InferFromFile(args[0], &ingest_stats);
   if (!result.ok()) {
-    std::cerr << "jsi: " << result.status() << "\n";
+    // Open failures carry a clean "cannot open file: X" message; policy
+    // aborts and other errors print the full status with its code.
+    if (result.status().code() == jsonsi::StatusCode::kNotFound) {
+      std::cerr << "jsi: " << result.status().message() << "\n";
+    } else {
+      std::cerr << "jsi: " << result.status() << "\n";
+    }
     return 2;
   }
   ReportIngest(ingest_stats);
@@ -654,11 +692,9 @@ int RunAnnotate(std::vector<std::string> args) {
 }
 
 jsonsi::Result<jsonsi::types::TypeRef> ReadTypeFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return jsonsi::Status::NotFound("cannot open file: " + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return jsonsi::types::ParseType(buffer.str());
+  jsonsi::Result<std::string> text = jsonsi::io::ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return jsonsi::types::ParseType(text.value());
 }
 
 // `jsi diff --data`: infer both datasets with annotations and report
